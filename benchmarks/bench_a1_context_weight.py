@@ -1,0 +1,62 @@
+"""A-1 — ablation: the context weight in the compound relevance score.
+
+The compound score is ``(1-w)·content + w·context``.  The bench sweeps the
+context weight from 0 (pure content-based personalization) to 1 (pure
+context) and measures listener satisfaction and skip rate over simulated
+commutes.  Expected shape: pure content and pure context are both worse than
+(or at best equal to) an intermediate mixture — context information helps,
+but not at the cost of ignoring learned preferences entirely.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.simulation import PersonalizationStrategy, SimulationRunner
+
+CONTEXT_WEIGHTS = (0.0, 0.25, 0.45, 0.7, 1.0)
+
+
+def sweep_context_weight(world, *, max_users=16):
+    """Skip rate and enjoyment of the full pipeline at several context weights."""
+    server = world.server
+    original = server.compound_scorer.context_weight
+    rows = []
+    for weight in CONTEXT_WEIGHTS:
+        # Swap the engine's scorer for one with the ablated weight.
+        server.proactive_engine._scorer = server.compound_scorer.with_context_weight(weight)  # noqa: SLF001
+        runner = SimulationRunner(world, seed=37)
+        comparison = runner.compare_strategies([PersonalizationStrategy.PPHCR], max_users=max_users)
+        rows.append(
+            {
+                "context_weight": weight,
+                "skip_rate": comparison.mean_skip_rate("pphcr"),
+                "mean_enjoyment": round(comparison.mean_enjoyment("pphcr"), 4),
+                "listened_share": round(comparison.mean_listened_share("pphcr"), 4),
+            }
+        )
+    server.proactive_engine._scorer = server.compound_scorer.with_context_weight(original)  # noqa: SLF001
+    return rows
+
+
+def test_a1_context_weight_ablation(benchmark, population_world):
+    rows = benchmark.pedantic(
+        sweep_context_weight, args=(population_world,), rounds=1, iterations=1
+    )
+
+    by_weight = {row["context_weight"]: row for row in rows}
+    best_weight = max(rows, key=lambda row: row["mean_enjoyment"])["context_weight"]
+    # Shape: some context helps — the best enjoyment is not at w = 1.0
+    # (pure context, preferences ignored), and an intermediate weight is at
+    # least as good as ignoring context completely.
+    assert best_weight < 1.0
+    intermediate_best = max(
+        row["mean_enjoyment"] for row in rows if 0.0 < row["context_weight"] < 1.0
+    )
+    assert intermediate_best >= by_weight[0.0]["mean_enjoyment"] - 0.03
+    assert intermediate_best >= by_weight[1.0]["mean_enjoyment"] - 0.03
+
+    lines = ["A-1: ablation of the context weight w in the compound score", ""] + format_table(rows)
+    path = write_result("a1_context_weight", lines)
+    benchmark.extra_info["best_context_weight"] = best_weight
+    benchmark.extra_info["results_file"] = path

@@ -1,0 +1,131 @@
+"""A-2 — ablation: trajectory compaction parameters (RDP tolerance, DBSCAN eps).
+
+The compact route model depends on two parameters called out in the paper:
+the Ramer-Douglas-Peucker simplification tolerance and the density-based
+clustering radius used for stay points.  The bench sweeps both and measures
+compression ratio, shape error, stay-point count and whether the two true
+anchors (home, work) are recovered.  Expected shape: compression grows with
+the tolerance while shape error stays small for moderate tolerances;
+stay-point recall is robust over a wide band of eps and degrades only for
+extreme values.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.datasets import CommuterConfig, CommuterGenerator
+from repro.geo.geodesy import haversine_m
+from repro.roadnet import CityGeneratorConfig, generate_city
+from repro.trajectory import Trajectory, simplify_trajectory, split_into_trips
+from repro.trajectory.staypoints import nearest_stay_point, stay_points_from_trips
+
+RDP_TOLERANCES = (5.0, 25.0, 75.0, 200.0)
+DBSCAN_EPS = (50.0, 150.0, 300.0, 800.0)
+
+
+def build_population(seed=81, commuters=6, history_days=7):
+    city = generate_city(CityGeneratorConfig(grid_rows=12, grid_cols=12, poi_count=16, seed=seed))
+    generator = CommuterGenerator(city, CommuterConfig(seed=seed + 1, commuters=commuters, history_days=history_days))
+    population = []
+    for commuter in generator.generate_commuters():
+        fixes = generator.historical_fixes(commuter)
+        trajectory = Trajectory.from_fixes(commuter.user_id, fixes)
+        trips = split_into_trips(trajectory)
+        if trips:
+            population.append((commuter, trips))
+    return population
+
+
+def shape_error_m(original, simplified, samples=30):
+    """Mean distance between matched arc-length samples of the two geometries."""
+    a = original.to_polyline()
+    b = simplified.to_polyline()
+    if a.length_m == 0 or b.length_m == 0:
+        return 0.0
+    total = 0.0
+    for index in range(samples):
+        fraction = index / (samples - 1)
+        total += haversine_m(
+            a.point_at_distance(fraction * a.length_m), b.point_at_distance(fraction * b.length_m)
+        )
+    return total / samples
+
+
+def rdp_sweep(population):
+    rows = []
+    for tolerance in RDP_TOLERANCES:
+        kept = 0
+        total = 0
+        errors = []
+        for _commuter, trips in population:
+            for trip in trips:
+                simplified = simplify_trajectory(trip, tolerance_m=tolerance)
+                kept += len(simplified)
+                total += len(trip)
+                errors.append(shape_error_m(trip, simplified))
+        rows.append(
+            {
+                "rdp_tolerance_m": tolerance,
+                "points_kept_ratio": round(kept / max(1, total), 3),
+                "mean_shape_error_m": round(sum(errors) / max(1, len(errors)), 1),
+            }
+        )
+    return rows
+
+
+def eps_sweep(population):
+    rows = []
+    for eps in DBSCAN_EPS:
+        recovered = 0
+        total_anchors = 0
+        stay_point_counts = []
+        for commuter, trips in population:
+            stay_points = stay_points_from_trips(trips, eps_m=eps, min_samples=2)
+            stay_point_counts.append(len(stay_points))
+            for anchor in (commuter.home, commuter.work):
+                total_anchors += 1
+                if nearest_stay_point(stay_points, anchor, max_distance_m=600.0) is not None:
+                    recovered += 1
+        rows.append(
+            {
+                "dbscan_eps_m": eps,
+                "anchor_recall": round(recovered / max(1, total_anchors), 3),
+                "mean_stay_points": round(sum(stay_point_counts) / max(1, len(stay_point_counts)), 2),
+            }
+        )
+    return rows
+
+
+def test_a2_rdp_tolerance_ablation(benchmark):
+    population = build_population()
+    rows = benchmark.pedantic(rdp_sweep, args=(population,), rounds=1, iterations=1)
+
+    kept = [row["points_kept_ratio"] for row in rows]
+    errors = [row["mean_shape_error_m"] for row in rows]
+    # Compression increases (kept ratio decreases) monotonically with tolerance.
+    assert kept == sorted(kept, reverse=True)
+    # Shape error grows with tolerance but stays bounded at the default 25 m.
+    assert errors[1] < 100.0
+    assert errors[-1] >= errors[0]
+
+    lines = ["A-2a: RDP tolerance vs compression and shape error", ""] + format_table(rows)
+    write_result("a2_rdp_tolerance", lines)
+    benchmark.extra_info["kept_ratio_at_25m"] = rows[1]["points_kept_ratio"]
+
+
+def test_a2_dbscan_eps_ablation(benchmark):
+    population = build_population(seed=83)
+    rows = benchmark.pedantic(eps_sweep, args=(population,), rounds=1, iterations=1)
+
+    by_eps = {row["dbscan_eps_m"]: row for row in rows}
+    # The default working band (150-300 m) recovers essentially all anchors.
+    assert by_eps[150.0]["anchor_recall"] >= 0.8
+    assert by_eps[300.0]["anchor_recall"] >= 0.8
+    # A huge eps merges everything into fewer clusters than the moderate setting.
+    assert by_eps[800.0]["mean_stay_points"] <= by_eps[150.0]["mean_stay_points"] + 1e-9
+
+    lines = ["A-2b: DBSCAN eps vs stay-point recall", ""] + format_table(rows)
+    path = write_result("a2_dbscan_eps", lines)
+    benchmark.extra_info["recall_at_150m"] = by_eps[150.0]["anchor_recall"]
+    benchmark.extra_info["results_file"] = path

@@ -1,0 +1,56 @@
+"""FIG-1 — the audio replacement concept (paper Figure 1).
+
+One listener tuned to a live service has part of the linear audio seamlessly
+replaced by a recommended clip; the live signal keeps filling the buffer so
+playback can resume where the broadcast moved on.  The bench times a full
+replacement cycle and regenerates the replacement timeline.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.client import ClientApp
+from repro.delivery import SegmentSource
+
+
+def run_replacement_cycle(world, user_id, clip):
+    """Tune, listen, replace with a clip, resume live: one Figure-1 cycle."""
+    server = world.server
+    app = ClientApp(user_id, server.users)
+    schedule = server.content.schedule("radio-uno")
+    start_s = schedule.coverage_window().start_s + 1800.0
+    app.tune("radio-uno", schedule, at_s=start_s)
+    app.listen_live(600.0)
+    app.play_recommended_clip(clip)
+    app.listen_live(600.0)
+    return app
+
+
+def test_fig1_seamless_replacement(benchmark, bench_world):
+    user_id = bench_world.commuters[0].user_id
+    clip = next(c for c in bench_world.server.content.clips() if c.duration_s <= 400.0)
+
+    app = benchmark.pedantic(
+        run_replacement_cycle, args=(bench_world, user_id, clip), rounds=5, iterations=1
+    )
+
+    segments = app.player.segments()
+    sources = [segment.source for segment in segments]
+    # The concept of Figure 1: live audio, a replacing clip, live again.
+    assert sources[0] == SegmentSource.LIVE
+    assert SegmentSource.CLIP in sources
+    assert sources[-1] in (SegmentSource.LIVE, SegmentSource.TIME_SHIFTED)
+    # After the replacement the listener is behind live by the clip duration.
+    assert app.player.playback_offset_s > 0.0
+    # No audio was lost: everything broadcast during the clip stayed in the buffer.
+    assert app.player.buffer.max_time_shift_s() >= app.player.playback_offset_s
+
+    lines = ["FIG-1: audio replacement concept (one listener, one clip)", ""]
+    lines += app.timeline()
+    lines.append("")
+    lines.append(f"playback offset after replacement: {app.player.playback_offset_s:.0f} s")
+    lines.append(f"clip share of listening time: {app.player.clip_share():.2f}")
+    path = write_result("fig1_replacement", lines)
+    benchmark.extra_info["clip_share"] = round(app.player.clip_share(), 3)
+    benchmark.extra_info["results_file"] = path

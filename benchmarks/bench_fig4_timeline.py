@@ -1,0 +1,54 @@
+"""FIG-4 — Lilly's personalization timeline (paper Figure 4).
+
+Regenerates the timeline of the contextual proactive recommendation
+scenario: live radio while driving, recommended clips seamlessly replacing
+it, and the time-shifted continuation of the live programme from the buffer.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.simulation import run_proactive_commute_scenario
+
+
+def first_triggering_result(world):
+    """Run the scenario for commuters until the proactive trigger fires."""
+    for commuter in world.commuters:
+        result = run_proactive_commute_scenario(world, user_id=commuter.user_id)
+        if result.decision.should_recommend:
+            return result
+    raise AssertionError("proactive recommendation never triggered")
+
+
+def test_fig4_personalization_timeline(benchmark, bench_world):
+    result = benchmark.pedantic(first_triggering_result, args=(bench_world,), rounds=3, iterations=1)
+
+    assert result.plan is not None
+    assert result.played_clip_ids
+    # The timeline has the three ingredients of Figure 4.
+    joined = "\n".join(result.timeline)
+    assert "LIVE" in joined
+    assert "CLIP" in joined
+    # After clips the listener lags behind live (the buffered programme can
+    # be presented later, like "The rabbit's roar" in the paper).
+    assert result.time_shift_offset_s > 0.0
+    # The plan never outruns the predicted available time.
+    assert result.plan.total_scheduled_s <= result.plan.available_s + 1e-6
+
+    lines = [
+        "FIG-4: personalization timeline for one morning commute",
+        "",
+        f"listener: {result.user_id}",
+        f"predicted dT: {result.delta_t_predicted_s / 60.0:.1f} min, "
+        f"actual remaining drive: {result.delta_t_actual_s / 60.0:.1f} min",
+        f"clips played: {len(result.played_clip_ids)}",
+        f"time-shift offset accumulated: {result.time_shift_offset_s / 60.0:.1f} min",
+        "",
+        "timeline:",
+    ] + [f"  {line}" for line in result.timeline]
+    path = write_result("fig4_timeline", lines)
+
+    benchmark.extra_info["clips_played"] = len(result.played_clip_ids)
+    benchmark.extra_info["time_shift_min"] = round(result.time_shift_offset_s / 60.0, 2)
+    benchmark.extra_info["results_file"] = path

@@ -1,0 +1,69 @@
+"""FIG-5 — control dashboard: map of the listener's movements (paper Figure 5).
+
+Times the dashboard's trajectory analytics (trip splitting, DBSCAN stay
+points, recurring-route clustering, movement summary) over a listener's full
+GPS history and regenerates the textual version of the map panel.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.client import ControlDashboard
+
+
+def test_fig5_trajectory_report(benchmark, bench_world):
+    server = bench_world.server
+    dashboard = ControlDashboard(server.users, server.content, editorial=server.editorial)
+    user_id = bench_world.commuters[0].user_id
+
+    report = benchmark(lambda: dashboard.trajectory_report(user_id))
+
+    # A week of commuting yields two major stay points (home, work) and
+    # recurring routes between them.
+    assert report.fix_count > 100
+    assert report.trip_count >= 6
+    assert len(report.stay_points) >= 2
+    assert report.recurring_routes >= 1
+    assert report.total_distance_km > 10.0
+    assert report.bounding_box is not None
+
+    rows = [
+        {
+            "stay_point": stay_point.stay_point_id,
+            "lat": round(stay_point.center.lat, 5),
+            "lon": round(stay_point.center.lon, 5),
+            "support": stay_point.support,
+        }
+        for stay_point in report.stay_points[:6]
+    ]
+    lines = [
+        "FIG-5: dashboard map of the listener's movements",
+        "",
+        f"listener: {user_id}",
+        f"GPS fixes: {report.fix_count}, trips: {report.trip_count}, "
+        f"distance: {report.total_distance_km:.1f} km, recurring routes: {report.recurring_routes}",
+        "",
+        "major stay points (density-based clustering):",
+    ] + format_table(rows)
+    path = write_result("fig5_dashboard_trajectories", lines)
+
+    benchmark.extra_info["trips"] = report.trip_count
+    benchmark.extra_info["stay_points"] = len(report.stay_points)
+    benchmark.extra_info["results_file"] = path
+
+
+def test_fig5_all_listeners_overview(benchmark, bench_world):
+    """The dashboard landing page counters over the whole population."""
+    server = bench_world.server
+    dashboard = ControlDashboard(server.users, server.content, editorial=server.editorial)
+
+    overview = benchmark(dashboard.overview)
+
+    assert overview["users"] == len(bench_world.commuters)
+    assert overview["tracked_users"] == len(bench_world.commuters)
+    assert overview["clips"] == bench_world.config.broadcaster.clips_per_day
+    write_result(
+        "fig5_dashboard_overview",
+        ["FIG-5: dashboard overview counters", ""] + [f"{k}: {v}" for k, v in overview.items()],
+    )

@@ -1,0 +1,70 @@
+"""Q-2 — network resource optimization of hybrid delivery.
+
+The paper claims hybrid content radio "supports network resource
+optimization, allowing effective use of the broadcast channel and the
+Internet".  The bench sweeps audience sizes and compares unicast bytes for
+pure streaming versus hybrid delivery.  Expected shape: pure streaming grows
+linearly with the audience while the hybrid unicast cost stays a small
+fraction of it, with savings growing with broadcast coverage and shrinking
+with the clip-replacement share.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.delivery import DeliveryCostModel
+
+AUDIENCES = [100, 1_000, 10_000, 100_000, 1_000_000]
+
+
+def test_q2_streaming_vs_hybrid(benchmark):
+    model = DeliveryCostModel(clip_replacement_share=0.2, broadcast_coverage=0.85)
+
+    reports = benchmark(lambda: model.sweep(AUDIENCES))
+
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "listeners": report.listeners,
+                "streaming_GB": round(report.pure_streaming_bytes / 1e9, 2),
+                "hybrid_GB": round(report.hybrid_unicast_bytes / 1e9, 2),
+                "broadcast_equiv_GB": round(report.broadcast_equivalent_bytes / 1e9, 2),
+                "saving": f"{report.savings_ratio:.0%}",
+            }
+        )
+
+    # Shape: linear growth for streaming, constant (large) relative saving for hybrid.
+    assert reports[-1].pure_streaming_bytes > 0
+    for report in reports[1:]:
+        assert report.savings_ratio > 0.5
+    ratio_small = reports[1].pure_streaming_bytes / reports[1].listeners
+    ratio_large = reports[-1].pure_streaming_bytes / reports[-1].listeners
+    assert abs(ratio_small - ratio_large) / ratio_large < 1e-6  # per-listener streaming cost constant
+
+    # Sensitivity series for coverage and clip share (the crossover behaviour).
+    coverage_rows = []
+    for coverage in (0.25, 0.5, 0.75, 0.9, 1.0):
+        report = DeliveryCostModel(clip_replacement_share=0.2, broadcast_coverage=coverage).report(100_000)
+        coverage_rows.append({"coverage": coverage, "saving": f"{report.savings_ratio:.0%}"})
+    share_rows = []
+    previous_saving = 1.0
+    for share in (0.05, 0.2, 0.4, 0.6, 0.8, 1.0):
+        report = DeliveryCostModel(clip_replacement_share=share, broadcast_coverage=1.0).report(100_000)
+        assert report.savings_ratio <= previous_saving + 1e-9
+        previous_saving = report.savings_ratio
+        share_rows.append({"clip_share": share, "saving": f"{report.savings_ratio:.0%}"})
+
+    lines = (
+        ["Q-2: unicast traffic, pure streaming vs hybrid content radio", ""]
+        + format_table(rows)
+        + ["", "saving vs broadcast coverage (100k listeners):"]
+        + format_table(coverage_rows)
+        + ["", "saving vs clip-replacement share (full coverage):"]
+        + format_table(share_rows)
+    )
+    path = write_result("q2_network_optimization", lines)
+
+    benchmark.extra_info["saving_at_100k"] = rows[3]["saving"]
+    benchmark.extra_info["results_file"] = path

@@ -1,0 +1,152 @@
+"""Q-3 — destination and travel-time (ΔT) prediction quality.
+
+The proactive behaviour hinges on predicting where the driver is going and
+how long the remaining drive will take.  The bench measures top-1
+destination accuracy and the ΔT relative error across the commuter
+population as a function of how much of the drive has been observed, and as
+a function of the amount of history available.  Expected shape: accuracy
+rises and error falls with more observation and more history.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.datasets import CommuterConfig, CommuterGenerator
+from repro.roadnet import CityGeneratorConfig, RoutePlanner, generate_city
+from repro.trajectory import (
+    DestinationPredictor,
+    Trajectory,
+    TravelTimePredictor,
+    cluster_trips,
+    split_into_trips,
+)
+from repro.trajectory.staypoints import nearest_stay_point, stay_points_from_trips
+from repro.util.timeutils import SECONDS_PER_DAY
+
+
+def evaluate_population(city, *, history_days, observe_fractions, commuters=10, seed=51):
+    """Destination accuracy and ΔT error per observation fraction."""
+    generator = CommuterGenerator(
+        city, CommuterConfig(seed=seed, commuters=commuters, history_days=history_days)
+    )
+    planner = RoutePlanner(city.network)
+    travel_time = TravelTimePredictor(planner)
+    results = {fraction: {"correct": 0, "total": 0, "errors": []} for fraction in observe_fractions}
+
+    for commuter in generator.generate_commuters():
+        fixes = generator.historical_fixes(commuter)
+        if len(fixes) < 10:
+            continue
+        trajectory = Trajectory.from_fixes(commuter.user_id, fixes)
+        trips = split_into_trips(trajectory)
+        if len(trips) < 2:
+            continue
+        stay_points = stay_points_from_trips(trips, eps_m=300.0)
+        if len(stay_points) < 2:
+            continue
+        clusters = cluster_trips(trips, stay_points)
+        if not clusters:
+            continue
+        predictor = DestinationPredictor(stay_points, clusters)
+        drive = generator.live_drive(commuter, day=history_days)
+        true_destination = drive.route.geometry.end
+        true_arrival = drive.arrival_s
+
+        for fraction in observe_fractions:
+            observe_until = drive.departure_s + fraction * drive.expected_duration_s
+            partial_fixes = drive.fixes(until_s=observe_until)
+            if len(partial_fixes) < 2:
+                continue
+            partial = Trajectory.from_fixes(commuter.user_id, partial_fixes)
+            try:
+                prediction = predictor.most_likely(partial)
+            except Exception:  # noqa: BLE001 - failed prediction counts as a miss
+                results[fraction]["total"] += 1
+                continue
+            results[fraction]["total"] += 1
+            if prediction.center.distance_m(true_destination) < 1000.0:
+                results[fraction]["correct"] += 1
+            origin_sp = nearest_stay_point(stay_points, partial.origin, max_distance_m=800.0)
+            cluster = None
+            if origin_sp is not None:
+                from repro.trajectory.clustering import find_cluster
+
+                cluster = find_cluster(clusters, origin_sp.stay_point_id, prediction.stay_point_id)
+            completed = None
+            if cluster is not None and cluster.median_length_m > 0:
+                completed = min(1.0, partial.length_m / cluster.median_length_m)
+            try:
+                estimate = travel_time.estimate(
+                    partial.destination,
+                    prediction.center,
+                    now_s=observe_until,
+                    cluster=cluster,
+                    fraction_completed=completed,
+                )
+            except Exception:  # noqa: BLE001
+                continue
+            actual_remaining = max(1.0, true_arrival - observe_until)
+            results[fraction]["errors"].append(
+                abs(estimate.expected_s - actual_remaining) / actual_remaining
+            )
+    return results
+
+
+def summarize(results):
+    rows = []
+    for fraction, data in sorted(results.items()):
+        total = max(1, data["total"])
+        errors = data["errors"] or [1.0]
+        rows.append(
+            {
+                "observed_fraction": fraction,
+                "destination_top1_acc": round(data["correct"] / total, 3),
+                "delta_t_median_rel_err": round(sorted(errors)[len(errors) // 2], 3),
+                "drives": data["total"],
+            }
+        )
+    return rows
+
+
+def test_q3_prediction_quality(benchmark):
+    city = generate_city(CityGeneratorConfig(grid_rows=12, grid_cols=12, poi_count=16, seed=61))
+
+    results = benchmark.pedantic(
+        evaluate_population,
+        args=(city,),
+        kwargs={"history_days": 8, "observe_fractions": (0.15, 0.3, 0.5)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = summarize(results)
+
+    # Shape: accuracy is already useful after a short observation and does
+    # not degrade as more of the drive is seen; ΔT error stays bounded.
+    accuracies = [row["destination_top1_acc"] for row in rows]
+    assert accuracies[0] >= 0.5
+    assert accuracies[-1] >= accuracies[0] - 0.1
+    assert all(row["delta_t_median_rel_err"] < 0.8 for row in rows)
+
+    # History ablation: more days of history should not hurt accuracy.
+    short_history = summarize(
+        evaluate_population(city, history_days=3, observe_fractions=(0.3,), seed=52)
+    )
+    long_history = summarize(
+        evaluate_population(city, history_days=10, observe_fractions=(0.3,), seed=52)
+    )
+    history_rows = [
+        {"history_days": 3, **{k: v for k, v in short_history[0].items() if k != "observed_fraction"}},
+        {"history_days": 10, **{k: v for k, v in long_history[0].items() if k != "observed_fraction"}},
+    ]
+    assert long_history[0]["destination_top1_acc"] >= short_history[0]["destination_top1_acc"] - 0.15
+
+    lines = (
+        ["Q-3: destination and travel-time prediction quality", "", "by observed fraction of the drive:"]
+        + format_table(rows)
+        + ["", "by amount of history (30% of the drive observed):"]
+        + format_table(history_rows)
+    )
+    path = write_result("q3_prediction", lines)
+    benchmark.extra_info["top1_at_30pct"] = rows[1]["destination_top1_acc"]
+    benchmark.extra_info["results_file"] = path

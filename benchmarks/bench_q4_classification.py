@@ -1,0 +1,99 @@
+"""Q-4 — 30-category Bayesian classification of (noisy) ASR transcripts.
+
+The clip data management component classifies speech content into the 30
+categories after automatic speech recognition.  The bench measures accuracy
+and macro-F1 of the from-scratch Naive Bayes classifier on clean text and on
+transcripts corrupted at increasing word error rates.  Expected shape: high
+accuracy on clean text, graceful degradation with WER, always far above the
+1/30 chance level for realistic recognizer error rates.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.asr import SimulatedTranscriber, SyntheticNewsCorpus
+from repro.textclass import NaiveBayesClassifier, evaluate_classifier
+
+WER_LEVELS = (0.0, 0.15, 0.3, 0.5, 0.7)
+
+
+def build_task(seed=71, documents_per_category=14):
+    corpus = SyntheticNewsCorpus(seed=seed)
+    # Short documents make the 30-way task realistically hard: a one-minute
+    # news item yields only a few tens of informative tokens after stopword
+    # removal.
+    train, test = corpus.train_test_split(documents_per_category=documents_per_category, word_count=60)
+    classifier = NaiveBayesClassifier().fit([d.text for d in train], [d.category for d in train])
+    # A realistic recognizer substitutes *real* words (often words that belong
+    # to other topics), so the confusion vocabulary is the corpus vocabulary.
+    confusion = []
+    for category in corpus.categories():
+        confusion.extend(corpus.model(category).topic_words[:10])
+    return corpus, classifier, test, confusion
+
+
+def evaluate_at_wer(classifier, test, wer, confusion):
+    if wer == 0.0:
+        texts = [d.text for d in test]
+    else:
+        transcriber = SimulatedTranscriber(
+            target_wer=wer, seed=int(wer * 100) + 1, confusion_vocabulary=confusion
+        )
+        texts = [transcriber.transcribe(d.text, clip_id=str(i)).text for i, d in enumerate(test)]
+    return evaluate_classifier(classifier, texts, [d.category for d in test])
+
+
+def test_q4_classification_vs_wer(benchmark):
+    _corpus, classifier, test, confusion = build_task()
+
+    def sweep():
+        return {wer: evaluate_at_wer(classifier, test, wer, confusion) for wer in WER_LEVELS}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "target_wer": wer,
+            "accuracy": round(report.accuracy, 3),
+            "macro_f1": round(report.macro_f1, 3),
+            "documents": report.total,
+        }
+        for wer, report in sorted(reports.items())
+    ]
+
+    # Shape claims.
+    clean = reports[0.0]
+    assert clean.accuracy > 0.9
+    accuracies = [reports[wer].accuracy for wer in WER_LEVELS]
+    # Accuracy is non-increasing with noise (small tolerance for sampling).
+    for earlier, later in zip(accuracies, accuracies[1:]):
+        assert later <= earlier + 0.05
+    # Heavy recognition noise visibly hurts, so the sweep is informative...
+    assert accuracies[-1] < accuracies[0]
+    # ...but even at 70% WER the classifier stays far above the 1/30 chance level.
+    assert reports[WER_LEVELS[-1]].accuracy > 5 * (1.0 / 30.0)
+
+    most_confused = clean.most_confused_pairs(3)
+    lines = (
+        ["Q-4: 30-category classification accuracy vs ASR word error rate", ""]
+        + format_table(rows)
+        + ["", "most confused category pairs on clean text:"]
+        + [f"  {truth} -> {predicted}: {count}" for (truth, predicted), count in most_confused]
+    )
+    path = write_result("q4_classification", lines)
+
+    benchmark.extra_info["clean_accuracy"] = round(clean.accuracy, 3)
+    benchmark.extra_info["accuracy_at_worst_wer"] = round(reports[WER_LEVELS[-1]].accuracy, 3)
+    benchmark.extra_info["results_file"] = path
+
+
+def test_q4_classifier_training_throughput(benchmark):
+    corpus = SyntheticNewsCorpus(seed=73)
+    train, _ = corpus.train_test_split(documents_per_category=10)
+    texts = [d.text for d in train]
+    labels = [d.category for d in train]
+
+    classifier = benchmark(lambda: NaiveBayesClassifier().fit(texts, labels))
+    assert classifier.is_trained
+    assert len(classifier.classes) == 30

@@ -1,0 +1,45 @@
+"""SC-1 — demonstration scenario §2.1.1: manual program change (Greg).
+
+Greg skips the live programme he dislikes and surfs the suggestion list
+until he reaches content matching his tastes, without changing channel.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.simulation import run_manual_skip_scenario
+
+
+def test_sc1_manual_program_change(benchmark, bench_world):
+    user_id = bench_world.commuters[2].user_id
+
+    result = benchmark.pedantic(
+        run_manual_skip_scenario, args=(bench_world,), kwargs={"user_id": user_id}, rounds=3, iterations=1
+    )
+
+    # The paper's narrative: a couple of skips, then a favourite programme.
+    assert len(result.skipped_programme_ids) == 2
+    assert result.final_clip is not None
+    assert result.final_clip_matches_taste
+    assert not result.channel_changed
+    # The suggestion surfing stayed short (Greg reached it "after two skips").
+    assert len(result.played_clip_ids) <= 5
+
+    commuter = bench_world.commuter(user_id)
+    lines = [
+        "SC-1: manual program change",
+        "",
+        f"listener: {user_id}",
+        f"preferred categories: {', '.join(commuter.preferred_categories)}",
+        f"live programmes skipped: {len(result.skipped_programme_ids)}",
+        f"suggestions surfed before a match: {len(result.played_clip_ids)}",
+        f"final clip: {result.final_clip.title} [{result.final_clip.primary_category}]",
+        f"changed channel: {result.channel_changed}",
+        "",
+        "playback timeline:",
+    ] + [f"  {line}" for line in result.timeline]
+    path = write_result("sc1_manual_skip", lines)
+
+    benchmark.extra_info["suggestions_surfed"] = len(result.played_clip_ids)
+    benchmark.extra_info["results_file"] = path

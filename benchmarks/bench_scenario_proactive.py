@@ -1,0 +1,58 @@
+"""SC-2 — demonstration scenario §2.1.2: contextual proactive recommendation.
+
+Lilly's drive triggers a proactive recommendation with no explicit action on
+her side; the content fits the predicted available time and she listens
+without skipping.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.simulation import run_proactive_commute_scenario
+
+
+def test_sc2_contextual_proactive_recommendation(benchmark, bench_world):
+    def first_triggering():
+        for commuter in bench_world.commuters:
+            result = run_proactive_commute_scenario(bench_world, user_id=commuter.user_id)
+            if result.decision.should_recommend:
+                return result
+        raise AssertionError("proactive recommendation never triggered")
+
+    result = benchmark.pedantic(first_triggering, rounds=3, iterations=1)
+
+    # Proactivity: a plan was produced from context alone.
+    assert result.decision.should_recommend
+    assert result.played_clip_ids
+    assert result.listened_without_skips
+    # The scheduled audio fits the predicted ΔT.
+    assert result.plan.total_scheduled_s <= result.plan.available_s + 1e-6
+    # ΔT prediction is within a factor ~2 of the realized remaining drive.
+    ratio = result.delta_t_predicted_s / max(60.0, result.delta_t_actual_s)
+    assert 0.3 < ratio < 3.0
+
+    rows = [
+        {
+            "clip": item.scored.clip.title,
+            "minutes": round(item.scored.clip.duration_s / 60.0, 1),
+            "content": round(item.scored.content_score, 2),
+            "context": round(item.scored.context_score, 2),
+            "compound": round(item.scored.compound_score, 2),
+            "reason": item.reason,
+        }
+        for item in result.plan.items
+    ]
+    lines = [
+        "SC-2: contextual proactive recommendation",
+        "",
+        f"listener: {result.user_id}",
+        f"trigger: {result.decision.reason}",
+        f"predicted dT: {result.delta_t_predicted_s / 60.0:.1f} min "
+        f"(actual {result.delta_t_actual_s / 60.0:.1f} min)",
+        "",
+    ] + format_table(rows) + ["", "timeline:"] + [f"  {line}" for line in result.timeline]
+    path = write_result("sc2_proactive", lines)
+
+    benchmark.extra_info["delta_t_ratio"] = round(ratio, 2)
+    benchmark.extra_info["results_file"] = path

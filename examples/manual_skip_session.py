@@ -1,0 +1,57 @@
+"""The paper's §2.1.1 scenario: Greg's manual program change.
+
+Greg is listening to his favourite station but dislikes the current
+programme.  Instead of zapping to another channel he skips the live
+programme; the app replaces it with content-based recommendations and after
+a couple of skips he lands on content matching his tastes.
+
+Run with ``python examples/manual_skip_session.py``.
+"""
+
+from __future__ import annotations
+
+from repro import WorldConfig, build_world, run_manual_skip_scenario
+from repro.client import ControlDashboard
+from repro.datasets import BroadcasterConfig, CommuterConfig
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(
+            seed=41,
+            broadcaster=BroadcasterConfig(clips_per_day=120),
+            commuters=CommuterConfig(commuters=6, history_days=6),
+        )
+    )
+    commuter = world.commuters[0]
+    print(f"listener: {commuter.user_id}")
+    print(f"preferred categories: {', '.join(commuter.preferred_categories)}")
+    print(f"disliked categories:  {', '.join(commuter.disliked_categories)}")
+
+    result = run_manual_skip_scenario(world, user_id=commuter.user_id)
+
+    print(f"\nskipped live programmes: {len(result.skipped_programme_ids)}")
+    for programme_id in result.skipped_programme_ids:
+        programme = world.server.content.programme(programme_id)
+        print(f"  skipped: {programme.title} ({', '.join(programme.categories)})")
+
+    print(f"\nsuggestions surfed: {len(result.played_clip_ids)}")
+    if result.final_clip is not None:
+        print(f"finally playing: {result.final_clip.title} "
+              f"[{result.final_clip.primary_category}] "
+              f"(matches taste: {result.final_clip_matches_taste})")
+    print(f"changed channel: {result.channel_changed}")
+
+    print("\nplayback timeline:")
+    for line in result.timeline:
+        print(f"  {line}")
+
+    # What the control dashboard now knows about Greg's preferences.
+    dashboard = ControlDashboard(world.server.users, world.server.content)
+    print()
+    for line in dashboard.preference_report(commuter.user_id):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Network resource optimization study (the hybrid-delivery claim).
+
+Compares the unicast bytes a broadcaster must serve when every listener
+streams over IP versus when hybrid content radio delivers the linear share
+over the broadcast channel and only the personalized clips over IP, across
+audience sizes and clip-replacement shares.
+
+Run with ``python examples/network_optimization_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro.delivery import DeliveryCostModel
+
+
+def gigabytes(value: int) -> float:
+    return value / 1e9
+
+
+def main() -> None:
+    audiences = [1_000, 10_000, 100_000, 1_000_000]
+
+    print("=== unicast traffic vs audience size (clip share 20%, coverage 85%) ===")
+    model = DeliveryCostModel(clip_replacement_share=0.2, broadcast_coverage=0.85)
+    print(f"{'listeners':>12s} {'streaming GB':>14s} {'hybrid GB':>12s} {'saved GB':>10s} {'saving':>8s}")
+    for report in model.sweep(audiences):
+        print(
+            f"{report.listeners:>12,d} {gigabytes(report.pure_streaming_bytes):>14.1f} "
+            f"{gigabytes(report.hybrid_unicast_bytes):>12.1f} "
+            f"{gigabytes(report.savings_bytes):>10.1f} {report.savings_ratio:>7.0%}"
+        )
+
+    print("\n=== effect of the personalization (clip replacement) share, 100k listeners ===")
+    print(f"{'clip share':>11s} {'hybrid GB':>12s} {'saving':>8s}")
+    for share in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8):
+        report = DeliveryCostModel(clip_replacement_share=share, broadcast_coverage=0.85).report(100_000)
+        print(f"{share:>11.0%} {gigabytes(report.hybrid_unicast_bytes):>12.1f} {report.savings_ratio:>7.0%}")
+
+    print("\n=== effect of broadcast coverage, 100k listeners, clip share 20% ===")
+    print(f"{'coverage':>9s} {'hybrid GB':>12s} {'saving':>8s}")
+    for coverage in (0.25, 0.5, 0.75, 0.9, 1.0):
+        report = DeliveryCostModel(clip_replacement_share=0.2, broadcast_coverage=coverage).report(100_000)
+        print(f"{coverage:>9.0%} {gigabytes(report.hybrid_unicast_bytes):>12.1f} {report.savings_ratio:>7.0%}")
+
+
+if __name__ == "__main__":
+    main()

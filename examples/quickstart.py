@@ -1,0 +1,59 @@
+"""Quickstart: build a synthetic world and ask for proactive recommendations.
+
+This is the smallest end-to-end use of the library:
+
+1. build a synthetic world (city + broadcaster + commuters + history);
+2. simulate the first minutes of a listener's morning commute;
+3. run the proactive recommender and print the plan it produces.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import WorldConfig, build_world
+from repro.datasets import BroadcasterConfig, CommuterConfig
+from repro.roadnet import CityGeneratorConfig
+from repro.util.timeutils import format_clock
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(
+            seed=7,
+            city=CityGeneratorConfig(grid_rows=10, grid_cols=10, poi_count=16),
+            broadcaster=BroadcasterConfig(clips_per_day=100),
+            commuters=CommuterConfig(commuters=6, history_days=7),
+        )
+    )
+    server = world.server
+    print(f"world ready: {server.content.clip_count()} clips, "
+          f"{server.users.user_count()} listeners, "
+          f"{len(server.content.services())} live services")
+
+    # Pick a commuter and observe the first few minutes of today's drive
+    # (never more than a third of it, or nothing is left to personalize).
+    commuter = world.commuters[0]
+    drive = world.commuter_generator.live_drive(commuter, day=world.today)
+    observe_s = max(90.0, min(240.0, 0.3 * drive.expected_duration_s))
+    server.users.ingest_fixes(drive.fixes(until_s=drive.departure_s + observe_s), skip_stale=True)
+
+    decision = server.recommend(
+        commuter.user_id, now_s=drive.departure_s + observe_s, drive_elapsed_s=observe_s
+    )
+    print(f"\nproactive decision for {commuter.user_id}: "
+          f"{'RECOMMEND' if decision.should_recommend else 'WAIT'} ({decision.reason})")
+
+    if decision.plan is not None:
+        plan = decision.plan
+        print(f"available time: {plan.available_s / 60.0:.1f} min, "
+              f"scheduled {plan.total_scheduled_s / 60.0:.1f} min "
+              f"across {len(plan.items)} clips "
+              f"(objective value {plan.objective_value:.2f})")
+        for item in plan.items:
+            print(f"  {format_clock(item.start_s)}  {item.scored.clip.title:40s} "
+                  f"score={item.scored.final_score:.2f}  ({item.reason})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` code path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,176 @@
+"""Synthetic news corpus generation.
+
+Builds a vocabulary and per-category unigram language models so that
+documents drawn from different categories are statistically separable (the
+property the paper's Bayesian classifier relies on) while sharing a large
+amount of common vocabulary (the property that makes the task non-trivial).
+
+Each of the 30 categories gets a set of *topic words* it strongly prefers; a
+shared pool of *common words* (function words, general news vocabulary) is
+mixed in at a configurable rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.content.categories import CATEGORIES, category_names
+from repro.errors import ValidationError
+from repro.util.rng import DeterministicRng
+
+_SYLLABLES = (
+    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu",
+    "da", "de", "di", "do", "du", "fa", "fe", "fi", "fo", "fu",
+    "ga", "ge", "gi", "go", "gu", "la", "le", "li", "lo", "lu",
+    "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+    "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
+    "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+    "va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu",
+)
+
+#: Words every document can contain regardless of category (stopword-like).
+_COMMON_WORD_COUNT = 120
+
+
+def _make_word(rng: DeterministicRng, syllables: int) -> str:
+    return "".join(rng.choice(_SYLLABLES) for _ in range(syllables))
+
+
+@dataclass(frozen=True)
+class LabeledDocument:
+    """A ground-truth text with its category label."""
+
+    text: str
+    category: str
+    word_count: int
+
+
+class CategoryLanguageModel:
+    """Unigram language model for one category."""
+
+    def __init__(self, category: str, topic_words: Sequence[str], common_words: Sequence[str],
+                 topic_share: float) -> None:
+        if not topic_words or not common_words:
+            raise ValidationError("language model needs topic and common words")
+        if not 0.0 < topic_share < 1.0:
+            raise ValidationError(f"topic_share must be in (0, 1), got {topic_share}")
+        self.category = category
+        self._topic_words = list(topic_words)
+        self._common_words = list(common_words)
+        self._topic_share = topic_share
+
+    @property
+    def topic_words(self) -> List[str]:
+        """Words characteristic of this category."""
+        return list(self._topic_words)
+
+    def sample_document(self, rng: DeterministicRng, word_count: int) -> str:
+        """Draw a document of ``word_count`` words."""
+        if word_count <= 0:
+            raise ValidationError(f"word_count must be > 0, got {word_count}")
+        words: List[str] = []
+        for _ in range(word_count):
+            if rng.bernoulli(self._topic_share):
+                words.append(rng.choice(self._topic_words))
+            else:
+                words.append(rng.choice(self._common_words))
+        return " ".join(words)
+
+
+class SyntheticNewsCorpus:
+    """Factory of labeled documents over the 30-category taxonomy."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 11,
+        topic_words_per_category: int = 40,
+        topic_share: float = 0.45,
+    ) -> None:
+        if topic_words_per_category < 5:
+            raise ValidationError("topic_words_per_category must be >= 5")
+        self._rng = DeterministicRng(seed)
+        vocab_rng = self._rng.fork("vocabulary")
+        self._common_words = [
+            _make_word(vocab_rng, vocab_rng.randint(1, 2)) for _ in range(_COMMON_WORD_COUNT)
+        ]
+        self._models: Dict[str, CategoryLanguageModel] = {}
+        used: set = set(self._common_words)
+        for category in CATEGORIES:
+            topic_words: List[str] = []
+            while len(topic_words) < topic_words_per_category:
+                word = _make_word(vocab_rng, vocab_rng.randint(2, 4))
+                if word not in used:
+                    used.add(word)
+                    topic_words.append(word)
+            self._models[category.name] = CategoryLanguageModel(
+                category.name, topic_words, self._common_words, topic_share
+            )
+
+    def categories(self) -> List[str]:
+        """All category names the corpus can generate."""
+        return category_names()
+
+    def model(self, category: str) -> CategoryLanguageModel:
+        """The language model of a category."""
+        if category not in self._models:
+            raise ValidationError(f"unknown category {category!r}")
+        return self._models[category]
+
+    def generate_document(
+        self, category: str, *, word_count: int = 120, rng: DeterministicRng = None
+    ) -> LabeledDocument:
+        """Generate one labeled document."""
+        generator = rng if rng is not None else self._rng.fork("doc", category)
+        text = self.model(category).sample_document(generator, word_count)
+        return LabeledDocument(text=text, category=category, word_count=word_count)
+
+    def generate_dataset(
+        self,
+        *,
+        documents_per_category: int = 20,
+        word_count: int = 120,
+    ) -> List[LabeledDocument]:
+        """Generate a balanced labeled dataset over all 30 categories."""
+        if documents_per_category <= 0:
+            raise ValidationError("documents_per_category must be > 0")
+        dataset: List[LabeledDocument] = []
+        for category in self.categories():
+            for index in range(documents_per_category):
+                rng = self._rng.fork("dataset", category, index)
+                dataset.append(
+                    self.generate_document(category, word_count=word_count, rng=rng)
+                )
+        return dataset
+
+    def train_test_split(
+        self,
+        *,
+        documents_per_category: int = 20,
+        test_fraction: float = 0.25,
+        word_count: int = 120,
+    ) -> Tuple[List[LabeledDocument], List[LabeledDocument]]:
+        """Generate a dataset and split it per category into train and test."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValidationError("test_fraction must be in (0, 1)")
+        train: List[LabeledDocument] = []
+        test: List[LabeledDocument] = []
+        per_category_test = max(1, int(round(documents_per_category * test_fraction)))
+        for category in self.categories():
+            documents = [
+                self.generate_document(
+                    category, word_count=word_count, rng=self._rng.fork("split", category, i)
+                )
+                for i in range(documents_per_category)
+            ]
+            test.extend(documents[:per_category_test])
+            train.extend(documents[per_category_test:])
+        return train, test
+
+    def vocabulary_size(self) -> int:
+        """Approximate number of distinct words the corpus can emit."""
+        distinct = set(self._common_words)
+        for model in self._models.values():
+            distinct.update(model.topic_words)
+        return len(distinct)

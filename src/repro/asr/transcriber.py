@@ -1,0 +1,110 @@
+"""The simulated speech recognizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class TranscriptionResult:
+    """Output of the simulated recognizer for one clip."""
+
+    text: str
+    reference: str
+    substitutions: int
+    deletions: int
+    insertions: int
+    confidence: float
+
+    @property
+    def error_count(self) -> int:
+        """Total number of injected errors."""
+        return self.substitutions + self.deletions + self.insertions
+
+
+class SimulatedTranscriber:
+    """Corrupts ground-truth text with a word-level error model.
+
+    The three error types are applied independently per word with
+    probabilities derived from the target word error rate: 70% of errors are
+    substitutions, 20% deletions and 10% insertions, which roughly matches
+    the error profile of a production large-vocabulary recognizer on
+    broadcast news.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_wer: float = 0.15,
+        seed: int = 23,
+        confusion_vocabulary: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not 0.0 <= target_wer < 1.0:
+            raise ValidationError(f"target_wer must be in [0, 1), got {target_wer}")
+        self._target_wer = target_wer
+        self._rng = DeterministicRng(seed)
+        self._confusion_vocabulary = list(confusion_vocabulary or [])
+        self._substitution_p = target_wer * 0.7
+        self._deletion_p = target_wer * 0.2
+        self._insertion_p = target_wer * 0.1
+
+    @property
+    def target_wer(self) -> float:
+        """The configured target word error rate."""
+        return self._target_wer
+
+    def transcribe(self, reference: str, *, clip_id: str = "") -> TranscriptionResult:
+        """Produce a noisy transcript of ``reference``."""
+        words = reference.split()
+        if not words:
+            raise ValidationError("cannot transcribe empty text")
+        rng = self._rng.fork(clip_id) if clip_id else self._rng
+        output: List[str] = []
+        substitutions = deletions = insertions = 0
+        for word in words:
+            roll = rng.random()
+            if roll < self._deletion_p:
+                deletions += 1
+                continue
+            if roll < self._deletion_p + self._substitution_p:
+                output.append(self._corrupt_word(word, rng))
+                substitutions += 1
+            else:
+                output.append(word)
+            if rng.bernoulli(self._insertion_p):
+                output.append(self._random_word(rng, like=word))
+                insertions += 1
+        if not output:
+            # Never return an empty transcript: keep the first word.
+            output.append(words[0])
+            deletions = max(0, deletions - 1)
+        error_count = substitutions + deletions + insertions
+        confidence = max(0.0, 1.0 - error_count / len(words))
+        return TranscriptionResult(
+            text=" ".join(output),
+            reference=reference,
+            substitutions=substitutions,
+            deletions=deletions,
+            insertions=insertions,
+            confidence=confidence,
+        )
+
+    def _corrupt_word(self, word: str, rng: DeterministicRng) -> str:
+        if self._confusion_vocabulary and rng.bernoulli(0.5):
+            return rng.choice(self._confusion_vocabulary)
+        if len(word) <= 2:
+            return word[::-1] if len(word) == 2 else word + "o"
+        position = rng.randint(0, len(word) - 2)
+        # Swap two adjacent characters: a plausible recognizer confusion.
+        chars = list(word)
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        return "".join(chars)
+
+    def _random_word(self, rng: DeterministicRng, *, like: str) -> str:
+        if self._confusion_vocabulary:
+            return rng.choice(self._confusion_vocabulary)
+        return like[: max(1, len(like) // 2)]

@@ -1,0 +1,37 @@
+"""Word error rate computation (Levenshtein distance over word sequences)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ValidationError
+
+
+def _edit_distance(reference: Sequence[str], hypothesis: Sequence[str]) -> int:
+    """Word-level Levenshtein distance."""
+    rows = len(reference) + 1
+    cols = len(hypothesis) + 1
+    previous = list(range(cols))
+    for i in range(1, rows):
+        current = [i] + [0] * (cols - 1)
+        for j in range(1, cols):
+            substitution_cost = 0 if reference[i - 1] == hypothesis[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,            # deletion
+                current[j - 1] + 1,         # insertion
+                previous[j - 1] + substitution_cost,
+            )
+        previous = current
+    return previous[-1]
+
+
+def word_error_rate(reference: str, hypothesis: str) -> float:
+    """WER = edit distance / reference length.
+
+    Raises if the reference is empty (WER is undefined there).
+    """
+    reference_words: List[str] = reference.split()
+    hypothesis_words: List[str] = hypothesis.split()
+    if not reference_words:
+        raise ValidationError("word_error_rate requires a non-empty reference")
+    return _edit_distance(reference_words, hypothesis_words) / len(reference_words)

@@ -1,0 +1,24 @@
+"""Client side: the simulated PPHCR app, editorial injection, the dashboard.
+
+The Android app of the paper is replaced by a deterministic client model
+that produces the same observable behaviour: it plays the hybrid timeline,
+sends implicit (listen pings, skips) and explicit (like/dislike) feedback,
+and reports GPS fixes.  The web control dashboard is reproduced as report
+builders that render the same information as Figures 5 and 6 in text form.
+"""
+
+from repro.client.app import ClientApp
+from repro.client.editorial import EditorialDesk, EditorialInjection
+from repro.client.events import ClientEvent, ClientEventKind
+from repro.client.dashboard import ControlDashboard, TrajectoryReport, RecommendationReport
+
+__all__ = [
+    "ClientApp",
+    "ClientEvent",
+    "ClientEventKind",
+    "ControlDashboard",
+    "EditorialDesk",
+    "EditorialInjection",
+    "RecommendationReport",
+    "TrajectoryReport",
+]

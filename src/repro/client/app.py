@@ -1,0 +1,218 @@
+"""The simulated PPHCR client app.
+
+Wraps a :class:`~repro.delivery.player.HybridPlayer` and converts listener
+actions into the event stream and feedback the server expects: tune, listen
+pings every ``ping_interval_s`` of playback, skip, like/dislike, channel
+change, GPS fixes, clip start/completion.  The app is what the scenario
+simulations and the example scripts drive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.content.model import AudioClip
+from repro.content.schedule import LinearSchedule
+from repro.client.events import ClientEvent, ClientEventKind, make_event
+from repro.delivery.player import HybridPlayer, PlaybackSegment
+from repro.errors import DeliveryError
+from repro.geo import GeoPoint
+from repro.spatialdb import GpsFix
+from repro.users.feedback import FeedbackKind
+from repro.users.management import UserManager
+
+
+class ClientApp:
+    """A deterministic model of the Android client app."""
+
+    def __init__(
+        self,
+        user_id: str,
+        users: UserManager,
+        *,
+        ping_interval_s: float = 60.0,
+        buffer_capacity_s: float = 3600.0,
+    ) -> None:
+        if ping_interval_s <= 0:
+            raise DeliveryError("ping_interval_s must be > 0")
+        self._user_id = user_id
+        self._users = users
+        self._player = HybridPlayer(user_id, buffer_capacity_s=buffer_capacity_s)
+        self._ping_interval_s = ping_interval_s
+        self._events: List[ClientEvent] = []
+        self._current_clip: Optional[AudioClip] = None
+
+    # Accessors ------------------------------------------------------------
+
+    @property
+    def user_id(self) -> str:
+        """The listener using this app."""
+        return self._user_id
+
+    @property
+    def player(self) -> HybridPlayer:
+        """The underlying playback model."""
+        return self._player
+
+    def events(self) -> List[ClientEvent]:
+        """All events the app has sent to the server."""
+        return list(self._events)
+
+    def timeline(self) -> List[str]:
+        """The playback timeline so far."""
+        return self._player.timeline()
+
+    # Actions ----------------------------------------------------------------
+
+    def tune(self, service_id: str, schedule: LinearSchedule, *, at_s: float) -> ClientEvent:
+        """Tune to a live service."""
+        self._player.tune(service_id, schedule, at_s=at_s)
+        event = make_event(
+            ClientEventKind.TUNE, self._user_id, at_s, service_id=service_id
+        )
+        self._events.append(event)
+        return event
+
+    def listen_live(self, duration_s: float) -> PlaybackSegment:
+        """Listen to the tuned service, emitting periodic positive pings."""
+        segment = self._player.play_live(duration_s)
+        self._emit_listen_pings(segment, content_id=segment.programme_id, is_clip=False)
+        return segment
+
+    def play_recommended_clip(self, clip: AudioClip) -> PlaybackSegment:
+        """Play a recommended clip, reporting start, pings and completion."""
+        start_event = make_event(
+            ClientEventKind.CLIP_STARTED,
+            self._user_id,
+            self._player.current_time_s,
+            content_id=clip.clip_id,
+        )
+        self._events.append(start_event)
+        self._current_clip = clip
+        segment = self._player.play_clip(clip)
+        self._emit_listen_pings(segment, content_id=clip.clip_id, is_clip=True)
+        completion = make_event(
+            ClientEventKind.CLIP_COMPLETED,
+            self._user_id,
+            segment.window.end_s,
+            content_id=clip.clip_id,
+        )
+        self._events.append(completion)
+        self._users.record_feedback(
+            self._user_id,
+            clip.clip_id,
+            FeedbackKind.COMPLETED,
+            timestamp_s=segment.window.end_s,
+            listened_s=segment.duration_s,
+        )
+        self._current_clip = None
+        return segment
+
+    def skip(self, *, content_id: Optional[str] = None, listened_s: float = 0.0) -> ClientEvent:
+        """Skip the currently playing content (implicit negative feedback)."""
+        now = self._player.current_time_s
+        if now is None:
+            raise DeliveryError("cannot skip before tuning")
+        target = content_id
+        if target is None and self._current_clip is not None:
+            target = self._current_clip.clip_id
+        if target is None:
+            skipped = self._player.skip_current_programme()
+            broadcast_now = now - self._player.playback_offset_s
+            programme = None
+            if skipped is not None:
+                # Identify what was skipped for the feedback record.
+                schedule = self._player._schedule  # noqa: SLF001 - internal read
+                current = schedule.programme_at(broadcast_now) if schedule else None
+                programme = current.programme_id if current else None
+            target = programme or "unknown-programme"
+            is_clip = False
+        else:
+            is_clip = True
+        event = make_event(ClientEventKind.SKIP, self._user_id, now, content_id=target)
+        self._events.append(event)
+        self._users.record_feedback(
+            self._user_id,
+            target,
+            FeedbackKind.SKIP,
+            timestamp_s=now,
+            listened_s=listened_s,
+            is_clip=is_clip,
+        )
+        return event
+
+    def like(self, content_id: str) -> ClientEvent:
+        """Explicit positive feedback."""
+        return self._explicit(content_id, ClientEventKind.LIKE, FeedbackKind.LIKE)
+
+    def dislike(self, content_id: str) -> ClientEvent:
+        """Explicit negative feedback."""
+        return self._explicit(content_id, ClientEventKind.DISLIKE, FeedbackKind.DISLIKE)
+
+    def change_channel(self, new_service_id: str, schedule: LinearSchedule) -> ClientEvent:
+        """Zap to another service (strong implicit negative feedback)."""
+        now = self._player.current_time_s
+        if now is None:
+            raise DeliveryError("cannot change channel before tuning")
+        broadcast_now = now - self._player.playback_offset_s
+        old_schedule = self._player._schedule  # noqa: SLF001 - internal read
+        current = old_schedule.programme_at(broadcast_now) if old_schedule else None
+        if current is not None:
+            self._users.record_feedback(
+                self._user_id,
+                current.programme_id,
+                FeedbackKind.CHANNEL_CHANGE,
+                timestamp_s=now,
+                is_clip=False,
+            )
+        event = make_event(
+            ClientEventKind.CHANNEL_CHANGE, self._user_id, now, service_id=new_service_id
+        )
+        self._events.append(event)
+        self._player.tune(new_service_id, schedule, at_s=now)
+        return event
+
+    def report_position(self, position: GeoPoint, *, timestamp_s: float, speed_mps: float = 0.0) -> ClientEvent:
+        """Send a GPS fix to the server."""
+        self._users.ingest_fix(
+            GpsFix(self._user_id, timestamp_s, position, speed_mps=speed_mps)
+        )
+        event = make_event(
+            ClientEventKind.GPS_FIX,
+            self._user_id,
+            timestamp_s,
+            position=position,
+            speed_mps=speed_mps,
+        )
+        self._events.append(event)
+        return event
+
+    # Internal -------------------------------------------------------------
+
+    def _explicit(self, content_id: str, event_kind: ClientEventKind, feedback: FeedbackKind) -> ClientEvent:
+        now = self._player.current_time_s
+        if now is None:
+            raise DeliveryError("cannot rate content before tuning")
+        event = make_event(event_kind, self._user_id, now, content_id=content_id)
+        self._events.append(event)
+        self._users.record_feedback(self._user_id, content_id, feedback, timestamp_s=now)
+        return event
+
+    def _emit_listen_pings(self, segment: PlaybackSegment, *, content_id: Optional[str], is_clip: bool) -> None:
+        if content_id is None:
+            return
+        instant = segment.window.start_s + self._ping_interval_s
+        while instant <= segment.window.end_s:
+            event = make_event(
+                ClientEventKind.LISTEN_PING, self._user_id, instant, content_id=content_id
+            )
+            self._events.append(event)
+            self._users.record_feedback(
+                self._user_id,
+                content_id,
+                FeedbackKind.LISTEN_PING,
+                timestamp_s=instant,
+                listened_s=instant - segment.window.start_s,
+                is_clip=is_clip,
+            )
+            instant += self._ping_interval_s

@@ -1,0 +1,175 @@
+"""The web control dashboard, reproduced as report builders.
+
+During the demonstration the dashboard "visualizes the user's past
+trajectories, content preference, and the details of the recommendation
+process" (Figure 5) and "allows manual injection of recommendations"
+(Figure 6).  The reproduction renders the same information as structured
+report objects plus plain-text views the benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.client.editorial import EditorialDesk
+from repro.content.repository import ContentRepository
+from repro.errors import NotFoundError
+from repro.geo import BoundingBox
+from repro.recommender.scheduling import RecommendationPlan
+from repro.spatialdb import SpatialQueryEngine
+from repro.trajectory import (
+    Trajectory,
+    cluster_trips,
+    detect_stay_points,
+    split_into_trips,
+)
+from repro.trajectory.staypoints import StayPoint
+from repro.users.management import UserManager
+from repro.util.timeutils import format_clock
+
+
+@dataclass(frozen=True)
+class TrajectoryReport:
+    """What the dashboard map (Figure 5) shows for one listener."""
+
+    user_id: str
+    fix_count: int
+    trip_count: int
+    stay_points: List[StayPoint]
+    bounding_box: Optional[BoundingBox]
+    total_distance_km: float
+    recurring_routes: int
+
+    def summary_lines(self) -> List[str]:
+        """Plain-text rendering of the map summary."""
+        lines = [
+            f"listener {self.user_id}: {self.fix_count} GPS fixes, "
+            f"{self.trip_count} trips, {self.total_distance_km:.1f} km travelled",
+            f"  recurring routes: {self.recurring_routes}",
+        ]
+        for stay_point in self.stay_points[:5]:
+            lines.append(
+                f"  stay point #{stay_point.stay_point_id} at {stay_point.center} "
+                f"(support {stay_point.support})"
+            )
+        return lines
+
+
+@dataclass(frozen=True)
+class RecommendationReport:
+    """What the dashboard recommendation panel (Figure 6) shows."""
+
+    user_id: str
+    generated_s: float
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def summary_lines(self) -> List[str]:
+        """Plain-text rendering of the recommendation list."""
+        lines = [f"recommendations for {self.user_id} at {format_clock(self.generated_s)}:"]
+        for row in self.rows:
+            lines.append(
+                f"  [{row['rank']}] {row['title']} "
+                f"(score {row['score']:.2f}, {row['duration_s']:.0f}s, {row['reason']})"
+            )
+        return lines
+
+
+class ControlDashboard:
+    """Read-only analytics over the server state, plus editorial controls."""
+
+    def __init__(
+        self,
+        users: UserManager,
+        content: ContentRepository,
+        *,
+        editorial: Optional[EditorialDesk] = None,
+    ) -> None:
+        self._users = users
+        self._content = content
+        self._editorial = editorial or EditorialDesk()
+        self._plans: Dict[str, List[RecommendationPlan]] = {}
+
+    @property
+    def editorial(self) -> EditorialDesk:
+        """The editorial injection desk."""
+        return self._editorial
+
+    def record_plan(self, plan: RecommendationPlan) -> None:
+        """Store a produced recommendation plan for later inspection."""
+        self._plans.setdefault(plan.user_id, []).append(plan)
+
+    def plans_for(self, user_id: str) -> List[RecommendationPlan]:
+        """Every stored plan for a user."""
+        return list(self._plans.get(user_id, []))
+
+    def trajectory_report(self, user_id: str) -> TrajectoryReport:
+        """Build the Figure-5 style movement report for one listener."""
+        tracking = self._users.tracking
+        fixes = tracking.fixes_for(user_id)
+        if not fixes:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        trajectory = Trajectory.from_fixes(user_id, fixes)
+        trips = split_into_trips(trajectory)
+        endpoints = []
+        for trip in trips:
+            endpoints.append(trip.origin)
+            endpoints.append(trip.destination)
+        stay_points = (
+            detect_stay_points(endpoints, eps_m=250.0, min_samples=2) if endpoints else []
+        )
+        clusters = cluster_trips(trips, stay_points) if stay_points else []
+        engine = SpatialQueryEngine(tracking)
+        summary = engine.movement_summary(user_id)
+        return TrajectoryReport(
+            user_id=user_id,
+            fix_count=len(fixes),
+            trip_count=len(trips),
+            stay_points=stay_points,
+            bounding_box=summary.bounding_box,
+            total_distance_km=summary.distance_m / 1000.0,
+            recurring_routes=sum(1 for cluster in clusters if cluster.support >= 2),
+        )
+
+    def recommendation_report(self, user_id: str) -> RecommendationReport:
+        """Build the Figure-6 style recommendation list for one listener."""
+        plans = self._plans.get(user_id, [])
+        if not plans:
+            raise NotFoundError(f"no recommendation plan recorded for user {user_id!r}")
+        plan = plans[-1]
+        rows: List[Dict[str, object]] = []
+        for rank, item in enumerate(plan.items, start=1):
+            rows.append(
+                {
+                    "rank": rank,
+                    "clip_id": item.clip_id,
+                    "title": item.scored.clip.title,
+                    "score": item.scored.final_score,
+                    "duration_s": item.scored.clip.duration_s,
+                    "reason": item.reason,
+                    "start": format_clock(item.start_s),
+                }
+            )
+        return RecommendationReport(user_id=user_id, generated_s=plan.created_s, rows=rows)
+
+    def preference_report(self, user_id: str) -> List[str]:
+        """Plain-text view of a listener's learned content preferences."""
+        profile = self._users.preference_profile(user_id)
+        lines = [f"content preferences for {user_id} ({profile.observation_count} observations):"]
+        for name, score in profile.top_categories(8):
+            lines.append(f"  + {name}: {score:+.2f}")
+        for name in profile.disliked_categories()[:5]:
+            lines.append(f"  - {name}: {profile.score(name):+.2f}")
+        return lines
+
+    def overview(self) -> Dict[str, int]:
+        """System-wide counters shown on the dashboard landing page."""
+        return {
+            "users": self._users.user_count(),
+            "clips": self._content.clip_count(),
+            "services": len(self._content.services()),
+            "feedback_events": len(self._users.feedback),
+            "tracked_users": len(self._users.tracking.user_ids()),
+            "plans": sum(len(plans) for plans in self._plans.values()),
+            "editorial_injections": len(self._editorial.all_injections()),
+        }

@@ -1,0 +1,98 @@
+"""Editorial recommendation injection.
+
+The control dashboard lets an editor "selectively choose and inject
+recommended audio content to specific users" (paper §2, Figure 6).  An
+injection carries a boost that is added to the compound score of the clip
+for the targeted users, optionally forcing it to the top of the next plan,
+and expires after a validity window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.util.ids import new_id
+
+
+@dataclass(frozen=True)
+class EditorialInjection:
+    """One editorially injected recommendation."""
+
+    injection_id: str
+    clip_id: str
+    target_user_ids: Sequence[str]
+    boost: float
+    created_s: float
+    expires_s: float
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.boost <= 1.0:
+            raise ValidationError(f"boost must be in (0, 1], got {self.boost}")
+        if self.expires_s <= self.created_s:
+            raise ValidationError("expires_s must be after created_s")
+
+    def is_active(self, now_s: float) -> bool:
+        """Whether the injection applies at ``now_s``."""
+        return self.created_s <= now_s < self.expires_s
+
+    def targets(self, user_id: str) -> bool:
+        """Whether the injection applies to the given user (empty = everyone)."""
+        return not self.target_user_ids or user_id in self.target_user_ids
+
+
+class EditorialDesk:
+    """The editor's queue of injections, consulted by the recommender."""
+
+    def __init__(self) -> None:
+        self._injections: List[EditorialInjection] = []
+
+    def inject(
+        self,
+        clip_id: str,
+        *,
+        target_user_ids: Optional[Sequence[str]] = None,
+        boost: float = 0.5,
+        created_s: float,
+        validity_s: float = 6 * 3600.0,
+        note: str = "",
+    ) -> EditorialInjection:
+        """Create and register an injection; returns it."""
+        injection = EditorialInjection(
+            injection_id=new_id("edit"),
+            clip_id=clip_id,
+            target_user_ids=tuple(target_user_ids or ()),
+            boost=boost,
+            created_s=created_s,
+            expires_s=created_s + validity_s,
+            note=note,
+        )
+        self._injections.append(injection)
+        return injection
+
+    def withdraw(self, injection_id: str) -> bool:
+        """Remove an injection; returns whether it existed."""
+        before = len(self._injections)
+        self._injections = [i for i in self._injections if i.injection_id != injection_id]
+        return len(self._injections) < before
+
+    def active_injections(self, *, now_s: float, user_id: Optional[str] = None) -> List[EditorialInjection]:
+        """Injections applicable now (optionally for one user)."""
+        return [
+            injection
+            for injection in self._injections
+            if injection.is_active(now_s) and (user_id is None or injection.targets(user_id))
+        ]
+
+    def boosts_for(self, user_id: str, *, now_s: float) -> Dict[str, float]:
+        """Per-clip boost map the compound scorer should apply for a user."""
+        boosts: Dict[str, float] = {}
+        for injection in self.active_injections(now_s=now_s, user_id=user_id):
+            boosts[injection.clip_id] = max(boosts.get(injection.clip_id, 0.0), injection.boost)
+        return boosts
+
+    def all_injections(self) -> List[EditorialInjection]:
+        """Every injection ever registered (for the dashboard)."""
+        return list(self._injections)

@@ -1,0 +1,64 @@
+"""Events emitted by the client app toward the server."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.geo import GeoPoint
+from repro.util.ids import new_id
+
+
+class ClientEventKind(enum.Enum):
+    """The message types the client app sends to the server."""
+
+    TUNE = "tune"
+    LISTEN_PING = "listen_ping"
+    SKIP = "skip"
+    LIKE = "like"
+    DISLIKE = "dislike"
+    CHANNEL_CHANGE = "channel_change"
+    GPS_FIX = "gps_fix"
+    CLIP_STARTED = "clip_started"
+    CLIP_COMPLETED = "clip_completed"
+
+
+@dataclass(frozen=True)
+class ClientEvent:
+    """One message from the client to the server."""
+
+    event_id: str
+    kind: ClientEventKind
+    user_id: str
+    timestamp_s: float
+    content_id: Optional[str] = None
+    service_id: Optional[str] = None
+    position: Optional[GeoPoint] = None
+    speed_mps: Optional[float] = None
+    payload: Dict[str, float] = field(default_factory=dict)
+
+
+def make_event(
+    kind: ClientEventKind,
+    user_id: str,
+    timestamp_s: float,
+    *,
+    content_id: Optional[str] = None,
+    service_id: Optional[str] = None,
+    position: Optional[GeoPoint] = None,
+    speed_mps: Optional[float] = None,
+    payload: Optional[Dict[str, float]] = None,
+) -> ClientEvent:
+    """Create a client event with a fresh identifier."""
+    return ClientEvent(
+        event_id=new_id("evt"),
+        kind=kind,
+        user_id=user_id,
+        timestamp_s=timestamp_s,
+        content_id=content_id,
+        service_id=service_id,
+        position=position,
+        speed_mps=speed_mps,
+        payload=dict(payload or {}),
+    )

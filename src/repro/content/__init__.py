@@ -1,0 +1,37 @@
+"""Audio content model, repository, linear schedule and RadioDNS metadata.
+
+This package models the broadcaster side of the paper: the 10 live radio
+services with their programme schedules, the daily podcast/clip production
+classified into 30 categories, RadioDNS-style service metadata enabling the
+hybrid lookup, and geographic relevance tags for location-aware content.
+"""
+
+from repro.content.categories import CATEGORIES, Category, category_by_name, category_names
+from repro.content.geo_estimator import Gazetteer, GazetteerEntry, GeoRelevanceEstimator
+from repro.content.geo_relevance import GeoTag, geographic_relevance
+from repro.content.model import AudioClip, ContentKind, LiveProgramme, RadioService
+from repro.content.radiodns import Bearer, ServiceIdentifier, ServiceInformation
+from repro.content.repository import ContentRepository
+from repro.content.schedule import LinearSchedule, ScheduledProgramme
+
+__all__ = [
+    "AudioClip",
+    "Bearer",
+    "CATEGORIES",
+    "Category",
+    "ContentKind",
+    "ContentRepository",
+    "Gazetteer",
+    "GazetteerEntry",
+    "GeoRelevanceEstimator",
+    "GeoTag",
+    "LinearSchedule",
+    "LiveProgramme",
+    "RadioService",
+    "ScheduledProgramme",
+    "ServiceIdentifier",
+    "ServiceInformation",
+    "category_by_name",
+    "category_names",
+    "geographic_relevance",
+]

@@ -1,0 +1,96 @@
+"""The 30-category taxonomy used to classify audio content.
+
+The paper states that extracted speech "is then classified with a Bayesian
+classifier trained with a set of news, according to a set of 30 categories
+spacing from art to culture, music, economics".  The exact list is not
+published, so we define a 30-category taxonomy spanning the same editorial
+space as a public-service broadcaster's output.  Category identities only
+matter in that users and clips are described over the same taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import NotFoundError
+
+
+@dataclass(frozen=True)
+class Category:
+    """A content category with a coarse editorial group."""
+
+    index: int
+    name: str
+    group: str
+
+
+_RAW_CATEGORIES: Tuple[Tuple[str, str], ...] = (
+    ("art", "culture"),
+    ("culture", "culture"),
+    ("history", "culture"),
+    ("literature", "culture"),
+    ("cinema", "culture"),
+    ("theatre", "culture"),
+    ("music-classical", "music"),
+    ("music-pop", "music"),
+    ("music-jazz", "music"),
+    ("music-opera", "music"),
+    ("news-national", "news"),
+    ("news-international", "news"),
+    ("news-local", "news"),
+    ("politics", "news"),
+    ("economics", "news"),
+    ("finance", "news"),
+    ("technology", "knowledge"),
+    ("science", "knowledge"),
+    ("health", "knowledge"),
+    ("environment", "knowledge"),
+    ("education", "knowledge"),
+    ("sport-football", "sport"),
+    ("sport-motors", "sport"),
+    ("sport-other", "sport"),
+    ("food-and-wine", "lifestyle"),
+    ("travel", "lifestyle"),
+    ("fashion", "lifestyle"),
+    ("comedy", "entertainment"),
+    ("talk-show", "entertainment"),
+    ("traffic-and-weather", "service"),
+)
+
+#: The canonical ordered list of 30 categories.
+CATEGORIES: Tuple[Category, ...] = tuple(
+    Category(index, name, group) for index, (name, group) in enumerate(_RAW_CATEGORIES)
+)
+
+_BY_NAME: Dict[str, Category] = {category.name: category for category in CATEGORIES}
+
+
+def category_names() -> List[str]:
+    """Names of all 30 categories in canonical order."""
+    return [category.name for category in CATEGORIES]
+
+
+def category_by_name(name: str) -> Category:
+    """Look up a category by name."""
+    category = _BY_NAME.get(name)
+    if category is None:
+        raise NotFoundError(f"unknown category {name!r}")
+    return category
+
+
+def category_groups() -> List[str]:
+    """Distinct editorial groups in first-appearance order."""
+    seen: List[str] = []
+    for category in CATEGORIES:
+        if category.group not in seen:
+            seen.append(category.group)
+    return seen
+
+
+def categories_in_group(group: str) -> List[Category]:
+    """All categories belonging to an editorial group."""
+    members = [category for category in CATEGORIES if category.group == group]
+    if not members:
+        raise NotFoundError(f"unknown category group {group!r}")
+    return members

@@ -1,0 +1,137 @@
+"""RadioDNS-style service metadata (ETSI TS 103 270 hybrid lookup).
+
+The paper's hybrid radio service relies on the RadioDNS standards to
+associate a broadcast service (identified by its transmission parameters)
+with Internet resources (streams, metadata, programme information).  We
+model the pieces of that standard the pipeline needs: service identifiers,
+bearers (broadcast or IP ways of receiving the same service) and the
+service-information document used by clients to discover them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import NotFoundError, ValidationError
+from repro.util.validation import require_non_empty
+
+
+@dataclass(frozen=True)
+class ServiceIdentifier:
+    """The broadcast parameters identifying a service (FM or DAB).
+
+    For FM the identifier is (country, PI code, frequency); for DAB it is
+    (ECC, EId, SId, SCIdS).  Only the fields required to build the RadioDNS
+    FQDN are modelled.
+    """
+
+    system: str  # "fm" | "dab" | "ip"
+    country: str = "it"
+    pi_code: Optional[str] = None
+    frequency_khz: Optional[int] = None
+    eid: Optional[str] = None
+    sid: Optional[str] = None
+    scids: str = "0"
+
+    def __post_init__(self) -> None:
+        if self.system not in ("fm", "dab", "ip"):
+            raise ValidationError(f"unknown bearer system {self.system!r}")
+        if self.system == "fm" and (self.pi_code is None or self.frequency_khz is None):
+            raise ValidationError("fm identifiers require pi_code and frequency_khz")
+        if self.system == "dab" and (self.eid is None or self.sid is None):
+            raise ValidationError("dab identifiers require eid and sid")
+
+    def fqdn(self) -> str:
+        """The RadioDNS lookup FQDN for this identifier."""
+        if self.system == "fm":
+            frequency = f"{self.frequency_khz:05d}"
+            return f"{frequency}.{self.pi_code}.{self.country}.fm.radiodns.org"
+        if self.system == "dab":
+            return f"{self.scids}.{self.sid}.{self.eid}.{self.country}.dab.radiodns.org"
+        return f"ip.radiodns.org"
+
+
+@dataclass(frozen=True)
+class Bearer:
+    """One way of receiving a service: a broadcast mux or an IP stream."""
+
+    bearer_id: str
+    kind: str  # "fm" | "dab" | "ip"
+    cost_rank: int = 0          # lower = preferred by the client
+    bitrate_kbps: int = 96
+    url: Optional[str] = None   # for IP bearers
+
+    def __post_init__(self) -> None:
+        require_non_empty(self.bearer_id, "bearer_id")
+        if self.kind not in ("fm", "dab", "ip"):
+            raise ValidationError(f"unknown bearer kind {self.kind!r}")
+        if self.kind == "ip" and not self.url:
+            raise ValidationError("ip bearers require a url")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether receiving this bearer consumes no unicast bandwidth."""
+        return self.kind in ("fm", "dab")
+
+
+@dataclass
+class ServiceInformation:
+    """The SI document for one service: identifiers plus available bearers."""
+
+    service_id: str
+    name: str
+    identifiers: List[ServiceIdentifier] = field(default_factory=list)
+    bearers: List[Bearer] = field(default_factory=list)
+    description: str = ""
+
+    def add_bearer(self, bearer: Bearer) -> None:
+        """Register an additional bearer."""
+        if any(existing.bearer_id == bearer.bearer_id for existing in self.bearers):
+            raise ValidationError(f"bearer {bearer.bearer_id!r} already registered")
+        self.bearers.append(bearer)
+
+    def preferred_bearer(self, *, broadcast_available: bool = True) -> Bearer:
+        """The bearer a client should use.
+
+        Broadcast bearers are preferred (lowest cost_rank first) when the
+        device can receive them; otherwise the best IP bearer is returned.
+        """
+        candidates = [
+            bearer
+            for bearer in self.bearers
+            if broadcast_available or not bearer.is_broadcast
+        ]
+        if not candidates:
+            raise NotFoundError(f"service {self.service_id!r} has no usable bearer")
+        return sorted(candidates, key=lambda bearer: (bearer.cost_rank, bearer.bearer_id))[0]
+
+
+class ServiceDirectory:
+    """Registry of :class:`ServiceInformation` documents (the SI server)."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, ServiceInformation] = {}
+
+    def register(self, info: ServiceInformation) -> None:
+        """Add or replace a service-information document."""
+        self._services[info.service_id] = info
+
+    def lookup(self, service_id: str) -> ServiceInformation:
+        """Fetch the SI document for a service."""
+        info = self._services.get(service_id)
+        if info is None:
+            raise NotFoundError(f"no service information for {service_id!r}")
+        return info
+
+    def lookup_by_identifier(self, identifier: ServiceIdentifier) -> ServiceInformation:
+        """Hybrid lookup: resolve broadcast parameters to the SI document."""
+        fqdn = identifier.fqdn()
+        for info in self._services.values():
+            if any(existing.fqdn() == fqdn for existing in info.identifiers):
+                return info
+        raise NotFoundError(f"no service matches identifier {fqdn}")
+
+    def service_ids(self) -> List[str]:
+        """All registered service ids."""
+        return sorted(self._services.keys())

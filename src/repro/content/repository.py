@@ -1,0 +1,173 @@
+"""The content repository: clips, services, programmes and schedules.
+
+This is the "Metadata DB" + "Content Repository" pair of the paper's server
+architecture (Figure 3), backed by the in-memory relational substrate so the
+recommender and the clip data management component query it the same way the
+production system would query its databases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.content.model import AudioClip, ContentKind, LiveProgramme, RadioService
+from repro.content.schedule import LinearSchedule
+from repro.errors import DuplicateError, NotFoundError
+from repro.storage import Column, Database, Schema
+from repro.util.timeutils import TimeWindow
+
+
+class ContentRepository:
+    """Registry of services, programmes, clips and per-service schedules."""
+
+    def __init__(self) -> None:
+        self._db = Database("content")
+        self._clips_table = self._db.create_table(
+            Schema(
+                name="clips",
+                primary_key="clip_id",
+                columns=[
+                    Column("clip_id", str),
+                    Column("kind", str),
+                    Column("duration_s", float),
+                    Column("primary_category", str, nullable=True),
+                    Column("published_s", float, has_default=True, default=0.0),
+                ],
+            )
+        )
+        self._clips_table.create_index("kind")
+        self._clips_table.create_index("primary_category")
+        self._clips: Dict[str, AudioClip] = {}
+        self._services: Dict[str, RadioService] = {}
+        self._programmes: Dict[str, LiveProgramme] = {}
+        self._schedules: Dict[str, LinearSchedule] = {}
+
+    # Services and programmes ---------------------------------------------
+
+    def add_service(self, service: RadioService) -> None:
+        """Register a live radio service."""
+        if service.service_id in self._services:
+            raise DuplicateError(f"service {service.service_id!r} already registered")
+        self._services[service.service_id] = service
+        self._schedules[service.service_id] = LinearSchedule(service.service_id)
+
+    def service(self, service_id: str) -> RadioService:
+        """Look up a service."""
+        service = self._services.get(service_id)
+        if service is None:
+            raise NotFoundError(f"unknown service {service_id!r}")
+        return service
+
+    def services(self) -> List[RadioService]:
+        """All registered services."""
+        return [self._services[key] for key in sorted(self._services)]
+
+    def add_programme(self, programme: LiveProgramme) -> None:
+        """Register a programme (its service must exist)."""
+        if programme.programme_id in self._programmes:
+            raise DuplicateError(f"programme {programme.programme_id!r} already registered")
+        self.service(programme.service_id)
+        self._programmes[programme.programme_id] = programme
+
+    def programme(self, programme_id: str) -> LiveProgramme:
+        """Look up a programme."""
+        programme = self._programmes.get(programme_id)
+        if programme is None:
+            raise NotFoundError(f"unknown programme {programme_id!r}")
+        return programme
+
+    def schedule_programme(self, programme_id: str, window: TimeWindow) -> None:
+        """Place a registered programme on its service's schedule."""
+        programme = self.programme(programme_id)
+        self._schedules[programme.service_id].add(programme, window)
+
+    def schedule(self, service_id: str) -> LinearSchedule:
+        """The schedule of a service."""
+        self.service(service_id)
+        return self._schedules[service_id]
+
+    # Clips ------------------------------------------------------------------
+
+    def add_clip(self, clip: AudioClip) -> None:
+        """Register an audio clip."""
+        if clip.clip_id in self._clips:
+            raise DuplicateError(f"clip {clip.clip_id!r} already registered")
+        self._clips[clip.clip_id] = clip
+        self._clips_table.insert(
+            {
+                "clip_id": clip.clip_id,
+                "kind": clip.kind.value,
+                "duration_s": clip.duration_s,
+                "primary_category": clip.primary_category,
+                "published_s": clip.published_s,
+            }
+        )
+
+    def add_clips(self, clips: Iterable[AudioClip]) -> int:
+        """Register many clips; returns how many were added."""
+        count = 0
+        for clip in clips:
+            self.add_clip(clip)
+            count += 1
+        return count
+
+    def replace_clip(self, clip: AudioClip) -> None:
+        """Replace an existing clip (e.g. after classification adds scores)."""
+        if clip.clip_id not in self._clips:
+            raise NotFoundError(f"unknown clip {clip.clip_id!r}")
+        self._clips[clip.clip_id] = clip
+        self._clips_table.update(
+            clip.clip_id,
+            {
+                "kind": clip.kind.value,
+                "duration_s": clip.duration_s,
+                "primary_category": clip.primary_category,
+                "published_s": clip.published_s,
+            },
+        )
+
+    def clip(self, clip_id: str) -> AudioClip:
+        """Look up a clip."""
+        clip = self._clips.get(clip_id)
+        if clip is None:
+            raise NotFoundError(f"unknown clip {clip_id!r}")
+        return clip
+
+    def clips(self) -> List[AudioClip]:
+        """All clips in insertion order."""
+        return list(self._clips.values())
+
+    def clip_count(self) -> int:
+        """Number of registered clips."""
+        return len(self._clips)
+
+    def clips_by_kind(self, kind: ContentKind) -> List[AudioClip]:
+        """All clips of one kind."""
+        rows = self._clips_table.find_by_index("kind", kind.value)
+        return [self._clips[row["clip_id"]] for row in rows]
+
+    def clips_by_category(self, category: str) -> List[AudioClip]:
+        """All clips whose primary category matches."""
+        rows = self._clips_table.find_by_index("primary_category", category)
+        return [self._clips[row["clip_id"]] for row in rows]
+
+    def clips_published_after(self, cutoff_s: float) -> List[AudioClip]:
+        """Clips published after ``cutoff_s`` (recency filter for candidates)."""
+        rows = (
+            self._db.query("clips")
+            .where(lambda row: row["published_s"] >= cutoff_s)
+            .order_by("published_s", descending=True)
+            .all()
+        )
+        return [self._clips[row["clip_id"]] for row in rows]
+
+    def clips_max_duration(self, max_duration_s: float) -> List[AudioClip]:
+        """Clips that fit inside a time budget."""
+        rows = self._db.query("clips").where(
+            lambda row: row["duration_s"] <= max_duration_s
+        ).all()
+        return [self._clips[row["clip_id"]] for row in rows]
+
+    def geo_tagged_clips(self) -> List[AudioClip]:
+        """All clips carrying a geographic footprint."""
+        return [clip for clip in self._clips.values() if clip.is_geo_tagged]

@@ -1,0 +1,118 @@
+"""Linear programme schedules (the broadcaster's EPG).
+
+The hybrid radio client needs to know the boundaries of the programmes on
+the live service it is playing so it can replace a programme seamlessly
+(Figures 1 and 4).  The schedule also drives the time-shifted playback of a
+live programme that started earlier ("The rabbit's roar" in scenario 2.1.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.content.model import LiveProgramme
+from repro.errors import NotFoundError, ValidationError
+from repro.util.timeutils import TimeWindow
+
+
+@dataclass(frozen=True)
+class ScheduledProgramme:
+    """A programme placed on a service's timeline."""
+
+    programme: LiveProgramme
+    window: TimeWindow
+
+    @property
+    def programme_id(self) -> str:
+        """Identifier of the underlying programme."""
+        return self.programme.programme_id
+
+    @property
+    def duration_s(self) -> float:
+        """Scheduled duration."""
+        return self.window.duration_s
+
+
+class LinearSchedule:
+    """The time-ordered schedule of one linear radio service."""
+
+    def __init__(self, service_id: str) -> None:
+        self._service_id = service_id
+        self._entries: List[ScheduledProgramme] = []
+        self._starts: List[float] = []
+
+    @property
+    def service_id(self) -> str:
+        """The service this schedule belongs to."""
+        return self._service_id
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, programme: LiveProgramme, window: TimeWindow) -> ScheduledProgramme:
+        """Append a programme; windows must not overlap existing entries."""
+        if programme.service_id != self._service_id:
+            raise ValidationError(
+                f"programme {programme.programme_id!r} belongs to service "
+                f"{programme.service_id!r}, not {self._service_id!r}"
+            )
+        for existing in self._entries:
+            if existing.window.overlaps(window):
+                raise ValidationError(
+                    f"programme window {window} overlaps existing entry "
+                    f"{existing.programme_id!r} {existing.window}"
+                )
+        entry = ScheduledProgramme(programme, window)
+        position = bisect.bisect_left(self._starts, window.start_s)
+        self._entries.insert(position, entry)
+        self._starts.insert(position, window.start_s)
+        return entry
+
+    def entries(self) -> List[ScheduledProgramme]:
+        """All entries in start-time order."""
+        return list(self._entries)
+
+    def programme_at(self, instant_s: float) -> Optional[ScheduledProgramme]:
+        """The programme on air at ``instant_s`` (or ``None`` during a gap)."""
+        position = bisect.bisect_right(self._starts, instant_s) - 1
+        if position < 0:
+            return None
+        entry = self._entries[position]
+        return entry if entry.window.contains(instant_s) else None
+
+    def next_boundary_after(self, instant_s: float) -> Optional[float]:
+        """The next programme start or end strictly after ``instant_s``."""
+        boundaries: List[float] = []
+        for entry in self._entries:
+            boundaries.extend((entry.window.start_s, entry.window.end_s))
+        future = sorted(boundary for boundary in boundaries if boundary > instant_s)
+        return future[0] if future else None
+
+    def entries_between(self, start_s: float, end_s: float) -> List[ScheduledProgramme]:
+        """Entries overlapping ``[start_s, end_s)``."""
+        window = TimeWindow(start_s, end_s)
+        return [entry for entry in self._entries if entry.window.overlaps(window)]
+
+    def find(self, programme_id: str) -> ScheduledProgramme:
+        """The schedule entry for a programme id."""
+        for entry in self._entries:
+            if entry.programme_id == programme_id:
+                return entry
+        raise NotFoundError(
+            f"programme {programme_id!r} is not on the schedule of {self._service_id!r}"
+        )
+
+    def remaining_in_current(self, instant_s: float) -> float:
+        """Seconds left in the programme on air at ``instant_s`` (0 in a gap)."""
+        current = self.programme_at(instant_s)
+        if current is None:
+            return 0.0
+        return current.window.end_s - instant_s
+
+    def coverage_window(self) -> Optional[TimeWindow]:
+        """The window from the first start to the last end (``None`` if empty)."""
+        if not self._entries:
+            return None
+        return TimeWindow(self._entries[0].window.start_s, max(e.window.end_s for e in self._entries))

@@ -1,0 +1,27 @@
+"""Synthetic data generators replacing the paper's proprietary inputs.
+
+* :mod:`repro.datasets.broadcaster` — the Rai-like broadcaster: 10 live
+  services, daily programme schedules and the daily podcast/clip production
+  (with synthetic speech texts for news/talk content and geographic tags for
+  local items);
+* :mod:`repro.datasets.mobility` — commuting listeners on the synthetic
+  city: home/work anchors, repeated drives with GPS noise, Lockito-style
+  simulated drives for the live scenarios;
+* :mod:`repro.datasets.world` — one call that assembles a fully populated
+  server (content + users + history) for the examples and benches.
+"""
+
+from repro.datasets.broadcaster import BroadcasterConfig, SyntheticBroadcaster
+from repro.datasets.mobility import CommuterConfig, CommuterGenerator, SimulatedDrive
+from repro.datasets.world import SyntheticWorld, WorldConfig, build_world
+
+__all__ = [
+    "BroadcasterConfig",
+    "CommuterConfig",
+    "CommuterGenerator",
+    "SimulatedDrive",
+    "SyntheticBroadcaster",
+    "SyntheticWorld",
+    "WorldConfig",
+    "build_world",
+]

@@ -1,0 +1,229 @@
+"""The synthetic broadcaster: services, schedules and the daily clip output.
+
+The paper's system is fed by "10 live 96kbps audio streams" and "the
+editorial version of more than 100 podcasts created every day".  This module
+generates an equivalent synthetic catalogue:
+
+* 10 linear services with day-long programme schedules;
+* a configurable number of daily clips spread over the 30 categories:
+  editorially tagged podcasts, speech-heavy news items (with ground-truth
+  text so the ASR + classification path is exercised), music items,
+  advertisements, and geo-tagged local items anchored to city POIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asr.corpus import SyntheticNewsCorpus
+from repro.content.categories import category_names
+from repro.content.model import AudioClip, ContentKind, LiveProgramme, RadioService
+from repro.content.radiodns import Bearer, ServiceIdentifier, ServiceInformation
+from repro.errors import ValidationError
+from repro.geo import GeoPoint
+from repro.roadnet.generator import City
+from repro.util.ids import new_id
+from repro.util.rng import DeterministicRng
+from repro.util.timeutils import SECONDS_PER_HOUR, TimeWindow
+
+#: The ten linear services, loosely mirroring a public broadcaster's lineup.
+_SERVICE_SPECS: Tuple[Tuple[str, str], ...] = (
+    ("radio-uno", "general"),
+    ("radio-due", "entertainment"),
+    ("radio-tre", "culture"),
+    ("radio-news", "news"),
+    ("radio-sport", "sport"),
+    ("radio-classica", "music"),
+    ("radio-pop", "music"),
+    ("radio-kids", "entertainment"),
+    ("radio-local", "news"),
+    ("radio-business", "news"),
+)
+
+#: Typical programme titles per service genre, used to label the schedule.
+_PROGRAMME_TITLES: Dict[str, List[str]] = {
+    "general": ["Morning Journal", "Wikiradio", "Afternoon Forum", "Evening Review"],
+    "entertainment": ["The Rabbit's Roar", "Comedy Hour", "Quiz Time", "Night Lounge"],
+    "culture": ["Decanter", "Book Club", "Theatre Night", "Art Stories"],
+    "news": ["News at the Hour", "Economy Today", "World Report", "Local Voices"],
+    "sport": ["Football Talk", "Motor Week", "Stadium Live", "Sport Night"],
+    "music": ["Classical Morning", "Jazz Corner", "Pop Parade", "Opera Evening"],
+}
+
+
+@dataclass(frozen=True)
+class BroadcasterConfig:
+    """Parameters of the synthetic broadcaster."""
+
+    seed: int = 17
+    clips_per_day: int = 120
+    geo_tagged_fraction: float = 0.25
+    speech_fraction: float = 0.5
+    programme_length_s: float = 1800.0
+    day_start_s: float = 6 * SECONDS_PER_HOUR
+    day_end_s: float = 24 * SECONDS_PER_HOUR
+    clip_min_duration_s: float = 120.0
+    clip_max_duration_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.clips_per_day < 1:
+            raise ValidationError("clips_per_day must be >= 1")
+        if not 0.0 <= self.geo_tagged_fraction <= 1.0:
+            raise ValidationError("geo_tagged_fraction must be in [0, 1]")
+        if not 0.0 <= self.speech_fraction <= 1.0:
+            raise ValidationError("speech_fraction must be in [0, 1]")
+        if self.clip_min_duration_s <= 0 or self.clip_max_duration_s <= self.clip_min_duration_s:
+            raise ValidationError("clip duration bounds must satisfy 0 < min < max")
+
+
+@dataclass
+class GeneratedCatalogue:
+    """Everything the broadcaster produced for one synthetic day."""
+
+    services: List[RadioService] = field(default_factory=list)
+    programmes: List[LiveProgramme] = field(default_factory=list)
+    schedule_windows: Dict[str, TimeWindow] = field(default_factory=dict)  # programme_id -> window
+    clips: List[AudioClip] = field(default_factory=list)
+    speech_texts: Dict[str, str] = field(default_factory=dict)  # clip_id -> ground-truth text
+    true_categories: Dict[str, str] = field(default_factory=dict)  # clip_id -> generating category
+    service_information: List[ServiceInformation] = field(default_factory=list)
+
+
+class SyntheticBroadcaster:
+    """Generates the broadcaster's daily output."""
+
+    def __init__(
+        self,
+        config: BroadcasterConfig = BroadcasterConfig(),
+        *,
+        corpus: Optional[SyntheticNewsCorpus] = None,
+        city: Optional[City] = None,
+    ) -> None:
+        self._config = config
+        self._rng = DeterministicRng(config.seed)
+        self._corpus = corpus or SyntheticNewsCorpus(seed=config.seed + 1)
+        self._city = city
+
+    @property
+    def corpus(self) -> SyntheticNewsCorpus:
+        """The text corpus used for speech content (shared with the classifier)."""
+        return self._corpus
+
+    def generate(self) -> GeneratedCatalogue:
+        """Produce the full daily catalogue."""
+        catalogue = GeneratedCatalogue()
+        self._generate_services(catalogue)
+        self._generate_schedules(catalogue)
+        self._generate_clips(catalogue)
+        return catalogue
+
+    # Services and schedules --------------------------------------------------
+
+    def _generate_services(self, catalogue: GeneratedCatalogue) -> None:
+        for index, (service_id, genre) in enumerate(_SERVICE_SPECS):
+            service = RadioService(
+                service_id=service_id,
+                name=service_id.replace("-", " ").title(),
+                bitrate_kbps=96,
+                genre=genre,
+            )
+            catalogue.services.append(service)
+            info = ServiceInformation(
+                service_id=service_id,
+                name=service.name,
+                identifiers=[
+                    ServiceIdentifier(
+                        system="fm", pi_code=f"52{index:02d}", frequency_khz=87500 + index * 400
+                    )
+                ],
+            )
+            info.add_bearer(Bearer(bearer_id=f"{service_id}-dab", kind="dab", cost_rank=0))
+            info.add_bearer(
+                Bearer(
+                    bearer_id=f"{service_id}-ip",
+                    kind="ip",
+                    cost_rank=1,
+                    url=f"https://streams.example.org/{service_id}.mp3",
+                )
+            )
+            catalogue.service_information.append(info)
+
+    def _generate_schedules(self, catalogue: GeneratedCatalogue) -> None:
+        config = self._config
+        for service in catalogue.services:
+            titles = _PROGRAMME_TITLES.get(service.genre, _PROGRAMME_TITLES["general"])
+            cursor = config.day_start_s
+            slot = 0
+            while cursor + config.programme_length_s <= config.day_end_s:
+                title = titles[slot % len(titles)]
+                categories = self._programme_categories(service.genre, slot)
+                programme = LiveProgramme(
+                    programme_id=new_id("prog"),
+                    service_id=service.service_id,
+                    title=f"{title} ({slot + 1})",
+                    categories=categories,
+                )
+                window = TimeWindow(cursor, cursor + config.programme_length_s)
+                catalogue.programmes.append(programme)
+                catalogue.schedule_windows[programme.programme_id] = window
+                cursor += config.programme_length_s
+                slot += 1
+
+    def _programme_categories(self, genre: str, slot: int) -> List[str]:
+        by_genre: Dict[str, List[str]] = {
+            "general": ["news-national", "talk-show", "culture", "technology"],
+            "entertainment": ["comedy", "talk-show", "music-pop"],
+            "culture": ["culture", "art", "literature", "food-and-wine"],
+            "news": ["news-national", "news-local", "economics", "politics"],
+            "sport": ["sport-football", "sport-motors", "sport-other"],
+            "music": ["music-classical", "music-jazz", "music-pop", "music-opera"],
+        }
+        pool = by_genre.get(genre, ["talk-show"])
+        return [pool[slot % len(pool)]]
+
+    # Clips ---------------------------------------------------------------------
+
+    def _generate_clips(self, catalogue: GeneratedCatalogue) -> None:
+        config = self._config
+        names = category_names()
+        poi_locations: List[GeoPoint] = (
+            [self._city.pois[name] for name in self._city.poi_names()] if self._city else []
+        )
+        for index in range(config.clips_per_day):
+            rng = self._rng.fork("clip", index)
+            category = names[index % len(names)]
+            duration = rng.uniform(config.clip_min_duration_s, config.clip_max_duration_s)
+            published = rng.uniform(0.0, config.day_start_s + 6 * SECONDS_PER_HOUR)
+            clip_id = new_id("clip")
+            is_speech = rng.bernoulli(config.speech_fraction)
+            is_geo = bool(poi_locations) and rng.bernoulli(config.geo_tagged_fraction)
+            kind = self._clip_kind(category, is_speech, rng)
+            geo_location = rng.choice(poi_locations) if is_geo else None
+            clip = AudioClip(
+                clip_id=clip_id,
+                title=f"{category.replace('-', ' ').title()} clip {index + 1}",
+                kind=kind,
+                duration_s=duration,
+                category_scores={} if is_speech else {category: 1.0},
+                geo_location=geo_location,
+                geo_radius_m=2500.0 if is_geo else None,
+                published_s=published,
+            )
+            catalogue.clips.append(clip)
+            catalogue.true_categories[clip_id] = category
+            if is_speech:
+                document = self._corpus.generate_document(
+                    category, word_count=rng.randint(80, 200), rng=rng.fork("text")
+                )
+                catalogue.speech_texts[clip_id] = document.text
+
+    @staticmethod
+    def _clip_kind(category: str, is_speech: bool, rng: DeterministicRng) -> ContentKind:
+        if category.startswith("music"):
+            return ContentKind.MUSIC
+        if category.startswith("news") or category == "traffic-and-weather":
+            return ContentKind.NEWS
+        if rng.bernoulli(0.08):
+            return ContentKind.ADVERTISEMENT
+        return ContentKind.PODCAST

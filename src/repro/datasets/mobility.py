@@ -1,0 +1,271 @@
+"""Synthetic commuter mobility.
+
+Replaces the GPS traces the paper collects from real listeners' phones.
+Each commuter gets home and work anchors on the synthetic city, and the
+generator produces repeated commute drives along road-network routes with
+realistic departure-time jitter, speed variation and GPS noise — enough
+signal for the trajectory mining and prediction pipeline to learn recurring
+routes, and enough noise for the problem to be non-trivial.
+
+A :class:`SimulatedDrive` plays the role of the Lockito fake-location app
+used in the demo: it emits fixes along a planned route as simulated time
+advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.geo import GeoPoint, Polyline
+from repro.geo.geodesy import destination_point
+from repro.roadnet.generator import City
+from repro.roadnet.routing import Route, RoutePlanner
+from repro.spatialdb import GpsFix
+from repro.util.rng import DeterministicRng
+from repro.util.timeutils import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class CommuterConfig:
+    """Parameters of the commuter population generator."""
+
+    seed: int = 29
+    commuters: int = 20
+    history_days: int = 10
+    fix_interval_s: float = 15.0
+    gps_noise_m: float = 8.0
+    min_home_work_distance_m: float = 3500.0
+    traffic_factor: float = 0.55
+    morning_departure_s: float = 7.5 * SECONDS_PER_HOUR
+    evening_departure_s: float = 17.75 * SECONDS_PER_HOUR
+    departure_jitter_s: float = 900.0
+    speed_variation: float = 0.2
+    skip_day_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.commuters < 1:
+            raise ValidationError("commuters must be >= 1")
+        if self.history_days < 1:
+            raise ValidationError("history_days must be >= 1")
+        if self.fix_interval_s <= 0:
+            raise ValidationError("fix_interval_s must be > 0")
+        if self.gps_noise_m < 0:
+            raise ValidationError("gps_noise_m must be >= 0")
+        if not 0.0 <= self.skip_day_probability < 1.0:
+            raise ValidationError("skip_day_probability must be in [0, 1)")
+        if self.min_home_work_distance_m < 0:
+            raise ValidationError("min_home_work_distance_m must be >= 0")
+        if not 0.1 <= self.traffic_factor <= 1.0:
+            raise ValidationError("traffic_factor must be in [0.1, 1.0]")
+
+
+@dataclass(frozen=True)
+class Commuter:
+    """One synthetic listener with home/work anchors."""
+
+    user_id: str
+    home: GeoPoint
+    work: GeoPoint
+    preferred_categories: Tuple[str, ...]
+    disliked_categories: Tuple[str, ...]
+
+
+@dataclass
+class SimulatedDrive:
+    """A Lockito-style simulated drive along a planned route."""
+
+    user_id: str
+    route: Route
+    departure_s: float
+    mean_speed_mps: float
+    fix_interval_s: float = 15.0
+    gps_noise_m: float = 8.0
+    _rng: DeterministicRng = field(default_factory=lambda: DeterministicRng(0))
+
+    @property
+    def expected_duration_s(self) -> float:
+        """Nominal duration of the full drive at the drawn mean speed."""
+        if self.mean_speed_mps <= 0:
+            raise ValidationError("mean_speed_mps must be > 0")
+        return self.route.length_m / self.mean_speed_mps
+
+    @property
+    def arrival_s(self) -> float:
+        """Nominal arrival time."""
+        return self.departure_s + self.expected_duration_s
+
+    def fixes(self, *, until_s: Optional[float] = None) -> List[GpsFix]:
+        """GPS fixes from departure up to ``until_s`` (default: full drive)."""
+        end = self.arrival_s if until_s is None else min(until_s, self.arrival_s)
+        result: List[GpsFix] = []
+        geometry = self.route.geometry
+        timestamp = self.departure_s
+        while timestamp <= end:
+            elapsed = timestamp - self.departure_s
+            distance = min(geometry.length_m, elapsed * self.mean_speed_mps)
+            point = geometry.point_at_distance(distance)
+            noisy = self._apply_noise(point)
+            result.append(
+                GpsFix(
+                    user_id=self.user_id,
+                    timestamp_s=timestamp,
+                    position=noisy,
+                    speed_mps=self.mean_speed_mps * self._rng.uniform(0.85, 1.15),
+                )
+            )
+            timestamp += self.fix_interval_s
+        return result
+
+    def position_at(self, timestamp_s: float) -> GeoPoint:
+        """Noise-free position along the route at a given time (clamped)."""
+        elapsed = max(0.0, timestamp_s - self.departure_s)
+        distance = min(self.route.geometry.length_m, elapsed * self.mean_speed_mps)
+        return self.route.geometry.point_at_distance(distance)
+
+    def _apply_noise(self, point: GeoPoint) -> GeoPoint:
+        if self.gps_noise_m <= 0:
+            return point
+        bearing = self._rng.uniform(0.0, 360.0)
+        distance = abs(self._rng.gauss(0.0, self.gps_noise_m))
+        return destination_point(point, bearing, distance)
+
+
+class CommuterGenerator:
+    """Builds the commuter population and their historical GPS data."""
+
+    def __init__(self, city: City, config: CommuterConfig = CommuterConfig()) -> None:
+        self._city = city
+        self._config = config
+        self._rng = DeterministicRng(config.seed)
+        self._planner = RoutePlanner(city.network)
+
+    @property
+    def planner(self) -> RoutePlanner:
+        """The route planner over the city's network."""
+        return self._planner
+
+    def generate_commuters(self, *, category_pool: Optional[List[str]] = None) -> List[Commuter]:
+        """Create the commuter population with home/work anchors and tastes."""
+        from repro.content.categories import category_names
+
+        pool = category_pool or category_names()
+        nodes = self._city.network.node_ids()
+        commuters: List[Commuter] = []
+        for index in range(self._config.commuters):
+            rng = self._rng.fork("commuter", index)
+            home_node = self._city.network.node(rng.choice(nodes))
+            work_node = self._city.network.node(rng.choice(nodes))
+            # Keep home and work reasonably separated so commutes are non-trivial.
+            min_separation = min(
+                self._config.min_home_work_distance_m,
+                0.6 * self._city.config.grid_rows * self._city.config.block_size_m,
+            )
+            attempts = 0
+            while (
+                home_node.position.distance_m(work_node.position) < min_separation
+                and attempts < 40
+            ):
+                work_node = self._city.network.node(rng.choice(nodes))
+                attempts += 1
+            preferred = tuple(rng.sample(pool, 4))
+            remaining = [name for name in pool if name not in preferred]
+            disliked = tuple(rng.sample(remaining, 2))
+            commuters.append(
+                Commuter(
+                    user_id=f"user-{index + 1:03d}",
+                    home=home_node.position,
+                    work=work_node.position,
+                    preferred_categories=preferred,
+                    disliked_categories=disliked,
+                )
+            )
+        return commuters
+
+    def commute_route(self, commuter: Commuter, *, reverse: bool = False) -> Route:
+        """The commuter's usual route (home→work, or work→home)."""
+        origin = commuter.work if reverse else commuter.home
+        destination = commuter.home if reverse else commuter.work
+        return self._planner.route_between_points(origin, destination)
+
+    def historical_fixes(self, commuter: Commuter) -> List[GpsFix]:
+        """GPS history over ``history_days`` of commuting for one listener.
+
+        Each day contributes a morning home→work drive and an evening
+        work→home drive (occasionally skipped), with jittered departures and
+        speeds.  Fixes are returned in time order across all days.
+        """
+        config = self._config
+        fixes: List[GpsFix] = []
+        morning_route = self.commute_route(commuter)
+        evening_route = self.commute_route(commuter, reverse=True)
+        for day in range(config.history_days):
+            day_offset = day * SECONDS_PER_DAY
+            rng = self._rng.fork("history", commuter.user_id, day)
+            if not rng.bernoulli(config.skip_day_probability):
+                fixes.extend(
+                    self._drive_for(
+                        commuter,
+                        morning_route,
+                        day_offset + config.morning_departure_s + rng.uniform(
+                            -config.departure_jitter_s, config.departure_jitter_s
+                        ),
+                        rng.fork("morning"),
+                    ).fixes()
+                )
+            if not rng.bernoulli(config.skip_day_probability):
+                fixes.extend(
+                    self._drive_for(
+                        commuter,
+                        evening_route,
+                        day_offset + config.evening_departure_s + rng.uniform(
+                            -config.departure_jitter_s, config.departure_jitter_s
+                        ),
+                        rng.fork("evening"),
+                    ).fixes()
+                )
+        fixes.sort(key=lambda fix: fix.timestamp_s)
+        return fixes
+
+    def live_drive(
+        self,
+        commuter: Commuter,
+        *,
+        day: int,
+        departure_s: Optional[float] = None,
+        reverse: bool = False,
+    ) -> SimulatedDrive:
+        """A fresh simulated drive on a given day (the 'today' of a scenario)."""
+        config = self._config
+        rng = self._rng.fork("live", commuter.user_id, day, reverse)
+        route = self.commute_route(commuter, reverse=reverse)
+        base_departure = (
+            config.evening_departure_s if reverse else config.morning_departure_s
+        )
+        departure = (
+            departure_s
+            if departure_s is not None
+            else day * SECONDS_PER_DAY + base_departure + rng.uniform(
+                -config.departure_jitter_s, config.departure_jitter_s
+            )
+        )
+        return self._drive_for(commuter, route, departure, rng)
+
+    def _drive_for(
+        self, commuter: Commuter, route: Route, departure_s: float, rng: DeterministicRng
+    ) -> SimulatedDrive:
+        config = self._config
+        # Free-flow route speed scaled down by urban traffic: the planner's
+        # edge speeds are speed limits, not what a commuter actually averages.
+        nominal_speed = max(4.0, route.mean_speed_mps * config.traffic_factor)
+        speed = nominal_speed * rng.uniform(1.0 - config.speed_variation, 1.0 + config.speed_variation)
+        return SimulatedDrive(
+            user_id=commuter.user_id,
+            route=route,
+            departure_s=departure_s,
+            mean_speed_mps=speed,
+            fix_interval_s=config.fix_interval_s,
+            gps_noise_m=config.gps_noise_m,
+            _rng=rng.fork("noise"),
+        )

@@ -1,0 +1,29 @@
+"""Hybrid audio delivery: broadcast/unicast channels, buffering, playback.
+
+The paper argues that building personalization on top of linear radio lets
+"the efficiency of content delivery ... be optimized, if the device allows
+using a broadcast technology to receive the audio from the broadcast
+channel".  This package models both delivery paths with byte-level
+accounting, the client-side buffering that makes seamless replacement and
+time-shifting possible, the playback timeline itself, and the optimizer that
+quantifies the broadcast-vs-streaming trade-off (bench Q-2).
+"""
+
+from repro.delivery.broadcast import BroadcastChannel
+from repro.delivery.buffering import BufferManager, BufferedSegment
+from repro.delivery.optimizer import DeliveryCostModel, DeliveryCostReport
+from repro.delivery.player import HybridPlayer, PlaybackSegment, SegmentSource
+from repro.delivery.unicast import UnicastSession, UnicastServer
+
+__all__ = [
+    "BroadcastChannel",
+    "BufferManager",
+    "BufferedSegment",
+    "DeliveryCostModel",
+    "DeliveryCostReport",
+    "HybridPlayer",
+    "PlaybackSegment",
+    "SegmentSource",
+    "UnicastServer",
+    "UnicastSession",
+]

@@ -1,0 +1,92 @@
+"""The broadcast channel model (FM / DAB+).
+
+A broadcast channel delivers one live service to any number of receivers at
+a fixed bitrate; the marginal network cost of an additional listener is
+zero.  The model tracks which services are carried and converts listening
+time into the *equivalent* bytes a unicast delivery would have cost, which
+is what the network optimization bench compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.content.model import RadioService
+from repro.errors import DeliveryError, NotFoundError
+
+
+@dataclass(frozen=True)
+class BroadcastReceptionWindow:
+    """A period during which a listener received a service over broadcast."""
+
+    user_id: str
+    service_id: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the reception window."""
+        return self.end_s - self.start_s
+
+
+class BroadcastChannel:
+    """A one-to-many broadcast multiplex carrying live services."""
+
+    def __init__(self, *, name: str = "dab-mux-1") -> None:
+        self._name = name
+        self._services: Dict[str, RadioService] = {}
+        self._receptions: List[BroadcastReceptionWindow] = []
+
+    @property
+    def name(self) -> str:
+        """Multiplex name."""
+        return self._name
+
+    def carry(self, service: RadioService) -> None:
+        """Add a service to the multiplex."""
+        self._services[service.service_id] = service
+
+    def carries(self, service_id: str) -> bool:
+        """Whether the service is available on this multiplex."""
+        return service_id in self._services
+
+    def service(self, service_id: str) -> RadioService:
+        """Look up a carried service."""
+        service = self._services.get(service_id)
+        if service is None:
+            raise NotFoundError(f"multiplex {self._name!r} does not carry {service_id!r}")
+        return service
+
+    def record_reception(
+        self, user_id: str, service_id: str, start_s: float, end_s: float
+    ) -> BroadcastReceptionWindow:
+        """Record that a listener received a service over the air."""
+        if end_s < start_s:
+            raise DeliveryError("reception window end must be >= start")
+        self.service(service_id)
+        window = BroadcastReceptionWindow(user_id, service_id, start_s, end_s)
+        self._receptions.append(window)
+        return window
+
+    def receptions(self) -> List[BroadcastReceptionWindow]:
+        """All recorded reception windows."""
+        return list(self._receptions)
+
+    def total_listening_s(self) -> float:
+        """Total listener-seconds received over broadcast."""
+        return sum(window.duration_s for window in self._receptions)
+
+    def equivalent_unicast_bytes(self) -> int:
+        """Bytes a unicast CDN would have served for the same listening.
+
+        This is the saving the hybrid architecture realizes: broadcast
+        reception costs the network nothing per listener, while streaming the
+        same audio would cost ``duration * bitrate`` per listener.
+        """
+        total = 0
+        for window in self._receptions:
+            service = self._services[window.service_id]
+            total += int(window.duration_s * service.bitrate_kbps * 1000 / 8)
+        return total

@@ -1,0 +1,130 @@
+"""Client-side buffering and schedule synchronization.
+
+"The app synchronizes metadata and implements buffering and synchronization
+to ensure that the selected live audio is seamlessly replaced by the
+recommended clips."  Figure 4 of the paper shows the effect: the live
+programmes continue in the buffer while a recommended clip plays, and a
+programme that started 20 minutes ago can be presented time-shifted
+afterwards.
+
+The :class:`BufferManager` keeps a rolling buffer of the live service,
+tracks the playback offset (how far behind live the listener currently is)
+and answers the two questions the player needs: "can I seamlessly resume the
+live programme at this offset?" and "how much buffered audio do I have?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import DeliveryError
+from repro.util.timeutils import TimeWindow
+
+
+@dataclass(frozen=True)
+class BufferedSegment:
+    """A contiguous stretch of live audio held in the client buffer."""
+
+    service_id: str
+    window: TimeWindow  # the broadcast-time interval the segment covers
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the buffered segment."""
+        return self.window.duration_s
+
+
+class BufferManager:
+    """A rolling live-audio buffer with a bounded capacity."""
+
+    def __init__(self, *, capacity_s: float = 3600.0) -> None:
+        if capacity_s <= 0:
+            raise DeliveryError("capacity_s must be > 0")
+        self._capacity_s = capacity_s
+        self._segments: List[BufferedSegment] = []
+        self._service_id: Optional[str] = None
+
+    @property
+    def capacity_s(self) -> float:
+        """Maximum amount of live audio the buffer can hold."""
+        return self._capacity_s
+
+    @property
+    def service_id(self) -> Optional[str]:
+        """The service currently being buffered."""
+        return self._service_id
+
+    def tune(self, service_id: str, *, at_s: float) -> None:
+        """Start buffering a (new) service; any previous buffer is dropped."""
+        self._service_id = service_id
+        self._segments = [BufferedSegment(service_id, TimeWindow(at_s, at_s))]
+
+    def record_reception(self, *, from_s: float, to_s: float) -> None:
+        """Extend the buffer with live audio received in ``[from_s, to_s)``."""
+        if self._service_id is None:
+            raise DeliveryError("buffer must be tuned to a service before receiving audio")
+        if to_s < from_s:
+            raise DeliveryError("reception interval end must be >= start")
+        if self._segments and self._segments[-1].window.end_s >= from_s:
+            last = self._segments[-1]
+            merged = TimeWindow(last.window.start_s, max(last.window.end_s, to_s))
+            self._segments[-1] = BufferedSegment(self._service_id, merged)
+        else:
+            self._segments.append(
+                BufferedSegment(self._service_id, TimeWindow(from_s, to_s))
+            )
+        self._evict()
+
+    def _evict(self) -> None:
+        # Drop the oldest audio beyond capacity, measured from the newest sample.
+        if not self._segments:
+            return
+        newest = self._segments[-1].window.end_s
+        horizon = newest - self._capacity_s
+        kept: List[BufferedSegment] = []
+        for segment in self._segments:
+            if segment.window.end_s <= horizon:
+                continue
+            start = max(segment.window.start_s, horizon)
+            kept.append(BufferedSegment(segment.service_id, TimeWindow(start, segment.window.end_s)))
+        self._segments = kept
+
+    def buffered_duration_s(self) -> float:
+        """Total amount of live audio currently buffered."""
+        return sum(segment.duration_s for segment in self._segments)
+
+    def newest_instant_s(self) -> Optional[float]:
+        """Broadcast time of the newest buffered sample."""
+        return self._segments[-1].window.end_s if self._segments else None
+
+    def oldest_instant_s(self) -> Optional[float]:
+        """Broadcast time of the oldest buffered sample."""
+        return self._segments[0].window.start_s if self._segments else None
+
+    def is_available(self, broadcast_instant_s: float) -> bool:
+        """Whether audio broadcast at the given instant is still in the buffer."""
+        return any(
+            segment.window.contains(broadcast_instant_s) or segment.window.end_s == broadcast_instant_s
+            for segment in self._segments
+        )
+
+    def can_resume_at(self, broadcast_instant_s: float) -> bool:
+        """Whether playback can seamlessly resume from this broadcast instant.
+
+        True when the instant is buffered or is the live edge itself.
+        """
+        newest = self.newest_instant_s()
+        if newest is None:
+            return False
+        if broadcast_instant_s >= newest:
+            return True  # at or beyond the live edge: just play live
+        return self.is_available(broadcast_instant_s)
+
+    def max_time_shift_s(self) -> float:
+        """How far behind live playback can currently lag."""
+        newest = self.newest_instant_s()
+        oldest = self.oldest_instant_s()
+        if newest is None or oldest is None:
+            return 0.0
+        return newest - oldest

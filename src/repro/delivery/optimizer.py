@@ -1,0 +1,146 @@
+"""Network resource optimization analysis.
+
+Quantifies the paper's claim that hybrid content radio "supports network
+resource optimization, allowing effective use of the broadcast channel and
+the Internet": for a population of listeners we compare the unicast bytes
+required by
+
+* pure streaming (everything over IP), versus
+* hybrid delivery (live audio over broadcast where available, only the
+  personalized clips and time-shifted audio over IP).
+
+The model is intentionally analytic — listener counts, listening hours,
+clip replacement share and broadcast coverage are parameters — so the bench
+can sweep audience size and produce the crossover curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DeliveryCostReport:
+    """Unicast byte totals for one scenario configuration."""
+
+    listeners: int
+    pure_streaming_bytes: int
+    hybrid_unicast_bytes: int
+    broadcast_equivalent_bytes: int
+
+    @property
+    def savings_bytes(self) -> int:
+        """Unicast bytes avoided by the hybrid architecture."""
+        return self.pure_streaming_bytes - self.hybrid_unicast_bytes
+
+    @property
+    def savings_ratio(self) -> float:
+        """Fraction of unicast traffic avoided (0 when streaming is free)."""
+        if self.pure_streaming_bytes <= 0:
+            return 0.0
+        return self.savings_bytes / self.pure_streaming_bytes
+
+
+class DeliveryCostModel:
+    """Analytic unicast-cost model for the streaming-vs-hybrid comparison."""
+
+    def __init__(
+        self,
+        *,
+        bitrate_kbps: int = 96,
+        listening_hours_per_listener: float = 1.5,
+        clip_replacement_share: float = 0.2,
+        broadcast_coverage: float = 0.85,
+        metadata_overhead_bytes: int = 200_000,
+    ) -> None:
+        if bitrate_kbps <= 0:
+            raise ValidationError("bitrate_kbps must be > 0")
+        if listening_hours_per_listener < 0:
+            raise ValidationError("listening_hours_per_listener must be >= 0")
+        if not 0.0 <= clip_replacement_share <= 1.0:
+            raise ValidationError("clip_replacement_share must be in [0, 1]")
+        if not 0.0 <= broadcast_coverage <= 1.0:
+            raise ValidationError("broadcast_coverage must be in [0, 1]")
+        if metadata_overhead_bytes < 0:
+            raise ValidationError("metadata_overhead_bytes must be >= 0")
+        self._bitrate_kbps = bitrate_kbps
+        self._listening_s = listening_hours_per_listener * 3600.0
+        self._clip_share = clip_replacement_share
+        self._coverage = broadcast_coverage
+        self._metadata_bytes = metadata_overhead_bytes
+
+    def _bytes_for(self, seconds: float) -> int:
+        return int(seconds * self._bitrate_kbps * 1000 / 8)
+
+    def pure_streaming_bytes(self, listeners: int) -> int:
+        """Unicast bytes when every listener streams everything over IP."""
+        if listeners < 0:
+            raise ValidationError("listeners must be >= 0")
+        per_listener = self._bytes_for(self._listening_s) + self._metadata_bytes
+        return listeners * per_listener
+
+    def hybrid_unicast_bytes(self, listeners: int) -> int:
+        """Unicast bytes under hybrid delivery.
+
+        Listeners inside broadcast coverage receive the linear share over the
+        air and only download the personalized clips (plus metadata);
+        listeners outside coverage behave like pure streaming clients.
+        """
+        if listeners < 0:
+            raise ValidationError("listeners must be >= 0")
+        covered = int(round(listeners * self._coverage))
+        uncovered = listeners - covered
+        clip_seconds = self._listening_s * self._clip_share
+        covered_bytes = covered * (self._bytes_for(clip_seconds) + self._metadata_bytes)
+        uncovered_bytes = uncovered * (
+            self._bytes_for(self._listening_s) + self._metadata_bytes
+        )
+        return covered_bytes + uncovered_bytes
+
+    def broadcast_equivalent_bytes(self, listeners: int) -> int:
+        """Bytes delivered over the air, expressed as their unicast equivalent."""
+        covered = int(round(listeners * self._coverage))
+        linear_seconds = self._listening_s * (1.0 - self._clip_share)
+        return covered * self._bytes_for(linear_seconds)
+
+    def report(self, listeners: int) -> DeliveryCostReport:
+        """Full comparison for one audience size."""
+        return DeliveryCostReport(
+            listeners=listeners,
+            pure_streaming_bytes=self.pure_streaming_bytes(listeners),
+            hybrid_unicast_bytes=self.hybrid_unicast_bytes(listeners),
+            broadcast_equivalent_bytes=self.broadcast_equivalent_bytes(listeners),
+        )
+
+    def sweep(self, audience_sizes: List[int]) -> List[DeliveryCostReport]:
+        """Reports for a list of audience sizes (the Q-2 bench series)."""
+        return [self.report(size) for size in audience_sizes]
+
+    def crossover_clip_share(self) -> float:
+        """The clip-replacement share at which hybrid stops saving bandwidth.
+
+        With full coverage, hybrid unicast equals pure streaming when the
+        clip share reaches 1.0; with partial coverage the effective saving is
+        ``coverage * (1 - clip_share)`` of the audio bytes.  Returns the clip
+        share at which the saving drops to zero (always 1.0, included for
+        explicitness in reports and as a sanity check in tests).
+        """
+        return 1.0
+
+    def per_listener_saving_bytes(self) -> int:
+        """Average unicast bytes saved per listener."""
+        report = self.report(1000)
+        return int(report.savings_bytes / 1000)
+
+    def parameters(self) -> Dict[str, float]:
+        """The model parameters (for inclusion in bench output)."""
+        return {
+            "bitrate_kbps": float(self._bitrate_kbps),
+            "listening_hours": self._listening_s / 3600.0,
+            "clip_replacement_share": self._clip_share,
+            "broadcast_coverage": self._coverage,
+            "metadata_overhead_bytes": float(self._metadata_bytes),
+        }

@@ -1,0 +1,221 @@
+"""The hybrid playback timeline.
+
+The :class:`HybridPlayer` is the model of what the listener actually hears:
+an alternation of live radio (possibly time-shifted from the buffer) and
+recommended clips, with every transition recorded as a
+:class:`PlaybackSegment`.  It reproduces the behaviour illustrated by
+Figures 1 and 4 of the paper: live programmes are seamlessly replaced by
+clips, the replaced live audio keeps accumulating in the buffer, and a
+programme that already started can be played time-shifted after the clip.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.content.model import AudioClip
+from repro.content.schedule import LinearSchedule
+from repro.delivery.buffering import BufferManager
+from repro.errors import DeliveryError
+from repro.util.timeutils import TimeWindow, format_clock
+
+
+class SegmentSource(enum.Enum):
+    """Where the audio in a playback segment comes from."""
+
+    LIVE = "live"                # live broadcast, at the live edge
+    TIME_SHIFTED = "time_shifted"  # live service played from the buffer
+    CLIP = "clip"                # a recommended or editorially injected clip
+    SILENCE = "silence"          # nothing playing (should not normally happen)
+
+
+@dataclass(frozen=True)
+class PlaybackSegment:
+    """One contiguous stretch of audio heard by the listener."""
+
+    source: SegmentSource
+    window: TimeWindow            # listener (wall-clock) time
+    service_id: Optional[str] = None
+    programme_id: Optional[str] = None
+    clip_id: Optional[str] = None
+    broadcast_offset_s: float = 0.0  # how far behind live (for TIME_SHIFTED)
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the segment."""
+        return self.window.duration_s
+
+    def describe(self) -> str:
+        """Human-readable row for timeline output (Figure 4 style)."""
+        label = {
+            SegmentSource.LIVE: f"LIVE {self.service_id} / {self.programme_id}",
+            SegmentSource.TIME_SHIFTED: (
+                f"TIME-SHIFT {self.service_id} / {self.programme_id} "
+                f"(-{self.broadcast_offset_s / 60.0:.0f} min)"
+            ),
+            SegmentSource.CLIP: f"CLIP {self.clip_id}",
+            SegmentSource.SILENCE: "SILENCE",
+        }[self.source]
+        return f"{format_clock(self.window.start_s)}-{format_clock(self.window.end_s)}  {label}"
+
+
+class HybridPlayer:
+    """State machine producing the listener's playback timeline."""
+
+    def __init__(self, user_id: str, *, buffer_capacity_s: float = 3600.0) -> None:
+        self._user_id = user_id
+        self._buffer = BufferManager(capacity_s=buffer_capacity_s)
+        self._segments: List[PlaybackSegment] = []
+        self._service_id: Optional[str] = None
+        self._schedule: Optional[LinearSchedule] = None
+        self._clock_s: Optional[float] = None
+        self._playback_offset_s = 0.0  # how far behind live the listener currently is
+
+    # State -----------------------------------------------------------------
+
+    @property
+    def user_id(self) -> str:
+        """The listener this player belongs to."""
+        return self._user_id
+
+    @property
+    def buffer(self) -> BufferManager:
+        """The underlying live-audio buffer."""
+        return self._buffer
+
+    @property
+    def current_time_s(self) -> Optional[float]:
+        """The player's wall clock (None before tuning)."""
+        return self._clock_s
+
+    @property
+    def playback_offset_s(self) -> float:
+        """How far behind the live edge the listener currently is."""
+        return self._playback_offset_s
+
+    @property
+    def current_service_id(self) -> Optional[str]:
+        """The tuned service."""
+        return self._service_id
+
+    def segments(self) -> List[PlaybackSegment]:
+        """The playback history so far."""
+        return list(self._segments)
+
+    def timeline(self) -> List[str]:
+        """Human-readable playback timeline."""
+        return [segment.describe() for segment in self._segments]
+
+    # Operations ---------------------------------------------------------------
+
+    def tune(self, service_id: str, schedule: LinearSchedule, *, at_s: float) -> None:
+        """Tune to a live service at a given wall-clock instant."""
+        if schedule.service_id != service_id:
+            raise DeliveryError(
+                f"schedule belongs to {schedule.service_id!r}, not {service_id!r}"
+            )
+        self._service_id = service_id
+        self._schedule = schedule
+        self._clock_s = at_s
+        self._playback_offset_s = 0.0
+        self._buffer.tune(service_id, at_s=at_s)
+
+    def play_live(self, duration_s: float) -> PlaybackSegment:
+        """Play the tuned service for ``duration_s`` of listener time.
+
+        If the listener is behind live (after a clip), the audio comes from
+        the buffer (TIME_SHIFTED); otherwise it is the live edge.  The buffer
+        keeps receiving the live signal either way.
+        """
+        self._require_tuned()
+        if duration_s <= 0:
+            raise DeliveryError("duration_s must be > 0")
+        start = self._clock_s
+        end = start + duration_s
+        # Live reception continues during playback.
+        self._buffer.record_reception(from_s=start, to_s=end)
+        broadcast_start = start - self._playback_offset_s
+        programme = self._schedule.programme_at(broadcast_start)
+        source = SegmentSource.LIVE if self._playback_offset_s == 0 else SegmentSource.TIME_SHIFTED
+        segment = PlaybackSegment(
+            source=source,
+            window=TimeWindow(start, end),
+            service_id=self._service_id,
+            programme_id=programme.programme_id if programme else None,
+            broadcast_offset_s=self._playback_offset_s,
+        )
+        self._segments.append(segment)
+        self._clock_s = end
+        return segment
+
+    def play_clip(self, clip: AudioClip) -> PlaybackSegment:
+        """Replace the live audio with a recommended clip.
+
+        While the clip plays, the live broadcast keeps filling the buffer, so
+        the listener falls behind live by the clip's duration (up to the
+        buffer capacity).
+        """
+        self._require_tuned()
+        start = self._clock_s
+        end = start + clip.duration_s
+        self._buffer.record_reception(from_s=start, to_s=end)
+        self._playback_offset_s = min(
+            self._playback_offset_s + clip.duration_s, self._buffer.max_time_shift_s()
+        )
+        segment = PlaybackSegment(
+            source=SegmentSource.CLIP,
+            window=TimeWindow(start, end),
+            service_id=self._service_id,
+            clip_id=clip.clip_id,
+        )
+        self._segments.append(segment)
+        self._clock_s = end
+        return segment
+
+    def skip_to_live(self) -> None:
+        """Jump back to the live edge, dropping the accumulated offset."""
+        self._require_tuned()
+        self._playback_offset_s = 0.0
+
+    def skip_current_programme(self) -> Optional[float]:
+        """Skip the rest of the programme currently playing.
+
+        Returns the amount of skipped audio (seconds), or ``None`` when no
+        programme boundary is known.  The playback offset shrinks by the
+        skipped amount (the listener moves toward live).
+        """
+        self._require_tuned()
+        broadcast_now = self._clock_s - self._playback_offset_s
+        remaining = self._schedule.remaining_in_current(broadcast_now)
+        if remaining <= 0:
+            return None
+        skipped = min(remaining, self._playback_offset_s) if self._playback_offset_s > 0 else 0.0
+        if self._playback_offset_s > 0:
+            self._playback_offset_s = max(0.0, self._playback_offset_s - remaining)
+        return remaining if skipped == 0.0 else skipped
+
+    def can_resume_programme(self, programme_start_s: float) -> bool:
+        """Whether a programme that began at ``programme_start_s`` is replayable."""
+        return self._buffer.can_resume_at(programme_start_s)
+
+    def total_listened_s(self) -> float:
+        """Total listener time across all segments."""
+        return sum(segment.duration_s for segment in self._segments)
+
+    def clip_share(self) -> float:
+        """Fraction of listening time spent on recommended clips."""
+        total = self.total_listened_s()
+        if total <= 0:
+            return 0.0
+        clips = sum(
+            segment.duration_s
+            for segment in self._segments
+            if segment.source == SegmentSource.CLIP
+        )
+        return clips / total
+
+    def _require_tuned(self) -> None:
+        if self._service_id is None or self._schedule is None or self._clock_s is None:
+            raise DeliveryError("player must be tuned to a service first")

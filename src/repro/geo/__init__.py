@@ -1,0 +1,36 @@
+"""Geospatial primitives used by the tracking DB and trajectory mining.
+
+This package is the reproduction's substitute for the PostGIS geometry layer
+the paper relies on: geographic points, haversine geodesy, bounding boxes,
+polylines with projection/interpolation, Ramer-Douglas-Peucker
+simplification and a uniform grid spatial index.
+"""
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    midpoint,
+)
+from repro.geo.grid_index import GridIndex
+from repro.geo.point import GeoPoint
+from repro.geo.polyline import Polyline
+from repro.geo.projection import LocalProjection
+from repro.geo.rdp import rdp_indices, rdp_simplify
+
+__all__ = [
+    "BoundingBox",
+    "EARTH_RADIUS_M",
+    "GeoPoint",
+    "GridIndex",
+    "LocalProjection",
+    "Polyline",
+    "destination_point",
+    "haversine_m",
+    "initial_bearing_deg",
+    "midpoint",
+    "rdp_indices",
+    "rdp_simplify",
+]

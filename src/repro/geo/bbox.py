@@ -1,0 +1,104 @@
+"""Axis-aligned geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import GeometryError
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box in latitude/longitude space.
+
+    Longitude wrap-around at the antimeridian is not supported: the synthetic
+    cities used by the reproduction are far from ±180°, matching the paper's
+    Italian deployment.
+    """
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat > self.max_lat or self.min_lon > self.max_lon:
+            raise GeometryError(
+                "bounding box min corner must be <= max corner: "
+                f"({self.min_lat}, {self.min_lon}) vs ({self.max_lat}, {self.max_lon})"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[GeoPoint]) -> "BoundingBox":
+        """Smallest box containing every point."""
+        point_list: List[GeoPoint] = list(points)
+        if not point_list:
+            raise GeometryError("cannot build a bounding box from zero points")
+        lats = [p.lat for p in point_list]
+        lons = [p.lon for p in point_list]
+        return cls(min(lats), min(lons), max(lats), max(lons))
+
+    @classmethod
+    def around(cls, center: GeoPoint, half_side_m: float) -> "BoundingBox":
+        """A box roughly ``2*half_side_m`` wide centred on ``center``."""
+        import math
+
+        from repro.geo.geodesy import EARTH_RADIUS_M
+
+        if half_side_m < 0:
+            raise GeometryError(f"half_side_m must be >= 0, got {half_side_m}")
+        dlat = math.degrees(half_side_m / EARTH_RADIUS_M)
+        cos_lat = max(0.01, math.cos(math.radians(center.lat)))
+        dlon = math.degrees(half_side_m / (EARTH_RADIUS_M * cos_lat))
+        return cls(
+            max(-90.0, center.lat - dlat),
+            center.lon - dlon,
+            min(90.0, center.lat + dlat),
+            center.lon + dlon,
+        )
+
+    @property
+    def center(self) -> GeoPoint:
+        """Geometric center of the box."""
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether the point lies inside or on the border of the box."""
+        return (
+            self.min_lat <= point.lat <= self.max_lat
+            and self.min_lon <= point.lon <= self.max_lon
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes overlap (touching counts)."""
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )
+
+    def expanded(self, degrees: float) -> "BoundingBox":
+        """A copy grown by ``degrees`` on every side."""
+        if degrees < 0:
+            raise GeometryError(f"degrees must be >= 0, got {degrees}")
+        return BoundingBox(
+            max(-90.0, self.min_lat - degrees),
+            self.min_lon - degrees,
+            min(90.0, self.max_lat + degrees),
+            self.max_lon + degrees,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_lat, other.min_lat),
+            min(self.min_lon, other.min_lon),
+            max(self.max_lat, other.max_lat),
+            max(self.max_lon, other.max_lon),
+        )

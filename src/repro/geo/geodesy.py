@@ -1,0 +1,95 @@
+"""Great-circle geodesy on the WGS84 sphere approximation.
+
+The accuracy of the spherical model (a few meters over the distances that
+matter for commuting trajectories) is more than sufficient for the
+trajectory mining and geographic relevance computations the paper performs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.errors import GeometryError
+from repro.geo.point import GeoPoint
+
+#: Mean Earth radius in meters (IUGG).
+EARTH_RADIUS_M = 6371008.8
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in meters."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial bearing from ``a`` to ``b`` in degrees clockwise from north."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlon = lon2 - lon1
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(lat2) * math.cos(dlon)
+    bearing = math.degrees(math.atan2(x, y))
+    return bearing % 360.0
+
+
+def destination_point(origin: GeoPoint, bearing_deg: float, distance_m: float) -> GeoPoint:
+    """Point reached travelling ``distance_m`` from ``origin`` at ``bearing_deg``."""
+    if distance_m < 0:
+        raise GeometryError(f"distance_m must be >= 0, got {distance_m}")
+    angular = distance_m / EARTH_RADIUS_M
+    bearing = math.radians(bearing_deg)
+    lat1 = math.radians(origin.lat)
+    lon1 = math.radians(origin.lon)
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(angular) + math.cos(lat1) * math.sin(angular) * math.cos(bearing)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(bearing) * math.sin(angular) * math.cos(lat1),
+        math.cos(angular) - math.sin(lat1) * math.sin(lat2),
+    )
+    lon2_deg = (math.degrees(lon2) + 540.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(lat2), lon2_deg)
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Geographic midpoint of two points."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlon = lon2 - lon1
+    bx = math.cos(lat2) * math.cos(dlon)
+    by = math.cos(lat2) * math.sin(dlon)
+    lat3 = math.atan2(
+        math.sin(lat1) + math.sin(lat2),
+        math.sqrt((math.cos(lat1) + bx) ** 2 + by**2),
+    )
+    lon3 = lon1 + math.atan2(by, math.cos(lat1) + bx)
+    lon3_deg = (math.degrees(lon3) + 540.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(lat3), lon3_deg)
+
+
+def centroid(points: Iterable[GeoPoint]) -> GeoPoint:
+    """Arithmetic centroid of a set of nearby points (planar approximation)."""
+    point_list: List[GeoPoint] = list(points)
+    if not point_list:
+        raise GeometryError("centroid requires at least one point")
+    lat = sum(p.lat for p in point_list) / len(point_list)
+    lon = sum(p.lon for p in point_list) / len(point_list)
+    return GeoPoint(lat, lon)
+
+
+def path_length_m(points: Iterable[GeoPoint]) -> float:
+    """Total length of a polyline described by consecutive points."""
+    total = 0.0
+    previous: GeoPoint = None  # type: ignore[assignment]
+    for point in points:
+        if previous is not None:
+            total += haversine_m(previous, point)
+        previous = point
+    return total

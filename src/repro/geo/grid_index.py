@@ -1,0 +1,129 @@
+"""Uniform grid spatial index.
+
+A simple but effective substitute for PostGIS' GiST index: points are hashed
+into fixed-size latitude/longitude cells; radius and bounding-box queries
+only visit the cells that can contain matches.  Cell size defaults to about
+one kilometre, appropriate for city-scale listener tracking.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar
+
+from repro.errors import GeometryError, NotFoundError
+from repro.geo.bbox import BoundingBox
+from repro.geo.geodesy import haversine_m
+from repro.geo.point import GeoPoint
+
+T = TypeVar("T")
+
+#: Approximate meters per degree of latitude.
+_METERS_PER_DEGREE_LAT = 111320.0
+
+
+class GridIndex(Generic[T]):
+    """Maps items with a geographic position into uniform grid cells."""
+
+    def __init__(self, cell_size_m: float = 1000.0) -> None:
+        if cell_size_m <= 0:
+            raise GeometryError(f"cell_size_m must be > 0, got {cell_size_m}")
+        self._cell_deg = cell_size_m / _METERS_PER_DEGREE_LAT
+        self._cells: Dict[Tuple[int, int], Set[T]] = defaultdict(set)
+        self._positions: Dict[T, GeoPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._positions
+
+    def _cell_of(self, point: GeoPoint) -> Tuple[int, int]:
+        return (
+            int(math.floor(point.lat / self._cell_deg)),
+            int(math.floor(point.lon / self._cell_deg)),
+        )
+
+    def insert(self, item: T, position: GeoPoint) -> None:
+        """Insert or move ``item`` to ``position``."""
+        if item in self._positions:
+            self.remove(item)
+        cell = self._cell_of(position)
+        self._cells[cell].add(item)
+        self._positions[item] = position
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raises :class:`NotFoundError` if absent."""
+        position = self._positions.pop(item, None)
+        if position is None:
+            raise NotFoundError(f"item {item!r} is not in the index")
+        cell = self._cell_of(position)
+        bucket = self._cells.get(cell)
+        if bucket is not None:
+            bucket.discard(item)
+            if not bucket:
+                del self._cells[cell]
+
+    def position_of(self, item: T) -> GeoPoint:
+        """Current position of ``item``."""
+        position = self._positions.get(item)
+        if position is None:
+            raise NotFoundError(f"item {item!r} is not in the index")
+        return position
+
+    def items(self) -> Iterable[Tuple[T, GeoPoint]]:
+        """Iterate over ``(item, position)`` pairs."""
+        return list(self._positions.items())
+
+    def query_radius(self, center: GeoPoint, radius_m: float) -> List[Tuple[T, float]]:
+        """All items within ``radius_m`` of ``center``, with distances, sorted."""
+        if radius_m < 0:
+            raise GeometryError(f"radius_m must be >= 0, got {radius_m}")
+        cell_radius = int(math.ceil((radius_m / _METERS_PER_DEGREE_LAT) / self._cell_deg)) + 1
+        center_cell = self._cell_of(center)
+        results: List[Tuple[T, float]] = []
+        for d_lat in range(-cell_radius, cell_radius + 1):
+            for d_lon in range(-cell_radius, cell_radius + 1):
+                cell = (center_cell[0] + d_lat, center_cell[1] + d_lon)
+                for item in self._cells.get(cell, ()):
+                    distance = haversine_m(center, self._positions[item])
+                    if distance <= radius_m:
+                        results.append((item, distance))
+        results.sort(key=lambda pair: pair[1])
+        return results
+
+    def query_bbox(self, box: BoundingBox) -> List[T]:
+        """All items whose position falls inside ``box``."""
+        min_cell = (
+            int(math.floor(box.min_lat / self._cell_deg)),
+            int(math.floor(box.min_lon / self._cell_deg)),
+        )
+        max_cell = (
+            int(math.floor(box.max_lat / self._cell_deg)),
+            int(math.floor(box.max_lon / self._cell_deg)),
+        )
+        results: List[T] = []
+        for cell_lat in range(min_cell[0], max_cell[0] + 1):
+            for cell_lon in range(min_cell[1], max_cell[1] + 1):
+                for item in self._cells.get((cell_lat, cell_lon), ()):
+                    if box.contains(self._positions[item]):
+                        results.append(item)
+        return results
+
+    def nearest(self, center: GeoPoint, *, max_radius_m: float = 50000.0) -> Optional[Tuple[T, float]]:
+        """The closest item to ``center`` within ``max_radius_m`` (or ``None``).
+
+        The search expands the radius geometrically, so a nearby hit is found
+        without scanning the whole index.
+        """
+        if not self._positions:
+            return None
+        radius = min(1000.0, max_radius_m)
+        while radius <= max_radius_m:
+            hits = self.query_radius(center, radius)
+            if hits:
+                return hits[0]
+            radius *= 2.0
+        hits = self.query_radius(center, max_radius_m)
+        return hits[0] if hits else None

@@ -1,0 +1,57 @@
+"""Geographic point primitive."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A WGS84 latitude/longitude pair in decimal degrees.
+
+    The class is immutable and hashable so points can be used as dictionary
+    keys (e.g. stay-point centroids keyed by location).
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        lat = float(self.lat)
+        lon = float(self.lon)
+        if math.isnan(lat) or math.isnan(lon) or math.isinf(lat) or math.isinf(lon):
+            raise GeometryError(f"coordinates must be finite, got ({self.lat}, {self.lon})")
+        if not -90.0 <= lat <= 90.0:
+            raise GeometryError(f"latitude out of range [-90, 90]: {lat}")
+        if not -180.0 <= lon <= 180.0:
+            raise GeometryError(f"longitude out of range [-180, 180]: {lon}")
+        object.__setattr__(self, "lat", lat)
+        object.__setattr__(self, "lon", lon)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(lat, lon)``."""
+        return (self.lat, self.lon)
+
+    def distance_m(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in meters."""
+        from repro.geo.geodesy import haversine_m
+
+        return haversine_m(self, other)
+
+    def offset(self, dlat: float, dlon: float) -> "GeoPoint":
+        """Return a new point displaced by degree offsets (clamped to range)."""
+        new_lat = min(90.0, max(-90.0, self.lat + dlat))
+        new_lon = self.lon + dlon
+        # Wrap longitude into [-180, 180].
+        while new_lon > 180.0:
+            new_lon -= 360.0
+        while new_lon < -180.0:
+            new_lon += 360.0
+        return GeoPoint(new_lat, new_lon)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.lat:.6f}, {self.lon:.6f})"

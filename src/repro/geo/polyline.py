@@ -1,0 +1,141 @@
+"""Polylines (ordered point sequences) with length, interpolation and sampling."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import GeometryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.geodesy import haversine_m, initial_bearing_deg
+from repro.geo.point import GeoPoint
+
+
+class Polyline:
+    """An immutable ordered sequence of geographic points.
+
+    Used to represent route geometries on the road network and planned
+    driving paths handed to the proactive recommender.
+    """
+
+    def __init__(self, points: Sequence[GeoPoint]) -> None:
+        if len(points) < 1:
+            raise GeometryError("a polyline requires at least one point")
+        self._points: List[GeoPoint] = list(points)
+        self._cumulative: List[float] = [0.0]
+        for previous, current in zip(self._points, self._points[1:]):
+            self._cumulative.append(self._cumulative[-1] + haversine_m(previous, current))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[GeoPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> GeoPoint:
+        return self._points[index]
+
+    @property
+    def points(self) -> List[GeoPoint]:
+        """A copy of the underlying points."""
+        return list(self._points)
+
+    @property
+    def length_m(self) -> float:
+        """Total length along the polyline in meters."""
+        return self._cumulative[-1]
+
+    @property
+    def start(self) -> GeoPoint:
+        """First point."""
+        return self._points[0]
+
+    @property
+    def end(self) -> GeoPoint:
+        """Last point."""
+        return self._points[-1]
+
+    def bounding_box(self) -> BoundingBox:
+        """Smallest box containing the polyline."""
+        return BoundingBox.from_points(self._points)
+
+    def distance_along(self, index: int) -> float:
+        """Cumulative distance from the start to the point at ``index``."""
+        return self._cumulative[index]
+
+    def point_at_distance(self, distance_m: float) -> GeoPoint:
+        """Interpolated point at a given distance from the start.
+
+        Distances are clamped to ``[0, length_m]``.
+        """
+        if len(self._points) == 1 or self.length_m == 0.0:
+            return self._points[0]
+        distance = max(0.0, min(self.length_m, distance_m))
+        # Binary search over the cumulative table.
+        low, high = 0, len(self._cumulative) - 1
+        while low + 1 < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] <= distance:
+                low = mid
+            else:
+                high = mid
+        segment_start = self._points[low]
+        segment_end = self._points[high]
+        segment_length = self._cumulative[high] - self._cumulative[low]
+        if segment_length == 0.0:
+            return segment_start
+        fraction = (distance - self._cumulative[low]) / segment_length
+        lat = segment_start.lat + fraction * (segment_end.lat - segment_start.lat)
+        lon = segment_start.lon + fraction * (segment_end.lon - segment_start.lon)
+        return GeoPoint(lat, lon)
+
+    def resample(self, spacing_m: float) -> "Polyline":
+        """Return a polyline with points every ``spacing_m`` along the path."""
+        if spacing_m <= 0:
+            raise GeometryError(f"spacing_m must be > 0, got {spacing_m}")
+        if self.length_m == 0.0:
+            return Polyline([self._points[0]])
+        samples: List[GeoPoint] = []
+        distance = 0.0
+        while distance < self.length_m:
+            samples.append(self.point_at_distance(distance))
+            distance += spacing_m
+        samples.append(self.end)
+        return Polyline(samples)
+
+    def nearest_point_index(self, target: GeoPoint) -> int:
+        """Index of the vertex closest to ``target``."""
+        best_index = 0
+        best_distance = float("inf")
+        for index, point in enumerate(self._points):
+            distance = haversine_m(point, target)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index
+
+    def distance_to_point_m(self, target: GeoPoint) -> float:
+        """Distance from ``target`` to the nearest vertex (vertex-level accuracy)."""
+        index = self.nearest_point_index(target)
+        return haversine_m(self._points[index], target)
+
+    def heading_at_distance(self, distance_m: float) -> Optional[float]:
+        """Bearing of travel at the given distance, or None for a single point."""
+        if len(self._points) < 2 or self.length_m == 0.0:
+            return None
+        before = self.point_at_distance(max(0.0, distance_m - 1.0))
+        after = self.point_at_distance(min(self.length_m, distance_m + 1.0))
+        if before == after:
+            return None
+        return initial_bearing_deg(before, after)
+
+    def reversed(self) -> "Polyline":
+        """The same geometry traversed in the opposite direction."""
+        return Polyline(list(reversed(self._points)))
+
+    def concat(self, other: "Polyline") -> "Polyline":
+        """Concatenate two polylines (dropping a duplicated join point)."""
+        points = list(self._points)
+        other_points = other.points
+        if points and other_points and points[-1] == other_points[0]:
+            other_points = other_points[1:]
+        return Polyline(points + other_points)

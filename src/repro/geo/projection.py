@@ -1,0 +1,75 @@
+"""Local tangent-plane projection.
+
+Trajectory geometry (RDP simplification, point-to-segment distances,
+complexity analysis) is much simpler in a planar metric frame.
+:class:`LocalProjection` maps latitude/longitude to local east/north meters
+around a reference point using the equirectangular approximation, which is
+accurate to well under a meter over a metropolitan area.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.errors import GeometryError
+from repro.geo.geodesy import EARTH_RADIUS_M
+from repro.geo.point import GeoPoint
+
+
+class LocalProjection:
+    """Equirectangular projection centred on a reference point."""
+
+    def __init__(self, reference: GeoPoint) -> None:
+        self._reference = reference
+        self._cos_lat = math.cos(math.radians(reference.lat))
+        if self._cos_lat <= 1e-6:
+            raise GeometryError(
+                "LocalProjection reference too close to a pole for a planar frame"
+            )
+
+    @property
+    def reference(self) -> GeoPoint:
+        """The origin of the local frame."""
+        return self._reference
+
+    def to_xy(self, point: GeoPoint) -> Tuple[float, float]:
+        """Project a point to ``(east_m, north_m)`` relative to the reference."""
+        x = (
+            math.radians(point.lon - self._reference.lon)
+            * self._cos_lat
+            * EARTH_RADIUS_M
+        )
+        y = math.radians(point.lat - self._reference.lat) * EARTH_RADIUS_M
+        return (x, y)
+
+    def to_point(self, x: float, y: float) -> GeoPoint:
+        """Inverse projection from local meters back to latitude/longitude."""
+        lat = self._reference.lat + math.degrees(y / EARTH_RADIUS_M)
+        lon = self._reference.lon + math.degrees(x / (EARTH_RADIUS_M * self._cos_lat))
+        return GeoPoint(lat, lon)
+
+    def project_all(self, points: Iterable[GeoPoint]) -> List[Tuple[float, float]]:
+        """Project a sequence of points."""
+        return [self.to_xy(point) for point in points]
+
+
+def point_segment_distance_m(
+    point: Tuple[float, float],
+    start: Tuple[float, float],
+    end: Tuple[float, float],
+) -> float:
+    """Distance from ``point`` to segment ``start``–``end`` in local meters."""
+    px, py = point
+    sx, sy = start
+    ex, ey = end
+    dx = ex - sx
+    dy = ey - sy
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return math.hypot(px - sx, py - sy)
+    t = ((px - sx) * dx + (py - sy) * dy) / length_sq
+    t = max(0.0, min(1.0, t))
+    closest_x = sx + t * dx
+    closest_y = sy + t * dy
+    return math.hypot(px - closest_x, py - closest_y)

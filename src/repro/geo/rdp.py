@@ -1,0 +1,70 @@
+"""Ramer-Douglas-Peucker polyline simplification.
+
+The paper simplifies raw GPS trajectories with RDP before computing the
+trajectory *complexity* feature and before storing the compact route model
+in the tracking database.  The implementation works on geographic points by
+projecting them into a local planar frame first, so the tolerance is
+expressed in meters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geo.point import GeoPoint
+from repro.geo.projection import LocalProjection, point_segment_distance_m
+
+
+def _rdp_xy(points: Sequence[Tuple[float, float]], tolerance_m: float) -> List[int]:
+    """Iterative RDP on planar points, returning kept indices (sorted)."""
+    n = len(points)
+    if n <= 2:
+        return list(range(n))
+    keep = [False] * n
+    keep[0] = True
+    keep[n - 1] = True
+    # Explicit stack instead of recursion: GPS traces can be tens of
+    # thousands of fixes long and Python's recursion limit is shallow.
+    stack: List[Tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end <= start + 1:
+            continue
+        max_distance = -1.0
+        max_index = start
+        for index in range(start + 1, end):
+            distance = point_segment_distance_m(points[index], points[start], points[end])
+            if distance > max_distance:
+                max_distance = distance
+                max_index = index
+        if max_distance > tolerance_m:
+            keep[max_index] = True
+            stack.append((start, max_index))
+            stack.append((max_index, end))
+    return [index for index, kept in enumerate(keep) if kept]
+
+
+def rdp_indices(points: Sequence[GeoPoint], tolerance_m: float) -> List[int]:
+    """Indices of the points kept by RDP with a tolerance in meters."""
+    if tolerance_m < 0:
+        raise GeometryError(f"tolerance_m must be >= 0, got {tolerance_m}")
+    if len(points) == 0:
+        return []
+    projection = LocalProjection(points[0])
+    planar = projection.project_all(points)
+    return _rdp_xy(planar, tolerance_m)
+
+
+def rdp_simplify(points: Sequence[GeoPoint], tolerance_m: float) -> List[GeoPoint]:
+    """Return the simplified polyline (subset of the input points, in order)."""
+    return [points[index] for index in rdp_indices(points, tolerance_m)]
+
+
+def compression_ratio(original_count: int, simplified_count: int) -> float:
+    """Fraction of points removed by simplification (0 = none, 1 = all)."""
+    if original_count <= 0:
+        raise GeometryError("original_count must be positive")
+    if simplified_count < 0 or simplified_count > original_count:
+        raise GeometryError("simplified_count must be in [0, original_count]")
+    return 1.0 - (simplified_count / original_count)

@@ -1,0 +1,178 @@
+"""The public REST-like API façade.
+
+The production system exposes a "Public Rest API Server" the mobile clients
+talk to.  The reproduction models it as a thin request/response façade over
+:class:`~repro.pipeline.server.PphcrServer`: every method validates its
+input, returns an :class:`ApiResponse` with a status code and a plain
+dictionary body (what would be the JSON payload), and never leaks internal
+objects, so clients remain decoupled from server internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import NotFoundError, ReproError
+from repro.geo import GeoPoint
+from repro.pipeline.server import PphcrServer
+from repro.spatialdb import GpsFix
+from repro.users.feedback import FeedbackKind
+from repro.users.profile import UserProfile
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """A REST-style response: status code plus a JSON-like body."""
+
+    status: int
+    body: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request succeeded (2xx)."""
+        return 200 <= self.status < 300
+
+
+class PublicApi:
+    """Request handlers the client app calls."""
+
+    def __init__(self, server: PphcrServer) -> None:
+        self._server = server
+
+    # Users -----------------------------------------------------------------
+
+    def register_user(self, user_id: str, display_name: str, **details: Any) -> ApiResponse:
+        """``POST /users`` — register a listener."""
+        try:
+            profile = UserProfile(user_id=user_id, display_name=display_name, **details)
+            self._server.register_user(profile)
+        except ReproError as exc:
+            return ApiResponse(status=400, body={"error": str(exc)})
+        return ApiResponse(status=201, body={"user_id": user_id})
+
+    def get_profile(self, user_id: str) -> ApiResponse:
+        """``GET /users/{id}`` — demographic profile and learned preferences."""
+        try:
+            profile = self._server.users.profile(user_id)
+            preferences = self._server.users.preference_profile(user_id)
+        except NotFoundError as exc:
+            return ApiResponse(status=404, body={"error": str(exc)})
+        return ApiResponse(
+            status=200,
+            body={
+                "user_id": profile.user_id,
+                "display_name": profile.display_name,
+                "top_categories": preferences.top_categories(5),
+                "observations": preferences.observation_count,
+            },
+        )
+
+    # Feedback ---------------------------------------------------------------
+
+    def post_feedback(
+        self,
+        user_id: str,
+        content_id: str,
+        kind: str,
+        *,
+        timestamp_s: float,
+        listened_s: float = 0.0,
+        is_clip: bool = True,
+    ) -> ApiResponse:
+        """``POST /feedback`` — implicit or explicit feedback from the app."""
+        try:
+            feedback_kind = FeedbackKind(kind)
+        except ValueError:
+            return ApiResponse(status=400, body={"error": f"unknown feedback kind {kind!r}"})
+        try:
+            event = self._server.users.record_feedback(
+                user_id,
+                content_id,
+                feedback_kind,
+                timestamp_s=timestamp_s,
+                listened_s=listened_s,
+                is_clip=is_clip,
+            )
+        except ReproError as exc:
+            return ApiResponse(status=404, body={"error": str(exc)})
+        return ApiResponse(status=201, body={"event_id": event.event_id})
+
+    # Tracking ---------------------------------------------------------------
+
+    def post_location(
+        self,
+        user_id: str,
+        *,
+        lat: float,
+        lon: float,
+        timestamp_s: float,
+        speed_mps: float = 0.0,
+    ) -> ApiResponse:
+        """``POST /tracking`` — one GPS fix from the client."""
+        try:
+            fix = GpsFix(user_id, timestamp_s, GeoPoint(lat, lon), speed_mps=speed_mps)
+            self._server.users.ingest_fix(fix)
+        except ReproError as exc:
+            return ApiResponse(status=400, body={"error": str(exc)})
+        return ApiResponse(status=202, body={"stored": True})
+
+    # Content ------------------------------------------------------------------
+
+    def list_services(self) -> ApiResponse:
+        """``GET /services`` — the live radio services."""
+        services = [
+            {"service_id": service.service_id, "name": service.name, "bitrate_kbps": service.bitrate_kbps}
+            for service in self._server.content.services()
+        ]
+        return ApiResponse(status=200, body={"services": services})
+
+    def get_clip(self, clip_id: str) -> ApiResponse:
+        """``GET /clips/{id}`` — clip metadata."""
+        try:
+            clip = self._server.content.clip(clip_id)
+        except NotFoundError as exc:
+            return ApiResponse(status=404, body={"error": str(exc)})
+        return ApiResponse(
+            status=200,
+            body={
+                "clip_id": clip.clip_id,
+                "title": clip.title,
+                "kind": clip.kind.value,
+                "duration_s": clip.duration_s,
+                "primary_category": clip.primary_category,
+            },
+        )
+
+    # Recommendations ---------------------------------------------------------------
+
+    def get_recommendations(self, user_id: str, *, now_s: float) -> ApiResponse:
+        """``GET /recommendations`` — run the proactive pipeline for a user."""
+        try:
+            decision = self._server.recommend(user_id, now_s=now_s)
+        except NotFoundError as exc:
+            return ApiResponse(status=404, body={"error": str(exc)})
+        except ReproError as exc:
+            return ApiResponse(status=500, body={"error": str(exc)})
+        items: List[Dict[str, Any]] = []
+        if decision.plan is not None:
+            for item in decision.plan.items:
+                items.append(
+                    {
+                        "clip_id": item.clip_id,
+                        "title": item.scored.clip.title,
+                        "start_s": item.start_s,
+                        "duration_s": item.scored.clip.duration_s,
+                        "score": round(item.scored.final_score, 4),
+                        "reason": item.reason,
+                    }
+                )
+        return ApiResponse(
+            status=200,
+            body={
+                "user_id": user_id,
+                "proactive": decision.should_recommend,
+                "reason": decision.reason,
+                "items": items,
+            },
+        )

@@ -1,0 +1,83 @@
+"""In-process publish/subscribe message bus (RabbitMQ substitute).
+
+The production system wires its components with RabbitMQ; the reproduction
+uses a synchronous, deterministic bus with the same topology concepts:
+named topics, multiple subscribers per topic, and a dead-letter list for
+messages that no subscriber handled or whose handler raised.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, List
+
+from repro.errors import PipelineError
+from repro.util.ids import new_id
+
+Handler = Callable[["Message"], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message published on the bus."""
+
+    message_id: str
+    topic: str
+    body: Dict[str, Any] = field(default_factory=dict)
+
+
+class MessageBus:
+    """A synchronous topic-based publish/subscribe bus."""
+
+    def __init__(self) -> None:
+        self._subscribers: DefaultDict[str, List[Handler]] = defaultdict(list)
+        self._published: List[Message] = []
+        self._dead_letters: List[Message] = []
+        self._delivery_count = 0
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Register a handler for a topic."""
+        if not topic:
+            raise PipelineError("topic must be a non-empty string")
+        self._subscribers[topic].append(handler)
+
+    def publish(self, topic: str, body: Dict[str, Any]) -> Message:
+        """Publish a message, delivering it synchronously to all subscribers."""
+        if not topic:
+            raise PipelineError("topic must be a non-empty string")
+        message = Message(message_id=new_id("msg"), topic=topic, body=dict(body))
+        self._published.append(message)
+        handlers = self._subscribers.get(topic, [])
+        if not handlers:
+            self._dead_letters.append(message)
+            return message
+        delivered = False
+        for handler in handlers:
+            try:
+                handler(message)
+                delivered = True
+                self._delivery_count += 1
+            except Exception:  # noqa: BLE001 - a failing consumer must not break producers
+                continue
+        if not delivered:
+            self._dead_letters.append(message)
+        return message
+
+    def published_messages(self, topic: str = None) -> List[Message]:
+        """All published messages (optionally filtered by topic)."""
+        if topic is None:
+            return list(self._published)
+        return [message for message in self._published if message.topic == topic]
+
+    def dead_letters(self) -> List[Message]:
+        """Messages that were not successfully handled by any subscriber."""
+        return list(self._dead_letters)
+
+    def delivery_count(self) -> int:
+        """Number of successful handler deliveries."""
+        return self._delivery_count
+
+    def topics(self) -> List[str]:
+        """Topics that have at least one subscriber."""
+        return sorted(self._subscribers.keys())

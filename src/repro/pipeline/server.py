@@ -1,0 +1,420 @@
+"""The PPHCR content server: the integration of all components (Figure 3).
+
+Responsibilities, mirroring the paper's architecture diagram:
+
+* **Clip data management** — ingest podcasts/clips; clips carrying speech
+  are transcribed (simulated ASR) and classified with the Bayesian
+  classifier so they gain category scores.
+* **User management** — registration, feedback, tracking intake (delegated
+  to :class:`~repro.users.management.UserManager`).
+* **Recommender system** — builds the listener context from the tracking
+  data (trajectory mining, destination and ΔT prediction, distraction
+  zones) and runs the proactive engine to produce recommendation plans.
+* **Communication** — every significant step publishes a message on the
+  internal bus, which the dashboard and the tests can observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.asr import SimulatedTranscriber
+from repro.client.editorial import EditorialDesk
+from repro.content.model import AudioClip, ContentKind
+from repro.content.repository import ContentRepository
+from repro.errors import NotFoundError, PipelineError
+from repro.pipeline.messaging import MessageBus
+from repro.recommender.compound import CompoundScorer
+from repro.recommender.content_based import CandidateFilter, CandidateFilterConfig, ContentBasedScorer
+from repro.recommender.context import ListenerContext
+from repro.recommender.context_relevance import ContextScorer
+from repro.recommender.distraction import DistractionModel
+from repro.recommender.proactive import ProactiveConfig, ProactiveDecision, ProactiveEngine
+from repro.recommender.scheduling import Scheduler, SchedulerPolicy
+from repro.roadnet.generator import City
+from repro.roadnet.intersections import distraction_zones_along, route_complexity
+from repro.roadnet.routing import RoutePlanner
+from repro.spatialdb import SpatialQueryEngine
+from repro.textclass import NaiveBayesClassifier
+from repro.trajectory import (
+    DestinationPredictor,
+    Trajectory,
+    TravelTimePredictor,
+    cluster_trips,
+    split_into_trips,
+)
+from repro.trajectory.clustering import RouteCluster, find_cluster
+from repro.trajectory.staypoints import StayPoint, nearest_stay_point, stay_points_from_trips
+from repro.users.management import UserManager
+from repro.users.profile import UserProfile
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable parameters of the server-side pipeline."""
+
+    context_weight: float = 0.45
+    scheduler_policy: SchedulerPolicy = SchedulerPolicy.GREEDY
+    proactive: ProactiveConfig = ProactiveConfig()
+    candidate_filter: CandidateFilterConfig = CandidateFilterConfig()
+    asr_target_wer: float = 0.12
+    stay_point_eps_m: float = 300.0
+    min_trips_for_model: int = 2
+
+
+@dataclass
+class _UserMobilityModel:
+    """Cached trajectory mining results for one user."""
+
+    stay_points: List[StayPoint]
+    clusters: List[RouteCluster]
+    trip_count: int
+
+
+class PphcrServer:
+    """The integrated Proactive Personalized Hybrid Content Radio server."""
+
+    def __init__(
+        self,
+        *,
+        city: Optional[City] = None,
+        config: ServerConfig = ServerConfig(),
+        classifier: Optional[NaiveBayesClassifier] = None,
+    ) -> None:
+        self._config = config
+        self._bus = MessageBus()
+        self._content = ContentRepository()
+        self._users = UserManager(content=self._content)
+        self._editorial = EditorialDesk()
+        self._city = city
+        self._planner = RoutePlanner(city.network) if city is not None else None
+        self._transcriber = SimulatedTranscriber(target_wer=config.asr_target_wer)
+        self._classifier = classifier
+        self._content_scorer = ContentBasedScorer(self._content, self._users)
+        self._context_scorer = ContextScorer()
+        self._compound = CompoundScorer(
+            self._content_scorer, self._context_scorer, context_weight=config.context_weight
+        )
+        self._filter = CandidateFilter(self._content, self._users, config.candidate_filter)
+        self._scheduler = Scheduler(policy=config.scheduler_policy)
+        self._engine = ProactiveEngine(
+            self._filter, self._compound, self._scheduler, config.proactive
+        )
+        self._mobility_models: Dict[str, _UserMobilityModel] = {}
+        self._travel_time = TravelTimePredictor(self._planner)
+
+    # Component access -----------------------------------------------------
+
+    @property
+    def bus(self) -> MessageBus:
+        """The internal message bus."""
+        return self._bus
+
+    @property
+    def content(self) -> ContentRepository:
+        """The content repository / metadata DB."""
+        return self._content
+
+    @property
+    def users(self) -> UserManager:
+        """The user management component."""
+        return self._users
+
+    @property
+    def editorial(self) -> EditorialDesk:
+        """The editorial injection desk."""
+        return self._editorial
+
+    @property
+    def compound_scorer(self) -> CompoundScorer:
+        """The compound relevance scorer (exposed for ablation benches)."""
+        return self._compound
+
+    @property
+    def proactive_engine(self) -> ProactiveEngine:
+        """The proactive recommendation engine."""
+        return self._engine
+
+    @property
+    def config(self) -> ServerConfig:
+        """The server configuration."""
+        return self._config
+
+    @property
+    def route_planner(self) -> Optional[RoutePlanner]:
+        """The road-network route planner (None without a city)."""
+        return self._planner
+
+    # Classifier management --------------------------------------------------
+
+    def train_classifier(self, texts: Sequence[str], labels: Sequence[str]) -> None:
+        """Train the Bayesian classifier used by clip data management."""
+        classifier = NaiveBayesClassifier()
+        classifier.fit(list(texts), list(labels))
+        self._classifier = classifier
+        self._bus.publish("classifier.trained", {"documents": len(texts)})
+
+    # Content ingestion --------------------------------------------------------
+
+    def ingest_clip(self, clip: AudioClip, *, speech_text: Optional[str] = None) -> AudioClip:
+        """Register a clip, running ASR + classification for speech content.
+
+        ``speech_text`` is the ground-truth spoken content (available for
+        news programmes and talk podcasts in the synthetic world).  When it
+        is provided and a classifier is trained, the clip's category scores
+        are replaced by the classifier's posterior over the noisy transcript,
+        exactly as the paper's clip data management component does.
+        """
+        stored = clip
+        if speech_text and self._classifier is not None and self._classifier.is_trained:
+            transcription = self._transcriber.transcribe(speech_text, clip_id=clip.clip_id)
+            posterior = self._classifier.predict_proba(transcription.text)
+            top = sorted(posterior.items(), key=lambda pair: pair[1], reverse=True)[:3]
+            stored = replace(
+                clip,
+                transcript=transcription.text,
+                category_scores={name: score for name, score in top},
+            )
+            self._bus.publish(
+                "clip.classified",
+                {
+                    "clip_id": clip.clip_id,
+                    "predicted": top[0][0],
+                    "confidence": top[0][1],
+                    "asr_confidence": transcription.confidence,
+                },
+            )
+        self._content.add_clip(stored)
+        self._bus.publish("clip.ingested", {"clip_id": stored.clip_id, "kind": stored.kind.value})
+        return stored
+
+    def ingest_clips(
+        self, clips: Sequence[AudioClip], *, speech_texts: Optional[Dict[str, str]] = None
+    ) -> int:
+        """Ingest many clips; returns how many were stored."""
+        texts = speech_texts or {}
+        count = 0
+        for clip in clips:
+            self.ingest_clip(clip, speech_text=texts.get(clip.clip_id))
+            count += 1
+        return count
+
+    def refresh_text_model(self) -> None:
+        """(Re)fit the TF-IDF model over the ingested transcripts."""
+        self._content_scorer.fit_text_model()
+        self._bus.publish("recommender.text_model_refreshed", {})
+
+    # Users ------------------------------------------------------------------
+
+    def register_user(self, profile: UserProfile) -> None:
+        """Register a listener."""
+        self._users.register(profile)
+        self._bus.publish("user.registered", {"user_id": profile.user_id})
+
+    # Mobility model -------------------------------------------------------------
+
+    def rebuild_mobility_model(self, user_id: str) -> _UserMobilityModel:
+        """Run the periodic tracking-data compaction for one user.
+
+        Splits the raw GPS history into trips, extracts stay points with
+        DBSCAN and clusters recurring routes.  The result is cached and used
+        by :meth:`build_context`.
+        """
+        try:
+            fixes = self._users.tracking.fixes_for(user_id)
+        except NotFoundError:
+            fixes = []
+        if len(fixes) < 2:
+            raise PipelineError(f"not enough tracking data for user {user_id!r}")
+        trajectory = Trajectory.from_fixes(user_id, fixes)
+        trips = split_into_trips(trajectory)
+        stay_points = stay_points_from_trips(trips, eps_m=self._config.stay_point_eps_m) if trips else []
+        clusters = cluster_trips(trips, stay_points) if stay_points else []
+        model = _UserMobilityModel(stay_points=stay_points, clusters=clusters, trip_count=len(trips))
+        self._mobility_models[user_id] = model
+        self._bus.publish(
+            "tracking.model_rebuilt",
+            {
+                "user_id": user_id,
+                "trips": len(trips),
+                "stay_points": len(stay_points),
+                "clusters": len(clusters),
+            },
+        )
+        return model
+
+    def mobility_model(self, user_id: str) -> _UserMobilityModel:
+        """The cached mobility model (rebuilding it if necessary)."""
+        model = self._mobility_models.get(user_id)
+        if model is None:
+            model = self.rebuild_mobility_model(user_id)
+        return model
+
+    def compact_tracking_data(self, *, keep_window_s: float = 14 * 86400.0) -> Dict[str, int]:
+        """Run the periodic tracking-data compaction described in the paper.
+
+        "The amount of GPS data arriving to the tracking data DB requires to
+        periodically process and simplify them": for every tracked user the
+        compact mobility model is (re)built and raw fixes older than
+        ``keep_window_s`` (relative to the user's latest fix) are pruned.
+        Returns the number of fixes removed per user.
+        """
+        if keep_window_s <= 0:
+            raise PipelineError("keep_window_s must be > 0")
+        removed: Dict[str, int] = {}
+        for user_id in self._users.tracking.user_ids():
+            try:
+                self.rebuild_mobility_model(user_id)
+            except PipelineError:
+                continue
+            latest = self._users.tracking.latest_fix(user_id).timestamp_s
+            removed[user_id] = self._users.tracking.prune_before(
+                user_id, latest - keep_window_s
+            )
+        self._bus.publish(
+            "tracking.compacted",
+            {"users": len(removed), "fixes_removed": sum(removed.values())},
+        )
+        return removed
+
+    # Context building -------------------------------------------------------------
+
+    def build_context(
+        self,
+        user_id: str,
+        *,
+        now_s: float,
+        drive_window_s: float = 1800.0,
+    ) -> ListenerContext:
+        """Assemble the listener context from the stored tracking data.
+
+        Uses the trailing ``drive_window_s`` of GPS fixes as the partial
+        drive, predicts destination and remaining travel time, plans the
+        residual route on the road network and derives its distraction zones.
+        """
+        self._users.profile(user_id)
+        tracking = self._users.tracking
+        try:
+            fixes = tracking.fixes_for(user_id, start_s=now_s - drive_window_s, end_s=now_s + 1.0)
+        except NotFoundError:
+            fixes = []
+        if len(fixes) < 2:
+            return ListenerContext(user_id=user_id, now_s=now_s, is_driving=False)
+
+        partial = Trajectory.from_fixes(user_id, fixes)
+        engine = SpatialQueryEngine(tracking)
+        speed = engine.current_speed_mps(user_id)
+        is_driving = speed > 2.0 and partial.length_m > 200.0
+        position = partial.destination
+
+        destination_prediction = None
+        travel_time = None
+        route_geometry = None
+        zones = []
+        complexity = 0.0
+        if is_driving:
+            try:
+                model = self.mobility_model(user_id)
+            except PipelineError:
+                model = None
+            if model is not None and model.stay_points:
+                try:
+                    predictor = DestinationPredictor(model.stay_points, model.clusters)
+                    destination_prediction = predictor.most_likely(partial)
+                except Exception:  # noqa: BLE001 - prediction failure just means "no proactivity"
+                    destination_prediction = None
+            if destination_prediction is not None:
+                cluster = None
+                if model is not None:
+                    origin_sp = nearest_stay_point(model.stay_points, partial.origin, max_distance_m=800.0)
+                    if origin_sp is not None:
+                        cluster = find_cluster(
+                            model.clusters, origin_sp.stay_point_id, destination_prediction.stay_point_id
+                        )
+                fraction = None
+                if cluster is not None and cluster.median_length_m > 0:
+                    fraction = min(1.0, partial.length_m / cluster.median_length_m)
+                try:
+                    travel_time = self._travel_time.estimate(
+                        position,
+                        destination_prediction.center,
+                        now_s=now_s,
+                        cluster=cluster,
+                        fraction_completed=fraction,
+                    )
+                except Exception:  # noqa: BLE001
+                    travel_time = None
+                if self._planner is not None:
+                    try:
+                        route = self._planner.route_between_points(
+                            position, destination_prediction.center
+                        )
+                        route_geometry = route.geometry
+                        zones = distraction_zones_along(
+                            self._city.network, route, departure_s=now_s
+                        )
+                        complexity = route_complexity(self._city.network, route)
+                    except NotFoundError:
+                        route_geometry = None
+
+        context = ListenerContext(
+            user_id=user_id,
+            now_s=now_s,
+            position=position,
+            speed_mps=speed,
+            is_driving=is_driving,
+            route=route_geometry,
+            destination=destination_prediction,
+            travel_time=travel_time,
+            distraction_zones=zones,
+            route_complexity=complexity,
+        )
+        self._bus.publish(
+            "context.built",
+            {
+                "user_id": user_id,
+                "is_driving": is_driving,
+                "destination_confidence": context.destination_confidence,
+                "available_s": context.available_time_s or 0.0,
+            },
+        )
+        return context
+
+    # Recommendation -------------------------------------------------------------
+
+    def recommend(
+        self,
+        user_id: str,
+        *,
+        now_s: float,
+        drive_elapsed_s: Optional[float] = None,
+        context: Optional[ListenerContext] = None,
+    ) -> ProactiveDecision:
+        """Run the full proactive pipeline for one listener."""
+        listener_context = context if context is not None else self.build_context(user_id, now_s=now_s)
+        elapsed = drive_elapsed_s
+        if elapsed is None:
+            elapsed = self._config.proactive.min_drive_elapsed_s if listener_context.is_driving else 0.0
+        distraction = (
+            DistractionModel(listener_context.distraction_zones)
+            if listener_context.distraction_zones
+            else None
+        )
+        boosts = self._editorial.boosts_for(user_id, now_s=now_s)
+        decision = self._engine.evaluate(
+            listener_context,
+            drive_elapsed_s=elapsed,
+            distraction=distraction,
+            editorial_boosts=boosts,
+        )
+        self._bus.publish(
+            "recommendation.decision",
+            {
+                "user_id": user_id,
+                "recommended": decision.should_recommend,
+                "reason": decision.reason,
+                "items": len(decision.recommended_clip_ids),
+            },
+        )
+        return decision

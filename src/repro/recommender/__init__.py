@@ -1,0 +1,65 @@
+"""The proactive, context-aware recommender system (the paper's core).
+
+The pipeline follows Section 1.2 of the paper:
+
+1. for each user, filter a candidate set of media items using
+   *content-based* relevance learned from past feedback
+   (:mod:`repro.recommender.content_based`);
+2. compute a *compound* relevance score as a weighted combination of the
+   content-based relevance and the *context-based* relevance — location,
+   trajectory, speed and time information
+   (:mod:`repro.recommender.context_relevance`,
+   :mod:`repro.recommender.compound`);
+3. select and schedule the recommendation set against the available time ΔT
+   and temporal/presentation constraints, accounting for driving conditions
+   and projected distraction at intersections and roundabouts
+   (:mod:`repro.recommender.scheduling`, :mod:`repro.recommender.distraction`);
+4. decide *when* to deliver proactively, based on movement detection and
+   destination-prediction confidence (:mod:`repro.recommender.proactive`).
+
+Baselines used by the evaluation benches live in
+:mod:`repro.recommender.baselines`.
+"""
+
+from repro.recommender.baselines import (
+    ContentOnlyRecommender,
+    PopularityRecommender,
+    RandomRecommender,
+)
+from repro.recommender.compound import CompoundScorer, ScoredClip
+from repro.recommender.content_based import CandidateFilter, ContentBasedScorer
+from repro.recommender.context import DrivingCondition, ListenerContext
+from repro.recommender.context_relevance import ContextScorer
+from repro.recommender.distraction import DistractionModel
+from repro.recommender.extensions import RichContextScorer, diversify, list_diversity, plan_diversity
+from repro.recommender.proactive import ProactiveEngine, ProactiveDecision
+from repro.recommender.scheduling import (
+    RecommendationPlan,
+    ScheduledClip,
+    Scheduler,
+    SchedulerPolicy,
+)
+
+__all__ = [
+    "CandidateFilter",
+    "CompoundScorer",
+    "ContentBasedScorer",
+    "ContentOnlyRecommender",
+    "ContextScorer",
+    "DistractionModel",
+    "DrivingCondition",
+    "ListenerContext",
+    "PopularityRecommender",
+    "ProactiveDecision",
+    "ProactiveEngine",
+    "RandomRecommender",
+    "RecommendationPlan",
+    "RichContextScorer",
+    "ScheduledClip",
+    "Scheduler",
+    "SchedulerPolicy",
+    "ScoredClip",
+    "diversify",
+    "list_diversity",
+    "plan_diversity",
+]

@@ -1,0 +1,96 @@
+"""Baseline recommenders used by the evaluation benches.
+
+The paper does not publish a quantitative comparison, but its central claims
+("the relevance of the content for the listeners increases", "decreasing her
+tendency to switch channels") are only meaningful against baselines.  We
+implement the natural ones:
+
+* :class:`RandomRecommender` — uniform random selection from the candidates;
+* :class:`PopularityRecommender` — ranks by global positive-feedback counts;
+* :class:`ContentOnlyRecommender` — the paper's own content-based relevance
+  with the context weight forced to zero (i.e. a conventional personalized
+  podcast recommender with no location/trajectory/ΔT awareness).
+
+Pure linear radio (no replacement at all) is represented in the simulation
+layer by simply not invoking any recommender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.content.model import AudioClip
+from repro.content.repository import ContentRepository
+from repro.recommender.compound import CompoundScorer, ScoredClip
+from repro.recommender.content_based import ContentBasedScorer
+from repro.recommender.context import ListenerContext
+from repro.users.management import UserManager
+from repro.util.rng import DeterministicRng
+
+
+class RandomRecommender:
+    """Selects candidates uniformly at random (lower bound baseline)."""
+
+    def __init__(self, *, seed: int = 99) -> None:
+        self._rng = DeterministicRng(seed)
+
+    def rank(
+        self, clips: Sequence[AudioClip], context: ListenerContext, *, top_k: Optional[int] = None
+    ) -> List[ScoredClip]:
+        """Assign random scores and rank by them."""
+        scored = [
+            ScoredClip(
+                clip=clip,
+                content_score=0.0,
+                context_score=0.0,
+                compound_score=self._rng.random(),
+            )
+            for clip in clips
+        ]
+        scored.sort(key=lambda item: item.compound_score, reverse=True)
+        return scored[:top_k] if top_k is not None else scored
+
+
+class PopularityRecommender:
+    """Ranks clips by their global count of positive feedback events."""
+
+    def __init__(self, content: ContentRepository, users: UserManager) -> None:
+        self._content = content
+        self._users = users
+
+    def _popularity(self, clip: AudioClip) -> float:
+        events = self._users.feedback.events_for_content(clip.clip_id)
+        positive = sum(1 for event in events if event.is_positive)
+        total = len(events)
+        if total == 0:
+            return 0.0
+        return positive / (total + 2.0)  # shrunk toward zero for tiny samples
+
+    def rank(
+        self, clips: Sequence[AudioClip], context: ListenerContext, *, top_k: Optional[int] = None
+    ) -> List[ScoredClip]:
+        """Rank by smoothed popularity."""
+        scored = [
+            ScoredClip(
+                clip=clip,
+                content_score=self._popularity(clip),
+                context_score=0.0,
+                compound_score=self._popularity(clip),
+            )
+            for clip in clips
+        ]
+        scored.sort(key=lambda item: (item.compound_score, item.clip_id), reverse=True)
+        return scored[:top_k] if top_k is not None else scored
+
+
+class ContentOnlyRecommender:
+    """The paper's content-based relevance without any context awareness."""
+
+    def __init__(self, content_scorer: ContentBasedScorer) -> None:
+        self._scorer = CompoundScorer(content_scorer, context_weight=0.0)
+
+    def rank(
+        self, clips: Sequence[AudioClip], context: ListenerContext, *, top_k: Optional[int] = None
+    ) -> List[ScoredClip]:
+        """Rank by content-based relevance only."""
+        return self._scorer.rank(clips, context, top_k=top_k)

@@ -1,0 +1,113 @@
+"""The compound relevance score.
+
+"Then a compound relevance score is calculated through weighted combination
+of the content-based relevance and the context-based relevance (location,
+trajectory, speed and time information)."  The context weight ``w`` is the
+primary ablation knob of the reproduction (bench A-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.content.model import AudioClip
+from repro.errors import ValidationError
+from repro.recommender.content_based import ContentBasedScorer
+from repro.recommender.context import ListenerContext
+from repro.recommender.context_relevance import ContextScorer
+
+
+@dataclass(frozen=True)
+class ScoredClip:
+    """A candidate clip with its relevance breakdown."""
+
+    clip: AudioClip
+    content_score: float
+    context_score: float
+    compound_score: float
+    editorial_boost: float = 0.0
+
+    @property
+    def clip_id(self) -> str:
+        """Identifier of the underlying clip."""
+        return self.clip.clip_id
+
+    @property
+    def final_score(self) -> float:
+        """Compound score plus any editorial boost, clamped to [0, 1]."""
+        return min(1.0, self.compound_score + self.editorial_boost)
+
+    @property
+    def relevance_density(self) -> float:
+        """Relevance per minute of playback (used by the greedy scheduler)."""
+        minutes = max(1.0 / 60.0, self.clip.duration_s / 60.0)
+        return self.final_score / minutes
+
+
+class CompoundScorer:
+    """Combines content-based and context-based relevance."""
+
+    def __init__(
+        self,
+        content_scorer: ContentBasedScorer,
+        context_scorer: Optional[ContextScorer] = None,
+        *,
+        context_weight: float = 0.45,
+    ) -> None:
+        if not 0.0 <= context_weight <= 1.0:
+            raise ValidationError(f"context_weight must be in [0, 1], got {context_weight}")
+        self._content_scorer = content_scorer
+        self._context_scorer = context_scorer or ContextScorer()
+        self._context_weight = context_weight
+
+    @property
+    def context_weight(self) -> float:
+        """The weight ``w`` given to the context-based relevance."""
+        return self._context_weight
+
+    def with_context_weight(self, context_weight: float) -> "CompoundScorer":
+        """A copy with a different context weight (ablation helper)."""
+        return CompoundScorer(
+            self._content_scorer, self._context_scorer, context_weight=context_weight
+        )
+
+    def score(
+        self,
+        clip: AudioClip,
+        context: ListenerContext,
+        *,
+        editorial_boosts: Optional[Dict[str, float]] = None,
+    ) -> ScoredClip:
+        """Score one candidate clip for the listener context."""
+        content_score = self._content_scorer.score(context.user_id, clip, now_s=context.now_s)
+        context_score = self._context_scorer.score(clip, context)
+        weight = self._context_weight
+        compound = (1.0 - weight) * content_score + weight * context_score
+        boost = (editorial_boosts or {}).get(clip.clip_id, 0.0)
+        return ScoredClip(
+            clip=clip,
+            content_score=content_score,
+            context_score=context_score,
+            compound_score=compound,
+            editorial_boost=boost,
+        )
+
+    def rank(
+        self,
+        clips: Sequence[AudioClip],
+        context: ListenerContext,
+        *,
+        editorial_boosts: Optional[Dict[str, float]] = None,
+        top_k: Optional[int] = None,
+    ) -> List[ScoredClip]:
+        """Score and rank candidates by final score (descending)."""
+        scored = [
+            self.score(clip, context, editorial_boosts=editorial_boosts) for clip in clips
+        ]
+        scored.sort(key=lambda item: (item.final_score, item.clip_id), reverse=True)
+        if top_k is not None:
+            if top_k < 0:
+                raise ValidationError(f"top_k must be >= 0, got {top_k}")
+            scored = scored[:top_k]
+        return scored

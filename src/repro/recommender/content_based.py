@@ -1,0 +1,177 @@
+"""Candidate filtering and content-based relevance.
+
+"For each user the recommender filters a candidate set of media items using
+content-based relevance based on past listener's feedbacks."  The filter
+removes content the listener has already heard or explicitly rejected and
+keeps recent items; the scorer combines the category-profile affinity with a
+TF-IDF similarity to positively rated clips and a recency prior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.content.model import AudioClip
+from repro.content.repository import ContentRepository
+from repro.errors import ValidationError
+from repro.textclass.tfidf import SparseVector, TfIdfVectorizer, cosine_similarity
+from repro.users.management import UserManager
+
+
+@dataclass(frozen=True)
+class CandidateFilterConfig:
+    """Controls which clips survive candidate filtering."""
+
+    max_candidates: int = 200
+    exclude_heard: bool = True
+    exclude_disliked_categories: bool = True
+    max_age_s: Optional[float] = 7 * 86400.0  # only recent podcasts by default
+    min_duration_s: float = 30.0
+    max_duration_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_candidates < 1:
+            raise ValidationError("max_candidates must be >= 1")
+        if self.min_duration_s < 0 or self.max_duration_s <= self.min_duration_s:
+            raise ValidationError("duration bounds must satisfy 0 <= min < max")
+
+
+class CandidateFilter:
+    """Builds the per-user candidate set from the content repository."""
+
+    def __init__(
+        self,
+        content: ContentRepository,
+        users: UserManager,
+        config: CandidateFilterConfig = CandidateFilterConfig(),
+    ) -> None:
+        self._content = content
+        self._users = users
+        self._config = config
+
+    def lookup_clip(self, clip_id: str) -> Optional[AudioClip]:
+        """Fetch a clip from the repository regardless of filtering (or ``None``).
+
+        Used by the proactive engine to make editorially injected clips
+        eligible even when the normal candidate filter would exclude them.
+        """
+        try:
+            return self._content.clip(clip_id)
+        except Exception:  # noqa: BLE001 - absence is a legitimate outcome
+            return None
+
+    def candidates(self, user_id: str, *, now_s: float) -> List[AudioClip]:
+        """The candidate clips for a user at a given time."""
+        config = self._config
+        heard = set(self._users.feedback.positive_content_ids(user_id)) | set(
+            self._users.feedback.negative_content_ids(user_id)
+        )
+        disliked = set(self._users.preference_profile(user_id).disliked_categories())
+        cutoff = now_s - config.max_age_s if config.max_age_s is not None else None
+
+        selected: List[AudioClip] = []
+        for clip in self._content.clips():
+            if config.exclude_heard and clip.clip_id in heard:
+                continue
+            if not config.min_duration_s <= clip.duration_s <= config.max_duration_s:
+                continue
+            if cutoff is not None and clip.published_s < cutoff:
+                continue
+            if config.exclude_disliked_categories and clip.primary_category in disliked:
+                continue
+            selected.append(clip)
+        # Prefer fresher content when the pool is larger than the cap.
+        selected.sort(key=lambda clip: clip.published_s, reverse=True)
+        return selected[: config.max_candidates]
+
+
+class ContentBasedScorer:
+    """Content-based relevance of a clip for a listener, in [0, 1]."""
+
+    def __init__(
+        self,
+        content: ContentRepository,
+        users: UserManager,
+        *,
+        profile_weight: float = 0.6,
+        similarity_weight: float = 0.3,
+        recency_weight: float = 0.1,
+        recency_halflife_s: float = 2 * 86400.0,
+    ) -> None:
+        total = profile_weight + similarity_weight + recency_weight
+        if total <= 0:
+            raise ValidationError("scorer weights must sum to a positive value")
+        self._content = content
+        self._users = users
+        self._profile_weight = profile_weight / total
+        self._similarity_weight = similarity_weight / total
+        self._recency_weight = recency_weight / total
+        self._recency_halflife_s = recency_halflife_s
+        self._vectorizer: Optional[TfIdfVectorizer] = None
+        self._clip_vectors: Dict[str, SparseVector] = {}
+
+    def fit_text_model(self) -> None:
+        """Fit the TF-IDF model over all clips that carry transcripts.
+
+        Optional: when no transcripts exist the similarity term falls back to
+        a neutral 0.5 and only the category profile and recency matter.
+        """
+        documents: List[str] = []
+        clip_ids: List[str] = []
+        for clip in self._content.clips():
+            if clip.transcript:
+                documents.append(clip.transcript)
+                clip_ids.append(clip.clip_id)
+        if not documents:
+            self._vectorizer = None
+            self._clip_vectors = {}
+            return
+        self._vectorizer = TfIdfVectorizer()
+        vectors = self._vectorizer.fit_transform(documents)
+        self._clip_vectors = dict(zip(clip_ids, vectors))
+
+    def score(self, user_id: str, clip: AudioClip, *, now_s: float) -> float:
+        """Content-based relevance of one clip for one user."""
+        profile = self._users.preference_profile(user_id)
+        profile_term = profile.affinity(clip.category_scores)
+        similarity_term = self._similarity_to_liked(user_id, clip)
+        recency_term = self._recency(clip, now_s)
+        return (
+            self._profile_weight * profile_term
+            + self._similarity_weight * similarity_term
+            + self._recency_weight * recency_term
+        )
+
+    def score_many(
+        self, user_id: str, clips: Sequence[AudioClip], *, now_s: float
+    ) -> Dict[str, float]:
+        """Scores for a batch of clips keyed by clip id."""
+        return {clip.clip_id: self.score(user_id, clip, now_s=now_s) for clip in clips}
+
+    # Internal ----------------------------------------------------------------
+
+    def _similarity_to_liked(self, user_id: str, clip: AudioClip) -> float:
+        if self._vectorizer is None:
+            return 0.5
+        clip_vector = self._clip_vectors.get(clip.clip_id)
+        if clip_vector is None and clip.transcript:
+            clip_vector = self._vectorizer.transform(clip.transcript)
+        if not clip_vector:
+            return 0.5
+        liked_ids = self._users.feedback.positive_content_ids(user_id)
+        liked_vectors = [
+            self._clip_vectors[content_id]
+            for content_id in liked_ids[-20:]
+            if content_id in self._clip_vectors
+        ]
+        if not liked_vectors:
+            return 0.5
+        best = max(cosine_similarity(clip_vector, other) for other in liked_vectors)
+        return best
+
+    def _recency(self, clip: AudioClip, now_s: float) -> float:
+        age_s = max(0.0, now_s - clip.published_s)
+        if self._recency_halflife_s <= 0:
+            return 1.0
+        return 0.5 ** (age_s / self._recency_halflife_s)

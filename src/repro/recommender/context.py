@@ -1,0 +1,109 @@
+"""The listener context model.
+
+The paper's context includes "profile, emotional state, activity,
+geographical position, weather, or other factors contributing to the state
+of the listener"; the prototype concretely uses location, movement
+(trajectory, speed), predicted destination/route and time.  This module
+bundles those signals into one immutable object the scorers consume, plus a
+coarse *driving condition* derived from speed and route complexity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.geo import GeoPoint, Polyline
+from repro.roadnet.intersections import DistractionZone
+from repro.trajectory.prediction import DestinationPrediction
+from repro.trajectory.travel_time import TravelTimeEstimate
+from repro.util.timeutils import time_of_day_bucket
+
+
+class DrivingCondition(enum.Enum):
+    """Coarse assessment of how demanding the current driving is."""
+
+    PARKED = "parked"
+    LIGHT = "light"        # cruising, low complexity
+    MODERATE = "moderate"  # urban driving
+    DEMANDING = "demanding"  # dense junctions, high speed variance
+
+
+@dataclass(frozen=True)
+class ListenerContext:
+    """Everything the recommender knows about the listener *right now*."""
+
+    user_id: str
+    now_s: float
+    position: Optional[GeoPoint] = None
+    speed_mps: float = 0.0
+    is_driving: bool = False
+    route: Optional[Polyline] = None
+    destination: Optional[DestinationPrediction] = None
+    travel_time: Optional[TravelTimeEstimate] = None
+    distraction_zones: List[DistractionZone] = field(default_factory=list)
+    route_complexity: float = 0.0
+    weather: Optional[str] = None
+    activity: Optional[str] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.speed_mps < 0:
+            raise ValidationError(f"speed_mps must be >= 0, got {self.speed_mps}")
+        if not 0.0 <= self.route_complexity <= 1.0:
+            raise ValidationError(
+                f"route_complexity must be in [0, 1], got {self.route_complexity}"
+            )
+
+    @property
+    def time_of_day(self) -> str:
+        """Name of the current time-of-day bucket."""
+        return time_of_day_bucket(self.now_s).name
+
+    @property
+    def available_time_s(self) -> Optional[float]:
+        """The usable ΔT the scheduler should plan against, if known."""
+        if self.travel_time is None:
+            return None
+        return self.travel_time.usable_s
+
+    @property
+    def destination_confidence(self) -> float:
+        """Probability of the predicted destination (0 when unknown)."""
+        return self.destination.probability if self.destination is not None else 0.0
+
+    @property
+    def driving_condition(self) -> DrivingCondition:
+        """Coarse driving condition from speed and route complexity."""
+        if not self.is_driving or self.speed_mps < 0.5:
+            return DrivingCondition.PARKED
+        if self.route_complexity >= 0.6 or self.speed_mps > 27.0:
+            return DrivingCondition.DEMANDING
+        if self.route_complexity >= 0.3 or self.speed_mps > 15.0:
+            return DrivingCondition.MODERATE
+        return DrivingCondition.LIGHT
+
+    def with_travel_time(self, travel_time: TravelTimeEstimate) -> "ListenerContext":
+        """Copy of the context with an updated ΔT estimate."""
+        return ListenerContext(
+            user_id=self.user_id,
+            now_s=self.now_s,
+            position=self.position,
+            speed_mps=self.speed_mps,
+            is_driving=self.is_driving,
+            route=self.route,
+            destination=self.destination,
+            travel_time=travel_time,
+            distraction_zones=list(self.distraction_zones),
+            route_complexity=self.route_complexity,
+            weather=self.weather,
+            activity=self.activity,
+            extras=dict(self.extras),
+        )
+
+
+def stationary_context(user_id: str, now_s: float, position: Optional[GeoPoint] = None) -> ListenerContext:
+    """A minimal context for a listener who is not moving (manual-skip scenario)."""
+    return ListenerContext(user_id=user_id, now_s=now_s, position=position, is_driving=False)

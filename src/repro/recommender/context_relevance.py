@@ -1,0 +1,143 @@
+"""Context-based relevance.
+
+The second half of the compound score: how well a clip fits the listener's
+*situation* — location and projected route (geographic relevance), time of
+day, available time ΔT (duration fit), and driving conditions (spoken-word
+versus demanding traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.content.geo_relevance import geographic_relevance
+from repro.content.model import AudioClip, ContentKind
+from repro.errors import ValidationError
+from repro.recommender.context import DrivingCondition, ListenerContext
+
+#: Which categories fit which time-of-day bucket particularly well.  The
+#: boost is mild (the learned profile stays dominant) but reproduces the
+#: paper's example of playing "the last news" at the start of a morning drive.
+_TIME_OF_DAY_AFFINITY: Dict[str, Dict[str, float]] = {
+    "morning": {
+        "news-national": 1.0,
+        "news-local": 1.0,
+        "news-international": 0.9,
+        "traffic-and-weather": 1.0,
+        "economics": 0.7,
+    },
+    "afternoon": {"talk-show": 0.7, "music-pop": 0.6, "sport-football": 0.6},
+    "evening": {"comedy": 0.8, "talk-show": 0.7, "music-jazz": 0.6, "food-and-wine": 0.7},
+    "night": {"music-classical": 0.8, "music-jazz": 0.8, "literature": 0.6},
+}
+
+#: How demanding each content kind is on the driver's attention.
+_KIND_ATTENTION_LOAD: Dict[ContentKind, float] = {
+    ContentKind.MUSIC: 0.1,
+    ContentKind.ADVERTISEMENT: 0.2,
+    ContentKind.PODCAST: 0.5,
+    ContentKind.TIME_SHIFTED: 0.5,
+    ContentKind.NEWS: 0.4,
+}
+
+
+@dataclass(frozen=True)
+class ContextScorerWeights:
+    """Relative weights of the context sub-scores (normalized at use)."""
+
+    geographic: float = 0.35
+    time_of_day: float = 0.2
+    duration_fit: float = 0.25
+    driving_fit: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = self.geographic + self.time_of_day + self.duration_fit + self.driving_fit
+        if total <= 0:
+            raise ValidationError("context weights must sum to a positive value")
+
+
+class ContextScorer:
+    """Context-based relevance of a clip for a listener context, in [0, 1]."""
+
+    def __init__(self, weights: ContextScorerWeights = ContextScorerWeights()) -> None:
+        self._weights = weights
+        total = (
+            weights.geographic + weights.time_of_day + weights.duration_fit + weights.driving_fit
+        )
+        self._norm = total
+
+    def score(self, clip: AudioClip, context: ListenerContext) -> float:
+        """Overall context relevance."""
+        weights = self._weights
+        value = (
+            weights.geographic * self.geographic_score(clip, context)
+            + weights.time_of_day * self.time_of_day_score(clip, context)
+            + weights.duration_fit * self.duration_fit_score(clip, context)
+            + weights.driving_fit * self.driving_fit_score(clip, context)
+        )
+        return value / self._norm
+
+    def score_many(
+        self, clips: Sequence[AudioClip], context: ListenerContext
+    ) -> Dict[str, float]:
+        """Context scores for a batch of clips keyed by clip id."""
+        return {clip.clip_id: self.score(clip, context) for clip in clips}
+
+    # Sub-scores ---------------------------------------------------------------
+
+    def geographic_score(self, clip: AudioClip, context: ListenerContext) -> float:
+        """Relevance of the clip's geographic footprint to the listener's space."""
+        destination = context.destination.center if context.destination is not None else None
+        return geographic_relevance(
+            clip,
+            current_position=context.position,
+            route=context.route,
+            destination=destination,
+        )
+
+    def time_of_day_score(self, clip: AudioClip, context: ListenerContext) -> float:
+        """How well the clip's categories fit the current time of day."""
+        affinities = _TIME_OF_DAY_AFFINITY.get(context.time_of_day, {})
+        scores = clip.normalized_scores()
+        if not scores:
+            return 0.5
+        boosted = sum(share * affinities.get(name, 0.5) for name, share in scores.items())
+        return min(1.0, boosted)
+
+    def duration_fit_score(self, clip: AudioClip, context: ListenerContext) -> float:
+        """How well the clip's duration fits the available time ΔT.
+
+        Clips longer than the remaining time are heavily penalized (they
+        would be cut off at arrival); short clips are mildly penalized when
+        ΔT is long because they fragment the experience.
+        """
+        available = context.available_time_s
+        if available is None or available <= 0:
+            return 0.5
+        if clip.duration_s > available:
+            overshoot = clip.duration_s / available
+            return max(0.0, 1.0 - (overshoot - 1.0) * 2.0) * 0.3
+        share = clip.duration_s / available
+        # Peak at clips covering 20%..80% of the available time.
+        if share < 0.2:
+            return 0.5 + 2.0 * share  # 0.5..0.9
+        if share <= 0.8:
+            return 1.0
+        return 1.0 - (share - 0.8)
+
+    def driving_fit_score(self, clip: AudioClip, context: ListenerContext) -> float:
+        """How appropriate the content kind is for the driving condition.
+
+        Demanding driving favours low-attention content (music), light
+        driving is neutral, parked listeners can handle anything.
+        """
+        condition = context.driving_condition
+        load = _KIND_ATTENTION_LOAD.get(clip.kind, 0.5)
+        if condition == DrivingCondition.PARKED:
+            return 1.0
+        if condition == DrivingCondition.LIGHT:
+            return 1.0 - 0.2 * load
+        if condition == DrivingCondition.MODERATE:
+            return 1.0 - 0.5 * load
+        return 1.0 - 0.9 * load

@@ -1,0 +1,108 @@
+"""Driver distraction model.
+
+Converts the route's distraction zones (intersections, roundabouts) into a
+set of *blocked windows* on the drive timeline.  The scheduler avoids
+placing clip boundaries — the moments when the listener's attention is drawn
+to the change of content — inside high-distraction windows, and avoids
+starting attention-heavy content just before one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.roadnet.intersections import DistractionZone
+from repro.util.timeutils import TimeWindow, merge_windows
+
+
+@dataclass(frozen=True)
+class DistractionAssessment:
+    """Summary of how a candidate boundary instant relates to distraction."""
+
+    instant_s: float
+    blocked: bool
+    nearest_zone_weight: float
+    suggested_shift_s: float  # 0 when the instant is fine as is
+
+
+class DistractionModel:
+    """Boundary placement rules derived from the route's distraction zones."""
+
+    def __init__(
+        self,
+        zones: Sequence[DistractionZone],
+        *,
+        block_threshold: float = 0.5,
+        boundary_padding_s: float = 3.0,
+    ) -> None:
+        if block_threshold < 0 or block_threshold > 1:
+            raise ValidationError("block_threshold must be in [0, 1]")
+        if boundary_padding_s < 0:
+            raise ValidationError("boundary_padding_s must be >= 0")
+        self._zones = list(zones)
+        self._block_threshold = block_threshold
+        self._padding = boundary_padding_s
+        self._blocked_windows = merge_windows(
+            [
+                TimeWindow(zone.window.start_s - boundary_padding_s, zone.window.end_s + boundary_padding_s)
+                for zone in self._zones
+                if zone.weight >= block_threshold
+            ]
+        )
+
+    @property
+    def zones(self) -> List[DistractionZone]:
+        """The underlying distraction zones."""
+        return list(self._zones)
+
+    @property
+    def blocked_windows(self) -> List[TimeWindow]:
+        """Merged windows during which clip boundaries must not occur."""
+        return list(self._blocked_windows)
+
+    def total_blocked_s(self) -> float:
+        """Total blocked time on the drive."""
+        return sum(window.duration_s for window in self._blocked_windows)
+
+    def is_blocked(self, instant_s: float) -> bool:
+        """Whether a boundary at ``instant_s`` falls inside a blocked window."""
+        return any(window.contains(instant_s) for window in self._blocked_windows)
+
+    def distraction_at(self, instant_s: float) -> float:
+        """Maximum zone weight active at an instant (0 when clear)."""
+        active = [zone.weight for zone in self._zones if zone.window.contains(instant_s)]
+        return max(active) if active else 0.0
+
+    def next_clear_instant(self, instant_s: float, *, horizon_s: float = 600.0) -> Optional[float]:
+        """The earliest instant >= ``instant_s`` not inside a blocked window.
+
+        Returns ``None`` if no clear instant exists within the horizon.
+        """
+        candidate = instant_s
+        for _ in range(len(self._blocked_windows) + 1):
+            blocking = [w for w in self._blocked_windows if w.contains(candidate)]
+            if not blocking:
+                return candidate if candidate - instant_s <= horizon_s else None
+            candidate = max(w.end_s for w in blocking)
+        return candidate if candidate - instant_s <= horizon_s else None
+
+    def assess_boundary(self, instant_s: float) -> DistractionAssessment:
+        """Assess a candidate clip boundary and suggest a shift if needed."""
+        blocked = self.is_blocked(instant_s)
+        weight = self.distraction_at(instant_s)
+        shift = 0.0
+        if blocked:
+            clear = self.next_clear_instant(instant_s)
+            shift = (clear - instant_s) if clear is not None else 0.0
+        return DistractionAssessment(
+            instant_s=instant_s,
+            blocked=blocked,
+            nearest_zone_weight=weight,
+            suggested_shift_s=shift,
+        )
+
+    def boundaries_in_blocked(self, boundaries: Sequence[float]) -> int:
+        """How many of the given boundary instants fall in blocked windows."""
+        return sum(1 for instant in boundaries if self.is_blocked(instant))

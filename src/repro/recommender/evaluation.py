@@ -1,0 +1,98 @@
+"""Offline evaluation metrics for recommendation rankings and plans."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import ValidationError
+from repro.recommender.compound import ScoredClip
+from repro.recommender.scheduling import RecommendationPlan
+
+
+def precision_at_k(ranked_ids: Sequence[str], relevant_ids: Set[str], k: int) -> float:
+    """Fraction of the top-``k`` recommendations that are relevant."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    top = list(ranked_ids)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for clip_id in top if clip_id in relevant_ids)
+    return hits / len(top)
+
+
+def recall_at_k(ranked_ids: Sequence[str], relevant_ids: Set[str], k: int) -> float:
+    """Fraction of the relevant items retrieved in the top ``k``."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not relevant_ids:
+        return 0.0
+    top = set(list(ranked_ids)[:k])
+    return len(top & relevant_ids) / len(relevant_ids)
+
+
+def ndcg_at_k(ranked_ids: Sequence[str], relevance: Dict[str, float], k: int) -> float:
+    """Normalized discounted cumulative gain with graded relevance."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    top = list(ranked_ids)[:k]
+    dcg = sum(
+        relevance.get(clip_id, 0.0) / math.log2(rank + 2) for rank, clip_id in enumerate(top)
+    )
+    ideal = sorted(relevance.values(), reverse=True)[:k]
+    idcg = sum(value / math.log2(rank + 2) for rank, value in enumerate(ideal))
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+def mean_reciprocal_rank(ranked_ids: Sequence[str], relevant_ids: Set[str]) -> float:
+    """Reciprocal rank of the first relevant item (0 when none appears)."""
+    for rank, clip_id in enumerate(ranked_ids, start=1):
+        if clip_id in relevant_ids:
+            return 1.0 / rank
+    return 0.0
+
+
+def ranking_relevance(ranked: Sequence[ScoredClip], k: int = 10) -> float:
+    """Mean final score of the top-``k`` of a ranking (internal relevance)."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    return sum(item.final_score for item in top) / len(top)
+
+
+def plan_relevance_per_minute(plan: RecommendationPlan) -> float:
+    """Objective value per scheduled minute (how densely ΔT is used)."""
+    minutes = plan.total_scheduled_s / 60.0
+    if minutes <= 0:
+        return 0.0
+    return plan.objective_value / minutes
+
+
+def category_diversity(ranked: Sequence[ScoredClip], k: int = 10) -> float:
+    """Distinct primary categories among the top-``k``, normalized by ``k``."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    categories = {item.clip.primary_category for item in top if item.clip.primary_category}
+    return len(categories) / len(top)
+
+
+def compare_rankings(
+    rankings: Dict[str, Sequence[ScoredClip]], relevant_ids: Set[str], *, k: int = 5
+) -> Dict[str, Dict[str, float]]:
+    """Precision/recall/MRR for several named rankings against one ground truth."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, ranked in rankings.items():
+        ids = [item.clip_id for item in ranked]
+        results[name] = {
+            "precision_at_k": precision_at_k(ids, relevant_ids, k),
+            "recall_at_k": recall_at_k(ids, relevant_ids, k),
+            "mrr": mean_reciprocal_rank(ids, relevant_ids),
+        }
+    return results

@@ -1,0 +1,180 @@
+"""Richer context and list-level (ensemble) effects — the paper's future work.
+
+Section 3 of the paper plans "to create recommendations list taking into
+account richer contexts: time, activity, weather, and the ensemble effect of
+the recommendations list".  This module implements both halves:
+
+* :class:`RichContextScorer` extends the base context scorer with weather
+  and activity factors (the :class:`~repro.recommender.context.ListenerContext`
+  already carries the fields);
+* :func:`diversify` re-ranks a scored candidate list with a maximal-marginal-
+  relevance style trade-off between relevance and category diversity, and
+  :func:`plan_diversity` measures the ensemble property of a produced plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.content.model import AudioClip, ContentKind
+from repro.errors import ValidationError
+from repro.recommender.compound import ScoredClip
+from repro.recommender.context import ListenerContext
+from repro.recommender.context_relevance import ContextScorer, ContextScorerWeights
+
+#: How well each content kind suits each weather condition (1 = neutral).
+_WEATHER_KIND_FACTOR: Dict[str, Dict[ContentKind, float]] = {
+    "rain": {ContentKind.MUSIC: 1.05, ContentKind.PODCAST: 1.0, ContentKind.NEWS: 1.05},
+    "snow": {ContentKind.MUSIC: 1.05, ContentKind.PODCAST: 0.95, ContentKind.NEWS: 1.1},
+    "storm": {ContentKind.PODCAST: 0.85, ContentKind.TIME_SHIFTED: 0.85, ContentKind.NEWS: 1.1},
+    "clear": {},
+}
+
+#: Category boosts per weather condition (e.g. traffic/weather info when it snows).
+_WEATHER_CATEGORY_BOOST: Dict[str, Dict[str, float]] = {
+    "rain": {"traffic-and-weather": 0.2},
+    "snow": {"traffic-and-weather": 0.35, "news-local": 0.15},
+    "storm": {"traffic-and-weather": 0.4, "news-local": 0.2},
+}
+
+#: Attention budget per listener activity (driving handled by DrivingCondition).
+_ACTIVITY_ATTENTION: Dict[str, float] = {
+    "driving": 0.6,
+    "commuting-transit": 0.9,
+    "walking": 0.8,
+    "running": 0.5,
+    "cooking": 0.7,
+    "relaxing": 1.0,
+}
+
+
+class RichContextScorer(ContextScorer):
+    """Context scorer that also accounts for weather and activity."""
+
+    def __init__(
+        self,
+        weights: ContextScorerWeights = ContextScorerWeights(),
+        *,
+        weather_weight: float = 0.15,
+        activity_weight: float = 0.15,
+    ) -> None:
+        super().__init__(weights)
+        if weather_weight < 0 or activity_weight < 0:
+            raise ValidationError("extension weights must be >= 0")
+        self._weather_weight = weather_weight
+        self._activity_weight = activity_weight
+
+    def score(self, clip: AudioClip, context: ListenerContext) -> float:
+        """Base context score blended with the weather and activity factors."""
+        base = super().score(clip, context)
+        total_weight = 1.0
+        value = base
+        if context.weather is not None:
+            value += self._weather_weight * self.weather_score(clip, context.weather)
+            total_weight += self._weather_weight
+        if context.activity is not None:
+            value += self._activity_weight * self.activity_score(clip, context.activity)
+            total_weight += self._activity_weight
+        return min(1.0, value / total_weight)
+
+    def weather_score(self, clip: AudioClip, weather: str) -> float:
+        """Fit of the clip for the current weather, in [0, 1]."""
+        condition = weather.lower()
+        kind_factor = _WEATHER_KIND_FACTOR.get(condition, {}).get(clip.kind, 1.0)
+        boost = 0.0
+        boosts = _WEATHER_CATEGORY_BOOST.get(condition, {})
+        for name, share in clip.normalized_scores().items():
+            boost += share * boosts.get(name, 0.0)
+        return max(0.0, min(1.0, 0.5 * kind_factor + boost))
+
+    def activity_score(self, clip: AudioClip, activity: str) -> float:
+        """Fit of the clip for the listener's activity, in [0, 1].
+
+        Low-attention activities (running, driving) favour music and short
+        items; focused/relaxed activities tolerate anything.
+        """
+        budget = _ACTIVITY_ATTENTION.get(activity.lower(), 0.8)
+        load = {
+            ContentKind.MUSIC: 0.1,
+            ContentKind.ADVERTISEMENT: 0.2,
+            ContentKind.NEWS: 0.4,
+            ContentKind.PODCAST: 0.5,
+            ContentKind.TIME_SHIFTED: 0.5,
+        }.get(clip.kind, 0.5)
+        headroom = budget - load
+        return max(0.0, min(1.0, 0.5 + headroom))
+
+
+@dataclass(frozen=True)
+class DiversifiedItem:
+    """A re-ranked item with its marginal (diversity-adjusted) score."""
+
+    scored: ScoredClip
+    marginal_score: float
+    rank: int
+
+
+def _category_overlap(a: AudioClip, b: AudioClip) -> float:
+    """Similarity of two clips' category distributions (0..1)."""
+    scores_a = a.normalized_scores()
+    scores_b = b.normalized_scores()
+    if not scores_a or not scores_b:
+        return 1.0 if a.primary_category == b.primary_category else 0.0
+    return sum(min(scores_a.get(name, 0.0), scores_b.get(name, 0.0)) for name in scores_a)
+
+
+def diversify(
+    ranked: Sequence[ScoredClip],
+    *,
+    diversity_weight: float = 0.3,
+    top_k: Optional[int] = None,
+) -> List[DiversifiedItem]:
+    """Maximal-marginal-relevance re-ranking of a scored candidate list.
+
+    Each step picks the item maximizing
+    ``(1 - λ)·relevance − λ·max_overlap_with_already_picked`` so the final
+    list covers several categories instead of five episodes of the same show
+    (the paper's "ensemble effect of the recommendations list").
+    """
+    if not 0.0 <= diversity_weight <= 1.0:
+        raise ValidationError("diversity_weight must be in [0, 1]")
+    remaining = list(ranked)
+    limit = len(remaining) if top_k is None else min(top_k, len(remaining))
+    picked: List[DiversifiedItem] = []
+    while remaining and len(picked) < limit:
+        best_index = 0
+        best_marginal = float("-inf")
+        for index, candidate in enumerate(remaining):
+            if picked:
+                overlap = max(
+                    _category_overlap(candidate.clip, item.scored.clip) for item in picked
+                )
+            else:
+                overlap = 0.0
+            marginal = (1.0 - diversity_weight) * candidate.final_score - diversity_weight * overlap
+            if marginal > best_marginal:
+                best_marginal = marginal
+                best_index = index
+        chosen = remaining.pop(best_index)
+        picked.append(DiversifiedItem(scored=chosen, marginal_score=best_marginal, rank=len(picked)))
+    return picked
+
+
+def list_diversity(items: Sequence[ScoredClip]) -> float:
+    """Ensemble diversity of a list in [0, 1]: 1 − mean pairwise category overlap."""
+    clips = [item.clip for item in items]
+    if len(clips) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for index, a in enumerate(clips):
+        for b in clips[index + 1 :]:
+            total += _category_overlap(a, b)
+            pairs += 1
+    return 1.0 - total / pairs
+
+
+def plan_diversity(plan) -> float:
+    """Diversity of a :class:`~repro.recommender.scheduling.RecommendationPlan`."""
+    return list_diversity([item.scored for item in plan.items])

@@ -1,0 +1,186 @@
+"""The proactive recommendation engine: deciding *when* to recommend.
+
+Following the proactive recommender systems the paper builds on (Woerndl et
+al., Braunhofer et al.), the engine watches the listener's context and fires
+a recommendation only when the situation warrants it:
+
+* the listener has started moving (a drive is in progress),
+* the destination prediction is confident enough,
+* the predicted remaining time ΔT is long enough to fit at least one clip,
+* and the current driving condition is not too demanding to start new audio.
+
+When it fires, the engine assembles the full pipeline — candidate filter,
+compound scoring, ΔT-bounded scheduling with distraction avoidance — and
+returns a :class:`ProactiveDecision` carrying the plan (or the reason for
+not recommending).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.content.model import AudioClip
+from repro.errors import SchedulingError
+from repro.recommender.compound import CompoundScorer, ScoredClip
+from repro.recommender.content_based import CandidateFilter
+from repro.recommender.context import DrivingCondition, ListenerContext
+from repro.recommender.distraction import DistractionModel
+from repro.recommender.scheduling import RecommendationPlan, Scheduler
+from repro.util.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class ProactiveConfig:
+    """Trigger thresholds for the proactive engine."""
+
+    min_destination_confidence: float = 0.45
+    min_available_s: float = 120.0
+    min_drive_elapsed_s: float = 90.0
+    max_driving_condition: DrivingCondition = DrivingCondition.MODERATE
+    top_k_candidates: int = 50
+
+    def __post_init__(self) -> None:
+        require_in_range(self.min_destination_confidence, 0.0, 1.0, "min_destination_confidence")
+        require_positive(self.min_available_s, "min_available_s")
+        require_positive(self.min_drive_elapsed_s, "min_drive_elapsed_s", strict=False)
+
+
+@dataclass(frozen=True)
+class ProactiveDecision:
+    """The outcome of one proactive evaluation of the listener's context."""
+
+    user_id: str
+    now_s: float
+    should_recommend: bool
+    reason: str
+    plan: Optional[RecommendationPlan] = None
+    ranked: Optional[List[ScoredClip]] = None
+
+    @property
+    def recommended_clip_ids(self) -> List[str]:
+        """Ids of scheduled clips (empty when no plan was produced)."""
+        return self.plan.clip_ids() if self.plan is not None else []
+
+
+_CONDITION_ORDER = {
+    DrivingCondition.PARKED: 0,
+    DrivingCondition.LIGHT: 1,
+    DrivingCondition.MODERATE: 2,
+    DrivingCondition.DEMANDING: 3,
+}
+
+
+class ProactiveEngine:
+    """Watches contexts and produces recommendation plans proactively."""
+
+    def __init__(
+        self,
+        candidate_filter: CandidateFilter,
+        compound_scorer: CompoundScorer,
+        scheduler: Optional[Scheduler] = None,
+        config: ProactiveConfig = ProactiveConfig(),
+    ) -> None:
+        self._filter = candidate_filter
+        self._scorer = compound_scorer
+        self._scheduler = scheduler or Scheduler()
+        self._config = config
+
+    @property
+    def config(self) -> ProactiveConfig:
+        """The trigger configuration."""
+        return self._config
+
+    def should_trigger(self, context: ListenerContext, *, drive_elapsed_s: float) -> Optional[str]:
+        """Return a refusal reason, or ``None`` when the engine should fire."""
+        config = self._config
+        if not context.is_driving:
+            return "listener is not driving"
+        if drive_elapsed_s < config.min_drive_elapsed_s:
+            return (
+                f"drive has lasted only {drive_elapsed_s:.0f}s "
+                f"(< {config.min_drive_elapsed_s:.0f}s)"
+            )
+        if context.destination_confidence < config.min_destination_confidence:
+            return (
+                f"destination confidence {context.destination_confidence:.2f} below "
+                f"threshold {config.min_destination_confidence:.2f}"
+            )
+        available = context.available_time_s
+        if available is None or available < config.min_available_s:
+            return "not enough predicted available time"
+        if _CONDITION_ORDER[context.driving_condition] > _CONDITION_ORDER[config.max_driving_condition]:
+            return f"driving condition {context.driving_condition.value} too demanding"
+        return None
+
+    def evaluate(
+        self,
+        context: ListenerContext,
+        *,
+        drive_elapsed_s: float,
+        distraction: Optional[DistractionModel] = None,
+        editorial_boosts: Optional[Dict[str, float]] = None,
+        extra_candidates: Optional[Sequence[AudioClip]] = None,
+    ) -> ProactiveDecision:
+        """Evaluate the context; build a plan when the trigger conditions hold."""
+        refusal = self.should_trigger(context, drive_elapsed_s=drive_elapsed_s)
+        if refusal is not None:
+            return ProactiveDecision(
+                user_id=context.user_id,
+                now_s=context.now_s,
+                should_recommend=False,
+                reason=refusal,
+            )
+        candidates = list(self._filter.candidates(context.user_id, now_s=context.now_s))
+        if extra_candidates:
+            known = {clip.clip_id for clip in candidates}
+            candidates.extend(c for c in extra_candidates if c.clip_id not in known)
+        if editorial_boosts:
+            # Editorially injected clips bypass the candidate filter: the
+            # editor's explicit choice overrides heard/disliked exclusions.
+            known = {clip.clip_id for clip in candidates}
+            for clip_id in editorial_boosts:
+                if clip_id in known:
+                    continue
+                injected = self._filter.lookup_clip(clip_id)
+                if injected is not None:
+                    candidates.append(injected)
+        if not candidates:
+            return ProactiveDecision(
+                user_id=context.user_id,
+                now_s=context.now_s,
+                should_recommend=False,
+                reason="no candidate content available",
+            )
+        ranked = self._scorer.rank(
+            candidates,
+            context,
+            editorial_boosts=editorial_boosts,
+            top_k=self._config.top_k_candidates,
+        )
+        try:
+            plan = self._scheduler.build_plan(ranked, context, distraction=distraction)
+        except SchedulingError as exc:
+            return ProactiveDecision(
+                user_id=context.user_id,
+                now_s=context.now_s,
+                should_recommend=False,
+                reason=f"scheduling failed: {exc}",
+                ranked=ranked,
+            )
+        if not plan.items:
+            return ProactiveDecision(
+                user_id=context.user_id,
+                now_s=context.now_s,
+                should_recommend=False,
+                reason="no clip fits the available time",
+                ranked=ranked,
+            )
+        return ProactiveDecision(
+            user_id=context.user_id,
+            now_s=context.now_s,
+            should_recommend=True,
+            reason="context trigger satisfied",
+            plan=plan,
+            ranked=ranked,
+        )

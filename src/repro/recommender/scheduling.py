@@ -1,0 +1,355 @@
+"""Recommendation scheduling against the available time ΔT.
+
+"The recommender system then uses this score to identify the recommendation
+set of content to be delivered to the listener according to a relevance
+objective function and temporal scheduling and presentation constraints,
+taking into account driving conditions as well as driver's projected
+distraction levels…"
+
+Two selection policies are implemented:
+
+* ``GREEDY``: sort candidates by relevance density (relevance per minute)
+  and add them while they fit — fast and near-optimal in practice;
+* ``KNAPSACK``: exact 0/1 knapsack over discretised durations maximizing the
+  summed final score under the ΔT budget.
+
+After selection, items are *placed* on the drive timeline: geo-tagged items
+are anchored near the time the listener passes the relevant location
+(Figure 2's item B at L_B), the remaining items fill the gaps in relevance
+order, and every clip boundary is shifted out of high-distraction windows
+using the :class:`~repro.recommender.distraction.DistractionModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.content.geo_relevance import best_route_point, distance_along_route_to_point
+from repro.errors import SchedulingError
+from repro.recommender.compound import ScoredClip
+from repro.recommender.context import ListenerContext
+from repro.recommender.distraction import DistractionModel
+from repro.util.timeutils import TimeWindow, format_clock
+
+
+class SchedulerPolicy(enum.Enum):
+    """Item selection strategies."""
+
+    GREEDY = "greedy"
+    KNAPSACK = "knapsack"
+
+
+@dataclass(frozen=True)
+class ScheduledClip:
+    """One recommended clip placed on the session timeline."""
+
+    scored: ScoredClip
+    window: TimeWindow
+    reason: str = "relevance"
+    anchor_location_s: Optional[float] = None  # when geo-anchored, the ideal start
+
+    @property
+    def clip_id(self) -> str:
+        """Identifier of the scheduled clip."""
+        return self.scored.clip_id
+
+    @property
+    def start_s(self) -> float:
+        """Scheduled start instant."""
+        return self.window.start_s
+
+    @property
+    def end_s(self) -> float:
+        """Scheduled end instant."""
+        return self.window.end_s
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used by the dashboard)."""
+        return (
+            f"{format_clock(self.start_s)}-{format_clock(self.end_s)}  "
+            f"{self.scored.clip.title}  (score={self.scored.final_score:.2f}, {self.reason})"
+        )
+
+
+@dataclass
+class RecommendationPlan:
+    """The full output of the scheduler for one proactive trigger."""
+
+    user_id: str
+    created_s: float
+    available_s: float
+    items: List[ScheduledClip] = field(default_factory=list)
+    policy: SchedulerPolicy = SchedulerPolicy.GREEDY
+
+    @property
+    def total_scheduled_s(self) -> float:
+        """Total playback time scheduled."""
+        return sum(item.window.duration_s for item in self.items)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of the available time covered by recommendations."""
+        if self.available_s <= 0:
+            return 0.0
+        return min(1.0, self.total_scheduled_s / self.available_s)
+
+    @property
+    def objective_value(self) -> float:
+        """The relevance objective: sum of final scores of scheduled items."""
+        return sum(item.scored.final_score for item in self.items)
+
+    @property
+    def mean_relevance(self) -> float:
+        """Mean final score of scheduled items (0 for an empty plan)."""
+        if not self.items:
+            return 0.0
+        return self.objective_value / len(self.items)
+
+    def clip_ids(self) -> List[str]:
+        """Ids of the scheduled clips in playback order."""
+        return [item.clip_id for item in self.items]
+
+    def boundaries(self) -> List[float]:
+        """All clip boundary instants (starts and ends)."""
+        instants: List[float] = []
+        for item in self.items:
+            instants.append(item.start_s)
+            instants.append(item.end_s)
+        return instants
+
+    def timeline(self) -> List[str]:
+        """Human-readable timeline rows (Figure 4 style)."""
+        return [item.describe() for item in self.items]
+
+
+class Scheduler:
+    """Selects and places recommendations inside the available time."""
+
+    def __init__(
+        self,
+        *,
+        policy: SchedulerPolicy = SchedulerPolicy.GREEDY,
+        min_gap_s: float = 2.0,
+        knapsack_resolution_s: float = 15.0,
+        max_items: int = 12,
+    ) -> None:
+        if min_gap_s < 0:
+            raise SchedulingError("min_gap_s must be >= 0")
+        if knapsack_resolution_s <= 0:
+            raise SchedulingError("knapsack_resolution_s must be > 0")
+        if max_items < 1:
+            raise SchedulingError("max_items must be >= 1")
+        self._policy = policy
+        self._min_gap_s = min_gap_s
+        self._resolution_s = knapsack_resolution_s
+        self._max_items = max_items
+
+    def build_plan(
+        self,
+        ranked: Sequence[ScoredClip],
+        context: ListenerContext,
+        *,
+        distraction: Optional[DistractionModel] = None,
+        available_s: Optional[float] = None,
+    ) -> RecommendationPlan:
+        """Select and place clips for the given context.
+
+        ``available_s`` overrides the context's ΔT (useful for the manual
+        scenario where the budget is simply "until the next programme").
+        """
+        budget = available_s if available_s is not None else context.available_time_s
+        if budget is None or budget <= 0:
+            raise SchedulingError(
+                "cannot schedule recommendations without a positive available time"
+            )
+        selected = self._select(ranked, budget)
+        placed = self._place(selected, context, budget, distraction)
+        return RecommendationPlan(
+            user_id=context.user_id,
+            created_s=context.now_s,
+            available_s=budget,
+            items=placed,
+            policy=self._policy,
+        )
+
+    # Selection -----------------------------------------------------------------
+
+    def _select(self, ranked: Sequence[ScoredClip], budget_s: float) -> List[ScoredClip]:
+        candidates = [item for item in ranked if item.clip.duration_s <= budget_s]
+        if not candidates:
+            return []
+        if self._policy == SchedulerPolicy.KNAPSACK:
+            return self._select_knapsack(candidates, budget_s)
+        return self._select_greedy(candidates, budget_s)
+
+    def _select_greedy(self, candidates: Sequence[ScoredClip], budget_s: float) -> List[ScoredClip]:
+        ordered = sorted(
+            candidates, key=lambda item: (item.relevance_density, item.final_score), reverse=True
+        )
+        chosen: List[ScoredClip] = []
+        remaining = budget_s
+        for item in ordered:
+            if len(chosen) >= self._max_items:
+                break
+            cost = item.clip.duration_s + (self._min_gap_s if chosen else 0.0)
+            if cost <= remaining:
+                chosen.append(item)
+                remaining -= cost
+        return chosen
+
+    def _select_knapsack(self, candidates: Sequence[ScoredClip], budget_s: float) -> List[ScoredClip]:
+        # 0/1 knapsack over durations discretised to the configured resolution.
+        resolution = self._resolution_s
+        capacity = int(budget_s // resolution)
+        if capacity <= 0:
+            return []
+        items: List[Tuple[int, float, ScoredClip]] = []
+        for scored in candidates[: 4 * self._max_items]:
+            weight = max(1, int(round((scored.clip.duration_s + self._min_gap_s) / resolution)))
+            items.append((weight, scored.final_score, scored))
+        # dp[c] = (best value, chosen indices) for capacity c.
+        best_value = [0.0] * (capacity + 1)
+        chosen_sets: List[Tuple[int, ...]] = [tuple() for _ in range(capacity + 1)]
+        for index, (weight, value, _scored) in enumerate(items):
+            for c in range(capacity, weight - 1, -1):
+                candidate_value = best_value[c - weight] + value
+                if candidate_value > best_value[c] and len(chosen_sets[c - weight]) < self._max_items:
+                    best_value[c] = candidate_value
+                    chosen_sets[c] = chosen_sets[c - weight] + (index,)
+        best_capacity = max(range(capacity + 1), key=lambda c: best_value[c])
+        selected = [items[index][2] for index in chosen_sets[best_capacity]]
+        selected.sort(key=lambda item: item.final_score, reverse=True)
+        return selected
+
+    # Placement -----------------------------------------------------------------
+
+    def _place(
+        self,
+        selected: Sequence[ScoredClip],
+        context: ListenerContext,
+        budget_s: float,
+        distraction: Optional[DistractionModel],
+    ) -> List[ScheduledClip]:
+        if not selected:
+            return []
+        start_s = context.now_s
+        end_s = context.now_s + budget_s
+
+        # Determine geo anchors: the instant the driver is expected to pass the
+        # clip's most relevant point, assuming uniform progress along the route.
+        anchors: Dict[str, float] = {}
+        if context.route is not None and context.route.length_m > 0 and context.travel_time is not None:
+            expected_total = max(1.0, context.travel_time.expected_s)
+            for scored in selected:
+                if not scored.clip.is_geo_tagged:
+                    continue
+                point = best_route_point(scored.clip, context.route)
+                if point is None:
+                    continue
+                arc = distance_along_route_to_point(context.route, point)
+                fraction = arc / context.route.length_m
+                anchors[scored.clip_id] = start_s + fraction * expected_total
+
+        anchored = [s for s in selected if s.clip_id in anchors]
+        unanchored = [s for s in selected if s.clip_id not in anchors]
+        anchored.sort(key=lambda s: anchors[s.clip_id])
+        unanchored.sort(key=lambda s: s.final_score, reverse=True)
+
+        placed: List[ScheduledClip] = []
+        cursor = start_s
+        remaining_anchored = list(anchored)
+        remaining_unanchored = list(unanchored)
+        while remaining_anchored or remaining_unanchored:
+            next_item: Optional[ScoredClip] = None
+            reason = "relevance"
+            anchor: Optional[float] = None
+            if remaining_anchored:
+                candidate = remaining_anchored[0]
+                ideal_start = anchors[candidate.clip_id] - candidate.clip.duration_s / 2.0
+                # Play the geo item now if waiting longer would overshoot its anchor,
+                # or if nothing else is pending.
+                if ideal_start <= cursor or not remaining_unanchored:
+                    next_item = remaining_anchored.pop(0)
+                    reason = "geo-anchored"
+                    anchor = anchors[next_item.clip_id]
+            if next_item is None:
+                if remaining_unanchored:
+                    # Pick the best unanchored item that still leaves room to reach
+                    # the next anchor roughly on time.
+                    limit = None
+                    if remaining_anchored:
+                        next_anchor = remaining_anchored[0]
+                        limit = (
+                            anchors[next_anchor.clip_id]
+                            - next_anchor.clip.duration_s / 2.0
+                            - cursor
+                        )
+                    index = self._pick_unanchored(remaining_unanchored, limit)
+                    if index is None:
+                        # Nothing fits before the anchor: fall back to the anchor item.
+                        next_item = remaining_anchored.pop(0)
+                        reason = "geo-anchored"
+                        anchor = anchors[next_item.clip_id]
+                    else:
+                        next_item = remaining_unanchored.pop(index)
+                else:
+                    break
+            clip_start = self._clear_boundaries(cursor, next_item.clip.duration_s, distraction)
+            clip_end = clip_start + next_item.clip.duration_s
+            if clip_end > end_s + 1e-6:
+                # The shift (or accumulated gaps) pushed this item past arrival.
+                continue
+            placed.append(
+                ScheduledClip(
+                    scored=next_item,
+                    window=TimeWindow(clip_start, clip_end),
+                    reason=reason,
+                    anchor_location_s=anchor,
+                )
+            )
+            cursor = clip_end + self._min_gap_s
+            if cursor >= end_s:
+                break
+        return placed
+
+    @staticmethod
+    def _clear_boundaries(
+        start_s: float, duration_s: float, distraction: Optional[DistractionModel]
+    ) -> float:
+        """Shift a clip start so that neither boundary falls in a blocked window.
+
+        The clip may *play through* a distraction zone — only the start and
+        end instants (when the listener's attention is drawn to the content
+        change) must avoid the zones.  A bounded number of passes handles
+        consecutive zones; if no clear placement is found the last candidate
+        is returned and the budget check upstream decides whether it fits.
+        """
+        if distraction is None:
+            return start_s
+        candidate = start_s
+        for _ in range(8):
+            moved = False
+            start_assessment = distraction.assess_boundary(candidate)
+            if start_assessment.blocked and start_assessment.suggested_shift_s > 0:
+                candidate += start_assessment.suggested_shift_s
+                moved = True
+            end_assessment = distraction.assess_boundary(candidate + duration_s)
+            if end_assessment.blocked and end_assessment.suggested_shift_s > 0:
+                candidate += end_assessment.suggested_shift_s
+                moved = True
+            if not moved:
+                return candidate
+        return candidate
+
+    @staticmethod
+    def _pick_unanchored(
+        candidates: Sequence[ScoredClip], limit_s: Optional[float]
+    ) -> Optional[int]:
+        if limit_s is None:
+            return 0 if candidates else None
+        for index, candidate in enumerate(candidates):
+            if candidate.clip.duration_s <= limit_s:
+                return index
+        return None

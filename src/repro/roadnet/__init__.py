@@ -1,0 +1,33 @@
+"""Road network substrate.
+
+The paper's proactive recommender reasons about a driver's projected path,
+travel time and distraction at intersections/roundabouts.  This package
+provides the missing substrate: a road graph with travel-time weighted
+edges, a synthetic city generator used by the benchmarks, shortest-path
+routing and intersection complexity analysis.
+"""
+
+from repro.roadnet.generator import City, CityGeneratorConfig, generate_city
+from repro.roadnet.intersections import (
+    DistractionZone,
+    IntersectionKind,
+    classify_intersections,
+    distraction_zones_along,
+)
+from repro.roadnet.network import RoadNetwork, RoadNode, RoadSegment
+from repro.roadnet.routing import Route, RoutePlanner
+
+__all__ = [
+    "City",
+    "CityGeneratorConfig",
+    "DistractionZone",
+    "IntersectionKind",
+    "RoadNetwork",
+    "RoadNode",
+    "RoadSegment",
+    "Route",
+    "RoutePlanner",
+    "classify_intersections",
+    "distraction_zones_along",
+    "generate_city",
+]

@@ -1,0 +1,165 @@
+"""Synthetic city generator.
+
+Builds a grid-with-diagonals road network around a reference point (by
+default a Torino-like location, matching the paper's deployment), with a
+ring road, a few arterial roads, roundabouts, and named points of interest
+(home/work/shopping areas) that the mobility generator assigns to commuters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ValidationError
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point
+from repro.roadnet.network import RoadNetwork, RoadNode
+from repro.util.rng import DeterministicRng
+
+#: Default city centre: central Torino, where the paper's broadcaster is based.
+DEFAULT_CENTER = GeoPoint(45.0703, 7.6869)
+
+
+@dataclass(frozen=True)
+class CityGeneratorConfig:
+    """Parameters controlling the synthetic city layout."""
+
+    center: GeoPoint = DEFAULT_CENTER
+    grid_rows: int = 12
+    grid_cols: int = 12
+    block_size_m: float = 900.0
+    roundabout_fraction: float = 0.12
+    diagonal_fraction: float = 0.15
+    arterial_every: int = 4
+    poi_count: int = 24
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.grid_rows < 2 or self.grid_cols < 2:
+            raise ValidationError("city grid must be at least 2x2")
+        if self.block_size_m <= 0:
+            raise ValidationError("block_size_m must be > 0")
+        if not 0.0 <= self.roundabout_fraction <= 1.0:
+            raise ValidationError("roundabout_fraction must be in [0, 1]")
+        if not 0.0 <= self.diagonal_fraction <= 1.0:
+            raise ValidationError("diagonal_fraction must be in [0, 1]")
+        if self.poi_count < 0:
+            raise ValidationError("poi_count must be >= 0")
+
+
+@dataclass
+class City:
+    """A generated road network plus named points of interest."""
+
+    network: RoadNetwork
+    pois: Dict[str, GeoPoint] = field(default_factory=dict)
+    config: CityGeneratorConfig = field(default_factory=CityGeneratorConfig)
+
+    def poi_names(self) -> List[str]:
+        """Names of all points of interest."""
+        return sorted(self.pois.keys())
+
+    def poi(self, name: str) -> GeoPoint:
+        """Location of a named point of interest."""
+        if name not in self.pois:
+            raise ValidationError(f"city has no POI named {name!r}")
+        return self.pois[name]
+
+
+def _grid_node_id(row: int, col: int) -> str:
+    return f"n-{row:03d}-{col:03d}"
+
+
+def generate_city(config: CityGeneratorConfig = CityGeneratorConfig()) -> City:
+    """Generate a deterministic synthetic city from the configuration."""
+    rng = DeterministicRng(config.seed)
+    network = RoadNetwork()
+    positions: Dict[Tuple[int, int], GeoPoint] = {}
+
+    # Lay out grid nodes: rows go north, columns go east from the centre.
+    for row in range(config.grid_rows):
+        northing = (row - config.grid_rows / 2.0) * config.block_size_m
+        row_anchor = destination_point(config.center, 0.0, northing) if northing >= 0 else destination_point(config.center, 180.0, -northing)
+        for col in range(config.grid_cols):
+            easting = (col - config.grid_cols / 2.0) * config.block_size_m
+            position = (
+                destination_point(row_anchor, 90.0, easting)
+                if easting >= 0
+                else destination_point(row_anchor, 270.0, -easting)
+            )
+            # Jitter junctions slightly so routes are not perfectly rectilinear.
+            jitter_m = config.block_size_m * 0.05
+            position = destination_point(
+                position, rng.uniform(0.0, 360.0), rng.uniform(0.0, jitter_m)
+            )
+            positions[(row, col)] = position
+            kind = "roundabout" if rng.bernoulli(config.roundabout_fraction) else "junction"
+            network.add_node(RoadNode(_grid_node_id(row, col), position, kind))
+
+    # Connect the grid with urban streets; arterial roads every few blocks.
+    for row in range(config.grid_rows):
+        for col in range(config.grid_cols):
+            node_id = _grid_node_id(row, col)
+            if col + 1 < config.grid_cols:
+                arterial = row % config.arterial_every == 0
+                network.connect(
+                    node_id,
+                    _grid_node_id(row, col + 1),
+                    speed_limit_mps=16.7 if arterial else 13.9,
+                    road_class="arterial" if arterial else "urban",
+                )
+            if row + 1 < config.grid_rows:
+                arterial = col % config.arterial_every == 0
+                network.connect(
+                    node_id,
+                    _grid_node_id(row + 1, col),
+                    speed_limit_mps=16.7 if arterial else 13.9,
+                    road_class="arterial" if arterial else "urban",
+                )
+            # Occasional diagonal shortcut.
+            if (
+                row + 1 < config.grid_rows
+                and col + 1 < config.grid_cols
+                and rng.bernoulli(config.diagonal_fraction)
+            ):
+                network.connect(
+                    node_id,
+                    _grid_node_id(row + 1, col + 1),
+                    speed_limit_mps=13.9,
+                    road_class="urban",
+                )
+
+    # Ring road (highway class) around the grid perimeter.
+    perimeter: List[str] = []
+    for col in range(config.grid_cols):
+        perimeter.append(_grid_node_id(0, col))
+    for row in range(1, config.grid_rows):
+        perimeter.append(_grid_node_id(row, config.grid_cols - 1))
+    for col in range(config.grid_cols - 2, -1, -1):
+        perimeter.append(_grid_node_id(config.grid_rows - 1, col))
+    for row in range(config.grid_rows - 2, 0, -1):
+        perimeter.append(_grid_node_id(row, 0))
+    for start, end in zip(perimeter, perimeter[1:] + perimeter[:1]):
+        if network.graph.has_edge(start, end):
+            # Upgrade the existing perimeter street to ring-road characteristics.
+            data = network.graph.get_edge_data(start, end)
+            data["road_class"] = "highway"
+            data["speed_limit_mps"] = 25.0
+            data["travel_time_s"] = data["length_m"] / 25.0
+        else:
+            network.connect(start, end, speed_limit_mps=25.0, road_class="highway")
+
+    # Points of interest: home/work/leisure anchors for the mobility model.
+    poi_kinds = ["home", "work", "market", "school", "gym", "station", "park", "mall"]
+    pois: Dict[str, GeoPoint] = {}
+    counters: Dict[str, int] = {}
+    for _index in range(config.poi_count):
+        kind = rng.choice(poi_kinds)
+        counters[kind] = counters.get(kind, 0) + 1
+        row = rng.randint(0, config.grid_rows - 1)
+        col = rng.randint(0, config.grid_cols - 1)
+        name = f"{kind}-{counters[kind]}"
+        pois[name] = positions[(row, col)]
+
+    return City(network=network, pois=pois, config=config)

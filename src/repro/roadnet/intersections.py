@@ -1,0 +1,126 @@
+"""Intersection classification and driver-distraction zones.
+
+The paper schedules content "taking into account driving conditions as well
+as driver's projected distraction levels at intersections and roundabouts at
+user's projected driving path".  This module classifies network nodes by how
+demanding they are for the driver and converts a planned route into a list
+of *distraction zones*: time windows during which the proactive scheduler
+avoids starting or ending an audio clip.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ValidationError
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.routing import Route
+from repro.util.timeutils import TimeWindow
+
+
+class IntersectionKind(enum.Enum):
+    """Driver-workload classes for network nodes."""
+
+    PLAIN = "plain"              # degree <= 2, negligible workload
+    MINOR_JUNCTION = "minor"     # degree 3
+    MAJOR_JUNCTION = "major"     # degree >= 4
+    ROUNDABOUT = "roundabout"    # explicitly marked roundabout nodes
+
+
+#: Relative distraction weight per intersection kind (0 = none, 1 = maximal).
+DISTRACTION_WEIGHT: Dict[IntersectionKind, float] = {
+    IntersectionKind.PLAIN: 0.0,
+    IntersectionKind.MINOR_JUNCTION: 0.35,
+    IntersectionKind.MAJOR_JUNCTION: 0.7,
+    IntersectionKind.ROUNDABOUT: 0.9,
+}
+
+
+@dataclass(frozen=True)
+class DistractionZone:
+    """A time window on the drive during which the driver is busy."""
+
+    node_id: str
+    kind: IntersectionKind
+    window: TimeWindow
+    weight: float
+
+    @property
+    def is_high(self) -> bool:
+        """Whether the zone is demanding enough to block clip boundaries."""
+        return self.weight >= 0.5
+
+
+def classify_node(network: RoadNetwork, node_id: str) -> IntersectionKind:
+    """Classify a single node."""
+    node = network.node(node_id)
+    if node.kind == "roundabout":
+        return IntersectionKind.ROUNDABOUT
+    degree = network.degree(node_id)
+    if degree <= 2:
+        return IntersectionKind.PLAIN
+    if degree == 3:
+        return IntersectionKind.MINOR_JUNCTION
+    return IntersectionKind.MAJOR_JUNCTION
+
+
+def classify_intersections(network: RoadNetwork) -> Dict[str, IntersectionKind]:
+    """Classify every node in the network."""
+    return {node_id: classify_node(network, node_id) for node_id in network.node_ids()}
+
+
+def distraction_zones_along(
+    network: RoadNetwork,
+    route: Route,
+    *,
+    departure_s: float = 0.0,
+    approach_margin_s: float = 8.0,
+    clearance_margin_s: float = 6.0,
+) -> List[DistractionZone]:
+    """Distraction zones encountered along a route.
+
+    Each non-plain intersection on the route produces a window starting
+    ``approach_margin_s`` before the driver reaches the node and ending
+    ``clearance_margin_s`` after, expressed on the same timeline as
+    ``departure_s`` (seconds since midnight of the simulated day).
+    """
+    if approach_margin_s < 0 or clearance_margin_s < 0:
+        raise ValidationError("margins must be >= 0")
+    zones: List[DistractionZone] = []
+    elapsed = 0.0
+    graph = network.graph
+    for index, node_id in enumerate(route.node_ids):
+        if index > 0:
+            data = graph.get_edge_data(route.node_ids[index - 1], node_id)
+            elapsed += data["travel_time_s"]
+        kind = classify_node(network, node_id)
+        weight = DISTRACTION_WEIGHT[kind]
+        if weight <= 0.0:
+            continue
+        arrival = departure_s + elapsed
+        window = TimeWindow(
+            max(departure_s, arrival - approach_margin_s),
+            arrival + clearance_margin_s,
+        )
+        zones.append(DistractionZone(node_id=node_id, kind=kind, window=window, weight=weight))
+    return zones
+
+
+def route_complexity(network: RoadNetwork, route: Route) -> float:
+    """Aggregate route complexity in [0, 1].
+
+    Defined as the distraction weight accumulated per kilometre, squashed to
+    [0, 1).  Routes dominated by roundabouts and major junctions score close
+    to 1; a straight arterial scores close to 0.  This is the route-level
+    counterpart of the trajectory complexity feature of
+    :mod:`repro.trajectory.features`.
+    """
+    if route.length_m <= 0:
+        return 0.0
+    total_weight = 0.0
+    for node_id in route.node_ids:
+        total_weight += DISTRACTION_WEIGHT[classify_node(network, node_id)]
+    per_km = total_weight / (route.length_m / 1000.0)
+    return per_km / (1.0 + per_km)

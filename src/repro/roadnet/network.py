@@ -1,0 +1,177 @@
+"""Road network model backed by a networkx graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import NotFoundError, ValidationError
+from repro.geo import GeoPoint, GridIndex
+from repro.geo.geodesy import haversine_m
+
+
+@dataclass(frozen=True)
+class RoadNode:
+    """A junction or endpoint in the road network."""
+
+    node_id: str
+    position: GeoPoint
+    kind: str = "junction"  # junction | roundabout | dead_end | poi
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A drivable edge between two nodes."""
+
+    start_id: str
+    end_id: str
+    length_m: float
+    speed_limit_mps: float
+    road_class: str = "urban"  # urban | arterial | highway
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ValidationError(f"segment length must be > 0, got {self.length_m}")
+        if self.speed_limit_mps <= 0:
+            raise ValidationError(
+                f"speed limit must be > 0, got {self.speed_limit_mps}"
+            )
+
+    @property
+    def free_flow_time_s(self) -> float:
+        """Traversal time at the speed limit."""
+        return self.length_m / self.speed_limit_mps
+
+
+class RoadNetwork:
+    """An undirected road graph with geographic nodes and weighted edges."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._nodes: Dict[str, RoadNode] = {}
+        self._index: GridIndex[str] = GridIndex(500.0)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-mostly)."""
+        return self._graph
+
+    def add_node(self, node: RoadNode) -> None:
+        """Add a node; replaces any node with the same id."""
+        self._nodes[node.node_id] = node
+        self._graph.add_node(node.node_id)
+        self._index.insert(node.node_id, node.position)
+
+    def add_segment(self, segment: RoadSegment) -> None:
+        """Add an edge; both endpoints must already exist."""
+        for node_id in (segment.start_id, segment.end_id):
+            if node_id not in self._nodes:
+                raise NotFoundError(f"road network has no node {node_id!r}")
+        self._graph.add_edge(
+            segment.start_id,
+            segment.end_id,
+            length_m=segment.length_m,
+            speed_limit_mps=segment.speed_limit_mps,
+            road_class=segment.road_class,
+            travel_time_s=segment.free_flow_time_s,
+        )
+
+    def connect(
+        self,
+        start_id: str,
+        end_id: str,
+        *,
+        speed_limit_mps: float = 13.9,
+        road_class: str = "urban",
+        length_m: Optional[float] = None,
+    ) -> RoadSegment:
+        """Convenience: add a segment whose length defaults to the geo distance."""
+        start = self.node(start_id)
+        end = self.node(end_id)
+        if length_m is None:
+            length_m = max(1.0, haversine_m(start.position, end.position))
+        segment = RoadSegment(start_id, end_id, length_m, speed_limit_mps, road_class)
+        self.add_segment(segment)
+        return segment
+
+    def node(self, node_id: str) -> RoadNode:
+        """Look up a node by id."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NotFoundError(f"road network has no node {node_id!r}")
+        return node
+
+    def has_node(self, node_id: str) -> bool:
+        """Whether the node exists."""
+        return node_id in self._nodes
+
+    def node_ids(self) -> List[str]:
+        """All node ids."""
+        return sorted(self._nodes.keys())
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def segment_count(self) -> int:
+        """Number of edges."""
+        return self._graph.number_of_edges()
+
+    def neighbors(self, node_id: str) -> List[str]:
+        """Adjacent node ids."""
+        if node_id not in self._nodes:
+            raise NotFoundError(f"road network has no node {node_id!r}")
+        return sorted(self._graph.neighbors(node_id))
+
+    def degree(self, node_id: str) -> int:
+        """Number of road segments meeting at the node."""
+        if node_id not in self._nodes:
+            raise NotFoundError(f"road network has no node {node_id!r}")
+        return self._graph.degree[node_id]
+
+    def segment_between(self, start_id: str, end_id: str) -> RoadSegment:
+        """The segment connecting two adjacent nodes."""
+        data = self._graph.get_edge_data(start_id, end_id)
+        if data is None:
+            raise NotFoundError(f"no segment between {start_id!r} and {end_id!r}")
+        return RoadSegment(
+            start_id,
+            end_id,
+            data["length_m"],
+            data["speed_limit_mps"],
+            data["road_class"],
+        )
+
+    def nearest_node(self, point: GeoPoint) -> RoadNode:
+        """The node geographically closest to ``point``."""
+        hit = self._index.nearest(point, max_radius_m=200000.0)
+        if hit is None:
+            raise NotFoundError("road network is empty")
+        return self._nodes[hit[0]]
+
+    def nodes_within(self, center: GeoPoint, radius_m: float) -> List[RoadNode]:
+        """Nodes within a radius of a point (nearest first)."""
+        return [self._nodes[node_id] for node_id, _d in self._index.query_radius(center, radius_m)]
+
+    def nodes(self) -> Iterable[RoadNode]:
+        """Iterate over all nodes."""
+        return list(self._nodes.values())
+
+    def total_length_m(self) -> float:
+        """Total length of all road segments."""
+        return float(sum(data["length_m"] for _u, _v, data in self._graph.edges(data=True)))
+
+    def apply_congestion(self, factor_by_class: Dict[str, float]) -> None:
+        """Scale edge travel times by a per-road-class congestion factor.
+
+        A factor of 1.0 leaves the free-flow time; 1.5 means 50% slower.
+        Used by the travel-time predictor to model rush-hour conditions.
+        """
+        for _u, _v, data in self._graph.edges(data=True):
+            factor = factor_by_class.get(data["road_class"], 1.0)
+            if factor <= 0:
+                raise ValidationError(f"congestion factor must be > 0, got {factor}")
+            free_flow = data["length_m"] / data["speed_limit_mps"]
+            data["travel_time_s"] = free_flow * factor

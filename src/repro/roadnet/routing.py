@@ -1,0 +1,105 @@
+"""Shortest-path routing with travel-time estimates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.errors import NotFoundError
+from repro.geo import GeoPoint, Polyline
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class Route:
+    """A routed path through the network."""
+
+    node_ids: List[str]
+    geometry: Polyline
+    length_m: float
+    travel_time_s: float
+
+    @property
+    def mean_speed_mps(self) -> float:
+        """Average speed implied by the route's length and travel time."""
+        if self.travel_time_s <= 0:
+            return 0.0
+        return self.length_m / self.travel_time_s
+
+
+class RoutePlanner:
+    """Plans minimum-travel-time routes on a :class:`RoadNetwork`."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._network = network
+
+    def route_between_nodes(self, start_id: str, end_id: str) -> Route:
+        """Fastest route between two existing nodes."""
+        graph = self._network.graph
+        if start_id not in graph or end_id not in graph:
+            raise NotFoundError(
+                f"route endpoints must exist in the network: {start_id!r}, {end_id!r}"
+            )
+        try:
+            node_ids = nx.shortest_path(graph, start_id, end_id, weight="travel_time_s")
+        except nx.NetworkXNoPath as exc:
+            raise NotFoundError(
+                f"no drivable path between {start_id!r} and {end_id!r}"
+            ) from exc
+        return self._assemble(node_ids)
+
+    def route_between_points(self, origin: GeoPoint, destination: GeoPoint) -> Route:
+        """Fastest route between the nodes nearest to two geographic points."""
+        start = self._network.nearest_node(origin)
+        end = self._network.nearest_node(destination)
+        return self.route_between_nodes(start.node_id, end.node_id)
+
+    def travel_time_s(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        """Estimated driving time between two points."""
+        return self.route_between_points(origin, destination).travel_time_s
+
+    def reachable_nodes(self, origin: GeoPoint, max_travel_time_s: float) -> List[str]:
+        """Node ids reachable from ``origin`` within a time budget (isochrone)."""
+        start = self._network.nearest_node(origin)
+        lengths = nx.single_source_dijkstra_path_length(
+            self._network.graph, start.node_id, cutoff=max_travel_time_s, weight="travel_time_s"
+        )
+        return sorted(lengths.keys())
+
+    def remaining_route(self, route: Route, current_position: GeoPoint) -> Optional[Route]:
+        """The tail of ``route`` from the node nearest to the current position.
+
+        Returns ``None`` when the driver is already at (or past) the final
+        node.  Used to re-estimate the remaining ΔT while a drive is in
+        progress.
+        """
+        nearest_index = 0
+        best_distance = float("inf")
+        for index, node_id in enumerate(route.node_ids):
+            node = self._network.node(node_id)
+            distance = node.position.distance_m(current_position)
+            if distance < best_distance:
+                best_distance = distance
+                nearest_index = index
+        if nearest_index >= len(route.node_ids) - 1:
+            return None
+        return self._assemble(route.node_ids[nearest_index:])
+
+    def _assemble(self, node_ids: List[str]) -> Route:
+        points = [self._network.node(node_id).position for node_id in node_ids]
+        geometry = Polyline(points)
+        length = 0.0
+        travel_time = 0.0
+        graph = self._network.graph
+        for start, end in zip(node_ids, node_ids[1:]):
+            data = graph.get_edge_data(start, end)
+            length += data["length_m"]
+            travel_time += data["travel_time_s"]
+        return Route(
+            node_ids=list(node_ids),
+            geometry=geometry,
+            length_m=length,
+            travel_time_s=travel_time,
+        )

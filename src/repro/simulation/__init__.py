@@ -1,0 +1,34 @@
+"""Listener behaviour simulation and the paper's demonstration scenarios.
+
+Provides: a stochastic listener satisfaction/skip model
+(:mod:`repro.simulation.listener`), runnable versions of the two
+demonstration scenarios — Greg's manual program change and Lilly's
+contextual proactive recommendation (:mod:`repro.simulation.scenario`) —
+and a population-level comparison runner that measures skip/channel-change
+rates under different personalization strategies
+(:mod:`repro.simulation.runner`).
+"""
+
+from repro.simulation.listener import ListenerBehavior, ListeningOutcome
+from repro.simulation.metrics import SessionMetrics, StrategyComparison, summarize_sessions
+from repro.simulation.runner import PersonalizationStrategy, SimulationRunner
+from repro.simulation.scenario import (
+    ManualSkipScenarioResult,
+    ProactiveScenarioResult,
+    run_manual_skip_scenario,
+    run_proactive_commute_scenario,
+)
+
+__all__ = [
+    "ListenerBehavior",
+    "ListeningOutcome",
+    "ManualSkipScenarioResult",
+    "PersonalizationStrategy",
+    "ProactiveScenarioResult",
+    "SessionMetrics",
+    "SimulationRunner",
+    "StrategyComparison",
+    "run_manual_skip_scenario",
+    "run_proactive_commute_scenario",
+    "summarize_sessions",
+]

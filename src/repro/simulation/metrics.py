@@ -1,0 +1,133 @@
+"""Session-level metrics and strategy comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ValidationError
+from repro.simulation.listener import ListeningOutcome
+
+
+@dataclass(frozen=True)
+class SessionMetrics:
+    """Aggregated outcome of one listening session."""
+
+    user_id: str
+    strategy: str
+    items_played: int
+    skips: int
+    channel_changes: int
+    total_listened_s: float
+    total_duration_s: float
+    mean_enjoyment: float
+
+    @property
+    def skip_rate(self) -> float:
+        """Skips (including channel changes) per item played."""
+        if self.items_played == 0:
+            return 0.0
+        return (self.skips + self.channel_changes) / self.items_played
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of items played to the end."""
+        if self.items_played == 0:
+            return 0.0
+        return 1.0 - self.skip_rate
+
+    @property
+    def listened_share(self) -> float:
+        """Fraction of offered audio actually listened to."""
+        if self.total_duration_s <= 0:
+            return 0.0
+        return min(1.0, self.total_listened_s / self.total_duration_s)
+
+
+def session_metrics_from_outcomes(
+    user_id: str, strategy: str, outcomes: Sequence[ListeningOutcome]
+) -> SessionMetrics:
+    """Aggregate per-item outcomes into session metrics."""
+    if not outcomes:
+        return SessionMetrics(user_id, strategy, 0, 0, 0, 0.0, 0.0, 0.0)
+    skips = sum(1 for outcome in outcomes if outcome.skipped)
+    channel_changes = sum(1 for outcome in outcomes if outcome.channel_changed)
+    return SessionMetrics(
+        user_id=user_id,
+        strategy=strategy,
+        items_played=len(outcomes),
+        skips=skips,
+        channel_changes=channel_changes,
+        total_listened_s=sum(outcome.listened_s for outcome in outcomes),
+        total_duration_s=sum(outcome.duration_s for outcome in outcomes),
+        mean_enjoyment=sum(outcome.enjoyment for outcome in outcomes) / len(outcomes),
+    )
+
+
+@dataclass
+class StrategyComparison:
+    """Population-level comparison across personalization strategies."""
+
+    sessions: Dict[str, List[SessionMetrics]] = field(default_factory=dict)
+
+    def add(self, metrics: SessionMetrics) -> None:
+        """Record one session."""
+        self.sessions.setdefault(metrics.strategy, []).append(metrics)
+
+    def strategies(self) -> List[str]:
+        """Strategy names present in the comparison."""
+        return sorted(self.sessions.keys())
+
+    def mean_skip_rate(self, strategy: str) -> float:
+        """Average skip rate for one strategy."""
+        sessions = self._require(strategy)
+        return sum(session.skip_rate for session in sessions) / len(sessions)
+
+    def mean_channel_change_rate(self, strategy: str) -> float:
+        """Average channel changes per item for one strategy."""
+        sessions = self._require(strategy)
+        return sum(
+            session.channel_changes / session.items_played
+            for session in sessions
+            if session.items_played > 0
+        ) / len(sessions)
+
+    def mean_enjoyment(self, strategy: str) -> float:
+        """Average per-item enjoyment for one strategy."""
+        sessions = self._require(strategy)
+        return sum(session.mean_enjoyment for session in sessions) / len(sessions)
+
+    def mean_listened_share(self, strategy: str) -> float:
+        """Average fraction of offered audio listened to."""
+        sessions = self._require(strategy)
+        return sum(session.listened_share for session in sessions) / len(sessions)
+
+    def as_table(self) -> List[Dict[str, float]]:
+        """One row per strategy, with the headline metrics (bench Q-1 output)."""
+        rows: List[Dict[str, float]] = []
+        for strategy in self.strategies():
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "sessions": float(len(self.sessions[strategy])),
+                    "skip_rate": round(self.mean_skip_rate(strategy), 4),
+                    "channel_change_rate": round(self.mean_channel_change_rate(strategy), 4),
+                    "mean_enjoyment": round(self.mean_enjoyment(strategy), 4),
+                    "listened_share": round(self.mean_listened_share(strategy), 4),
+                }
+            )
+        return rows
+
+    def _require(self, strategy: str) -> List[SessionMetrics]:
+        sessions = self.sessions.get(strategy)
+        if not sessions:
+            raise ValidationError(f"no sessions recorded for strategy {strategy!r}")
+        return sessions
+
+
+def summarize_sessions(sessions: Sequence[SessionMetrics]) -> StrategyComparison:
+    """Build a comparison from a flat list of session metrics."""
+    comparison = StrategyComparison()
+    for session in sessions:
+        comparison.add(session)
+    return comparison

@@ -1,0 +1,12 @@
+"""The tracking-data spatial database (PostGIS substitute).
+
+Stores raw GPS fixes per user, supports spatial queries (radius, bounding
+box, nearest listener) and the periodic compaction step the paper describes:
+raw fixes are summarized into a compact, discrete route model
+(:mod:`repro.trajectory`) and the raw data can then be pruned.
+"""
+
+from repro.spatialdb.tracking_store import GpsFix, TrackingStore
+from repro.spatialdb.queries import SpatialQueryEngine
+
+__all__ = ["GpsFix", "SpatialQueryEngine", "TrackingStore"]

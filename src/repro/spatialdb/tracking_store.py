@@ -1,0 +1,135 @@
+"""Storage for raw GPS fixes arriving from the client apps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import NotFoundError, ValidationError
+from repro.geo import BoundingBox, GeoPoint, GridIndex
+from repro.util.validation import require_finite, require_non_empty
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """A single GPS observation from a listener's device."""
+
+    user_id: str
+    timestamp_s: float
+    position: GeoPoint
+    speed_mps: float = 0.0
+    accuracy_m: float = 10.0
+
+    def __post_init__(self) -> None:
+        require_non_empty(self.user_id, "user_id")
+        require_finite(self.timestamp_s, "timestamp_s")
+        if self.speed_mps < 0:
+            raise ValidationError(f"speed_mps must be >= 0, got {self.speed_mps}")
+        if self.accuracy_m <= 0:
+            raise ValidationError(f"accuracy_m must be > 0, got {self.accuracy_m}")
+
+
+class TrackingStore:
+    """Per-user time-ordered GPS fix storage with a spatial index.
+
+    The spatial index tracks only each user's *latest* position, which is
+    what the recommender needs for "who is near location X right now"
+    queries; historical fixes are kept in time order per user for trajectory
+    mining.
+    """
+
+    def __init__(self, *, index_cell_size_m: float = 1000.0) -> None:
+        self._fixes: Dict[str, List[GpsFix]] = {}
+        self._latest_index: GridIndex[str] = GridIndex(index_cell_size_m)
+
+    def add_fix(self, fix: GpsFix) -> None:
+        """Append a fix for a user (must be time-ordered per user)."""
+        history = self._fixes.setdefault(fix.user_id, [])
+        if history and fix.timestamp_s < history[-1].timestamp_s:
+            raise ValidationError(
+                "fixes must be appended in non-decreasing timestamp order: "
+                f"{fix.timestamp_s} < {history[-1].timestamp_s} for user {fix.user_id!r}"
+            )
+        history.append(fix)
+        self._latest_index.insert(fix.user_id, fix.position)
+
+    def add_fixes(self, fixes: Iterable[GpsFix]) -> int:
+        """Append many fixes; returns the number added."""
+        count = 0
+        for fix in fixes:
+            self.add_fix(fix)
+            count += 1
+        return count
+
+    def user_ids(self) -> List[str]:
+        """Users that have at least one fix."""
+        return sorted(self._fixes.keys())
+
+    def fix_count(self, user_id: Optional[str] = None) -> int:
+        """Number of stored fixes for one user or for all users."""
+        if user_id is not None:
+            return len(self._fixes.get(user_id, []))
+        return sum(len(history) for history in self._fixes.values())
+
+    def fixes_for(
+        self,
+        user_id: str,
+        *,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> List[GpsFix]:
+        """Fixes for a user, optionally restricted to ``[start_s, end_s)``."""
+        history = self._fixes.get(user_id)
+        if history is None:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        result = history
+        if start_s is not None:
+            result = [fix for fix in result if fix.timestamp_s >= start_s]
+        if end_s is not None:
+            result = [fix for fix in result if fix.timestamp_s < end_s]
+        return list(result)
+
+    def latest_fix(self, user_id: str) -> GpsFix:
+        """The most recent fix for a user."""
+        history = self._fixes.get(user_id)
+        if not history:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        return history[-1]
+
+    def latest_position(self, user_id: str) -> GeoPoint:
+        """The most recent position for a user."""
+        return self.latest_fix(user_id).position
+
+    def users_within(self, center: GeoPoint, radius_m: float) -> List[str]:
+        """Users whose latest position is within ``radius_m`` of ``center``."""
+        return [user_id for user_id, _distance in self._latest_index.query_radius(center, radius_m)]
+
+    def users_in_bbox(self, box: BoundingBox) -> List[str]:
+        """Users whose latest position falls inside the box."""
+        return sorted(self._latest_index.query_bbox(box))
+
+    def prune_before(self, user_id: str, cutoff_s: float) -> int:
+        """Drop fixes older than ``cutoff_s`` (the paper's periodic compaction).
+
+        Returns the number of fixes removed.  The user's latest position in
+        the spatial index is unaffected because the newest fix is never
+        pruned by a cutoff that keeps at least one fix; if every fix is older
+        than the cutoff the most recent one is kept so the user stays
+        queryable.
+        """
+        history = self._fixes.get(user_id)
+        if history is None:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        kept = [fix for fix in history if fix.timestamp_s >= cutoff_s]
+        if not kept:
+            kept = [history[-1]]
+        removed = len(history) - len(kept)
+        self._fixes[user_id] = kept
+        return removed
+
+    def clear_user(self, user_id: str) -> None:
+        """Remove all fixes for a user."""
+        if user_id not in self._fixes:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        del self._fixes[user_id]
+        self._latest_index.remove(user_id)

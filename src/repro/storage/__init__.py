@@ -1,0 +1,15 @@
+"""An in-memory relational storage substrate.
+
+The paper's server keeps its metadata, user profiles and feedback logs in
+conventional relational databases (plus PostGIS for tracking data).  This
+package provides the equivalent building blocks used throughout the
+reproduction: typed tables with schemas, primary keys, secondary indexes,
+and a small query layer with filtering, ordering and aggregation.
+"""
+
+from repro.storage.database import Database
+from repro.storage.index import SecondaryIndex
+from repro.storage.query import Query
+from repro.storage.table import Column, Schema, Table
+
+__all__ = ["Column", "Database", "Query", "Schema", "SecondaryIndex", "Table"]

@@ -1,0 +1,67 @@
+"""A named collection of tables: the in-memory stand-in for the server's DBs.
+
+The PPHCR server (paper Figure 3) uses several databases: the metadata DB,
+the profiles DB, the feedbacks DB and the PostGIS tracking DB.  In this
+reproduction each of those is a :class:`Database` instance holding typed
+:class:`~repro.storage.table.Table` objects (the tracking DB additionally
+wraps a spatial index, see :mod:`repro.spatialdb`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import DuplicateError, NotFoundError
+from repro.storage.query import Query
+from repro.storage.table import Schema, Table
+
+
+class Database:
+    """A named registry of tables."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._tables: Dict[str, Table] = {}
+
+    @property
+    def name(self) -> str:
+        """The database name."""
+        return self._name
+
+    def create_table(self, schema: Schema) -> Table:
+        """Create a table from a schema; fails if the name is taken."""
+        if schema.name in self._tables:
+            raise DuplicateError(
+                f"database {self._name!r} already has a table {schema.name!r}"
+            )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise NotFoundError(f"database {self._name!r} has no table {name!r}")
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and all its rows."""
+        if name not in self._tables:
+            raise NotFoundError(f"database {self._name!r} has no table {name!r}")
+        del self._tables[name]
+
+    def table_names(self) -> List[str]:
+        """Names of all tables."""
+        return sorted(self._tables.keys())
+
+    def query(self, table_name: str) -> Query:
+        """Start a query against a table."""
+        return Query(self.table(table_name))
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables (used by dashboards)."""
+        return sum(len(table) for table in self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,61 @@
+"""Secondary (non-unique) indexes for in-memory tables."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Set
+
+
+class SecondaryIndex:
+    """A hash index from a computed key to the set of primary keys.
+
+    The key function is applied to a row when it is inserted or removed; the
+    index never stores row contents, only primary keys, so the owning table
+    remains the single source of truth.
+    """
+
+    def __init__(self, name: str, key_func: Callable[[Dict[str, Any]], Any]) -> None:
+        self._name = name
+        self._key_func = key_func
+        self._buckets: Dict[Any, Set[Any]] = defaultdict(set)
+
+    @property
+    def name(self) -> str:
+        """The index name."""
+        return self._name
+
+    def add(self, primary_key: Any, row: Dict[str, Any]) -> None:
+        """Index a newly inserted row."""
+        self._buckets[self._make_key(row)].add(primary_key)
+
+    def remove(self, primary_key: Any, row: Dict[str, Any]) -> None:
+        """Remove a row that is being deleted or replaced."""
+        key = self._make_key(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(primary_key)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, value: Any) -> List[Any]:
+        """Primary keys whose index key equals ``value``."""
+        return sorted(self._buckets.get(self._normalize(value), set()), key=repr)
+
+    def distinct_keys(self) -> List[Any]:
+        """All distinct index keys currently present."""
+        return sorted(self._buckets.keys(), key=repr)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._buckets.clear()
+
+    def _make_key(self, row: Dict[str, Any]) -> Any:
+        return self._normalize(self._key_func(row))
+
+    @staticmethod
+    def _normalize(value: Any) -> Any:
+        # Lists are a common (unhashable) cell value; normalize to tuples so
+        # they can be used as index keys.
+        if isinstance(value, list):
+            return tuple(value)
+        return value

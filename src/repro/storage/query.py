@@ -1,0 +1,125 @@
+"""A small fluent query layer over :class:`repro.storage.table.Table`.
+
+Supports the operations the PPHCR server actually needs: equality and
+predicate filters, ordering, limits, projections and simple aggregates.
+Queries are lazy: nothing is evaluated until a terminal method
+(:meth:`Query.all`, :meth:`Query.first`, :meth:`Query.count`, ...) is called.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import QueryError
+from repro.storage.table import Row, Table
+
+
+class Query:
+    """A lazily evaluated query over a table."""
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._filters: List[Callable[[Row], bool]] = []
+        self._order_key: Optional[Callable[[Row], Any]] = None
+        self._order_desc: bool = False
+        self._limit: Optional[int] = None
+        self._projection: Optional[List[str]] = None
+
+    def where(self, predicate: Callable[[Row], bool]) -> "Query":
+        """Keep rows for which ``predicate`` returns a truthy value."""
+        self._filters.append(predicate)
+        return self
+
+    def where_eq(self, column: str, value: Any) -> "Query":
+        """Keep rows whose ``column`` equals ``value``."""
+        self._table.schema.column(column)
+        self._filters.append(lambda row, c=column, v=value: row[c] == v)
+        return self
+
+    def where_in(self, column: str, values: Iterable[Any]) -> "Query":
+        """Keep rows whose ``column`` is one of ``values``."""
+        self._table.schema.column(column)
+        allowed = set(values)
+        self._filters.append(lambda row, c=column, a=allowed: row[c] in a)
+        return self
+
+    def order_by(self, column_or_key, *, descending: bool = False) -> "Query":
+        """Order results by a column name or key function."""
+        if callable(column_or_key):
+            self._order_key = column_or_key
+        else:
+            self._table.schema.column(column_or_key)
+            self._order_key = lambda row, c=column_or_key: row[c]
+        self._order_desc = descending
+        return self
+
+    def limit(self, n: int) -> "Query":
+        """Keep at most the first ``n`` results."""
+        if n < 0:
+            raise QueryError(f"limit must be >= 0, got {n}")
+        self._limit = n
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Project the result rows onto the named columns."""
+        for column in columns:
+            self._table.schema.column(column)
+        self._projection = list(columns)
+        return self
+
+    # Terminal operations -------------------------------------------------
+
+    def all(self) -> List[Row]:
+        """Evaluate the query and return all matching rows."""
+        rows = [row for row in self._table.rows() if self._matches(row)]
+        if self._order_key is not None:
+            rows.sort(key=self._order_key, reverse=self._order_desc)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            rows = [{column: row[column] for column in self._projection} for row in rows]
+        return rows
+
+    def first(self) -> Optional[Row]:
+        """The first matching row, or ``None``."""
+        results = self.limit(1).all() if self._limit is None else self.all()[:1]
+        return results[0] if results else None
+
+    def count(self) -> int:
+        """Number of matching rows."""
+        return sum(1 for row in self._table.rows() if self._matches(row))
+
+    def exists(self) -> bool:
+        """Whether any row matches."""
+        return any(self._matches(row) for row in self._table.rows())
+
+    def aggregate(self, column: str, func: Callable[[List[Any]], Any]) -> Any:
+        """Apply ``func`` to the list of values of ``column`` over matches."""
+        self._table.schema.column(column)
+        values = [row[column] for row in self._table.rows() if self._matches(row)]
+        return func(values)
+
+    def sum(self, column: str) -> float:
+        """Sum of a numeric column over matching rows."""
+        return float(self.aggregate(column, lambda values: sum(values) if values else 0.0))
+
+    def avg(self, column: str) -> Optional[float]:
+        """Mean of a numeric column over matching rows (``None`` if empty)."""
+        def _mean(values: List[Any]) -> Optional[float]:
+            return float(sum(values)) / len(values) if values else None
+
+        return self.aggregate(column, _mean)
+
+    def group_by(self, column: str) -> Dict[Any, List[Row]]:
+        """Group matching rows by the value of ``column``."""
+        self._table.schema.column(column)
+        groups: Dict[Any, List[Row]] = {}
+        for row in self._table.rows():
+            if self._matches(row):
+                groups.setdefault(row[column], []).append(row)
+        return groups
+
+    # Internal -------------------------------------------------------------
+
+    def _matches(self, row: Row) -> bool:
+        return all(predicate(row) for predicate in self._filters)

@@ -1,0 +1,243 @@
+"""Schema-validated in-memory tables with primary keys and secondary indexes."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.errors import DuplicateError, NotFoundError, SchemaError
+from repro.storage.index import SecondaryIndex
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.
+
+    ``dtype`` is a Python type (or tuple of types); ``nullable`` controls
+    whether ``None`` is accepted; ``default`` is used when the value is
+    missing on insert.
+    """
+
+    name: str
+    dtype: Any = object
+    nullable: bool = False
+    default: Any = None
+    has_default: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Check one value against the column definition and return it."""
+        if value is None:
+            if self.nullable:
+                return None
+            raise SchemaError(f"column {self.name!r} is not nullable")
+        if self.dtype is object:
+            return value
+        expected = self.dtype if isinstance(self.dtype, tuple) else (self.dtype,)
+        # Accept ints where floats are expected, as SQL numeric widening would.
+        if float in expected and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {expected!r}, got {type(value).__name__}"
+            )
+        return value
+
+
+@dataclass
+class Schema:
+    """An ordered collection of columns plus the primary-key column name."""
+
+    columns: List[Column]
+    primary_key: str
+    name: str = "table"
+    _by_name: Dict[str, Column] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name = {column.name: column for column in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError(f"schema {self.name!r} has duplicate column names")
+        if self.primary_key not in self._by_name:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of schema {self.name!r}"
+            )
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of all columns in definition order."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"schema {self.name!r} has no column {name!r}") from exc
+
+    def validate_row(self, row: Row) -> Row:
+        """Validate and normalize a full row, applying defaults."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"row has columns not in schema {self.name!r}: {sorted(unknown)}"
+            )
+        validated: Row = {}
+        for column in self.columns:
+            if column.name in row:
+                validated[column.name] = column.validate(row[column.name])
+            elif column.has_default:
+                validated[column.name] = copy.copy(column.default)
+            elif column.nullable:
+                validated[column.name] = None
+            else:
+                raise SchemaError(
+                    f"row missing required column {column.name!r} of schema {self.name!r}"
+                )
+        return validated
+
+
+class Table:
+    """A single in-memory table.
+
+    Rows are stored as dictionaries keyed by the primary key.  Secondary
+    indexes can be declared on any column (or computed key function) and are
+    maintained on every mutation.  Returned rows are copies so callers cannot
+    corrupt table state by mutating them.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._rows: Dict[Any, Row] = {}
+        self._indexes: Dict[str, SecondaryIndex] = {}
+
+    @property
+    def schema(self) -> Schema:
+        """The table schema."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """The table name (from its schema)."""
+        return self._schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._rows
+
+    def create_index(self, name: str, key_func: Optional[Callable[[Row], Any]] = None) -> None:
+        """Create a secondary index.
+
+        If ``key_func`` is omitted the index is on the column named ``name``.
+        Existing rows are indexed immediately.
+        """
+        if name in self._indexes:
+            raise DuplicateError(f"index {name!r} already exists on table {self.name!r}")
+        if key_func is None:
+            self._schema.column(name)  # validates the column exists
+            column_name = name
+
+            def key_func(row: Row, _column: str = column_name) -> Any:
+                return row[_column]
+
+        index = SecondaryIndex(name, key_func)
+        for primary_key, row in self._rows.items():
+            index.add(primary_key, row)
+        self._indexes[name] = index
+
+    def insert(self, row: Row) -> Any:
+        """Insert a new row; returns its primary key."""
+        validated = self._schema.validate_row(row)
+        key = validated[self._schema.primary_key]
+        if key in self._rows:
+            raise DuplicateError(
+                f"table {self.name!r} already has a row with key {key!r}"
+            )
+        self._rows[key] = validated
+        for index in self._indexes.values():
+            index.add(key, validated)
+        return key
+
+    def upsert(self, row: Row) -> Any:
+        """Insert the row, replacing any existing row with the same key."""
+        validated = self._schema.validate_row(row)
+        key = validated[self._schema.primary_key]
+        if key in self._rows:
+            self.delete(key)
+        return self.insert(validated)
+
+    def get(self, key: Any) -> Row:
+        """Fetch a row by primary key (copy)."""
+        row = self._rows.get(key)
+        if row is None:
+            raise NotFoundError(f"table {self.name!r} has no row with key {key!r}")
+        return dict(row)
+
+    def get_or_none(self, key: Any) -> Optional[Row]:
+        """Fetch a row by primary key, or ``None`` if absent."""
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def update(self, key: Any, changes: Row) -> Row:
+        """Apply a partial update to the row with the given key."""
+        current = self._rows.get(key)
+        if current is None:
+            raise NotFoundError(f"table {self.name!r} has no row with key {key!r}")
+        merged = dict(current)
+        merged.update(changes)
+        validated = self._schema.validate_row(merged)
+        new_key = validated[self._schema.primary_key]
+        if new_key != key and new_key in self._rows:
+            raise DuplicateError(
+                f"update would collide with existing key {new_key!r} in table {self.name!r}"
+            )
+        for index in self._indexes.values():
+            index.remove(key, current)
+        del self._rows[key]
+        self._rows[new_key] = validated
+        for index in self._indexes.values():
+            index.add(new_key, validated)
+        return dict(validated)
+
+    def delete(self, key: Any) -> None:
+        """Delete the row with the given key."""
+        row = self._rows.pop(key, None)
+        if row is None:
+            raise NotFoundError(f"table {self.name!r} has no row with key {key!r}")
+        for index in self._indexes.values():
+            index.remove(key, row)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over copies of all rows (insertion order)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def keys(self) -> List[Any]:
+        """All primary keys."""
+        return list(self._rows.keys())
+
+    def find_by_index(self, index_name: str, value: Any) -> List[Row]:
+        """All rows whose index key equals ``value``."""
+        index = self._indexes.get(index_name)
+        if index is None:
+            raise NotFoundError(f"table {self.name!r} has no index {index_name!r}")
+        return [dict(self._rows[key]) for key in index.lookup(value)]
+
+    def scan(self, predicate: Callable[[Row], bool]) -> List[Row]:
+        """Full scan returning copies of matching rows."""
+        return [dict(row) for row in self._rows.values() if predicate(row)]
+
+    def count(self, predicate: Optional[Callable[[Row], bool]] = None) -> int:
+        """Number of rows (optionally matching a predicate)."""
+        if predicate is None:
+            return len(self._rows)
+        return sum(1 for row in self._rows.values() if predicate(row))
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()

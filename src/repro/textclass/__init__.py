@@ -1,0 +1,21 @@
+"""Text classification: tokenizer, vocabulary, multinomial Naive Bayes, TF-IDF.
+
+This is the "Bayesian classifier trained with a set of news, according to a
+set of 30 categories" of the paper's clip data management component,
+implemented from scratch so its behaviour is fully inspectable.
+"""
+
+from repro.textclass.evaluation import ClassificationReport, evaluate_classifier
+from repro.textclass.naive_bayes import NaiveBayesClassifier
+from repro.textclass.tfidf import TfIdfVectorizer
+from repro.textclass.tokenizer import Tokenizer
+from repro.textclass.vocabulary import Vocabulary
+
+__all__ = [
+    "ClassificationReport",
+    "NaiveBayesClassifier",
+    "TfIdfVectorizer",
+    "Tokenizer",
+    "Vocabulary",
+    "evaluate_classifier",
+]

@@ -1,0 +1,92 @@
+"""Classifier evaluation: accuracy, per-class precision/recall/F1, confusion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ClassificationError
+from repro.textclass.naive_bayes import NaiveBayesClassifier
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Precision / recall / F1 for one class."""
+
+    label: str
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Aggregate evaluation of a classifier on a labeled test set."""
+
+    accuracy: float
+    macro_f1: float
+    per_class: Dict[str, ClassMetrics]
+    confusion: Dict[Tuple[str, str], int]  # (true, predicted) -> count
+    total: int
+
+    def most_confused_pairs(self, top: int = 5) -> List[Tuple[Tuple[str, str], int]]:
+        """Off-diagonal confusion cells with the highest counts."""
+        off_diagonal = [
+            (pair, count) for pair, count in self.confusion.items() if pair[0] != pair[1]
+        ]
+        off_diagonal.sort(key=lambda item: item[1], reverse=True)
+        return off_diagonal[:top]
+
+
+def evaluate_classifier(
+    classifier: NaiveBayesClassifier,
+    texts: Sequence[str],
+    labels: Sequence[str],
+) -> ClassificationReport:
+    """Evaluate predictions of ``classifier`` against ground-truth ``labels``."""
+    if len(texts) != len(labels):
+        raise ClassificationError("texts and labels must have the same length")
+    if not texts:
+        raise ClassificationError("cannot evaluate on an empty test set")
+    predictions = classifier.predict_many(texts)
+    confusion: Dict[Tuple[str, str], int] = {}
+    correct = 0
+    for truth, predicted in zip(labels, predictions):
+        confusion[(truth, predicted)] = confusion.get((truth, predicted), 0) + 1
+        if truth == predicted:
+            correct += 1
+
+    class_labels = sorted(set(labels) | set(predictions))
+    per_class: Dict[str, ClassMetrics] = {}
+    f1_values: List[float] = []
+    for label in class_labels:
+        true_positive = confusion.get((label, label), 0)
+        false_positive = sum(
+            count for (truth, predicted), count in confusion.items()
+            if predicted == label and truth != label
+        )
+        false_negative = sum(
+            count for (truth, predicted), count in confusion.items()
+            if truth == label and predicted != label
+        )
+        support = true_positive + false_negative
+        precision = (
+            true_positive / (true_positive + false_positive)
+            if (true_positive + false_positive) > 0
+            else 0.0
+        )
+        recall = true_positive / support if support > 0 else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if (precision + recall) > 0 else 0.0
+        per_class[label] = ClassMetrics(label, precision, recall, f1, support)
+        if support > 0:
+            f1_values.append(f1)
+
+    macro_f1 = sum(f1_values) / len(f1_values) if f1_values else 0.0
+    return ClassificationReport(
+        accuracy=correct / len(texts),
+        macro_f1=macro_f1,
+        per_class=per_class,
+        confusion=confusion,
+        total=len(texts),
+    )

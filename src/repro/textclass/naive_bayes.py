@@ -1,0 +1,130 @@
+"""Multinomial Naive Bayes text classifier with Laplace smoothing."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ClassificationError
+from repro.textclass.tokenizer import Tokenizer
+from repro.textclass.vocabulary import Vocabulary
+
+
+class NaiveBayesClassifier:
+    """The paper's Bayesian news classifier.
+
+    Trains per-category unigram likelihoods with Laplace (add-``alpha``)
+    smoothing and classifies via maximum a-posteriori.  ``predict_proba``
+    returns a normalized posterior which downstream code stores on
+    :class:`~repro.content.model.AudioClip` as its category score vector.
+    """
+
+    def __init__(self, *, alpha: float = 1.0, tokenizer: Optional[Tokenizer] = None) -> None:
+        if alpha <= 0:
+            raise ClassificationError(f"alpha must be > 0, got {alpha}")
+        self._alpha = alpha
+        self._tokenizer = tokenizer or Tokenizer()
+        self._vocabulary: Optional[Vocabulary] = None
+        self._class_priors: Dict[str, float] = {}
+        self._word_log_likelihood: Dict[str, Dict[str, float]] = {}
+        self._unknown_log_likelihood: Dict[str, float] = {}
+        self._classes: List[str] = []
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self._classes)
+
+    @property
+    def classes(self) -> List[str]:
+        """Known class labels (training order preserved, then sorted)."""
+        return list(self._classes)
+
+    def fit(self, texts: Sequence[str], labels: Sequence[str]) -> "NaiveBayesClassifier":
+        """Train on parallel lists of documents and labels."""
+        if len(texts) != len(labels):
+            raise ClassificationError("texts and labels must have the same length")
+        if not texts:
+            raise ClassificationError("cannot train on an empty dataset")
+        tokenized = self._tokenizer.tokenize_many(texts)
+        self._vocabulary = Vocabulary.build(tokenized, min_count=1)
+        vocabulary_size = max(1, len(self._vocabulary))
+
+        class_document_counts: Counter = Counter(labels)
+        total_documents = len(texts)
+        token_counts: Dict[str, Counter] = defaultdict(Counter)
+        class_token_totals: Dict[str, int] = defaultdict(int)
+        for tokens, label in zip(tokenized, labels):
+            known = [token for token in tokens if token in self._vocabulary]
+            token_counts[label].update(known)
+            class_token_totals[label] += len(known)
+
+        self._classes = sorted(class_document_counts.keys())
+        self._class_priors = {
+            label: math.log(count / total_documents)
+            for label, count in class_document_counts.items()
+        }
+        self._word_log_likelihood = {}
+        self._unknown_log_likelihood = {}
+        for label in self._classes:
+            denominator = class_token_totals[label] + self._alpha * vocabulary_size
+            likelihoods: Dict[str, float] = {}
+            for token in self._vocabulary.tokens():
+                count = token_counts[label][token]
+                likelihoods[token] = math.log((count + self._alpha) / denominator)
+            self._word_log_likelihood[label] = likelihoods
+            self._unknown_log_likelihood[label] = math.log(self._alpha / denominator)
+        return self
+
+    def log_posteriors(self, text: str) -> Dict[str, float]:
+        """Unnormalized log posterior per class."""
+        self._require_trained()
+        tokens = self._tokenizer.tokenize(text)
+        scores: Dict[str, float] = {}
+        for label in self._classes:
+            score = self._class_priors[label]
+            likelihoods = self._word_log_likelihood[label]
+            unknown = self._unknown_log_likelihood[label]
+            for token in tokens:
+                score += likelihoods.get(token, unknown)
+            scores[label] = score
+        return scores
+
+    def predict(self, text: str) -> str:
+        """Most probable class for a document."""
+        scores = self.log_posteriors(text)
+        return max(scores.items(), key=lambda pair: (pair[1], pair[0]))[0]
+
+    def predict_proba(self, text: str) -> Dict[str, float]:
+        """Normalized posterior distribution over classes."""
+        scores = self.log_posteriors(text)
+        maximum = max(scores.values())
+        exponentials = {label: math.exp(score - maximum) for label, score in scores.items()}
+        total = sum(exponentials.values())
+        return {label: value / total for label, value in exponentials.items()}
+
+    def predict_many(self, texts: Iterable[str]) -> List[str]:
+        """Predict a batch of documents."""
+        return [self.predict(text) for text in texts]
+
+    def top_k(self, text: str, k: int = 3) -> List[Tuple[str, float]]:
+        """The ``k`` most probable classes with their posterior mass."""
+        if k < 1:
+            raise ClassificationError(f"k must be >= 1, got {k}")
+        probabilities = self.predict_proba(text)
+        ranked = sorted(probabilities.items(), key=lambda pair: pair[1], reverse=True)
+        return ranked[:k]
+
+    def informative_tokens(self, label: str, *, top: int = 10) -> List[str]:
+        """The tokens with the highest likelihood under a class (diagnostics)."""
+        self._require_trained()
+        if label not in self._word_log_likelihood:
+            raise ClassificationError(f"unknown class {label!r}")
+        likelihoods = self._word_log_likelihood[label]
+        ranked = sorted(likelihoods.items(), key=lambda pair: pair[1], reverse=True)
+        return [token for token, _score in ranked[:top]]
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise ClassificationError("classifier must be trained before prediction")

@@ -1,0 +1,108 @@
+"""TF-IDF vectorization and cosine similarity.
+
+Used by the content-based recommender to compare clips textually (e.g. for
+"more like what the listener kept listening to") in addition to the
+category-level profile matching.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ClassificationError
+from repro.textclass.tokenizer import Tokenizer
+from repro.textclass.vocabulary import Vocabulary
+
+SparseVector = Dict[int, float]
+
+
+class TfIdfVectorizer:
+    """Classic TF-IDF with smoothed inverse document frequency."""
+
+    def __init__(self, *, tokenizer: Optional[Tokenizer] = None, max_features: Optional[int] = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._max_features = max_features
+        self._vocabulary: Optional[Vocabulary] = None
+        self._idf: List[float] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._vocabulary is not None
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The fitted vocabulary."""
+        self._require_fitted()
+        return self._vocabulary  # type: ignore[return-value]
+
+    def fit(self, documents: Sequence[str]) -> "TfIdfVectorizer":
+        """Learn the vocabulary and IDF weights from a corpus."""
+        if not documents:
+            raise ClassificationError("cannot fit TF-IDF on an empty corpus")
+        tokenized = self._tokenizer.tokenize_many(documents)
+        self._vocabulary = Vocabulary.build(tokenized, max_size=self._max_features)
+        document_frequency = [0] * len(self._vocabulary)
+        for tokens in tokenized:
+            seen = set()
+            for token in tokens:
+                if token in self._vocabulary and token not in seen:
+                    document_frequency[self._vocabulary.index_of(token)] += 1
+                    seen.add(token)
+        n = len(documents)
+        self._idf = [
+            math.log((1 + n) / (1 + df)) + 1.0 for df in document_frequency
+        ]
+        return self
+
+    def transform(self, document: str) -> SparseVector:
+        """Vectorize one document into a sparse, L2-normalized TF-IDF vector."""
+        self._require_fitted()
+        tokens = self._tokenizer.tokenize(document)
+        counts = Counter(
+            self._vocabulary.index_of(token) for token in tokens if token in self._vocabulary
+        )
+        if not counts:
+            return {}
+        total = sum(counts.values())
+        vector = {
+            index: (count / total) * self._idf[index] for index, count in counts.items()
+        }
+        norm = math.sqrt(sum(value * value for value in vector.values()))
+        if norm == 0.0:
+            return {}
+        return {index: value / norm for index, value in vector.items()}
+
+    def fit_transform(self, documents: Sequence[str]) -> List[SparseVector]:
+        """Fit on the corpus and vectorize every document."""
+        self.fit(documents)
+        return [self.transform(document) for document in documents]
+
+    def transform_many(self, documents: Iterable[str]) -> List[SparseVector]:
+        """Vectorize a batch."""
+        return [self.transform(document) for document in documents]
+
+    def _require_fitted(self) -> None:
+        if self._vocabulary is None:
+            raise ClassificationError("vectorizer must be fitted before transform")
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity of two sparse vectors (0 if either is empty).
+
+    Vectors produced by :class:`TfIdfVectorizer` are already normalized, so
+    this reduces to a sparse dot product, but un-normalized inputs are also
+    handled correctly.
+    """
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(index, 0.0) for index, value in a.items())
+    norm_a = math.sqrt(sum(value * value for value in a.values()))
+    norm_b = math.sqrt(sum(value * value for value in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)

@@ -1,0 +1,50 @@
+"""Tokenization and normalization of transcripts."""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.errors import ValidationError
+
+_TOKEN_PATTERN = re.compile(r"[a-zàèéìòù]+", re.IGNORECASE)
+
+#: A small set of Italian-ish function words dropped by default.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    {
+        "il", "lo", "la", "le", "gli", "un", "una", "di", "da", "in", "con",
+        "su", "per", "tra", "fra", "che", "chi", "cui", "non", "come", "dove",
+        "quando", "anche", "ma", "ed", "se", "del", "della", "dei", "delle",
+        "al", "alla", "ai", "alle", "nel", "nella", "sono", "essere", "stato",
+    }
+)
+
+
+class Tokenizer:
+    """Lower-cases, extracts alphabetic tokens and filters stopwords."""
+
+    def __init__(
+        self,
+        *,
+        stopwords: Optional[Iterable[str]] = None,
+        min_token_length: int = 2,
+    ) -> None:
+        if min_token_length < 1:
+            raise ValidationError("min_token_length must be >= 1")
+        self._stopwords = frozenset(stopwords) if stopwords is not None else DEFAULT_STOPWORDS
+        self._min_token_length = min_token_length
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split ``text`` into normalized tokens."""
+        if text is None:
+            raise ValidationError("text must not be None")
+        tokens = _TOKEN_PATTERN.findall(text.lower())
+        return [
+            token
+            for token in tokens
+            if len(token) >= self._min_token_length and token not in self._stopwords
+        ]
+
+    def tokenize_many(self, texts: Iterable[str]) -> List[List[str]]:
+        """Tokenize a batch of documents."""
+        return [self.tokenize(text) for text in texts]

@@ -1,0 +1,94 @@
+"""Vocabulary: a bidirectional token <-> index mapping with frequency pruning."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import NotFoundError, ValidationError
+
+
+class Vocabulary:
+    """Maps tokens to dense integer indices.
+
+    Construction can prune rare tokens (``min_count``) and cap the size
+    (``max_size``, keeping the most frequent tokens).
+    """
+
+    def __init__(self) -> None:
+        self._token_to_index: Dict[str, int] = {}
+        self._index_to_token: List[str] = []
+        self._counts: Counter = Counter()
+
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable[List[str]],
+        *,
+        min_count: int = 1,
+        max_size: Optional[int] = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenized documents."""
+        if min_count < 1:
+            raise ValidationError("min_count must be >= 1")
+        if max_size is not None and max_size < 1:
+            raise ValidationError("max_size must be >= 1")
+        counts: Counter = Counter()
+        for tokens in documents:
+            counts.update(tokens)
+        vocabulary = cls()
+        eligible = [
+            (token, count) for token, count in counts.items() if count >= min_count
+        ]
+        eligible.sort(key=lambda pair: (-pair[1], pair[0]))
+        if max_size is not None:
+            eligible = eligible[:max_size]
+        for token, count in eligible:
+            vocabulary._add(token, count)
+        return vocabulary
+
+    def _add(self, token: str, count: int) -> None:
+        if token in self._token_to_index:
+            return
+        self._token_to_index[token] = len(self._index_to_token)
+        self._index_to_token.append(token)
+        self._counts[token] = count
+
+    def __len__(self) -> int:
+        return len(self._index_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_index
+
+    def index_of(self, token: str) -> int:
+        """Index of a known token."""
+        index = self._token_to_index.get(token)
+        if index is None:
+            raise NotFoundError(f"token {token!r} is not in the vocabulary")
+        return index
+
+    def token_at(self, index: int) -> str:
+        """Token at a given index."""
+        if not 0 <= index < len(self._index_to_token):
+            raise NotFoundError(f"vocabulary has no index {index}")
+        return self._index_to_token[index]
+
+    def count_of(self, token: str) -> int:
+        """Training-corpus frequency of a token (0 if unknown)."""
+        return self._counts.get(token, 0)
+
+    def tokens(self) -> List[str]:
+        """All tokens in index order."""
+        return list(self._index_to_token)
+
+    def encode(self, tokens: Iterable[str], *, skip_unknown: bool = True) -> List[int]:
+        """Map tokens to indices, skipping (or raising on) unknown tokens."""
+        indices: List[int] = []
+        for token in tokens:
+            index = self._token_to_index.get(token)
+            if index is None:
+                if skip_unknown:
+                    continue
+                raise NotFoundError(f"token {token!r} is not in the vocabulary")
+            indices.append(index)
+        return indices

@@ -1,0 +1,39 @@
+"""GPS trajectory mining.
+
+Implements the tracking-data processing pipeline described in the paper's
+system description: raw GPS fixes are periodically processed into "a
+compact, discrete model which describes destination, trajectory, speed,
+frequency, time of the day and complexity"; major staying points are found
+with density-based clustering (DBSCAN) and trajectories are simplified with
+the Ramer-Douglas-Peucker algorithm before complexity analysis.
+
+On top of that compact model the package provides the predictors the
+proactive recommender needs: where is the driver going (destination
+prediction) and how long will the drive take (ΔT / travel-time prediction).
+"""
+
+from repro.trajectory.clustering import RouteCluster, cluster_trips
+from repro.trajectory.features import TrajectoryFeatures, extract_features
+from repro.trajectory.model import Trajectory, TrajectoryPoint, split_into_trips
+from repro.trajectory.prediction import DestinationPredictor, DestinationPrediction
+from repro.trajectory.simplify import simplify_trajectory
+from repro.trajectory.staypoints import StayPoint, dbscan, detect_stay_points
+from repro.trajectory.travel_time import TravelTimeEstimate, TravelTimePredictor
+
+__all__ = [
+    "DestinationPredictor",
+    "DestinationPrediction",
+    "RouteCluster",
+    "StayPoint",
+    "Trajectory",
+    "TrajectoryFeatures",
+    "TrajectoryPoint",
+    "TravelTimeEstimate",
+    "TravelTimePredictor",
+    "cluster_trips",
+    "dbscan",
+    "detect_stay_points",
+    "extract_features",
+    "simplify_trajectory",
+    "split_into_trips",
+]

@@ -1,0 +1,161 @@
+"""Clustering of a user's historical trips into recurring routes.
+
+The proactive recommender needs to recognise "this looks like the usual
+morning commute" from the first minutes of a drive.  We group historical
+trips by (origin stay point, destination stay point) and, within a group,
+verify geometric coherence with the route-similarity measure.  Each cluster
+keeps summary statistics (typical departure time, typical duration and its
+spread) that the travel-time predictor uses.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TrajectoryError
+from repro.geo import GeoPoint
+from repro.trajectory.features import TrajectoryFeatures, route_similarity
+from repro.trajectory.model import Trajectory
+from repro.trajectory.staypoints import StayPoint, nearest_stay_point
+from repro.util.timeutils import SECONDS_PER_DAY
+
+
+@dataclass
+class RouteCluster:
+    """A group of similar historical trips between two stay points."""
+
+    cluster_id: int
+    origin_stay_point: int
+    destination_stay_point: int
+    trips: List[Trajectory] = field(default_factory=list)
+
+    @property
+    def support(self) -> int:
+        """Number of trips in the cluster."""
+        return len(self.trips)
+
+    @property
+    def representative(self) -> Trajectory:
+        """The trip whose duration is closest to the cluster median."""
+        if not self.trips:
+            raise TrajectoryError("route cluster has no trips")
+        median = self.median_duration_s
+        return min(self.trips, key=lambda trip: abs(trip.duration_s - median))
+
+    @property
+    def median_duration_s(self) -> float:
+        """Median trip duration."""
+        return statistics.median(trip.duration_s for trip in self.trips)
+
+    @property
+    def duration_stddev_s(self) -> float:
+        """Standard deviation of trip duration (0 for fewer than 2 trips)."""
+        if len(self.trips) < 2:
+            return 0.0
+        return statistics.pstdev(trip.duration_s for trip in self.trips)
+
+    @property
+    def median_length_m(self) -> float:
+        """Median trip length."""
+        return statistics.median(trip.length_m for trip in self.trips)
+
+    @property
+    def typical_departure_s(self) -> float:
+        """Circular mean of departure second-of-day across the trips."""
+        angles = [
+            2.0 * math.pi * (trip.start.timestamp_s % SECONDS_PER_DAY) / SECONDS_PER_DAY
+            for trip in self.trips
+        ]
+        sin_sum = sum(math.sin(angle) for angle in angles)
+        cos_sum = sum(math.cos(angle) for angle in angles)
+        if sin_sum == 0.0 and cos_sum == 0.0:
+            return self.trips[0].start.timestamp_s % SECONDS_PER_DAY
+        mean_angle = math.atan2(sin_sum, cos_sum) % (2.0 * math.pi)
+        return mean_angle / (2.0 * math.pi) * SECONDS_PER_DAY
+
+    @property
+    def time_of_day_histogram(self) -> Dict[str, int]:
+        """Trips per time-of-day bucket."""
+        histogram: Dict[str, int] = {}
+        for trip in self.trips:
+            bucket = trip.start_time_of_day
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        return histogram
+
+    def geometric_coherence(self) -> float:
+        """Mean pairwise route similarity of the trips (1 trip → 1.0)."""
+        if len(self.trips) < 2:
+            return 1.0
+        total = 0.0
+        pairs = 0
+        for index, trip_a in enumerate(self.trips):
+            for trip_b in self.trips[index + 1 :]:
+                total += route_similarity(trip_a, trip_b)
+                pairs += 1
+        return total / pairs if pairs else 1.0
+
+
+def cluster_trips(
+    trips: Sequence[Trajectory],
+    stay_points: Sequence[StayPoint],
+    *,
+    max_endpoint_distance_m: float = 500.0,
+    min_support: int = 1,
+) -> List[RouteCluster]:
+    """Group trips by their (origin, destination) stay-point pair.
+
+    Trips whose endpoints do not match any stay point are dropped (they are
+    one-off journeys the proactive model cannot learn from yet).  Clusters
+    are returned ordered by decreasing support.
+    """
+    if min_support < 1:
+        raise TrajectoryError("min_support must be >= 1")
+    groups: Dict[Tuple[int, int], List[Trajectory]] = {}
+    for trip in trips:
+        origin_sp = nearest_stay_point(
+            stay_points, trip.origin, max_distance_m=max_endpoint_distance_m
+        )
+        destination_sp = nearest_stay_point(
+            stay_points, trip.destination, max_distance_m=max_endpoint_distance_m
+        )
+        if origin_sp is None or destination_sp is None:
+            continue
+        if origin_sp.stay_point_id == destination_sp.stay_point_id:
+            continue
+        key = (origin_sp.stay_point_id, destination_sp.stay_point_id)
+        groups.setdefault(key, []).append(trip)
+
+    clusters: List[RouteCluster] = []
+    for (origin_id, destination_id), members in groups.items():
+        if len(members) < min_support:
+            continue
+        clusters.append(
+            RouteCluster(
+                cluster_id=len(clusters),
+                origin_stay_point=origin_id,
+                destination_stay_point=destination_id,
+                trips=list(members),
+            )
+        )
+    clusters.sort(key=lambda cluster: cluster.support, reverse=True)
+    for rank, cluster in enumerate(clusters):
+        cluster.cluster_id = rank
+    return clusters
+
+
+def find_cluster(
+    clusters: Sequence[RouteCluster],
+    origin_stay_point: int,
+    destination_stay_point: int,
+) -> Optional[RouteCluster]:
+    """Look up the cluster for an (origin, destination) stay-point pair."""
+    for cluster in clusters:
+        if (
+            cluster.origin_stay_point == origin_stay_point
+            and cluster.destination_stay_point == destination_stay_point
+        ):
+            return cluster
+    return None

@@ -1,0 +1,167 @@
+"""Compact trajectory features.
+
+This is the paper's "compact, discrete model which describes destination,
+trajectory, speed, frequency, time of the day and complexity": for every
+trip we extract a small feature record, and for a user's trip history we
+aggregate per-destination frequencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TrajectoryError
+from repro.geo import GeoPoint
+from repro.geo.geodesy import haversine_m, initial_bearing_deg
+from repro.trajectory.model import Trajectory
+from repro.trajectory.simplify import simplify_trajectory
+from repro.trajectory.staypoints import StayPoint, nearest_stay_point
+
+
+@dataclass(frozen=True)
+class TrajectoryFeatures:
+    """Per-trip compact feature record."""
+
+    user_id: str
+    origin: GeoPoint
+    destination: GeoPoint
+    start_time_s: float
+    duration_s: float
+    length_m: float
+    mean_speed_mps: float
+    max_speed_mps: float
+    time_of_day: str
+    complexity: float            # [0, 1): turning-angle density of the simplified path
+    simplified_points: int
+    raw_points: int
+    origin_stay_point: Optional[int] = None
+    destination_stay_point: Optional[int] = None
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of raw points removed by RDP simplification."""
+        if self.raw_points <= 0:
+            return 0.0
+        return 1.0 - self.simplified_points / self.raw_points
+
+
+def trajectory_complexity(trajectory: Trajectory, *, tolerance_m: float = 25.0) -> float:
+    """Complexity of a trajectory in [0, 1).
+
+    The paper computes complexity by "analysing the trajectory simplified
+    using the Ramer-Douglas-Peucker algorithm".  We follow the same recipe:
+    simplify, then accumulate the absolute turning angles of the simplified
+    polyline per kilometre and squash to [0, 1).  A straight motorway drive
+    scores near 0, a dense old-town loop scores near 1.
+    """
+    simplified = simplify_trajectory(trajectory, tolerance_m)
+    points = simplified.positions()
+    if len(points) < 3 or trajectory.length_m <= 0:
+        return 0.0
+    total_turning_deg = 0.0
+    for a, b, c in zip(points, points[1:], points[2:]):
+        bearing_in = initial_bearing_deg(a, b)
+        bearing_out = initial_bearing_deg(b, c)
+        turn = abs((bearing_out - bearing_in + 180.0) % 360.0 - 180.0)
+        total_turning_deg += turn
+    turning_per_km = total_turning_deg / (trajectory.length_m / 1000.0)
+    # 180 deg/km of accumulated turning maps to complexity 0.5.
+    return turning_per_km / (180.0 + turning_per_km)
+
+
+def extract_features(
+    trajectory: Trajectory,
+    *,
+    stay_points: Optional[Sequence[StayPoint]] = None,
+    tolerance_m: float = 25.0,
+) -> TrajectoryFeatures:
+    """Extract the compact per-trip feature record."""
+    if len(trajectory) < 2:
+        raise TrajectoryError("feature extraction requires at least two points")
+    simplified = simplify_trajectory(trajectory, tolerance_m)
+    speeds = trajectory.speeds_mps()
+    origin_sp = destination_sp = None
+    if stay_points:
+        origin_match = nearest_stay_point(stay_points, trajectory.origin)
+        destination_match = nearest_stay_point(stay_points, trajectory.destination)
+        origin_sp = origin_match.stay_point_id if origin_match else None
+        destination_sp = destination_match.stay_point_id if destination_match else None
+    return TrajectoryFeatures(
+        user_id=trajectory.user_id,
+        origin=trajectory.origin,
+        destination=trajectory.destination,
+        start_time_s=trajectory.start.timestamp_s,
+        duration_s=trajectory.duration_s,
+        length_m=trajectory.length_m,
+        mean_speed_mps=trajectory.mean_speed_mps,
+        max_speed_mps=max(speeds) if speeds else 0.0,
+        time_of_day=trajectory.start_time_of_day,
+        complexity=trajectory_complexity(trajectory, tolerance_m=tolerance_m),
+        simplified_points=len(simplified),
+        raw_points=len(trajectory),
+        origin_stay_point=origin_sp,
+        destination_stay_point=destination_sp,
+    )
+
+
+@dataclass(frozen=True)
+class DestinationFrequency:
+    """How often a user travels to a particular stay point."""
+
+    stay_point_id: int
+    count: int
+    share: float
+    by_time_of_day: Dict[str, int]
+
+
+def destination_frequencies(
+    features: Sequence[TrajectoryFeatures],
+) -> List[DestinationFrequency]:
+    """Aggregate trip features into per-destination visit frequencies."""
+    with_destination = [f for f in features if f.destination_stay_point is not None]
+    if not with_destination:
+        return []
+    counts: Counter = Counter(f.destination_stay_point for f in with_destination)
+    total = sum(counts.values())
+    result: List[DestinationFrequency] = []
+    for stay_point_id, count in counts.most_common():
+        by_tod: Dict[str, int] = {}
+        for feature in with_destination:
+            if feature.destination_stay_point == stay_point_id:
+                by_tod[feature.time_of_day] = by_tod.get(feature.time_of_day, 0) + 1
+        result.append(
+            DestinationFrequency(
+                stay_point_id=stay_point_id,
+                count=count,
+                share=count / total,
+                by_time_of_day=by_tod,
+            )
+        )
+    return result
+
+
+def route_similarity(a: Trajectory, b: Trajectory, *, samples: int = 20) -> float:
+    """Similarity in [0, 1] between two trips' geometries.
+
+    Both geometries are resampled to ``samples`` points by arc length and
+    compared point-wise; the mean distance is converted to a similarity via
+    ``1 / (1 + mean_km)``.  Good enough to group a commuter's repeated
+    home-to-work drives without a full Fréchet computation.
+    """
+    if samples < 2:
+        raise TrajectoryError("samples must be >= 2")
+    line_a = a.to_polyline()
+    line_b = b.to_polyline()
+    if line_a.length_m == 0.0 or line_b.length_m == 0.0:
+        return 0.0
+    total = 0.0
+    for index in range(samples):
+        fraction = index / (samples - 1)
+        pa = line_a.point_at_distance(fraction * line_a.length_m)
+        pb = line_b.point_at_distance(fraction * line_b.length_m)
+        total += haversine_m(pa, pb)
+    mean_km = (total / samples) / 1000.0
+    return 1.0 / (1.0 + mean_km)

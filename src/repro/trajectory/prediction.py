@@ -1,0 +1,166 @@
+"""Destination prediction from a partially observed drive.
+
+When the listener's car starts moving, PPHCR must predict where she is going
+so it can estimate the available time ΔT and pick geographically relevant
+content (paper Figure 2).  The predictor combines three evidence sources:
+
+* a prior from historical visit frequency per destination stay point,
+* a time-of-day factor (morning drives usually go to work, evening ones home),
+* a direction/progress likelihood comparing the observed partial drive with
+  the representative historical route toward each candidate destination.
+
+The result is a ranked list of candidate destinations with normalized
+probabilities; the proactive engine only acts when the top probability
+clears a confidence threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import PredictionError
+from repro.geo import GeoPoint
+from repro.geo.geodesy import haversine_m, initial_bearing_deg
+from repro.trajectory.clustering import RouteCluster
+from repro.trajectory.model import Trajectory
+from repro.trajectory.staypoints import StayPoint, nearest_stay_point
+from repro.util.timeutils import SECONDS_PER_DAY, time_of_day_bucket
+
+
+@dataclass(frozen=True)
+class DestinationPrediction:
+    """One candidate destination with its probability."""
+
+    stay_point_id: int
+    center: GeoPoint
+    probability: float
+    expected_remaining_distance_m: float
+    supporting_trips: int
+
+
+class DestinationPredictor:
+    """Predicts the destination of an in-progress drive."""
+
+    def __init__(
+        self,
+        stay_points: Sequence[StayPoint],
+        clusters: Sequence[RouteCluster],
+        *,
+        time_of_day_weight: float = 1.0,
+        direction_weight: float = 2.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        if not stay_points:
+            raise PredictionError("destination prediction requires at least one stay point")
+        self._stay_points = {sp.stay_point_id: sp for sp in stay_points}
+        self._clusters = list(clusters)
+        self._time_of_day_weight = time_of_day_weight
+        self._direction_weight = direction_weight
+        self._smoothing = smoothing
+
+    def predict(
+        self,
+        partial_drive: Trajectory,
+        *,
+        max_candidates: int = 5,
+    ) -> List[DestinationPrediction]:
+        """Rank candidate destinations for a partially observed drive."""
+        if len(partial_drive) < 2:
+            raise PredictionError("partial drive must contain at least two points")
+        origin_sp = nearest_stay_point(
+            list(self._stay_points.values()), partial_drive.origin, max_distance_m=800.0
+        )
+        current = partial_drive.destination
+        observed_bearing = initial_bearing_deg(partial_drive.origin, current)
+        bucket = time_of_day_bucket(partial_drive.start.timestamp_s).name
+
+        scores: Dict[int, float] = {}
+        supports: Dict[int, int] = {}
+        for cluster in self._clusters:
+            if origin_sp is not None and cluster.origin_stay_point != origin_sp.stay_point_id:
+                continue
+            destination_id = cluster.destination_stay_point
+            destination = self._stay_points.get(destination_id)
+            if destination is None:
+                continue
+            prior = cluster.support + self._smoothing
+            tod_factor = self._time_of_day_factor(cluster, bucket)
+            direction_factor = self._direction_factor(
+                partial_drive.origin, current, observed_bearing, destination.center
+            )
+            score = (
+                prior
+                * (tod_factor ** self._time_of_day_weight)
+                * (direction_factor ** self._direction_weight)
+            )
+            scores[destination_id] = scores.get(destination_id, 0.0) + score
+            supports[destination_id] = supports.get(destination_id, 0) + cluster.support
+
+        if not scores:
+            # Fall back to a pure spatial heuristic over all stay points.
+            for stay_point in self._stay_points.values():
+                if origin_sp is not None and stay_point.stay_point_id == origin_sp.stay_point_id:
+                    continue
+                direction_factor = self._direction_factor(
+                    partial_drive.origin, current, observed_bearing, stay_point.center
+                )
+                scores[stay_point.stay_point_id] = (stay_point.support + self._smoothing) * (
+                    direction_factor ** self._direction_weight
+                )
+                supports[stay_point.stay_point_id] = 0
+
+        total = sum(scores.values())
+        if total <= 0:
+            raise PredictionError("no destination candidate received positive score")
+        predictions = [
+            DestinationPrediction(
+                stay_point_id=destination_id,
+                center=self._stay_points[destination_id].center,
+                probability=score / total,
+                expected_remaining_distance_m=haversine_m(
+                    current, self._stay_points[destination_id].center
+                ),
+                supporting_trips=supports.get(destination_id, 0),
+            )
+            for destination_id, score in scores.items()
+        ]
+        predictions.sort(key=lambda prediction: prediction.probability, reverse=True)
+        return predictions[:max_candidates]
+
+    def most_likely(self, partial_drive: Trajectory) -> DestinationPrediction:
+        """The single most likely destination."""
+        return self.predict(partial_drive, max_candidates=1)[0]
+
+    # Internal -------------------------------------------------------------
+
+    @staticmethod
+    def _time_of_day_factor(cluster: RouteCluster, bucket: str) -> float:
+        histogram = cluster.time_of_day_histogram
+        total = sum(histogram.values())
+        if total == 0:
+            return 1.0
+        share = histogram.get(bucket, 0) / total
+        # Keep the factor strictly positive so a new time of day is not ruled out.
+        return 0.15 + 0.85 * share
+
+    @staticmethod
+    def _direction_factor(
+        origin: GeoPoint, current: GeoPoint, observed_bearing: float, candidate: GeoPoint
+    ) -> float:
+        """How consistent the observed heading and progress are with the candidate."""
+        travelled = haversine_m(origin, current)
+        if travelled < 30.0:
+            return 0.5  # too early to say anything about direction
+        candidate_bearing = initial_bearing_deg(origin, candidate)
+        angle = abs((candidate_bearing - observed_bearing + 180.0) % 360.0 - 180.0)
+        angular = max(0.0, math.cos(math.radians(angle)))
+        # Progress consistency: moving toward the candidate should not overshoot it.
+        total_distance = haversine_m(origin, candidate)
+        if total_distance < 1.0:
+            progress = 0.0
+        else:
+            progress = min(1.5, travelled / total_distance)
+        overshoot_penalty = 1.0 if progress <= 1.0 else max(0.0, 1.5 - progress) / 0.5
+        return 0.05 + 0.95 * angular * overshoot_penalty

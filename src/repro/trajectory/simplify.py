@@ -1,0 +1,23 @@
+"""Trajectory simplification (RDP applied to time-stamped trajectories)."""
+
+from __future__ import annotations
+
+from repro.geo.rdp import compression_ratio, rdp_indices
+from repro.trajectory.model import Trajectory
+
+
+def simplify_trajectory(trajectory: Trajectory, tolerance_m: float = 25.0) -> Trajectory:
+    """Return a trajectory containing only the RDP-retained samples.
+
+    The simplification keeps the original timestamps and speeds of the
+    retained samples so the compact model can still be analysed temporally.
+    """
+    indices = rdp_indices(trajectory.positions(), tolerance_m)
+    points = [trajectory[index] for index in indices]
+    return Trajectory(trajectory.user_id, points)
+
+
+def simplification_ratio(trajectory: Trajectory, tolerance_m: float = 25.0) -> float:
+    """Fraction of points removed when simplifying with the given tolerance."""
+    simplified = simplify_trajectory(trajectory, tolerance_m)
+    return compression_ratio(len(trajectory), len(simplified))

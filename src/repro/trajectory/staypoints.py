@@ -1,0 +1,168 @@
+"""Stay-point detection via density-based clustering (DBSCAN).
+
+The paper computes "major staying points on the driving paths ... using a
+density based location clustering", citing Ester et al.'s DBSCAN.  This
+module implements DBSCAN from scratch over geographic points (distance in
+meters via haversine, accelerated by the grid index) and uses it to turn a
+user's trip endpoints and dwell locations into named stay points (home,
+work, ...) for the mobility model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TrajectoryError
+from repro.geo import GeoPoint, GridIndex
+from repro.geo.geodesy import centroid
+from repro.trajectory.model import Trajectory
+
+#: Cluster label assigned by DBSCAN to noise points.
+NOISE = -1
+
+
+def dbscan(
+    points: Sequence[GeoPoint],
+    *,
+    eps_m: float = 150.0,
+    min_samples: int = 3,
+) -> List[int]:
+    """Run DBSCAN over geographic points.
+
+    Returns a list of cluster labels aligned with ``points``: labels are
+    ``0..k-1`` for the ``k`` discovered clusters and :data:`NOISE` (-1) for
+    noise points.
+    """
+    if eps_m <= 0:
+        raise TrajectoryError(f"eps_m must be > 0, got {eps_m}")
+    if min_samples < 1:
+        raise TrajectoryError(f"min_samples must be >= 1, got {min_samples}")
+    n = len(points)
+    labels = [None] * n  # type: List[Optional[int]]
+    if n == 0:
+        return []
+
+    # Index points for fast eps-neighbourhood queries.
+    index: GridIndex[int] = GridIndex(max(eps_m, 50.0))
+    for i, point in enumerate(points):
+        index.insert(i, point)
+
+    def region_query(i: int) -> List[int]:
+        return [j for j, _distance in index.query_radius(points[i], eps_m)]
+
+    cluster_id = 0
+    for i in range(n):
+        if labels[i] is not None:
+            continue
+        neighbours = region_query(i)
+        if len(neighbours) < min_samples:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster_id
+        seeds = [j for j in neighbours if j != i]
+        position = 0
+        while position < len(seeds):
+            j = seeds[position]
+            position += 1
+            if labels[j] == NOISE:
+                labels[j] = cluster_id  # border point
+            if labels[j] is not None:
+                continue
+            labels[j] = cluster_id
+            j_neighbours = region_query(j)
+            if len(j_neighbours) >= min_samples:
+                known = set(seeds)
+                for k in j_neighbours:
+                    if k not in known:
+                        seeds.append(k)
+                        known.add(k)
+        cluster_id += 1
+    return [label if label is not None else NOISE for label in labels]
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A significant location extracted from a user's movement history."""
+
+    stay_point_id: int
+    center: GeoPoint
+    support: int            # number of observations assigned to the cluster
+    total_dwell_s: float    # accumulated dwell time across observations
+    label: Optional[str] = None  # optional semantic label ("home", "work")
+
+    def with_label(self, label: str) -> "StayPoint":
+        """Return a copy carrying a semantic label."""
+        return StayPoint(self.stay_point_id, self.center, self.support, self.total_dwell_s, label)
+
+
+def detect_stay_points(
+    observations: Sequence[GeoPoint],
+    *,
+    dwell_s: Optional[Sequence[float]] = None,
+    eps_m: float = 150.0,
+    min_samples: int = 3,
+) -> List[StayPoint]:
+    """Cluster dwell observations into stay points.
+
+    ``observations`` are locations where the user dwelled (trip endpoints,
+    long stops); ``dwell_s`` optionally gives the dwell duration of each
+    observation (defaults to 1 second each, making ``total_dwell_s`` a count).
+    Returns stay points ordered by decreasing support.
+    """
+    if dwell_s is not None and len(dwell_s) != len(observations):
+        raise TrajectoryError("dwell_s must align with observations")
+    labels = dbscan(observations, eps_m=eps_m, min_samples=min_samples)
+    clusters: Dict[int, List[int]] = {}
+    for index, label in enumerate(labels):
+        if label == NOISE:
+            continue
+        clusters.setdefault(label, []).append(index)
+    stay_points: List[StayPoint] = []
+    for label, member_indices in clusters.items():
+        members = [observations[i] for i in member_indices]
+        dwell_total = (
+            sum(dwell_s[i] for i in member_indices) if dwell_s is not None else float(len(members))
+        )
+        stay_points.append(
+            StayPoint(
+                stay_point_id=label,
+                center=centroid(members),
+                support=len(members),
+                total_dwell_s=dwell_total,
+            )
+        )
+    stay_points.sort(key=lambda sp: sp.support, reverse=True)
+    # Re-number so ids reflect importance order.
+    return [
+        StayPoint(rank, sp.center, sp.support, sp.total_dwell_s, sp.label)
+        for rank, sp in enumerate(stay_points)
+    ]
+
+
+def stay_points_from_trips(
+    trips: Sequence[Trajectory],
+    *,
+    eps_m: float = 150.0,
+    min_samples: int = 2,
+) -> List[StayPoint]:
+    """Derive stay points from trip endpoints (origins and destinations)."""
+    observations: List[GeoPoint] = []
+    for trip in trips:
+        observations.append(trip.origin)
+        observations.append(trip.destination)
+    return detect_stay_points(observations, eps_m=eps_m, min_samples=min_samples)
+
+
+def nearest_stay_point(
+    stay_points: Sequence[StayPoint], position: GeoPoint, *, max_distance_m: float = 500.0
+) -> Optional[StayPoint]:
+    """The stay point closest to ``position`` within ``max_distance_m``."""
+    best: Optional[StayPoint] = None
+    best_distance = max_distance_m
+    for stay_point in stay_points:
+        distance = stay_point.center.distance_m(position)
+        if distance <= best_distance:
+            best_distance = distance
+            best = stay_point
+    return best

@@ -1,0 +1,20 @@
+"""User management: profiles, feedback (implicit and explicit), tracking intake.
+
+Mirrors the "User Management" component of the paper's server: demographic
+profiles live in the profiles DB, content navigation logs and ratings in the
+feedbacks DB, GPS data in the tracking DB (handled by
+:mod:`repro.spatialdb`), all fronted by a single manager object.
+"""
+
+from repro.users.feedback import FeedbackEvent, FeedbackKind, FeedbackStore
+from repro.users.profile import UserPreferenceProfile, UserProfile
+from repro.users.management import UserManager
+
+__all__ = [
+    "FeedbackEvent",
+    "FeedbackKind",
+    "FeedbackStore",
+    "UserManager",
+    "UserPreferenceProfile",
+    "UserProfile",
+]

@@ -1,0 +1,185 @@
+"""The feedbacks DB: implicit and explicit listener feedback events."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.storage import Column, Database, Schema
+from repro.util.ids import new_id
+
+
+class FeedbackKind(enum.Enum):
+    """The feedback signals the client app can produce.
+
+    The paper distinguishes implicit feedback (periodic "still listening"
+    pings and skips) from explicit feedback (like/dislike buttons).
+    """
+
+    LISTEN_PING = "listen_ping"     # implicit positive: still listening
+    COMPLETED = "completed"         # implicit positive: played to the end
+    SKIP = "skip"                   # implicit negative
+    CHANNEL_CHANGE = "channel_change"  # implicit negative (stronger)
+    LIKE = "like"                   # explicit positive
+    DISLIKE = "dislike"             # explicit negative
+
+
+#: Signed weight of each feedback kind when learning preferences.
+FEEDBACK_WEIGHT: Dict[FeedbackKind, float] = {
+    FeedbackKind.LISTEN_PING: 0.25,
+    FeedbackKind.COMPLETED: 1.0,
+    FeedbackKind.SKIP: -1.0,
+    FeedbackKind.CHANNEL_CHANGE: -1.5,
+    FeedbackKind.LIKE: 1.5,
+    FeedbackKind.DISLIKE: -1.5,
+}
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One feedback record in the feedbacks DB."""
+
+    event_id: str
+    user_id: str
+    content_id: str          # clip id or programme id
+    kind: FeedbackKind
+    timestamp_s: float
+    listened_s: float = 0.0  # how long the user listened before the event
+    is_clip: bool = True     # False when the content is a live programme
+
+    def __post_init__(self) -> None:
+        if self.listened_s < 0:
+            raise ValidationError(f"listened_s must be >= 0, got {self.listened_s}")
+
+    @property
+    def weight(self) -> float:
+        """Signed learning weight of the event."""
+        return FEEDBACK_WEIGHT[self.kind]
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether the event counts as positive feedback."""
+        return self.weight > 0
+
+
+class FeedbackStore:
+    """Table-backed store of feedback events with per-user/content access."""
+
+    def __init__(self) -> None:
+        self._db = Database("feedbacks")
+        self._table = self._db.create_table(
+            Schema(
+                name="feedback",
+                primary_key="event_id",
+                columns=[
+                    Column("event_id", str),
+                    Column("user_id", str),
+                    Column("content_id", str),
+                    Column("kind", str),
+                    Column("timestamp_s", float),
+                    Column("listened_s", float, has_default=True, default=0.0),
+                    Column("is_clip", bool, has_default=True, default=True),
+                ],
+            )
+        )
+        self._table.create_index("user_id")
+        self._table.create_index("content_id")
+
+    def record(
+        self,
+        user_id: str,
+        content_id: str,
+        kind: FeedbackKind,
+        *,
+        timestamp_s: float,
+        listened_s: float = 0.0,
+        is_clip: bool = True,
+    ) -> FeedbackEvent:
+        """Store a new feedback event and return it."""
+        event = FeedbackEvent(
+            event_id=new_id("fb"),
+            user_id=user_id,
+            content_id=content_id,
+            kind=kind,
+            timestamp_s=timestamp_s,
+            listened_s=listened_s,
+            is_clip=is_clip,
+        )
+        self._table.insert(
+            {
+                "event_id": event.event_id,
+                "user_id": event.user_id,
+                "content_id": event.content_id,
+                "kind": event.kind.value,
+                "timestamp_s": event.timestamp_s,
+                "listened_s": event.listened_s,
+                "is_clip": event.is_clip,
+            }
+        )
+        return event
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def events_for_user(self, user_id: str) -> List[FeedbackEvent]:
+        """All events of one user, time-ordered."""
+        rows = self._table.find_by_index("user_id", user_id)
+        events = [self._to_event(row) for row in rows]
+        events.sort(key=lambda event: event.timestamp_s)
+        return events
+
+    def events_for_content(self, content_id: str) -> List[FeedbackEvent]:
+        """All events about one content item."""
+        rows = self._table.find_by_index("content_id", content_id)
+        events = [self._to_event(row) for row in rows]
+        events.sort(key=lambda event: event.timestamp_s)
+        return events
+
+    def skip_rate(self, user_id: Optional[str] = None) -> float:
+        """Fraction of terminal events (skip/complete/channel change) that are skips.
+
+        This is the metric the paper's motivation targets: proactive
+        personalization should decrease the propensity to skip or zap.
+        """
+        events = (
+            self.events_for_user(user_id)
+            if user_id is not None
+            else [self._to_event(row) for row in self._table.rows()]
+        )
+        terminal = [
+            event
+            for event in events
+            if event.kind in (FeedbackKind.SKIP, FeedbackKind.COMPLETED, FeedbackKind.CHANNEL_CHANGE)
+        ]
+        if not terminal:
+            return 0.0
+        negative = sum(
+            1 for event in terminal if event.kind in (FeedbackKind.SKIP, FeedbackKind.CHANNEL_CHANGE)
+        )
+        return negative / len(terminal)
+
+    def positive_content_ids(self, user_id: str) -> List[str]:
+        """Content the user reacted positively to (most recent last)."""
+        return [
+            event.content_id for event in self.events_for_user(user_id) if event.is_positive
+        ]
+
+    def negative_content_ids(self, user_id: str) -> List[str]:
+        """Content the user skipped or disliked."""
+        return [
+            event.content_id for event in self.events_for_user(user_id) if not event.is_positive
+        ]
+
+    @staticmethod
+    def _to_event(row: Dict) -> FeedbackEvent:
+        return FeedbackEvent(
+            event_id=row["event_id"],
+            user_id=row["user_id"],
+            content_id=row["content_id"],
+            kind=FeedbackKind(row["kind"]),
+            timestamp_s=row["timestamp_s"],
+            listened_s=row["listened_s"],
+            is_clip=row["is_clip"],
+        )

@@ -1,0 +1,144 @@
+"""The user management component: one façade over profiles, feedback, tracking."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.content.repository import ContentRepository
+from repro.errors import DuplicateError, NotFoundError
+from repro.spatialdb import GpsFix, TrackingStore
+from repro.users.feedback import FeedbackEvent, FeedbackKind, FeedbackStore
+from repro.users.profile import UserPreferenceProfile, UserProfile
+
+
+class UserManager:
+    """Registers users and routes their feedback and tracking data.
+
+    This is the integration point the client app talks to: profile lookups,
+    feedback ingestion (which immediately updates the learned preference
+    profile when the content's category scores are known), and GPS intake.
+    """
+
+    def __init__(
+        self,
+        *,
+        content: Optional[ContentRepository] = None,
+        tracking: Optional[TrackingStore] = None,
+    ) -> None:
+        self._profiles: Dict[str, UserProfile] = {}
+        self._preferences: Dict[str, UserPreferenceProfile] = {}
+        self._feedback = FeedbackStore()
+        self._tracking = tracking if tracking is not None else TrackingStore()
+        self._content = content
+
+    # Registration ----------------------------------------------------------
+
+    def register(self, profile: UserProfile) -> UserPreferenceProfile:
+        """Register a user; returns the (empty) preference profile."""
+        if profile.user_id in self._profiles:
+            raise DuplicateError(f"user {profile.user_id!r} is already registered")
+        self._profiles[profile.user_id] = profile
+        preference = UserPreferenceProfile(profile.user_id)
+        self._preferences[profile.user_id] = preference
+        return preference
+
+    def profile(self, user_id: str) -> UserProfile:
+        """Demographic profile of a user."""
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            raise NotFoundError(f"unknown user {user_id!r}")
+        return profile
+
+    def preference_profile(self, user_id: str) -> UserPreferenceProfile:
+        """Learned preference profile of a user."""
+        preference = self._preferences.get(user_id)
+        if preference is None:
+            raise NotFoundError(f"unknown user {user_id!r}")
+        return preference
+
+    def user_ids(self) -> List[str]:
+        """All registered user ids."""
+        return sorted(self._profiles.keys())
+
+    def user_count(self) -> int:
+        """Number of registered users."""
+        return len(self._profiles)
+
+    # Feedback ---------------------------------------------------------------
+
+    @property
+    def feedback(self) -> FeedbackStore:
+        """The underlying feedback store."""
+        return self._feedback
+
+    def record_feedback(
+        self,
+        user_id: str,
+        content_id: str,
+        kind: FeedbackKind,
+        *,
+        timestamp_s: float,
+        listened_s: float = 0.0,
+        is_clip: bool = True,
+    ) -> FeedbackEvent:
+        """Store feedback and fold it into the user's preference profile."""
+        self.profile(user_id)  # raises for unknown users
+        event = self._feedback.record(
+            user_id,
+            content_id,
+            kind,
+            timestamp_s=timestamp_s,
+            listened_s=listened_s,
+            is_clip=is_clip,
+        )
+        self._learn_from(event)
+        return event
+
+    def _learn_from(self, event: FeedbackEvent) -> None:
+        if self._content is None or not event.is_clip:
+            return
+        try:
+            clip = self._content.clip(event.content_id)
+        except NotFoundError:
+            return
+        scores = clip.normalized_scores()
+        if not scores:
+            return
+        preference = self._preferences[event.user_id]
+        # Repeat the update proportionally to the magnitude of the signal so
+        # a "like" moves the profile further than a passive listen ping.
+        repetitions = max(1, int(round(abs(event.weight))))
+        for _ in range(repetitions):
+            preference.update(scores, positive=event.is_positive)
+
+    # Tracking ----------------------------------------------------------------
+
+    @property
+    def tracking(self) -> TrackingStore:
+        """The tracking (spatial) store."""
+        return self._tracking
+
+    def ingest_fix(self, fix: GpsFix) -> None:
+        """Store a GPS fix for a registered user."""
+        self.profile(fix.user_id)
+        self._tracking.add_fix(fix)
+
+    def ingest_fixes(self, fixes: List[GpsFix], *, skip_stale: bool = False) -> int:
+        """Store many GPS fixes.
+
+        With ``skip_stale=True`` fixes older than the user's latest stored
+        fix are silently dropped instead of raising — useful when a scenario
+        replays a drive whose first fixes were already uploaded.
+        """
+        count = 0
+        for fix in fixes:
+            if skip_stale:
+                try:
+                    latest = self._tracking.latest_fix(fix.user_id).timestamp_s
+                except NotFoundError:
+                    latest = None
+                if latest is not None and fix.timestamp_s < latest:
+                    continue
+            self.ingest_fix(fix)
+            count += 1
+        return count

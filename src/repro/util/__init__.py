@@ -1,0 +1,41 @@
+"""Small shared utilities: deterministic RNG, time handling, identifiers."""
+
+from repro.util.ids import new_id, slugify
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.timeutils import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    TimeOfDay,
+    TimeWindow,
+    format_clock,
+    parse_clock,
+)
+from repro.util.validation import (
+    require,
+    require_finite,
+    require_in_range,
+    require_non_empty,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "new_id",
+    "slugify",
+    "DeterministicRng",
+    "derive_seed",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "TimeOfDay",
+    "TimeWindow",
+    "format_clock",
+    "parse_clock",
+    "require",
+    "require_finite",
+    "require_in_range",
+    "require_non_empty",
+    "require_positive",
+    "require_type",
+]

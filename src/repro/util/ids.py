@@ -1,0 +1,50 @@
+"""Identifier helpers.
+
+Entities (users, clips, services, recommendations) are identified by short
+deterministic string ids.  ``new_id`` produces sequential ids per prefix so
+runs are reproducible and ids are stable across a session, which keeps
+benchmark output readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+from collections import defaultdict
+from typing import Dict, Iterator
+
+from repro.errors import ValidationError
+
+_counters: Dict[str, Iterator[int]] = defaultdict(lambda: itertools.count(1))
+_lock = threading.Lock()
+
+
+def new_id(prefix: str) -> str:
+    """Return the next id for ``prefix``, e.g. ``clip-000017``.
+
+    Ids are process-global and monotonically increasing per prefix.  Tests
+    that need isolation should use :func:`reset_ids`.
+    """
+    if not prefix or not isinstance(prefix, str):
+        raise ValidationError("prefix must be a non-empty string")
+    with _lock:
+        value = next(_counters[prefix])
+    return f"{prefix}-{value:06d}"
+
+
+def reset_ids() -> None:
+    """Reset all id counters (intended for test isolation only)."""
+    with _lock:
+        _counters.clear()
+
+
+_slug_invalid = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Turn arbitrary text into a lowercase dash-separated slug."""
+    if not isinstance(text, str):
+        raise ValidationError("slugify expects a string")
+    slug = _slug_invalid.sub("-", text.lower()).strip("-")
+    return slug or "item"

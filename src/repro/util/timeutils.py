@@ -1,0 +1,152 @@
+"""Time handling for schedules, trajectories and playback timelines.
+
+The whole library works with *seconds since an arbitrary day origin*
+(``t = 0`` is midnight of the simulated day).  Wall-clock formatting helpers
+are provided so benches can print timelines in the same ``HH:MM:SS`` form
+used by Figure 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ValidationError
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+
+def parse_clock(text: str) -> float:
+    """Parse ``"HH:MM"`` or ``"HH:MM:SS"`` into seconds since midnight."""
+    parts = text.strip().split(":")
+    if len(parts) not in (2, 3):
+        raise ValidationError(f"clock string must be HH:MM or HH:MM:SS, got {text!r}")
+    try:
+        numbers = [int(part) for part in parts]
+    except ValueError as exc:
+        raise ValidationError(f"clock string contains non-integers: {text!r}") from exc
+    hours, minutes = numbers[0], numbers[1]
+    seconds = numbers[2] if len(numbers) == 3 else 0
+    if not (0 <= hours < 24 and 0 <= minutes < 60 and 0 <= seconds < 60):
+        raise ValidationError(f"clock fields out of range: {text!r}")
+    return float(hours * SECONDS_PER_HOUR + minutes * SECONDS_PER_MINUTE + seconds)
+
+
+def format_clock(seconds: float) -> str:
+    """Format seconds-since-midnight as ``HH:MM:SS`` (wraps past 24 h)."""
+    total = int(round(seconds)) % SECONDS_PER_DAY
+    hours, remainder = divmod(total, SECONDS_PER_HOUR)
+    minutes, secs = divmod(remainder, SECONDS_PER_MINUTE)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+@dataclass(frozen=True)
+class TimeOfDay:
+    """A coarse time-of-day bucket used as a context dimension."""
+
+    name: str
+    start_s: float
+    end_s: float
+
+    def contains(self, seconds: float) -> bool:
+        """Whether the given second-of-day falls in this bucket."""
+        second = seconds % SECONDS_PER_DAY
+        return self.start_s <= second < self.end_s
+
+
+#: The canonical time-of-day buckets used by the context model.
+TIME_OF_DAY_BUCKETS: Tuple[TimeOfDay, ...] = (
+    TimeOfDay("night", 0.0, 6 * SECONDS_PER_HOUR),
+    TimeOfDay("morning", 6 * SECONDS_PER_HOUR, 12 * SECONDS_PER_HOUR),
+    TimeOfDay("afternoon", 12 * SECONDS_PER_HOUR, 18 * SECONDS_PER_HOUR),
+    TimeOfDay("evening", 18 * SECONDS_PER_HOUR, 24 * SECONDS_PER_HOUR),
+)
+
+
+def time_of_day_bucket(seconds: float) -> TimeOfDay:
+    """Return the :class:`TimeOfDay` bucket containing ``seconds``."""
+    second = seconds % SECONDS_PER_DAY
+    for bucket in TIME_OF_DAY_BUCKETS:
+        if bucket.contains(second):
+            return bucket
+    # Unreachable: buckets cover the whole day.
+    raise ValidationError(f"no time-of-day bucket for {seconds}")
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open interval ``[start_s, end_s)`` on the session timeline."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValidationError(
+                f"TimeWindow end ({self.end_s}) must be >= start ({self.start_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the window in seconds."""
+        return self.end_s - self.start_s
+
+    def contains(self, instant: float) -> bool:
+        """Whether ``instant`` falls inside the window."""
+        return self.start_s <= instant < self.end_s
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        """Whether this window intersects ``other`` with positive measure."""
+        return self.start_s < other.end_s and other.start_s < self.end_s
+
+    def intersection(self, other: "TimeWindow") -> "TimeWindow":
+        """The overlapping window (zero-length if disjoint)."""
+        start = max(self.start_s, other.start_s)
+        end = min(self.end_s, other.end_s)
+        if end < start:
+            end = start
+        return TimeWindow(start, end)
+
+    def shift(self, offset_s: float) -> "TimeWindow":
+        """A copy shifted later (positive) or earlier (negative) in time."""
+        return TimeWindow(self.start_s + offset_s, self.end_s + offset_s)
+
+    def split(self, at: float) -> Tuple["TimeWindow", "TimeWindow"]:
+        """Split at an instant inside the window."""
+        if not self.contains(at) and at != self.end_s:
+            raise ValidationError(f"split point {at} outside window {self}")
+        return TimeWindow(self.start_s, at), TimeWindow(at, self.end_s)
+
+    def iter_steps(self, step_s: float) -> Iterator[float]:
+        """Yield instants from start to end (exclusive) every ``step_s``."""
+        if step_s <= 0:
+            raise ValidationError(f"step_s must be > 0, got {step_s}")
+        current = self.start_s
+        while current < self.end_s:
+            yield current
+            current += step_s
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{format_clock(self.start_s)} - {format_clock(self.end_s)})"
+
+
+def merge_windows(windows: List[TimeWindow]) -> List[TimeWindow]:
+    """Merge overlapping or adjacent windows into a minimal sorted cover."""
+    if not windows:
+        return []
+    ordered = sorted(windows, key=lambda w: (w.start_s, w.end_s))
+    merged: List[TimeWindow] = [ordered[0]]
+    for window in ordered[1:]:
+        last = merged[-1]
+        if window.start_s <= last.end_s:
+            merged[-1] = TimeWindow(last.start_s, max(last.end_s, window.end_s))
+        else:
+            merged.append(window)
+    return merged
+
+
+def total_coverage(windows: List[TimeWindow]) -> float:
+    """Total duration covered by the union of ``windows``."""
+    return sum(window.duration_s for window in merge_windows(windows))

@@ -1,0 +1,80 @@
+"""Precondition helpers used across the library.
+
+All helpers raise :class:`repro.errors.ValidationError` with a descriptive
+message; they return the validated value so they can be used inline::
+
+    self.speed_mps = require_finite(speed_mps, "speed_mps")
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sized, Tuple, Type, Union
+
+from repro.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
+    """Ensure ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        raise ValidationError(
+            f"{name} must be of type {types!r}, got {type(value).__name__}"
+        )
+    return value
+
+
+def require_finite(value: float, name: str) -> float:
+    """Ensure ``value`` is a finite real number and return it as ``float``."""
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(numeric) or math.isinf(numeric):
+        raise ValidationError(f"{name} must be finite, got {numeric!r}")
+    return numeric
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Ensure ``value`` is positive (or non-negative when ``strict=False``)."""
+    numeric = require_finite(value, name)
+    if strict and numeric <= 0:
+        raise ValidationError(f"{name} must be > 0, got {numeric}")
+    if not strict and numeric < 0:
+        raise ValidationError(f"{name} must be >= 0, got {numeric}")
+    return numeric
+
+
+def require_in_range(
+    value: float,
+    low: float,
+    high: float,
+    name: str,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Ensure ``low <= value <= high`` (or strict inequality)."""
+    numeric = require_finite(value, name)
+    if inclusive:
+        if not (low <= numeric <= high):
+            raise ValidationError(f"{name} must be in [{low}, {high}], got {numeric}")
+    else:
+        if not (low < numeric < high):
+            raise ValidationError(f"{name} must be in ({low}, {high}), got {numeric}")
+    return numeric
+
+
+def require_non_empty(value: Union[Sized, Iterable], name: str) -> Any:
+    """Ensure a sized collection or string is not empty."""
+    try:
+        size = len(value)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ValidationError(f"{name} must be a sized collection") from exc
+    if size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    return value

@@ -1,0 +1,35 @@
+"""Shared fixtures for the PPHCR test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import BroadcasterConfig, CommuterConfig, WorldConfig, build_world
+from repro.roadnet import CityGeneratorConfig, generate_city
+
+
+@pytest.fixture(scope="session")
+def small_city():
+    """A small deterministic city shared by road/trajectory tests."""
+    return generate_city(
+        CityGeneratorConfig(grid_rows=8, grid_cols=8, block_size_m=500.0, poi_count=10, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A compact but fully populated synthetic world (shared, read-mostly).
+
+    Tests that mutate server state in ways that could interfere with other
+    tests (feedback, tracking) should either use their own users or build a
+    private world.
+    """
+    config = WorldConfig(
+        seed=1234,
+        city=CityGeneratorConfig(grid_rows=10, grid_cols=10, block_size_m=600.0, poi_count=16, seed=5),
+        broadcaster=BroadcasterConfig(seed=6, clips_per_day=90),
+        commuters=CommuterConfig(seed=7, commuters=8, history_days=6),
+        classifier_documents_per_category=8,
+        feedback_events_per_user=24,
+    )
+    return build_world(config)

@@ -1,0 +1,297 @@
+"""Tests for the simulated ASR, synthetic corpus and text classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asr import SimulatedTranscriber, SyntheticNewsCorpus, word_error_rate
+from repro.errors import ClassificationError, NotFoundError, ValidationError
+from repro.textclass import (
+    NaiveBayesClassifier,
+    TfIdfVectorizer,
+    Tokenizer,
+    Vocabulary,
+    evaluate_classifier,
+)
+from repro.textclass.tfidf import cosine_similarity
+
+
+class TestWordErrorRate:
+    def test_identical_is_zero(self):
+        assert word_error_rate("la rai trasmette radio", "la rai trasmette radio") == 0.0
+
+    def test_single_substitution(self):
+        assert word_error_rate("a b c d", "a x c d") == pytest.approx(0.25)
+
+    def test_deletion_and_insertion(self):
+        assert word_error_rate("a b c d", "a b c") == pytest.approx(0.25)
+        assert word_error_rate("a b c d", "a b x c d") == pytest.approx(0.25)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            word_error_rate("", "x")
+
+    def test_totally_wrong(self):
+        assert word_error_rate("a b", "x y") == 1.0
+
+
+class TestSimulatedTranscriber:
+    def test_zero_wer_is_identity(self):
+        transcriber = SimulatedTranscriber(target_wer=0.0)
+        result = transcriber.transcribe("uno due tre quattro cinque")
+        assert result.text == result.reference
+        assert result.error_count == 0
+        assert result.confidence == 1.0
+
+    def test_errors_injected_at_positive_wer(self):
+        transcriber = SimulatedTranscriber(target_wer=0.3, seed=3)
+        reference = " ".join(["parola"] * 200)
+        result = transcriber.transcribe(reference, clip_id="c1")
+        assert result.error_count > 0
+        assert 0.0 <= result.confidence < 1.0
+
+    def test_measured_wer_tracks_target(self):
+        transcriber = SimulatedTranscriber(target_wer=0.25, seed=5)
+        reference = " ".join(f"parola{i % 37}" for i in range(400))
+        result = transcriber.transcribe(reference, clip_id="c2")
+        measured = word_error_rate(reference, result.text)
+        assert 0.1 < measured < 0.45
+
+    def test_deterministic_per_clip_id(self):
+        transcriber_a = SimulatedTranscriber(target_wer=0.2, seed=7)
+        transcriber_b = SimulatedTranscriber(target_wer=0.2, seed=7)
+        text = " ".join(["alfa beta gamma delta"] * 10)
+        assert transcriber_a.transcribe(text, clip_id="x").text == transcriber_b.transcribe(text, clip_id="x").text
+
+    def test_never_empty_output(self):
+        transcriber = SimulatedTranscriber(target_wer=0.9, seed=11)
+        result = transcriber.transcribe("solo", clip_id="tiny")
+        assert result.text.strip()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            SimulatedTranscriber(target_wer=1.0)
+        with pytest.raises(ValidationError):
+            SimulatedTranscriber().transcribe("")
+
+
+class TestSyntheticCorpus:
+    def test_thirty_categories(self):
+        corpus = SyntheticNewsCorpus(seed=1)
+        assert len(corpus.categories()) == 30
+
+    def test_documents_have_requested_length(self):
+        corpus = SyntheticNewsCorpus(seed=1)
+        document = corpus.generate_document("economics", word_count=50)
+        assert document.word_count == 50
+        assert len(document.text.split()) == 50
+        assert document.category == "economics"
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValidationError):
+            SyntheticNewsCorpus(seed=1).generate_document("astrology")
+
+    def test_dataset_balanced(self):
+        corpus = SyntheticNewsCorpus(seed=2)
+        dataset = corpus.generate_dataset(documents_per_category=3, word_count=40)
+        assert len(dataset) == 90
+        categories = {doc.category for doc in dataset}
+        assert len(categories) == 30
+
+    def test_train_test_split_disjoint_sizes(self):
+        corpus = SyntheticNewsCorpus(seed=3)
+        train, test = corpus.train_test_split(documents_per_category=8, test_fraction=0.25)
+        assert len(test) == 30 * 2
+        assert len(train) == 30 * 6
+
+    def test_topic_words_distinct_across_categories(self):
+        corpus = SyntheticNewsCorpus(seed=4)
+        economics = set(corpus.model("economics").topic_words)
+        art = set(corpus.model("art").topic_words)
+        assert not economics & art
+
+    def test_vocabulary_size_reasonable(self):
+        corpus = SyntheticNewsCorpus(seed=5, topic_words_per_category=20)
+        assert corpus.vocabulary_size() >= 30 * 20
+
+
+class TestTokenizer:
+    def test_lowercase_and_punctuation(self):
+        tokens = Tokenizer(stopwords=[]).tokenize("Ciao, Mondo! 123 ok?")
+        assert tokens == ["ciao", "mondo", "ok"]
+
+    def test_stopwords_removed(self):
+        tokens = Tokenizer().tokenize("il gatto di casa")
+        assert "il" not in tokens and "di" not in tokens
+        assert "gatto" in tokens
+
+    def test_min_length(self):
+        tokens = Tokenizer(stopwords=[], min_token_length=4).tokenize("a bb ccc dddd")
+        assert tokens == ["dddd"]
+
+    def test_none_rejected(self):
+        with pytest.raises(ValidationError):
+            Tokenizer().tokenize(None)  # type: ignore[arg-type]
+
+
+class TestVocabulary:
+    def test_build_and_lookup(self):
+        vocabulary = Vocabulary.build([["a", "b", "a"], ["b", "c"]])
+        assert len(vocabulary) == 3
+        assert "a" in vocabulary
+        assert vocabulary.count_of("a") == 2
+        assert vocabulary.token_at(vocabulary.index_of("b")) == "b"
+
+    def test_min_count_prunes(self):
+        vocabulary = Vocabulary.build([["a", "a", "b"]], min_count=2)
+        assert "a" in vocabulary and "b" not in vocabulary
+
+    def test_max_size_keeps_most_frequent(self):
+        vocabulary = Vocabulary.build([["a"] * 5 + ["b"] * 3 + ["c"]], max_size=2)
+        assert set(vocabulary.tokens()) == {"a", "b"}
+
+    def test_encode(self):
+        vocabulary = Vocabulary.build([["a", "b"]])
+        assert len(vocabulary.encode(["a", "zzz", "b"])) == 2
+        with pytest.raises(NotFoundError):
+            vocabulary.encode(["zzz"], skip_unknown=False)
+
+    def test_unknown_lookups(self):
+        vocabulary = Vocabulary.build([["a"]])
+        with pytest.raises(NotFoundError):
+            vocabulary.index_of("zzz")
+        with pytest.raises(NotFoundError):
+            vocabulary.token_at(99)
+
+
+class TestNaiveBayes:
+    def small_training_set(self):
+        texts = [
+            "borsa mercati economia inflazione banca",
+            "economia banca tassi mercati finanza",
+            "partita goal calcio campionato squadra",
+            "calcio squadra allenatore goal torneo",
+            "ricetta cucina vino piatto chef",
+            "vino chef cucina degustazione piatto",
+        ]
+        labels = ["economics", "economics", "sport-football", "sport-football", "food-and-wine", "food-and-wine"]
+        return texts, labels
+
+    def test_untrained_raises(self):
+        with pytest.raises(ClassificationError):
+            NaiveBayesClassifier().predict("qualcosa")
+
+    def test_fit_validation(self):
+        with pytest.raises(ClassificationError):
+            NaiveBayesClassifier().fit(["a"], ["x", "y"])
+        with pytest.raises(ClassificationError):
+            NaiveBayesClassifier().fit([], [])
+        with pytest.raises(ClassificationError):
+            NaiveBayesClassifier(alpha=0.0)
+
+    def test_classifies_matching_vocabulary(self):
+        texts, labels = self.small_training_set()
+        classifier = NaiveBayesClassifier(tokenizer=Tokenizer(stopwords=[])).fit(texts, labels)
+        assert classifier.predict("inflazione banca mercati") == "economics"
+        assert classifier.predict("goal squadra calcio") == "sport-football"
+        assert classifier.predict("chef piatto vino") == "food-and-wine"
+
+    def test_predict_proba_normalized(self):
+        texts, labels = self.small_training_set()
+        classifier = NaiveBayesClassifier(tokenizer=Tokenizer(stopwords=[])).fit(texts, labels)
+        probabilities = classifier.predict_proba("banca mercati")
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        assert max(probabilities, key=probabilities.get) == "economics"
+
+    def test_top_k(self):
+        texts, labels = self.small_training_set()
+        classifier = NaiveBayesClassifier(tokenizer=Tokenizer(stopwords=[])).fit(texts, labels)
+        top2 = classifier.top_k("banca mercati goal", k=2)
+        assert len(top2) == 2
+        assert top2[0][1] >= top2[1][1]
+        with pytest.raises(ClassificationError):
+            classifier.top_k("x", k=0)
+
+    def test_informative_tokens(self):
+        texts, labels = self.small_training_set()
+        classifier = NaiveBayesClassifier(tokenizer=Tokenizer(stopwords=[])).fit(texts, labels)
+        assert "calcio" in classifier.informative_tokens("sport-football", top=5)
+        with pytest.raises(ClassificationError):
+            classifier.informative_tokens("astrology")
+
+    def test_high_accuracy_on_synthetic_corpus(self):
+        corpus = SyntheticNewsCorpus(seed=9)
+        train, test = corpus.train_test_split(documents_per_category=6, word_count=80)
+        classifier = NaiveBayesClassifier().fit([d.text for d in train], [d.category for d in train])
+        report = evaluate_classifier(classifier, [d.text for d in test], [d.category for d in test])
+        assert report.accuracy > 0.9
+        assert report.macro_f1 > 0.9
+        assert report.total == len(test)
+
+    def test_accuracy_degrades_gracefully_with_wer(self):
+        corpus = SyntheticNewsCorpus(seed=10)
+        train, test = corpus.train_test_split(documents_per_category=6, word_count=80)
+        classifier = NaiveBayesClassifier().fit([d.text for d in train], [d.category for d in train])
+        clean = evaluate_classifier(classifier, [d.text for d in test], [d.category for d in test])
+        noisy_transcriber = SimulatedTranscriber(target_wer=0.6, seed=13)
+        noisy_texts = [noisy_transcriber.transcribe(d.text, clip_id=str(i)).text for i, d in enumerate(test)]
+        noisy = evaluate_classifier(classifier, noisy_texts, [d.category for d in test])
+        assert noisy.accuracy <= clean.accuracy
+        assert noisy.accuracy > 0.3  # still far better than the 1/30 chance level
+
+
+class TestEvaluation:
+    def test_validation(self):
+        classifier = NaiveBayesClassifier().fit(["a b", "c d"], ["x", "y"])
+        with pytest.raises(ClassificationError):
+            evaluate_classifier(classifier, ["a"], ["x", "y"])
+        with pytest.raises(ClassificationError):
+            evaluate_classifier(classifier, [], [])
+
+    def test_perfect_and_confused(self):
+        classifier = NaiveBayesClassifier(tokenizer=Tokenizer(stopwords=[])).fit(
+            ["alfa beta", "gamma delta"], ["one", "two"]
+        )
+        report = evaluate_classifier(classifier, ["alfa beta", "gamma delta"], ["one", "two"])
+        assert report.accuracy == 1.0
+        assert report.per_class["one"].f1 == 1.0
+        assert report.most_confused_pairs() == []
+
+
+class TestTfIdf:
+    def test_requires_fit(self):
+        with pytest.raises(ClassificationError):
+            TfIdfVectorizer().transform("ciao")
+        with pytest.raises(ClassificationError):
+            TfIdfVectorizer().fit([])
+
+    def test_vectors_are_normalized(self):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]))
+        vectors = vectorizer.fit_transform(["alfa beta gamma", "beta gamma delta", "alfa delta"])
+        for vector in vectors:
+            norm = sum(value * value for value in vector.values()) ** 0.5
+            assert norm == pytest.approx(1.0)
+
+    def test_similarity_ordering(self):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]))
+        vectorizer.fit(["borsa economia banca", "calcio goal squadra", "cucina vino chef"])
+        economics = vectorizer.transform("economia banca tassi")
+        football = vectorizer.transform("goal squadra partita")
+        economics2 = vectorizer.transform("borsa banca economia")
+        assert cosine_similarity(economics, economics2) > cosine_similarity(economics, football)
+
+    def test_empty_vectors_similarity_zero(self):
+        assert cosine_similarity({}, {0: 1.0}) == 0.0
+
+    def test_unknown_words_give_empty_vector(self):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]))
+        vectorizer.fit(["alfa beta"])
+        assert vectorizer.transform("zzz qqq") == {}
+
+    @given(st.text(alphabet="abcdef ", min_size=0, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_never_crashes(self, text):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]))
+        vectorizer.fit(["abc def fed cab", "fed abc"])
+        vector = vectorizer.transform(text)
+        assert all(value >= 0 for value in vector.values())

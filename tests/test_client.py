@@ -1,0 +1,207 @@
+"""Tests for the client app, editorial desk and control dashboard."""
+
+import pytest
+
+from repro.client import ClientApp, ClientEventKind, ControlDashboard, EditorialDesk
+from repro.content import AudioClip, ContentKind, ContentRepository, LiveProgramme, RadioService
+from repro.delivery import SegmentSource
+from repro.errors import DeliveryError, NotFoundError, ValidationError
+from repro.geo import GeoPoint
+from repro.users import FeedbackKind, UserManager, UserProfile
+from repro.util.timeutils import TimeWindow, parse_clock
+
+TORINO = GeoPoint(45.0703, 7.6869)
+
+
+def build_stack():
+    """Content repository with one service/schedule + one registered user."""
+    content = ContentRepository()
+    content.add_service(RadioService(service_id="radio-uno", name="Radio Uno"))
+    content.add_service(RadioService(service_id="radio-due", name="Radio Due"))
+    for index, (start, end) in enumerate([("07:00", "08:00"), ("08:00", "09:00")]):
+        programme = LiveProgramme(
+            programme_id=f"uno-prog-{index}",
+            service_id="radio-uno",
+            title=f"Uno {index}",
+            categories=["news-national"],
+        )
+        content.add_programme(programme)
+        content.schedule_programme(programme.programme_id, TimeWindow(parse_clock(start), parse_clock(end)))
+    due_prog = LiveProgramme(
+        programme_id="due-prog-0", service_id="radio-due", title="Due 0", categories=["comedy"]
+    )
+    content.add_programme(due_prog)
+    content.schedule_programme("due-prog-0", TimeWindow(parse_clock("07:00"), parse_clock("09:00")))
+    clip = AudioClip(
+        clip_id="clip-food",
+        title="Decanter special",
+        kind=ContentKind.PODCAST,
+        duration_s=420.0,
+        category_scores={"food-and-wine": 1.0},
+    )
+    content.add_clip(clip)
+    users = UserManager(content=content)
+    users.register(UserProfile(user_id="lilly", display_name="Lilly"))
+    return content, users, clip
+
+
+class TestClientApp:
+    def test_tune_and_listen_generates_pings(self):
+        content, users, _clip = build_stack()
+        app = ClientApp("lilly", users, ping_interval_s=60.0)
+        app.tune("radio-uno", content.schedule("radio-uno"), at_s=parse_clock("07:10"))
+        app.listen_live(300.0)
+        ping_events = [e for e in app.events() if e.kind == ClientEventKind.LISTEN_PING]
+        assert len(ping_events) == 5
+        assert len(users.feedback) == 5  # pings recorded as implicit positive feedback
+
+    def test_play_clip_records_completion_feedback(self):
+        content, users, clip = build_stack()
+        app = ClientApp("lilly", users)
+        app.tune("radio-uno", content.schedule("radio-uno"), at_s=parse_clock("07:10"))
+        segment = app.play_recommended_clip(clip)
+        assert segment.source == SegmentSource.CLIP
+        kinds = {event.kind for event in app.events()}
+        assert ClientEventKind.CLIP_STARTED in kinds
+        assert ClientEventKind.CLIP_COMPLETED in kinds
+        completed = [e for e in users.feedback.events_for_user("lilly") if e.kind == FeedbackKind.COMPLETED]
+        assert [e.content_id for e in completed] == ["clip-food"]
+
+    def test_skip_live_programme(self):
+        content, users, _clip = build_stack()
+        app = ClientApp("lilly", users)
+        app.tune("radio-uno", content.schedule("radio-uno"), at_s=parse_clock("07:10"))
+        app.listen_live(120.0)
+        app.skip()
+        skips = [e for e in users.feedback.events_for_user("lilly") if e.kind == FeedbackKind.SKIP]
+        assert len(skips) == 1
+        assert not skips[0].is_clip
+
+    def test_like_and_dislike(self):
+        content, users, clip = build_stack()
+        app = ClientApp("lilly", users)
+        app.tune("radio-uno", content.schedule("radio-uno"), at_s=parse_clock("07:10"))
+        app.like(clip.clip_id)
+        app.dislike("uno-prog-0")
+        kinds = [e.kind for e in users.feedback.events_for_user("lilly")]
+        assert FeedbackKind.LIKE in kinds and FeedbackKind.DISLIKE in kinds
+
+    def test_channel_change_records_negative_feedback(self):
+        content, users, _clip = build_stack()
+        app = ClientApp("lilly", users)
+        app.tune("radio-uno", content.schedule("radio-uno"), at_s=parse_clock("07:10"))
+        app.listen_live(60.0)
+        app.change_channel("radio-due", content.schedule("radio-due"))
+        assert app.player.current_service_id == "radio-due"
+        changes = [
+            e for e in users.feedback.events_for_user("lilly") if e.kind == FeedbackKind.CHANNEL_CHANGE
+        ]
+        assert [e.content_id for e in changes] == ["uno-prog-0"]
+
+    def test_report_position_feeds_tracking(self):
+        content, users, _clip = build_stack()
+        app = ClientApp("lilly", users)
+        app.report_position(TORINO, timestamp_s=100.0, speed_mps=10.0)
+        assert users.tracking.fix_count("lilly") == 1
+
+    def test_actions_before_tuning_rejected(self):
+        _content, users, clip = build_stack()
+        app = ClientApp("lilly", users)
+        with pytest.raises(DeliveryError):
+            app.skip()
+        with pytest.raises(DeliveryError):
+            app.like(clip.clip_id)
+
+    def test_invalid_ping_interval(self):
+        _content, users, _clip = build_stack()
+        with pytest.raises(DeliveryError):
+            ClientApp("lilly", users, ping_interval_s=0.0)
+
+
+class TestEditorialDesk:
+    def test_inject_and_boosts(self):
+        desk = EditorialDesk()
+        desk.inject("clip-1", target_user_ids=["lilly"], boost=0.6, created_s=100.0)
+        desk.inject("clip-2", boost=0.3, created_s=100.0)  # everyone
+        boosts = desk.boosts_for("lilly", now_s=200.0)
+        assert boosts == {"clip-1": 0.6, "clip-2": 0.3}
+        assert desk.boosts_for("greg", now_s=200.0) == {"clip-2": 0.3}
+
+    def test_expiry(self):
+        desk = EditorialDesk()
+        desk.inject("clip-1", boost=0.5, created_s=100.0, validity_s=50.0)
+        assert desk.boosts_for("anyone", now_s=120.0) == {"clip-1": 0.5}
+        assert desk.boosts_for("anyone", now_s=200.0) == {}
+
+    def test_max_boost_wins_on_duplicates(self):
+        desk = EditorialDesk()
+        desk.inject("clip-1", boost=0.3, created_s=0.0)
+        desk.inject("clip-1", boost=0.8, created_s=0.0)
+        assert desk.boosts_for("u", now_s=1.0) == {"clip-1": 0.8}
+
+    def test_withdraw(self):
+        desk = EditorialDesk()
+        injection = desk.inject("clip-1", boost=0.5, created_s=0.0)
+        assert desk.withdraw(injection.injection_id)
+        assert not desk.withdraw(injection.injection_id)
+        assert desk.boosts_for("u", now_s=1.0) == {}
+
+    def test_validation(self):
+        desk = EditorialDesk()
+        with pytest.raises(ValidationError):
+            desk.inject("clip-1", boost=0.0, created_s=0.0)
+        with pytest.raises(ValidationError):
+            desk.inject("clip-1", boost=0.5, created_s=10.0, validity_s=0.0)
+
+
+class TestControlDashboard:
+    def test_overview_counts(self, small_world):
+        server = small_world.server
+        dashboard = ControlDashboard(server.users, server.content, editorial=server.editorial)
+        overview = dashboard.overview()
+        assert overview["users"] == len(small_world.commuters)
+        assert overview["clips"] == server.content.clip_count()
+        assert overview["services"] == 10
+        assert overview["feedback_events"] > 0
+        assert overview["tracked_users"] > 0
+
+    def test_trajectory_report(self, small_world):
+        server = small_world.server
+        dashboard = ControlDashboard(server.users, server.content)
+        user_id = small_world.commuters[0].user_id
+        report = dashboard.trajectory_report(user_id)
+        assert report.fix_count > 0
+        assert report.trip_count >= 2
+        assert report.stay_points
+        assert report.total_distance_km > 1.0
+        assert any(user_id in line for line in report.summary_lines())
+
+    def test_trajectory_report_unknown_user(self, small_world):
+        server = small_world.server
+        dashboard = ControlDashboard(server.users, server.content)
+        with pytest.raises(NotFoundError):
+            dashboard.trajectory_report("ghost")
+
+    def test_recommendation_report_requires_plan(self, small_world):
+        server = small_world.server
+        dashboard = ControlDashboard(server.users, server.content)
+        with pytest.raises(NotFoundError):
+            dashboard.recommendation_report(small_world.commuters[0].user_id)
+
+    def test_recommendation_and_preference_reports(self, small_world):
+        server = small_world.server
+        dashboard = ControlDashboard(server.users, server.content)
+        commuter = small_world.commuters[0]
+        drive = small_world.commuter_generator.live_drive(commuter, day=small_world.today)
+        observe = drive.departure_s + 240.0
+        server.users.ingest_fixes(drive.fixes(until_s=observe), skip_stale=True)
+        decision = server.recommend(commuter.user_id, now_s=observe, drive_elapsed_s=240.0)
+        if decision.plan is not None:
+            dashboard.record_plan(decision.plan)
+            report = dashboard.recommendation_report(commuter.user_id)
+            assert report.rows
+            assert report.rows[0]["rank"] == 1
+            assert any("recommendations" in line for line in report.summary_lines())
+            assert dashboard.plans_for(commuter.user_id)
+        preferences = dashboard.preference_report(commuter.user_id)
+        assert any("content preferences" in line for line in preferences)

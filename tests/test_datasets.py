@@ -1,0 +1,221 @@
+"""Tests for the synthetic broadcaster, mobility generator and assembled world."""
+
+import pytest
+
+from repro.content import ContentKind, category_names
+from repro.datasets import (
+    BroadcasterConfig,
+    CommuterConfig,
+    CommuterGenerator,
+    SyntheticBroadcaster,
+    WorldConfig,
+    build_world,
+)
+from repro.errors import ValidationError
+from repro.roadnet import CityGeneratorConfig, generate_city
+from repro.util.timeutils import SECONDS_PER_DAY
+
+
+class TestBroadcaster:
+    @pytest.fixture(scope="class")
+    def catalogue(self):
+        return SyntheticBroadcaster(BroadcasterConfig(seed=31, clips_per_day=60)).generate()
+
+    def test_ten_services(self, catalogue):
+        assert len(catalogue.services) == 10
+        assert len({service.service_id for service in catalogue.services}) == 10
+        assert all(service.bitrate_kbps == 96 for service in catalogue.services)
+
+    def test_schedules_cover_the_day_without_overlap(self, catalogue):
+        for service in catalogue.services:
+            windows = [
+                catalogue.schedule_windows[p.programme_id]
+                for p in catalogue.programmes
+                if p.service_id == service.service_id
+            ]
+            assert windows
+            windows.sort(key=lambda w: w.start_s)
+            for earlier, later in zip(windows, windows[1:]):
+                assert later.start_s >= earlier.end_s
+
+    def test_clip_volume_and_durations(self, catalogue):
+        config = BroadcasterConfig()
+        assert len(catalogue.clips) == 60
+        for clip in catalogue.clips:
+            assert config.clip_min_duration_s <= clip.duration_s <= config.clip_max_duration_s
+
+    def test_speech_clips_have_texts_and_true_categories(self, catalogue):
+        speech_ids = set(catalogue.speech_texts)
+        assert speech_ids
+        assert speech_ids <= {clip.clip_id for clip in catalogue.clips}
+        assert set(catalogue.true_categories) == {clip.clip_id for clip in catalogue.clips}
+        assert set(catalogue.true_categories.values()) <= set(category_names())
+
+    def test_some_clips_geo_tagged(self):
+        city = generate_city(CityGeneratorConfig(grid_rows=6, grid_cols=6, poi_count=8, seed=2))
+        catalogue = SyntheticBroadcaster(
+            BroadcasterConfig(seed=32, clips_per_day=80, geo_tagged_fraction=0.4), city=city
+        ).generate()
+        geo_tagged = [clip for clip in catalogue.clips if clip.is_geo_tagged]
+        assert 0.15 * len(catalogue.clips) < len(geo_tagged) < 0.7 * len(catalogue.clips)
+
+    def test_music_clips_marked_as_music(self, catalogue):
+        music = [clip for clip in catalogue.clips if catalogue.true_categories[clip.clip_id].startswith("music")]
+        assert music
+        assert all(clip.kind == ContentKind.MUSIC for clip in music)
+
+    def test_service_information_has_broadcast_and_ip_bearers(self, catalogue):
+        for info in catalogue.service_information:
+            kinds = {bearer.kind for bearer in info.bearers}
+            assert "dab" in kinds and "ip" in kinds
+            assert info.preferred_bearer().is_broadcast
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            BroadcasterConfig(clips_per_day=0)
+        with pytest.raises(ValidationError):
+            BroadcasterConfig(geo_tagged_fraction=1.5)
+        with pytest.raises(ValidationError):
+            BroadcasterConfig(clip_min_duration_s=500.0, clip_max_duration_s=100.0)
+
+    def test_determinism(self):
+        a = SyntheticBroadcaster(BroadcasterConfig(seed=33, clips_per_day=20)).generate()
+        b = SyntheticBroadcaster(BroadcasterConfig(seed=33, clips_per_day=20)).generate()
+        assert [c.title for c in a.clips] == [c.title for c in b.clips]
+        assert [c.duration_s for c in a.clips] == [c.duration_s for c in b.clips]
+
+
+class TestMobility:
+    @pytest.fixture(scope="class")
+    def generator(self, small_city):
+        return CommuterGenerator(small_city, CommuterConfig(seed=41, commuters=5, history_days=4))
+
+    def test_commuters_have_separated_anchors(self, generator):
+        commuters = generator.generate_commuters()
+        assert len(commuters) == 5
+        for commuter in commuters:
+            assert commuter.home.distance_m(commuter.work) > 1000.0
+            assert len(commuter.preferred_categories) == 4
+            assert len(commuter.disliked_categories) == 2
+            assert not set(commuter.preferred_categories) & set(commuter.disliked_categories)
+
+    def test_commute_route_connects_anchors(self, generator):
+        commuter = generator.generate_commuters()[0]
+        route = generator.commute_route(commuter)
+        assert route.geometry.start.distance_m(commuter.home) < 600.0
+        assert route.geometry.end.distance_m(commuter.work) < 600.0
+        reverse = generator.commute_route(commuter, reverse=True)
+        assert reverse.geometry.start.distance_m(commuter.work) < 600.0
+
+    def test_historical_fixes_time_ordered_and_daily(self, generator):
+        commuter = generator.generate_commuters()[0]
+        fixes = generator.historical_fixes(commuter)
+        assert len(fixes) > 50
+        timestamps = [fix.timestamp_s for fix in fixes]
+        assert timestamps == sorted(timestamps)
+        days = {int(t // SECONDS_PER_DAY) for t in timestamps}
+        assert len(days) >= 3
+
+    def test_live_drive_fixes_follow_route(self, generator):
+        commuter = generator.generate_commuters()[1]
+        drive = generator.live_drive(commuter, day=10)
+        fixes = drive.fixes()
+        assert fixes[0].timestamp_s == pytest.approx(drive.departure_s)
+        assert fixes[-1].timestamp_s <= drive.arrival_s
+        # All fixes lie near the planned route geometry.
+        for fix in fixes[:: max(1, len(fixes) // 10)]:
+            assert drive.route.geometry.distance_to_point_m(fix.position) < 400.0
+
+    def test_live_drive_partial_observation(self, generator):
+        commuter = generator.generate_commuters()[2]
+        drive = generator.live_drive(commuter, day=10)
+        partial = drive.fixes(until_s=drive.departure_s + 120.0)
+        assert partial
+        assert all(fix.timestamp_s <= drive.departure_s + 120.0 for fix in partial)
+        assert len(partial) < len(drive.fixes())
+
+    def test_drive_duration_consistent_with_speed(self, generator):
+        commuter = generator.generate_commuters()[3]
+        drive = generator.live_drive(commuter, day=10)
+        assert drive.expected_duration_s == pytest.approx(
+            drive.route.length_m / drive.mean_speed_mps
+        )
+        assert drive.position_at(drive.arrival_s + 100.0) == drive.route.geometry.end
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            CommuterConfig(commuters=0)
+        with pytest.raises(ValidationError):
+            CommuterConfig(fix_interval_s=0.0)
+        with pytest.raises(ValidationError):
+            CommuterConfig(skip_day_probability=1.0)
+        with pytest.raises(ValidationError):
+            CommuterConfig(min_home_work_distance_m=-5.0)
+
+
+class TestWorld:
+    def test_world_is_fully_wired(self, small_world):
+        server = small_world.server
+        assert server.content.clip_count() == small_world.config.broadcaster.clips_per_day
+        assert len(server.content.services()) == 10
+        assert server.users.user_count() == len(small_world.commuters)
+        # Feedback history and tracking data were loaded.
+        assert len(server.users.feedback) > 0
+        assert len(server.users.tracking.user_ids()) == len(small_world.commuters)
+        # Speech clips got classifier-derived categories and transcripts.
+        speech_clips = [clip for clip in server.content.clips() if clip.transcript]
+        assert speech_clips
+        assert all(clip.category_scores for clip in speech_clips)
+
+    def test_classifier_reasonably_accurate_on_catalogue(self, small_world):
+        """Classified speech clips should usually match their generating category."""
+        catalogue = small_world.catalogue
+        server = small_world.server
+        speech_ids = list(catalogue.speech_texts)
+        correct = sum(
+            1
+            for clip_id in speech_ids
+            if server.content.clip(clip_id).primary_category == catalogue.true_categories[clip_id]
+        )
+        assert correct / len(speech_ids) > 0.7
+
+    def test_commuter_lookup(self, small_world):
+        commuter = small_world.commuters[0]
+        assert small_world.commuter(commuter.user_id) is commuter
+        with pytest.raises(ValidationError):
+            small_world.commuter("ghost")
+
+    def test_today_is_after_history(self, small_world):
+        last_fix = max(
+            small_world.server.users.tracking.latest_fix(c.user_id).timestamp_s
+            for c in small_world.commuters
+        )
+        assert small_world.today_start_s >= last_fix - SECONDS_PER_DAY
+
+    def test_seeded_preferences_reflect_tastes(self, small_world):
+        commuter = small_world.commuters[0]
+        profile = small_world.server.users.preference_profile(commuter.user_id)
+        preferred_scores = [profile.score(c) for c in commuter.preferred_categories]
+        disliked_scores = [profile.score(c) for c in commuter.disliked_categories]
+        assert max(preferred_scores) > 0.0
+        assert min(disliked_scores) < 0.0
+
+    def test_world_config_validation(self):
+        with pytest.raises(ValidationError):
+            WorldConfig(classifier_documents_per_category=0)
+        with pytest.raises(ValidationError):
+            WorldConfig(feedback_events_per_user=-1)
+
+    def test_minimal_world_without_history(self):
+        config = WorldConfig(
+            seed=77,
+            city=CityGeneratorConfig(grid_rows=5, grid_cols=5, poi_count=4, seed=8),
+            broadcaster=BroadcasterConfig(seed=9, clips_per_day=20),
+            commuters=CommuterConfig(seed=10, commuters=2, history_days=2),
+            classifier_documents_per_category=4,
+            feedback_events_per_user=5,
+            load_gps_history=False,
+        )
+        world = build_world(config)
+        assert world.server.users.tracking.user_ids() == []
+        assert world.server.content.clip_count() == 20

@@ -1,0 +1,271 @@
+"""Tests for broadcast/unicast channels, buffering, the hybrid player and the optimizer."""
+
+import pytest
+
+from repro.content import AudioClip, ContentKind, LinearSchedule, LiveProgramme, RadioService
+from repro.delivery import (
+    BroadcastChannel,
+    BufferManager,
+    DeliveryCostModel,
+    HybridPlayer,
+    SegmentSource,
+    UnicastServer,
+)
+from repro.errors import DeliveryError, NotFoundError, ValidationError
+from repro.util.timeutils import TimeWindow, parse_clock
+
+
+def make_schedule(service_id="radio-uno"):
+    schedule = LinearSchedule(service_id)
+    for index, (start, end) in enumerate(
+        [("07:00", "07:30"), ("07:30", "08:00"), ("08:00", "09:00"), ("09:00", "10:00")]
+    ):
+        programme = LiveProgramme(
+            programme_id=f"prog-{index}",
+            service_id=service_id,
+            title=f"Programme {index}",
+            categories=["news-national"],
+        )
+        schedule.add(programme, TimeWindow(parse_clock(start), parse_clock(end)))
+    return schedule
+
+
+def make_clip(clip_id="clip-1", duration=600.0):
+    return AudioClip(
+        clip_id=clip_id,
+        title=clip_id,
+        kind=ContentKind.PODCAST,
+        duration_s=duration,
+        category_scores={"culture": 1.0},
+    )
+
+
+class TestBroadcastChannel:
+    def test_carry_and_reception(self):
+        channel = BroadcastChannel()
+        channel.carry(RadioService(service_id="radio-uno", name="Uno", bitrate_kbps=96))
+        assert channel.carries("radio-uno")
+        window = channel.record_reception("u1", "radio-uno", 0.0, 3600.0)
+        assert window.duration_s == 3600.0
+        assert channel.total_listening_s() == 3600.0
+        # One hour at 96 kbps = 43.2 MB unicast equivalent.
+        assert channel.equivalent_unicast_bytes() == 3600 * 96 * 1000 // 8
+
+    def test_unknown_service_rejected(self):
+        channel = BroadcastChannel()
+        with pytest.raises(NotFoundError):
+            channel.record_reception("u1", "ghost", 0.0, 10.0)
+
+    def test_invalid_window_rejected(self):
+        channel = BroadcastChannel()
+        channel.carry(RadioService(service_id="s", name="S"))
+        with pytest.raises(DeliveryError):
+            channel.record_reception("u1", "s", 10.0, 5.0)
+
+
+class TestUnicastServer:
+    def test_byte_accounting_by_purpose(self):
+        server = UnicastServer(default_bitrate_kbps=96)
+        server.stream_live("u1", "radio-uno", 100.0)
+        server.download_clip("u1", "clip-1", 2_000_000)
+        server.stream_time_shift("u1", "prog-1", 50.0)
+        expected_live = 100 * 96 * 1000 // 8
+        expected_shift = 50 * 96 * 1000 // 8
+        assert server.total_bytes(purpose="live_stream") == expected_live
+        assert server.total_bytes(purpose="clip") == 2_000_000
+        assert server.total_bytes(purpose="time_shift") == expected_shift
+        assert server.total_bytes() == expected_live + 2_000_000 + expected_shift
+        assert server.session_count() == 1
+
+    def test_sessions_reused_per_user(self):
+        server = UnicastServer()
+        first = server.open_session("u1")
+        second = server.open_session("u1")
+        assert first is second
+
+    def test_validation(self):
+        server = UnicastServer()
+        with pytest.raises(DeliveryError):
+            server.stream_live("u1", "s", -1.0)
+        with pytest.raises(DeliveryError):
+            server.download_clip("u1", "c", -1)
+        with pytest.raises(DeliveryError):
+            UnicastServer(default_bitrate_kbps=0)
+
+    def test_session_for_missing(self):
+        assert UnicastServer().session_for("ghost") is None
+
+
+class TestBufferManager:
+    def test_requires_tuning(self):
+        with pytest.raises(DeliveryError):
+            BufferManager().record_reception(from_s=0.0, to_s=10.0)
+
+    def test_reception_accumulates_and_merges(self):
+        buffer = BufferManager()
+        buffer.tune("radio-uno", at_s=100.0)
+        buffer.record_reception(from_s=100.0, to_s=200.0)
+        buffer.record_reception(from_s=200.0, to_s=300.0)
+        assert buffer.buffered_duration_s() == 200.0
+        assert buffer.oldest_instant_s() == 100.0
+        assert buffer.newest_instant_s() == 300.0
+        assert buffer.is_available(150.0)
+        assert buffer.can_resume_at(150.0)
+        assert buffer.max_time_shift_s() == 200.0
+
+    def test_capacity_eviction(self):
+        buffer = BufferManager(capacity_s=100.0)
+        buffer.tune("radio-uno", at_s=0.0)
+        buffer.record_reception(from_s=0.0, to_s=300.0)
+        assert buffer.buffered_duration_s() == pytest.approx(100.0)
+        assert not buffer.is_available(50.0)
+        assert buffer.is_available(250.0)
+
+    def test_live_edge_always_resumable(self):
+        buffer = BufferManager()
+        buffer.tune("radio-uno", at_s=0.0)
+        buffer.record_reception(from_s=0.0, to_s=100.0)
+        assert buffer.can_resume_at(100.0)
+        assert buffer.can_resume_at(150.0)  # the future is just live playback
+
+    def test_retune_drops_buffer(self):
+        buffer = BufferManager()
+        buffer.tune("radio-uno", at_s=0.0)
+        buffer.record_reception(from_s=0.0, to_s=100.0)
+        buffer.tune("radio-due", at_s=200.0)
+        assert buffer.buffered_duration_s() == 0.0
+        assert buffer.service_id == "radio-due"
+
+    def test_invalid_interval(self):
+        buffer = BufferManager()
+        buffer.tune("s", at_s=0.0)
+        with pytest.raises(DeliveryError):
+            buffer.record_reception(from_s=10.0, to_s=5.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(DeliveryError):
+            BufferManager(capacity_s=0.0)
+
+
+class TestHybridPlayer:
+    def test_requires_tuning(self):
+        player = HybridPlayer("u1")
+        with pytest.raises(DeliveryError):
+            player.play_live(10.0)
+        with pytest.raises(DeliveryError):
+            player.play_clip(make_clip())
+
+    def test_schedule_service_mismatch(self):
+        player = HybridPlayer("u1")
+        with pytest.raises(DeliveryError):
+            player.tune("radio-due", make_schedule("radio-uno"), at_s=parse_clock("07:10"))
+
+    def test_live_playback_segments(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        segment = player.play_live(600.0)
+        assert segment.source == SegmentSource.LIVE
+        assert segment.programme_id == "prog-0"
+        assert player.playback_offset_s == 0.0
+        assert player.total_listened_s() == 600.0
+
+    def test_clip_replacement_accumulates_offset(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        player.play_live(300.0)
+        clip_segment = player.play_clip(make_clip(duration=600.0))
+        assert clip_segment.source == SegmentSource.CLIP
+        assert player.playback_offset_s == pytest.approx(600.0)
+        # Resuming the service now plays from the buffer (time-shifted).
+        live_again = player.play_live(300.0)
+        assert live_again.source == SegmentSource.TIME_SHIFTED
+        assert live_again.broadcast_offset_s == pytest.approx(600.0)
+        # The time-shifted programme is the one that was on air 10 minutes ago.
+        assert live_again.programme_id == "prog-0"
+
+    def test_clip_share_and_timeline(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        player.play_live(300.0)
+        player.play_clip(make_clip(duration=300.0))
+        assert player.clip_share() == pytest.approx(0.5)
+        assert len(player.timeline()) == 2
+        assert "CLIP" in player.timeline()[1]
+
+    def test_skip_to_live_resets_offset(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        player.play_clip(make_clip(duration=300.0))
+        assert player.playback_offset_s > 0
+        player.skip_to_live()
+        assert player.playback_offset_s == 0.0
+
+    def test_skip_current_programme(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        skipped = player.skip_current_programme()
+        assert skipped == pytest.approx(20 * 60.0)  # prog-0 ends at 07:30
+
+    def test_can_resume_programme_from_buffer(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        player.play_live(3600.0)
+        # prog-1 started at 07:30, which is inside the buffered hour.
+        assert player.can_resume_programme(parse_clock("07:30"))
+        assert not player.can_resume_programme(parse_clock("06:00"))
+
+    def test_invalid_duration(self):
+        player = HybridPlayer("u1")
+        player.tune("radio-uno", make_schedule(), at_s=parse_clock("07:10"))
+        with pytest.raises(DeliveryError):
+            player.play_live(0.0)
+
+
+class TestDeliveryCostModel:
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            DeliveryCostModel(bitrate_kbps=0)
+        with pytest.raises(ValidationError):
+            DeliveryCostModel(clip_replacement_share=1.5)
+        with pytest.raises(ValidationError):
+            DeliveryCostModel(broadcast_coverage=-0.1)
+
+    def test_pure_streaming_scales_linearly(self):
+        model = DeliveryCostModel()
+        assert model.pure_streaming_bytes(200) == 2 * model.pure_streaming_bytes(100)
+
+    def test_hybrid_cheaper_than_streaming(self):
+        model = DeliveryCostModel(clip_replacement_share=0.2, broadcast_coverage=0.85)
+        for listeners in (10, 100, 1000, 10000):
+            report = model.report(listeners)
+            assert report.hybrid_unicast_bytes < report.pure_streaming_bytes
+            assert report.savings_ratio > 0.4
+
+    def test_savings_grow_with_coverage(self):
+        low = DeliveryCostModel(broadcast_coverage=0.3).report(1000)
+        high = DeliveryCostModel(broadcast_coverage=0.95).report(1000)
+        assert high.savings_ratio > low.savings_ratio
+
+    def test_savings_shrink_with_clip_share(self):
+        light = DeliveryCostModel(clip_replacement_share=0.1).report(1000)
+        heavy = DeliveryCostModel(clip_replacement_share=0.8).report(1000)
+        assert light.savings_ratio > heavy.savings_ratio
+
+    def test_full_clip_share_with_full_coverage_saves_nothing_on_audio(self):
+        model = DeliveryCostModel(clip_replacement_share=1.0, broadcast_coverage=1.0)
+        report = model.report(500)
+        assert report.savings_bytes == pytest.approx(0.0, abs=1.0)
+        assert model.crossover_clip_share() == 1.0
+
+    def test_sweep_and_parameters(self):
+        model = DeliveryCostModel()
+        reports = model.sweep([10, 100])
+        assert [report.listeners for report in reports] == [10, 100]
+        assert model.per_listener_saving_bytes() > 0
+        assert set(model.parameters()) >= {"bitrate_kbps", "broadcast_coverage"}
+
+    def test_zero_listeners(self):
+        report = DeliveryCostModel().report(0)
+        assert report.pure_streaming_bytes == 0
+        assert report.hybrid_unicast_bytes == 0
+        assert report.savings_ratio == 0.0

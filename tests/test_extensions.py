@@ -1,0 +1,241 @@
+"""Tests for the future-work extensions: geo-relevance estimation, rich context,
+ensemble diversification."""
+
+import pytest
+
+from repro.content import AudioClip, ContentKind
+from repro.content.geo_estimator import (
+    Gazetteer,
+    GazetteerEntry,
+    GeoRelevanceEstimator,
+)
+from repro.errors import ValidationError
+from repro.geo import GeoPoint
+from repro.recommender.compound import ScoredClip
+from repro.recommender.context import ListenerContext
+from repro.recommender.extensions import (
+    RichContextScorer,
+    diversify,
+    list_diversity,
+    plan_diversity,
+)
+from repro.recommender.scheduling import RecommendationPlan, ScheduledClip
+from repro.util.timeutils import TimeWindow
+
+PIAZZA = GeoPoint(45.0703, 7.6869)
+STADIUM = GeoPoint(45.0420, 7.6500)
+NOW = 9 * 3600.0
+
+
+def make_clip(clip_id, category="news-local", *, transcript=None, kind=ContentKind.NEWS, duration=180.0):
+    return AudioClip(
+        clip_id=clip_id,
+        title=clip_id,
+        kind=kind,
+        duration_s=duration,
+        category_scores={category: 1.0},
+        transcript=transcript,
+    )
+
+
+def make_gazetteer():
+    return Gazetteer(
+        [
+            GazetteerEntry("piazza-castello", PIAZZA, radius_m=1500.0, aliases=("castello",)),
+            GazetteerEntry("stadio-grande", STADIUM, radius_m=2000.0),
+        ]
+    )
+
+
+class TestGazetteer:
+    def test_entries_and_lookup(self):
+        gazetteer = make_gazetteer()
+        assert len(gazetteer) == 2
+        assert "piazza-castello" in gazetteer
+        assert gazetteer.entry("stadio-grande").radius_m == 2000.0
+        with pytest.raises(ValidationError):
+            gazetteer.entry("nowhere")
+
+    def test_match_aliases_case_insensitive(self):
+        gazetteer = make_gazetteer()
+        assert gazetteer.match("Castello").name == "piazza-castello"
+        assert gazetteer.match("stadio-grande").name == "stadio-grande"
+        assert gazetteer.match("altrove") is None
+
+    def test_entry_validation(self):
+        with pytest.raises(ValidationError):
+            GazetteerEntry("", PIAZZA)
+        with pytest.raises(ValidationError):
+            GazetteerEntry("x", PIAZZA, radius_m=0.0)
+
+    def test_from_city(self, small_city):
+        gazetteer = Gazetteer.from_city(small_city)
+        assert len(gazetteer) == len(small_city.pois)
+        name = small_city.poi_names()[0]
+        assert gazetteer.entry(name).location == small_city.poi(name)
+
+
+class TestGeoRelevanceEstimator:
+    def test_local_clip_gets_footprint(self):
+        estimator = GeoRelevanceEstimator(make_gazetteer())
+        clip = make_clip(
+            "local",
+            transcript="lavori in corso vicino a piazza-castello oggi piazza-castello chiusa",
+        )
+        estimate = estimator.estimate(clip)
+        assert estimate.is_geo_relevant
+        assert estimate.mentioned_places == {"piazza-castello": 2}
+        assert estimate.location.distance_m(PIAZZA) < 100.0
+        assert estimate.confidence == 1.0
+
+    def test_national_clip_gets_no_footprint(self):
+        estimator = GeoRelevanceEstimator(make_gazetteer())
+        clip = make_clip("national", transcript="notizie dal mondo economia e politica estera")
+        estimate = estimator.estimate(clip)
+        assert not estimate.is_geo_relevant
+        assert estimate.mentioned_places == {}
+        assert estimate.confidence == 0.0
+
+    def test_ambiguous_mentions_respect_confidence_threshold(self):
+        estimator = GeoRelevanceEstimator(make_gazetteer(), min_confidence=0.8)
+        clip = make_clip(
+            "mixed", transcript="evento a piazza-castello e poi concerto allo stadio-grande"
+        )
+        estimate = estimator.estimate(clip)
+        # Two different places mentioned once each: confidence 0.5 < 0.8.
+        assert not estimate.is_geo_relevant
+        assert estimate.confidence == pytest.approx(0.5)
+
+    def test_title_only_mention(self):
+        estimator = GeoRelevanceEstimator(make_gazetteer())
+        clip = AudioClip(
+            clip_id="title-only",
+            title="Cronaca da stadio-grande",
+            kind=ContentKind.NEWS,
+            duration_s=120.0,
+        )
+        assert estimator.estimate(clip).is_geo_relevant
+
+    def test_annotate_preserves_existing_tags(self):
+        estimator = GeoRelevanceEstimator(make_gazetteer())
+        already = AudioClip(
+            clip_id="tagged",
+            title="x",
+            kind=ContentKind.NEWS,
+            duration_s=60.0,
+            geo_location=STADIUM,
+            geo_radius_m=500.0,
+        )
+        untagged_local = make_clip("local", transcript="incidente a piazza-castello stamattina")
+        untagged_national = make_clip("nat", transcript="borse europee in rialzo")
+        annotated, tagged = estimator.annotate_archive([already, untagged_local, untagged_national])
+        assert tagged == 1
+        by_id = {clip.clip_id: clip for clip in annotated}
+        assert by_id["tagged"].geo_radius_m == 500.0  # untouched
+        assert by_id["local"].is_geo_tagged
+        assert not by_id["nat"].is_geo_tagged
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            GeoRelevanceEstimator(make_gazetteer(), min_mentions=0)
+        with pytest.raises(ValidationError):
+            GeoRelevanceEstimator(make_gazetteer(), min_confidence=2.0)
+
+
+class TestRichContextScorer:
+    def context(self, *, weather=None, activity=None):
+        return ListenerContext(
+            user_id="u1", now_s=NOW, is_driving=False, weather=weather, activity=activity
+        )
+
+    def test_matches_base_scorer_without_extra_context(self):
+        clip = make_clip("c", kind=ContentKind.PODCAST)
+        base = RichContextScorer()
+        plain_context = self.context()
+        from repro.recommender.context_relevance import ContextScorer
+
+        assert base.score(clip, plain_context) == pytest.approx(
+            ContextScorer().score(clip, plain_context)
+        )
+
+    def test_storm_boosts_traffic_and_weather(self):
+        scorer = RichContextScorer()
+        traffic = make_clip("traffic", category="traffic-and-weather")
+        comedy = make_clip("comedy", category="comedy", kind=ContentKind.PODCAST)
+        storm = self.context(weather="storm")
+        clear = self.context(weather="clear")
+        assert scorer.score(traffic, storm) > scorer.score(traffic, clear)
+        assert scorer.weather_score(traffic, "storm") > scorer.weather_score(comedy, "storm")
+
+    def test_running_activity_prefers_music(self):
+        scorer = RichContextScorer()
+        music = make_clip("music", category="music-pop", kind=ContentKind.MUSIC)
+        podcast = make_clip("talk", category="talk-show", kind=ContentKind.PODCAST)
+        assert scorer.activity_score(music, "running") > scorer.activity_score(podcast, "running")
+        # A relaxed listener tolerates either.
+        assert scorer.activity_score(podcast, "relaxing") >= 0.9
+
+    def test_scores_stay_bounded(self):
+        scorer = RichContextScorer()
+        clip = make_clip("c", category="traffic-and-weather")
+        context = self.context(weather="snow", activity="driving")
+        assert 0.0 <= scorer.score(clip, context) <= 1.0
+
+    def test_weight_validation(self):
+        with pytest.raises(ValidationError):
+            RichContextScorer(weather_weight=-0.1)
+
+
+def scored(clip, score):
+    return ScoredClip(clip=clip, content_score=score, context_score=score, compound_score=score)
+
+
+class TestDiversification:
+    def candidate_pool(self):
+        return [
+            scored(make_clip("econ-1", "economics", kind=ContentKind.PODCAST), 0.9),
+            scored(make_clip("econ-2", "economics", kind=ContentKind.PODCAST), 0.88),
+            scored(make_clip("econ-3", "economics", kind=ContentKind.PODCAST), 0.86),
+            scored(make_clip("tech-1", "technology", kind=ContentKind.PODCAST), 0.8),
+            scored(make_clip("food-1", "food-and-wine", kind=ContentKind.PODCAST), 0.75),
+            scored(make_clip("jazz-1", "music-jazz", kind=ContentKind.MUSIC), 0.7),
+        ]
+
+    def test_diversified_list_covers_more_categories(self):
+        pool = self.candidate_pool()
+        plain_top3 = pool[:3]
+        diversified = diversify(pool, diversity_weight=0.5, top_k=3)
+        diversified_scored = [item.scored for item in diversified]
+        assert list_diversity(diversified_scored) > list_diversity(plain_top3)
+        # The most relevant item is still first.
+        assert diversified[0].scored.clip_id == "econ-1"
+
+    def test_zero_diversity_weight_preserves_relevance_order(self):
+        pool = self.candidate_pool()
+        reranked = diversify(pool, diversity_weight=0.0, top_k=4)
+        assert [item.scored.clip_id for item in reranked] == [s.clip_id for s in pool[:4]]
+
+    def test_top_k_and_ranks(self):
+        reranked = diversify(self.candidate_pool(), top_k=2)
+        assert len(reranked) == 2
+        assert [item.rank for item in reranked] == [0, 1]
+
+    def test_weight_validation(self):
+        with pytest.raises(ValidationError):
+            diversify(self.candidate_pool(), diversity_weight=1.5)
+
+    def test_list_diversity_bounds(self):
+        pool = self.candidate_pool()
+        assert list_diversity(pool[:1]) == 0.0
+        same = [pool[0], pool[1]]
+        mixed = [pool[0], pool[5]]
+        assert list_diversity(mixed) > list_diversity(same)
+
+    def test_plan_diversity(self):
+        pool = self.candidate_pool()
+        items = [
+            ScheduledClip(scored=pool[0], window=TimeWindow(0.0, 100.0)),
+            ScheduledClip(scored=pool[5], window=TimeWindow(110.0, 200.0)),
+        ]
+        plan = RecommendationPlan(user_id="u1", created_s=0.0, available_s=300.0, items=items)
+        assert plan_diversity(plan) == pytest.approx(1.0)

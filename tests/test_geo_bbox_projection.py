@@ -1,0 +1,112 @@
+"""Tests for bounding boxes and the local projection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import BoundingBox, GeoPoint
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.geo.projection import LocalProjection, point_segment_distance_m
+
+CENTER = GeoPoint(45.07, 7.68)
+
+
+class TestBoundingBox:
+    def test_invalid_corners(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([GeoPoint(1, 1), GeoPoint(2, 3), GeoPoint(0, 2)])
+        assert (box.min_lat, box.min_lon, box.max_lat, box.max_lon) == (0, 1, 2, 3)
+
+    def test_from_points_empty(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.from_points([])
+
+    def test_contains_border(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(GeoPoint(0, 0))
+        assert box.contains(GeoPoint(1, 1))
+        assert not box.contains(GeoPoint(1.01, 0.5))
+
+    def test_around_contains_center_and_has_expected_size(self):
+        box = BoundingBox.around(CENTER, 1000.0)
+        assert box.contains(CENTER)
+        north = destination_point(CENTER, 0.0, 999.0)
+        assert box.contains(north)
+        far = destination_point(CENTER, 0.0, 2500.0)
+        assert not box.contains(far)
+
+    def test_around_negative_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.around(CENTER, -1.0)
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 3, 3)
+        c = BoundingBox(5, 5, 6, 6)
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_union(self):
+        union = BoundingBox(0, 0, 1, 1).union(BoundingBox(2, 2, 3, 3))
+        assert union.contains(GeoPoint(1.5, 1.5))
+
+    def test_expanded(self):
+        grown = BoundingBox(0, 0, 1, 1).expanded(0.5)
+        assert grown.contains(GeoPoint(-0.4, -0.4))
+        with pytest.raises(GeometryError):
+            BoundingBox(0, 0, 1, 1).expanded(-0.1)
+
+    def test_center(self):
+        assert BoundingBox(0, 0, 2, 4).center == GeoPoint(1, 2)
+
+
+class TestLocalProjection:
+    def test_reference_maps_to_origin(self):
+        projection = LocalProjection(CENTER)
+        assert projection.to_xy(CENTER) == (0.0, 0.0)
+
+    def test_roundtrip(self):
+        projection = LocalProjection(CENTER)
+        point = destination_point(CENTER, 37.0, 4321.0)
+        x, y = projection.to_xy(point)
+        back = projection.to_point(x, y)
+        assert haversine_m(point, back) < 1.0
+
+    def test_distance_preserved_locally(self):
+        projection = LocalProjection(CENTER)
+        point = destination_point(CENTER, 90.0, 2000.0)
+        x, y = projection.to_xy(point)
+        assert (x**2 + y**2) ** 0.5 == pytest.approx(2000.0, rel=0.01)
+
+    def test_pole_reference_rejected(self):
+        with pytest.raises(GeometryError):
+            LocalProjection(GeoPoint(90.0, 0.0))
+
+    @given(
+        st.floats(min_value=0, max_value=359.9),
+        st.floats(min_value=1.0, max_value=20000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, bearing, distance):
+        projection = LocalProjection(CENTER)
+        point = destination_point(CENTER, bearing, distance)
+        back = projection.to_point(*projection.to_xy(point))
+        assert haversine_m(point, back) < max(1.0, distance * 0.001)
+
+
+class TestPointSegmentDistance:
+    def test_point_on_segment(self):
+        assert point_segment_distance_m((5, 0), (0, 0), (10, 0)) == 0.0
+
+    def test_perpendicular_distance(self):
+        assert point_segment_distance_m((5, 3), (0, 0), (10, 0)) == pytest.approx(3.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        assert point_segment_distance_m((15, 0), (0, 0), (10, 0)) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance_m((3, 4), (0, 0), (0, 0)) == pytest.approx(5.0)

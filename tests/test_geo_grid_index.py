@@ -1,0 +1,100 @@
+"""Tests for the uniform grid spatial index."""
+
+import pytest
+
+from repro.errors import GeometryError, NotFoundError
+from repro.geo import BoundingBox, GeoPoint, GridIndex
+from repro.geo.geodesy import destination_point
+
+CENTER = GeoPoint(45.07, 7.68)
+
+
+def ring(count: int, radius_m: float):
+    """Points evenly spread on a circle around the centre."""
+    return [destination_point(CENTER, i * (360.0 / count), radius_m) for i in range(count)]
+
+
+class TestGridIndexBasics:
+    def test_invalid_cell_size(self):
+        with pytest.raises(GeometryError):
+            GridIndex(cell_size_m=0)
+
+    def test_insert_and_len(self):
+        index = GridIndex()
+        index.insert("a", CENTER)
+        assert len(index) == 1
+        assert "a" in index
+
+    def test_insert_moves_existing(self):
+        index = GridIndex()
+        index.insert("a", CENTER)
+        new_position = destination_point(CENTER, 0.0, 5000.0)
+        index.insert("a", new_position)
+        assert len(index) == 1
+        assert index.position_of("a") == new_position
+
+    def test_remove(self):
+        index = GridIndex()
+        index.insert("a", CENTER)
+        index.remove("a")
+        assert len(index) == 0
+        with pytest.raises(NotFoundError):
+            index.remove("a")
+
+    def test_position_of_missing(self):
+        with pytest.raises(NotFoundError):
+            GridIndex().position_of("ghost")
+
+
+class TestGridIndexQueries:
+    def test_query_radius_finds_all_within(self):
+        index = GridIndex(cell_size_m=500.0)
+        for i, point in enumerate(ring(12, 800.0)):
+            index.insert(f"near-{i}", point)
+        for i, point in enumerate(ring(6, 5000.0)):
+            index.insert(f"far-{i}", point)
+        hits = index.query_radius(CENTER, 1000.0)
+        names = {name for name, _d in hits}
+        assert names == {f"near-{i}" for i in range(12)}
+
+    def test_query_radius_sorted_by_distance(self):
+        index = GridIndex()
+        index.insert("close", destination_point(CENTER, 0.0, 100.0))
+        index.insert("far", destination_point(CENTER, 0.0, 900.0))
+        hits = index.query_radius(CENTER, 2000.0)
+        assert [name for name, _d in hits] == ["close", "far"]
+
+    def test_query_radius_negative_raises(self):
+        with pytest.raises(GeometryError):
+            GridIndex().query_radius(CENTER, -5.0)
+
+    def test_query_bbox(self):
+        index = GridIndex()
+        inside = destination_point(CENTER, 45.0, 500.0)
+        outside = destination_point(CENTER, 45.0, 50000.0)
+        index.insert("inside", inside)
+        index.insert("outside", outside)
+        box = BoundingBox.around(CENTER, 1000.0)
+        assert index.query_bbox(box) == ["inside"]
+
+    def test_nearest(self):
+        index = GridIndex()
+        index.insert("a", destination_point(CENTER, 10.0, 300.0))
+        index.insert("b", destination_point(CENTER, 10.0, 3000.0))
+        nearest = index.nearest(CENTER)
+        assert nearest is not None
+        assert nearest[0] == "a"
+
+    def test_nearest_empty(self):
+        assert GridIndex().nearest(CENTER) is None
+
+    def test_nearest_respects_max_radius(self):
+        index = GridIndex()
+        index.insert("far", destination_point(CENTER, 0.0, 40000.0))
+        assert index.nearest(CENTER, max_radius_m=10000.0) is None
+
+    def test_items_round_trip(self):
+        index = GridIndex()
+        index.insert("a", CENTER)
+        items = dict(index.items())
+        assert items == {"a": CENTER}

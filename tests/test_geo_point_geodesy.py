@@ -1,0 +1,119 @@
+"""Tests for geographic points and geodesy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import GeoPoint, destination_point, haversine_m, initial_bearing_deg, midpoint
+from repro.geo.geodesy import centroid, path_length_m
+
+TORINO = GeoPoint(45.0703, 7.6869)
+MILANO = GeoPoint(45.4642, 9.1900)
+
+# Latitude range restricted away from the poles where bearings degenerate.
+lat_strategy = st.floats(min_value=-80.0, max_value=80.0, allow_nan=False)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+points = st.builds(GeoPoint, lat_strategy, lon_strategy)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(45.0, 7.0)
+        assert point.as_tuple() == (45.0, 7.0)
+
+    @pytest.mark.parametrize("lat, lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_out_of_range(self, lat, lon):
+        with pytest.raises(GeometryError):
+            GeoPoint(lat, lon)
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(float("nan"), 0.0)
+
+    def test_offset_wraps_longitude(self):
+        point = GeoPoint(0.0, 179.5)
+        moved = point.offset(0.0, 1.0)
+        assert -180.0 <= moved.lon <= 180.0
+
+    def test_hashable(self):
+        assert len({GeoPoint(1, 1), GeoPoint(1, 1), GeoPoint(2, 2)}) == 2
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(TORINO, TORINO) == 0.0
+
+    def test_torino_milano_roughly_126km(self):
+        distance = haversine_m(TORINO, MILANO)
+        assert 120_000 < distance < 135_000
+
+    def test_symmetry(self):
+        assert haversine_m(TORINO, MILANO) == pytest.approx(haversine_m(MILANO, TORINO))
+
+    @given(points, points)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_and_symmetric(self, a, b):
+        d_ab = haversine_m(a, b)
+        d_ba = haversine_m(b, a)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(d_ba, rel=1e-9, abs=1e-6)
+
+    @given(points, points, points)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_m(a, c) <= haversine_m(a, b) + haversine_m(b, c) + 1e-6
+
+
+class TestDestinationAndBearing:
+    def test_destination_roundtrip_distance(self):
+        target = destination_point(TORINO, 45.0, 5000.0)
+        assert haversine_m(TORINO, target) == pytest.approx(5000.0, rel=1e-3)
+
+    def test_destination_zero_distance(self):
+        target = destination_point(TORINO, 123.0, 0.0)
+        assert haversine_m(TORINO, target) < 1e-6
+
+    def test_destination_negative_distance_raises(self):
+        with pytest.raises(GeometryError):
+            destination_point(TORINO, 0.0, -1.0)
+
+    def test_bearing_north(self):
+        north = destination_point(TORINO, 0.0, 1000.0)
+        assert initial_bearing_deg(TORINO, north) == pytest.approx(0.0, abs=1.0)
+
+    def test_bearing_east(self):
+        east = destination_point(TORINO, 90.0, 1000.0)
+        assert initial_bearing_deg(TORINO, east) == pytest.approx(90.0, abs=1.0)
+
+    @given(points, st.floats(min_value=0, max_value=359.9), st.floats(min_value=10, max_value=50000))
+    @settings(max_examples=60, deadline=None)
+    def test_destination_distance_consistency(self, origin, bearing, distance):
+        target = destination_point(origin, bearing, distance)
+        assert haversine_m(origin, target) == pytest.approx(distance, rel=1e-2)
+
+
+class TestMidpointCentroidPath:
+    def test_midpoint_between(self):
+        mid = midpoint(TORINO, MILANO)
+        d1 = haversine_m(TORINO, mid)
+        d2 = haversine_m(mid, MILANO)
+        assert d1 == pytest.approx(d2, rel=1e-3)
+
+    def test_centroid_of_single_point(self):
+        assert centroid([TORINO]) == TORINO
+
+    def test_centroid_requires_points(self):
+        with pytest.raises(GeometryError):
+            centroid([])
+
+    def test_path_length_sums_segments(self):
+        a = TORINO
+        b = destination_point(a, 90.0, 1000.0)
+        c = destination_point(b, 90.0, 1000.0)
+        assert path_length_m([a, b, c]) == pytest.approx(2000.0, rel=1e-3)
+
+    def test_path_length_single_point(self):
+        assert path_length_m([TORINO]) == 0.0

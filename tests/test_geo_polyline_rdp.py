@@ -1,0 +1,151 @@
+"""Tests for polylines and RDP simplification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import GeoPoint, Polyline, rdp_indices, rdp_simplify
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.geo.rdp import compression_ratio
+
+START = GeoPoint(45.07, 7.68)
+
+
+def straight_line(points: int, spacing_m: float = 100.0):
+    """Points along a straight east-heading line."""
+    return [destination_point(START, 90.0, i * spacing_m) for i in range(points)]
+
+
+def zigzag(points: int, spacing_m: float = 100.0, amplitude_m: float = 60.0):
+    """A line with alternating lateral offsets (never simplifies to 2 points)."""
+    result = []
+    for i in range(points):
+        base = destination_point(START, 90.0, i * spacing_m)
+        offset = amplitude_m if i % 2 else -amplitude_m
+        result.append(destination_point(base, 0.0, abs(offset)) if offset > 0 else destination_point(base, 180.0, abs(offset)))
+    return result
+
+
+class TestPolyline:
+    def test_requires_points(self):
+        with pytest.raises(GeometryError):
+            Polyline([])
+
+    def test_single_point_length_zero(self):
+        line = Polyline([START])
+        assert line.length_m == 0.0
+        assert line.point_at_distance(100.0) == START
+
+    def test_length_of_straight_line(self):
+        line = Polyline(straight_line(11, 100.0))
+        assert line.length_m == pytest.approx(1000.0, rel=1e-3)
+
+    def test_point_at_distance_interpolates(self):
+        line = Polyline(straight_line(11, 100.0))
+        mid = line.point_at_distance(500.0)
+        assert haversine_m(START, mid) == pytest.approx(500.0, rel=1e-2)
+
+    def test_point_at_distance_clamped(self):
+        line = Polyline(straight_line(3, 100.0))
+        assert line.point_at_distance(-50.0) == line.start
+        assert haversine_m(line.point_at_distance(1e9), line.end) < 1e-6
+
+    def test_resample_spacing(self):
+        line = Polyline(straight_line(11, 100.0))
+        resampled = line.resample(250.0)
+        assert resampled.length_m == pytest.approx(line.length_m, rel=1e-3)
+        # Samples at 0, 250, 500, 750 plus the end point (and possibly one
+        # extra sample when the geodesic length slightly exceeds 1000 m).
+        assert len(resampled) in (5, 6)
+
+    def test_resample_invalid_spacing(self):
+        with pytest.raises(GeometryError):
+            Polyline(straight_line(3)).resample(0.0)
+
+    def test_nearest_point_index(self):
+        line = Polyline(straight_line(11, 100.0))
+        target = destination_point(START, 90.0, 420.0)
+        assert line.nearest_point_index(target) == 4
+
+    def test_heading_along_east_line(self):
+        line = Polyline(straight_line(5, 100.0))
+        assert line.heading_at_distance(200.0) == pytest.approx(90.0, abs=2.0)
+
+    def test_heading_single_point_none(self):
+        assert Polyline([START]).heading_at_distance(0.0) is None
+
+    def test_reversed(self):
+        line = Polyline(straight_line(4, 100.0))
+        assert line.reversed().start == line.end
+
+    def test_concat_drops_duplicate_join(self):
+        a = Polyline(straight_line(3, 100.0))
+        b = Polyline(straight_line(5, 100.0)[2:])
+        joined = a.concat(b)
+        assert len(joined) == len(a) + len(b) - 1
+
+    def test_distance_along_monotone(self):
+        line = Polyline(straight_line(6, 100.0))
+        distances = [line.distance_along(i) for i in range(len(line))]
+        assert distances == sorted(distances)
+
+
+class TestRdp:
+    def test_straight_line_collapses_to_endpoints(self):
+        simplified = rdp_simplify(straight_line(50, 50.0), tolerance_m=10.0)
+        assert len(simplified) == 2
+
+    def test_zigzag_preserved_with_small_tolerance(self):
+        points = zigzag(20)
+        simplified = rdp_simplify(points, tolerance_m=5.0)
+        assert len(simplified) > 10
+
+    def test_zigzag_collapses_with_large_tolerance(self):
+        points = zigzag(20, amplitude_m=30.0)
+        simplified = rdp_simplify(points, tolerance_m=500.0)
+        assert len(simplified) == 2
+
+    def test_endpoints_always_kept(self):
+        points = zigzag(15)
+        simplified = rdp_simplify(points, tolerance_m=50.0)
+        assert simplified[0] == points[0]
+        assert simplified[-1] == points[-1]
+
+    def test_indices_sorted_subset(self):
+        points = zigzag(25)
+        indices = rdp_indices(points, tolerance_m=20.0)
+        assert indices == sorted(indices)
+        assert all(0 <= i < len(points) for i in indices)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(GeometryError):
+            rdp_simplify(straight_line(5), tolerance_m=-1.0)
+
+    def test_short_inputs_unchanged(self):
+        assert rdp_simplify([], 10.0) == []
+        assert len(rdp_simplify(straight_line(2), 10.0)) == 2
+
+    @given(st.integers(min_value=3, max_value=40), st.floats(min_value=1.0, max_value=200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_simplified_never_longer_than_original(self, n, tolerance):
+        points = zigzag(n)
+        simplified = rdp_simplify(points, tolerance_m=tolerance)
+        assert 2 <= len(simplified) <= len(points)
+
+    def test_monotone_in_tolerance(self):
+        points = zigzag(30)
+        small = len(rdp_simplify(points, tolerance_m=5.0))
+        large = len(rdp_simplify(points, tolerance_m=200.0))
+        assert large <= small
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(10, 2) == pytest.approx(0.8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GeometryError):
+            compression_ratio(0, 0)
+        with pytest.raises(GeometryError):
+            compression_ratio(5, 6)

@@ -1,0 +1,305 @@
+"""Tests for the distraction model, the ΔT scheduler and the proactive engine."""
+
+import pytest
+
+from repro.content import AudioClip, ContentKind, ContentRepository
+from repro.errors import SchedulingError, ValidationError
+from repro.geo import GeoPoint, Polyline
+from repro.geo.geodesy import destination_point
+from repro.recommender import (
+    CandidateFilter,
+    CompoundScorer,
+    ContentBasedScorer,
+    DistractionModel,
+    ListenerContext,
+    ProactiveEngine,
+    Scheduler,
+    SchedulerPolicy,
+)
+from repro.recommender.compound import ScoredClip
+from repro.recommender.context import DrivingCondition
+from repro.recommender.proactive import ProactiveConfig
+from repro.roadnet.intersections import DistractionZone, IntersectionKind
+from repro.trajectory.prediction import DestinationPrediction
+from repro.trajectory.travel_time import TravelTimeEstimate
+from repro.users import UserManager, UserProfile
+from repro.util.timeutils import TimeWindow
+
+TORINO = GeoPoint(45.0703, 7.6869)
+NOW = 8 * 3600.0
+
+
+def make_clip(clip_id, *, duration=300.0, category="economics", geo=None, kind=ContentKind.PODCAST):
+    return AudioClip(
+        clip_id=clip_id,
+        title=clip_id,
+        kind=kind,
+        duration_s=duration,
+        category_scores={category: 1.0},
+        published_s=NOW - 3600.0,
+        geo_location=geo,
+        geo_radius_m=1500.0 if geo else None,
+    )
+
+
+def scored(clip, score):
+    return ScoredClip(clip=clip, content_score=score, context_score=score, compound_score=score)
+
+
+def zone(start, end, weight=0.9, kind=IntersectionKind.ROUNDABOUT):
+    return DistractionZone(node_id="n", kind=kind, window=TimeWindow(start, end), weight=weight)
+
+
+def driving_context(*, available=900.0, route=None, destination=None):
+    travel = TravelTimeEstimate(available, available, available * 1.15, None, available, 0.0)
+    return ListenerContext(
+        user_id="u1",
+        now_s=NOW,
+        position=TORINO,
+        speed_mps=12.0,
+        is_driving=True,
+        route=route,
+        destination=destination,
+        travel_time=travel,
+    )
+
+
+class TestDistractionModel:
+    def test_blocked_windows_merge_and_pad(self):
+        model = DistractionModel([zone(100, 110), zone(112, 120)], boundary_padding_s=3.0)
+        assert len(model.blocked_windows) == 1
+        assert model.is_blocked(97.5)
+        assert model.is_blocked(115.0)
+        assert not model.is_blocked(150.0)
+
+    def test_low_weight_zones_not_blocking(self):
+        model = DistractionModel([zone(100, 110, weight=0.3, kind=IntersectionKind.MINOR_JUNCTION)])
+        assert not model.is_blocked(105.0)
+        assert model.distraction_at(105.0) == pytest.approx(0.3)
+
+    def test_next_clear_instant(self):
+        model = DistractionModel([zone(100, 110)], boundary_padding_s=0.0)
+        assert model.next_clear_instant(105.0) == pytest.approx(110.0)
+        assert model.next_clear_instant(95.0) == 95.0
+
+    def test_assess_boundary_suggests_shift(self):
+        model = DistractionModel([zone(100, 110)], boundary_padding_s=0.0)
+        assessment = model.assess_boundary(105.0)
+        assert assessment.blocked
+        assert assessment.suggested_shift_s == pytest.approx(5.0)
+        clear = model.assess_boundary(200.0)
+        assert not clear.blocked and clear.suggested_shift_s == 0.0
+
+    def test_boundaries_in_blocked_counts(self):
+        model = DistractionModel([zone(100, 110)])
+        assert model.boundaries_in_blocked([105.0, 300.0, 108.0]) == 2
+
+    def test_total_blocked(self):
+        model = DistractionModel([zone(100, 110)], boundary_padding_s=0.0)
+        assert model.total_blocked_s() == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DistractionModel([], block_threshold=2.0)
+        with pytest.raises(ValidationError):
+            DistractionModel([], boundary_padding_s=-1.0)
+
+
+class TestSchedulerSelection:
+    def test_greedy_fills_budget_without_overflow(self):
+        clips = [scored(make_clip(f"c{i}", duration=200.0 + 50.0 * i), 0.9 - 0.1 * i) for i in range(6)]
+        plan = Scheduler().build_plan(clips, driving_context(available=700.0))
+        assert plan.total_scheduled_s <= 700.0
+        assert plan.items
+        assert plan.fill_ratio <= 1.0
+
+    def test_knapsack_at_least_as_good_as_greedy(self):
+        clips = [
+            scored(make_clip("big", duration=550.0), 0.85),
+            scored(make_clip("mid-a", duration=300.0), 0.6),
+            scored(make_clip("mid-b", duration=290.0), 0.6),
+            scored(make_clip("small", duration=100.0), 0.2),
+        ]
+        context = driving_context(available=600.0)
+        greedy = Scheduler(policy=SchedulerPolicy.GREEDY).build_plan(clips, context)
+        knapsack = Scheduler(policy=SchedulerPolicy.KNAPSACK).build_plan(clips, context)
+        assert knapsack.objective_value >= greedy.objective_value - 1e-9
+
+    def test_clips_longer_than_budget_excluded(self):
+        clips = [scored(make_clip("too-long", duration=1200.0), 0.99)]
+        plan = Scheduler().build_plan(clips, driving_context(available=600.0))
+        assert plan.items == []
+
+    def test_max_items_respected(self):
+        clips = [scored(make_clip(f"c{i}", duration=30.1), 0.9) for i in range(30)]
+        plan = Scheduler(max_items=4).build_plan(clips, driving_context(available=3000.0))
+        assert len(plan.items) <= 4
+
+    def test_requires_positive_budget(self):
+        with pytest.raises(SchedulingError):
+            Scheduler().build_plan([], ListenerContext(user_id="u1", now_s=NOW, is_driving=True))
+
+    def test_explicit_budget_overrides_context(self):
+        clips = [scored(make_clip("c", duration=200.0), 0.8)]
+        plan = Scheduler().build_plan(clips, ListenerContext(user_id="u1", now_s=NOW), available_s=500.0)
+        assert plan.available_s == 500.0
+        assert plan.items
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulingError):
+            Scheduler(min_gap_s=-1.0)
+        with pytest.raises(SchedulingError):
+            Scheduler(knapsack_resolution_s=0.0)
+        with pytest.raises(SchedulingError):
+            Scheduler(max_items=0)
+
+
+class TestSchedulerPlacement:
+    def test_items_sequential_and_non_overlapping(self):
+        clips = [scored(make_clip(f"c{i}", duration=150.0), 0.8 - 0.05 * i) for i in range(5)]
+        plan = Scheduler().build_plan(clips, driving_context(available=900.0))
+        items = plan.items
+        assert len(items) >= 3
+        for earlier, later in zip(items, items[1:]):
+            assert later.start_s >= earlier.end_s
+
+    def test_boundaries_shifted_out_of_distraction_zones(self):
+        clips = [scored(make_clip(f"c{i}", duration=120.0), 0.8) for i in range(4)]
+        # A high-distraction window right at the start of the drive.
+        model = DistractionModel([zone(NOW - 2.0, NOW + 30.0)])
+        plan = Scheduler().build_plan(clips, driving_context(available=900.0), distraction=model)
+        assert plan.items
+        assert model.boundaries_in_blocked(plan.boundaries()) == 0
+
+    def test_geo_anchored_item_placed_near_anchor(self):
+        route = Polyline([TORINO, destination_point(TORINO, 90.0, 9000.0)])
+        target = destination_point(TORINO, 90.0, 6000.0)  # two thirds along the route
+        geo_clip = make_clip("local", duration=180.0, category="news-local", geo=target)
+        clips = [scored(geo_clip, 0.7)] + [
+            scored(make_clip(f"c{i}", duration=180.0), 0.75) for i in range(3)
+        ]
+        context = driving_context(available=900.0, route=route)
+        plan = Scheduler().build_plan(clips, context)
+        local_items = [item for item in plan.items if item.clip_id == "local"]
+        assert local_items
+        item = local_items[0]
+        assert item.reason == "geo-anchored"
+        ideal = NOW + (6000.0 / 9000.0) * 900.0
+        midpoint = (item.start_s + item.end_s) / 2.0
+        assert abs(midpoint - ideal) < 200.0
+
+    def test_plan_reporting_helpers(self):
+        clips = [scored(make_clip("c0", duration=200.0), 0.8), scored(make_clip("c1", duration=200.0), 0.6)]
+        plan = Scheduler().build_plan(clips, driving_context(available=600.0))
+        assert plan.clip_ids()
+        assert len(plan.boundaries()) == 2 * len(plan.items)
+        assert plan.objective_value == pytest.approx(sum(i.scored.final_score for i in plan.items))
+        assert 0.0 < plan.mean_relevance <= 1.0
+        assert all(isinstance(line, str) for line in plan.timeline())
+
+
+class ProactiveHarness:
+    """Small helper wiring content + users + engine for proactive tests."""
+
+    def __init__(self, *, clips=None, config=None):
+        self.content = ContentRepository()
+        default_clips = [make_clip(f"c{i}", duration=180.0 + 20 * i) for i in range(8)]
+        for clip in default_clips if clips is None else clips:
+            self.content.add_clip(clip)
+        self.users = UserManager(content=self.content)
+        self.users.register(UserProfile(user_id="u1", display_name="Lilly"))
+        self.users.preference_profile("u1").seeded(["economics"], ["comedy"])
+        scorer = ContentBasedScorer(self.content, self.users)
+        self.engine = ProactiveEngine(
+            CandidateFilter(self.content, self.users),
+            CompoundScorer(scorer),
+            Scheduler(),
+            config or ProactiveConfig(),
+        )
+
+
+class TestProactiveEngine:
+    def confident_context(self, *, available=600.0):
+        prediction = DestinationPrediction(1, destination_point(TORINO, 90.0, 5000.0), 0.8, 4000.0, 6)
+        return driving_context(available=available, destination=prediction)
+
+    def test_triggers_with_confident_context(self):
+        harness = ProactiveHarness()
+        decision = harness.engine.evaluate(self.confident_context(), drive_elapsed_s=300.0)
+        assert decision.should_recommend
+        assert decision.plan is not None and decision.plan.items
+        assert decision.recommended_clip_ids
+
+    def test_refuses_when_not_driving(self):
+        harness = ProactiveHarness()
+        context = ListenerContext(user_id="u1", now_s=NOW, is_driving=False)
+        decision = harness.engine.evaluate(context, drive_elapsed_s=300.0)
+        assert not decision.should_recommend
+        assert "not driving" in decision.reason
+
+    def test_refuses_early_in_drive(self):
+        harness = ProactiveHarness()
+        decision = harness.engine.evaluate(self.confident_context(), drive_elapsed_s=10.0)
+        assert not decision.should_recommend
+
+    def test_refuses_low_confidence(self):
+        harness = ProactiveHarness()
+        prediction = DestinationPrediction(1, TORINO, 0.1, 4000.0, 1)
+        context = driving_context(available=600.0, destination=prediction)
+        decision = harness.engine.evaluate(context, drive_elapsed_s=300.0)
+        assert not decision.should_recommend
+        assert "confidence" in decision.reason
+
+    def test_refuses_short_available_time(self):
+        harness = ProactiveHarness()
+        decision = harness.engine.evaluate(self.confident_context(available=30.0), drive_elapsed_s=300.0)
+        assert not decision.should_recommend
+
+    def test_refuses_demanding_driving(self):
+        harness = ProactiveHarness()
+        prediction = DestinationPrediction(1, TORINO, 0.9, 4000.0, 6)
+        travel = TravelTimeEstimate(600.0, 600.0, 700.0, None, 600.0, 0.0)
+        context = ListenerContext(
+            user_id="u1",
+            now_s=NOW,
+            position=TORINO,
+            speed_mps=33.0,
+            is_driving=True,
+            destination=prediction,
+            travel_time=travel,
+            route_complexity=0.9,
+        )
+        assert context.driving_condition == DrivingCondition.DEMANDING
+        decision = harness.engine.evaluate(context, drive_elapsed_s=300.0)
+        assert not decision.should_recommend
+        assert "demanding" in decision.reason
+
+    def test_refuses_without_candidates(self):
+        harness = ProactiveHarness(clips=[])
+        decision = harness.engine.evaluate(self.confident_context(), drive_elapsed_s=300.0)
+        assert not decision.should_recommend
+        assert "no candidate" in decision.reason
+
+    def test_no_fitting_clip(self):
+        harness = ProactiveHarness(clips=[make_clip("huge", duration=3000.0)])
+        config = ProactiveConfig(min_available_s=100.0)
+        harness2 = ProactiveHarness(clips=[make_clip("huge", duration=3000.0)], config=config)
+        decision = harness2.engine.evaluate(self.confident_context(available=150.0), drive_elapsed_s=300.0)
+        assert not decision.should_recommend
+
+    def test_editorial_boost_promotes_clip(self):
+        clips = [make_clip(f"c{i}", duration=180.0, category="economics") for i in range(5)]
+        clips.append(make_clip("boosted", duration=180.0, category="comedy"))
+        harness = ProactiveHarness(clips=clips)
+        without = harness.engine.evaluate(self.confident_context(), drive_elapsed_s=300.0)
+        assert "boosted" not in without.recommended_clip_ids
+        with_boost = harness.engine.evaluate(
+            self.confident_context(), drive_elapsed_s=300.0, editorial_boosts={"boosted": 1.0}
+        )
+        assert "boosted" in with_boost.recommended_clip_ids
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            ProactiveConfig(min_destination_confidence=1.5)
+        with pytest.raises(ValidationError):
+            ProactiveConfig(min_available_s=0.0)

@@ -1,0 +1,393 @@
+"""Tests for candidate filtering, content/context/compound scoring and baselines."""
+
+import pytest
+
+from repro.content import AudioClip, ContentKind, ContentRepository
+from repro.errors import ValidationError
+from repro.geo import GeoPoint, Polyline
+from repro.geo.geodesy import destination_point
+from repro.recommender import (
+    CandidateFilter,
+    CompoundScorer,
+    ContentBasedScorer,
+    ContentOnlyRecommender,
+    ContextScorer,
+    DrivingCondition,
+    ListenerContext,
+    PopularityRecommender,
+    RandomRecommender,
+)
+from repro.recommender.content_based import CandidateFilterConfig
+from repro.recommender.context import stationary_context
+from repro.recommender.evaluation import (
+    category_diversity,
+    compare_rankings,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    ranking_relevance,
+    recall_at_k,
+)
+from repro.trajectory.prediction import DestinationPrediction
+from repro.trajectory.travel_time import TravelTimeEstimate
+from repro.users import FeedbackKind, UserManager, UserProfile
+
+TORINO = GeoPoint(45.0703, 7.6869)
+NOW = 10 * 3600.0  # 10:00, morning
+
+
+def make_clip(clip_id, category, *, duration=300.0, kind=ContentKind.PODCAST, published=NOW - 3600.0, geo=None):
+    return AudioClip(
+        clip_id=clip_id,
+        title=clip_id,
+        kind=kind,
+        duration_s=duration,
+        category_scores={category: 1.0},
+        published_s=published,
+        geo_location=geo,
+        geo_radius_m=1500.0 if geo else None,
+    )
+
+
+@pytest.fixture()
+def stack():
+    """A content repository + user manager with one opinionated listener."""
+    content = ContentRepository()
+    clips = [
+        make_clip("econ-1", "economics"),
+        make_clip("econ-2", "economics"),
+        make_clip("tech-1", "technology"),
+        make_clip("comedy-1", "comedy"),
+        make_clip("food-1", "food-and-wine"),
+        make_clip("music-1", "music-pop", kind=ContentKind.MUSIC),
+        make_clip("stale-1", "economics", published=NOW - 30 * 86400.0),
+        make_clip("long-1", "economics", duration=5000.0),
+        make_clip("local-1", "news-local", geo=destination_point(TORINO, 90.0, 3000.0), kind=ContentKind.NEWS),
+    ]
+    content.add_clips(clips)
+    users = UserManager(content=content)
+    users.register(UserProfile(user_id="u1", display_name="Greg"))
+    users.preference_profile("u1").seeded(["economics", "technology"], ["comedy"])
+    return content, users
+
+
+class TestCandidateFilter:
+    def test_excludes_heard_and_stale_and_too_long(self, stack):
+        content, users = stack
+        users.record_feedback("u1", "econ-1", FeedbackKind.COMPLETED, timestamp_s=NOW - 100.0)
+        filtered = CandidateFilter(content, users).candidates("u1", now_s=NOW)
+        ids = {clip.clip_id for clip in filtered}
+        assert "econ-1" not in ids        # already heard
+        assert "stale-1" not in ids       # too old
+        assert "long-1" not in ids        # exceeds max duration
+        assert "comedy-1" not in ids      # disliked category
+        assert "econ-2" in ids and "tech-1" in ids
+
+    def test_config_toggles(self, stack):
+        content, users = stack
+        users.record_feedback("u1", "econ-1", FeedbackKind.COMPLETED, timestamp_s=NOW - 100.0)
+        config = CandidateFilterConfig(
+            exclude_heard=False,
+            exclude_disliked_categories=False,
+            max_age_s=None,
+            max_duration_s=10000.0,
+        )
+        filtered = CandidateFilter(content, users, config).candidates("u1", now_s=NOW)
+        ids = {clip.clip_id for clip in filtered}
+        assert {"econ-1", "stale-1", "long-1", "comedy-1"} <= ids
+
+    def test_max_candidates_prefers_fresh(self, stack):
+        content, users = stack
+        config = CandidateFilterConfig(max_candidates=2, max_age_s=None, exclude_disliked_categories=False)
+        filtered = CandidateFilter(content, users, config).candidates("u1", now_s=NOW)
+        assert len(filtered) == 2
+        assert all(clip.published_s >= NOW - 7 * 86400.0 for clip in filtered)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            CandidateFilterConfig(max_candidates=0)
+        with pytest.raises(ValidationError):
+            CandidateFilterConfig(min_duration_s=100.0, max_duration_s=50.0)
+
+
+class TestContentBasedScorer:
+    def test_preferred_category_scores_higher(self, stack):
+        content, users = stack
+        scorer = ContentBasedScorer(content, users)
+        econ = scorer.score("u1", content.clip("econ-2"), now_s=NOW)
+        comedy = scorer.score("u1", content.clip("comedy-1"), now_s=NOW)
+        neutral = scorer.score("u1", content.clip("food-1"), now_s=NOW)
+        assert econ > neutral > comedy
+
+    def test_scores_in_unit_interval(self, stack):
+        content, users = stack
+        scorer = ContentBasedScorer(content, users)
+        for clip in content.clips():
+            assert 0.0 <= scorer.score("u1", clip, now_s=NOW) <= 1.0
+
+    def test_recency_prefers_fresh_clip(self, stack):
+        content, users = stack
+        scorer = ContentBasedScorer(content, users, recency_halflife_s=3600.0)
+        fresh = scorer.score("u1", content.clip("econ-2"), now_s=NOW)
+        stale = scorer.score("u1", content.clip("stale-1"), now_s=NOW)
+        assert fresh > stale
+
+    def test_text_similarity_boosts_similar_transcripts(self):
+        content = ContentRepository()
+        liked = AudioClip(
+            clip_id="liked",
+            title="liked",
+            kind=ContentKind.PODCAST,
+            duration_s=300.0,
+            category_scores={"economics": 1.0},
+            transcript="mercati banca inflazione tassi economia",
+            published_s=NOW - 1000.0,
+        )
+        similar = AudioClip(
+            clip_id="similar",
+            title="similar",
+            kind=ContentKind.PODCAST,
+            duration_s=300.0,
+            category_scores={"food-and-wine": 1.0},
+            transcript="banca mercati tassi finanza inflazione",
+            published_s=NOW - 1000.0,
+        )
+        different = AudioClip(
+            clip_id="different",
+            title="different",
+            kind=ContentKind.PODCAST,
+            duration_s=300.0,
+            category_scores={"food-and-wine": 1.0},
+            transcript="ricetta vino chef cucina piatto",
+            published_s=NOW - 1000.0,
+        )
+        content.add_clips([liked, similar, different])
+        users = UserManager(content=content)
+        users.register(UserProfile(user_id="u1", display_name="x"))
+        users.record_feedback("u1", "liked", FeedbackKind.LIKE, timestamp_s=NOW - 500.0)
+        scorer = ContentBasedScorer(content, users)
+        scorer.fit_text_model()
+        assert scorer.score("u1", similar, now_s=NOW) > scorer.score("u1", different, now_s=NOW)
+
+    def test_weight_validation(self, stack):
+        content, users = stack
+        with pytest.raises(ValidationError):
+            ContentBasedScorer(content, users, profile_weight=0.0, similarity_weight=0.0, recency_weight=0.0)
+
+
+def driving_context(*, route=None, available=600.0, speed=12.0, complexity=0.2, destination=None):
+    travel = TravelTimeEstimate(available, available, available * 1.1, None, available, 0.0)
+    return ListenerContext(
+        user_id="u1",
+        now_s=NOW,
+        position=TORINO,
+        speed_mps=speed,
+        is_driving=True,
+        route=route,
+        destination=destination,
+        travel_time=travel,
+        route_complexity=complexity,
+    )
+
+
+class TestListenerContext:
+    def test_time_of_day(self):
+        assert stationary_context("u1", NOW).time_of_day == "morning"
+
+    def test_driving_condition_levels(self):
+        assert stationary_context("u1", NOW).driving_condition == DrivingCondition.PARKED
+        assert driving_context(speed=8.0, complexity=0.1).driving_condition == DrivingCondition.LIGHT
+        assert driving_context(speed=20.0, complexity=0.2).driving_condition == DrivingCondition.MODERATE
+        assert driving_context(speed=30.0, complexity=0.8).driving_condition == DrivingCondition.DEMANDING
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ListenerContext(user_id="u", now_s=0.0, speed_mps=-1.0)
+        with pytest.raises(ValidationError):
+            ListenerContext(user_id="u", now_s=0.0, route_complexity=2.0)
+
+    def test_available_time_and_confidence(self):
+        context = driving_context(available=300.0)
+        assert context.available_time_s == 300.0
+        assert context.destination_confidence == 0.0
+        prediction = DestinationPrediction(0, TORINO, 0.8, 1000.0, 5)
+        with_destination = driving_context(destination=prediction)
+        assert with_destination.destination_confidence == 0.8
+
+
+class TestContextScorer:
+    def test_geo_relevant_clip_scores_higher_on_route(self, stack):
+        content, _users = stack
+        scorer = ContextScorer()
+        route = Polyline([TORINO, destination_point(TORINO, 90.0, 6000.0)])
+        context = driving_context(route=route)
+        local = scorer.score(content.clip("local-1"), context)
+        national = scorer.score(content.clip("econ-2"), context)
+        assert local > national
+
+    def test_duration_fit_penalizes_overlong_clip(self, stack):
+        content, _users = stack
+        scorer = ContextScorer()
+        context = driving_context(available=200.0)
+        short_clip = content.clip("econ-2")      # 300 s > 200 s available
+        assert scorer.duration_fit_score(short_clip, context) < 0.5
+        roomy = driving_context(available=900.0)
+        assert scorer.duration_fit_score(short_clip, roomy) == 1.0
+
+    def test_duration_fit_neutral_without_estimate(self, stack):
+        content, _users = stack
+        scorer = ContextScorer()
+        assert scorer.duration_fit_score(content.clip("econ-2"), stationary_context("u1", NOW)) == 0.5
+
+    def test_news_boosted_in_the_morning(self, stack):
+        content, _users = stack
+        scorer = ContextScorer()
+        morning = driving_context()
+        evening_context = ListenerContext(
+            user_id="u1", now_s=20 * 3600.0, position=TORINO, is_driving=True,
+            travel_time=morning.travel_time,
+        )
+        news = content.clip("local-1")
+        assert scorer.time_of_day_score(news, morning) > scorer.time_of_day_score(news, evening_context)
+
+    def test_demanding_driving_prefers_music(self, stack):
+        content, _users = stack
+        scorer = ContextScorer()
+        demanding = driving_context(speed=30.0, complexity=0.9)
+        music = content.clip("music-1")
+        podcast = content.clip("econ-2")
+        assert scorer.driving_fit_score(music, demanding) > scorer.driving_fit_score(podcast, demanding)
+
+    def test_scores_bounded(self, stack):
+        content, _users = stack
+        scorer = ContextScorer()
+        context = driving_context(route=Polyline([TORINO, destination_point(TORINO, 90.0, 6000.0)]))
+        for clip in content.clips():
+            assert 0.0 <= scorer.score(clip, context) <= 1.0
+
+
+class TestCompoundScorer:
+    def test_weight_validation(self, stack):
+        content, users = stack
+        scorer = ContentBasedScorer(content, users)
+        with pytest.raises(ValidationError):
+            CompoundScorer(scorer, context_weight=1.5)
+
+    def test_zero_weight_equals_content_score(self, stack):
+        content, users = stack
+        content_scorer = ContentBasedScorer(content, users)
+        compound = CompoundScorer(content_scorer, context_weight=0.0)
+        context = driving_context()
+        scored = compound.score(content.clip("econ-2"), context)
+        assert scored.compound_score == pytest.approx(scored.content_score)
+
+    def test_full_weight_equals_context_score(self, stack):
+        content, users = stack
+        content_scorer = ContentBasedScorer(content, users)
+        compound = CompoundScorer(content_scorer, context_weight=1.0)
+        context = driving_context()
+        scored = compound.score(content.clip("econ-2"), context)
+        assert scored.compound_score == pytest.approx(scored.context_score)
+
+    def test_editorial_boost_applied_and_clamped(self, stack):
+        content, users = stack
+        compound = CompoundScorer(ContentBasedScorer(content, users))
+        context = driving_context()
+        boosted = compound.score(content.clip("food-1"), context, editorial_boosts={"food-1": 0.9})
+        assert boosted.editorial_boost == 0.9
+        assert boosted.final_score <= 1.0
+        assert boosted.final_score > boosted.compound_score
+
+    def test_rank_orders_and_limits(self, stack):
+        content, users = stack
+        compound = CompoundScorer(ContentBasedScorer(content, users))
+        context = driving_context()
+        ranked = compound.rank(content.clips(), context, top_k=3)
+        assert len(ranked) == 3
+        scores = [item.final_score for item in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_with_context_weight_copy(self, stack):
+        content, users = stack
+        compound = CompoundScorer(ContentBasedScorer(content, users), context_weight=0.4)
+        changed = compound.with_context_weight(0.9)
+        assert changed.context_weight == 0.9
+        assert compound.context_weight == 0.4
+
+    def test_relevance_density(self, stack):
+        content, users = stack
+        compound = CompoundScorer(ContentBasedScorer(content, users))
+        context = driving_context()
+        scored = compound.score(content.clip("econ-2"), context)
+        assert scored.relevance_density == pytest.approx(scored.final_score / (300.0 / 60.0))
+
+
+class TestBaselines:
+    def test_random_is_deterministic_per_seed(self, stack):
+        content, _users = stack
+        context = stationary_context("u1", NOW)
+        a = RandomRecommender(seed=3).rank(content.clips(), context)
+        b = RandomRecommender(seed=3).rank(content.clips(), context)
+        assert [x.clip_id for x in a] == [x.clip_id for x in b]
+
+    def test_popularity_ranks_liked_content_first(self, stack):
+        content, users = stack
+        for _ in range(3):
+            users.feedback.record("other", "food-1", FeedbackKind.LIKE, timestamp_s=NOW)
+        ranking = PopularityRecommender(content, users).rank(content.clips(), stationary_context("u1", NOW))
+        assert ranking[0].clip_id == "food-1"
+
+    def test_content_only_ignores_context(self, stack):
+        content, users = stack
+        recommender = ContentOnlyRecommender(ContentBasedScorer(content, users))
+        route = Polyline([TORINO, destination_point(TORINO, 90.0, 6000.0)])
+        with_route = recommender.rank(content.clips(), driving_context(route=route))
+        without_route = recommender.rank(content.clips(), stationary_context("u1", NOW))
+        assert [x.clip_id for x in with_route] == [x.clip_id for x in without_route]
+
+    def test_top_k_respected(self, stack):
+        content, users = stack
+        ranking = ContentOnlyRecommender(ContentBasedScorer(content, users)).rank(
+            content.clips(), stationary_context("u1", NOW), top_k=2
+        )
+        assert len(ranking) == 2
+
+
+class TestEvaluationMetrics:
+    def test_precision_recall(self):
+        ranked = ["a", "b", "c", "d"]
+        relevant = {"a", "c", "x"}
+        assert precision_at_k(ranked, relevant, 2) == 0.5
+        assert recall_at_k(ranked, relevant, 4) == pytest.approx(2 / 3)
+        with pytest.raises(ValidationError):
+            precision_at_k(ranked, relevant, 0)
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert mean_reciprocal_rank(["x", "y"], {"a"}) == 0.0
+
+    def test_ndcg(self):
+        relevance = {"a": 3.0, "b": 1.0}
+        assert ndcg_at_k(["a", "b"], relevance, 2) == pytest.approx(1.0)
+        assert ndcg_at_k(["b", "a"], relevance, 2) < 1.0
+        assert ndcg_at_k(["z"], {}, 3) == 0.0
+
+    def test_ranking_relevance_and_diversity(self, stack):
+        content, users = stack
+        compound = CompoundScorer(ContentBasedScorer(content, users))
+        ranked = compound.rank(content.clips(), stationary_context("u1", NOW))
+        assert 0.0 <= ranking_relevance(ranked, 5) <= 1.0
+        assert 0.0 < category_diversity(ranked, 5) <= 1.0
+        assert ranking_relevance([], 5) == 0.0
+
+    def test_compare_rankings(self, stack):
+        content, users = stack
+        context = stationary_context("u1", NOW)
+        rankings = {
+            "content": ContentOnlyRecommender(ContentBasedScorer(content, users)).rank(content.clips(), context),
+            "random": RandomRecommender(seed=1).rank(content.clips(), context),
+        }
+        relevant = {"econ-1", "econ-2", "tech-1"}
+        table = compare_rankings(rankings, relevant, k=3)
+        assert set(table) == {"content", "random"}
+        assert table["content"]["precision_at_k"] >= table["random"]["precision_at_k"]

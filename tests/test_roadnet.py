@@ -1,0 +1,235 @@
+"""Tests for the road network, city generator, routing and intersections."""
+
+import pytest
+
+from repro.errors import NotFoundError, ValidationError
+from repro.geo import GeoPoint
+from repro.roadnet import (
+    CityGeneratorConfig,
+    IntersectionKind,
+    RoadNetwork,
+    RoadNode,
+    RoadSegment,
+    RoutePlanner,
+    classify_intersections,
+    distraction_zones_along,
+    generate_city,
+)
+from repro.roadnet.intersections import classify_node, route_complexity
+
+
+def tiny_network():
+    """A hand-built 4-node network: a -- b -- c with a spur b -- d."""
+    network = RoadNetwork()
+    positions = {
+        "a": GeoPoint(45.00, 7.60),
+        "b": GeoPoint(45.00, 7.61),
+        "c": GeoPoint(45.00, 7.62),
+        "d": GeoPoint(45.01, 7.61),
+    }
+    for node_id, position in positions.items():
+        network.add_node(RoadNode(node_id, position))
+    network.connect("a", "b")
+    network.connect("b", "c")
+    network.connect("b", "d")
+    return network
+
+
+class TestRoadNetwork:
+    def test_segment_validation(self):
+        with pytest.raises(ValidationError):
+            RoadSegment("a", "b", length_m=0.0, speed_limit_mps=10.0)
+        with pytest.raises(ValidationError):
+            RoadSegment("a", "b", length_m=10.0, speed_limit_mps=0.0)
+
+    def test_add_segment_requires_nodes(self):
+        network = RoadNetwork()
+        network.add_node(RoadNode("a", GeoPoint(45, 7)))
+        with pytest.raises(NotFoundError):
+            network.add_segment(RoadSegment("a", "missing", 10.0, 10.0))
+
+    def test_connect_defaults_length_to_geo_distance(self):
+        network = tiny_network()
+        segment = network.segment_between("a", "b")
+        assert segment.length_m == pytest.approx(
+            network.node("a").position.distance_m(network.node("b").position), rel=1e-6
+        )
+
+    def test_counts_and_neighbors(self):
+        network = tiny_network()
+        assert network.node_count() == 4
+        assert network.segment_count() == 3
+        assert network.neighbors("b") == ["a", "c", "d"]
+        assert network.degree("b") == 3
+        assert network.degree("a") == 1
+
+    def test_missing_lookups(self):
+        network = tiny_network()
+        with pytest.raises(NotFoundError):
+            network.node("zzz")
+        with pytest.raises(NotFoundError):
+            network.neighbors("zzz")
+        with pytest.raises(NotFoundError):
+            network.segment_between("a", "d")
+
+    def test_nearest_node(self):
+        network = tiny_network()
+        near_b = GeoPoint(45.0001, 7.6101)
+        assert network.nearest_node(near_b).node_id == "b"
+
+    def test_nearest_node_empty_network(self):
+        with pytest.raises(NotFoundError):
+            RoadNetwork().nearest_node(GeoPoint(45, 7))
+
+    def test_total_length_positive(self):
+        assert tiny_network().total_length_m() > 0
+
+    def test_apply_congestion_scales_travel_time(self):
+        network = tiny_network()
+        before = network.graph.get_edge_data("a", "b")["travel_time_s"]
+        network.apply_congestion({"urban": 2.0})
+        after = network.graph.get_edge_data("a", "b")["travel_time_s"]
+        assert after == pytest.approx(2.0 * before)
+
+    def test_apply_congestion_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            tiny_network().apply_congestion({"urban": 0.0})
+
+
+class TestCityGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            CityGeneratorConfig(grid_rows=1)
+        with pytest.raises(ValidationError):
+            CityGeneratorConfig(block_size_m=0)
+        with pytest.raises(ValidationError):
+            CityGeneratorConfig(roundabout_fraction=1.5)
+
+    def test_generated_city_is_connected(self, small_city):
+        import networkx as nx
+
+        assert nx.is_connected(small_city.network.graph)
+
+    def test_node_count_matches_grid(self, small_city):
+        config = small_city.config
+        assert small_city.network.node_count() == config.grid_rows * config.grid_cols
+
+    def test_pois_exist_and_lookup(self, small_city):
+        assert len(small_city.pois) == small_city.config.poi_count
+        name = small_city.poi_names()[0]
+        assert isinstance(small_city.poi(name), GeoPoint)
+        with pytest.raises(ValidationError):
+            small_city.poi("nonexistent-poi")
+
+    def test_determinism(self):
+        config = CityGeneratorConfig(grid_rows=5, grid_cols=5, poi_count=4, seed=9)
+        a = generate_city(config)
+        b = generate_city(config)
+        assert a.network.node_ids() == b.network.node_ids()
+        assert a.poi_names() == b.poi_names()
+        first = a.network.node_ids()[0]
+        assert a.network.node(first).position == b.network.node(first).position
+
+    def test_has_multiple_road_classes(self, small_city):
+        classes = {
+            data["road_class"] for _u, _v, data in small_city.network.graph.edges(data=True)
+        }
+        assert {"urban", "highway"}.issubset(classes)
+
+
+class TestRoutePlanner:
+    def test_route_between_nodes(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        route = planner.route_between_nodes(nodes[0], nodes[-1])
+        assert route.length_m > 0
+        assert route.travel_time_s > 0
+        assert route.node_ids[0] == nodes[0]
+        assert route.node_ids[-1] == nodes[-1]
+        assert route.mean_speed_mps > 0
+
+    def test_route_between_points_snaps_to_nodes(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        origin = small_city.network.node(nodes[0]).position
+        destination = small_city.network.node(nodes[-1]).position
+        route = planner.route_between_points(origin, destination)
+        assert route.length_m > 0
+
+    def test_unknown_endpoint(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        with pytest.raises(NotFoundError):
+            planner.route_between_nodes("ghost", small_city.network.node_ids()[0])
+
+    def test_travel_time_consistent_with_route(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        origin = small_city.network.node(nodes[0]).position
+        destination = small_city.network.node(nodes[-1]).position
+        route = planner.route_between_points(origin, destination)
+        assert planner.travel_time_s(origin, destination) == pytest.approx(route.travel_time_s)
+
+    def test_reachable_nodes_grow_with_budget(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        origin = small_city.network.node(small_city.network.node_ids()[0]).position
+        small_set = planner.reachable_nodes(origin, 30.0)
+        large_set = planner.reachable_nodes(origin, 600.0)
+        assert set(small_set).issubset(set(large_set))
+        assert len(large_set) > len(small_set)
+
+    def test_remaining_route_shrinks(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        route = planner.route_between_nodes(nodes[0], nodes[-1])
+        midpoint_node = small_city.network.node(route.node_ids[len(route.node_ids) // 2])
+        remaining = planner.remaining_route(route, midpoint_node.position)
+        assert remaining is not None
+        assert remaining.length_m < route.length_m
+
+    def test_remaining_route_at_destination_is_none(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        route = planner.route_between_nodes(nodes[0], nodes[-1])
+        final = small_city.network.node(route.node_ids[-1]).position
+        assert planner.remaining_route(route, final) is None
+
+
+class TestIntersections:
+    def test_classify_degrees(self):
+        network = tiny_network()
+        assert classify_node(network, "a") == IntersectionKind.PLAIN
+        assert classify_node(network, "b") == IntersectionKind.MINOR_JUNCTION
+
+    def test_classify_roundabout(self):
+        network = RoadNetwork()
+        network.add_node(RoadNode("r", GeoPoint(45, 7), kind="roundabout"))
+        assert classify_node(network, "r") == IntersectionKind.ROUNDABOUT
+
+    def test_classify_all(self, small_city):
+        kinds = classify_intersections(small_city.network)
+        assert len(kinds) == small_city.network.node_count()
+        assert any(kind == IntersectionKind.MAJOR_JUNCTION for kind in kinds.values())
+
+    def test_distraction_zones_on_route(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        route = planner.route_between_nodes(nodes[0], nodes[-1])
+        zones = distraction_zones_along(small_city.network, route, departure_s=1000.0)
+        assert all(zone.window.start_s >= 1000.0 for zone in zones)
+        # Zones appear in route order (non-decreasing start times).
+        starts = [zone.window.start_s for zone in zones]
+        assert starts == sorted(starts)
+
+    def test_distraction_zone_margins_validated(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        route = planner.route_between_nodes(nodes[0], nodes[1])
+        with pytest.raises(ValidationError):
+            distraction_zones_along(small_city.network, route, approach_margin_s=-1.0)
+
+    def test_route_complexity_bounds(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        nodes = small_city.network.node_ids()
+        route = planner.route_between_nodes(nodes[0], nodes[-1])
+        value = route_complexity(small_city.network, route)
+        assert 0.0 <= value < 1.0

@@ -1,0 +1,190 @@
+"""Tests for the listener behaviour model, metrics and the strategy runner."""
+
+import pytest
+
+from repro.content import AudioClip, ContentKind
+from repro.errors import ValidationError
+from repro.simulation import (
+    ListenerBehavior,
+    PersonalizationStrategy,
+    SimulationRunner,
+    StrategyComparison,
+    summarize_sessions,
+)
+from repro.simulation.listener import ListeningOutcome
+from repro.simulation.metrics import SessionMetrics, session_metrics_from_outcomes
+from repro.users import UserPreferenceProfile
+from repro.util.rng import DeterministicRng
+
+
+def make_clip(clip_id, category, duration=300.0):
+    return AudioClip(
+        clip_id=clip_id,
+        title=clip_id,
+        kind=ContentKind.PODCAST,
+        duration_s=duration,
+        category_scores={category: 1.0},
+    )
+
+
+class TestListenerBehavior:
+    def opinionated_profile(self):
+        profile = UserPreferenceProfile("u1")
+        for _ in range(6):
+            profile.update({"economics": 1.0}, positive=True)
+            profile.update({"comedy": 1.0}, positive=False)
+        return profile
+
+    def test_enjoyment_reflects_preferences(self):
+        behavior = ListenerBehavior(seed=1)
+        profile = self.opinionated_profile()
+        liked = behavior.enjoyment(profile, {"economics": 1.0})
+        disliked = behavior.enjoyment(profile, {"comedy": 1.0})
+        assert liked > disliked
+        assert 0.0 <= disliked <= liked <= 1.0
+
+    def test_context_bonus_increases_enjoyment(self):
+        behavior = ListenerBehavior(seed=1)
+        profile = self.opinionated_profile()
+        base = behavior.enjoyment(profile, {"economics": 1.0})
+        boosted = behavior.enjoyment(profile, {"economics": 1.0}, context_bonus=0.8)
+        assert boosted >= base
+
+    def test_skip_probability_monotone_decreasing(self):
+        behavior = ListenerBehavior(seed=1)
+        probabilities = [behavior.skip_probability(e / 10.0) for e in range(11)]
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(probabilities, probabilities[1:]))
+        assert probabilities[0] > probabilities[-1]
+
+    def test_skip_probability_bounds(self):
+        behavior = ListenerBehavior(seed=1)
+        with pytest.raises(ValidationError):
+            behavior.skip_probability(1.5)
+
+    def test_listen_outcomes_reproducible(self):
+        profile = self.opinionated_profile()
+        clip = make_clip("c1", "economics")
+        a = ListenerBehavior(seed=5).listen_to_clip(profile, clip, rng=DeterministicRng(3))
+        b = ListenerBehavior(seed=5).listen_to_clip(profile, clip, rng=DeterministicRng(3))
+        assert a == b
+
+    def test_preferred_content_rarely_skipped(self):
+        behavior = ListenerBehavior(seed=7)
+        profile = self.opinionated_profile()
+        liked_clip = make_clip("liked", "economics")
+        disliked_clip = make_clip("disliked", "comedy")
+        rng = DeterministicRng(11)
+        liked_skips = sum(
+            1
+            for i in range(200)
+            if behavior.listen_to_clip(profile, liked_clip, rng=rng.fork("l", i)).skipped
+        )
+        disliked_skips = sum(
+            1
+            for i in range(200)
+            if not behavior.listen_to_clip(profile, disliked_clip, rng=rng.fork("d", i)).completed
+        )
+        assert liked_skips < disliked_skips
+
+    def test_channel_change_only_for_live(self):
+        behavior = ListenerBehavior(seed=9, channel_change_share=1.0)
+        profile = self.opinionated_profile()
+        disliked_clip = make_clip("disliked", "comedy")
+        rng = DeterministicRng(13)
+        outcomes_live = [
+            behavior.listen_to_clip(profile, disliked_clip, is_live_programme=True, rng=rng.fork("a", i))
+            for i in range(100)
+        ]
+        outcomes_clip = [
+            behavior.listen_to_clip(profile, disliked_clip, is_live_programme=False, rng=rng.fork("b", i))
+            for i in range(100)
+        ]
+        assert any(outcome.channel_changed for outcome in outcomes_live)
+        assert not any(outcome.channel_changed for outcome in outcomes_clip)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            ListenerBehavior(skip_steepness=0.0)
+        with pytest.raises(ValidationError):
+            ListenerBehavior(base_skip_probability=1.5)
+
+
+class TestMetrics:
+    def outcomes(self):
+        return [
+            ListeningOutcome("a", 0.9, False, 300.0, 300.0),
+            ListeningOutcome("b", 0.4, True, 60.0, 300.0),
+            ListeningOutcome("c", 0.2, False, 30.0, 300.0, channel_changed=True),
+        ]
+
+    def test_session_metrics(self):
+        metrics = session_metrics_from_outcomes("u1", "pphcr", self.outcomes())
+        assert metrics.items_played == 3
+        assert metrics.skips == 1
+        assert metrics.channel_changes == 1
+        assert metrics.skip_rate == pytest.approx(2 / 3)
+        assert metrics.completion_rate == pytest.approx(1 / 3)
+        assert 0.0 < metrics.listened_share < 1.0
+
+    def test_empty_session(self):
+        metrics = session_metrics_from_outcomes("u1", "linear", [])
+        assert metrics.items_played == 0
+        assert metrics.skip_rate == 0.0
+        assert metrics.listened_share == 0.0
+
+    def test_comparison_table(self):
+        comparison = StrategyComparison()
+        comparison.add(session_metrics_from_outcomes("u1", "pphcr", self.outcomes()))
+        comparison.add(session_metrics_from_outcomes("u2", "pphcr", self.outcomes()))
+        comparison.add(session_metrics_from_outcomes("u1", "linear_only", self.outcomes()))
+        table = comparison.as_table()
+        assert {row["strategy"] for row in table} == {"pphcr", "linear_only"}
+        pphcr_row = [row for row in table if row["strategy"] == "pphcr"][0]
+        assert pphcr_row["sessions"] == 2.0
+        with pytest.raises(ValidationError):
+            comparison.mean_skip_rate("unknown")
+
+    def test_summarize_sessions(self):
+        sessions = [
+            SessionMetrics("u1", "a", 2, 1, 0, 100.0, 200.0, 0.5),
+            SessionMetrics("u2", "b", 2, 0, 0, 200.0, 200.0, 0.9),
+        ]
+        comparison = summarize_sessions(sessions)
+        assert comparison.strategies() == ["a", "b"]
+        assert comparison.mean_skip_rate("a") == 0.5
+        assert comparison.mean_enjoyment("b") == 0.9
+
+
+class TestSimulationRunner:
+    def test_single_session_produces_metrics(self, small_world):
+        runner = SimulationRunner(small_world)
+        commuter = small_world.commuters[0]
+        drive = small_world.commuter_generator.live_drive(commuter, day=small_world.today)
+        metrics = runner.run_session(commuter, drive, PersonalizationStrategy.CONTENT_ONLY)
+        assert metrics.strategy == "content_only"
+        assert metrics.items_played >= 1
+        assert 0.0 <= metrics.skip_rate <= 1.0
+
+    def test_linear_only_plays_schedule(self, small_world):
+        runner = SimulationRunner(small_world)
+        commuter = small_world.commuters[1]
+        drive = small_world.commuter_generator.live_drive(commuter, day=small_world.today)
+        metrics = runner.run_session(commuter, drive, PersonalizationStrategy.LINEAR_ONLY)
+        assert metrics.items_played >= 1
+
+    def test_compare_strategies_covers_all(self, small_world):
+        runner = SimulationRunner(small_world, seed=3)
+        strategies = [
+            PersonalizationStrategy.LINEAR_ONLY,
+            PersonalizationStrategy.RANDOM,
+            PersonalizationStrategy.CONTENT_ONLY,
+            PersonalizationStrategy.PPHCR,
+        ]
+        comparison = runner.compare_strategies(strategies, max_users=4)
+        assert set(comparison.strategies()) == {s.value for s in strategies}
+        for strategy in strategies:
+            assert len(comparison.sessions[strategy.value]) == 4
+
+    def test_requires_at_least_one_strategy(self, small_world):
+        with pytest.raises(ValidationError):
+            SimulationRunner(small_world).compare_strategies([])

@@ -1,0 +1,167 @@
+"""Tests for the tracking store and spatial query engine."""
+
+import pytest
+
+from repro.errors import NotFoundError, ValidationError
+from repro.geo import BoundingBox, GeoPoint
+from repro.geo.geodesy import destination_point
+from repro.spatialdb import GpsFix, SpatialQueryEngine, TrackingStore
+
+ORIGIN = GeoPoint(45.07, 7.68)
+
+
+def make_drive_fixes(user_id: str, *, start_s: float = 0.0, count: int = 20, speed_mps: float = 10.0):
+    """Fixes along a straight east-heading drive at constant speed."""
+    fixes = []
+    for i in range(count):
+        position = destination_point(ORIGIN, 90.0, i * speed_mps * 10.0)
+        fixes.append(GpsFix(user_id, start_s + i * 10.0, position, speed_mps=speed_mps))
+    return fixes
+
+
+class TestGpsFix:
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValidationError):
+            GpsFix("u", 0.0, ORIGIN, speed_mps=-1.0)
+
+    def test_zero_accuracy_rejected(self):
+        with pytest.raises(ValidationError):
+            GpsFix("u", 0.0, ORIGIN, accuracy_m=0.0)
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(ValidationError):
+            GpsFix("", 0.0, ORIGIN)
+
+
+class TestTrackingStore:
+    def test_add_and_count(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=5))
+        assert store.fix_count("u1") == 5
+        assert store.fix_count() == 5
+        assert store.user_ids() == ["u1"]
+
+    def test_out_of_order_rejected(self):
+        store = TrackingStore()
+        store.add_fix(GpsFix("u1", 100.0, ORIGIN))
+        with pytest.raises(ValidationError):
+            store.add_fix(GpsFix("u1", 50.0, ORIGIN))
+
+    def test_equal_timestamp_allowed(self):
+        store = TrackingStore()
+        store.add_fix(GpsFix("u1", 100.0, ORIGIN))
+        store.add_fix(GpsFix("u1", 100.0, ORIGIN))
+        assert store.fix_count("u1") == 2
+
+    def test_fixes_for_time_range(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=10))
+        subset = store.fixes_for("u1", start_s=30.0, end_s=60.0)
+        assert [fix.timestamp_s for fix in subset] == [30.0, 40.0, 50.0]
+
+    def test_fixes_for_unknown_user(self):
+        with pytest.raises(NotFoundError):
+            TrackingStore().fixes_for("ghost")
+
+    def test_latest_fix_and_position(self):
+        store = TrackingStore()
+        fixes = make_drive_fixes("u1", count=3)
+        store.add_fixes(fixes)
+        assert store.latest_fix("u1").timestamp_s == fixes[-1].timestamp_s
+        assert store.latest_position("u1") == fixes[-1].position
+
+    def test_users_within_uses_latest_position(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("driver", count=30))  # ends ~2.9 km east
+        store.add_fix(GpsFix("parked", 0.0, ORIGIN))
+        assert store.users_within(ORIGIN, 500.0) == ["parked"]
+        far_point = destination_point(ORIGIN, 90.0, 2900.0)
+        assert "driver" in store.users_within(far_point, 500.0)
+
+    def test_users_in_bbox(self):
+        store = TrackingStore()
+        store.add_fix(GpsFix("u1", 0.0, ORIGIN))
+        box = BoundingBox.around(ORIGIN, 1000.0)
+        assert store.users_in_bbox(box) == ["u1"]
+
+    def test_prune_before(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=10))
+        removed = store.prune_before("u1", cutoff_s=50.0)
+        assert removed == 5
+        assert store.fix_count("u1") == 5
+
+    def test_prune_keeps_latest_when_all_old(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=5))
+        store.prune_before("u1", cutoff_s=1e9)
+        assert store.fix_count("u1") == 1
+
+    def test_clear_user(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=3))
+        store.clear_user("u1")
+        assert store.user_ids() == []
+        with pytest.raises(NotFoundError):
+            store.clear_user("u1")
+
+
+class TestSpatialQueryEngine:
+    def test_distance_travelled(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=11, speed_mps=10.0))
+        engine = SpatialQueryEngine(store)
+        # 10 segments of ~100 m each
+        assert engine.distance_travelled_m("u1") == pytest.approx(1000.0, rel=0.02)
+
+    def test_movement_summary_moving(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=11, speed_mps=10.0))
+        summary = SpatialQueryEngine(store).movement_summary("u1")
+        assert summary.is_moving
+        assert summary.fix_count == 11
+        assert summary.mean_speed_mps == pytest.approx(10.0, rel=0.05)
+        assert summary.bounding_box is not None
+
+    def test_movement_summary_window(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=20, speed_mps=10.0))
+        summary = SpatialQueryEngine(store).movement_summary("u1", window_s=50.0)
+        assert summary.fix_count == 6
+
+    def test_movement_summary_stationary(self):
+        store = TrackingStore()
+        for i in range(5):
+            store.add_fix(GpsFix("u1", i * 10.0, ORIGIN))
+        summary = SpatialQueryEngine(store).movement_summary("u1")
+        assert not summary.is_moving
+
+    def test_displacement_vs_distance(self):
+        store = TrackingStore()
+        # Out and back: distance is large, displacement is ~0.
+        out = make_drive_fixes("u1", count=10, speed_mps=10.0)
+        store.add_fixes(out)
+        back = []
+        for i, fix in enumerate(reversed(out)):
+            back.append(GpsFix("u1", 100.0 + i * 10.0, fix.position, speed_mps=10.0))
+        store.add_fixes(back)
+        engine = SpatialQueryEngine(store)
+        assert engine.displacement_m("u1", window_s=1e6) < 50.0
+        assert engine.distance_travelled_m("u1") > 1500.0
+
+    def test_current_speed(self):
+        store = TrackingStore()
+        store.add_fixes(make_drive_fixes("u1", count=10, speed_mps=12.0))
+        engine = SpatialQueryEngine(store)
+        assert engine.current_speed_mps("u1") == pytest.approx(12.0, rel=0.1)
+
+    def test_current_speed_single_fix(self):
+        store = TrackingStore()
+        store.add_fix(GpsFix("u1", 0.0, ORIGIN, speed_mps=7.0))
+        assert SpatialQueryEngine(store).current_speed_mps("u1") == 7.0
+
+    def test_listeners_near(self):
+        store = TrackingStore()
+        store.add_fix(GpsFix("u1", 0.0, ORIGIN))
+        store.add_fix(GpsFix("u2", 0.0, destination_point(ORIGIN, 0.0, 10000.0)))
+        assert SpatialQueryEngine(store).listeners_near(ORIGIN, 1000.0) == ["u1"]

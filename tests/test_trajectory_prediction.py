@@ -1,0 +1,204 @@
+"""Tests for route clustering, destination prediction and travel-time (ΔT)."""
+
+import pytest
+
+from repro.datasets import CommuterConfig, CommuterGenerator
+from repro.errors import PredictionError
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point
+from repro.roadnet import RoutePlanner
+from repro.trajectory import (
+    DestinationPredictor,
+    Trajectory,
+    TrajectoryPoint,
+    TravelTimePredictor,
+    cluster_trips,
+    split_into_trips,
+)
+from repro.trajectory.clustering import find_cluster
+from repro.trajectory.staypoints import stay_points_from_trips
+from repro.trajectory.travel_time import TravelTimeEstimate
+
+HOME = GeoPoint(45.05, 7.65)
+WORK = GeoPoint(45.09, 7.70)
+
+
+def commute_trip(user_id, start_s, origin, destination, *, points=40, jitter_bearing=0.0):
+    """A synthetic direct drive between two anchors."""
+    samples = []
+    total = origin.distance_m(destination)
+    from repro.geo.geodesy import initial_bearing_deg
+
+    bearing = initial_bearing_deg(origin, destination) + jitter_bearing
+    speed = total / ((points - 1) * 10.0)
+    for i in range(points):
+        position = destination_point(origin, bearing, min(total, i * speed * 10.0))
+        samples.append(TrajectoryPoint(start_s + i * 10.0, position, speed))
+    return Trajectory(user_id, samples)
+
+
+@pytest.fixture()
+def commute_history():
+    """Five morning home→work trips and five evening work→home trips."""
+    trips = []
+    for day in range(5):
+        base = day * 86400.0
+        trips.append(commute_trip("u1", base + 7.5 * 3600.0, HOME, WORK))
+        trips.append(commute_trip("u1", base + 18.0 * 3600.0, WORK, HOME))
+    stay_points = stay_points_from_trips(trips, eps_m=300.0, min_samples=2)
+    clusters = cluster_trips(trips, stay_points)
+    return trips, stay_points, clusters
+
+
+class TestClustering:
+    def test_two_recurring_routes_found(self, commute_history):
+        _trips, stay_points, clusters = commute_history
+        assert len(stay_points) == 2
+        assert len(clusters) == 2
+        assert all(cluster.support == 5 for cluster in clusters)
+
+    def test_cluster_statistics(self, commute_history):
+        _trips, _sps, clusters = commute_history
+        cluster = clusters[0]
+        assert cluster.median_duration_s > 0
+        assert cluster.median_length_m > 0
+        assert cluster.duration_stddev_s >= 0
+        assert cluster.geometric_coherence() > 0.8
+        assert cluster.representative in cluster.trips
+
+    def test_typical_departure_time(self, commute_history):
+        _trips, stay_points, clusters = commute_history
+        morning = [c for c in clusters if c.time_of_day_histogram.get("morning", 0) > 0][0]
+        assert morning.typical_departure_s == pytest.approx(7.5 * 3600.0, abs=600.0)
+
+    def test_find_cluster(self, commute_history):
+        _trips, _sps, clusters = commute_history
+        cluster = clusters[0]
+        found = find_cluster(clusters, cluster.origin_stay_point, cluster.destination_stay_point)
+        assert found is cluster
+        assert find_cluster(clusters, 98, 99) is None
+
+    def test_same_endpoint_trips_ignored(self):
+        loop = commute_trip("u1", 0.0, HOME, destination_point(HOME, 10.0, 50.0), points=10)
+        stay_points = stay_points_from_trips([loop] * 3, eps_m=300.0, min_samples=2)
+        clusters = cluster_trips([loop] * 3, stay_points)
+        assert clusters == []
+
+
+class TestDestinationPrediction:
+    def test_morning_partial_drive_predicts_work(self, commute_history):
+        _trips, stay_points, clusters = commute_history
+        predictor = DestinationPredictor(stay_points, clusters)
+        partial = commute_trip("u1", 10 * 86400.0 + 7.6 * 3600.0, HOME, WORK, points=12)
+        prediction = predictor.most_likely(partial)
+        assert prediction.center.distance_m(WORK) < 500.0
+        assert prediction.probability > 0.5
+
+    def test_evening_partial_drive_predicts_home(self, commute_history):
+        _trips, stay_points, clusters = commute_history
+        predictor = DestinationPredictor(stay_points, clusters)
+        partial = commute_trip("u1", 10 * 86400.0 + 18.1 * 3600.0, WORK, HOME, points=12)
+        prediction = predictor.most_likely(partial)
+        assert prediction.center.distance_m(HOME) < 500.0
+
+    def test_probabilities_normalized(self, commute_history):
+        _trips, stay_points, clusters = commute_history
+        predictor = DestinationPredictor(stay_points, clusters)
+        partial = commute_trip("u1", 10 * 86400.0 + 7.6 * 3600.0, HOME, WORK, points=12)
+        predictions = predictor.predict(partial)
+        assert sum(p.probability for p in predictions) == pytest.approx(1.0, abs=1e-6)
+        assert predictions == sorted(predictions, key=lambda p: p.probability, reverse=True)
+
+    def test_requires_stay_points(self):
+        with pytest.raises(PredictionError):
+            DestinationPredictor([], [])
+
+    def test_requires_two_partial_points(self, commute_history):
+        _trips, stay_points, clusters = commute_history
+        predictor = DestinationPredictor(stay_points, clusters)
+        with pytest.raises(PredictionError):
+            predictor.predict(Trajectory("u1", [TrajectoryPoint(0.0, HOME)]))
+
+    def test_fallback_without_matching_cluster(self, commute_history):
+        """A drive starting away from known stay points still gets a prediction."""
+        _trips, stay_points, clusters = commute_history
+        predictor = DestinationPredictor(stay_points, clusters)
+        elsewhere = destination_point(HOME, 200.0, 5000.0)
+        partial = commute_trip("u1", 7.6 * 3600.0, elsewhere, WORK, points=10)
+        predictions = predictor.predict(partial)
+        assert predictions
+        assert sum(p.probability for p in predictions) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestTravelTime:
+    def test_history_only_estimate(self, commute_history):
+        _trips, _sps, clusters = commute_history
+        predictor = TravelTimePredictor(None)
+        cluster = clusters[0]
+        estimate = predictor.estimate(
+            HOME, WORK, now_s=7.6 * 3600.0, cluster=cluster, fraction_completed=0.25
+        )
+        assert estimate.history_component_s is not None
+        assert estimate.network_component_s is None
+        assert estimate.expected_s == pytest.approx(cluster.median_duration_s * 0.75, rel=1e-6)
+        assert estimate.low_s <= estimate.expected_s <= estimate.high_s
+        assert estimate.usable_s == estimate.low_s
+
+    def test_network_only_estimate(self, small_city):
+        planner = RoutePlanner(small_city.network)
+        predictor = TravelTimePredictor(planner)
+        nodes = small_city.network.node_ids()
+        origin = small_city.network.node(nodes[0]).position
+        destination = small_city.network.node(nodes[-1]).position
+        estimate = predictor.estimate(origin, destination, now_s=8 * 3600.0)
+        assert estimate.history_component_s is None
+        assert estimate.network_component_s is not None
+        assert estimate.history_weight == 0.0
+        # Morning congestion factor applied (>= free-flow time).
+        free_flow = planner.travel_time_s(origin, destination)
+        assert estimate.network_component_s >= free_flow
+
+    def test_blended_estimate_weights_history_with_support(self, commute_history, small_city):
+        _trips, _sps, clusters = commute_history
+        planner = RoutePlanner(small_city.network)
+        predictor = TravelTimePredictor(planner)
+        estimate = predictor.estimate(
+            HOME, WORK, now_s=8 * 3600.0, cluster=clusters[0], fraction_completed=0.0
+        )
+        assert 0.0 < estimate.history_weight <= 0.85
+        assert estimate.history_component_s is not None
+
+    def test_no_evidence_raises(self):
+        predictor = TravelTimePredictor(None)
+        with pytest.raises(PredictionError):
+            predictor.estimate(HOME, WORK, now_s=0.0)
+
+    def test_relative_error(self):
+        predictor = TravelTimePredictor(None)
+        estimate = TravelTimeEstimate(100.0, 90.0, 110.0, 100.0, None, 1.0)
+        assert predictor.relative_error(estimate, 80.0) == pytest.approx(0.25)
+        with pytest.raises(PredictionError):
+            predictor.relative_error(estimate, 0.0)
+
+
+class TestEndToEndMobilityPipeline:
+    def test_commuter_history_learns_routes(self, small_city):
+        """The full chain: synthetic commuter -> trips -> stay points -> prediction."""
+        generator = CommuterGenerator(
+            small_city, CommuterConfig(seed=11, commuters=2, history_days=6)
+        )
+        commuter = generator.generate_commuters()[0]
+        fixes = generator.historical_fixes(commuter)
+        trajectory = Trajectory.from_fixes(commuter.user_id, fixes)
+        trips = split_into_trips(trajectory)
+        assert len(trips) >= 6
+        stay_points = stay_points_from_trips(trips, eps_m=300.0)
+        assert len(stay_points) >= 2
+        clusters = cluster_trips(trips, stay_points)
+        assert clusters
+        predictor = DestinationPredictor(stay_points, clusters)
+        live = generator.live_drive(commuter, day=generator._config.history_days)  # noqa: SLF001
+        partial_fixes = live.fixes(until_s=live.departure_s + 180.0)
+        partial = Trajectory.from_fixes(commuter.user_id, partial_fixes)
+        prediction = predictor.most_likely(partial)
+        assert prediction.probability > 0.3

@@ -1,0 +1,36 @@
+"""Tests for identifier helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.ids import new_id, slugify
+
+
+class TestNewId:
+    def test_monotonic_per_prefix(self):
+        first = new_id("testpfx")
+        second = new_id("testpfx")
+        assert first != second
+        assert first.split("-")[-1] < second.split("-")[-1]
+
+    def test_prefix_embedded(self):
+        assert new_id("abc").startswith("abc-")
+
+    def test_rejects_empty_prefix(self):
+        with pytest.raises(ValidationError):
+            new_id("")
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Hello World!") == "hello-world"
+
+    def test_collapses_punctuation(self):
+        assert slugify("a--b__c") == "a-b-c"
+
+    def test_empty_falls_back(self):
+        assert slugify("!!!") == "item"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError):
+            slugify(42)  # type: ignore[arg-type]

@@ -1,0 +1,103 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_inputs_same_seed(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_different_labels_different_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_different_base_different_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(5)
+        b = DeterministicRng(5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        a = DeterministicRng(5)
+        fork_before = a.fork("child").random()
+        a.random()
+        fork_after = DeterministicRng(5).fork("child").random()
+        assert fork_before == fork_after
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(ValidationError):
+            DeterministicRng("seed")  # type: ignore[arg-type]
+
+    def test_uniform_within_bounds(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_inclusive(self):
+        rng = DeterministicRng(2)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValidationError):
+            DeterministicRng(1).choice([])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRng(3)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_validates_lengths(self):
+        with pytest.raises(ValidationError):
+            DeterministicRng(1).weighted_choice(["a"], [0.5, 0.5])
+
+    def test_weighted_choice_requires_positive_total(self):
+        with pytest.raises(ValidationError):
+            DeterministicRng(1).weighted_choice(["a", "b"], [0.0, 0.0])
+
+    def test_sample_size_validation(self):
+        rng = DeterministicRng(4)
+        with pytest.raises(ValidationError):
+            rng.sample([1, 2], 3)
+        with pytest.raises(ValidationError):
+            rng.sample([1, 2], -1)
+
+    def test_shuffle_returns_permutation(self):
+        rng = DeterministicRng(5)
+        items = list(range(20))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # original untouched
+
+    def test_bernoulli_bounds(self):
+        rng = DeterministicRng(6)
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+        with pytest.raises(ValidationError):
+            rng.bernoulli(1.5)
+
+    def test_exponential_positive(self):
+        rng = DeterministicRng(7)
+        assert rng.exponential(10.0) > 0
+        with pytest.raises(ValidationError):
+            rng.exponential(0.0)
+
+    def test_poisson_zero_rate(self):
+        assert DeterministicRng(8).poisson(0.0) == 0
+
+    def test_poisson_mean_roughly_matches(self):
+        rng = DeterministicRng(9)
+        samples = [rng.poisson(4.0) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert 3.0 < mean < 5.0
+
+    def test_pick_index(self):
+        rng = DeterministicRng(10)
+        assert rng.pick_index([0.0, 1.0]) == 1

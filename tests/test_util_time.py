@@ -1,0 +1,106 @@
+"""Tests for time utilities (clock parsing, windows, merging)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.timeutils import (
+    TimeWindow,
+    format_clock,
+    merge_windows,
+    parse_clock,
+    time_of_day_bucket,
+    total_coverage,
+)
+
+
+class TestClockParsing:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [("00:00", 0.0), ("10:42:30", 38550.0), ("23:59:59", 86399.0), ("06:30", 23400.0)],
+    )
+    def test_parse(self, text, expected):
+        assert parse_clock(text) == expected
+
+    @pytest.mark.parametrize("bad", ["25:00", "10:61", "abc", "10", "10:10:70"])
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            parse_clock(bad)
+
+    def test_roundtrip(self):
+        assert format_clock(parse_clock("10:42:30")) == "10:42:30"
+
+    def test_format_wraps_past_midnight(self):
+        assert format_clock(86400.0 + 60.0) == "00:01:00"
+
+
+class TestTimeOfDay:
+    @pytest.mark.parametrize(
+        "clock, name",
+        [("03:00", "night"), ("08:00", "morning"), ("13:00", "afternoon"), ("21:00", "evening")],
+    )
+    def test_buckets(self, clock, name):
+        assert time_of_day_bucket(parse_clock(clock)).name == name
+
+    def test_wraps_over_day(self):
+        assert time_of_day_bucket(86400.0 + parse_clock("08:00")).name == "morning"
+
+
+class TestTimeWindow:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValidationError):
+            TimeWindow(10.0, 5.0)
+
+    def test_contains_half_open(self):
+        window = TimeWindow(0.0, 10.0)
+        assert window.contains(0.0)
+        assert not window.contains(10.0)
+
+    def test_overlaps(self):
+        assert TimeWindow(0, 10).overlaps(TimeWindow(5, 15))
+        assert not TimeWindow(0, 10).overlaps(TimeWindow(10, 20))
+
+    def test_intersection(self):
+        inter = TimeWindow(0, 10).intersection(TimeWindow(5, 15))
+        assert (inter.start_s, inter.end_s) == (5, 10)
+
+    def test_intersection_disjoint_is_empty(self):
+        inter = TimeWindow(0, 5).intersection(TimeWindow(10, 20))
+        assert inter.duration_s == 0.0
+
+    def test_shift(self):
+        shifted = TimeWindow(0, 10).shift(5)
+        assert (shifted.start_s, shifted.end_s) == (5, 15)
+
+    def test_split(self):
+        left, right = TimeWindow(0, 10).split(4)
+        assert left.duration_s == 4
+        assert right.duration_s == 6
+
+    def test_split_outside_raises(self):
+        with pytest.raises(ValidationError):
+            TimeWindow(0, 10).split(11)
+
+    def test_iter_steps(self):
+        instants = list(TimeWindow(0, 10).iter_steps(3))
+        assert instants == [0, 3, 6, 9]
+
+    def test_iter_steps_rejects_bad_step(self):
+        with pytest.raises(ValidationError):
+            list(TimeWindow(0, 10).iter_steps(0))
+
+
+class TestMergeWindows:
+    def test_merges_overlapping(self):
+        merged = merge_windows([TimeWindow(0, 5), TimeWindow(3, 10), TimeWindow(20, 25)])
+        assert len(merged) == 2
+        assert merged[0].end_s == 10
+
+    def test_adjacent_windows_merge(self):
+        merged = merge_windows([TimeWindow(0, 5), TimeWindow(5, 10)])
+        assert len(merged) == 1
+
+    def test_empty(self):
+        assert merge_windows([]) == []
+
+    def test_total_coverage_no_double_counting(self):
+        assert total_coverage([TimeWindow(0, 10), TimeWindow(5, 15)]) == 15.0

@@ -1,0 +1,90 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    require,
+    require_finite,
+    require_in_range,
+    require_non_empty,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        assert require_type("x", str, "value") == "x"
+
+    def test_accepts_tuple_of_types(self):
+        assert require_type(3, (int, float), "value") == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="value"):
+            require_type("x", int, "value")
+
+
+class TestRequireFinite:
+    def test_returns_float(self):
+        assert require_finite(3, "x") == 3.0
+        assert isinstance(require_finite(3, "x"), float)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValidationError):
+            require_finite(bad, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            require_finite("abc", "x")
+
+
+class TestRequirePositive:
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive(0, "x")
+
+    def test_non_strict_accepts_zero(self):
+        assert require_positive(0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_positive(-1, "x", strict=False)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValidationError):
+            require_in_range(0.0, 0.0, 1.0, "x", inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            require_in_range(2.0, 0.0, 1.0, "x")
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty(self):
+        assert require_non_empty([1], "x") == [1]
+        assert require_non_empty("a", "x") == "a"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            require_non_empty([], "x")
+
+    def test_rejects_unsized(self):
+        with pytest.raises(ValidationError):
+            require_non_empty(5, "x")
