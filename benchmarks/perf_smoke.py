@@ -1,0 +1,83 @@
+"""CI perf-smoke runner for the geo-scoring hot path.
+
+Times the batched geographic-relevance fast path (and a reference-path
+sample for comparison) and emits machine-readable ops/sec numbers to
+``benchmarks/results/BENCH_geo_scoring.json`` so the performance trajectory
+of the scoring hot path is tracked from PR to PR.
+
+Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))  # for bench_perf_geo_scoring
+
+from bench_perf_geo_scoring import (  # noqa: E402
+    CLIP_COUNT,
+    ROUTE_SAMPLES,
+    build_workload,
+    fast_scores,
+    reference_scores,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+OUTPUT_PATH = os.path.join(RESULTS_DIR, "BENCH_geo_scoring.json")
+
+#: Reference path is ~an order of magnitude slower; time a subset and scale.
+REFERENCE_SUBSET = 500
+FAST_ROUNDS = 3
+
+
+def main() -> int:
+    route, clips, index = build_workload()
+    position = route.start
+    destination = route.end
+
+    # Reference path over a subset (it is the slow side being replaced).
+    subset = clips[:REFERENCE_SUBSET]
+    start = time.perf_counter()
+    reference_scores(route, subset, position, destination)
+    reference_elapsed = time.perf_counter() - start
+    reference_ops = len(subset) / reference_elapsed
+
+    # Fast path over the full workload, best of a few rounds.
+    best_elapsed = float("inf")
+    for _ in range(FAST_ROUNDS):
+        start = time.perf_counter()
+        fast_scores(route, clips, index, position, destination)
+        best_elapsed = min(best_elapsed, time.perf_counter() - start)
+    fast_ops = len(clips) / best_elapsed
+
+    payload = {
+        "bench": "geo_scoring",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "clips": CLIP_COUNT,
+            "route_samples": ROUTE_SAMPLES,
+            "reference_subset": REFERENCE_SUBSET,
+        },
+        "results": {
+            "reference_clips_per_s": round(reference_ops, 1),
+            "fast_clips_per_s": round(fast_ops, 1),
+            "speedup": round(fast_ops / reference_ops, 2),
+            "fast_elapsed_ms": round(best_elapsed * 1000.0, 2),
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(f"geo-scoring smoke: fast path {fast_ops:,.0f} clips/s "
+          f"(reference {reference_ops:,.0f} clips/s, {fast_ops / reference_ops:.1f}x)")
+    print(f"wrote {OUTPUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

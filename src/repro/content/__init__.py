@@ -8,7 +8,12 @@ hybrid lookup, and geographic relevance tags for location-aware content.
 
 from repro.content.categories import CATEGORIES, Category, category_by_name, category_names
 from repro.content.geo_estimator import Gazetteer, GazetteerEntry, GeoRelevanceEstimator
-from repro.content.geo_relevance import GeoTag, geographic_relevance
+from repro.content.geo_relevance import (
+    GeoTag,
+    RouteRelevanceScorer,
+    RouteSamples,
+    geographic_relevance,
+)
 from repro.content.model import AudioClip, ContentKind, LiveProgramme, RadioService
 from repro.content.radiodns import Bearer, ServiceIdentifier, ServiceInformation
 from repro.content.repository import ContentRepository
@@ -28,6 +33,8 @@ __all__ = [
     "LinearSchedule",
     "LiveProgramme",
     "RadioService",
+    "RouteRelevanceScorer",
+    "RouteSamples",
     "ScheduledProgramme",
     "ServiceIdentifier",
     "ServiceInformation",

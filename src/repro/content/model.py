@@ -75,6 +75,7 @@ class AudioClip:
     transcript: Optional[str] = None
     geo_location: Optional[GeoPoint] = None
     geo_radius_m: Optional[float] = None
+    geo_decay_m: Optional[float] = None
     published_s: float = 0.0
     size_bytes: int = 0
 
@@ -84,6 +85,8 @@ class AudioClip:
         require_positive(self.duration_s, "duration_s")
         if self.geo_radius_m is not None and self.geo_radius_m <= 0:
             raise ValidationError(f"geo_radius_m must be > 0, got {self.geo_radius_m}")
+        if self.geo_decay_m is not None and self.geo_decay_m <= 0:
+            raise ValidationError(f"geo_decay_m must be > 0, got {self.geo_decay_m}")
         for name, score in self.category_scores.items():
             category_by_name(name)
             if score < 0:

@@ -8,11 +8,13 @@ production system would query its databases.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.content.model import AudioClip, ContentKind, LiveProgramme, RadioService
 from repro.content.schedule import LinearSchedule
 from repro.errors import DuplicateError, NotFoundError
+from repro.geo import BoundingBox, GeoPoint, GridIndex
 from repro.storage import Column, Database, Schema
 from repro.util.timeutils import TimeWindow
 
@@ -37,6 +39,15 @@ class ContentRepository:
         )
         self._clips_table.create_index("kind")
         self._clips_table.create_index("primary_category")
+        # Publish-time ordering: entries are (published_s, -seq, clip_id)
+        # kept sorted ascending, so iterating in reverse yields newest-first
+        # with insertion order preserved among equal publish times — the
+        # same ordering a stable descending sort over all clips produces.
+        self._published: List[Tuple[float, int, str]] = []
+        self._clip_seq: Dict[str, int] = {}
+        self._next_seq = 0
+        # Spatial index over geo-tag centres for route-pruned scoring.
+        self._geo_index: GridIndex[str] = GridIndex(cell_size_m=2000.0)
         self._clips: Dict[str, AudioClip] = {}
         self._services: Dict[str, RadioService] = {}
         self._programmes: Dict[str, LiveProgramme] = {}
@@ -93,6 +104,12 @@ class ContentRepository:
         if clip.clip_id in self._clips:
             raise DuplicateError(f"clip {clip.clip_id!r} already registered")
         self._clips[clip.clip_id] = clip
+        seq = self._next_seq
+        self._next_seq += 1
+        self._clip_seq[clip.clip_id] = seq
+        insort(self._published, (clip.published_s, -seq, clip.clip_id))
+        if clip.geo_location is not None:
+            self._geo_index.insert(clip.clip_id, clip.geo_location)
         self._clips_table.insert(
             {
                 "clip_id": clip.clip_id,
@@ -115,7 +132,17 @@ class ContentRepository:
         """Replace an existing clip (e.g. after classification adds scores)."""
         if clip.clip_id not in self._clips:
             raise NotFoundError(f"unknown clip {clip.clip_id!r}")
+        previous = self._clips[clip.clip_id]
         self._clips[clip.clip_id] = clip
+        seq = self._clip_seq[clip.clip_id]
+        if previous.published_s != clip.published_s:
+            index = bisect_left(self._published, (previous.published_s, -seq, clip.clip_id))
+            del self._published[index]
+            insort(self._published, (clip.published_s, -seq, clip.clip_id))
+        if clip.geo_location is not None:
+            self._geo_index.insert(clip.clip_id, clip.geo_location)
+        elif previous.geo_location is not None:
+            self._geo_index.remove(clip.clip_id)
         self._clips_table.update(
             clip.clip_id,
             {
@@ -152,14 +179,19 @@ class ContentRepository:
         return [self._clips[row["clip_id"]] for row in rows]
 
     def clips_published_after(self, cutoff_s: float) -> List[AudioClip]:
-        """Clips published after ``cutoff_s`` (recency filter for candidates)."""
-        rows = (
-            self._db.query("clips")
-            .where(lambda row: row["published_s"] >= cutoff_s)
-            .order_by("published_s", descending=True)
-            .all()
-        )
-        return [self._clips[row["clip_id"]] for row in rows]
+        """Clips published at or after ``cutoff_s``, newest first.
+
+        Served from the sorted publish-time index in O(log n + k) instead
+        of scanning and re-sorting the whole clip table.
+        """
+        start = bisect_left(self._published, (cutoff_s,))
+        return [
+            self._clips[clip_id] for _published, _seq, clip_id in reversed(self._published[start:])
+        ]
+
+    def clips_newest_first(self) -> List[AudioClip]:
+        """All clips ordered by publish time, newest first."""
+        return [self._clips[clip_id] for _published, _seq, clip_id in reversed(self._published)]
 
     def clips_max_duration(self, max_duration_s: float) -> List[AudioClip]:
         """Clips that fit inside a time budget."""
@@ -171,3 +203,16 @@ class ContentRepository:
     def geo_tagged_clips(self) -> List[AudioClip]:
         """All clips carrying a geographic footprint."""
         return [clip for clip in self._clips.values() if clip.is_geo_tagged]
+
+    @property
+    def geo_index(self) -> GridIndex[str]:
+        """The grid index over geo-tag centres (clip ids as items)."""
+        return self._geo_index
+
+    def geo_clips_in_bbox(self, box: BoundingBox) -> List[AudioClip]:
+        """Geo-tagged clips whose tag centre falls inside ``box``."""
+        return [self._clips[clip_id] for clip_id in self._geo_index.query_bbox(box)]
+
+    def geo_clips_near(self, center: GeoPoint, radius_m: float) -> List[AudioClip]:
+        """Geo-tagged clips whose tag centre is within ``radius_m`` of ``center``."""
+        return [self._clips[clip_id] for clip_id, _distance in self._geo_index.query_radius(center, radius_m)]

@@ -76,15 +76,29 @@ class GridIndex(Generic[T]):
         """Iterate over ``(item, position)`` pairs."""
         return list(self._positions.items())
 
+    def _scan_extents(self, center: GeoPoint, radius_m: float) -> Tuple[int, int]:
+        """How many cells either side of ``center`` a radius query must visit.
+
+        A degree of longitude shrinks by cos(latitude), so a fixed metric
+        radius spans more lon cells away from the equator; the lon extent is
+        widened by 1/cos(lat) or high-latitude matches would be missed.
+        """
+        lat_cells = int(math.ceil((radius_m / _METERS_PER_DEGREE_LAT) / self._cell_deg)) + 1
+        cos_lat = max(0.01, math.cos(math.radians(center.lat)))
+        lon_cells = (
+            int(math.ceil((radius_m / (_METERS_PER_DEGREE_LAT * cos_lat)) / self._cell_deg)) + 1
+        )
+        return lat_cells, lon_cells
+
     def query_radius(self, center: GeoPoint, radius_m: float) -> List[Tuple[T, float]]:
         """All items within ``radius_m`` of ``center``, with distances, sorted."""
         if radius_m < 0:
             raise GeometryError(f"radius_m must be >= 0, got {radius_m}")
-        cell_radius = int(math.ceil((radius_m / _METERS_PER_DEGREE_LAT) / self._cell_deg)) + 1
+        lat_cells, lon_cells = self._scan_extents(center, radius_m)
         center_cell = self._cell_of(center)
         results: List[Tuple[T, float]] = []
-        for d_lat in range(-cell_radius, cell_radius + 1):
-            for d_lon in range(-cell_radius, cell_radius + 1):
+        for d_lat in range(-lat_cells, lat_cells + 1):
+            for d_lon in range(-lon_cells, lon_cells + 1):
                 cell = (center_cell[0] + d_lat, center_cell[1] + d_lon)
                 for item in self._cells.get(cell, ()):
                     distance = haversine_m(center, self._positions[item])
@@ -117,13 +131,36 @@ class GridIndex(Generic[T]):
         The search expands the radius geometrically, so a nearby hit is found
         without scanning the whole index.
         """
+        if max_radius_m < 0:
+            raise GeometryError(f"max_radius_m must be >= 0, got {max_radius_m}")
         if not self._positions:
             return None
+        center_cell = self._cell_of(center)
+        best: Optional[Tuple[T, float]] = None
         radius = min(1000.0, max_radius_m)
-        while radius <= max_radius_m:
-            hits = self.query_radius(center, radius)
-            if hits:
-                return hits[0]
-            radius *= 2.0
-        hits = self.query_radius(center, max_radius_m)
-        return hits[0] if hits else None
+        # Extents (inclusive) already visited; each doubling only scans the
+        # new ring of cells instead of re-querying the whole disc.
+        seen_lat, seen_lon = -1, -1
+        while True:
+            lat_cells, lon_cells = self._scan_extents(center, radius)
+            for d_lat in range(-lat_cells, lat_cells + 1):
+                if abs(d_lat) <= seen_lat:
+                    lon_range: Iterable[int] = list(range(-lon_cells, -seen_lon)) + list(
+                        range(seen_lon + 1, lon_cells + 1)
+                    )
+                else:
+                    lon_range = range(-lon_cells, lon_cells + 1)
+                for d_lon in lon_range:
+                    cell = (center_cell[0] + d_lat, center_cell[1] + d_lon)
+                    for item in self._cells.get(cell, ()):
+                        distance = haversine_m(center, self._positions[item])
+                        if distance <= max_radius_m and (best is None or distance < best[1]):
+                            best = (item, distance)
+            seen_lat, seen_lon = lat_cells, lon_cells
+            # Everything closer than ``radius`` has been visited, so a hit
+            # inside it is guaranteed to be the global minimum.
+            if best is not None and best[1] <= radius:
+                return best
+            if radius >= max_radius_m:
+                return best
+            radius = min(radius * 2.0, max_radius_m)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterator, List, Optional, Sequence
 
 from repro.errors import GeometryError
@@ -70,14 +71,10 @@ class Polyline:
         if len(self._points) == 1 or self.length_m == 0.0:
             return self._points[0]
         distance = max(0.0, min(self.length_m, distance_m))
-        # Binary search over the cumulative table.
-        low, high = 0, len(self._cumulative) - 1
-        while low + 1 < high:
-            mid = (low + high) // 2
-            if self._cumulative[mid] <= distance:
-                low = mid
-            else:
-                high = mid
+        # O(log n) lookup in the cumulative arc-length table.
+        low = bisect_right(self._cumulative, distance) - 1
+        low = max(0, min(low, len(self._cumulative) - 2))
+        high = low + 1
         segment_start = self._points[low]
         segment_end = self._points[high]
         segment_length = self._cumulative[high] - self._cumulative[low]
@@ -87,6 +84,23 @@ class Polyline:
         lat = segment_start.lat + fraction * (segment_end.lat - segment_start.lat)
         lon = segment_start.lon + fraction * (segment_end.lon - segment_start.lon)
         return GeoPoint(lat, lon)
+
+    def sample_points(self, count: int) -> List[GeoPoint]:
+        """``count`` points evenly spaced in arc length from start to end.
+
+        Materializes the sampled route once so callers scoring many
+        candidates against the same route do not re-interpolate it per
+        candidate.  The points are exactly those that repeated
+        ``point_at_distance(i / (count - 1) * length_m)`` calls would yield.
+        """
+        if count < 1:
+            raise GeometryError(f"count must be >= 1, got {count}")
+        if count == 1 or len(self._points) == 1 or self.length_m == 0.0:
+            return [self._points[0]]
+        return [
+            self.point_at_distance(index / (count - 1) * self.length_m)
+            for index in range(count)
+        ]
 
     def resample(self, spacing_m: float) -> "Polyline":
         """Return a polyline with points every ``spacing_m`` along the path."""

@@ -92,7 +92,9 @@ class PphcrServer:
         self._transcriber = SimulatedTranscriber(target_wer=config.asr_target_wer)
         self._classifier = classifier
         self._content_scorer = ContentBasedScorer(self._content, self._users)
-        self._context_scorer = ContextScorer()
+        # The repository's grid index over geo-tag centres lets context
+        # scoring prune clips whose footprint cannot reach the route.
+        self._context_scorer = ContextScorer(geo_index=self._content.geo_index)
         self._compound = CompoundScorer(
             self._content_scorer, self._context_scorer, context_weight=config.context_weight
         )

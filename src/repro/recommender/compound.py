@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.content.geo_relevance import RouteRelevanceScorer
 from repro.content.model import AudioClip
 from repro.errors import ValidationError
 from repro.recommender.content_based import ContentBasedScorer
@@ -72,6 +73,10 @@ class CompoundScorer:
             self._content_scorer, self._context_scorer, context_weight=context_weight
         )
 
+    def route_scorer_for(self, context: ListenerContext) -> RouteRelevanceScorer:
+        """The per-context batched geographic scorer (see :class:`ContextScorer`)."""
+        return self._context_scorer.route_scorer_for(context)
+
     def score(
         self,
         clip: AudioClip,
@@ -100,10 +105,34 @@ class CompoundScorer:
         *,
         editorial_boosts: Optional[Dict[str, float]] = None,
         top_k: Optional[int] = None,
+        route_scorer: Optional[RouteRelevanceScorer] = None,
     ) -> List[ScoredClip]:
-        """Score and rank candidates by final score (descending)."""
+        """Score and rank candidates by final score (descending).
+
+        Scoring runs through the batched fast paths: the user's profile and
+        liked-clip vectors are fetched once, and the geographic term shares
+        one materialized route sample table across the whole candidate set.
+        """
+        content_scores = self._content_scorer.score_many(
+            context.user_id, clips, now_s=context.now_s
+        )
+        context_scores = self._context_scorer.score_many(
+            clips, context, route_scorer=route_scorer
+        )
+        weight = self._context_weight
+        boosts = editorial_boosts or {}
         scored = [
-            self.score(clip, context, editorial_boosts=editorial_boosts) for clip in clips
+            ScoredClip(
+                clip=clip,
+                content_score=content_scores[clip.clip_id],
+                context_score=context_scores[clip.clip_id],
+                compound_score=(
+                    (1.0 - weight) * content_scores[clip.clip_id]
+                    + weight * context_scores[clip.clip_id]
+                ),
+                editorial_boost=boosts.get(clip.clip_id, 0.0),
+            )
+            for clip in clips
         ]
         scored.sort(key=lambda item: (item.final_score, item.clip_id), reverse=True)
         if top_k is not None:

@@ -50,6 +50,11 @@ class CandidateFilter:
         self._users = users
         self._config = config
 
+    @property
+    def content(self) -> ContentRepository:
+        """The backing content repository (exposed for index reuse)."""
+        return self._content
+
     def lookup_clip(self, clip_id: str) -> Optional[AudioClip]:
         """Fetch a clip from the repository regardless of filtering (or ``None``).
 
@@ -62,7 +67,12 @@ class CandidateFilter:
             return None
 
     def candidates(self, user_id: str, *, now_s: float) -> List[AudioClip]:
-        """The candidate clips for a user at a given time."""
+        """The candidate clips for a user at a given time.
+
+        The recency cut runs against the repository's publish-time index,
+        which already yields newest-first order, so the scan stops as soon
+        as the candidate cap is reached instead of visiting every clip.
+        """
         config = self._config
         heard = set(self._users.feedback.positive_content_ids(user_id)) | set(
             self._users.feedback.negative_content_ids(user_id)
@@ -70,20 +80,23 @@ class CandidateFilter:
         disliked = set(self._users.preference_profile(user_id).disliked_categories())
         cutoff = now_s - config.max_age_s if config.max_age_s is not None else None
 
+        pool = (
+            self._content.clips_published_after(cutoff)
+            if cutoff is not None
+            else self._content.clips_newest_first()
+        )
         selected: List[AudioClip] = []
-        for clip in self._content.clips():
+        for clip in pool:
             if config.exclude_heard and clip.clip_id in heard:
                 continue
             if not config.min_duration_s <= clip.duration_s <= config.max_duration_s:
                 continue
-            if cutoff is not None and clip.published_s < cutoff:
-                continue
             if config.exclude_disliked_categories and clip.primary_category in disliked:
                 continue
             selected.append(clip)
-        # Prefer fresher content when the pool is larger than the cap.
-        selected.sort(key=lambda clip: clip.published_s, reverse=True)
-        return selected[: config.max_candidates]
+            if len(selected) >= config.max_candidates:
+                break
+        return selected
 
 
 class ContentBasedScorer:
@@ -134,8 +147,29 @@ class ContentBasedScorer:
     def score(self, user_id: str, clip: AudioClip, *, now_s: float) -> float:
         """Content-based relevance of one clip for one user."""
         profile = self._users.preference_profile(user_id)
+        liked_vectors = self._liked_vectors(user_id)
+        return self._score_with(profile, liked_vectors, clip, now_s)
+
+    def score_many(
+        self, user_id: str, clips: Sequence[AudioClip], *, now_s: float
+    ) -> Dict[str, float]:
+        """Scores for a batch of clips keyed by clip id.
+
+        The preference profile and the liked-clip TF-IDF vectors are fetched
+        once for the whole batch instead of once per clip.
+        """
+        profile = self._users.preference_profile(user_id)
+        liked_vectors = self._liked_vectors(user_id)
+        return {
+            clip.clip_id: self._score_with(profile, liked_vectors, clip, now_s)
+            for clip in clips
+        }
+
+    # Internal ----------------------------------------------------------------
+
+    def _score_with(self, profile, liked_vectors, clip: AudioClip, now_s: float) -> float:
         profile_term = profile.affinity(clip.category_scores)
-        similarity_term = self._similarity_to_liked(user_id, clip)
+        similarity_term = self._similarity_to_liked(clip, liked_vectors)
         recency_term = self._recency(clip, now_s)
         return (
             self._profile_weight * profile_term
@@ -143,15 +177,17 @@ class ContentBasedScorer:
             + self._recency_weight * recency_term
         )
 
-    def score_many(
-        self, user_id: str, clips: Sequence[AudioClip], *, now_s: float
-    ) -> Dict[str, float]:
-        """Scores for a batch of clips keyed by clip id."""
-        return {clip.clip_id: self.score(user_id, clip, now_s=now_s) for clip in clips}
+    def _liked_vectors(self, user_id: str) -> List[SparseVector]:
+        if self._vectorizer is None:
+            return []
+        liked_ids = self._users.feedback.positive_content_ids(user_id)
+        return [
+            self._clip_vectors[content_id]
+            for content_id in liked_ids[-20:]
+            if content_id in self._clip_vectors
+        ]
 
-    # Internal ----------------------------------------------------------------
-
-    def _similarity_to_liked(self, user_id: str, clip: AudioClip) -> float:
+    def _similarity_to_liked(self, clip: AudioClip, liked_vectors: List[SparseVector]) -> float:
         if self._vectorizer is None:
             return 0.5
         clip_vector = self._clip_vectors.get(clip.clip_id)
@@ -159,12 +195,6 @@ class ContentBasedScorer:
             clip_vector = self._vectorizer.transform(clip.transcript)
         if not clip_vector:
             return 0.5
-        liked_ids = self._users.feedback.positive_content_ids(user_id)
-        liked_vectors = [
-            self._clip_vectors[content_id]
-            for content_id in liked_ids[-20:]
-            if content_id in self._clip_vectors
-        ]
         if not liked_vectors:
             return 0.5
         best = max(cosine_similarity(clip_vector, other) for other in liked_vectors)

@@ -8,12 +8,14 @@ versus demanding traffic).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.content.geo_relevance import geographic_relevance
+from repro.content.geo_relevance import RouteRelevanceScorer
 from repro.content.model import AudioClip, ContentKind
 from repro.errors import ValidationError
+from repro.geo import GridIndex
 from repro.recommender.context import DrivingCondition, ListenerContext
 
 #: Which categories fit which time-of-day bucket particularly well.  The
@@ -60,12 +62,37 @@ class ContextScorerWeights:
 class ContextScorer:
     """Context-based relevance of a clip for a listener context, in [0, 1]."""
 
-    def __init__(self, weights: ContextScorerWeights = ContextScorerWeights()) -> None:
+    def __init__(
+        self,
+        weights: ContextScorerWeights = ContextScorerWeights(),
+        *,
+        geo_index: Optional[GridIndex[str]] = None,
+    ) -> None:
         self._weights = weights
         total = (
             weights.geographic + weights.time_of_day + weights.duration_fit + weights.driving_fit
         )
         self._norm = total
+        self._geo_index = geo_index
+        # One-slot cache: ranking a batch scores every clip against the same
+        # (immutable) context, so the route is sampled and trig-converted once.
+        self._route_cache_ref: Optional[Callable[[], Optional[ListenerContext]]] = None
+        self._route_cache_scorer: Optional[RouteRelevanceScorer] = None
+
+    def route_scorer_for(self, context: ListenerContext) -> RouteRelevanceScorer:
+        """The batched geographic scorer for ``context`` (cached per context)."""
+        if self._route_cache_ref is not None and self._route_cache_ref() is context:
+            assert self._route_cache_scorer is not None
+            return self._route_cache_scorer
+        destination = context.destination.center if context.destination is not None else None
+        scorer = RouteRelevanceScorer(
+            current_position=context.position,
+            route=context.route,
+            destination=destination,
+        )
+        self._route_cache_ref = weakref.ref(context)
+        self._route_cache_scorer = scorer
+        return scorer
 
     def score(self, clip: AudioClip, context: ListenerContext) -> float:
         """Overall context relevance."""
@@ -79,22 +106,37 @@ class ContextScorer:
         return value / self._norm
 
     def score_many(
-        self, clips: Sequence[AudioClip], context: ListenerContext
+        self,
+        clips: Sequence[AudioClip],
+        context: ListenerContext,
+        *,
+        route_scorer: Optional[RouteRelevanceScorer] = None,
     ) -> Dict[str, float]:
-        """Context scores for a batch of clips keyed by clip id."""
-        return {clip.clip_id: self.score(clip, context) for clip in clips}
+        """Context scores for a batch of clips keyed by clip id.
+
+        The geographic term runs through the batched fast path: the route is
+        sampled once and far-away geo-tagged clips are pruned through the
+        grid index when one was provided at construction.
+        """
+        scorer = route_scorer if route_scorer is not None else self.route_scorer_for(context)
+        geo_scores = scorer.score_many(clips, geo_index=self._geo_index)
+        weights = self._weights
+        scores: Dict[str, float] = {}
+        for clip in clips:
+            value = (
+                weights.geographic * geo_scores[clip.clip_id]
+                + weights.time_of_day * self.time_of_day_score(clip, context)
+                + weights.duration_fit * self.duration_fit_score(clip, context)
+                + weights.driving_fit * self.driving_fit_score(clip, context)
+            )
+            scores[clip.clip_id] = value / self._norm
+        return scores
 
     # Sub-scores ---------------------------------------------------------------
 
     def geographic_score(self, clip: AudioClip, context: ListenerContext) -> float:
         """Relevance of the clip's geographic footprint to the listener's space."""
-        destination = context.destination.center if context.destination is not None else None
-        return geographic_relevance(
-            clip,
-            current_position=context.position,
-            route=context.route,
-            destination=destination,
-        )
+        return self.route_scorer_for(context).score(clip)
 
     def time_of_day_score(self, clip: AudioClip, context: ListenerContext) -> float:
         """How well the clip's categories fit the current time of day."""

@@ -152,11 +152,15 @@ class ProactiveEngine:
                 should_recommend=False,
                 reason="no candidate content available",
             )
+        # Materialize the sampled route (and its precomputed trigonometry)
+        # once per tick; ranking reuses it across the whole candidate batch.
+        route_scorer = self._scorer.route_scorer_for(context)
         ranked = self._scorer.rank(
             candidates,
             context,
             editorial_boosts=editorial_boosts,
             top_k=self._config.top_k_candidates,
+            route_scorer=route_scorer,
         )
         try:
             plan = self._scheduler.build_plan(ranked, context, distraction=distraction)

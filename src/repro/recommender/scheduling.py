@@ -26,7 +26,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.content.geo_relevance import best_route_point, distance_along_route_to_point
+from repro.content.geo_relevance import (
+    RouteSamples,
+    best_route_point,
+    distance_along_route_to_point,
+)
 from repro.errors import SchedulingError
 from repro.recommender.compound import ScoredClip
 from repro.recommender.context import ListenerContext
@@ -242,13 +246,20 @@ class Scheduler:
         anchors: Dict[str, float] = {}
         if context.route is not None and context.route.length_m > 0 and context.travel_time is not None:
             expected_total = max(1.0, context.travel_time.expected_s)
+            # Sample the route once per plan; every geo-tagged clip shares
+            # the tables instead of re-interpolating the route.
+            anchor_table: Optional[RouteSamples] = None
+            arc_table: Optional[RouteSamples] = None
             for scored in selected:
                 if not scored.clip.is_geo_tagged:
                     continue
-                point = best_route_point(scored.clip, context.route)
+                if anchor_table is None:
+                    anchor_table = RouteSamples.from_route(context.route, 50)
+                    arc_table = RouteSamples.from_route(context.route, 100)
+                point = best_route_point(scored.clip, context.route, table=anchor_table)
                 if point is None:
                     continue
-                arc = distance_along_route_to_point(context.route, point)
+                arc = distance_along_route_to_point(context.route, point, table=arc_table)
                 fraction = arc / context.route.length_m
                 anchors[scored.clip_id] = start_s + fraction * expected_total
 

@@ -1,0 +1,363 @@
+"""Tests for the vectorized geo-scoring fast path.
+
+Covers the arc-length-indexed polyline sampling, the batched
+:class:`RouteRelevanceScorer` (with and without grid-index pruning) against
+the reference :func:`geographic_relevance`, the per-clip decay forwarding,
+and the repository's publish-time / geo secondary indexes.
+"""
+
+import math
+
+import pytest
+
+from repro.content.geo_relevance import (
+    DEFAULT_DECAY_M,
+    GeoTag,
+    RouteRelevanceScorer,
+    RouteSamples,
+    best_route_point,
+    clip_geo_tag,
+    distance_along_route_to_point,
+    geographic_relevance,
+)
+from repro.content.model import AudioClip, ContentKind
+from repro.content.repository import ContentRepository
+from repro.errors import GeometryError
+from repro.geo import GeoPoint, GridIndex, Polyline
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.util.rng import DeterministicRng
+
+BASE = GeoPoint(45.07, 7.68)
+
+
+def random_polyline(rng: DeterministicRng, points: int = 30) -> Polyline:
+    """A random-walk polyline with segment lengths from 50 m to 3 km."""
+    vertices = [BASE.offset(rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2))]
+    for _ in range(points - 1):
+        bearing = rng.uniform(0.0, 360.0)
+        step = rng.uniform(50.0, 3000.0)
+        vertices.append(destination_point(vertices[-1], bearing, step))
+    return Polyline(vertices)
+
+
+def make_clip(clip_id: str, location=None, radius_m=None, decay_m=None) -> AudioClip:
+    return AudioClip(
+        clip_id=clip_id,
+        title=f"clip {clip_id}",
+        kind=ContentKind.PODCAST,
+        duration_s=300.0,
+        geo_location=location,
+        geo_radius_m=radius_m,
+        geo_decay_m=decay_m,
+    )
+
+
+class TestPolylineSampling:
+    def brute_force_point(self, line: Polyline, distance_m: float) -> GeoPoint:
+        """Reference implementation: linear scan over the segments."""
+        points = line.points
+        cumulative = [line.distance_along(i) for i in range(len(points))]
+        distance = max(0.0, min(line.length_m, distance_m))
+        low = 0
+        for index in range(len(points) - 1):
+            if cumulative[index] <= distance:
+                low = index
+        start, end = points[low], points[low + 1]
+        segment = cumulative[low + 1] - cumulative[low]
+        if segment == 0.0:
+            return start
+        fraction = (distance - cumulative[low]) / segment
+        return GeoPoint(
+            start.lat + fraction * (end.lat - start.lat),
+            start.lon + fraction * (end.lon - start.lon),
+        )
+
+    def test_point_at_distance_matches_brute_force_on_random_polylines(self):
+        rng = DeterministicRng(42)
+        for trial in range(10):
+            line = random_polyline(rng.fork("line", trial), points=25)
+            for _ in range(40):
+                distance = rng.uniform(-500.0, line.length_m + 500.0)
+                fast = line.point_at_distance(distance)
+                slow = self.brute_force_point(line, distance)
+                assert abs(fast.lat - slow.lat) < 1e-12
+                assert abs(fast.lon - slow.lon) < 1e-12
+
+    def test_point_at_distance_endpoints(self):
+        line = random_polyline(DeterministicRng(7))
+        assert line.point_at_distance(0.0) == line.start
+        assert line.point_at_distance(line.length_m) == line.end
+        assert line.point_at_distance(-10.0) == line.start
+        assert line.point_at_distance(line.length_m + 10.0) == line.end
+
+    def test_point_at_distance_with_duplicate_vertices(self):
+        p = GeoPoint(45.0, 7.0)
+        q = destination_point(p, 90.0, 1000.0)
+        line = Polyline([p, p, q, q])
+        mid = line.point_at_distance(500.0)
+        assert abs(haversine_m(p, mid) - 500.0) < 1.0
+
+    def test_sample_points_matches_repeated_interpolation(self):
+        line = random_polyline(DeterministicRng(3))
+        count = 17
+        sampled = line.sample_points(count)
+        expected = [
+            line.point_at_distance(i / (count - 1) * line.length_m) for i in range(count)
+        ]
+        assert sampled == expected
+
+    def test_sample_points_degenerate(self):
+        single = Polyline([BASE])
+        assert single.sample_points(5) == [BASE]
+        line = random_polyline(DeterministicRng(5))
+        assert line.sample_points(1) == [line.start]
+        with pytest.raises(GeometryError):
+            line.sample_points(0)
+
+
+class TestRouteSamples:
+    def test_from_route_arcs_and_points_align(self):
+        line = random_polyline(DeterministicRng(11))
+        table = RouteSamples.from_route(line, 20)
+        assert len(table) == 20
+        assert table.arcs[0] == 0.0
+        assert table.arcs[-1] == pytest.approx(line.length_m)
+        for arc, point in zip(table.arcs, table.points):
+            assert point == line.point_at_distance(arc)
+
+    def test_nearest_matches_sequential_scan(self):
+        rng = DeterministicRng(13)
+        line = random_polyline(rng)
+        table = RouteSamples.from_route(line, 60)
+        for trial in range(25):
+            target = BASE.offset(rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3))
+            index, distance = table.nearest(target)
+            expected = [haversine_m(point, target) for point in table.points]
+            best = min(range(len(expected)), key=lambda i: (expected[i], i))
+            assert index == best
+            assert distance == pytest.approx(expected[best], abs=1e-9)
+
+
+class TestClipGeoTagDecay:
+    def test_decay_forwarded(self):
+        clip = make_clip("c1", location=BASE, radius_m=1500.0, decay_m=900.0)
+        tag = clip_geo_tag(clip)
+        assert tag is not None
+        assert tag.radius_m == 1500.0
+        assert tag.decay_m == 900.0
+
+    def test_decay_defaults_when_unset(self):
+        clip = make_clip("c2", location=BASE, radius_m=1500.0)
+        tag = clip_geo_tag(clip)
+        assert tag.decay_m == DEFAULT_DECAY_M
+
+    def test_decay_changes_relevance(self):
+        near = clip_geo_tag(make_clip("c3", location=BASE, radius_m=100.0, decay_m=100.0))
+        far = clip_geo_tag(make_clip("c4", location=BASE, radius_m=100.0, decay_m=10000.0))
+        probe = destination_point(BASE, 0.0, 5000.0)
+        assert near.relevance_at(probe) < far.relevance_at(probe)
+
+
+class TestFastPathEquality:
+    def build_workload(self, seed: int, clip_count: int = 120):
+        rng = DeterministicRng(seed)
+        route = random_polyline(rng.fork("route"), points=40)
+        position = route.start
+        destination = route.end
+        clips = []
+        for index in range(clip_count):
+            crng = rng.fork("clip", index)
+            if crng.uniform(0.0, 1.0) < 0.25:
+                clips.append(make_clip(f"clip-{index}"))  # not geo-tagged
+                continue
+            # Spread tags from on-route to far away so both the plateau,
+            # the decay slope, and the pruned regime are exercised.
+            anchor = route.point_at_distance(crng.uniform(0.0, route.length_m))
+            offset_m = crng.uniform(0.0, 120000.0)
+            location = destination_point(anchor, crng.uniform(0.0, 360.0), offset_m)
+            clips.append(
+                make_clip(
+                    f"clip-{index}",
+                    location=location,
+                    radius_m=crng.uniform(200.0, 5000.0),
+                    decay_m=crng.uniform(500.0, 8000.0),
+                )
+            )
+        return route, position, destination, clips
+
+    def test_scorer_matches_reference_exactly(self):
+        route, position, destination, clips = self.build_workload(101)
+        scorer = RouteRelevanceScorer(
+            current_position=position, route=route, destination=destination
+        )
+        fast = scorer.score_many(clips)
+        for clip in clips:
+            slow = geographic_relevance(
+                clip, current_position=position, route=route, destination=destination
+            )
+            assert abs(fast[clip.clip_id] - slow) <= 1e-9
+
+    def test_scorer_with_grid_pruning_matches_within_tolerance(self):
+        route, position, destination, clips = self.build_workload(202)
+        index: GridIndex[str] = GridIndex(cell_size_m=2000.0)
+        for clip in clips:
+            if clip.geo_location is not None:
+                index.insert(clip.clip_id, clip.geo_location)
+        scorer = RouteRelevanceScorer(
+            current_position=position, route=route, destination=destination
+        )
+        pruned = scorer.score_many(clips, geo_index=index)
+        for clip in clips:
+            slow = geographic_relevance(
+                clip, current_position=position, route=route, destination=destination
+            )
+            assert abs(pruned[clip.clip_id] - slow) <= 1e-9
+
+    def test_scorer_prunes_far_clips_to_zero(self):
+        route, position, destination, clips = self.build_workload(303)
+        far_clip = make_clip(
+            "far-away", location=destination_point(BASE, 10.0, 900000.0), radius_m=500.0
+        )
+        index: GridIndex[str] = GridIndex(cell_size_m=2000.0)
+        index.insert(far_clip.clip_id, far_clip.geo_location)
+        scorer = RouteRelevanceScorer(
+            current_position=position, route=route, destination=destination
+        )
+        scores = scorer.score_many([far_clip], geo_index=index)
+        assert scores[far_clip.clip_id] == 0.0
+
+    def test_scorer_without_probes(self):
+        geo = make_clip("g", location=BASE)
+        plain = make_clip("p")
+        scorer = RouteRelevanceScorer()
+        assert scorer.score(geo) == 0.0
+        assert scorer.score(plain) == 0.5
+
+    def test_route_sample_reuse_in_reference_path(self):
+        route, position, destination, clips = self.build_workload(404, clip_count=30)
+        table = RouteSamples.from_route(route, 25)
+        for clip in clips:
+            shared = geographic_relevance(
+                clip, current_position=position, destination=destination, samples=table
+            )
+            fresh = geographic_relevance(
+                clip, current_position=position, route=route, destination=destination
+            )
+            assert abs(shared - fresh) <= 1e-12
+
+    def test_scheduler_helpers_match_shared_table(self):
+        route, _position, _destination, clips = self.build_workload(505, clip_count=30)
+        table50 = RouteSamples.from_route(route, 50)
+        table100 = RouteSamples.from_route(route, 100)
+        for clip in clips:
+            if clip.geo_location is None:
+                continue
+            assert best_route_point(clip, route, table=table50) == best_route_point(
+                clip, route
+            )
+            point = best_route_point(clip, route)
+            assert distance_along_route_to_point(
+                route, point, table=table100
+            ) == distance_along_route_to_point(route, point)
+
+
+class TestRepositoryIndexes:
+    def repo_with_clips(self):
+        repo = ContentRepository()
+        specs = [
+            ("a", 100.0, None),
+            ("b", 300.0, BASE),
+            ("c", 200.0, destination_point(BASE, 90.0, 5000.0)),
+            ("d", 300.0, None),  # same publish time as "b": insertion order tie
+            ("e", 50.0, None),
+        ]
+        for clip_id, published, location in specs:
+            clip = AudioClip(
+                clip_id=clip_id,
+                title=f"clip {clip_id}",
+                kind=ContentKind.PODCAST,
+                duration_s=120.0,
+                geo_location=location,
+                published_s=published,
+            )
+            repo.add_clip(clip)
+        return repo
+
+    def test_published_after_uses_index_and_matches_reference(self):
+        repo = self.repo_with_clips()
+        result = [clip.clip_id for clip in repo.clips_published_after(150.0)]
+        # Newest first; ties ("b", "d" at 300.0) keep insertion order.
+        assert result == ["b", "d", "c"]
+
+    def test_clips_newest_first(self):
+        repo = self.repo_with_clips()
+        result = [clip.clip_id for clip in repo.clips_newest_first()]
+        assert result == ["b", "d", "c", "a", "e"]
+
+    def test_replace_clip_republishes(self):
+        repo = self.repo_with_clips()
+        updated = AudioClip(
+            clip_id="e",
+            title="clip e",
+            kind=ContentKind.PODCAST,
+            duration_s=120.0,
+            published_s=500.0,
+        )
+        repo.replace_clip(updated)
+        result = [clip.clip_id for clip in repo.clips_newest_first()]
+        assert result == ["e", "b", "d", "c", "a"]
+        assert [c.clip_id for c in repo.clips_published_after(400.0)] == ["e"]
+
+    def test_geo_index_tracks_clips(self):
+        repo = self.repo_with_clips()
+        assert "b" in repo.geo_index
+        assert "c" in repo.geo_index
+        assert "a" not in repo.geo_index
+        near = repo.geo_clips_near(BASE, 1000.0)
+        assert [clip.clip_id for clip in near] == ["b"]
+
+    def test_replace_clip_updates_geo_index(self):
+        repo = self.repo_with_clips()
+        moved = AudioClip(
+            clip_id="b",
+            title="clip b",
+            kind=ContentKind.PODCAST,
+            duration_s=120.0,
+            geo_location=destination_point(BASE, 0.0, 50000.0),
+            published_s=300.0,
+        )
+        repo.replace_clip(moved)
+        assert [clip.clip_id for clip in repo.geo_clips_near(BASE, 1000.0)] == []
+        untagged = AudioClip(
+            clip_id="b",
+            title="clip b",
+            kind=ContentKind.PODCAST,
+            duration_s=120.0,
+            published_s=300.0,
+        )
+        repo.replace_clip(untagged)
+        assert "b" not in repo.geo_index
+
+    def test_geo_clips_in_bbox(self):
+        repo = self.repo_with_clips()
+        from repro.geo import BoundingBox
+
+        box = BoundingBox.around(BASE, 2000.0)
+        ids = {clip.clip_id for clip in repo.geo_clips_in_bbox(box)}
+        assert ids == {"b"}
+
+
+class TestGeoTagValidation:
+    def test_reach_scales_with_radius_and_decay(self):
+        small = GeoTag(BASE, radius_m=100.0, decay_m=100.0)
+        large = GeoTag(BASE, radius_m=100.0, decay_m=10000.0)
+        assert large.reach_m > small.reach_m
+        # Beyond the reach the relevance really is negligible.
+        probe = destination_point(BASE, 0.0, min(small.reach_m * 1.01, 1000000.0))
+        assert small.relevance_at(probe) < 1e-9
+
+    def test_relevance_at_distance_plateau(self):
+        tag = GeoTag(BASE, radius_m=1000.0, decay_m=2000.0)
+        assert tag.relevance_at_distance(500.0) == 1.0
+        assert tag.relevance_at_distance(1000.0) == 1.0
+        assert tag.relevance_at_distance(3000.0) == pytest.approx(math.exp(-1.0))

@@ -98,3 +98,95 @@ class TestGridIndexQueries:
         index.insert("a", CENTER)
         items = dict(index.items())
         assert items == {"a": CENTER}
+
+
+HIGH_LAT_CENTER = GeoPoint(68.4, 17.4)  # Narvik: lon degrees are ~2.7x shorter
+
+
+class TestGridIndexHighLatitude:
+    """Longitude cells shrink by cos(lat); queries must widen the lon scan."""
+
+    def test_query_radius_finds_east_west_matches(self):
+        index = GridIndex(cell_size_m=500.0)
+        east = destination_point(HIGH_LAT_CENTER, 90.0, 3000.0)
+        west = destination_point(HIGH_LAT_CENTER, 270.0, 3000.0)
+        index.insert("east", east)
+        index.insert("west", west)
+        hits = index.query_radius(HIGH_LAT_CENTER, 3500.0)
+        assert {name for name, _d in hits} == {"east", "west"}
+
+    def test_query_radius_full_ring(self):
+        index = GridIndex(cell_size_m=500.0)
+        for i, point in enumerate(
+            destination_point(HIGH_LAT_CENTER, bearing, 4000.0)
+            for bearing in range(0, 360, 15)
+        ):
+            index.insert(f"ring-{i}", point)
+        hits = index.query_radius(HIGH_LAT_CENTER, 4500.0)
+        assert len(hits) == 24
+
+    def test_query_bbox_east_west(self):
+        index = GridIndex(cell_size_m=500.0)
+        inside = destination_point(HIGH_LAT_CENTER, 90.0, 900.0)
+        outside = destination_point(HIGH_LAT_CENTER, 90.0, 30000.0)
+        index.insert("inside", inside)
+        index.insert("outside", outside)
+        box = BoundingBox.around(HIGH_LAT_CENTER, 1000.0)
+        assert index.query_bbox(box) == ["inside"]
+
+    def test_nearest_east_match(self):
+        index = GridIndex(cell_size_m=500.0)
+        index.insert("due-east", destination_point(HIGH_LAT_CENTER, 90.0, 9000.0))
+        nearest = index.nearest(HIGH_LAT_CENTER)
+        assert nearest is not None
+        assert nearest[0] == "due-east"
+        assert nearest[1] == pytest.approx(9000.0, rel=1e-3)
+
+
+class TestGridIndexNearestExpansion:
+    """The radius-doubling search scans each cell ring only once."""
+
+    def test_nearest_picks_global_minimum_across_rings(self):
+        index = GridIndex(cell_size_m=250.0)
+        # One item just outside the first search radius, one much farther:
+        # the second ring scan must keep the closer of the two.
+        index.insert("near", destination_point(CENTER, 45.0, 1400.0))
+        index.insert("far", destination_point(CENTER, 225.0, 1900.0))
+        nearest = index.nearest(CENTER)
+        assert nearest is not None
+        assert nearest[0] == "near"
+
+    def test_nearest_beyond_several_doublings(self):
+        index = GridIndex(cell_size_m=1000.0)
+        index.insert("lonely", destination_point(CENTER, 10.0, 30000.0))
+        nearest = index.nearest(CENTER, max_radius_m=50000.0)
+        assert nearest is not None
+        assert nearest[0] == "lonely"
+        assert nearest[1] == pytest.approx(30000.0, rel=1e-3)
+
+    def test_nearest_exactly_at_max_radius_boundary(self):
+        index = GridIndex(cell_size_m=1000.0)
+        index.insert("edge", destination_point(CENTER, 0.0, 9900.0))
+        nearest = index.nearest(CENTER, max_radius_m=10000.0)
+        assert nearest is not None
+        assert nearest[0] == "edge"
+
+    def test_nearest_visits_each_cell_once(self, monkeypatch):
+        import repro.geo.grid_index as grid_module
+
+        index = GridIndex(cell_size_m=1000.0)
+        index.insert("target", destination_point(CENTER, 0.0, 14500.0))
+
+        calls = {"count": 0}
+        real_haversine = grid_module.haversine_m
+
+        def counting_haversine(a, b):
+            calls["count"] += 1
+            return real_haversine(a, b)
+
+        monkeypatch.setattr(grid_module, "haversine_m", counting_haversine)
+        nearest = index.nearest(CENTER, max_radius_m=50000.0)
+        assert nearest is not None and nearest[0] == "target"
+        # The single stored item sits in a single cell: visiting every ring
+        # exactly once means exactly one distance evaluation.
+        assert calls["count"] == 1
