@@ -1,9 +1,13 @@
-"""CI perf-smoke runner for the geo-scoring hot path.
+"""CI perf-smoke runner for the tracked hot paths.
 
-Times the batched geographic-relevance fast path (and a reference-path
-sample for comparison) and emits machine-readable ops/sec numbers to
-``benchmarks/results/BENCH_geo_scoring.json`` so the performance trajectory
-of the scoring hot path is tracked from PR to PR.
+Times each optimized hot path (with a reference-path sample for comparison)
+and emits machine-readable ops/sec numbers to ``benchmarks/results/`` so
+the performance trajectory is tracked from PR to PR:
+
+* ``BENCH_geo_scoring.json`` — batched geographic-relevance scoring
+  (PR 1's fast path vs. the per-clip reference path);
+* ``BENCH_streaming_ingest.json`` — streaming mobility mining
+  (sessionizer + incremental models vs. per-tick batch rebuilds).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -15,7 +19,7 @@ import os
 import sys
 import time
 
-sys.path.insert(0, os.path.dirname(__file__))  # for bench_perf_geo_scoring
+sys.path.insert(0, os.path.dirname(__file__))  # for the bench_* modules
 
 from bench_perf_geo_scoring import (  # noqa: E402
     CLIP_COUNT,
@@ -24,16 +28,33 @@ from bench_perf_geo_scoring import (  # noqa: E402
     fast_scores,
     reference_scores,
 )
+from bench_streaming_ingest import (  # noqa: E402
+    BASELINE_SUBSET,
+    DAYS,
+    USERS,
+    assert_stream_equivalent,
+    build_fix_ticks,
+    run_batch_replay,
+    run_streaming_replay,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-OUTPUT_PATH = os.path.join(RESULTS_DIR, "BENCH_geo_scoring.json")
 
 #: Reference path is ~an order of magnitude slower; time a subset and scale.
 REFERENCE_SUBSET = 500
 FAST_ROUNDS = 3
 
 
-def main() -> int:
+def _write(name: str, payload: dict) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def smoke_geo_scoring() -> str:
     route, clips, index = build_workload()
     position = route.start
     destination = route.end
@@ -68,14 +89,58 @@ def main() -> int:
             "fast_elapsed_ms": round(best_elapsed * 1000.0, 2),
         },
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    path = _write("BENCH_geo_scoring.json", payload)
+    print(
+        f"geo-scoring smoke: fast path {fast_ops:,.0f} clips/s "
+        f"(reference {reference_ops:,.0f} clips/s, {fast_ops / reference_ops:.1f}x)"
+    )
+    return path
 
-    print(f"geo-scoring smoke: fast path {fast_ops:,.0f} clips/s "
-          f"(reference {reference_ops:,.0f} clips/s, {fast_ops / reference_ops:.1f}x)")
-    print(f"wrote {OUTPUT_PATH}")
+
+def smoke_streaming_ingest() -> str:
+    ticks, histories = build_fix_ticks()
+    total_fixes = sum(len(tick) for tick in ticks)
+    subset_users = sorted(histories.keys())[:BASELINE_SUBSET]
+
+    baseline_elapsed, _baseline_fixes = run_batch_replay(ticks, subset_users)
+    baseline_total_elapsed = baseline_elapsed * (USERS / BASELINE_SUBSET)
+
+    streaming_elapsed, _streamed, engine = run_streaming_replay(ticks)
+
+    # Guard the equivalence claim in CI too (a handful of users is enough).
+    sample = sorted(histories.keys())[:: max(1, USERS // 10)]
+    assert_stream_equivalent(engine, histories, sample)
+
+    streaming_ops = total_fixes / streaming_elapsed
+    baseline_ops = total_fixes / baseline_total_elapsed
+    payload = {
+        "bench": "streaming_ingest",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "users": USERS,
+            "days": DAYS,
+            "fixes": total_fixes,
+            "baseline_subset": BASELINE_SUBSET,
+        },
+        "results": {
+            "baseline_fixes_per_s": round(baseline_ops, 1),
+            "streaming_fixes_per_s": round(streaming_ops, 1),
+            "speedup": round(streaming_ops / baseline_ops, 2),
+            "streaming_elapsed_ms": round(streaming_elapsed * 1000.0, 2),
+        },
+    }
+    path = _write("BENCH_streaming_ingest.json", payload)
+    print(
+        f"streaming-ingest smoke: {streaming_ops:,.0f} fixes/s to fresh models "
+        f"(per-tick batch rebuild {baseline_ops:,.0f} fixes/s, "
+        f"{streaming_ops / baseline_ops:.1f}x)"
+    )
+    return path
+
+
+def main() -> int:
+    for path in (smoke_geo_scoring(), smoke_streaming_ingest()):
+        print(f"wrote {path}")
     return 0
 
 

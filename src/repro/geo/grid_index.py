@@ -90,8 +90,8 @@ class GridIndex(Generic[T]):
         )
         return lat_cells, lon_cells
 
-    def query_radius(self, center: GeoPoint, radius_m: float) -> List[Tuple[T, float]]:
-        """All items within ``radius_m`` of ``center``, with distances, sorted."""
+    def _scan_radius(self, center: GeoPoint, radius_m: float) -> List[Tuple[T, float]]:
+        """Unsorted ``(item, distance)`` pairs within ``radius_m`` of ``center``."""
         if radius_m < 0:
             raise GeometryError(f"radius_m must be >= 0, got {radius_m}")
         lat_cells, lon_cells = self._scan_extents(center, radius_m)
@@ -104,8 +104,22 @@ class GridIndex(Generic[T]):
                     distance = haversine_m(center, self._positions[item])
                     if distance <= radius_m:
                         results.append((item, distance))
+        return results
+
+    def query_radius(self, center: GeoPoint, radius_m: float) -> List[Tuple[T, float]]:
+        """All items within ``radius_m`` of ``center``, with distances, sorted."""
+        results = self._scan_radius(center, radius_m)
         results.sort(key=lambda pair: pair[1])
         return results
+
+    def query_radius_items(self, center: GeoPoint, radius_m: float) -> List[T]:
+        """Items within ``radius_m`` of ``center`` — no distances, no sort.
+
+        The cheap variant for density counting (e.g. DBSCAN region queries),
+        where the caller only needs the members of an eps-neighbourhood and
+        ordering them by distance would be wasted work.
+        """
+        return [item for item, _distance in self._scan_radius(center, radius_m)]
 
     def query_bbox(self, box: BoundingBox) -> List[T]:
         """All items whose position falls inside ``box``."""

@@ -36,6 +36,9 @@ from repro.roadnet.generator import City
 from repro.roadnet.intersections import distraction_zones_along, route_complexity
 from repro.roadnet.routing import RoutePlanner
 from repro.spatialdb import SpatialQueryEngine
+from repro.streaming.compactor import CompactionConfig, ShardedCompactor
+from repro.streaming.engine import StreamingConfig, StreamingMobilityEngine
+from repro.streaming.incremental import IncrementalConfig
 from repro.textclass import NaiveBayesClassifier
 from repro.trajectory import (
     DestinationPredictor,
@@ -61,6 +64,8 @@ class ServerConfig:
     asr_target_wer: float = 0.12
     stay_point_eps_m: float = 300.0
     min_trips_for_model: int = 2
+    streaming: StreamingConfig = StreamingConfig()
+    compaction: CompactionConfig = CompactionConfig()
 
 
 @dataclass
@@ -104,7 +109,28 @@ class PphcrServer:
             self._filter, self._compound, self._scheduler, config.proactive
         )
         self._mobility_models: Dict[str, _UserMobilityModel] = {}
+        # Converted streaming snapshots served by mobility_model(), keyed by
+        # the engine's (epoch, trip_count) so a stale copy is never reused.
+        self._streaming_served: Dict[str, tuple] = {}
         self._travel_time = TravelTimePredictor(self._planner)
+        # Streaming mobility mining: every ingested fix flows through the
+        # online sessionizer/incremental miner so compaction never has to
+        # re-read raw histories.  The stay-point radius follows the server's
+        # batch setting so both paths mine with identical parameters.
+        self._streaming: Optional[StreamingMobilityEngine] = None
+        if config.streaming.enabled:
+            incremental = replace(
+                config.streaming.incremental, eps_m=config.stay_point_eps_m
+            )
+            self._streaming = StreamingMobilityEngine(
+                replace(config.streaming, incremental=incremental), bus=self._bus
+            )
+            self._users.add_fix_listener(self._streaming.observe_fix)
+        self._compactor = ShardedCompactor(
+            self._users.tracking,
+            self._refresh_mobility_model,
+            config=config.compaction,
+        )
 
     # Component access -----------------------------------------------------
 
@@ -147,6 +173,16 @@ class PphcrServer:
     def route_planner(self) -> Optional[RoutePlanner]:
         """The road-network route planner (None without a city)."""
         return self._planner
+
+    @property
+    def streaming(self) -> Optional[StreamingMobilityEngine]:
+        """The streaming mobility engine (None when disabled)."""
+        return self._streaming
+
+    @property
+    def compactor(self) -> ShardedCompactor:
+        """The sharded compaction scheduler."""
+        return self._compactor
 
     # Classifier management --------------------------------------------------
 
@@ -242,43 +278,129 @@ class PphcrServer:
                 "trips": len(trips),
                 "stay_points": len(stay_points),
                 "clusters": len(clusters),
+                "source": "batch",
             },
         )
         return model
 
     def mobility_model(self, user_id: str) -> _UserMobilityModel:
-        """The cached mobility model (rebuilding it if necessary)."""
+        """The user's mobility model: cached batch result, live streaming
+        model, or a fresh batch rebuild — in that order of preference."""
         model = self._mobility_models.get(user_id)
+        if model is None:
+            model = self._streaming_model(user_id)
         if model is None:
             model = self.rebuild_mobility_model(user_id)
         return model
 
-    def compact_tracking_data(self, *, keep_window_s: float = 14 * 86400.0) -> Dict[str, int]:
-        """Run the periodic tracking-data compaction described in the paper.
+    @staticmethod
+    def _model_from_snapshot(snapshot) -> _UserMobilityModel:
+        return _UserMobilityModel(
+            stay_points=list(snapshot.stay_points),
+            clusters=list(snapshot.clusters),
+            trip_count=snapshot.trip_count,
+        )
 
-        "The amount of GPS data arriving to the tracking data DB requires to
-        periodically process and simplify them": for every tracked user the
-        compact mobility model is (re)built and raw fixes older than
-        ``keep_window_s`` (relative to the user's latest fix) are pruned.
-        Returns the number of fixes removed per user.
+    def _stream_is_complete_for(self, user_id: str) -> bool:
+        """Whether the engine saw every fix the tracking store holds.
+
+        Fixes written directly to the tracking store bypass the ingestion
+        listeners; serving (or worse, caching-then-pruning against) a
+        streaming model that never saw them would silently lose those
+        drives, so such users always take the batch path.
         """
-        if keep_window_s <= 0:
-            raise PipelineError("keep_window_s must be > 0")
-        removed: Dict[str, int] = {}
-        for user_id in self._users.tracking.user_ids():
+        return (
+            self._streaming is not None
+            and self._streaming.observed_fix_count(user_id)
+            == self._users.tracking.fixes_added(user_id)
+        )
+
+    def _streaming_model(self, user_id: str) -> Optional[_UserMobilityModel]:
+        """The incrementally maintained model, when it is mature enough."""
+        if self._streaming is None or not self._stream_is_complete_for(user_id):
+            return None
+        engine_model = self._streaming.model
+        freshness = (engine_model.epoch(user_id), engine_model.trip_count(user_id))
+        cached = self._streaming_served.get(user_id)
+        if cached is not None and cached[0] == freshness:
+            return cached[1]
+        snapshot = self._streaming.model_snapshot(user_id)
+        if (
+            snapshot is None
+            or snapshot.trip_count < self._config.min_trips_for_model
+            or not snapshot.stay_points
+        ):
+            return None
+        model = self._model_from_snapshot(snapshot)
+        self._streaming_served[user_id] = (freshness, model)
+        return model
+
+    def _refresh_mobility_model(self, user_id: str) -> bool:
+        """Refresh one user's model for a compaction visit.
+
+        Prefers the streaming engine — a repair over the compact trip list
+        including the open tail, O(trips) instead of O(raw history) — and
+        falls back to the batch miner when the engine did not see all of
+        the user's fixes (direct tracking-store writes, streaming disabled).
+        """
+        model: Optional[_UserMobilityModel] = None
+        if self._stream_is_complete_for(user_id):
+            snapshot = self._streaming.model_snapshot(user_id, include_open_tail=True)
+            if snapshot is not None and snapshot.stay_points:
+                model = self._model_from_snapshot(snapshot)
+        if model is None:
             try:
                 self.rebuild_mobility_model(user_id)
             except PipelineError:
-                continue
-            latest = self._users.tracking.latest_fix(user_id).timestamp_s
-            removed[user_id] = self._users.tracking.prune_before(
-                user_id, latest - keep_window_s
-            )
+                return False
+            return True
+        self._mobility_models[user_id] = model
+        self._bus.publish(
+            "tracking.model_rebuilt",
+            {
+                "user_id": user_id,
+                "trips": model.trip_count,
+                "stay_points": len(model.stay_points),
+                "clusters": len(model.clusters),
+                "source": "streaming",
+            },
+        )
+        return True
+
+    def compact_tracking_data(
+        self,
+        *,
+        keep_window_s: Optional[float] = None,
+        shard: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Run the periodic tracking-data compaction described in the paper.
+
+        "The amount of GPS data arriving to the tracking data DB requires to
+        periodically process and simplify them" — but only for users with new
+        data: the sharded compactor skips users whose fix counter has not
+        moved since their last visit, optionally restricts a pass to one
+        ``shard`` and caps it at ``budget`` users.  Each visited user gets a
+        refreshed mobility model and raw fixes older than ``keep_window_s``
+        (default: the configured ``CompactionConfig.keep_window_s``, relative
+        to their latest fix) pruned.  Returns the number of fixes removed
+        per user.
+        """
+        report = self._compactor.run_pass(
+            keep_window_s=keep_window_s, shard=shard, budget=budget
+        )
         self._bus.publish(
             "tracking.compacted",
-            {"users": len(removed), "fixes_removed": sum(removed.values())},
+            {
+                "users": len(report.visited_users),
+                "fixes_removed": report.fixes_removed,
+                "unchanged_users": report.unchanged_users,
+                "deferred_users": report.deferred_users,
+                "skipped_users": report.skipped_users,
+                "shard": -1 if report.shard is None else report.shard,
+            },
         )
-        return removed
+        return report.removed
 
     # Context building -------------------------------------------------------------
 

@@ -41,6 +41,7 @@ class TrackingStore:
     def __init__(self, *, index_cell_size_m: float = 1000.0) -> None:
         self._fixes: Dict[str, List[GpsFix]] = {}
         self._latest_index: GridIndex[str] = GridIndex(index_cell_size_m)
+        self._added_counts: Dict[str, int] = {}
 
     def add_fix(self, fix: GpsFix) -> None:
         """Append a fix for a user (must be time-ordered per user)."""
@@ -51,6 +52,7 @@ class TrackingStore:
                 f"{fix.timestamp_s} < {history[-1].timestamp_s} for user {fix.user_id!r}"
             )
         history.append(fix)
+        self._added_counts[fix.user_id] = self._added_counts.get(fix.user_id, 0) + 1
         self._latest_index.insert(fix.user_id, fix.position)
 
     def add_fixes(self, fixes: Iterable[GpsFix]) -> int:
@@ -64,6 +66,15 @@ class TrackingStore:
     def user_ids(self) -> List[str]:
         """Users that have at least one fix."""
         return sorted(self._fixes.keys())
+
+    def fixes_added(self, user_id: str) -> int:
+        """Fixes *ever* added for a user (monotonic; unaffected by pruning).
+
+        This is the dirty-tracking version counter the streaming compactor
+        compares across passes: a user whose counter has not moved has no
+        new data and can be skipped without re-mining anything.
+        """
+        return self._added_counts.get(user_id, 0)
 
     def fix_count(self, user_id: Optional[str] = None) -> int:
         """Number of stored fixes for one user or for all users."""
@@ -95,6 +106,13 @@ class TrackingStore:
         if not history:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         return history[-1]
+
+    def earliest_fix(self, user_id: str) -> GpsFix:
+        """The oldest retained fix for a user."""
+        history = self._fixes.get(user_id)
+        if not history:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        return history[0]
 
     def latest_position(self, user_id: str) -> GeoPoint:
         """The most recent position for a user."""

@@ -1,0 +1,36 @@
+"""Streaming mobility mining: incremental trip sessionization, stay-point
+and cluster maintenance, and sharded compaction.
+
+The batch pipeline (:mod:`repro.trajectory` + ``rebuild_mobility_model``)
+re-mines each user's entire GPS history on every compaction pass.  This
+package maintains the same mobility models *online*: fixes stream through
+the :class:`TripSessionizer` (gap/dwell closing rules identical to
+``split_into_trips``), completed trips fold into the
+:class:`IncrementalMobilityModel` (grid-indexed stay-point assignment and
+spawning, ``find_cluster``-based route-cluster maintenance, dirty/epoch
+drift repair), and the :class:`ShardedCompactor` visits only dirty users
+under a per-pass budget — turning compaction from O(users × history²) into
+O(new fixes).
+"""
+
+from repro.streaming.compactor import CompactionConfig, CompactionReport, ShardedCompactor
+from repro.streaming.engine import StreamingConfig, StreamingMobilityEngine
+from repro.streaming.incremental import (
+    IncrementalConfig,
+    IncrementalMobilityModel,
+    MobilitySnapshot,
+)
+from repro.streaming.sessionizer import SessionizerConfig, TripSessionizer
+
+__all__ = [
+    "CompactionConfig",
+    "CompactionReport",
+    "IncrementalConfig",
+    "IncrementalMobilityModel",
+    "MobilitySnapshot",
+    "SessionizerConfig",
+    "ShardedCompactor",
+    "StreamingConfig",
+    "StreamingMobilityEngine",
+    "TripSessionizer",
+]

@@ -1,0 +1,153 @@
+"""Sharded, budgeted compaction over the tracking store.
+
+The seed ``compact_tracking_data`` visited *every* tracked user on *every*
+pass and re-mined each one's full raw history — O(users × history²) per
+tick.  The compactor turns the pass into incremental maintenance:
+
+* **dirty tracking** — the tracking store counts fixes ever added per user;
+  the compactor remembers the count at its last visit and skips users whose
+  counter has not moved (they are reported as *unchanged*, not re-mined);
+* **sharding** — users hash-partition into ``shards`` stable shards so a
+  deployment can run one shard per tick (or per worker) and still cover the
+  whole population round-robin;
+* **budgeting** — an optional per-pass cap on visited users; users over
+  budget stay dirty and are reported as *deferred* for the next pass.
+
+Model refresh itself is delegated to a callback so the server can route it
+to the streaming engine (O(trips) repair) with the batch miner as fallback.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import PipelineError
+from repro.spatialdb.tracking_store import TrackingStore
+
+
+@dataclass(frozen=True)
+class CompactionConfig:
+    """Parameters of the compaction scheduler."""
+
+    shards: int = 4
+    max_users_per_pass: Optional[int] = None
+    keep_window_s: float = 14 * 86400.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise PipelineError("shards must be >= 1")
+        if self.max_users_per_pass is not None and self.max_users_per_pass < 1:
+            raise PipelineError("max_users_per_pass must be >= 1 when set")
+        if self.keep_window_s <= 0:
+            raise PipelineError("keep_window_s must be > 0")
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of one compaction pass."""
+
+    removed: Dict[str, int] = field(default_factory=dict)
+    visited_users: List[str] = field(default_factory=list)
+    unchanged_users: int = 0
+    deferred_users: int = 0
+    skipped_users: int = 0  # visited but lacking enough data for a model
+    shard: Optional[int] = None
+
+    @property
+    def fixes_removed(self) -> int:
+        """Total raw fixes pruned in the pass."""
+        return sum(self.removed.values())
+
+
+class ShardedCompactor:
+    """Schedules incremental compaction passes over dirty users only."""
+
+    def __init__(
+        self,
+        tracking: TrackingStore,
+        refresh_model: Callable[[str], bool],
+        *,
+        config: CompactionConfig = CompactionConfig(),
+    ) -> None:
+        self._tracking = tracking
+        self._refresh_model = refresh_model
+        self._config = config
+        self._seen_counts: Dict[str, int] = {}
+
+    @property
+    def config(self) -> CompactionConfig:
+        """The scheduler's parameters."""
+        return self._config
+
+    def shard_of(self, user_id: str) -> int:
+        """Stable shard assignment for a user (crc32, not salted ``hash``)."""
+        return zlib.crc32(user_id.encode("utf-8")) % self._config.shards
+
+    def is_dirty(self, user_id: str) -> bool:
+        """Whether the user has fixes the compactor has not yet visited."""
+        return self._tracking.fixes_added(user_id) != self._seen_counts.get(user_id)
+
+    def dirty_users(self, *, shard: Optional[int] = None) -> List[str]:
+        """Dirty users, optionally restricted to one shard."""
+        users = []
+        for user_id in self._tracking.user_ids():
+            if shard is not None and self.shard_of(user_id) != shard:
+                continue
+            if self.is_dirty(user_id):
+                users.append(user_id)
+        return users
+
+    def run_pass(
+        self,
+        *,
+        keep_window_s: Optional[float] = None,
+        shard: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> CompactionReport:
+        """Visit dirty users (in one shard, up to a budget) and compact them.
+
+        Each visited user gets a refreshed mobility model (via the injected
+        callback) and their raw fixes older than ``keep_window_s`` relative
+        to their latest fix pruned.  Clean users are counted, not touched.
+        """
+        window = self._config.keep_window_s if keep_window_s is None else keep_window_s
+        if window <= 0:
+            raise PipelineError("keep_window_s must be > 0")
+        if shard is not None and not 0 <= shard < self._config.shards:
+            raise PipelineError(
+                f"shard must be in [0, {self._config.shards}), got {shard}"
+            )
+        cap = self._config.max_users_per_pass if budget is None else budget
+        if cap is not None and cap < 1:
+            raise PipelineError("budget must be >= 1 when set")
+
+        report = CompactionReport(shard=shard)
+        for user_id in self._tracking.user_ids():
+            if shard is not None and self.shard_of(user_id) != shard:
+                continue
+            if not self.is_dirty(user_id):
+                report.unchanged_users += 1
+                # A clean user needs no re-mining, but a *tightened* window
+                # must still prune: check the cheap O(1) bound first.
+                latest = self._tracking.latest_fix(user_id).timestamp_s
+                cutoff = latest - window
+                if self._tracking.earliest_fix(user_id).timestamp_s < cutoff:
+                    report.removed[user_id] = self._tracking.prune_before(user_id, cutoff)
+                continue
+            if cap is not None and len(report.visited_users) >= cap:
+                report.deferred_users += 1
+                continue
+            report.visited_users.append(user_id)
+            # Record the counter before refreshing so fixes racing in during
+            # the visit leave the user dirty for the next pass.
+            self._seen_counts[user_id] = self._tracking.fixes_added(user_id)
+            if not self._refresh_model(user_id):
+                report.skipped_users += 1
+                continue
+            latest = self._tracking.latest_fix(user_id).timestamp_s
+            report.removed[user_id] = self._tracking.prune_before(
+                user_id, latest - window
+            )
+        return report

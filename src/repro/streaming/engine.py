@@ -1,0 +1,181 @@
+"""The streaming mobility engine: fixes in, live mobility models out.
+
+Glues the online :class:`~repro.streaming.sessionizer.TripSessionizer` to
+the :class:`~repro.streaming.incremental.IncrementalMobilityModel` and
+narrates progress on the message bus:
+
+* ``tracking.trip_completed`` — the sessionizer closed a trip;
+* ``tracking.staypoint_spawned`` — a density neighbourhood formed online;
+* ``tracking.model_repaired`` — a drift repair re-mined a trip list.
+
+The engine is registered as a fix listener on the
+:class:`~repro.users.management.UserManager`, so every fix accepted into
+the tracking DB flows through it at O(1) amortized cost, and a fresh model
+is available per user at any time without touching the raw history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.spatialdb.tracking_store import GpsFix
+from repro.streaming.incremental import (
+    IncrementalConfig,
+    IncrementalMobilityModel,
+    MobilitySnapshot,
+)
+from repro.streaming.sessionizer import SessionizerConfig, TripSessionizer
+from repro.trajectory.model import Trajectory
+
+if TYPE_CHECKING:  # imported lazily to keep streaming importable on its own
+    from repro.pipeline.messaging import MessageBus
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Switchboard for the streaming mobility subsystem."""
+
+    enabled: bool = True
+    sessionizer: SessionizerConfig = SessionizerConfig()
+    incremental: IncrementalConfig = IncrementalConfig()
+
+
+class StreamingMobilityEngine:
+    """Maintains per-user mobility models incrementally as fixes arrive."""
+
+    def __init__(
+        self,
+        config: StreamingConfig = StreamingConfig(),
+        *,
+        bus: Optional[MessageBus] = None,
+    ) -> None:
+        self._config = config
+        self._bus = bus
+        self._sessionizer = TripSessionizer(config.sessionizer)
+        self._model = IncrementalMobilityModel(config.incremental)
+        self._fixes_observed = 0
+        self._observed_per_user: dict = {}
+
+    @property
+    def config(self) -> StreamingConfig:
+        """The subsystem configuration."""
+        return self._config
+
+    @property
+    def sessionizer(self) -> TripSessionizer:
+        """The online trip segmenter."""
+        return self._sessionizer
+
+    @property
+    def model(self) -> IncrementalMobilityModel:
+        """The incremental mobility miner."""
+        return self._model
+
+    @property
+    def fixes_observed(self) -> int:
+        """Fixes consumed since the engine started."""
+        return self._fixes_observed
+
+    # Fix intake ------------------------------------------------------------
+
+    def observe_fix(self, fix: GpsFix) -> List[Trajectory]:
+        """Consume one fix; returns any trips it completed."""
+        self._fixes_observed += 1
+        counts = self._observed_per_user
+        counts[fix.user_id] = counts.get(fix.user_id, 0) + 1
+        completed = self._sessionizer.add_fix(fix)
+        for trip in completed:
+            self._fold_trip(trip)
+        return completed
+
+    def observe_fixes(self, fixes) -> List[Trajectory]:
+        """Consume a batch of fixes; returns all trips they completed."""
+        completed: List[Trajectory] = []
+        add_fix = self._sessionizer.add_fix
+        fold = self._fold_trip
+        counts = self._observed_per_user
+        count = 0
+        for fix in fixes:
+            count += 1
+            counts[fix.user_id] = counts.get(fix.user_id, 0) + 1
+            for trip in add_fix(fix):
+                fold(trip)
+                completed.append(trip)
+        self._fixes_observed += count
+        return completed
+
+    def observed_fix_count(self, user_id: str) -> int:
+        """Fixes this engine has consumed for a user (monotonic).
+
+        Comparing it against ``TrackingStore.fixes_added`` tells callers
+        whether the engine's model is complete for the user, or whether
+        fixes bypassed the listener (direct store writes) and a batch
+        rebuild over the raw history is required instead.
+        """
+        return self._observed_per_user.get(user_id, 0)
+
+    def close_user(self, user_id: str) -> List[Trajectory]:
+        """Flush a user's open tail (device gone / end of replay)."""
+        completed = self._sessionizer.close_user(user_id)
+        for trip in completed:
+            self._fold_trip(trip)
+        return completed
+
+    def _fold_trip(self, trip: Trajectory) -> None:
+        outcome = self._model.add_trip(trip)
+        if self._bus is not None:
+            self._bus.publish(
+                "tracking.trip_completed",
+                {
+                    "user_id": trip.user_id,
+                    "points": len(trip),
+                    "length_m": round(trip.length_m, 1),
+                    "duration_s": round(trip.duration_s, 1),
+                    "trips_total": self._model.trip_count(trip.user_id),
+                },
+            )
+            if outcome["spawned_stay_points"]:
+                self._bus.publish(
+                    "tracking.staypoint_spawned",
+                    {
+                        "user_id": trip.user_id,
+                        "spawned": outcome["spawned_stay_points"],
+                        "stay_points_total": self._model.stay_point_count(trip.user_id),
+                    },
+                )
+
+    # Model access ----------------------------------------------------------
+
+    def model_snapshot(
+        self, user_id: str, *, include_open_tail: bool = False
+    ) -> Optional[MobilitySnapshot]:
+        """The user's live model (None if the engine has nothing for them).
+
+        With ``include_open_tail`` the snapshot also folds in the trips the
+        open tail would yield if the stream ended now — that makes it match
+        the batch miner over the user's full history exactly, at the cost of
+        a repair-grade re-mine, so reserve it for compaction/equivalence.
+        """
+        if include_open_tail:
+            tail = self._sessionizer.peek_tail_trips(user_id)
+            return self._model.full_snapshot(user_id, tail)
+        return self._model.snapshot(user_id)
+
+    def repair_user(self, user_id: str) -> Optional[MobilitySnapshot]:
+        """Force a drift repair for one user (used by the compactor)."""
+        if not self._model.has_user(user_id):
+            return None
+        snapshot = self._model.repair(user_id)
+        if self._bus is not None:
+            self._bus.publish(
+                "tracking.model_repaired",
+                {
+                    "user_id": user_id,
+                    "epoch": snapshot.epoch,
+                    "trips": snapshot.trip_count,
+                    "stay_points": len(snapshot.stay_points),
+                    "clusters": len(snapshot.clusters),
+                },
+            )
+        return snapshot

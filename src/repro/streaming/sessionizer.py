@@ -1,0 +1,301 @@
+"""Online trip sessionization over a live GPS fix stream.
+
+The batch pipeline materializes a user's *entire* history into a
+:class:`~repro.trajectory.model.Trajectory` and re-runs
+:func:`~repro.trajectory.model.split_into_trips` on every compaction pass.
+The sessionizer instead consumes fixes one at a time, keeps only the open
+trip and the undecided tail of the stream per user, and emits each trip the
+moment its end becomes unambiguous.
+
+Equivalence with the batch splitter is by construction: the sessionizer
+replays the exact decision loop of ``split_into_trips`` over its buffered
+tail, but *defers* any decision whose outcome could still change with
+future fixes.  The only such decision is a dwell run that extends to the
+end of the data seen so far (more fixes could lengthen the dwell and move
+the resume point), so everything up to the last radius break is finalized
+eagerly.  Replaying a stream therefore yields, at any prefix,
+
+    emitted trips  +  trips still derivable from the open tail
+        ==  split_into_trips(full prefix)
+
+which the test-suite asserts point-for-point on randomized streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import TrajectoryError
+from repro.geo.geodesy import haversine_m
+from repro.spatialdb.tracking_store import GpsFix
+from repro.trajectory.model import Trajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True)
+class SessionizerConfig:
+    """Trip-boundary rules; defaults mirror ``split_into_trips``."""
+
+    stop_duration_s: float = 300.0
+    stop_radius_m: float = 75.0
+    max_gap_s: float = 300.0
+    min_trip_points: int = 5
+    min_trip_length_m: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.stop_duration_s <= 0:
+            raise TrajectoryError("stop_duration_s must be > 0")
+        if self.stop_radius_m <= 0:
+            raise TrajectoryError("stop_radius_m must be > 0")
+        if self.max_gap_s <= 0:
+            raise TrajectoryError("max_gap_s must be > 0")
+        if self.min_trip_points < 1:
+            raise TrajectoryError("min_trip_points must be >= 1")
+        if self.min_trip_length_m < 0:
+            raise TrajectoryError("min_trip_length_m must be >= 0")
+
+
+@dataclass
+class _SessionState:
+    """Per-user segmentation state: the open trip and the undecided tail."""
+
+    trip: List[TrajectoryPoint] = field(default_factory=list)
+    buffer: List[TrajectoryPoint] = field(default_factory=list)
+    #: Leading ``buffer`` points already verified to lie within
+    #: ``stop_radius_m`` of ``trip[-1]`` (valid only between deferred drains,
+    #: while the anchor is unchanged); keeps dwell scanning O(1) per fix.
+    verified: int = 0
+    #: Set while a *confirmed* stop is still running: the dwell already
+    #: exceeded ``stop_duration_s`` (the trip was closed and emitted), but
+    #: the resume point keeps moving while fixes stay within
+    #: ``stop_radius_m`` of this anchor.  Keeps a parked device at O(1)
+    #: state instead of buffering the whole dwell.
+    stop_anchor: Optional[TrajectoryPoint] = None
+    #: Running path length of ``trip``, accumulated segment by segment in
+    #: append order so it is bit-identical to ``Trajectory.length_m``.
+    trip_length_m: float = 0.0
+    total_points: int = 0
+    emitted_trips: int = 0
+
+    @property
+    def last_timestamp_s(self) -> Optional[float]:
+        if self.buffer:
+            return self.buffer[-1].timestamp_s
+        if self.trip:
+            return self.trip[-1].timestamp_s
+        return None
+
+
+class TripSessionizer:
+    """Segments per-user GPS fix streams into trips as the fixes arrive."""
+
+    def __init__(self, config: SessionizerConfig = SessionizerConfig()) -> None:
+        self._config = config
+        self._states: Dict[str, _SessionState] = {}
+
+    @property
+    def config(self) -> SessionizerConfig:
+        """The trip-boundary rules in force."""
+        return self._config
+
+    def user_ids(self) -> List[str]:
+        """Users with live segmentation state."""
+        return sorted(self._states.keys())
+
+    def open_point_count(self, user_id: str) -> int:
+        """Points held for a user (open trip + undecided tail)."""
+        state = self._states.get(user_id)
+        if state is None:
+            return 0
+        return len(state.trip) + len(state.buffer)
+
+    def emitted_trip_count(self, user_id: str) -> int:
+        """Trips emitted so far for a user."""
+        state = self._states.get(user_id)
+        return state.emitted_trips if state is not None else 0
+
+    # Ingestion -------------------------------------------------------------
+
+    def add_fix(self, fix: GpsFix) -> List[Trajectory]:
+        """Consume one fix; returns the trips this fix completed (often [])."""
+        state = self._states.setdefault(fix.user_id, _SessionState())
+        last = state.last_timestamp_s
+        if last is not None and fix.timestamp_s < last:
+            raise TrajectoryError(
+                "fixes must arrive in non-decreasing timestamp order: "
+                f"{fix.timestamp_s} < {last} for user {fix.user_id!r}"
+            )
+        point = TrajectoryPoint(fix.timestamp_s, fix.position, fix.speed_mps)
+        state.total_points += 1
+        # Fast path for the overwhelmingly common case — an open trip, no
+        # pending dwell, and a fix that plainly keeps driving: the drain
+        # loop would just append it, so do that without buffer churn.
+        if state.stop_anchor is None and not state.buffer and state.trip:
+            anchor = state.trip[-1]
+            config = self._config
+            if point.timestamp_s - anchor.timestamp_s <= config.max_gap_s:
+                distance = haversine_m(anchor.position, point.position)
+                if distance > config.stop_radius_m:
+                    state.trip.append(point)
+                    state.trip_length_m += distance
+                    return []
+        state.buffer.append(point)
+        return self._drain(fix.user_id, state, final=False)
+
+    def add_fixes(self, fixes: Iterable[GpsFix]) -> List[Trajectory]:
+        """Consume many fixes (possibly for several users)."""
+        completed: List[Trajectory] = []
+        for fix in fixes:
+            completed.extend(self.add_fix(fix))
+        return completed
+
+    def close_user(self, user_id: str) -> List[Trajectory]:
+        """Finalize a user's stream (device gone): flush the tail as batch would.
+
+        Resets the user's state; a later fix starts a fresh session.
+        """
+        state = self._states.pop(user_id, None)
+        if state is None:
+            return []
+        return self._finalize(user_id, state)
+
+    def peek_tail_trips(self, user_id: str) -> List[Trajectory]:
+        """Trips the open tail would yield if the stream ended now.
+
+        Non-destructive: the live state is untouched, so this is safe to call
+        while fixes keep arriving (used to serve full-history model snapshots).
+        """
+        state = self._states.get(user_id)
+        if state is None:
+            return []
+        copy = _SessionState(
+            trip=list(state.trip),
+            buffer=list(state.buffer),
+            verified=state.verified,
+            stop_anchor=state.stop_anchor,
+            trip_length_m=state.trip_length_m,
+            total_points=state.total_points,
+        )
+        return self._finalize(user_id, copy)
+
+    # The split_into_trips decision loop, replayed lazily ------------------
+
+    def _finalize(self, user_id: str, state: _SessionState) -> List[Trajectory]:
+        trips = self._drain(user_id, state, final=True)
+        # Batch parity: a history of fewer than 2 points yields no trips, and
+        # the trailing open trip is subjected to the same noise filters.
+        if state.total_points < 2:
+            return []
+        tail = self._qualify(user_id, state.trip, state.trip_length_m)
+        if tail is not None:
+            trips.append(tail)
+            state.emitted_trips += 1
+        state.trip = []
+        return trips
+
+    def _drain(self, user_id: str, state: _SessionState, *, final: bool) -> List[Trajectory]:
+        config = self._config
+        buffer = state.buffer
+        trip = state.trip
+        completed: List[Trajectory] = []
+        verified = state.verified
+        i = 0
+        while i < len(buffer):
+            point = buffer[i]
+            if state.stop_anchor is not None:
+                # A confirmed stop is running: points still inside the dwell
+                # radius only move the resume point; the first point outside
+                # it ends the stop and resumes normal segmentation.
+                if (
+                    haversine_m(state.stop_anchor.position, point.position)
+                    <= config.stop_radius_m
+                ):
+                    state.trip = trip = [point]
+                    state.trip_length_m = 0.0
+                    i += 1
+                    continue
+                state.stop_anchor = None
+            if not trip:
+                trip.append(point)
+                state.trip_length_m = 0.0
+                i += 1
+                verified = 0
+                continue
+            anchor = trip[-1]
+            # Boundary 1: a long reporting gap means the drive ended.
+            if point.timestamp_s - anchor.timestamp_s > config.max_gap_s:
+                closed = self._qualify(user_id, trip, state.trip_length_m)
+                if closed is not None:
+                    completed.append(closed)
+                    state.emitted_trips += 1
+                state.trip = trip = [point]
+                state.trip_length_m = 0.0
+                i += 1
+                verified = 0
+                continue
+            # Boundary 2: a dwell period while fixes keep arriving.
+            lookahead = verified if (i == 0 and verified > i) else i
+            while (
+                lookahead < len(buffer)
+                and haversine_m(anchor.position, buffer[lookahead].position) <= config.stop_radius_m
+            ):
+                lookahead += 1
+            if lookahead == len(buffer) and not final:
+                # The dwell run reaches the end of the data seen so far, so
+                # future fixes could extend it.  If its duration already
+                # proves a stop, the close decision is final (more dwelling
+                # only moves the resume point): emit now and keep O(1) state.
+                run_duration = (
+                    buffer[lookahead - 1].timestamp_s - anchor.timestamp_s
+                    if lookahead > i
+                    else 0.0
+                )
+                if run_duration >= config.stop_duration_s:
+                    closed = self._qualify(user_id, trip, state.trip_length_m)
+                    if closed is not None:
+                        completed.append(closed)
+                        state.emitted_trips += 1
+                    state.stop_anchor = anchor
+                    state.trip = trip = [buffer[-1]]
+                    state.trip_length_m = 0.0
+                    i = len(buffer)
+                    verified = 0
+                # Otherwise defer the whole decision to the next drain.
+                break
+            stopped_duration = (
+                buffer[lookahead - 1].timestamp_s - anchor.timestamp_s if lookahead > i else 0.0
+            )
+            if stopped_duration >= config.stop_duration_s:
+                closed = self._qualify(user_id, trip, state.trip_length_m)
+                if closed is not None:
+                    completed.append(closed)
+                    state.emitted_trips += 1
+                state.trip = trip = [buffer[lookahead - 1]]
+                state.trip_length_m = 0.0
+                i = lookahead
+            else:
+                state.trip_length_m += haversine_m(anchor.position, point.position)
+                trip.append(point)
+                i += 1
+            verified = 0
+        del buffer[:i]
+        # The loop only leaves points behind when a dwell run was scanned to
+        # the (current) end of the buffer, so the next drain can skip them.
+        state.verified = len(buffer)
+        return completed
+
+    def _qualify(
+        self, user_id: str, points: List[TrajectoryPoint], length_m: float
+    ) -> Optional[Trajectory]:
+        """Apply the batch splitter's noise filters to a closed point run.
+
+        ``length_m`` is the running path length maintained at append time —
+        segment sums in the same order as ``Trajectory.length_m``, so the
+        minimum-length filter decides exactly as the batch splitter does
+        without re-walking the trip.
+        """
+        if len(points) < self._config.min_trip_points:
+            return None
+        if length_m < self._config.min_trip_length_m:
+            return None
+        return Trajectory(user_id, list(points))

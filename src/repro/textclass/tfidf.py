@@ -8,7 +8,7 @@ category-level profile matching.
 from __future__ import annotations
 
 import math
-from collections import Counter
+from collections import Counter, OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ClassificationError
@@ -21,11 +21,24 @@ SparseVector = Dict[int, float]
 class TfIdfVectorizer:
     """Classic TF-IDF with smoothed inverse document frequency."""
 
-    def __init__(self, *, tokenizer: Optional[Tokenizer] = None, max_features: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        tokenizer: Optional[Tokenizer] = None,
+        max_features: Optional[int] = None,
+        cache_size: int = 4096,
+    ) -> None:
         self._tokenizer = tokenizer or Tokenizer()
         self._max_features = max_features
         self._vocabulary: Optional[Vocabulary] = None
         self._idf: List[float] = []
+        # Transforming the same transcript is a ranking hot path (every
+        # recommend tick re-vectorizes candidate clips), so vectors are
+        # memoized per document text; a refit invalidates the lot.
+        self._cache_size = max(0, cache_size)
+        self._cache: "OrderedDict[str, SparseVector]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def is_fitted(self) -> bool:
@@ -55,11 +68,37 @@ class TfIdfVectorizer:
         self._idf = [
             math.log((1 + n) / (1 + df)) + 1.0 for df in document_frequency
         ]
+        # The fitted vocabulary/IDF changed: memoized vectors are stale.
+        self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
         return self
 
     def transform(self, document: str) -> SparseVector:
-        """Vectorize one document into a sparse, L2-normalized TF-IDF vector."""
+        """Vectorize one document into a sparse, L2-normalized TF-IDF vector.
+
+        Vectors are memoized per document text (LRU, ``cache_size`` entries)
+        so repeated transforms — ``transform_many`` over a clip archive full
+        of recurring transcripts — skip tokenization entirely.  Callers get
+        a fresh dict each time, so mutating a result cannot poison the cache.
+        """
         self._require_fitted()
+        if self._cache_size > 0:
+            cached = self._cache.get(document)
+            if cached is not None:
+                self._cache.move_to_end(document)
+                self._cache_hits += 1
+                return dict(cached)
+            self._cache_misses += 1
+        vector = self._vectorize(document)
+        if self._cache_size > 0:
+            self._cache[document] = vector
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+            return dict(vector)
+        return vector
+
+    def _vectorize(self, document: str) -> SparseVector:
         tokens = self._tokenizer.tokenize(document)
         counts = Counter(
             self._vocabulary.index_of(token) for token in tokens if token in self._vocabulary
@@ -81,8 +120,17 @@ class TfIdfVectorizer:
         return [self.transform(document) for document in documents]
 
     def transform_many(self, documents: Iterable[str]) -> List[SparseVector]:
-        """Vectorize a batch."""
+        """Vectorize a batch (repeated documents tokenize once)."""
         return [self.transform(document) for document in documents]
+
+    def cache_info(self) -> Dict[str, int]:
+        """Memoization counters: hits, misses, current size, capacity."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "capacity": self._cache_size,
+        }
 
     def _require_fitted(self) -> None:
         if self._vocabulary is None:

@@ -43,13 +43,15 @@ def dbscan(
     if n == 0:
         return []
 
-    # Index points for fast eps-neighbourhood queries.
+    # Index points for fast eps-neighbourhood queries: each region query is
+    # a grid-cell lookup (unsorted, distances discarded) instead of a scan
+    # over all points.
     index: GridIndex[int] = GridIndex(max(eps_m, 50.0))
     for i, point in enumerate(points):
         index.insert(i, point)
 
     def region_query(i: int) -> List[int]:
-        return [j for j, _distance in index.query_radius(points[i], eps_m)]
+        return index.query_radius_items(points[i], eps_m)
 
     cluster_id = 0
     for i in range(n):
@@ -61,6 +63,11 @@ def dbscan(
             continue
         labels[i] = cluster_id
         seeds = [j for j in neighbours if j != i]
+        # One membership set maintained across the whole expansion: the seed
+        # implementation rebuilt set(seeds) for every core point, an O(n²)
+        # inner scan on dense clusters.
+        enqueued = set(seeds)
+        enqueued.add(i)
         position = 0
         while position < len(seeds):
             j = seeds[position]
@@ -72,11 +79,10 @@ def dbscan(
             labels[j] = cluster_id
             j_neighbours = region_query(j)
             if len(j_neighbours) >= min_samples:
-                known = set(seeds)
                 for k in j_neighbours:
-                    if k not in known:
+                    if k not in enqueued:
                         seeds.append(k)
-                        known.add(k)
+                        enqueued.add(k)
         cluster_id += 1
     return [label if label is not None else NOISE for label in labels]
 

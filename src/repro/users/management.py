@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.content.repository import ContentRepository
 from repro.errors import DuplicateError, NotFoundError
@@ -30,6 +30,7 @@ class UserManager:
         self._feedback = FeedbackStore()
         self._tracking = tracking if tracking is not None else TrackingStore()
         self._content = content
+        self._fix_listeners: List[Callable[[GpsFix], None]] = []
 
     # Registration ----------------------------------------------------------
 
@@ -118,10 +119,20 @@ class UserManager:
         """The tracking (spatial) store."""
         return self._tracking
 
+    def add_fix_listener(self, listener: Callable[[GpsFix], None]) -> None:
+        """Register a callback invoked for every fix accepted into storage.
+
+        The streaming mobility engine subscribes here so trip sessionization
+        and model maintenance happen inline with ingestion.
+        """
+        self._fix_listeners.append(listener)
+
     def ingest_fix(self, fix: GpsFix) -> None:
         """Store a GPS fix for a registered user."""
         self.profile(fix.user_id)
         self._tracking.add_fix(fix)
+        for listener in self._fix_listeners:
+            listener(fix)
 
     def ingest_fixes(self, fixes: List[GpsFix], *, skip_stale: bool = False) -> int:
         """Store many GPS fixes.

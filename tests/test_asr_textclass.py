@@ -295,3 +295,64 @@ class TestTfIdf:
         vectorizer.fit(["abc def fed cab", "fed abc"])
         vector = vectorizer.transform(text)
         assert all(value >= 0 for value in vector.values())
+
+
+class _CountingTokenizer(Tokenizer):
+    """Tokenizer that counts how often a document is actually tokenized."""
+
+    def __init__(self):
+        super().__init__(stopwords=[])
+        self.calls = 0
+
+    def tokenize(self, text):
+        self.calls += 1
+        return super().tokenize(text)
+
+
+class TestTfIdfMemoization:
+    def test_repeated_transforms_tokenize_once(self):
+        tokenizer = _CountingTokenizer()
+        vectorizer = TfIdfVectorizer(tokenizer=tokenizer)
+        vectorizer.fit(["borsa economia banca", "calcio goal squadra"])
+        tokenizer.calls = 0
+        first = vectorizer.transform("borsa banca banca")
+        repeats = vectorizer.transform_many(["borsa banca banca"] * 50)
+        assert tokenizer.calls == 1
+        assert all(vector == first for vector in repeats)
+        info = vectorizer.cache_info()
+        assert info["hits"] == 50
+        assert info["misses"] == 1
+
+    def test_refit_invalidates_cached_vectors(self):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]))
+        vectorizer.fit(["borsa economia banca", "calcio goal squadra"])
+        before = vectorizer.transform("borsa banca")
+        # A refit over a different corpus shifts the IDF weights: the cached
+        # vector must not be served back.
+        vectorizer.fit(["borsa calcio", "banca borsa calcio", "tennis vela"])
+        after = vectorizer.transform("borsa banca")
+        assert before != after
+        assert vectorizer.cache_info()["hits"] == 0
+
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]))
+        vectorizer.fit(["borsa economia banca"])
+        vector = vectorizer.transform("borsa banca")
+        vector[0] = 999.0
+        assert vectorizer.transform("borsa banca") != vector
+
+    def test_cache_capacity_is_bounded(self):
+        vectorizer = TfIdfVectorizer(tokenizer=Tokenizer(stopwords=[]), cache_size=3)
+        vectorizer.fit(["alfa beta gamma delta epsilon zeta"])
+        for word in ["alfa", "beta", "gamma", "delta", "epsilon"]:
+            vectorizer.transform(word)
+        assert vectorizer.cache_info()["size"] == 3
+
+    def test_cache_can_be_disabled(self):
+        tokenizer = _CountingTokenizer()
+        vectorizer = TfIdfVectorizer(tokenizer=tokenizer, cache_size=0)
+        vectorizer.fit(["alfa beta"])
+        tokenizer.calls = 0
+        vectorizer.transform("alfa")
+        vectorizer.transform("alfa")
+        assert tokenizer.calls == 2

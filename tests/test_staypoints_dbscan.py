@@ -1,0 +1,118 @@
+"""Grid-accelerated DBSCAN must label exactly like the O(n²) reference."""
+
+import random
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.trajectory.staypoints import NOISE, dbscan, detect_stay_points
+
+
+def reference_dbscan(points, *, eps_m, min_samples):
+    """Textbook DBSCAN with a brute-force O(n²) region query."""
+    n = len(points)
+    labels = [None] * n
+
+    def region_query(i):
+        return [
+            j for j in range(n) if haversine_m(points[i], points[j]) <= eps_m
+        ]
+
+    cluster_id = 0
+    for i in range(n):
+        if labels[i] is not None:
+            continue
+        neighbours = region_query(i)
+        if len(neighbours) < min_samples:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster_id
+        seeds = [j for j in neighbours if j != i]
+        position = 0
+        while position < len(seeds):
+            j = seeds[position]
+            position += 1
+            if labels[j] == NOISE:
+                labels[j] = cluster_id
+            if labels[j] is not None:
+                continue
+            labels[j] = cluster_id
+            j_neighbours = region_query(j)
+            if len(j_neighbours) >= min_samples:
+                known = set(seeds)
+                for k in j_neighbours:
+                    if k not in known:
+                        seeds.append(k)
+                        known.add(k)
+        cluster_id += 1
+    return [label if label is not None else NOISE for label in labels]
+
+
+def clustered_points(rng, *, clusters=4, per_cluster=15, noise=10, spread_m=120.0):
+    base = GeoPoint(45.0, 7.6)
+    points = []
+    for cluster in range(clusters):
+        center = destination_point(base, rng.uniform(0, 360), rng.uniform(2000.0, 20000.0))
+        for _ in range(per_cluster):
+            points.append(
+                destination_point(center, rng.uniform(0, 360), rng.uniform(0.0, spread_m))
+            )
+    for _ in range(noise):
+        points.append(destination_point(base, rng.uniform(0, 360), rng.uniform(0.0, 40000.0)))
+    return rng.sample(points, len(points))  # shuffle the insertion order
+
+
+class TestDbscanGridEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_labels_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        points = clustered_points(
+            rng,
+            clusters=rng.randint(2, 5),
+            per_cluster=rng.randint(4, 20),
+            noise=rng.randint(0, 15),
+            spread_m=rng.choice([60.0, 120.0, 200.0]),
+        )
+        eps_m = rng.choice([100.0, 150.0, 300.0])
+        min_samples = rng.choice([2, 3, 5])
+        assert dbscan(points, eps_m=eps_m, min_samples=min_samples) == reference_dbscan(
+            points, eps_m=eps_m, min_samples=min_samples
+        )
+
+    def test_dense_overlapping_blobs_match(self):
+        # Blobs closer than eps merge through border chains — the trickiest
+        # case for expansion bookkeeping.
+        rng = random.Random(99)
+        base = GeoPoint(45.0, 7.6)
+        points = []
+        for step in range(6):
+            center = destination_point(base, 90.0, step * 130.0)
+            for _ in range(12):
+                points.append(
+                    destination_point(center, rng.uniform(0, 360), rng.uniform(0.0, 80.0))
+                )
+        labels = dbscan(points, eps_m=150.0, min_samples=3)
+        assert labels == reference_dbscan(points, eps_m=150.0, min_samples=3)
+        assert max(labels) == 0  # the chain merges into a single cluster
+
+    def test_empty_and_all_noise(self):
+        assert dbscan([], eps_m=100.0) == []
+        rng = random.Random(5)
+        base = GeoPoint(45.0, 7.6)
+        lonely = [destination_point(base, rng.uniform(0, 360), 5000.0 * (i + 1)) for i in range(6)]
+        assert dbscan(lonely, eps_m=100.0, min_samples=2) == [NOISE] * 6
+
+    def test_detect_stay_points_still_ranks_by_support(self):
+        rng = random.Random(17)
+        base = GeoPoint(45.0, 7.6)
+        big = [destination_point(base, rng.uniform(0, 360), rng.uniform(0, 60.0)) for _ in range(9)]
+        small_center = destination_point(base, 45.0, 9000.0)
+        small = [
+            destination_point(small_center, rng.uniform(0, 360), rng.uniform(0, 60.0))
+            for _ in range(4)
+        ]
+        stay_points = detect_stay_points(big + small, eps_m=150.0, min_samples=3)
+        assert [sp.stay_point_id for sp in stay_points] == [0, 1]
+        assert stay_points[0].support == 9
+        assert stay_points[1].support == 4

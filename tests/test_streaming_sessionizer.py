@@ -1,0 +1,173 @@
+"""Online sessionizer vs. batch ``split_into_trips``: exact equivalence."""
+
+import random
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point
+from repro.spatialdb import GpsFix
+from repro.streaming import SessionizerConfig, TripSessionizer
+from repro.trajectory.model import Trajectory, split_into_trips
+
+
+def trip_key(trip):
+    """Value identity of a trajectory: (t, lat, lon, speed) per point."""
+    return [(p.timestamp_s, p.position.lat, p.position.lon, p.speed_mps) for p in trip.points]
+
+
+def batch_trips(fixes, config):
+    if len(fixes) < 1:
+        return []
+    return split_into_trips(
+        Trajectory.from_fixes("u", fixes),
+        stop_duration_s=config.stop_duration_s,
+        stop_radius_m=config.stop_radius_m,
+        max_gap_s=config.max_gap_s,
+        min_trip_points=config.min_trip_points,
+        min_trip_length_m=config.min_trip_length_m,
+    )
+
+
+def random_stream(rng, count, *, user_id="u"):
+    """A stream mixing drives, dwells and reporting gaps."""
+    fixes = []
+    timestamp = 0.0
+    position = GeoPoint(45.0, 7.6)
+    for _ in range(count):
+        action = rng.random()
+        if action < 0.08:
+            timestamp += rng.uniform(250.0, 900.0)  # straddles the gap rule
+        elif action < 0.30:
+            timestamp += rng.uniform(10.0, 40.0)  # dwell: barely moves
+            position = destination_point(position, rng.uniform(0, 360), rng.uniform(0.0, 60.0))
+        else:
+            timestamp += rng.uniform(5.0, 30.0)  # drive
+            position = destination_point(position, rng.uniform(0, 360), rng.uniform(80.0, 400.0))
+        fixes.append(GpsFix(user_id, timestamp, position, speed_mps=rng.uniform(0.0, 30.0)))
+    return fixes
+
+
+class TestSessionizerEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fix_by_fix_replay_matches_batch(self, seed):
+        rng = random.Random(seed)
+        fixes = random_stream(rng, rng.randint(2, 350))
+        config = SessionizerConfig(
+            stop_duration_s=rng.choice([120.0, 300.0]),
+            stop_radius_m=rng.choice([75.0, 150.0]),
+            max_gap_s=rng.choice([300.0, 600.0]),
+            min_trip_points=rng.choice([2, 5]),
+            min_trip_length_m=rng.choice([0.0, 400.0]),
+        )
+        sessionizer = TripSessionizer(config)
+        emitted = []
+        for fix in fixes:
+            emitted.extend(sessionizer.add_fix(fix))
+        emitted.extend(sessionizer.close_user("u"))
+        assert [trip_key(t) for t in emitted] == [trip_key(t) for t in batch_trips(fixes, config)]
+
+    @pytest.mark.parametrize("seed", range(12, 20))
+    def test_prefix_peek_matches_batch_at_every_chunk(self, seed):
+        """Mid-stream, emitted + peeked tail == batch over the prefix."""
+        rng = random.Random(seed)
+        fixes = random_stream(rng, rng.randint(10, 250))
+        config = SessionizerConfig(stop_duration_s=180.0, min_trip_points=3, min_trip_length_m=200.0)
+        sessionizer = TripSessionizer(config)
+        emitted = []
+        consumed = 0
+        while consumed < len(fixes):
+            chunk = rng.randint(1, 9)
+            emitted.extend(sessionizer.add_fixes(fixes[consumed : consumed + chunk]))
+            consumed += chunk
+            online = [trip_key(t) for t in emitted] + [
+                trip_key(t) for t in sessionizer.peek_tail_trips("u")
+            ]
+            reference = [trip_key(t) for t in batch_trips(fixes[:consumed], config)]
+            assert online == reference
+
+    def test_peek_is_non_destructive(self):
+        rng = random.Random(99)
+        fixes = random_stream(rng, 120)
+        config = SessionizerConfig()
+        sessionizer = TripSessionizer(config)
+        emitted = []
+        for fix in fixes:
+            emitted.extend(sessionizer.add_fix(fix))
+            sessionizer.peek_tail_trips("u")
+            sessionizer.peek_tail_trips("u")  # twice: still must not disturb state
+        emitted.extend(sessionizer.close_user("u"))
+        assert [trip_key(t) for t in emitted] == [trip_key(t) for t in batch_trips(fixes, config)]
+
+
+class TestSessionizerBehaviour:
+    def _drive(self, start_s, origin, *, bearing=90.0, points=12, step_s=20.0, step_m=250.0):
+        fixes = []
+        position = origin
+        for index in range(points):
+            fixes.append(GpsFix("u", start_s + index * step_s, position, speed_mps=12.0))
+            position = destination_point(position, bearing, step_m)
+        return fixes
+
+    def test_gap_closes_trip_immediately(self):
+        sessionizer = TripSessionizer()
+        origin = GeoPoint(45.0, 7.6)
+        emitted = sessionizer.add_fixes(self._drive(0.0, origin))
+        assert emitted == []  # the drive is still open
+        # One fix after a long silence closes the previous trip.
+        far = destination_point(origin, 90.0, 10000.0)
+        emitted = sessionizer.add_fix(GpsFix("u", 5000.0, far))
+        assert len(emitted) == 1
+        assert emitted[0].user_id == "u"
+        assert len(emitted[0]) == 12
+        assert sessionizer.emitted_trip_count("u") == 1
+
+    def test_single_point_history_yields_no_trips(self):
+        sessionizer = TripSessionizer(SessionizerConfig(min_trip_points=1, min_trip_length_m=0.0))
+        sessionizer.add_fix(GpsFix("u", 0.0, GeoPoint(45.0, 7.6)))
+        assert sessionizer.close_user("u") == []
+
+    def test_out_of_order_fix_rejected(self):
+        sessionizer = TripSessionizer()
+        sessionizer.add_fix(GpsFix("u", 100.0, GeoPoint(45.0, 7.6)))
+        with pytest.raises(TrajectoryError):
+            sessionizer.add_fix(GpsFix("u", 50.0, GeoPoint(45.0, 7.6)))
+
+    def test_streams_are_per_user(self):
+        sessionizer = TripSessionizer()
+        a = GeoPoint(45.0, 7.6)
+        b = GeoPoint(45.2, 7.8)
+        sessionizer.add_fixes(self._drive(0.0, a))
+        for fix in self._drive(0.0, b):
+            sessionizer.add_fix(GpsFix("other", fix.timestamp_s, fix.position, fix.speed_mps))
+        assert sessionizer.user_ids() == ["other", "u"]
+        assert sessionizer.open_point_count("u") == 12
+        assert len(sessionizer.close_user("u")) == 1
+        assert sessionizer.open_point_count("u") == 0
+        # The other user's stream is untouched.
+        assert sessionizer.open_point_count("other") == 12
+
+    def test_close_unknown_user_is_noop(self):
+        assert TripSessionizer().close_user("ghost") == []
+
+    def test_open_state_stays_bounded_during_long_dwell(self):
+        """A parked car reporting for hours must not grow the buffers."""
+        sessionizer = TripSessionizer()
+        origin = GeoPoint(45.0, 7.6)
+        sessionizer.add_fixes(self._drive(0.0, origin, points=20))
+        parked = destination_point(origin, 90.0, 20 * 250.0)
+        for index in range(500):
+            sessionizer.add_fix(GpsFix("u", 400.0 + index * 30.0, parked, speed_mps=0.0))
+        # The open trip was closed as soon as the dwell duration was proven;
+        # the rest of the parked period collapses to the moving resume point.
+        assert sessionizer.emitted_trip_count("u") == 1
+        assert sessionizer.open_point_count("u") <= 2
+
+    def test_config_validation(self):
+        with pytest.raises(TrajectoryError):
+            SessionizerConfig(stop_duration_s=0.0)
+        with pytest.raises(TrajectoryError):
+            SessionizerConfig(max_gap_s=-1.0)
+        with pytest.raises(TrajectoryError):
+            SessionizerConfig(min_trip_points=0)
