@@ -1,0 +1,270 @@
+"""PERF — signature-cached route clustering vs. the pairwise reference path.
+
+``RouteCluster.geometric_coherence`` was the last O(trips²)-with-resampling
+path on the ingest loop: every pairwise ``route_similarity`` call rebuilt
+both polylines and re-interpolated 20 sample points.  The fast path builds
+one cached :class:`~repro.trajectory.features.RouteSignature` per trip
+(arc-length samples with precomputed radians/cosines, shared across every
+pair, cluster and streaming repair) and accumulates a running pairwise
+similarity sum per cluster, so coherence is O(1) to read and O(members) to
+update when a trip joins.
+
+Workload (from the issue's acceptance criteria): a 1 000-trip commuter
+history over four recurring routes.  The reference path is timed on a
+subset of each cluster's pairs and scaled (it is the slow side being
+replaced); the fast path clusters the full history and reads every
+cluster's coherence cold.  The bench asserts a >= 5x speedup and that
+coherence values and per-pair similarities agree with the reference within
+1e-9.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_perf_route_clustering.py -q
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from conftest import format_table, write_result
+
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point, initial_bearing_deg
+from repro.trajectory.clustering import RouteCluster, cluster_trips
+from repro.trajectory.features import (
+    route_signature,
+    route_similarity,
+    route_similarity_signatures,
+)
+from repro.trajectory.model import Trajectory, TrajectoryPoint
+from repro.trajectory.staypoints import StayPoint
+from repro.util.rng import DeterministicRng
+
+TRIP_COUNT = 1000
+#: Trips per cluster timed on the reference path (it is ~an order of
+#: magnitude slower per pair; the full-history cost is scaled from this).
+REFERENCE_SUBSET = 40
+TRIP_POINTS = 24
+BASE = GeoPoint(45.07, 7.68)
+
+
+def _trip(rng: DeterministicRng, user_id: str, origin: GeoPoint, destination: GeoPoint,
+          departure_s: float) -> Trajectory:
+    """A direct drive between two anchors with per-trip jitter."""
+    bearing = initial_bearing_deg(origin, destination) + rng.uniform(-3.0, 3.0)
+    total = origin.distance_m(destination)
+    points: List[TrajectoryPoint] = []
+    for step in range(TRIP_POINTS):
+        position = destination_point(origin, bearing, total * step / (TRIP_POINTS - 1))
+        position = destination_point(
+            position, rng.uniform(0.0, 360.0), abs(rng.gauss(0.0, 8.0))
+        )
+        points.append(TrajectoryPoint(departure_s + step * 20.0, position, 11.0))
+    return Trajectory(user_id, points)
+
+
+def build_history(seed: int = 11) -> Tuple[List[Trajectory], List[StayPoint]]:
+    """A 1 000-trip commuter history over four recurring routes.
+
+    Three stay anchors (home, work, gym) give four (origin, destination)
+    route clusters of 250 trips each; the stay points are constructed
+    directly at the anchors so the bench isolates the clustering/coherence
+    cost from stay-point mining.
+    """
+    rng = DeterministicRng(seed)
+    home = BASE
+    work = destination_point(home, 52.0, 5200.0)
+    gym = destination_point(home, 165.0, 3800.0)
+    anchors = {0: home, 1: work, 2: gym}
+    stay_points = [
+        StayPoint(stay_point_id=sp_id, center=center, support=10, total_dwell_s=3600.0)
+        for sp_id, center in anchors.items()
+    ]
+    routes = [(0, 1), (1, 0), (0, 2), (2, 0)]
+    trips: List[Trajectory] = []
+    per_route = TRIP_COUNT // len(routes)
+    for repetition in range(per_route):
+        for route_index, (origin_id, destination_id) in enumerate(routes):
+            trng = rng.fork("trip", repetition, route_index)
+            trips.append(
+                _trip(
+                    trng,
+                    "commuter-0",
+                    anchors[origin_id],
+                    anchors[destination_id],
+                    departure_s=repetition * 86400.0 + (7.5 + 3.0 * route_index) * 3600.0,
+                )
+            )
+    return trips, stay_points
+
+
+def _cluster_key(cluster: RouteCluster) -> Tuple[int, int]:
+    return (cluster.origin_stay_point, cluster.destination_stay_point)
+
+
+def reference_coherence(trips: List[Trajectory]) -> float:
+    """The seed implementation: pairwise ``route_similarity``, resampling per pair."""
+    if len(trips) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for index, trip_a in enumerate(trips):
+        for trip_b in trips[index + 1 :]:
+            total += route_similarity(trip_a, trip_b)
+            pairs += 1
+    return total / pairs
+
+
+def reference_subset_run(
+    clusters: List[RouteCluster], subset: int
+) -> Tuple[Dict[Tuple[int, int], float], int]:
+    """Reference coherence over each cluster's first ``subset`` trips.
+
+    Returns the values and the number of pairs actually evaluated (the
+    full-history reference cost is scaled from it).
+    """
+    values: Dict[Tuple[int, int], float] = {}
+    pairs = 0
+    for cluster in clusters:
+        members = cluster.trips[:subset]
+        values[_cluster_key(cluster)] = reference_coherence(members)
+        pairs += len(members) * (len(members) - 1) // 2
+    return values, pairs
+
+
+def fast_run(
+    trips: List[Trajectory], stay_points: List[StayPoint]
+) -> Tuple[List[RouteCluster], Dict[Tuple[int, int], float]]:
+    """Cluster the full history and read every coherence via signatures."""
+    clusters = cluster_trips(trips, stay_points)
+    return clusters, {_cluster_key(c): c.geometric_coherence() for c in clusters}
+
+
+def incremental_replay(
+    trips: List[Trajectory], stay_points: List[StayPoint]
+) -> int:
+    """Stream the history trip-by-trip with a coherence read per join.
+
+    Mirrors the streaming engine's maintenance pattern: each join updates
+    the running sum in O(members) and the read is O(1).  Returns the number
+    of joins performed.
+    """
+    clusters = cluster_trips(trips, stay_points)
+    by_key = {_cluster_key(c): c for c in clusters}
+    live: Dict[Tuple[int, int], RouteCluster] = {}
+    joins = 0
+    for key, source in by_key.items():
+        live[key] = RouteCluster(
+            cluster_id=source.cluster_id,
+            origin_stay_point=key[0],
+            destination_stay_point=key[1],
+        )
+    for key, source in by_key.items():
+        target = live[key]
+        for trip in source.trips:
+            target.add_trip(trip)
+            target.geometric_coherence()
+            joins += 1
+    return joins
+
+
+def test_perf_route_clustering_fast_path(benchmark):
+    trips, stay_points = build_history()
+
+    # Reference path: cluster once (shared cost), then time the pairwise
+    # coherence loop over a subset of each cluster and scale by pair count.
+    reference_clusters = cluster_trips(trips, stay_points)
+    total_pairs = sum(
+        len(c.trips) * (len(c.trips) - 1) // 2 for c in reference_clusters
+    )
+    start = time.perf_counter()
+    reference_values, subset_pairs = reference_subset_run(
+        reference_clusters, REFERENCE_SUBSET
+    )
+    reference_elapsed = time.perf_counter() - start
+    reference_scaled = reference_elapsed * (total_pairs / subset_pairs)
+
+    # Fast path, cold signature cache: cluster + all coherences.
+    start = time.perf_counter()
+    fast_clusters, fast_values = fast_run(trips, stay_points)
+    fast_elapsed = time.perf_counter() - start
+
+    # Correctness first: (a) the same subsets score identically through the
+    # running-sum path, (b) sampled pairs match the reference per pair.
+    max_diff = 0.0
+    for cluster in fast_clusters:
+        subset_cluster = RouteCluster(
+            cluster_id=cluster.cluster_id,
+            origin_stay_point=cluster.origin_stay_point,
+            destination_stay_point=cluster.destination_stay_point,
+            trips=list(cluster.trips[:REFERENCE_SUBSET]),
+        )
+        diff = abs(
+            subset_cluster.geometric_coherence() - reference_values[_cluster_key(cluster)]
+        )
+        max_diff = max(max_diff, diff)
+    rng = DeterministicRng(99)
+    for _ in range(200):
+        a = trips[int(rng.uniform(0, len(trips) - 1))]
+        b = trips[int(rng.uniform(0, len(trips) - 1))]
+        pair_diff = abs(
+            route_similarity_signatures(route_signature(a), route_signature(b))
+            - route_similarity(a, b)
+        )
+        max_diff = max(max_diff, pair_diff)
+    assert max_diff <= 1e-9, f"fast path diverged from reference by {max_diff}"
+
+    speedup = reference_scaled / max(fast_elapsed, 1e-9)
+    assert speedup >= 5.0, (
+        f"fast path only {speedup:.1f}x faster "
+        f"({reference_scaled * 1000:.0f}ms scaled vs {fast_elapsed * 1000:.0f}ms)"
+    )
+
+    # Streaming maintenance pattern (warm cache): joins with O(1) reads.
+    start = time.perf_counter()
+    joins = incremental_replay(trips, stay_points)
+    incremental_elapsed = time.perf_counter() - start
+
+    # Steady-state coherence reads for the benchmark stats (sums are warm).
+    benchmark.pedantic(
+        lambda: [cluster.geometric_coherence() for cluster in fast_clusters],
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "path": f"reference (pairwise resample, {REFERENCE_SUBSET}/cluster scaled)",
+            "trips": len(trips),
+            "pairs": total_pairs,
+            "elapsed_ms": f"{reference_scaled * 1000:.1f}",
+            "pairs_per_s": f"{total_pairs / reference_scaled:.0f}",
+        },
+        {
+            "path": "fast (cached signatures + running sums, cold)",
+            "trips": len(trips),
+            "pairs": total_pairs,
+            "elapsed_ms": f"{fast_elapsed * 1000:.1f}",
+            "pairs_per_s": f"{total_pairs / fast_elapsed:.0f}",
+        },
+        {
+            "path": "incremental joins (O(members) update + O(1) read)",
+            "trips": joins,
+            "pairs": total_pairs,
+            "elapsed_ms": f"{incremental_elapsed * 1000:.1f}",
+            "pairs_per_s": f"{joins / incremental_elapsed:.0f} joins/s",
+        },
+    ]
+    lines = format_table(rows)
+    lines.append("")
+    lines.append(
+        f"speedup: {speedup:.1f}x   max |fast - reference| = {max_diff:.2e}   "
+        f"clusters: {len(fast_clusters)}"
+    )
+    write_result("perf_route_clustering", lines)
+
+    assert {_cluster_key(c) for c in fast_clusters} == set(fast_values)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["max_coherence_diff"] = max_diff
+    benchmark.extra_info["reference_pairs_per_s"] = round(total_pairs / reference_scaled)
+    benchmark.extra_info["fast_pairs_per_s"] = round(total_pairs / fast_elapsed)
+    benchmark.extra_info["incremental_joins_per_s"] = round(joins / incremental_elapsed)

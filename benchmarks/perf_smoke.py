@@ -7,7 +7,9 @@ the performance trajectory is tracked from PR to PR:
 * ``BENCH_geo_scoring.json`` — batched geographic-relevance scoring
   (PR 1's fast path vs. the per-clip reference path);
 * ``BENCH_streaming_ingest.json`` — streaming mobility mining
-  (sessionizer + incremental models vs. per-tick batch rebuilds).
+  (sessionizer + incremental models vs. per-tick batch rebuilds);
+* ``BENCH_route_clustering.json`` — signature-cached route-cluster
+  coherence (PR 3's fast path vs. the pairwise-resampling reference).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -27,6 +29,14 @@ from bench_perf_geo_scoring import (  # noqa: E402
     build_workload,
     fast_scores,
     reference_scores,
+)
+from bench_perf_route_clustering import (  # noqa: E402
+    REFERENCE_SUBSET as CLUSTERING_REFERENCE_SUBSET,
+    TRIP_COUNT,
+    build_history,
+    cluster_trips,
+    fast_run,
+    reference_subset_run,
 )
 from bench_streaming_ingest import (  # noqa: E402
     BASELINE_SUBSET,
@@ -138,8 +148,80 @@ def smoke_streaming_ingest() -> str:
     return path
 
 
+def smoke_route_clustering() -> str:
+    trips, stay_points = build_history()
+
+    # Reference path over a per-cluster pair subset (the slow side being
+    # replaced), scaled to the full pair count.
+    reference_clusters = cluster_trips(trips, stay_points)
+    total_pairs = sum(
+        len(c.trips) * (len(c.trips) - 1) // 2 for c in reference_clusters
+    )
+    start = time.perf_counter()
+    reference_values, subset_pairs = reference_subset_run(
+        reference_clusters, CLUSTERING_REFERENCE_SUBSET
+    )
+    reference_elapsed = time.perf_counter() - start
+    reference_scaled = reference_elapsed * (total_pairs / subset_pairs)
+    reference_ops = total_pairs / reference_scaled
+
+    # Fast path: cluster the history and read every coherence.  The first
+    # call pays the signature builds; later rounds measure warm reads.
+    best_elapsed = float("inf")
+    for _ in range(FAST_ROUNDS):
+        start = time.perf_counter()
+        clusters, _ = fast_run(trips, stay_points)
+        best_elapsed = min(best_elapsed, time.perf_counter() - start)
+    fast_ops = total_pairs / best_elapsed
+
+    # Equivalence guard: the subset values the reference produced must match
+    # the running-sum path on the same trips.
+    from repro.trajectory.clustering import RouteCluster
+
+    max_diff = 0.0
+    for cluster in clusters:
+        key = (cluster.origin_stay_point, cluster.destination_stay_point)
+        subset_cluster = RouteCluster(
+            cluster_id=cluster.cluster_id,
+            origin_stay_point=key[0],
+            destination_stay_point=key[1],
+            trips=list(cluster.trips[:CLUSTERING_REFERENCE_SUBSET]),
+        )
+        max_diff = max(
+            max_diff, abs(subset_cluster.geometric_coherence() - reference_values[key])
+        )
+    assert max_diff <= 1e-9, f"fast clustering diverged from reference by {max_diff}"
+
+    payload = {
+        "bench": "route_clustering",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "trips": TRIP_COUNT,
+            "pairs": total_pairs,
+            "reference_subset_per_cluster": CLUSTERING_REFERENCE_SUBSET,
+        },
+        "results": {
+            "reference_pairs_per_s": round(reference_ops, 1),
+            "fast_pairs_per_s": round(fast_ops, 1),
+            "speedup": round(fast_ops / reference_ops, 2),
+            "fast_elapsed_ms": round(best_elapsed * 1000.0, 2),
+            "max_coherence_diff": max_diff,
+        },
+    }
+    path = _write("BENCH_route_clustering.json", payload)
+    print(
+        f"route-clustering smoke: fast path {fast_ops:,.0f} pairs/s "
+        f"(reference {reference_ops:,.0f} pairs/s, {fast_ops / reference_ops:.1f}x)"
+    )
+    return path
+
+
 def main() -> int:
-    for path in (smoke_geo_scoring(), smoke_streaming_ingest()):
+    for path in (
+        smoke_geo_scoring(),
+        smoke_streaming_ingest(),
+        smoke_route_clustering(),
+    ):
         print(f"wrote {path}")
     return 0
 

@@ -47,7 +47,7 @@ from repro.trajectory import (
     cluster_trips,
     split_into_trips,
 )
-from repro.trajectory.clustering import RouteCluster, find_cluster
+from repro.trajectory.clustering import RouteCluster, RouteClusterIndex, find_cluster
 from repro.trajectory.staypoints import StayPoint, nearest_stay_point, stay_points_from_trips
 from repro.users.management import UserManager
 from repro.users.profile import UserProfile
@@ -70,11 +70,21 @@ class ServerConfig:
 
 @dataclass
 class _UserMobilityModel:
-    """Cached trajectory mining results for one user."""
+    """Cached trajectory mining results for one user.
+
+    Carries an (origin, destination) → cluster index so context building
+    resolves the active commute cluster with a dict lookup instead of
+    scanning the cluster list on every recommend tick.
+    """
 
     stay_points: List[StayPoint]
     clusters: List[RouteCluster]
     trip_count: int
+    cluster_index: RouteClusterIndex = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cluster_index is None:
+            self.cluster_index = RouteClusterIndex(self.clusters)
 
 
 class PphcrServer:
@@ -454,7 +464,10 @@ class PphcrServer:
                     origin_sp = nearest_stay_point(model.stay_points, partial.origin, max_distance_m=800.0)
                     if origin_sp is not None:
                         cluster = find_cluster(
-                            model.clusters, origin_sp.stay_point_id, destination_prediction.stay_point_id
+                            model.clusters,
+                            origin_sp.stay_point_id,
+                            destination_prediction.stay_point_id,
+                            index=model.cluster_index,
                         )
                 fraction = None
                 if cluster is not None and cluster.median_length_m > 0:

@@ -7,10 +7,12 @@ package maintains the same mobility models *online*: fixes stream through
 the :class:`TripSessionizer` (gap/dwell closing rules identical to
 ``split_into_trips``), completed trips fold into the
 :class:`IncrementalMobilityModel` (grid-indexed stay-point assignment and
-spawning, ``find_cluster``-based route-cluster maintenance, dirty/epoch
-drift repair), and the :class:`ShardedCompactor` visits only dirty users
-under a per-pass budget — turning compaction from O(users × history²) into
-O(new fixes).
+spawning, route-cluster maintenance through an (origin, destination)
+cluster index with signature-cached coherence, dirty/epoch drift repair),
+and the :class:`ShardedCompactor` visits only dirty users under a per-pass
+budget — turning compaction from O(users × history²) into O(new fixes).
+See ``docs/ARCHITECTURE.md`` for the full ingest data flow and the
+invariants each class maintains.
 """
 
 from repro.streaming.compactor import CompactionConfig, CompactionReport, ShardedCompactor

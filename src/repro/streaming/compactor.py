@@ -29,7 +29,15 @@ from repro.spatialdb.tracking_store import TrackingStore
 
 @dataclass(frozen=True)
 class CompactionConfig:
-    """Parameters of the compaction scheduler."""
+    """Parameters of the compaction scheduler.
+
+    ``shards`` partitions the user population stably (see
+    :meth:`ShardedCompactor.shard_of`); changing it reshuffles every
+    user's shard, so treat it as a deployment constant.  ``keep_window_s``
+    is how much raw history survives a visit, relative to each user's
+    latest fix (the streaming models, not the raw fixes, are the durable
+    record — see ``docs/ARCHITECTURE.md``).
+    """
 
     shards: int = 4
     max_users_per_pass: Optional[int] = None
@@ -46,7 +54,14 @@ class CompactionConfig:
 
 @dataclass
 class CompactionReport:
-    """Outcome of one compaction pass."""
+    """Outcome of one compaction pass.
+
+    ``visited_users`` + ``unchanged_users`` + ``deferred_users`` accounts
+    for every user considered (in the selected shard): visited users were
+    re-mined and pruned, unchanged users had no new fixes (only a cheap
+    window check), deferred users stayed dirty because the pass budget ran
+    out and will be picked up by a later pass.
+    """
 
     removed: Dict[str, int] = field(default_factory=dict)
     visited_users: List[str] = field(default_factory=list)
@@ -62,7 +77,22 @@ class CompactionReport:
 
 
 class ShardedCompactor:
-    """Schedules incremental compaction passes over dirty users only."""
+    """Schedules incremental compaction passes over dirty users only.
+
+    Invariants (see ``docs/ARCHITECTURE.md`` for the surrounding flow):
+
+    * **shard stability** — ``shard_of`` hashes with crc32, not Python's
+      salted ``hash``, so a user maps to the same shard across processes
+      and restarts; running shards round-robin therefore covers the whole
+      population;
+    * **dirty tracking** — a user is dirty iff their
+      ``TrackingStore.fixes_added`` counter moved since the compactor's
+      last visit; the counter is recorded *before* the refresh callback
+      runs, so fixes racing in during a visit leave the user dirty for the
+      next pass (work is never lost, at worst repeated);
+    * **budget honesty** — users skipped over budget are reported as
+      deferred, never silently dropped, and remain dirty.
+    """
 
     def __init__(
         self,

@@ -34,7 +34,16 @@ if TYPE_CHECKING:  # imported lazily to keep streaming importable on its own
 
 @dataclass(frozen=True)
 class StreamingConfig:
-    """Switchboard for the streaming mobility subsystem."""
+    """Switchboard for the streaming mobility subsystem.
+
+    ``sessionizer`` and ``incremental`` carry the trip-boundary and mining
+    parameters; the server overrides ``incremental.eps_m`` with its own
+    ``stay_point_eps_m`` so the streaming and batch paths mine with
+    identical parameters — a precondition for the decision-equality
+    invariants below (see ``docs/ARCHITECTURE.md``, "Streaming-ingest
+    flow").  With ``enabled`` false the server never instantiates the
+    engine and every model request takes the batch path.
+    """
 
     enabled: bool = True
     sessionizer: SessionizerConfig = SessionizerConfig()
@@ -42,7 +51,27 @@ class StreamingConfig:
 
 
 class StreamingMobilityEngine:
-    """Maintains per-user mobility models incrementally as fixes arrive."""
+    """Maintains per-user mobility models incrementally as fixes arrive.
+
+    Invariants (asserted by the equivalence tests; the data flow is drawn
+    in ``docs/ARCHITECTURE.md``):
+
+    * **batch equality on demand** — ``model_snapshot(user,
+      include_open_tail=True)`` equals what the batch miner
+      (``split_into_trips`` + ``stay_points_from_trips`` +
+      ``cluster_trips``) produces over the user's full fix history, because
+      the sessionizer is decision-equal to the batch splitter and the
+      full snapshot re-mines the compact trip list with the batch
+      algorithms;
+    * **monotonic observability** — ``fixes_observed`` and
+      ``observed_fix_count(user)`` only grow; comparing the latter against
+      ``TrackingStore.fixes_added`` tells callers whether this engine saw
+      every fix (fixes written directly to the store bypass it, and such
+      users must take the batch path);
+    * **bus narration** — every completed trip, online stay-point spawn and
+      drift repair publishes a ``tracking.*`` message, so dashboards and
+      tests can follow ingest without polling the models.
+    """
 
     def __init__(
         self,

@@ -12,8 +12,11 @@ model:
   second grid index, and a new stay point is spawned as soon as a density
   neighbourhood (``min_samples`` within ``eps_m``) forms around one — the
   streaming analogue of a DBSCAN core point;
-* the trip joins its (origin, destination) route cluster via
-  :func:`~repro.trajectory.clustering.find_cluster`, or starts a new one.
+* the trip joins its (origin, destination) route cluster through the
+  per-user :class:`~repro.trajectory.clustering.RouteClusterIndex` (an O(1)
+  dict lookup, not a linear scan), or starts a new one; joins go through
+  ``RouteCluster.add_trip`` so cluster coherence stays incrementally
+  maintained over the shared route-signature cache.
 
 Incremental maintenance drifts from the batch reference (centroids move,
 stay points are never merged or re-ranked online), so every user carries a
@@ -32,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import TrajectoryError
 from repro.geo import GeoPoint, GridIndex
 from repro.geo.geodesy import haversine_m
-from repro.trajectory.clustering import RouteCluster, cluster_trips, find_cluster
+from repro.trajectory.clustering import RouteCluster, RouteClusterIndex, cluster_trips
 from repro.trajectory.model import Trajectory
 from repro.trajectory.staypoints import StayPoint, stay_points_from_trips
 
@@ -42,7 +45,15 @@ _LINEAR_SCAN_LIMIT = 12
 
 @dataclass(frozen=True)
 class IncrementalConfig:
-    """Parameters of the incremental mobility miner."""
+    """Parameters of the incremental mobility miner.
+
+    ``eps_m``, ``min_samples`` and ``assign_radius_m`` mirror the batch
+    miner's parameters — repairs re-run the batch algorithms with these
+    values, so keeping them aligned (the server copies its
+    ``stay_point_eps_m`` in) is what makes a repaired model *equal* to a
+    batch rebuild, not merely similar.  ``repair_every`` bounds drift,
+    ``max_trips_per_user`` bounds state (see ``docs/ARCHITECTURE.md``).
+    """
 
     #: DBSCAN radius for stay-point formation (server passes its
     #: ``stay_point_eps_m`` so streaming and batch agree).
@@ -110,7 +121,16 @@ class _LiveStayPoint:
 
 @dataclass(frozen=True)
 class MobilitySnapshot:
-    """An immutable view of one user's mobility model."""
+    """An immutable view of one user's mobility model.
+
+    Stay points and clusters are snapshot-grade copies: later online
+    appends to the live state never leak into a handed-out snapshot.
+    ``epoch`` counts repairs (0 = never repaired) and ``dirty_trips`` the
+    trips folded in since the last one, so callers can judge drift: a
+    snapshot with ``dirty_trips == 0`` is exactly what the batch miner
+    would produce over the same trip list (see ``docs/ARCHITECTURE.md``,
+    "dirty/epoch semantics").
+    """
 
     stay_points: List[StayPoint]
     clusters: List[RouteCluster]
@@ -125,6 +145,9 @@ class _UserModelState:
     stay_points: Dict[int, _LiveStayPoint] = field(default_factory=dict)
     sp_index: GridIndex = field(default_factory=lambda: GridIndex(500.0))
     clusters: List[RouteCluster] = field(default_factory=list)
+    #: (origin, destination) → cluster lookup kept in lockstep with
+    #: ``clusters`` so per-trip resolution is O(1), not a linear scan.
+    cluster_index: RouteClusterIndex = field(default_factory=RouteClusterIndex)
     pending_index: GridIndex = field(default_factory=lambda: GridIndex(500.0))
     pending_points: Dict[int, GeoPoint] = field(default_factory=dict)
     #: Which (trip index, endpoint slot) each pending observation came from,
@@ -143,7 +166,25 @@ class _UserModelState:
 
 
 class IncrementalMobilityModel:
-    """Maintains stay points and route clusters as completed trips arrive."""
+    """Maintains stay points and route clusters as completed trips arrive.
+
+    Invariants (see the module docstring for the mechanism and
+    ``docs/ARCHITECTURE.md`` for the surrounding flow):
+
+    * **repair equality** — :meth:`repair` (and any snapshot taken when it
+      runs) produces exactly what the batch miner yields over the user's
+      compact trip list: same stay points, same clusters, same numbering
+      (asserted by the equivalence tests);
+    * **dirty/epoch semantics** — ``dirty_trips(user)`` counts trips folded
+      in since the last repair and triggers one at ``repair_every``;
+      ``epoch(user)`` increments per repair, letting callers (the server's
+      snapshot cache) detect staleness with one integer compare;
+    * **bounded state** — the compact trip list is capped at
+      ``max_trips_per_user`` (oldest age out at repair), and cluster
+      resolution is O(1) per trip through the per-user
+      :class:`~repro.trajectory.clustering.RouteClusterIndex`, with
+      coherence sums maintained through the shared signature cache.
+    """
 
     def __init__(self, config: IncrementalConfig = IncrementalConfig()) -> None:
         self._config = config
@@ -326,7 +367,7 @@ class IncrementalMobilityModel:
         if origin_id is None or destination_id is None or origin_id == destination_id:
             return 0
         state.trip_clustered[trip_index] = True
-        cluster = find_cluster(state.clusters, origin_id, destination_id)
+        cluster = state.cluster_index.find(origin_id, destination_id)
         created = 0
         if cluster is None:
             cluster = RouteCluster(
@@ -336,8 +377,13 @@ class IncrementalMobilityModel:
             )
             state.next_cluster_id += 1
             state.clusters.append(cluster)
+            state.cluster_index.add(cluster)
             created = 1
-        cluster.trips.append(state.trips[trip_index])
+        # add_trip keeps the running coherence sum maintained over the
+        # shared signature cache (deferred until a reader consumes it, then
+        # O(members) per join), so coherence readers never pay the seed's
+        # O(pairs) polyline-resampling recompute.
+        cluster.add_trip(state.trips[trip_index])
         return created
 
     # Repair and snapshots --------------------------------------------------
@@ -394,16 +440,12 @@ class IncrementalMobilityModel:
 
     @staticmethod
     def _copy_clusters(clusters: List[RouteCluster]) -> List[RouteCluster]:
-        """Snapshot-grade copies: later online appends must not leak in."""
-        return [
-            RouteCluster(
-                cluster_id=cluster.cluster_id,
-                origin_stay_point=cluster.origin_stay_point,
-                destination_stay_point=cluster.destination_stay_point,
-                trips=list(cluster.trips),
-            )
-            for cluster in clusters
-        ]
+        """Snapshot-grade copies: later online appends must not leak in.
+
+        The copies carry the running similarity state, so coherence reads on
+        a snapshot stay O(1) instead of re-accumulating the pair sums.
+        """
+        return [cluster.copy() for cluster in clusters]
 
     def _mine(self, trips: List[Trajectory]) -> Tuple[List[StayPoint], List[RouteCluster]]:
         config = self._config
@@ -446,6 +488,7 @@ class IncrementalMobilityModel:
             max((sp.stay_point_id for sp in stay_points), default=-1) + 1
         )
         state.clusters = list(clusters)
+        state.cluster_index = RouteClusterIndex(state.clusters)
         state.next_cluster_id = (
             max((cluster.cluster_id for cluster in clusters), default=-1) + 1
         )

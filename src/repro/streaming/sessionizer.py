@@ -34,7 +34,13 @@ from repro.trajectory.model import Trajectory, TrajectoryPoint
 
 @dataclass(frozen=True)
 class SessionizerConfig:
-    """Trip-boundary rules; defaults mirror ``split_into_trips``."""
+    """Trip-boundary rules; defaults mirror ``split_into_trips``.
+
+    Keeping these identical to the batch splitter's parameters is what
+    makes the sessionizer's decision-equality invariant (see
+    :class:`TripSessionizer` and ``docs/ARCHITECTURE.md``) hold: the same
+    gap/dwell thresholds must close trips at the same fixes.
+    """
 
     stop_duration_s: float = 300.0
     stop_radius_m: float = 75.0
@@ -87,7 +93,23 @@ class _SessionState:
 
 
 class TripSessionizer:
-    """Segments per-user GPS fix streams into trips as the fixes arrive."""
+    """Segments per-user GPS fix streams into trips as the fixes arrive.
+
+    Invariants (see the module docstring for the construction, and
+    ``docs/ARCHITECTURE.md`` for where this sits in the ingest flow):
+
+    * **decision equality** — at any stream prefix, emitted trips plus the
+      trips still derivable from the open tail equal
+      ``split_into_trips(prefix)`` point-for-point; only decisions whose
+      outcome can no longer change are finalized (asserted on randomized
+      streams by the test suite);
+    * **bounded state** — per user the sessionizer holds the open trip and
+      the undecided tail only; a confirmed long dwell collapses to a single
+      ``stop_anchor`` point, so a parked device costs O(1) memory;
+    * **ordered intake** — fixes must arrive in non-decreasing timestamp
+      order per user (out-of-order fixes raise, they never silently
+      corrupt the segmentation).
+    """
 
     def __init__(self, config: SessionizerConfig = SessionizerConfig()) -> None:
         self._config = config

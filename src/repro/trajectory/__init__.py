@@ -12,8 +12,15 @@ proactive recommender needs: where is the driver going (destination
 prediction) and how long will the drive take (ΔT / travel-time prediction).
 """
 
-from repro.trajectory.clustering import RouteCluster, cluster_trips
-from repro.trajectory.features import TrajectoryFeatures, extract_features
+from repro.trajectory.clustering import RouteCluster, RouteClusterIndex, cluster_trips
+from repro.trajectory.features import (
+    RouteSignature,
+    TrajectoryFeatures,
+    extract_features,
+    route_signature,
+    route_similarity,
+    route_similarity_signatures,
+)
 from repro.trajectory.model import Trajectory, TrajectoryPoint, split_into_trips
 from repro.trajectory.prediction import DestinationPredictor, DestinationPrediction
 from repro.trajectory.simplify import simplify_trajectory
@@ -24,6 +31,8 @@ __all__ = [
     "DestinationPredictor",
     "DestinationPrediction",
     "RouteCluster",
+    "RouteClusterIndex",
+    "RouteSignature",
     "StayPoint",
     "Trajectory",
     "TrajectoryFeatures",
@@ -34,6 +43,9 @@ __all__ = [
     "dbscan",
     "detect_stay_points",
     "extract_features",
+    "route_signature",
+    "route_similarity",
+    "route_similarity_signatures",
     "simplify_trajectory",
     "split_into_trips",
 ]

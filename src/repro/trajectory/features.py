@@ -9,16 +9,21 @@ aggregate per-destination frequencies.
 from __future__ import annotations
 
 import math
+import weakref
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TrajectoryError
 from repro.geo import GeoPoint
-from repro.geo.geodesy import haversine_m, initial_bearing_deg
+from repro.geo.geodesy import EARTH_RADIUS_M, haversine_m, initial_bearing_deg
 from repro.trajectory.model import Trajectory
 from repro.trajectory.simplify import simplify_trajectory
 from repro.trajectory.staypoints import StayPoint, nearest_stay_point
+
+#: Arc-length sample count shared by the reference and signature similarity
+#: paths (and by the signature cache's default key).
+ROUTE_SIMILARITY_SAMPLES = 20
 
 
 @dataclass(frozen=True)
@@ -124,32 +129,42 @@ def destination_frequencies(
     with_destination = [f for f in features if f.destination_stay_point is not None]
     if not with_destination:
         return []
-    counts: Counter = Counter(f.destination_stay_point for f in with_destination)
+    # One pass builds both the visit counts and every destination's
+    # time-of-day histogram (the former per-destination rescan made this
+    # O(destinations x trips)).  Counter insertion order matches the old
+    # generator-built Counter, so most_common() tie-breaks identically.
+    counts: Counter = Counter()
+    histograms: Dict[int, Dict[str, int]] = {}
+    for feature in with_destination:
+        stay_point_id = feature.destination_stay_point
+        counts[stay_point_id] += 1
+        by_tod = histograms.setdefault(stay_point_id, {})
+        by_tod[feature.time_of_day] = by_tod.get(feature.time_of_day, 0) + 1
     total = sum(counts.values())
-    result: List[DestinationFrequency] = []
-    for stay_point_id, count in counts.most_common():
-        by_tod: Dict[str, int] = {}
-        for feature in with_destination:
-            if feature.destination_stay_point == stay_point_id:
-                by_tod[feature.time_of_day] = by_tod.get(feature.time_of_day, 0) + 1
-        result.append(
-            DestinationFrequency(
-                stay_point_id=stay_point_id,
-                count=count,
-                share=count / total,
-                by_time_of_day=by_tod,
-            )
+    return [
+        DestinationFrequency(
+            stay_point_id=stay_point_id,
+            count=count,
+            share=count / total,
+            by_time_of_day=histograms[stay_point_id],
         )
-    return result
+        for stay_point_id, count in counts.most_common()
+    ]
 
 
-def route_similarity(a: Trajectory, b: Trajectory, *, samples: int = 20) -> float:
+def route_similarity(a: Trajectory, b: Trajectory, *, samples: int = ROUTE_SIMILARITY_SAMPLES) -> float:
     """Similarity in [0, 1] between two trips' geometries.
 
     Both geometries are resampled to ``samples`` points by arc length and
     compared point-wise; the mean distance is converted to a similarity via
     ``1 / (1 + mean_km)``.  Good enough to group a commuter's repeated
     home-to-work drives without a full Fréchet computation.
+
+    This is the readable reference path: it resamples both polylines from
+    scratch on every call.  Callers comparing the same trips repeatedly
+    (route clustering, streaming repairs) should build a cached
+    :class:`RouteSignature` per trip via :func:`route_signature` and use
+    :func:`route_similarity_signatures`, which returns the same scores.
     """
     if samples < 2:
         raise TrajectoryError("samples must be >= 2")
@@ -165,3 +180,92 @@ def route_similarity(a: Trajectory, b: Trajectory, *, samples: int = 20) -> floa
         total += haversine_m(pa, pb)
     mean_km = (total / samples) / 1000.0
     return 1.0 / (1.0 + mean_km)
+
+
+class RouteSignature:
+    """Arc-length-resampled trip geometry with precomputed haversine terms.
+
+    The expensive parts of :func:`route_similarity` — building the polyline,
+    interpolating ``samples`` evenly spaced points, converting them to
+    radians — depend on one trip only, so they are done once here and reused
+    across every pair the trip participates in (all-pairs coherence, cluster
+    joins, streaming repairs).  Comparing two signatures needs only the
+    flattened haversine inner loop with no per-comparison allocation, the
+    same materialize-once idiom as :class:`repro.content.geo_relevance.RouteSamples`.
+    """
+
+    __slots__ = ("samples", "zero_length", "lat_rad", "lon_rad", "cos_lat")
+
+    def __init__(self, trajectory: Trajectory, *, samples: int = ROUTE_SIMILARITY_SAMPLES) -> None:
+        if samples < 2:
+            raise TrajectoryError("samples must be >= 2")
+        self.samples = samples
+        line = trajectory.to_polyline()
+        if line.length_m == 0.0:
+            # The reference path scores any pair involving a zero-length
+            # geometry 0.0; remember the degeneracy instead of sampling.
+            self.zero_length = True
+            self.lat_rad: List[float] = []
+            self.lon_rad: List[float] = []
+            self.cos_lat: List[float] = []
+            return
+        self.zero_length = False
+        # Exactly the points repeated point_at_distance calls would yield.
+        points = line.sample_points(samples)
+        self.lat_rad = [math.radians(p.lat) for p in points]
+        self.lon_rad = [math.radians(p.lon) for p in points]
+        self.cos_lat = [math.cos(lat) for lat in self.lat_rad]
+
+
+def route_similarity_signatures(a: RouteSignature, b: RouteSignature) -> float:
+    """:func:`route_similarity` evaluated on two precomputed signatures.
+
+    Bit-identical to the reference path: the flattened loop performs the
+    same haversine operations in the same order on the same sampled points,
+    only without rebuilding them per call.
+    """
+    if a.samples != b.samples:
+        raise TrajectoryError(
+            f"signatures were sampled differently: {a.samples} != {b.samples}"
+        )
+    if a.zero_length or b.zero_length:
+        return 0.0
+    sin = math.sin
+    asin = math.asin
+    sqrt = math.sqrt
+    total = 0.0
+    for lat1, lon1, cos1, lat2, lon2, cos2 in zip(
+        a.lat_rad, a.lon_rad, a.cos_lat, b.lat_rad, b.lon_rad, b.cos_lat
+    ):
+        h = sin((lat2 - lat1) / 2.0) ** 2 + cos1 * cos2 * sin((lon2 - lon1) / 2.0) ** 2
+        total += 2.0 * EARTH_RADIUS_M * asin(sqrt(min(1.0, h)))
+    mean_km = (total / a.samples) / 1000.0
+    return 1.0 / (1.0 + mean_km)
+
+
+#: Signatures keyed by trajectory *identity* (trips are immutable once
+#: built), weakly so dropping a trip releases its signature.  The inner dict
+#: keys by sample count: different callers may resample differently.
+_SIGNATURE_CACHE: "weakref.WeakKeyDictionary[Trajectory, Dict[int, RouteSignature]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def route_signature(
+    trajectory: Trajectory, *, samples: int = ROUTE_SIMILARITY_SAMPLES
+) -> RouteSignature:
+    """The trip's cached :class:`RouteSignature`, built on first use.
+
+    Keyed by trajectory identity: the same trip object always returns the
+    same signature, so clusters, snapshots and streaming repairs all share
+    one resample per trip instead of re-deriving it per pair.
+    """
+    per_trip = _SIGNATURE_CACHE.get(trajectory)
+    if per_trip is None:
+        per_trip = {}
+        _SIGNATURE_CACHE[trajectory] = per_trip
+    signature = per_trip.get(samples)
+    if signature is None:
+        signature = RouteSignature(trajectory, samples=samples)
+        per_trip[samples] = signature
+    return signature

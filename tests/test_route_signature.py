@@ -1,0 +1,298 @@
+"""Tests for the signature-cached trajectory-clustering fast path.
+
+Covers the three equivalence claims of the fast path:
+
+* :func:`route_similarity_signatures` over cached :class:`RouteSignature`
+  objects equals the reference :func:`route_similarity` on randomized trips;
+* a cluster's incrementally maintained :meth:`geometric_coherence` equals
+  the from-scratch pairwise mean after arbitrary add sequences (including
+  direct ``trips`` mutations);
+* :func:`find_cluster` through a :class:`RouteClusterIndex` equals the
+  linear reference scan.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point
+from repro.trajectory.clustering import (
+    RouteCluster,
+    RouteClusterIndex,
+    cluster_trips,
+    find_cluster,
+)
+from repro.trajectory.features import (
+    DestinationFrequency,
+    TrajectoryFeatures,
+    destination_frequencies,
+    route_signature,
+    route_similarity,
+    route_similarity_signatures,
+    RouteSignature,
+)
+from repro.trajectory.model import Trajectory, TrajectoryPoint
+from repro.trajectory.staypoints import StayPoint
+
+BASE = GeoPoint(45.07, 7.68)
+
+
+def random_trip(seed, *, origin=None, bearing=None, user_id="u1", start_s=0.0):
+    """A jittery drive with a random point count, length and heading."""
+    rng = random.Random(seed)
+    position = origin or destination_point(BASE, rng.uniform(0.0, 360.0), rng.uniform(0.0, 5000.0))
+    heading = bearing if bearing is not None else rng.uniform(0.0, 360.0)
+    points = []
+    timestamp = start_s
+    for _ in range(rng.randint(5, 40)):
+        points.append(TrajectoryPoint(timestamp, position, 10.0))
+        position = destination_point(
+            position, heading + rng.uniform(-25.0, 25.0), rng.uniform(50.0, 300.0)
+        )
+        timestamp += 15.0
+    return Trajectory(user_id, points)
+
+
+def reference_coherence(trips):
+    """The seed implementation: mean pairwise route similarity."""
+    if len(trips) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for index, trip_a in enumerate(trips):
+        for trip_b in trips[index + 1 :]:
+            total += route_similarity(trip_a, trip_b)
+            pairs += 1
+    return total / pairs
+
+
+class TestRouteSignature:
+    def test_randomized_pairs_match_reference(self):
+        trips = [random_trip(seed) for seed in range(25)]
+        signatures = [route_signature(trip) for trip in trips]
+        for i in range(len(trips)):
+            for j in range(i + 1, len(trips)):
+                reference = route_similarity(trips[i], trips[j])
+                fast = route_similarity_signatures(signatures[i], signatures[j])
+                assert abs(fast - reference) <= 1e-9, (i, j)
+
+    def test_nondefault_sample_count_matches_reference(self):
+        a, b = random_trip(101), random_trip(102)
+        reference = route_similarity(a, b, samples=7)
+        fast = route_similarity_signatures(
+            route_signature(a, samples=7), route_signature(b, samples=7)
+        )
+        assert abs(fast - reference) <= 1e-9
+
+    def test_zero_length_trip_scores_zero(self):
+        stationary = Trajectory(
+            "u1", [TrajectoryPoint(0.0, BASE, 0.0), TrajectoryPoint(10.0, BASE, 0.0)]
+        )
+        moving = random_trip(3)
+        assert route_similarity(stationary, moving) == 0.0
+        assert (
+            route_similarity_signatures(
+                route_signature(stationary), route_signature(moving)
+            )
+            == 0.0
+        )
+
+    def test_sample_count_mismatch_raises(self):
+        a, b = random_trip(4), random_trip(5)
+        with pytest.raises(TrajectoryError):
+            route_similarity_signatures(
+                route_signature(a, samples=10), route_signature(b, samples=20)
+            )
+
+    def test_signature_validates_samples(self):
+        with pytest.raises(TrajectoryError):
+            RouteSignature(random_trip(6), samples=1)
+
+    def test_cache_returns_same_object_per_trip_and_sample_count(self):
+        trip = random_trip(7)
+        assert route_signature(trip) is route_signature(trip)
+        assert route_signature(trip, samples=11) is route_signature(trip, samples=11)
+        assert route_signature(trip) is not route_signature(trip, samples=11)
+
+
+class TestIncrementalCoherence:
+    def test_add_trip_sequences_match_from_scratch_mean(self):
+        rng = random.Random(42)
+        for case in range(5):
+            cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
+            trips = [
+                random_trip(f"{case}-{index}", origin=BASE, bearing=40.0)
+                for index in range(rng.randint(2, 12))
+            ]
+            for trip in trips:
+                # Arbitrary add sequences: method joins and raw appends mixed.
+                if rng.random() < 0.5:
+                    cluster.add_trip(trip)
+                else:
+                    cluster.trips.append(trip)
+                expected = reference_coherence(cluster.trips)
+                assert cluster.geometric_coherence() == pytest.approx(expected, abs=1e-9)
+
+    def test_wholesale_trip_replacement_resyncs(self):
+        cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
+        for index in range(4):
+            cluster.add_trip(random_trip(f"a{index}"))
+        cluster.geometric_coherence()
+        replacement = [random_trip(f"b{index}") for index in range(3)]
+        cluster.trips = list(replacement)
+        assert cluster.geometric_coherence() == pytest.approx(
+            reference_coherence(replacement), abs=1e-9
+        )
+
+    def test_single_trip_is_fully_coherent(self):
+        cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
+        cluster.add_trip(random_trip(9))
+        assert cluster.geometric_coherence() == 1.0
+
+    def test_copy_carries_running_state_and_is_independent(self):
+        cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
+        for index in range(3):
+            cluster.add_trip(random_trip(f"c{index}"))
+        clone = cluster.copy()
+        assert clone.geometric_coherence() == cluster.geometric_coherence()
+        clone.add_trip(random_trip("c99"))
+        assert len(cluster.trips) == 3
+        assert clone.geometric_coherence() == pytest.approx(
+            reference_coherence(clone.trips), abs=1e-9
+        )
+
+
+class TestRouteClusterIndex:
+    @staticmethod
+    def build_clusters():
+        anchors = {
+            0: BASE,
+            1: destination_point(BASE, 45.0, 4000.0),
+            2: destination_point(BASE, 170.0, 5000.0),
+        }
+        stay_points = [
+            StayPoint(stay_point_id=sp_id, center=center, support=5, total_dwell_s=600.0)
+            for sp_id, center in anchors.items()
+        ]
+        trips = []
+        for index, (origin_id, destination_id) in enumerate(
+            [(0, 1), (1, 0), (0, 2), (0, 1), (1, 0), (0, 1)]
+        ):
+            trips.append(
+                trip_between(anchors[origin_id], anchors[destination_id], seed=index)
+            )
+        return cluster_trips(trips, stay_points), stay_points
+
+    def test_indexed_lookup_equals_linear_scan(self):
+        clusters, stay_points = self.build_clusters()
+        assert len(clusters) >= 2
+        index = RouteClusterIndex(clusters)
+        ids = [sp.stay_point_id for sp in stay_points] + [97]
+        for origin_id in ids:
+            for destination_id in ids:
+                linear = find_cluster(clusters, origin_id, destination_id)
+                indexed = find_cluster(clusters, origin_id, destination_id, index=index)
+                assert indexed is linear, (origin_id, destination_id)
+
+    def test_first_registration_wins_like_linear_scan(self):
+        first = RouteCluster(cluster_id=0, origin_stay_point=3, destination_stay_point=4)
+        duplicate = RouteCluster(cluster_id=1, origin_stay_point=3, destination_stay_point=4)
+        clusters = [first, duplicate]
+        index = RouteClusterIndex(clusters)
+        assert find_cluster(clusters, 3, 4) is first
+        assert find_cluster(clusters, 3, 4, index=index) is first
+
+    def test_incremental_add(self):
+        index = RouteClusterIndex()
+        assert index.find(0, 1) is None
+        cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
+        index.add(cluster)
+        assert index.find(0, 1) is cluster
+        assert len(index) == 1
+
+
+def trip_between(origin, destination, *, seed):
+    """A direct drive between two anchors with light jitter."""
+    rng = random.Random(seed)
+    from repro.geo.geodesy import initial_bearing_deg
+
+    bearing = initial_bearing_deg(origin, destination) + rng.uniform(-2.0, 2.0)
+    total = origin.distance_m(destination)
+    points = []
+    steps = 20
+    for step in range(steps + 1):
+        position = destination_point(origin, bearing, total * step / steps)
+        points.append(TrajectoryPoint(step * 30.0, position, 10.0))
+    return Trajectory("u1", points)
+
+
+class TestDestinationFrequenciesRegression:
+    @staticmethod
+    def feature(destination_stay_point, time_of_day, index):
+        return TrajectoryFeatures(
+            user_id="u1",
+            origin=BASE,
+            destination=destination_point(BASE, 10.0, 100.0 * index),
+            start_time_s=float(index),
+            duration_s=600.0,
+            length_m=4000.0,
+            mean_speed_mps=10.0,
+            max_speed_mps=14.0,
+            time_of_day=time_of_day,
+            complexity=0.1,
+            simplified_points=10,
+            raw_points=30,
+            origin_stay_point=0,
+            destination_stay_point=destination_stay_point,
+        )
+
+    @staticmethod
+    def reference(features):
+        """The seed implementation: per-destination rescan of all features."""
+        from collections import Counter
+
+        with_destination = [f for f in features if f.destination_stay_point is not None]
+        if not with_destination:
+            return []
+        counts = Counter(f.destination_stay_point for f in with_destination)
+        total = sum(counts.values())
+        result = []
+        for stay_point_id, count in counts.most_common():
+            by_tod = {}
+            for feature in with_destination:
+                if feature.destination_stay_point == stay_point_id:
+                    by_tod[feature.time_of_day] = by_tod.get(feature.time_of_day, 0) + 1
+            result.append(
+                DestinationFrequency(
+                    stay_point_id=stay_point_id,
+                    count=count,
+                    share=count / total,
+                    by_time_of_day=by_tod,
+                )
+            )
+        return result
+
+    def test_one_pass_output_identical_to_reference(self):
+        rng = random.Random(8)
+        buckets = ["morning", "midday", "evening", "night"]
+        features = [
+            self.feature(
+                rng.choice([1, 2, 3, 7, None]), rng.choice(buckets), index
+            )
+            for index in range(200)
+        ]
+        assert destination_frequencies(features) == self.reference(features)
+
+    def test_tie_break_order_preserved(self):
+        # Destinations with equal counts must keep first-seen order.
+        features = [
+            self.feature(5, "morning", 0),
+            self.feature(9, "evening", 1),
+            self.feature(5, "evening", 2),
+            self.feature(9, "morning", 3),
+        ]
+        result = destination_frequencies(features)
+        assert [f.stay_point_id for f in result] == [5, 9]
+        assert result == self.reference(features)
