@@ -9,7 +9,10 @@ the performance trajectory is tracked from PR to PR:
 * ``BENCH_streaming_ingest.json`` — streaming mobility mining
   (sessionizer + incremental models vs. per-tick batch rebuilds);
 * ``BENCH_route_clustering.json`` — signature-cached route-cluster
-  coherence (PR 3's fast path vs. the pairwise-resampling reference).
+  coherence (PR 3's fast path vs. the pairwise-resampling reference);
+* ``BENCH_api_gateway.json`` — gateway request throughput (PR 4's batch
+  tracking ingest vs. per-call posts, ETag revalidation vs. cold
+  recommendation reads).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -23,6 +26,19 @@ import time
 
 sys.path.insert(0, os.path.dirname(__file__))  # for the bench_* modules
 
+from bench_api_gateway import (  # noqa: E402
+    DRIVE_FIXES,
+    REVALIDATION_ROUNDS,
+    USERS as GATEWAY_USERS,
+    assert_ingest_equivalent,
+    build_ingest_workload,
+    build_read_world,
+    encode_payloads,
+    run_batch_ingest,
+    run_cold_reads,
+    run_conditional_reads,
+    run_single_fix_ingest,
+)
 from bench_perf_geo_scoring import (  # noqa: E402
     CLIP_COUNT,
     ROUTE_SAMPLES,
@@ -216,11 +232,64 @@ def smoke_route_clustering() -> str:
     return path
 
 
+def smoke_api_gateway() -> str:
+    drives = build_ingest_workload()
+    single_payloads, batch_payloads = encode_payloads(drives)
+    total_fixes = GATEWAY_USERS * DRIVE_FIXES
+
+    single_elapsed, single_server = run_single_fix_ingest(drives, single_payloads)
+    batch_elapsed = float("inf")
+    batch_server = None
+    for _ in range(FAST_ROUNDS):
+        elapsed, server = run_batch_ingest(drives, batch_payloads)
+        if elapsed < batch_elapsed:
+            batch_elapsed, batch_server = elapsed, server
+    assert_ingest_equivalent(single_server, batch_server, drives.keys())
+
+    gateway, readers, now_s = build_read_world()
+    cold_elapsed, etags = run_cold_reads(gateway, readers, now_s)
+    conditional_elapsed = run_conditional_reads(
+        gateway, readers, etags, now_s, REVALIDATION_ROUNDS
+    )
+    single_ops = total_fixes / single_elapsed
+    batch_ops = total_fixes / batch_elapsed
+    cold_ops = len(readers) / cold_elapsed
+    cached_ops = len(readers) * REVALIDATION_ROUNDS / conditional_elapsed
+
+    payload = {
+        "bench": "api_gateway",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "users": GATEWAY_USERS,
+            "fixes_per_drive": DRIVE_FIXES,
+            "readers": len(readers),
+            "revalidation_rounds": REVALIDATION_ROUNDS,
+        },
+        "results": {
+            "single_fixes_per_s": round(single_ops, 1),
+            "batch_fixes_per_s": round(batch_ops, 1),
+            "ingest_speedup": round(batch_ops / single_ops, 2),
+            "cold_reads_per_s": round(cold_ops, 1),
+            "revalidated_reads_per_s": round(cached_ops, 1),
+            "read_speedup": round(cached_ops / cold_ops, 2),
+        },
+    }
+    path = _write("BENCH_api_gateway.json", payload)
+    print(
+        f"api-gateway smoke: batch ingest {batch_ops:,.0f} fixes/s "
+        f"(per-call {single_ops:,.0f} fixes/s, {batch_ops / single_ops:.1f}x); "
+        f"ETag revalidation {cached_ops:,.0f} reads/s "
+        f"(cold {cold_ops:,.0f} reads/s, {cached_ops / cold_ops:.1f}x)"
+    )
+    return path
+
+
 def main() -> int:
     for path in (
         smoke_geo_scoring(),
         smoke_streaming_ingest(),
         smoke_route_clustering(),
+        smoke_api_gateway(),
     ):
         print(f"wrote {path}")
     return 0

@@ -8,12 +8,12 @@ production system would query its databases.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right, insort
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.content.model import AudioClip, ContentKind, LiveProgramme, RadioService
 from repro.content.schedule import LinearSchedule
-from repro.errors import DuplicateError, NotFoundError
+from repro.errors import DuplicateError, NotFoundError, ValidationError
 from repro.geo import BoundingBox, GeoPoint, GridIndex
 from repro.storage import Column, Database, Schema
 from repro.util.timeutils import TimeWindow
@@ -50,6 +50,9 @@ class ContentRepository:
         self._geo_index: GridIndex[str] = GridIndex(cell_size_m=2000.0)
         self._clips: Dict[str, AudioClip] = {}
         self._services: Dict[str, RadioService] = {}
+        # Sorted service ids so the paginated listing bisects instead of
+        # re-sorting the registry on every page request.
+        self._service_ids: List[str] = []
         self._programmes: Dict[str, LiveProgramme] = {}
         self._schedules: Dict[str, LinearSchedule] = {}
 
@@ -60,6 +63,7 @@ class ContentRepository:
         if service.service_id in self._services:
             raise DuplicateError(f"service {service.service_id!r} already registered")
         self._services[service.service_id] = service
+        insort(self._service_ids, service.service_id)
         self._schedules[service.service_id] = LinearSchedule(service.service_id)
 
     def service(self, service_id: str) -> RadioService:
@@ -71,7 +75,25 @@ class ContentRepository:
 
     def services(self) -> List[RadioService]:
         """All registered services."""
-        return [self._services[key] for key in sorted(self._services)]
+        return [self._services[key] for key in self._service_ids]
+
+    def services_page(
+        self, *, cursor: Optional[str] = None, limit: int = 50
+    ) -> Tuple[List[RadioService], Optional[str]]:
+        """One page of services ordered by id, plus the next cursor.
+
+        The cursor is the last service id already served; the next page
+        resumes strictly after it via bisect, so pagination stays stable
+        under concurrent service registration (new ids simply appear in
+        their sorted position on a later page, never duplicating a page).
+        A ``None`` next cursor means the listing is exhausted.
+        """
+        if limit < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        start = bisect_right(self._service_ids, cursor) if cursor is not None else 0
+        page_ids = self._service_ids[start : start + limit]
+        next_cursor = page_ids[-1] if start + limit < len(self._service_ids) else None
+        return [self._services[service_id] for service_id in page_ids], next_cursor
 
     def add_programme(self, programme: LiveProgramme) -> None:
         """Register a programme (its service must exist)."""
@@ -192,6 +214,39 @@ class ContentRepository:
     def clips_newest_first(self) -> List[AudioClip]:
         """All clips ordered by publish time, newest first."""
         return [self._clips[clip_id] for _published, _seq, clip_id in reversed(self._published)]
+
+    @staticmethod
+    def _clip_cursor(entry: Tuple[float, int, str]) -> str:
+        published_s, negative_seq, _clip_id = entry
+        return f"{published_s!r}:{-negative_seq}"
+
+    def clips_page(
+        self, *, cursor: Optional[str] = None, limit: int = 50
+    ) -> Tuple[List[AudioClip], Optional[str]]:
+        """One newest-first page of clips, plus the next cursor.
+
+        Pages walk the sorted publish-time index backwards in
+        O(log n + limit).  The cursor encodes the (publish time, sequence)
+        key of the last clip served, so the next page resumes at strictly
+        older clips even while new clips are being published — a freshly
+        ingested clip lands *before* the cursor position and never shifts
+        or duplicates the remaining pages.
+        """
+        if limit < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        if cursor is None:
+            end = len(self._published)
+        else:
+            try:
+                raw_published, raw_seq = cursor.rsplit(":", 1)
+                key = (float(raw_published), -int(raw_seq))
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f"malformed clip cursor {cursor!r}") from exc
+            end = bisect_left(self._published, key)
+        start = max(0, end - limit)
+        page = [self._clips[clip_id] for _p, _s, clip_id in reversed(self._published[start:end])]
+        next_cursor = self._clip_cursor(self._published[start]) if start > 0 and page else None
+        return page, next_cursor
 
     def clips_max_duration(self, max_duration_s: float) -> List[AudioClip]:
         """Clips that fit inside a time budget."""

@@ -47,9 +47,15 @@ class GridIndex(Generic[T]):
 
     def insert(self, item: T, position: GeoPoint) -> None:
         """Insert or move ``item`` to ``position``."""
-        if item in self._positions:
-            self.remove(item)
         cell = self._cell_of(position)
+        previous = self._positions.get(item)
+        if previous is not None:
+            # Moving items (latest-position tracking) overwhelmingly stay in
+            # their current cell between updates; skip the bucket churn then.
+            if self._cell_of(previous) == cell:
+                self._positions[item] = position
+                return
+            self.remove(item)
         self._cells[cell].add(item)
         self._positions[item] = position
 

@@ -1,72 +1,73 @@
-"""The public REST-like API façade.
+"""The legacy public API, now a v1 compatibility façade over the gateway.
 
-The production system exposes a "Public Rest API Server" the mobile clients
-talk to.  The reproduction models it as a thin request/response façade over
-:class:`~repro.pipeline.server.PphcrServer`: every method validates its
-input, returns an :class:`ApiResponse` with a status code and a plain
-dictionary body (what would be the JSON payload), and never leaks internal
-objects, so clients remain decoupled from server internals.
+Historically :class:`PublicApi` was a flat bag of hand-written methods with
+per-method ``try``/``except`` error mapping.  Every method now builds a
+versioned request and sends it through the
+:class:`~repro.pipeline.gateway.Gateway` — the declarative route table,
+middleware chain (auth, rate limiting, metrics, exception mapping) and
+caching all apply — while the method signatures and response contract the
+existing callers rely on stay unchanged.
+
+Two deliberate deviations from the seed behaviour:
+
+* ``post_feedback`` used to map *every* library error to 404; validation
+  failures (bad kind, negative ``listened_s``) now correctly return 400 —
+  the gateway's single status mapper makes this structural.
+* ``post_location`` for an unknown user now returns 404 (it was folded
+  into 400 with every other error); invalid coordinates still return 400.
+
+One deliberate translation *towards* the seed: duplicate registration maps
+the gateway's 409 back to the legacy 400 so existing callers keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Optional
 
-from repro.errors import NotFoundError, ReproError
-from repro.geo import GeoPoint
+from repro.pipeline.gateway import ApiResponse, Gateway
 from repro.pipeline.server import PphcrServer
-from repro.spatialdb import GpsFix
-from repro.users.feedback import FeedbackKind
-from repro.users.profile import UserProfile
 
-
-@dataclass(frozen=True)
-class ApiResponse:
-    """A REST-style response: status code plus a JSON-like body."""
-
-    status: int
-    body: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def ok(self) -> bool:
-        """Whether the request succeeded (2xx)."""
-        return 200 <= self.status < 300
+__all__ = ["ApiResponse", "PublicApi"]
 
 
 class PublicApi:
-    """Request handlers the client app calls."""
+    """Request handlers the client app calls (gateway-backed façade)."""
 
-    def __init__(self, server: PphcrServer) -> None:
+    def __init__(
+        self,
+        server: PphcrServer,
+        *,
+        gateway: Optional[Gateway] = None,
+        auth_token: Optional[str] = None,
+    ) -> None:
         self._server = server
+        self._gateway = gateway if gateway is not None else Gateway(server)
+        # Sent as a Bearer token with every request when set — how a mobile
+        # client holding an issued API key talks to an auth-requiring gateway.
+        self._headers = {"authorization": f"Bearer {auth_token}"} if auth_token else {}
+
+    @property
+    def gateway(self) -> Gateway:
+        """The gateway this façade dispatches through."""
+        return self._gateway
 
     # Users -----------------------------------------------------------------
 
     def register_user(self, user_id: str, display_name: str, **details: Any) -> ApiResponse:
-        """``POST /users`` — register a listener."""
-        try:
-            profile = UserProfile(user_id=user_id, display_name=display_name, **details)
-            self._server.register_user(profile)
-        except ReproError as exc:
-            return ApiResponse(status=400, body={"error": str(exc)})
-        return ApiResponse(status=201, body={"user_id": user_id})
+        """``POST /v1/users`` — register a listener."""
+        response = self._gateway.request(
+            "POST",
+            "/v1/users",
+            body={"user_id": user_id, "display_name": display_name, **details},
+            headers=self._headers,
+        )
+        if response.status == 409:  # legacy contract: duplicates were 400
+            return ApiResponse(status=400, body=response.body, headers=response.headers)
+        return response
 
     def get_profile(self, user_id: str) -> ApiResponse:
-        """``GET /users/{id}`` — demographic profile and learned preferences."""
-        try:
-            profile = self._server.users.profile(user_id)
-            preferences = self._server.users.preference_profile(user_id)
-        except NotFoundError as exc:
-            return ApiResponse(status=404, body={"error": str(exc)})
-        return ApiResponse(
-            status=200,
-            body={
-                "user_id": profile.user_id,
-                "display_name": profile.display_name,
-                "top_categories": preferences.top_categories(5),
-                "observations": preferences.observation_count,
-            },
-        )
+        """``GET /v1/users/{id}`` — demographic profile and learned preferences."""
+        return self._gateway.request("GET", f"/v1/users/{user_id}", headers=self._headers)
 
     # Feedback ---------------------------------------------------------------
 
@@ -80,23 +81,20 @@ class PublicApi:
         listened_s: float = 0.0,
         is_clip: bool = True,
     ) -> ApiResponse:
-        """``POST /feedback`` — implicit or explicit feedback from the app."""
-        try:
-            feedback_kind = FeedbackKind(kind)
-        except ValueError:
-            return ApiResponse(status=400, body={"error": f"unknown feedback kind {kind!r}"})
-        try:
-            event = self._server.users.record_feedback(
-                user_id,
-                content_id,
-                feedback_kind,
-                timestamp_s=timestamp_s,
-                listened_s=listened_s,
-                is_clip=is_clip,
-            )
-        except ReproError as exc:
-            return ApiResponse(status=404, body={"error": str(exc)})
-        return ApiResponse(status=201, body={"event_id": event.event_id})
+        """``POST /v1/feedback`` — implicit or explicit feedback from the app."""
+        return self._gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={
+                "user_id": user_id,
+                "content_id": content_id,
+                "kind": kind,
+                "timestamp_s": timestamp_s,
+                "listened_s": listened_s,
+                "is_clip": is_clip,
+            },
+            headers=self._headers,
+        )
 
     # Tracking ---------------------------------------------------------------
 
@@ -109,70 +107,60 @@ class PublicApi:
         timestamp_s: float,
         speed_mps: float = 0.0,
     ) -> ApiResponse:
-        """``POST /tracking`` — one GPS fix from the client."""
-        try:
-            fix = GpsFix(user_id, timestamp_s, GeoPoint(lat, lon), speed_mps=speed_mps)
-            self._server.users.ingest_fix(fix)
-        except ReproError as exc:
-            return ApiResponse(status=400, body={"error": str(exc)})
-        return ApiResponse(status=202, body={"stored": True})
+        """``POST /v1/tracking`` — one GPS fix from the client."""
+        return self._gateway.request(
+            "POST",
+            "/v1/tracking",
+            body={
+                "user_id": user_id,
+                "lat": lat,
+                "lon": lon,
+                "timestamp_s": timestamp_s,
+                "speed_mps": speed_mps,
+            },
+            headers=self._headers,
+        )
 
     # Content ------------------------------------------------------------------
 
     def list_services(self) -> ApiResponse:
-        """``GET /services`` — the live radio services."""
-        services = [
-            {"service_id": service.service_id, "name": service.name, "bitrate_kbps": service.bitrate_kbps}
-            for service in self._server.content.services()
-        ]
-        return ApiResponse(status=200, body={"services": services})
+        """``GET /v1/services`` — the live radio services.
+
+        Legacy contract: the complete listing.  The façade walks the
+        gateway's cursor pagination to exhaustion and merges the pages.
+        """
+        limit = str(self._gateway.config.max_page_limit)
+        services = []
+        cursor: Optional[str] = None
+        while True:
+            query = {"limit": limit}
+            if cursor is not None:
+                query["cursor"] = cursor
+            response = self._gateway.request(
+                "GET", "/v1/services", query=query, headers=self._headers
+            )
+            if not response.ok:
+                return response
+            services.extend(response.body["services"])
+            cursor = response.body["next_cursor"]
+            if cursor is None:
+                return ApiResponse(
+                    status=response.status,
+                    body={"services": services, "next_cursor": None},
+                    headers=response.headers,
+                )
 
     def get_clip(self, clip_id: str) -> ApiResponse:
-        """``GET /clips/{id}`` — clip metadata."""
-        try:
-            clip = self._server.content.clip(clip_id)
-        except NotFoundError as exc:
-            return ApiResponse(status=404, body={"error": str(exc)})
-        return ApiResponse(
-            status=200,
-            body={
-                "clip_id": clip.clip_id,
-                "title": clip.title,
-                "kind": clip.kind.value,
-                "duration_s": clip.duration_s,
-                "primary_category": clip.primary_category,
-            },
-        )
+        """``GET /v1/clips/{id}`` — clip metadata."""
+        return self._gateway.request("GET", f"/v1/clips/{clip_id}", headers=self._headers)
 
     # Recommendations ---------------------------------------------------------------
 
     def get_recommendations(self, user_id: str, *, now_s: float) -> ApiResponse:
-        """``GET /recommendations`` — run the proactive pipeline for a user."""
-        try:
-            decision = self._server.recommend(user_id, now_s=now_s)
-        except NotFoundError as exc:
-            return ApiResponse(status=404, body={"error": str(exc)})
-        except ReproError as exc:
-            return ApiResponse(status=500, body={"error": str(exc)})
-        items: List[Dict[str, Any]] = []
-        if decision.plan is not None:
-            for item in decision.plan.items:
-                items.append(
-                    {
-                        "clip_id": item.clip_id,
-                        "title": item.scored.clip.title,
-                        "start_s": item.start_s,
-                        "duration_s": item.scored.clip.duration_s,
-                        "score": round(item.scored.final_score, 4),
-                        "reason": item.reason,
-                    }
-                )
-        return ApiResponse(
-            status=200,
-            body={
-                "user_id": user_id,
-                "proactive": decision.should_recommend,
-                "reason": decision.reason,
-                "items": items,
-            },
+        """``GET /v1/recommendations/{id}`` — run the proactive pipeline."""
+        return self._gateway.request(
+            "GET",
+            f"/v1/recommendations/{user_id}",
+            query={"now_s": repr(float(now_s))},
+            headers=self._headers,
         )

@@ -1,0 +1,41 @@
+"""The public API gateway subsystem.
+
+A declarative, versioned front door to :class:`~repro.pipeline.server.PphcrServer`:
+route table + middleware chain + batch ingest + paginated/cacheable reads.
+See :mod:`repro.pipeline.gateway.gateway` for the subsystem overview and
+``docs/ARCHITECTURE.md`` ("Gateway flow") for where it sits at runtime.
+"""
+
+from repro.pipeline.gateway.http import ApiRequest, ApiResponse
+from repro.pipeline.gateway.gateway import Gateway, GatewayConfig
+from repro.pipeline.gateway.middleware import (
+    ApiKeyRegistry,
+    AuthMiddleware,
+    ExceptionMapperMiddleware,
+    MetricsMiddleware,
+    RateLimitConfig,
+    RateLimitMiddleware,
+    map_error,
+)
+from repro.pipeline.gateway.routing import RequestContext, Route, RouteTable
+from repro.pipeline.gateway.schema import Field, Number, RequestSchema
+
+__all__ = [
+    "ApiKeyRegistry",
+    "ApiRequest",
+    "ApiResponse",
+    "AuthMiddleware",
+    "ExceptionMapperMiddleware",
+    "Field",
+    "Gateway",
+    "GatewayConfig",
+    "MetricsMiddleware",
+    "Number",
+    "RateLimitConfig",
+    "RateLimitMiddleware",
+    "RequestContext",
+    "RequestSchema",
+    "Route",
+    "RouteTable",
+    "map_error",
+]

@@ -1,0 +1,558 @@
+"""The public API gateway: routed, versioned front door to the server.
+
+The seed modelled the paper's "Public Rest API Server" as a flat bag of
+hand-written methods with ad-hoc error mapping.  The gateway replaces that
+with a declarative subsystem:
+
+* a **route table** — every ``/v1`` endpoint is one :class:`Route` entry
+  (method, path template, handler, request schema) registered in
+  :meth:`Gateway._register_routes`;
+* a **middleware chain** — auth token check, per-user token-bucket rate
+  limiting, request metrics on the :class:`~repro.pipeline.messaging.MessageBus`
+  and a single exception→status mapper (see
+  :mod:`repro.pipeline.gateway.middleware`);
+* **batch ingest** — ``POST /v1/tracking/batch`` carries a buffered drive's
+  worth of fixes into :meth:`UserManager.ingest_fixes(skip_stale=True)
+  <repro.users.management.UserManager.ingest_fixes>` in one request, and
+  ``POST /v1/feedback/batch`` records many feedback events with per-item
+  error reporting;
+* **paginated + cacheable reads** — cursor pagination on the service and
+  clip listings, and ``ETag``/304 revalidation on recommendations keyed by
+  the streaming-model epoch (see :meth:`PphcrServer.model_freshness
+  <repro.pipeline.server.PphcrServer.model_freshness>`), so a client that
+  polls while nothing about the user's mobility model changed never pays
+  for a recommender tick.
+
+The legacy :class:`~repro.pipeline.api.PublicApi` survives as a thin v1
+compatibility façade over :meth:`Gateway.handle`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ReproError, ValidationError
+from repro.geo import GeoPoint
+from repro.pipeline.gateway.http import ApiRequest, ApiResponse
+from repro.pipeline.gateway.middleware import (
+    ApiKeyRegistry,
+    AuthMiddleware,
+    ExceptionMapperMiddleware,
+    MetricsMiddleware,
+    RateLimitConfig,
+    RateLimitMiddleware,
+    map_error,
+)
+from repro.pipeline.gateway.routing import RequestContext, Route, RouteTable
+from repro.pipeline.gateway.schema import Field, Number, RequestSchema
+from repro.spatialdb import GpsFix
+from repro.users.feedback import FeedbackKind
+from repro.users.profile import UserProfile
+from repro.util.validation import require_finite, require_in_range, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.server import PphcrServer
+
+
+def _finite(name: str) -> Callable[[float], float]:
+    return lambda value: require_finite(value, name)
+
+
+def _in_range(name: str, low: float, high: float) -> Callable[[float], float]:
+    return lambda value: require_in_range(value, low, high, name)
+
+
+def _non_negative(name: str) -> Callable[[float], float]:
+    return lambda value: require_positive(value, name, strict=False)
+
+
+def _positive(name: str) -> Callable[[float], float]:
+    return lambda value: require_positive(value, name)
+
+
+def _non_empty_list(name: str) -> Callable[[list], list]:
+    def check(value: list) -> list:
+        if not value:
+            raise ValidationError(f"{name} must not be empty")
+        return value
+
+    return check
+
+
+#: One GPS fix as it appears on the wire (shared by the single and batch
+#: tracking endpoints; the batch envelope carries the user once).
+FIX_FIELDS = (
+    Field("lat", Number, validator=_in_range("lat", -90.0, 90.0)),
+    Field("lon", Number, validator=_in_range("lon", -180.0, 180.0)),
+    Field("timestamp_s", Number, validator=_finite("timestamp_s")),
+    Field("speed_mps", Number, required=False, default=0.0, validator=_non_negative("speed_mps")),
+    Field("accuracy_m", Number, required=False, default=10.0, validator=_positive("accuracy_m")),
+)
+
+FIX_SCHEMA = RequestSchema(fields=FIX_FIELDS)
+
+#: One feedback event as it appears on the wire.
+FEEDBACK_FIELDS = (
+    Field("user_id", str),
+    Field("content_id", str),
+    Field("kind", str),
+    Field("timestamp_s", Number, validator=_finite("timestamp_s")),
+    Field("listened_s", Number, required=False, default=0.0, validator=_non_negative("listened_s")),
+    Field("is_clip", bool, required=False, default=True),
+)
+
+FEEDBACK_SCHEMA = RequestSchema(fields=FEEDBACK_FIELDS)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunable parameters of the gateway.
+
+    ``rate_limit`` is applied per caller (principal or subject user);
+    ``recommendation_ttl_s`` is the width of the time bucket folded into
+    recommendation ETags — within one bucket, an unchanged mobility model
+    revalidates to 304.  ``clock`` (monotonic seconds) is injectable so
+    rate-limit tests are deterministic.
+    """
+
+    require_auth: bool = False
+    rate_limit: RateLimitConfig = RateLimitConfig()
+    default_page_limit: int = 50
+    max_page_limit: int = 200
+    recommendation_ttl_s: float = 60.0
+    metrics_topic: str = "api.request"
+    clock: Optional[Callable[[], float]] = None
+
+
+class Gateway:
+    """Dispatches :class:`ApiRequest` objects through middleware to routes."""
+
+    def __init__(
+        self,
+        server: "PphcrServer",
+        config: GatewayConfig = GatewayConfig(),
+        *,
+        auth: Optional[ApiKeyRegistry] = None,
+    ) -> None:
+        self._server = server
+        self._config = config
+        self._auth = auth if auth is not None else ApiKeyRegistry()
+        self._routes = RouteTable()
+        self._register_routes()
+        self._metrics = MetricsMiddleware(server.bus, topic=config.metrics_topic)
+        self._rate_limiter = RateLimitMiddleware(config.rate_limit, clock=config.clock)
+        middlewares = [
+            self._metrics,
+            ExceptionMapperMiddleware(),
+            AuthMiddleware(self._auth, required=config.require_auth),
+            self._rate_limiter,
+        ]
+        handler: Callable[[RequestContext], ApiResponse] = self._dispatch
+        for middleware in reversed(middlewares):
+            handler = self._wrap(middleware, handler)
+        self._chain = handler
+
+    @staticmethod
+    def _wrap(middleware, nxt):
+        def run(ctx: RequestContext) -> ApiResponse:
+            return middleware(ctx, nxt)
+
+        return run
+
+    # Component access -----------------------------------------------------
+
+    @property
+    def config(self) -> GatewayConfig:
+        """The gateway configuration."""
+        return self._config
+
+    @property
+    def auth(self) -> ApiKeyRegistry:
+        """The token registry (issue/revoke API keys here)."""
+        return self._auth
+
+    @property
+    def routes(self) -> List[Route]:
+        """The declarative route table."""
+        return self._routes.routes()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Request counters since the gateway started."""
+        return self._metrics.snapshot()
+
+    # Entry points ---------------------------------------------------------
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        """Run one request through the middleware chain to its route."""
+        match = self._routes.match(request.method, request.path)
+        if match is None:
+            ctx = RequestContext(request=request, route=None)
+        else:
+            ctx = RequestContext(request=request, route=match[0], path_params=match[1])
+        return self._chain(ctx)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[Dict[str, Any]] = None,
+        query: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ApiResponse:
+        """Convenience wrapper building the :class:`ApiRequest` inline."""
+        return self.handle(
+            ApiRequest(
+                method=method,
+                path=path,
+                body=body if body is not None else {},
+                query=query if query is not None else {},
+                headers=headers if headers is not None else {},
+            )
+        )
+
+    def handle_wire(
+        self,
+        method: str,
+        path: str,
+        body_json: Optional[str] = None,
+        *,
+        query: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, str, Dict[str, str]]:
+        """Wire-level entry point: JSON text in, JSON text out.
+
+        What an HTTP server in front of the gateway would do per request:
+        parse the request body, dispatch, serialize the response body.
+        Malformed JSON maps to 400 without touching a route.  Returns
+        ``(status, body_json, headers)``; also serves as the guarantee that
+        every response body is JSON-serializable.
+        """
+        if body_json:
+            try:
+                body = json.loads(body_json)
+            except json.JSONDecodeError as exc:
+                error = f"malformed JSON body: {exc.msg}"
+                return 400, json.dumps({"error": error}), {}
+            if not isinstance(body, dict):
+                return 400, json.dumps({"error": "request body must be a JSON object"}), {}
+        else:
+            body = {}
+        response = self.handle(
+            ApiRequest(
+                method=method,
+                path=path,
+                body=body,
+                query=query if query is not None else {},
+                headers=headers if headers is not None else {},
+            )
+        )
+        return response.status, json.dumps(response.body, separators=(",", ":")), response.headers
+
+    # Dispatch -------------------------------------------------------------
+
+    def _dispatch(self, ctx: RequestContext) -> ApiResponse:
+        if ctx.route is None:
+            allowed = self._routes.allowed_methods(ctx.request.path)
+            if allowed:
+                return ApiResponse(
+                    status=405,
+                    body={"error": f"method {ctx.request.method} not allowed"},
+                    headers={"allow": ", ".join(allowed)},
+                )
+            return ApiResponse(status=404, body={"error": f"no route for {ctx.request.path!r}"})
+        if ctx.route.request_schema is not None:
+            ctx.data = ctx.route.request_schema.validate(ctx.request.body)
+        return ctx.route.handler(ctx)
+
+    def _register_routes(self) -> None:
+        add = self._routes.add
+        add(
+            Route(
+                "POST",
+                "/v1/users",
+                self._create_user,
+                request_schema=RequestSchema(
+                    fields=(Field("user_id", str), Field("display_name", str)),
+                    allow_extra=True,
+                ),
+            )
+        )
+        add(Route("GET", "/v1/users/{user_id}", self._get_profile))
+        add(Route("POST", "/v1/feedback", self._post_feedback, request_schema=FEEDBACK_SCHEMA))
+        add(
+            Route(
+                "POST",
+                "/v1/feedback/batch",
+                self._post_feedback_batch,
+                request_schema=RequestSchema(
+                    fields=(Field("events", list, validator=_non_empty_list("events")),)
+                ),
+            )
+        )
+        add(
+            Route(
+                "POST",
+                "/v1/tracking",
+                self._post_tracking,
+                request_schema=RequestSchema(fields=(Field("user_id", str),) + FIX_FIELDS),
+            )
+        )
+        add(
+            Route(
+                "POST",
+                "/v1/tracking/batch",
+                self._post_tracking_batch,
+                request_schema=RequestSchema(
+                    fields=(
+                        Field("user_id", str),
+                        Field("fixes", list, validator=_non_empty_list("fixes")),
+                    )
+                ),
+            )
+        )
+        add(Route("GET", "/v1/services", self._list_services))
+        add(Route("GET", "/v1/clips", self._list_clips))
+        add(Route("GET", "/v1/clips/{clip_id}", self._get_clip))
+        add(Route("GET", "/v1/recommendations/{user_id}", self._get_recommendations))
+
+    # Shared helpers -------------------------------------------------------
+
+    def _page_limit(self, ctx: RequestContext) -> int:
+        raw = ctx.request.query.get("limit")
+        if raw is None:
+            return self._config.default_page_limit
+        try:
+            limit = int(raw)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"limit must be an integer, got {raw!r}") from exc
+        if limit < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        return min(limit, self._config.max_page_limit)
+
+    @staticmethod
+    def _fix_from(user_id: str, data: Dict[str, Any]) -> GpsFix:
+        return GpsFix(
+            user_id,
+            data["timestamp_s"],
+            GeoPoint(data["lat"], data["lon"]),
+            speed_mps=data["speed_mps"],
+            accuracy_m=data["accuracy_m"],
+        )
+
+    @staticmethod
+    def _feedback_kind(raw: str) -> FeedbackKind:
+        try:
+            return FeedbackKind(raw)
+        except ValueError:
+            raise ValidationError(f"unknown feedback kind {raw!r}") from None
+
+    # Users ----------------------------------------------------------------
+
+    def _create_user(self, ctx: RequestContext) -> ApiResponse:
+        details = dict(ctx.data)
+        user_id = details.pop("user_id")
+        display_name = details.pop("display_name")
+        # The extra body fields are client-controlled: unknown or mistyped
+        # keyword arguments must surface as a 400, never as an uncaught
+        # TypeError escaping the exception mapper.
+        try:
+            profile = UserProfile(user_id=user_id, display_name=display_name, **details)
+        except TypeError as exc:
+            raise ValidationError(f"invalid profile fields: {exc}") from None
+        self._server.register_user(profile)
+        return ApiResponse(status=201, body={"user_id": user_id})
+
+    def _get_profile(self, ctx: RequestContext) -> ApiResponse:
+        user_id = ctx.path_params["user_id"]
+        profile = self._server.users.profile(user_id)
+        preferences = self._server.users.preference_profile(user_id)
+        return ApiResponse(
+            status=200,
+            body={
+                "user_id": profile.user_id,
+                "display_name": profile.display_name,
+                "top_categories": preferences.top_categories(5),
+                "observations": preferences.observation_count,
+            },
+        )
+
+    # Feedback -------------------------------------------------------------
+
+    def _record_feedback(self, data: Dict[str, Any]):
+        kind = self._feedback_kind(data["kind"])
+        return self._server.users.record_feedback(
+            data["user_id"],
+            data["content_id"],
+            kind,
+            timestamp_s=data["timestamp_s"],
+            listened_s=data["listened_s"],
+            is_clip=data["is_clip"],
+        )
+
+    def _post_feedback(self, ctx: RequestContext) -> ApiResponse:
+        event = self._record_feedback(ctx.data)
+        return ApiResponse(status=201, body={"event_id": event.event_id})
+
+    def _post_feedback_batch(self, ctx: RequestContext) -> ApiResponse:
+        event_ids: List[str] = []
+        failed: List[Dict[str, Any]] = []
+        for index, raw in enumerate(ctx.data["events"]):
+            try:
+                event = self._record_feedback(FEEDBACK_SCHEMA.validate(raw))
+            except ReproError as exc:
+                error = map_error(exc)
+                failed.append(
+                    {"index": index, "status": error.status, "error": error.body["error"]}
+                )
+                continue
+            event_ids.append(event.event_id)
+        body = {"recorded": len(event_ids), "event_ids": event_ids, "failed": failed}
+        return ApiResponse(status=201 if not failed else 200, body=body)
+
+    # Tracking -------------------------------------------------------------
+
+    def _post_tracking(self, ctx: RequestContext) -> ApiResponse:
+        fix = self._fix_from(ctx.data["user_id"], ctx.data)
+        self._server.users.ingest_fix(fix)
+        return ApiResponse(status=202, body={"stored": True})
+
+    def _post_tracking_batch(self, ctx: RequestContext) -> ApiResponse:
+        user_id = ctx.data["user_id"]
+        self._server.users.profile(user_id)  # 404 before any fix is parsed
+        # Lean per-item validation: the GpsFix/GeoPoint constructors enforce
+        # the same preconditions the wire schema would (finite timestamp,
+        # coordinate ranges, non-negative speed), so batch items skip the
+        # schema machinery and go straight to the model types; any
+        # construction failure still maps to a 400 with the item index.
+        fixes: List[GpsFix] = []
+        for index, raw in enumerate(ctx.data["fixes"]):
+            try:
+                fixes.append(
+                    GpsFix(
+                        user_id,
+                        raw["timestamp_s"],
+                        GeoPoint(raw["lat"], raw["lon"]),
+                        speed_mps=raw.get("speed_mps", 0.0),
+                        accuracy_m=raw.get("accuracy_m", 10.0),
+                    )
+                )
+            except (ReproError, KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise ValidationError(f"fixes[{index}]: invalid fix ({exc})") from None
+        accepted = self._server.users.ingest_fixes(fixes, skip_stale=True)
+        return ApiResponse(
+            status=202,
+            body={
+                "submitted": len(fixes),
+                "accepted": accepted,
+                "skipped_stale": len(fixes) - accepted,
+            },
+        )
+
+    # Content --------------------------------------------------------------
+
+    def _list_services(self, ctx: RequestContext) -> ApiResponse:
+        services, next_cursor = self._server.content.services_page(
+            cursor=ctx.request.query.get("cursor"), limit=self._page_limit(ctx)
+        )
+        return ApiResponse(
+            status=200,
+            body={
+                "services": [
+                    {
+                        "service_id": service.service_id,
+                        "name": service.name,
+                        "bitrate_kbps": service.bitrate_kbps,
+                    }
+                    for service in services
+                ],
+                "next_cursor": next_cursor,
+            },
+        )
+
+    @staticmethod
+    def _clip_body(clip) -> Dict[str, Any]:
+        """The wire representation of a clip (shared by list and item reads)."""
+        return {
+            "clip_id": clip.clip_id,
+            "title": clip.title,
+            "kind": clip.kind.value,
+            "duration_s": clip.duration_s,
+            "primary_category": clip.primary_category,
+            "published_s": clip.published_s,
+        }
+
+    def _list_clips(self, ctx: RequestContext) -> ApiResponse:
+        clips, next_cursor = self._server.content.clips_page(
+            cursor=ctx.request.query.get("cursor"), limit=self._page_limit(ctx)
+        )
+        return ApiResponse(
+            status=200,
+            body={"clips": [self._clip_body(clip) for clip in clips], "next_cursor": next_cursor},
+        )
+
+    def _get_clip(self, ctx: RequestContext) -> ApiResponse:
+        clip = self._server.content.clip(ctx.path_params["clip_id"])
+        return ApiResponse(status=200, body=self._clip_body(clip))
+
+    # Recommendations ------------------------------------------------------
+
+    def _recommendation_etag(self, user_id: str, now_s: float) -> str:
+        """The freshness validator for one user's recommendations.
+
+        Folds the streaming-model freshness (repair epoch + folded trips),
+        the user's raw-fix counter, the learned-preference observation
+        count (feedback moves recommendations too), the content-catalogue
+        size and a ``recommendation_ttl_s``-wide time bucket into a weak
+        ETag.  All components are O(1) reads, so revalidation costs
+        integer compares instead of a recommender tick.
+        """
+        epoch, trips, fixes = self._server.model_freshness(user_id)
+        observations = self._server.users.preference_profile(user_id).observation_count
+        clips = self._server.content.clip_count()
+        ttl = self._config.recommendation_ttl_s
+        bucket = int(now_s // ttl) if ttl > 0 else 0
+        return f'W/"rec-{user_id}:{epoch}.{trips}.{fixes}.{observations}.{clips}.{bucket}"'
+
+    def _get_recommendations(self, ctx: RequestContext) -> ApiResponse:
+        user_id = ctx.path_params["user_id"]
+        raw_now = ctx.request.query.get("now_s")
+        if raw_now is None:
+            raise ValidationError("now_s query parameter is required")
+        try:
+            now_s = require_finite(float(raw_now), "now_s")
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"now_s must be a number, got {raw_now!r}") from exc
+        self._server.users.profile(user_id)  # 404 before any caching logic
+        etag = self._recommendation_etag(user_id, now_s)
+        if ctx.request.header("if-none-match") in (etag, "*"):
+            return ApiResponse(status=304, headers={"etag": etag})
+        decision = self._server.recommend(user_id, now_s=now_s)
+        items: List[Dict[str, Any]] = []
+        if decision.plan is not None:
+            for item in decision.plan.items:
+                items.append(
+                    {
+                        "clip_id": item.clip_id,
+                        "title": item.scored.clip.title,
+                        "start_s": item.start_s,
+                        "duration_s": item.scored.clip.duration_s,
+                        "score": round(item.scored.final_score, 4),
+                        "reason": item.reason,
+                    }
+                )
+        return ApiResponse(
+            status=200,
+            body={
+                "user_id": user_id,
+                "proactive": decision.should_recommend,
+                "reason": decision.reason,
+                "items": items,
+            },
+            headers={
+                "etag": etag,
+                "cache-control": f"max-age={int(self._config.recommendation_ttl_s)}",
+            },
+        )

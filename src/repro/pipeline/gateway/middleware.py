@@ -1,0 +1,267 @@
+"""The gateway's middleware chain: auth, rate limiting, metrics, errors.
+
+Middleware are callables ``(ctx, next) -> ApiResponse`` composed once at
+gateway construction; each request then flows
+
+    metrics -> exception mapper -> auth -> rate limit -> dispatch
+
+so *every* route — current and future — is metered, throttled and
+error-mapped identically.  The exception mapper is the single place the
+:mod:`repro.errors` taxonomy turns into statuses:
+
+========================  ======
+:class:`ValidationError`  400
+:class:`NotFoundError`    404
+:class:`DuplicateError`   409
+other :class:`ReproError` 500
+========================  ======
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import (
+    DuplicateError,
+    NotFoundError,
+    PipelineError,
+    ReproError,
+    ValidationError,
+)
+from repro.pipeline.gateway.http import ApiResponse
+from repro.pipeline.gateway.routing import RequestContext
+from repro.util.ids import new_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.messaging import MessageBus
+
+Next = Callable[[RequestContext], ApiResponse]
+
+
+def map_error(exc: ReproError) -> ApiResponse:
+    """The response one library error maps to (the taxonomy table above)."""
+    if isinstance(exc, ValidationError):
+        status = 400
+    elif isinstance(exc, NotFoundError):
+        status = 404
+    elif isinstance(exc, DuplicateError):
+        status = 409
+    else:
+        status = 500
+    return ApiResponse(status=status, body={"error": str(exc)})
+
+
+class ExceptionMapperMiddleware:
+    """Maps the library's exception taxonomy onto HTTP statuses.
+
+    This is the structural fix for the seed API's per-method ``try``/
+    ``except`` blocks (which, among other bugs, mapped feedback validation
+    failures to 404): handlers just raise, and the mapping lives here once
+    (:func:`map_error`).  Anything outside :class:`ReproError` propagates —
+    programming errors must not be masked as HTTP statuses.
+    """
+
+    def __call__(self, ctx: RequestContext, nxt: Next) -> ApiResponse:
+        try:
+            return nxt(ctx)
+        except ReproError as exc:
+            return map_error(exc)
+
+
+class ApiKeyRegistry:
+    """Issued bearer tokens and the principals behind them."""
+
+    def __init__(self) -> None:
+        self._principals: Dict[str, str] = {}
+
+    def issue(self, principal: str) -> str:
+        """Issue a new token for ``principal`` and return it."""
+        if not principal:
+            raise ValidationError("principal must be a non-empty string")
+        token = new_id("apikey")
+        self._principals[token] = principal
+        return token
+
+    def revoke(self, token: str) -> None:
+        """Invalidate a token (unknown tokens are a no-op)."""
+        self._principals.pop(token, None)
+
+    def principal_for(self, token: str) -> Optional[str]:
+        """The principal a token authenticates, or None."""
+        return self._principals.get(token)
+
+
+class AuthMiddleware:
+    """Resolves the ``Authorization`` header into ``ctx.principal``.
+
+    With ``required=True`` a missing or unknown token is rejected with 401
+    before any handler (or rate-limit bucket) is touched; with
+    ``required=False`` a valid token still sets the principal so rate
+    limiting keys on it, but anonymous requests pass through.
+    """
+
+    def __init__(self, registry: ApiKeyRegistry, *, required: bool = False) -> None:
+        self._registry = registry
+        self._required = required
+
+    def __call__(self, ctx: RequestContext, nxt: Next) -> ApiResponse:
+        header = ctx.request.header("authorization")
+        token = None
+        if header:
+            token = header[7:] if header.lower().startswith("bearer ") else header
+        if token is not None:
+            principal = self._registry.principal_for(token)
+            if principal is None:
+                return ApiResponse(
+                    status=401,
+                    body={"error": "invalid auth token"},
+                    headers={"www-authenticate": "Bearer"},
+                )
+            ctx.principal = principal
+        elif self._required:
+            return ApiResponse(
+                status=401,
+                body={"error": "missing auth token"},
+                headers={"www-authenticate": "Bearer"},
+            )
+        return nxt(ctx)
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Per-caller token-bucket parameters.
+
+    ``capacity`` is the burst size and ``refill_per_s`` the sustained
+    request rate; both are generous by default so the limiter only bites
+    under genuinely abusive traffic.
+    """
+
+    capacity: float = 240.0
+    refill_per_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise PipelineError("capacity must be >= 1")
+        if self.refill_per_s <= 0:
+            raise PipelineError("refill_per_s must be > 0")
+
+
+class _TokenBucket:
+    __slots__ = ("tokens", "updated_s")
+
+    def __init__(self, capacity: float, now_s: float) -> None:
+        self.tokens = capacity
+        self.updated_s = now_s
+
+
+class RateLimitMiddleware:
+    """Per-user token-bucket rate limiting.
+
+    Buckets key on the authenticated principal when there is one, else on
+    the user the request is about (path parameter or body field), else on a
+    shared anonymous bucket — so one abusive client cannot starve the rest
+    even before auth is enabled.  Rejections are 429 with a ``Retry-After``
+    hint derived from the refill rate.
+    """
+
+    def __init__(
+        self,
+        config: RateLimitConfig,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._config = config
+        self._clock = clock if clock is not None else time.monotonic
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._rejected = 0
+
+    @property
+    def rejected_count(self) -> int:
+        """Requests rejected with 429 so far."""
+        return self._rejected
+
+    @staticmethod
+    def _key(ctx: RequestContext) -> str:
+        if ctx.principal is not None:
+            return ctx.principal
+        user_id = ctx.path_params.get("user_id")
+        if user_id is None:
+            body_user = ctx.request.body.get("user_id")
+            user_id = body_user if isinstance(body_user, str) else None
+        return user_id if user_id is not None else "<anonymous>"
+
+    def __call__(self, ctx: RequestContext, nxt: Next) -> ApiResponse:
+        now_s = self._clock()
+        bucket = self._buckets.get(self._key(ctx))
+        if bucket is None:
+            bucket = _TokenBucket(self._config.capacity, now_s)
+            self._buckets[self._key(ctx)] = bucket
+        else:
+            elapsed = now_s - bucket.updated_s
+            if elapsed > 0:
+                bucket.tokens = min(
+                    self._config.capacity,
+                    bucket.tokens + elapsed * self._config.refill_per_s,
+                )
+            bucket.updated_s = now_s
+        if bucket.tokens < 1.0:
+            self._rejected += 1
+            retry_after_s = (1.0 - bucket.tokens) / self._config.refill_per_s
+            return ApiResponse(
+                status=429,
+                body={"error": "rate limit exceeded"},
+                headers={"retry-after": str(max(1, math.ceil(retry_after_s)))},
+            )
+        bucket.tokens -= 1.0
+        return nxt(ctx)
+
+
+class MetricsMiddleware:
+    """Publishes one ``api.request`` message per request and keeps counters.
+
+    The bus message carries route name, method, status and latency so the
+    dashboard (and tests) can follow API traffic the same way they follow
+    ingest; the in-process counters power :meth:`snapshot` without scanning
+    the bus history.
+    """
+
+    def __init__(self, bus: Optional["MessageBus"] = None, *, topic: str = "api.request") -> None:
+        self._bus = bus
+        self._topic = topic
+        self._by_route: Dict[str, int] = {}
+        self._by_status: Dict[int, int] = {}
+        self._request_count = 0
+        self._elapsed_total_s = 0.0
+
+    def __call__(self, ctx: RequestContext, nxt: Next) -> ApiResponse:
+        start = time.perf_counter()
+        response = nxt(ctx)
+        elapsed_s = time.perf_counter() - start
+        route_name = ctx.route.name if ctx.route is not None else "<unmatched>"
+        self._request_count += 1
+        self._elapsed_total_s += elapsed_s
+        self._by_route[route_name] = self._by_route.get(route_name, 0) + 1
+        self._by_status[response.status] = self._by_status.get(response.status, 0) + 1
+        if self._bus is not None:
+            self._bus.publish(
+                self._topic,
+                {
+                    "route": route_name,
+                    "method": ctx.request.method,
+                    "status": response.status,
+                    "elapsed_ms": round(elapsed_s * 1000.0, 3),
+                },
+            )
+        return response
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters since the gateway started."""
+        return {
+            "requests": self._request_count,
+            "by_route": dict(self._by_route),
+            "by_status": dict(self._by_status),
+            "elapsed_total_ms": round(self._elapsed_total_s * 1000.0, 3),
+        }

@@ -1,0 +1,82 @@
+"""Declarative request-body schemas for gateway routes.
+
+Each :class:`Route` may carry a :class:`RequestSchema`; the gateway then
+validates the request body *before* the handler runs, so handlers only ever
+see well-typed data and every malformed payload maps to a 400 through the
+exception mapper (all schema failures raise
+:class:`~repro.errors.ValidationError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Type, Union
+
+from repro.errors import ValidationError
+
+#: Numeric fields accept ints where floats are declared (JSON does not
+#: distinguish), but never bools — ``True`` is not a coordinate.
+Number = (int, float)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One body field: name, expected type, optionality, normalization."""
+
+    name: str
+    type: Union[Type, Tuple[Type, ...]] = str
+    required: bool = True
+    default: Any = None
+    #: Runs after the type check; returns the normalized value or raises
+    #: :class:`ValidationError` (e.g. range checks on coordinates).
+    validator: Optional[Callable[[Any], Any]] = None
+
+    def coerce(self, value: Any) -> Any:
+        """Type-check (and numerically coerce) one value."""
+        expected = self.type
+        if isinstance(value, bool) and expected in (float, Number, int):
+            raise ValidationError(f"{self.name} must be a number, got a boolean")
+        if expected is float and isinstance(value, int):
+            value = float(value)
+        elif expected is Number and isinstance(value, Number):
+            value = float(value)
+        if not isinstance(value, expected if isinstance(expected, tuple) else (expected,)):
+            type_name = getattr(expected, "__name__", str(expected))
+            raise ValidationError(
+                f"{self.name} must be of type {type_name}, got {type(value).__name__}"
+            )
+        if self.validator is not None:
+            value = self.validator(value)
+        return value
+
+
+@dataclass(frozen=True)
+class RequestSchema:
+    """A declarative description of a route's request body."""
+
+    fields: Tuple[Field, ...]
+    #: Whether keys beyond the declared fields are tolerated (they are
+    #: passed through untouched, e.g. optional profile demographics).
+    allow_extra: bool = False
+
+    def validate(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate ``body`` and return the normalized payload."""
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be an object")
+        data: Dict[str, Any] = {}
+        known = set()
+        for field_ in self.fields:
+            known.add(field_.name)
+            if field_.name not in body:
+                if field_.required:
+                    raise ValidationError(f"missing required field {field_.name!r}")
+                data[field_.name] = field_.default
+                continue
+            data[field_.name] = field_.coerce(body[field_.name])
+        extra = set(body) - known
+        if extra and not self.allow_extra:
+            raise ValidationError(f"unexpected fields: {sorted(extra)}")
+        if self.allow_extra:
+            for name in extra:
+                data[name] = body[name]
+        return data

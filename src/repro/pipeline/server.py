@@ -135,12 +135,18 @@ class PphcrServer:
             self._streaming = StreamingMobilityEngine(
                 replace(config.streaming, incremental=incremental), bus=self._bus
             )
-            self._users.add_fix_listener(self._streaming.observe_fix)
+            self._users.add_fix_listener(
+                self._streaming.observe_fix, batch=self._streaming.observe_fixes
+            )
         self._compactor = ShardedCompactor(
             self._users.tracking,
             self._refresh_mobility_model,
             config=config.compaction,
         )
+        # Round-robin shard cursor for maintenance_tick(): successive ticks
+        # walk the compactor's shards so a deployment covers the whole
+        # population without ever running a full pass.
+        self._maintenance_shard = 0
 
     # Component access -----------------------------------------------------
 
@@ -293,6 +299,21 @@ class PphcrServer:
         )
         return model
 
+    def model_freshness(self, user_id: str) -> tuple:
+        """``(epoch, trips, fixes_added)`` — an O(1) mobility validator.
+
+        Combines the streaming engine's ``model_freshness`` (repair epoch,
+        folded trips; zeros when streaming is disabled) with the tracking
+        store's monotonic fix counter, so the token moves on *every* fix —
+        including fixes written directly to the store that bypass the
+        engine.  The gateway keys recommendation ETags on it.
+        """
+        if self._streaming is not None:
+            epoch, trips = self._streaming.model_freshness(user_id)
+        else:
+            epoch, trips = 0, 0
+        return (epoch, trips, self._users.tracking.fixes_added(user_id))
+
     def mobility_model(self, user_id: str) -> _UserMobilityModel:
         """The user's mobility model: cached batch result, live streaming
         model, or a fresh batch rebuild — in that order of preference."""
@@ -329,8 +350,7 @@ class PphcrServer:
         """The incrementally maintained model, when it is mature enough."""
         if self._streaming is None or not self._stream_is_complete_for(user_id):
             return None
-        engine_model = self._streaming.model
-        freshness = (engine_model.epoch(user_id), engine_model.trip_count(user_id))
+        freshness = self._streaming.model_freshness(user_id)
         cached = self._streaming_served.get(user_id)
         if cached is not None and cached[0] == freshness:
             return cached[1]
@@ -411,6 +431,38 @@ class PphcrServer:
             },
         )
         return report.removed
+
+    @property
+    def maintenance_shard(self) -> int:
+        """The shard the *next* :meth:`maintenance_tick` will compact."""
+        return self._maintenance_shard
+
+    def maintenance_tick(
+        self,
+        *,
+        keep_window_s: Optional[float] = None,
+        budget: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Run one periodic maintenance step: compact the next shard.
+
+        Successive ticks rotate round-robin through the compactor's shards,
+        so a deployment that calls this on a timer covers the whole user
+        population every ``CompactionConfig.shards`` ticks while each tick
+        only pays for one shard's dirty users — the ROADMAP's "one shard
+        per worker tick" lever.  Returns the tick summary (shard compacted,
+        users pruned, fixes removed).
+        """
+        shard = self._maintenance_shard
+        self._maintenance_shard = (shard + 1) % self._config.compaction.shards
+        removed = self.compact_tracking_data(
+            keep_window_s=keep_window_s, shard=shard, budget=budget
+        )
+        return {
+            "shard": shard,
+            "next_shard": self._maintenance_shard,
+            "users_pruned": len(removed),
+            "fixes_removed": sum(removed.values()),
+        }
 
     # Context building -------------------------------------------------------------
 

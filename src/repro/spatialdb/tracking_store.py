@@ -42,6 +42,12 @@ class TrackingStore:
         self._fixes: Dict[str, List[GpsFix]] = {}
         self._latest_index: GridIndex[str] = GridIndex(index_cell_size_m)
         self._added_counts: Dict[str, int] = {}
+        # Latest positions not yet reflected in the spatial index.  Ingest is
+        # write-heavy (every fix moves its user) while "who is near X" reads
+        # are rare, so index maintenance is deferred: add_fix records the
+        # position with one dict write and the spatial queries fold the
+        # pending moves in before answering.
+        self._pending_latest: Dict[str, GeoPoint] = {}
 
     def add_fix(self, fix: GpsFix) -> None:
         """Append a fix for a user (must be time-ordered per user)."""
@@ -53,7 +59,15 @@ class TrackingStore:
             )
         history.append(fix)
         self._added_counts[fix.user_id] = self._added_counts.get(fix.user_id, 0) + 1
-        self._latest_index.insert(fix.user_id, fix.position)
+        self._pending_latest[fix.user_id] = fix.position
+
+    def _flush_latest_index(self) -> None:
+        """Fold pending latest-position moves into the spatial index."""
+        if self._pending_latest:
+            insert = self._latest_index.insert
+            for user_id, position in self._pending_latest.items():
+                insert(user_id, position)
+            self._pending_latest.clear()
 
     def add_fixes(self, fixes: Iterable[GpsFix]) -> int:
         """Append many fixes; returns the number added."""
@@ -120,10 +134,12 @@ class TrackingStore:
 
     def users_within(self, center: GeoPoint, radius_m: float) -> List[str]:
         """Users whose latest position is within ``radius_m`` of ``center``."""
+        self._flush_latest_index()
         return [user_id for user_id, _distance in self._latest_index.query_radius(center, radius_m)]
 
     def users_in_bbox(self, box: BoundingBox) -> List[str]:
         """Users whose latest position falls inside the box."""
+        self._flush_latest_index()
         return sorted(self._latest_index.query_bbox(box))
 
     def prune_before(self, user_id: str, cutoff_s: float) -> int:
@@ -150,4 +166,6 @@ class TrackingStore:
         if user_id not in self._fixes:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         del self._fixes[user_id]
-        self._latest_index.remove(user_id)
+        self._pending_latest.pop(user_id, None)
+        if user_id in self._latest_index:
+            self._latest_index.remove(user_id)

@@ -17,7 +17,7 @@ is available per user at any time without touching the raw history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.spatialdb.tracking_store import GpsFix
 from repro.streaming.incremental import (
@@ -133,6 +133,18 @@ class StreamingMobilityEngine:
                 completed.append(trip)
         self._fixes_observed += count
         return completed
+
+    def model_freshness(self, user_id: str) -> Tuple[int, int]:
+        """``(repair epoch, folded trip count)`` — an O(1) model validator.
+
+        The pair changes whenever the user's live model materially changes
+        (a trip folds in, or a drift repair re-mines the trip list), and
+        never changes otherwise.  The server folds it into its snapshot
+        cache key and the gateway into recommendation ETags, so "has
+        anything changed?" costs two dictionary reads instead of a model
+        comparison.
+        """
+        return (self._model.epoch(user_id), self._model.trip_count(user_id))
 
     def observed_fix_count(self, user_id: str) -> int:
         """Fixes this engine has consumed for a user (monotonic).

@@ -30,7 +30,10 @@ class UserManager:
         self._feedback = FeedbackStore()
         self._tracking = tracking if tracking is not None else TrackingStore()
         self._content = content
-        self._fix_listeners: List[Callable[[GpsFix], None]] = []
+        #: (per-fix listener, optional bulk form) pairs; see add_fix_listener.
+        self._fix_listeners: List[
+            Tuple[Callable[[GpsFix], None], Optional[Callable[[List[GpsFix]], None]]]
+        ] = []
 
     # Registration ----------------------------------------------------------
 
@@ -49,6 +52,10 @@ class UserManager:
         if profile is None:
             raise NotFoundError(f"unknown user {user_id!r}")
         return profile
+
+    def has_user(self, user_id: str) -> bool:
+        """Whether a user is registered (no-exception existence check)."""
+        return user_id in self._profiles
 
     def preference_profile(self, user_id: str) -> UserPreferenceProfile:
         """Learned preference profile of a user."""
@@ -119,37 +126,71 @@ class UserManager:
         """The tracking (spatial) store."""
         return self._tracking
 
-    def add_fix_listener(self, listener: Callable[[GpsFix], None]) -> None:
+    def add_fix_listener(
+        self,
+        listener: Callable[[GpsFix], None],
+        *,
+        batch: Optional[Callable[[List[GpsFix]], None]] = None,
+    ) -> None:
         """Register a callback invoked for every fix accepted into storage.
 
         The streaming mobility engine subscribes here so trip sessionization
-        and model maintenance happen inline with ingestion.
+        and model maintenance happen inline with ingestion.  A listener may
+        also provide a ``batch`` form; :meth:`ingest_fixes` then delivers
+        each batch's accepted fixes in one call (same fixes, same per-user
+        order) instead of paying the callback per fix.
         """
-        self._fix_listeners.append(listener)
+        self._fix_listeners.append((listener, batch))
 
     def ingest_fix(self, fix: GpsFix) -> None:
         """Store a GPS fix for a registered user."""
         self.profile(fix.user_id)
         self._tracking.add_fix(fix)
-        for listener in self._fix_listeners:
+        for listener, _batch in self._fix_listeners:
             listener(fix)
 
     def ingest_fixes(self, fixes: List[GpsFix], *, skip_stale: bool = False) -> int:
-        """Store many GPS fixes.
+        """Store many GPS fixes; returns how many were accepted.
 
         With ``skip_stale=True`` fixes older than the user's latest stored
         fix are silently dropped instead of raising — useful when a scenario
-        replays a drive whose first fixes were already uploaded.
+        replays a drive whose first fixes were already uploaded, and what
+        the gateway's batch tracking endpoint relies on.
+
+        This is the batch ingest fast path: the registration check and the
+        latest-timestamp read happen once per user per batch instead of
+        once per fix, and listeners registered with a ``batch`` form (the
+        streaming engine) receive the accepted fixes in one call — same
+        fixes, same per-user order as per-fix :meth:`ingest_fix`, without
+        re-paying the per-fix callback overhead.
         """
-        count = 0
-        for fix in fixes:
-            if skip_stale:
-                try:
-                    latest = self._tracking.latest_fix(fix.user_id).timestamp_s
-                except NotFoundError:
-                    latest = None
-                if latest is not None and fix.timestamp_s < latest:
+        tracking = self._tracking
+        latest_by_user: Dict[str, float] = {}
+        accepted: List[GpsFix] = []
+        try:
+            for fix in fixes:
+                latest = latest_by_user.get(fix.user_id)
+                if latest is None:
+                    self.profile(fix.user_id)  # raises for unknown users
+                    try:
+                        latest = tracking.latest_fix(fix.user_id).timestamp_s
+                    except NotFoundError:
+                        latest = float("-inf")
+                    latest_by_user[fix.user_id] = latest
+                if skip_stale and fix.timestamp_s < latest:
                     continue
-            self.ingest_fix(fix)
-            count += 1
-        return count
+                tracking.add_fix(fix)
+                latest_by_user[fix.user_id] = fix.timestamp_s
+                accepted.append(fix)
+        finally:
+            # Even when a mid-batch fix raises, listeners must still see the
+            # fixes that were accepted before it — exactly what the per-fix
+            # path would have delivered.
+            if accepted:
+                for listener, batch_listener in self._fix_listeners:
+                    if batch_listener is not None:
+                        batch_listener(accepted)
+                    else:
+                        for fix in accepted:
+                            listener(fix)
+        return len(accepted)

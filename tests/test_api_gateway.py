@@ -1,0 +1,682 @@
+"""Tests for the public API gateway: routes, middleware, batching, caching.
+
+Covers every ``/v1`` route's success *and* error paths, the middleware
+chain (auth 401s, token-bucket 429s, metrics, exception mapping), batch
+ingest parity with the single-fix path, cursor pagination, ETag/304
+revalidation, the wire-level JSON entry point, the legacy façade's
+compatibility contract, and the server's round-robin maintenance tick.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.content import AudioClip, ContentKind
+from repro.content.model import RadioService
+from repro.errors import ValidationError
+from repro.pipeline import (
+    Gateway,
+    GatewayConfig,
+    PphcrServer,
+    PublicApi,
+    RateLimitConfig,
+    ServerConfig,
+)
+from repro.spatialdb import GpsFix
+from repro.geo import GeoPoint
+from repro.streaming.compactor import CompactionConfig
+from repro.users import UserProfile
+
+
+def make_server(**kwargs) -> PphcrServer:
+    server = PphcrServer(**kwargs)
+    server.register_user(UserProfile(user_id="alice", display_name="Alice"))
+    return server
+
+
+def make_gateway(server=None, config=GatewayConfig()):
+    server = server if server is not None else make_server()
+    return server, Gateway(server, config)
+
+
+def drive_fixes(n=40, *, t0=0.0, interval_s=20.0, speed=12.0):
+    """A straight synthetic drive as wire-format fix dictionaries."""
+    return [
+        {
+            "lat": 45.07 + 0.002 * i,
+            "lon": 7.68 + 0.002 * i,
+            "timestamp_s": t0 + interval_s * i,
+            "speed_mps": speed,
+        }
+        for i in range(n)
+    ]
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self):
+        _, gateway = make_gateway()
+        response = gateway.request("GET", "/v1/nope")
+        assert response.status == 404
+        assert "no route" in response.body["error"]
+
+    def test_wrong_method_is_405_with_allow(self):
+        _, gateway = make_gateway()
+        response = gateway.request("DELETE", "/v1/services")
+        assert response.status == 405
+        assert response.header("allow") == "GET"
+
+    def test_route_table_is_declarative(self):
+        _, gateway = make_gateway()
+        names = {route.name for route in gateway.routes}
+        assert "POST /v1/tracking/batch" in names
+        assert "GET /v1/recommendations/{user_id}" in names
+
+    def test_duplicate_route_rejected(self):
+        from repro.pipeline.gateway import Route, RouteTable
+
+        table = RouteTable()
+        table.add(Route("GET", "/v1/things/{a}", lambda ctx: None))
+        with pytest.raises(ValidationError):
+            table.add(Route("GET", "/v1/things/{b}", lambda ctx: None))
+
+
+class TestUserRoutes:
+    def test_register_get_404_and_409(self):
+        _, gateway = make_gateway()
+        created = gateway.request(
+            "POST", "/v1/users", body={"user_id": "bob", "display_name": "Bob", "age": 40}
+        )
+        assert created.status == 201 and created.body == {"user_id": "bob"}
+        profile = gateway.request("GET", "/v1/users/bob")
+        assert profile.ok and profile.body["display_name"] == "Bob"
+        assert gateway.request("GET", "/v1/users/ghost").status == 404
+        duplicate = gateway.request(
+            "POST", "/v1/users", body={"user_id": "bob", "display_name": "Bob"}
+        )
+        assert duplicate.status == 409
+
+    def test_register_schema_validation(self):
+        _, gateway = make_gateway()
+        missing = gateway.request("POST", "/v1/users", body={"user_id": "x"})
+        assert missing.status == 400 and "display_name" in missing.body["error"]
+        wrong_type = gateway.request(
+            "POST", "/v1/users", body={"user_id": 7, "display_name": "X"}
+        )
+        assert wrong_type.status == 400
+        bad_age = gateway.request(
+            "POST", "/v1/users", body={"user_id": "x", "display_name": "X", "age": 300}
+        )
+        assert bad_age.status == 400
+
+    def test_register_rejects_bad_extra_fields_with_400(self):
+        """Client-controlled extras must map to 400, not an uncaught
+        TypeError escaping the exception mapper."""
+        _, gateway = make_gateway()
+        unknown_field = gateway.request(
+            "POST", "/v1/users", body={"user_id": "x", "display_name": "X", "nickname": "n"}
+        )
+        assert unknown_field.status == 400
+        mistyped = gateway.request(
+            "POST", "/v1/users", body={"user_id": "x", "display_name": "X", "age": "old"}
+        )
+        assert mistyped.status == 400
+
+
+class TestFeedbackRoutes:
+    def make_world(self):
+        server = make_server()
+        server.content.add_clip(
+            AudioClip(
+                clip_id="clip-a",
+                title="A",
+                kind=ContentKind.PODCAST,
+                duration_s=60.0,
+                category_scores={"comedy": 1.0},
+            )
+        )
+        return server, Gateway(server)
+
+    def test_feedback_success_and_errors(self):
+        _, gateway = self.make_world()
+        ok = gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={"user_id": "alice", "content_id": "clip-a", "kind": "like", "timestamp_s": 10.0},
+        )
+        assert ok.status == 201 and ok.body["event_id"]
+        bad_kind = gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={"user_id": "alice", "content_id": "clip-a", "kind": "meh", "timestamp_s": 10.0},
+        )
+        assert bad_kind.status == 400
+        unknown_user = gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={"user_id": "ghost", "content_id": "clip-a", "kind": "like", "timestamp_s": 10.0},
+        )
+        assert unknown_user.status == 404
+
+    def test_validation_failure_is_400_not_404(self):
+        """Regression: the seed PublicApi mapped *every* feedback error to
+        404; validation failures must be 400 (the gateway's status mapper
+        makes this structural)."""
+        _, gateway = self.make_world()
+        negative = gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={
+                "user_id": "alice",
+                "content_id": "clip-a",
+                "kind": "like",
+                "timestamp_s": 10.0,
+                "listened_s": -5.0,
+            },
+        )
+        assert negative.status == 400
+        # Same contract through the legacy façade.
+        server, _ = self.make_world()
+        api = PublicApi(server)
+        response = api.post_feedback(
+            "alice", "clip-a", "like", timestamp_s=10.0, listened_s=-5.0
+        )
+        assert response.status == 400
+
+    def test_feedback_batch_all_recorded(self):
+        _, gateway = self.make_world()
+        events = [
+            {"user_id": "alice", "content_id": "clip-a", "kind": "like", "timestamp_s": 10.0},
+            {"user_id": "alice", "content_id": "clip-a", "kind": "skip", "timestamp_s": 20.0},
+        ]
+        response = gateway.request("POST", "/v1/feedback/batch", body={"events": events})
+        assert response.status == 201
+        assert response.body["recorded"] == 2 and len(response.body["event_ids"]) == 2
+        assert response.body["failed"] == []
+
+    def test_feedback_batch_partial_failure(self):
+        _, gateway = self.make_world()
+        events = [
+            {"user_id": "alice", "content_id": "clip-a", "kind": "like", "timestamp_s": 10.0},
+            {"user_id": "ghost", "content_id": "clip-a", "kind": "like", "timestamp_s": 11.0},
+            {"user_id": "alice", "content_id": "clip-a", "kind": "meh", "timestamp_s": 12.0},
+        ]
+        response = gateway.request("POST", "/v1/feedback/batch", body={"events": events})
+        assert response.status == 200
+        assert response.body["recorded"] == 1
+        statuses = {item["index"]: item["status"] for item in response.body["failed"]}
+        assert statuses == {1: 404, 2: 400}
+
+    def test_feedback_batch_empty_rejected(self):
+        _, gateway = self.make_world()
+        assert gateway.request("POST", "/v1/feedback/batch", body={"events": []}).status == 400
+        assert gateway.request("POST", "/v1/feedback/batch", body={}).status == 400
+
+
+class TestTrackingRoutes:
+    def test_single_fix_success_and_errors(self):
+        _, gateway = make_gateway()
+        ok = gateway.request(
+            "POST",
+            "/v1/tracking",
+            body={"user_id": "alice", "lat": 45.07, "lon": 7.68, "timestamp_s": 100.0},
+        )
+        assert ok.status == 202 and ok.body == {"stored": True}
+        bad_lat = gateway.request(
+            "POST",
+            "/v1/tracking",
+            body={"user_id": "alice", "lat": 123.0, "lon": 7.68, "timestamp_s": 110.0},
+        )
+        assert bad_lat.status == 400
+        unknown = gateway.request(
+            "POST",
+            "/v1/tracking",
+            body={"user_id": "ghost", "lat": 45.0, "lon": 7.68, "timestamp_s": 120.0},
+        )
+        assert unknown.status == 404
+        out_of_order = gateway.request(
+            "POST",
+            "/v1/tracking",
+            body={"user_id": "alice", "lat": 45.07, "lon": 7.68, "timestamp_s": 50.0},
+        )
+        assert out_of_order.status == 400
+
+    def test_batch_ingest_success_and_stale_skip(self):
+        _, gateway = make_gateway()
+        fixes = drive_fixes(30)
+        response = gateway.request(
+            "POST", "/v1/tracking/batch", body={"user_id": "alice", "fixes": fixes}
+        )
+        assert response.status == 202
+        assert response.body == {"submitted": 30, "accepted": 30, "skipped_stale": 0}
+        # Replaying the drive plus a few new fixes: fixes strictly older
+        # than the stored latest are skipped (the boundary fix is re-accepted,
+        # matching ingest_fixes' documented skip_stale semantics).
+        replay = fixes[:-1] + drive_fixes(5, t0=30 * 20.0)
+        response = gateway.request(
+            "POST", "/v1/tracking/batch", body={"user_id": "alice", "fixes": replay}
+        )
+        assert response.status == 202
+        assert response.body["accepted"] == 5
+        assert response.body["skipped_stale"] == 29
+
+    def test_batch_errors(self):
+        _, gateway = make_gateway()
+        unknown = gateway.request(
+            "POST", "/v1/tracking/batch", body={"user_id": "ghost", "fixes": drive_fixes(3)}
+        )
+        assert unknown.status == 404
+        empty = gateway.request(
+            "POST", "/v1/tracking/batch", body={"user_id": "alice", "fixes": []}
+        )
+        assert empty.status == 400
+        bad_item = gateway.request(
+            "POST",
+            "/v1/tracking/batch",
+            body={"user_id": "alice", "fixes": [{"lat": 91.0, "lon": 0.0, "timestamp_s": 1.0}]},
+        )
+        assert bad_item.status == 400 and "fixes[0]" in bad_item.body["error"]
+
+    def test_batch_parity_with_single_fix_ingest(self):
+        """The same drive ingested per fix and in one batch must leave the
+        tracking store and the streaming mobility models identical."""
+        server_single = make_server()
+        server_batch = make_server()
+        gateway_single = Gateway(server_single)
+        gateway_batch = Gateway(server_batch)
+        fixes = drive_fixes(120) + drive_fixes(120, t0=8 * 3600.0)
+        for fix in fixes:
+            response = gateway_single.request(
+                "POST", "/v1/tracking", body={"user_id": "alice", **fix}
+            )
+            assert response.status == 202
+        response = gateway_batch.request(
+            "POST", "/v1/tracking/batch", body={"user_id": "alice", "fixes": fixes}
+        )
+        assert response.status == 202 and response.body["accepted"] == len(fixes)
+
+        assert server_single.users.tracking.fixes_for("alice") == server_batch.users.tracking.fixes_for("alice")
+        snap_single = server_single.streaming.model_snapshot("alice", include_open_tail=True)
+        snap_batch = server_batch.streaming.model_snapshot("alice", include_open_tail=True)
+        assert (snap_single is None) == (snap_batch is None)
+        if snap_single is not None:
+            assert snap_single.trip_count == snap_batch.trip_count
+            assert [
+                (sp.stay_point_id, sp.center, sp.support) for sp in snap_single.stay_points
+            ] == [(sp.stay_point_id, sp.center, sp.support) for sp in snap_batch.stay_points]
+            assert [
+                (c.cluster_id, c.origin_stay_point, c.destination_stay_point, c.support)
+                for c in snap_single.clusters
+            ] == [
+                (c.cluster_id, c.origin_stay_point, c.destination_stay_point, c.support)
+                for c in snap_batch.clusters
+            ]
+        assert server_single.streaming.observed_fix_count("alice") == server_batch.streaming.observed_fix_count("alice")
+
+
+class TestContentRoutes:
+    def make_catalogue(self, services=7, clips=12):
+        server = make_server()
+        for index in range(services):
+            server.content.add_service(
+                RadioService(service_id=f"svc-{index:02d}", name=f"Service {index}")
+            )
+        for index in range(clips):
+            server.content.add_clip(
+                AudioClip(
+                    clip_id=f"clip-{index:02d}",
+                    title=f"Clip {index}",
+                    kind=ContentKind.PODCAST,
+                    duration_s=60.0,
+                    published_s=float(index // 3),  # ties exercise the seq order
+                )
+            )
+        return server, Gateway(server)
+
+    def test_get_clip(self):
+        _, gateway = self.make_catalogue()
+        ok = gateway.request("GET", "/v1/clips/clip-03")
+        assert ok.ok and ok.body["clip_id"] == "clip-03"
+        assert gateway.request("GET", "/v1/clips/ghost").status == 404
+
+    def test_services_pagination_walk(self):
+        _, gateway = self.make_catalogue(services=7)
+        seen = []
+        cursor = None
+        pages = 0
+        while True:
+            query = {"limit": "3"}
+            if cursor is not None:
+                query["cursor"] = cursor
+            response = gateway.request("GET", "/v1/services", query=query)
+            assert response.ok
+            seen.extend(item["service_id"] for item in response.body["services"])
+            pages += 1
+            cursor = response.body["next_cursor"]
+            if cursor is None:
+                break
+        assert pages == 3
+        assert seen == [f"svc-{index:02d}" for index in range(7)]
+
+    def test_clips_pagination_newest_first_and_stable_under_inserts(self):
+        server, gateway = self.make_catalogue(clips=10)
+        first = gateway.request("GET", "/v1/clips", query={"limit": "4"})
+        assert first.ok and len(first.body["clips"]) == 4
+        ids_first = [clip["clip_id"] for clip in first.body["clips"]]
+        # Newest first: descending publish time, insertion order within ties
+        # (clips 06..08 share published_s=2.0).
+        assert ids_first == ["clip-09", "clip-06", "clip-07", "clip-08"]
+        # A clip published mid-walk must not disturb the remaining pages.
+        server.content.add_clip(
+            AudioClip(
+                clip_id="clip-new",
+                title="New",
+                kind=ContentKind.NEWS,
+                duration_s=30.0,
+                published_s=99.0,
+            )
+        )
+        rest = []
+        cursor = first.body["next_cursor"]
+        while cursor is not None:
+            response = gateway.request("GET", "/v1/clips", query={"limit": "4", "cursor": cursor})
+            rest.extend(clip["clip_id"] for clip in response.body["clips"])
+            cursor = response.body["next_cursor"]
+        assert rest == ["clip-03", "clip-04", "clip-05", "clip-00", "clip-01", "clip-02"]
+        # A fresh walk starts at the newly published clip.
+        fresh = gateway.request("GET", "/v1/clips", query={"limit": "1"})
+        assert fresh.body["clips"][0]["clip_id"] == "clip-new"
+
+    def test_pagination_limit_validation(self):
+        _, gateway = self.make_catalogue()
+        assert gateway.request("GET", "/v1/clips", query={"limit": "0"}).status == 400
+        assert gateway.request("GET", "/v1/clips", query={"limit": "abc"}).status == 400
+        assert gateway.request("GET", "/v1/clips", query={"cursor": "bogus"}).status == 400
+        # Limits above the configured maximum are clamped, not rejected.
+        clamped = gateway.request("GET", "/v1/clips", query={"limit": "100000"})
+        assert clamped.ok
+
+
+class TestRecommendationCaching:
+    def test_missing_or_bad_now_s_is_400(self, small_world):
+        gateway = Gateway(small_world.server)
+        user_id = small_world.commuters[0].user_id
+        assert gateway.request("GET", f"/v1/recommendations/{user_id}").status == 400
+        bad = gateway.request(
+            "GET", f"/v1/recommendations/{user_id}", query={"now_s": "soon"}
+        )
+        assert bad.status == 400
+
+    def test_unknown_user_is_404(self, small_world):
+        gateway = Gateway(small_world.server)
+        response = gateway.request(
+            "GET", "/v1/recommendations/ghost", query={"now_s": "1000.0"}
+        )
+        assert response.status == 404
+
+    def test_etag_revalidation_304(self, small_world):
+        server = small_world.server
+        gateway = Gateway(server)
+        commuter = small_world.commuters[6]
+        now_s = small_world.today_start_s + 8 * 3600.0
+        first = gateway.request(
+            "GET", f"/v1/recommendations/{commuter.user_id}", query={"now_s": repr(now_s)}
+        )
+        assert first.status == 200
+        etag = first.header("etag")
+        assert etag and etag.startswith('W/"rec-')
+        decisions_before = len(server.bus.published_messages("recommendation.decision"))
+        revalidated = gateway.request(
+            "GET",
+            f"/v1/recommendations/{commuter.user_id}",
+            query={"now_s": repr(now_s)},
+            headers={"If-None-Match": etag},
+        )
+        assert revalidated.status == 304
+        assert revalidated.body == {}
+        assert revalidated.header("etag") == etag
+        # The 304 path never ran the recommender pipeline.
+        assert len(server.bus.published_messages("recommendation.decision")) == decisions_before
+
+    def test_etag_invalidated_by_new_fixes(self, small_world):
+        server = small_world.server
+        gateway = Gateway(server)
+        commuter = small_world.commuters[7]
+        now_s = small_world.today_start_s + 9 * 3600.0
+        first = gateway.request(
+            "GET", f"/v1/recommendations/{commuter.user_id}", query={"now_s": repr(now_s)}
+        )
+        etag = first.header("etag")
+        latest = server.users.tracking.latest_fix(commuter.user_id).timestamp_s
+        server.users.ingest_fix(
+            GpsFix(commuter.user_id, latest + 5.0, GeoPoint(45.07, 7.68), speed_mps=3.0)
+        )
+        second = gateway.request(
+            "GET",
+            f"/v1/recommendations/{commuter.user_id}",
+            query={"now_s": repr(now_s)},
+            headers={"If-None-Match": etag},
+        )
+        assert second.status == 200
+        assert second.header("etag") != etag
+
+    def test_etag_invalidated_by_feedback(self, small_world):
+        """Feedback moves the learned preferences, so a revalidating
+        client must not keep getting 304s for a stale plan."""
+        server = small_world.server
+        gateway = Gateway(server)
+        commuter = small_world.commuters[2]
+        now_s = small_world.today_start_s + 11 * 3600.0
+        first = gateway.request(
+            "GET", f"/v1/recommendations/{commuter.user_id}", query={"now_s": repr(now_s)}
+        )
+        etag = first.header("etag")
+        # A clip with category scores so the preference profile moves.
+        clip = next(c for c in server.content.clips() if c.category_scores)
+        feedback = gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={
+                "user_id": commuter.user_id,
+                "content_id": clip.clip_id,
+                "kind": "like",
+                "timestamp_s": now_s,
+            },
+        )
+        assert feedback.status == 201
+        second = gateway.request(
+            "GET",
+            f"/v1/recommendations/{commuter.user_id}",
+            query={"now_s": repr(now_s)},
+            headers={"If-None-Match": etag},
+        )
+        assert second.status == 200
+        assert second.header("etag") != etag
+
+    def test_etag_invalidated_across_time_buckets(self, small_world):
+        gateway = Gateway(small_world.server, GatewayConfig(recommendation_ttl_s=60.0))
+        commuter = small_world.commuters[0]
+        now_s = small_world.today_start_s + 10 * 3600.0
+        first = gateway.request(
+            "GET", f"/v1/recommendations/{commuter.user_id}", query={"now_s": repr(now_s)}
+        )
+        later = gateway.request(
+            "GET",
+            f"/v1/recommendations/{commuter.user_id}",
+            query={"now_s": repr(now_s + 3600.0)},
+            headers={"If-None-Match": first.header("etag")},
+        )
+        assert later.status == 200
+
+
+class TestMiddleware:
+    def test_rate_limit_429_and_refill(self):
+        clock = {"now": 0.0}
+        config = GatewayConfig(
+            rate_limit=RateLimitConfig(capacity=3.0, refill_per_s=1.0),
+            clock=lambda: clock["now"],
+        )
+        _, gateway = make_gateway(config=config)
+        for _ in range(3):
+            assert gateway.request("GET", "/v1/users/alice").ok
+        limited = gateway.request("GET", "/v1/users/alice")
+        assert limited.status == 429
+        assert int(limited.header("retry-after")) >= 1
+        # Another user has their own bucket.
+        other = gateway.request("GET", "/v1/users/ghost")
+        assert other.status == 404
+        # After the bucket refills, requests pass again.
+        clock["now"] += 2.0
+        assert gateway.request("GET", "/v1/users/alice").ok
+
+    def test_auth_required(self):
+        server = make_server()
+        gateway = Gateway(server, GatewayConfig(require_auth=True))
+        missing = gateway.request("GET", "/v1/users/alice")
+        assert missing.status == 401
+        assert missing.header("www-authenticate") == "Bearer"
+        bad = gateway.request(
+            "GET", "/v1/users/alice", headers={"Authorization": "Bearer nope"}
+        )
+        assert bad.status == 401
+        token = gateway.auth.issue("alice")
+        ok = gateway.request(
+            "GET", "/v1/users/alice", headers={"Authorization": f"Bearer {token}"}
+        )
+        assert ok.ok
+        gateway.auth.revoke(token)
+        revoked = gateway.request(
+            "GET", "/v1/users/alice", headers={"Authorization": f"Bearer {token}"}
+        )
+        assert revoked.status == 401
+
+    def test_facade_sends_auth_token(self):
+        server = make_server()
+        gateway = Gateway(server, GatewayConfig(require_auth=True))
+        token = gateway.auth.issue("alice")
+        api = PublicApi(server, gateway=gateway, auth_token=token)
+        assert api.get_profile("alice").ok
+        anonymous = PublicApi(server, gateway=gateway)
+        assert anonymous.get_profile("alice").status == 401
+
+    def test_metrics_published_and_counted(self):
+        server, gateway = make_gateway()
+        gateway.request("GET", "/v1/users/alice")
+        gateway.request("GET", "/v1/users/ghost")
+        gateway.request("GET", "/v1/bogus")
+        messages = server.bus.published_messages("api.request")
+        assert len(messages) == 3
+        assert messages[0].body["route"] == "GET /v1/users/{user_id}"
+        assert messages[0].body["status"] == 200
+        assert messages[1].body["status"] == 404
+        assert messages[2].body["route"] == "<unmatched>"
+        snapshot = gateway.metrics_snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["by_status"] == {200: 1, 404: 2}
+        assert snapshot["by_route"]["GET /v1/users/{user_id}"] == 2
+
+
+class TestWireLevel:
+    def test_json_roundtrip(self):
+        _, gateway = make_gateway()
+        status, body, _headers = gateway.handle_wire(
+            "POST",
+            "/v1/tracking",
+            json.dumps({"user_id": "alice", "lat": 45.07, "lon": 7.68, "timestamp_s": 1.0}),
+        )
+        assert status == 202
+        assert json.loads(body) == {"stored": True}
+
+    def test_malformed_json_is_400(self):
+        _, gateway = make_gateway()
+        status, body, _headers = gateway.handle_wire("POST", "/v1/tracking", "{not json")
+        assert status == 400
+        assert "malformed JSON" in json.loads(body)["error"]
+        status, _body, _headers = gateway.handle_wire("POST", "/v1/tracking", "[1, 2]")
+        assert status == 400
+
+    def test_all_route_bodies_are_json_serializable(self, small_world):
+        gateway = Gateway(small_world.server)
+        user_id = small_world.commuters[0].user_id
+        now_s = small_world.today_start_s + 8 * 3600.0
+        for method, path, query in [
+            ("GET", f"/v1/users/{user_id}", None),
+            ("GET", "/v1/services", None),
+            ("GET", "/v1/clips", None),
+            ("GET", f"/v1/recommendations/{user_id}", {"now_s": repr(now_s)}),
+        ]:
+            status, body, _headers = gateway.handle_wire(method, path, None, query=query)
+            assert status == 200
+            json.loads(body)
+
+
+class TestLegacyFacade:
+    """The v1 façade keeps the legacy response contract (and the gateway's
+    machinery — metrics, limits — applies to it transparently)."""
+
+    def test_duplicate_registration_stays_400(self):
+        api = PublicApi(PphcrServer())
+        assert api.register_user("u1", "User").status == 201
+        assert api.register_user("u1", "User").status == 400
+
+    def test_facade_requests_are_metered(self):
+        server = make_server()
+        api = PublicApi(server)
+        api.get_profile("alice")
+        api.list_services()
+        assert len(server.bus.published_messages("api.request")) == 2
+
+    def test_list_services_body_shape(self):
+        server = make_server()
+        server.content.add_service(RadioService(service_id="s1", name="One"))
+        response = PublicApi(server).list_services()
+        assert response.ok
+        assert response.body["services"][0]["service_id"] == "s1"
+        assert response.body["next_cursor"] is None
+
+    def test_list_services_returns_complete_listing(self):
+        """Legacy contract: all services, even beyond one gateway page."""
+        server = make_server()
+        gateway = Gateway(server, GatewayConfig(default_page_limit=4, max_page_limit=4))
+        for index in range(11):
+            server.content.add_service(
+                RadioService(service_id=f"svc-{index:02d}", name=f"Service {index}")
+            )
+        response = PublicApi(server, gateway=gateway).list_services()
+        assert response.ok
+        assert len(response.body["services"]) == 11
+
+
+class TestMaintenanceTick:
+    def test_round_robin_covers_all_shards(self):
+        config = ServerConfig(compaction=CompactionConfig(shards=4))
+        server = PphcrServer(config=config)
+        shard_count = config.compaction.shards
+        assert server.maintenance_shard == 0
+        seen = []
+        for _ in range(shard_count + 1):
+            seen.append(server.maintenance_tick()["shard"])
+        assert seen == [0, 1, 2, 3, 0]
+        assert server.maintenance_shard == 1
+
+    def test_tick_compacts_only_its_shard(self):
+        config = ServerConfig(compaction=CompactionConfig(shards=2))
+        server = PphcrServer(config=config)
+        users = [f"user-{index}" for index in range(8)]
+        for user_id in users:
+            server.register_user(UserProfile(user_id=user_id, display_name=user_id))
+            for fix in drive_fixes(12):
+                server.users.ingest_fix(
+                    GpsFix(user_id, fix["timestamp_s"], GeoPoint(fix["lat"], fix["lon"]), speed_mps=fix["speed_mps"])
+                )
+        by_shard = {0: set(), 1: set()}
+        for user_id in users:
+            by_shard[server.compactor.shard_of(user_id)].add(user_id)
+        # Two ticks cover both shards; each pass reports only its shard.
+        first = server.maintenance_tick()
+        second = server.maintenance_tick()
+        assert first["shard"] == 0 and second["shard"] == 1
+        compacted = server.bus.published_messages("tracking.compacted")
+        assert [message.body["shard"] for message in compacted] == [0, 1]
+        assert not server.compactor.dirty_users()
