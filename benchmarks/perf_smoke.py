@@ -12,7 +12,9 @@ the performance trajectory is tracked from PR to PR:
   coherence (PR 3's fast path vs. the pairwise-resampling reference);
 * ``BENCH_api_gateway.json`` — gateway request throughput (PR 4's batch
   tracking ingest vs. per-call posts, ETag revalidation vs. cold
-  recommendation reads).
+  recommendation reads);
+* ``BENCH_storage_engine.json`` — index-aware query planning (PR 5's
+  declarative indexes + planner vs. the full-scan reference path).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -53,6 +55,14 @@ from bench_perf_route_clustering import (  # noqa: E402
     cluster_trips,
     fast_run,
     reference_subset_run,
+)
+from bench_storage_engine import (  # noqa: E402
+    QUERIES as STORAGE_QUERIES,
+    ROWS as STORAGE_ROWS,
+    SCAN_SUBSET as STORAGE_SCAN_SUBSET,
+    assert_parity as assert_storage_parity,
+    build_workload as build_storage_workload,
+    run_workload as run_storage_workload,
 )
 from bench_streaming_ingest import (  # noqa: E402
     BASELINE_SUBSET,
@@ -284,12 +294,54 @@ def smoke_api_gateway() -> str:
     return path
 
 
+def smoke_storage_engine() -> str:
+    db, queries = build_storage_workload()
+    assert_storage_parity(db, queries[:20])
+
+    scan_elapsed, _scan_results = run_storage_workload(
+        db, queries[:STORAGE_SCAN_SUBSET], scan=True
+    )
+    scan_scaled = scan_elapsed * (STORAGE_QUERIES / STORAGE_SCAN_SUBSET)
+
+    best_elapsed = float("inf")
+    for _ in range(FAST_ROUNDS):
+        elapsed, _results = run_storage_workload(db, queries, scan=False)
+        best_elapsed = min(best_elapsed, elapsed)
+
+    scan_ops = STORAGE_QUERIES / scan_scaled
+    fast_ops = STORAGE_QUERIES / best_elapsed
+    stats = db.table("clips").stats()
+    payload = {
+        "bench": "storage_engine",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "rows": STORAGE_ROWS,
+            "queries": STORAGE_QUERIES,
+            "scan_subset": STORAGE_SCAN_SUBSET,
+        },
+        "results": {
+            "scan_queries_per_s": round(scan_ops, 1),
+            "indexed_queries_per_s": round(fast_ops, 1),
+            "speedup": round(fast_ops / scan_ops, 2),
+            "indexed_elapsed_ms": round(best_elapsed * 1000.0, 2),
+            "index_hits": stats["index_hits"],
+        },
+    }
+    path = _write("BENCH_storage_engine.json", payload)
+    print(
+        f"storage-engine smoke: planner {fast_ops:,.0f} queries/s "
+        f"(scan {scan_ops:,.0f} queries/s, {fast_ops / scan_ops:.1f}x)"
+    )
+    return path
+
+
 def main() -> int:
     for path in (
         smoke_geo_scoring(),
         smoke_streaming_ingest(),
         smoke_route_clustering(),
         smoke_api_gateway(),
+        smoke_storage_engine(),
     ):
         print(f"wrote {path}")
     return 0

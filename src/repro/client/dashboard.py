@@ -173,3 +173,61 @@ class ControlDashboard:
             "plans": sum(len(plans) for plans in self._plans.values()),
             "editorial_injections": len(self._editorial.all_injections()),
         }
+
+    def storage_report(self) -> List[Dict[str, object]]:
+        """Per-database storage-engine statistics (Figure-5 ops panel).
+
+        One entry per backing database — metadata, profiles, feedbacks,
+        tracking — with row counts, write counters and the planner's
+        index-hit/scan split, straight from
+        :meth:`Database.stats() <repro.storage.database.Database.stats>`.
+        """
+        databases = [
+            self._content.database,
+            self._users.profiles_database,
+            self._users.feedback.database,
+            self._users.tracking.database,
+        ]
+        return [database.stats() for database in databases]
+
+    def ops_report(self, gateway=None) -> OpsReport:
+        """The operations panel: storage-engine and API-gateway counters.
+
+        ``gateway`` is any object with a ``metrics_snapshot()`` (the public
+        API gateway); without one the report covers storage only.
+        """
+        return OpsReport(
+            storage=self.storage_report(),
+            gateway=gateway.metrics_snapshot() if gateway is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class OpsReport:
+    """Storage-engine plus API-gateway counters for the ops panel."""
+
+    storage: List[Dict[str, object]]
+    gateway: Optional[Dict[str, object]] = None
+
+    def summary_lines(self) -> List[str]:
+        """Plain-text rendering of the ops panel."""
+        lines = ["storage engines:"]
+        for stats in self.storage:
+            lines.append(
+                f"  {stats['database']}: {stats['total_rows']} rows, "
+                f"{stats['index_hits']} index hits, {stats['scans']} scans"
+            )
+            for table_name, table_stats in sorted(stats["tables"].items()):
+                lines.append(
+                    f"    {table_name}: {table_stats['rows']} rows "
+                    f"(v{table_stats['version']}, {table_stats['indexes']} indexes, "
+                    f"+{table_stats['inserts']}/~{table_stats['updates']}"
+                    f"/-{table_stats['deletes']})"
+                )
+        if self.gateway is not None:
+            requests = self.gateway.get("requests", 0)
+            lines.append(f"api gateway: {requests} requests")
+            by_status = self.gateway.get("by_status", {})
+            for status in sorted(by_status):
+                lines.append(f"  {status}: {by_status[status]}")
+        return lines

@@ -96,3 +96,35 @@ class EditorialDesk:
     def all_injections(self) -> List[EditorialInjection]:
         """Every injection ever registered (for the dashboard)."""
         return list(self._injections)
+
+    # Snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """The injection queue as a JSON-serializable payload."""
+        return [
+            {
+                "injection_id": injection.injection_id,
+                "clip_id": injection.clip_id,
+                "target_user_ids": list(injection.target_user_ids),
+                "boost": injection.boost,
+                "created_s": injection.created_s,
+                "expires_s": injection.expires_s,
+                "note": injection.note,
+            }
+            for injection in self._injections
+        ]
+
+    def restore(self, payload: List[Dict[str, object]]) -> None:
+        """Reload a :meth:`snapshot` payload, replacing the queue."""
+        self._injections = [
+            EditorialInjection(
+                injection_id=raw["injection_id"],
+                clip_id=raw["clip_id"],
+                target_user_ids=tuple(raw.get("target_user_ids", ())),
+                boost=raw["boost"],
+                created_s=raw["created_s"],
+                expires_s=raw["expires_s"],
+                note=raw.get("note", ""),
+            )
+            for raw in payload
+        ]

@@ -39,6 +39,11 @@ class GridIndex(Generic[T]):
     def __contains__(self, item: T) -> bool:
         return item in self._positions
 
+    @property
+    def cell_size_m(self) -> float:
+        """The configured cell size (meters), recoverable for snapshots."""
+        return self._cell_deg * _METERS_PER_DEGREE_LAT
+
     def _cell_of(self, point: GeoPoint) -> Tuple[int, int]:
         return (
             int(math.floor(point.lat / self._cell_deg)),
@@ -77,6 +82,16 @@ class GridIndex(Generic[T]):
         if position is None:
             raise NotFoundError(f"item {item!r} is not in the index")
         return position
+
+    def clear(self) -> None:
+        """Remove every item, in place.
+
+        In place matters: long-lived callers (the context scorer's route
+        pruning) capture the index object once, so clearing must never
+        swap it for a fresh instance.
+        """
+        self._cells.clear()
+        self._positions.clear()
 
     def items(self) -> Iterable[Tuple[T, GeoPoint]]:
         """Iterate over ``(item, position)`` pairs."""

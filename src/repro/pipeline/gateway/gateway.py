@@ -16,12 +16,17 @@ with a declarative subsystem:
   <repro.users.management.UserManager.ingest_fixes>` in one request, and
   ``POST /v1/feedback/batch`` records many feedback events with per-item
   error reporting;
-* **paginated + cacheable reads** — cursor pagination on the service and
-  clip listings, and ``ETag``/304 revalidation on recommendations keyed by
-  the streaming-model epoch (see :meth:`PphcrServer.model_freshness
-  <repro.pipeline.server.PphcrServer.model_freshness>`), so a client that
-  polls while nothing about the user's mobility model changed never pays
-  for a recommender tick.
+* **paginated + cacheable reads** — keyset-cursor pagination on the
+  service and clip listings *and* the per-user feedback/tracking history
+  reads (``GET /v1/users/{user}/feedback`` / ``.../tracking``, thin
+  delegations to the storage engine's
+  :class:`~repro.storage.cursor.Page` cursors), plus ``ETag``/304
+  revalidation on recommendations keyed by the streaming-model epoch
+  (see :meth:`PphcrServer.model_freshness
+  <repro.pipeline.server.PphcrServer.model_freshness>`) and on profile
+  and clip reads keyed by storage-table ``version`` counters, so a
+  client that polls while nothing changed never pays for a recommender
+  tick or a body rebuild.
 
 The legacy :class:`~repro.pipeline.api.PublicApi` survives as a thin v1
 compatibility façade over :meth:`Gateway.handle`.
@@ -33,8 +38,9 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import ReproError, ValidationError
+from repro.errors import NotFoundError, ReproError, ValidationError
 from repro.geo import GeoPoint
+from repro.storage import Page as StoragePage
 from repro.pipeline.gateway.http import ApiRequest, ApiResponse
 from repro.pipeline.gateway.middleware import (
     ApiKeyRegistry,
@@ -281,6 +287,8 @@ class Gateway:
             )
         )
         add(Route("GET", "/v1/users/{user_id}", self._get_profile))
+        add(Route("GET", "/v1/users/{user_id}/feedback", self._get_feedback_history))
+        add(Route("GET", "/v1/users/{user_id}/tracking", self._get_tracking_history))
         add(Route("POST", "/v1/feedback", self._post_feedback, request_schema=FEEDBACK_SCHEMA))
         add(
             Route(
@@ -369,6 +377,16 @@ class Gateway:
         user_id = ctx.path_params["user_id"]
         profile = self._server.users.profile(user_id)
         preferences = self._server.users.preference_profile(user_id)
+        # Weak ETag on storage-level change counters: the profiles table
+        # version moves on any registration/profile write, the observation
+        # count on any learning update that would change the body.  Both
+        # are O(1) reads, so a 304 costs two integer compares.
+        etag = (
+            f'W/"profile-{user_id}:'
+            f'{self._server.users.profiles_version}.{preferences.observation_count}"'
+        )
+        if ctx.request.header("if-none-match") in (etag, "*"):
+            return ApiResponse(status=304, headers={"etag": etag})
         return ApiResponse(
             status=200,
             body={
@@ -376,6 +394,64 @@ class Gateway:
                 "display_name": profile.display_name,
                 "top_categories": preferences.top_categories(5),
                 "observations": preferences.observation_count,
+            },
+            headers={"etag": etag},
+        )
+
+    def _get_feedback_history(self, ctx: RequestContext) -> ApiResponse:
+        user_id = ctx.path_params["user_id"]
+        self._server.users.profile(user_id)  # 404 before touching the store
+        page = self._server.users.feedback.events_page_for_user(
+            user_id,
+            cursor=ctx.request.query.get("cursor"),
+            limit=self._page_limit(ctx),
+        )
+        return ApiResponse(
+            status=200,
+            body={
+                "user_id": user_id,
+                "events": [
+                    {
+                        "event_id": event.event_id,
+                        "content_id": event.content_id,
+                        "kind": event.kind.value,
+                        "timestamp_s": event.timestamp_s,
+                        "listened_s": event.listened_s,
+                        "is_clip": event.is_clip,
+                    }
+                    for event in page.items
+                ],
+                "next_cursor": page.next_token,
+            },
+        )
+
+    def _get_tracking_history(self, ctx: RequestContext) -> ApiResponse:
+        user_id = ctx.path_params["user_id"]
+        self._server.users.profile(user_id)  # 404 before touching the store
+        try:
+            page = self._server.users.tracking.fixes_page(
+                user_id,
+                cursor=ctx.request.query.get("cursor"),
+                limit=self._page_limit(ctx),
+            )
+        except NotFoundError:
+            # Registered user, no fixes yet: an empty history, not a 404.
+            page = StoragePage(items=[], next_token=None)
+        return ApiResponse(
+            status=200,
+            body={
+                "user_id": user_id,
+                "fixes": [
+                    {
+                        "timestamp_s": fix.timestamp_s,
+                        "lat": fix.position.lat,
+                        "lon": fix.position.lon,
+                        "speed_mps": fix.speed_mps,
+                        "accuracy_m": fix.accuracy_m,
+                    }
+                    for fix in page.items
+                ],
+                "next_cursor": page.next_token,
             },
         )
 
@@ -494,8 +570,15 @@ class Gateway:
         )
 
     def _get_clip(self, ctx: RequestContext) -> ApiResponse:
-        clip = self._server.content.clip(ctx.path_params["clip_id"])
-        return ApiResponse(status=200, body=self._clip_body(clip))
+        clip_id = ctx.path_params["clip_id"]
+        clip = self._server.content.clip(clip_id)
+        # Weak ETag on the clip table's storage version: any catalogue
+        # write invalidates, which over-revalidates but never serves a
+        # stale clip — and costs one integer read per request.
+        etag = f'W/"clip-{clip_id}:{self._server.content.clips_version}"'
+        if ctx.request.header("if-none-match") in (etag, "*"):
+            return ApiResponse(status=304, headers={"etag": etag})
+        return ApiResponse(status=200, body=self._clip_body(clip), headers={"etag": etag})
 
     # Recommendations ------------------------------------------------------
 

@@ -464,6 +464,78 @@ class PphcrServer:
             "fixes_removed": sum(removed.values()),
         }
 
+    # Snapshot / restore -----------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The warmed server as one versioned, JSON-serializable payload.
+
+        Composes the content catalogue (metadata DB + schedules), all
+        per-user state (profiles, learned preferences, feedbacks DB,
+        tracking store), the streaming mobility engine's live state and
+        the editorial queue — everything a restarted process needs to
+        serve *identical* recommendations and keep mining the fix stream
+        exactly where this one stopped.  Derived caches (batch mobility
+        models, served streaming snapshots) are deliberately excluded:
+        they rebuild on demand from the captured state.
+        """
+        return {
+            "version": 1,
+            "content": self._content.snapshot(),
+            "users": self._users.snapshot(),
+            "streaming": (
+                self._streaming.snapshot_state() if self._streaming is not None else None
+            ),
+            "editorial": self._editorial.snapshot(),
+            "maintenance_shard": self._maintenance_shard,
+            "text_model_fitted": self._content_scorer.has_text_model,
+        }
+
+    def restore_snapshot(self, payload: Dict) -> None:
+        """Reload a :meth:`snapshot` payload into this server.
+
+        The server must be built with the same configuration (streaming
+        parameters live in code, not in the payload).  Caches are cleared,
+        so the first reads after a restore rebuild from restored state.
+        """
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise PipelineError("unsupported server snapshot payload")
+        streaming_state = payload.get("streaming")
+        if streaming_state is not None and self._streaming is None:
+            raise PipelineError(
+                "snapshot carries streaming state but streaming is disabled in this config"
+            )
+        self._content.restore(payload["content"])
+        self._users.restore(payload["users"])
+        if self._streaming is not None:
+            if streaming_state is None:
+                # Snapshot from a streaming-disabled server: start clean.
+                # The engine object itself is kept — it is wired into the
+                # user manager's fix-listener list by reference.
+                streaming_state = {
+                    "version": 1,
+                    "fixes_observed": 0,
+                    "observed_per_user": {},
+                    "sessionizer": {"users": {}},
+                    "model": {"users": {}},
+                }
+            self._streaming.restore_state(streaming_state)
+        self._editorial.restore(payload.get("editorial", []))
+        self._maintenance_shard = payload.get("maintenance_shard", 0)
+        self._mobility_models = {}
+        self._streaming_served = {}
+        if payload.get("text_model_fitted"):
+            self._content_scorer.fit_text_model()
+        else:
+            self._content_scorer.clear_text_model()
+        self._bus.publish(
+            "server.restored",
+            {
+                "users": self._users.user_count(),
+                "clips": self._content.clip_count(),
+                "fixes": self._users.tracking.fix_count(),
+            },
+        )
+
     # Context building -------------------------------------------------------------
 
     def build_context(

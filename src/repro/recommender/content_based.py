@@ -124,6 +124,21 @@ class ContentBasedScorer:
         self._vectorizer: Optional[TfIdfVectorizer] = None
         self._clip_vectors: Dict[str, SparseVector] = {}
 
+    @property
+    def has_text_model(self) -> bool:
+        """Whether a fitted TF-IDF model is in use (snapshot metadata)."""
+        return self._vectorizer is not None
+
+    def clear_text_model(self) -> None:
+        """Drop the fitted TF-IDF model (similarity falls back to neutral).
+
+        Used by snapshot restore when the captured server had never
+        fitted one — keeping a stale model would score restored clips
+        against vectors from the pre-restore catalogue.
+        """
+        self._vectorizer = None
+        self._clip_vectors = {}
+
     def fit_text_model(self) -> None:
         """Fit the TF-IDF model over all clips that carry transcripts.
 

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import NotFoundError, ValidationError
-from repro.geo import BoundingBox, GeoPoint, GridIndex
+from repro.geo import BoundingBox, GeoPoint
+from repro.storage import Column, Database, IndexSpec, Page, Schema, decode_token, encode_token
 from repro.util.validation import require_finite, require_non_empty
+
+#: Version stamp of :meth:`TrackingStore.snapshot` payloads.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -30,24 +34,60 @@ class GpsFix:
 
 
 class TrackingStore:
-    """Per-user time-ordered GPS fix storage with a spatial index.
+    """Per-user time-ordered GPS fix storage over the tracking DB.
 
-    The spatial index tracks only each user's *latest* position, which is
-    what the recommender needs for "who is near location X right now"
-    queries; historical fixes are kept in time order per user for trajectory
-    mining.
+    Fix histories are the primary data (append-only per user, time
+    ordered); everything derived is declarative storage-engine state: the
+    ``latest`` table carries one row per user with their most recent
+    position and a **spatial** :class:`~repro.storage.spec.IndexSpec` over
+    it, which is what "who is near location X right now" queries hit.  No
+    hand-rolled sidecar index remains — the store writes rows, the engine
+    maintains the grid.
+
+    Ingest is write-heavy (every fix moves its user) while spatial reads
+    are rare, so the latest-row upsert is deferred: ``add_fix`` records
+    the position with one dict write and the spatial queries fold pending
+    moves into the table before answering.
     """
 
     def __init__(self, *, index_cell_size_m: float = 1000.0) -> None:
         self._fixes: Dict[str, List[GpsFix]] = {}
-        self._latest_index: GridIndex[str] = GridIndex(index_cell_size_m)
+        #: Sequence number of each user's *oldest retained* fix.  Fixes
+        #: are numbered consecutively as they are added (1, 2, ...) and
+        #: pruning only drops a prefix, so ``history[i]`` always has
+        #: sequence ``first_seq + i`` — one int per user is the whole
+        #: monotonic keyset the history cursors resume on.
+        self._first_seq: Dict[str, int] = {}
+        self._db = Database("tracking")
+        self._latest_table = self._db.create_table(
+            Schema(
+                name="latest",
+                primary_key="user_id",
+                columns=[
+                    Column("user_id", str),
+                    Column("lat", float),
+                    Column("lon", float),
+                    Column("timestamp_s", float),
+                ],
+                indexes=[
+                    IndexSpec(
+                        "position",
+                        kind="spatial",
+                        columns=("lat", "lon"),
+                        cell_size_m=index_cell_size_m,
+                    )
+                ],
+            )
+        )
         self._added_counts: Dict[str, int] = {}
-        # Latest positions not yet reflected in the spatial index.  Ingest is
-        # write-heavy (every fix moves its user) while "who is near X" reads
-        # are rare, so index maintenance is deferred: add_fix records the
-        # position with one dict write and the spatial queries fold the
-        # pending moves in before answering.
-        self._pending_latest: Dict[str, GeoPoint] = {}
+        #: Latest positions not yet reflected in the ``latest`` table (see
+        #: class docstring: ingest defers the upsert, reads flush).
+        self._pending_latest: Dict[str, GpsFix] = {}
+
+    @property
+    def database(self) -> Database:
+        """The tracking DB (exposed for dashboards and stats)."""
+        return self._db
 
     def add_fix(self, fix: GpsFix) -> None:
         """Append a fix for a user (must be time-ordered per user)."""
@@ -58,15 +98,25 @@ class TrackingStore:
                 f"{fix.timestamp_s} < {history[-1].timestamp_s} for user {fix.user_id!r}"
             )
         history.append(fix)
-        self._added_counts[fix.user_id] = self._added_counts.get(fix.user_id, 0) + 1
-        self._pending_latest[fix.user_id] = fix.position
+        count = self._added_counts.get(fix.user_id, 0) + 1
+        self._added_counts[fix.user_id] = count
+        if len(history) == 1:
+            self._first_seq[fix.user_id] = count
+        self._pending_latest[fix.user_id] = fix
 
     def _flush_latest_index(self) -> None:
-        """Fold pending latest-position moves into the spatial index."""
+        """Fold pending latest-position moves into the ``latest`` table."""
         if self._pending_latest:
-            insert = self._latest_index.insert
-            for user_id, position in self._pending_latest.items():
-                insert(user_id, position)
+            upsert = self._latest_table.upsert
+            for user_id, fix in self._pending_latest.items():
+                upsert(
+                    {
+                        "user_id": user_id,
+                        "lat": fix.position.lat,
+                        "lon": fix.position.lon,
+                        "timestamp_s": fix.timestamp_s,
+                    }
+                )
             self._pending_latest.clear()
 
     def add_fixes(self, fixes: Iterable[GpsFix]) -> int:
@@ -114,6 +164,37 @@ class TrackingStore:
             result = [fix for fix in result if fix.timestamp_s < end_s]
         return list(result)
 
+    def fixes_page(
+        self, user_id: str, *, cursor: Optional[str] = None, limit: int = 50
+    ) -> Page[GpsFix]:
+        """One time-ordered page of a user's fix history (keyset cursor).
+
+        The token encodes the monotonic per-user fix sequence of the last
+        fix served, so walks are stable under interleaved ingest (new
+        fixes only append past the cursor) and under pruning (sequences
+        are never reused; a pruned-away cursor simply resumes at the
+        oldest retained fix after it).
+        """
+        if limit < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        history = self._fixes.get(user_id)
+        if history is None:
+            raise NotFoundError(f"no tracking data for user {user_id!r}")
+        first_seq = self._first_seq[user_id]
+        start = 0
+        if cursor is not None:
+            parts = decode_token(cursor, expected_len=1)
+            last_seq = parts[0]
+            if not isinstance(last_seq, int) or isinstance(last_seq, bool):
+                raise ValidationError(f"malformed tracking cursor {cursor!r}")
+            # history[i] has sequence first_seq + i; resume strictly after
+            # the cursor (a pruned-away cursor clamps to the oldest fix).
+            start = max(0, last_seq - first_seq + 1)
+        page = history[start : start + limit]
+        more = start + limit < len(history)
+        next_token = encode_token([first_seq + start + limit - 1]) if more and page else None
+        return Page(items=page, next_token=next_token)
+
     def latest_fix(self, user_id: str) -> GpsFix:
         """The most recent fix for a user."""
         history = self._fixes.get(user_id)
@@ -135,12 +216,17 @@ class TrackingStore:
     def users_within(self, center: GeoPoint, radius_m: float) -> List[str]:
         """Users whose latest position is within ``radius_m`` of ``center``."""
         self._flush_latest_index()
-        return [user_id for user_id, _distance in self._latest_index.query_radius(center, radius_m)]
+        return [
+            row["user_id"]
+            for row, _distance in self._latest_table.find_within("position", center, radius_m)
+        ]
 
     def users_in_bbox(self, box: BoundingBox) -> List[str]:
         """Users whose latest position falls inside the box."""
         self._flush_latest_index()
-        return sorted(self._latest_index.query_bbox(box))
+        return sorted(
+            row["user_id"] for row in self._latest_table.find_in_bbox("position", box)
+        )
 
     def prune_before(self, user_id: str, cutoff_s: float) -> int:
         """Drop fixes older than ``cutoff_s`` (the paper's periodic compaction).
@@ -154,11 +240,17 @@ class TrackingStore:
         history = self._fixes.get(user_id)
         if history is None:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
-        kept = [fix for fix in history if fix.timestamp_s >= cutoff_s]
-        if not kept:
-            kept = [history[-1]]
-        removed = len(history) - len(kept)
-        self._fixes[user_id] = kept
+        keep_from = len(history)
+        for index, fix in enumerate(history):
+            if fix.timestamp_s >= cutoff_s:
+                keep_from = index
+                break
+        if keep_from >= len(history):
+            keep_from = len(history) - 1
+        removed = keep_from
+        if removed:
+            self._fixes[user_id] = history[keep_from:]
+            self._first_seq[user_id] += removed
         return removed
 
     def clear_user(self, user_id: str) -> None:
@@ -166,6 +258,60 @@ class TrackingStore:
         if user_id not in self._fixes:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         del self._fixes[user_id]
+        del self._first_seq[user_id]
         self._pending_latest.pop(user_id, None)
-        if user_id in self._latest_index:
-            self._latest_index.remove(user_id)
+        if user_id in self._latest_table:
+            self._latest_table.delete(user_id)
+
+    # Snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable payload of every user's history and counters."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "users": {
+                user_id: {
+                    "added": self._added_counts.get(user_id, 0),
+                    "first_seq": self._first_seq[user_id],
+                    "fixes": [
+                        [
+                            fix.timestamp_s,
+                            fix.position.lat,
+                            fix.position.lon,
+                            fix.speed_mps,
+                            fix.accuracy_m,
+                        ]
+                        for fix in history
+                    ],
+                }
+                for user_id, history in self._fixes.items()
+            },
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Reload a :meth:`snapshot` payload, replacing all tracking state."""
+        if not isinstance(payload, dict) or payload.get("version") != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"unsupported tracking snapshot payload (want version {SNAPSHOT_VERSION})"
+            )
+        self._fixes = {}
+        self._first_seq = {}
+        self._added_counts = {}
+        self._pending_latest = {}
+        self._latest_table.restore([])
+        for user_id, state in payload.get("users", {}).items():
+            history = [
+                GpsFix(
+                    user_id,
+                    timestamp_s,
+                    GeoPoint(lat, lon),
+                    speed_mps=speed_mps,
+                    accuracy_m=accuracy_m,
+                )
+                for timestamp_s, lat, lon, speed_mps, accuracy_m in state["fixes"]
+            ]
+            self._fixes[user_id] = history
+            self._first_seq[user_id] = state["first_seq"]
+            self._added_counts[user_id] = state["added"]
+            if history:
+                self._pending_latest[user_id] = history[-1]

@@ -1,0 +1,69 @@
+"""First-class keyset cursors for paginated storage reads.
+
+A :class:`Page` is what every paginated storage read returns: the items
+plus an opaque ``next_token`` that resumes *strictly after* (or, for
+descending walks, strictly before) the last item served.  Tokens encode
+the sort key + row sequence of that item, never an offset, so pagination
+stays stable while rows are inserted concurrently: a new row lands at its
+sorted position and simply appears on the page it belongs to — it never
+shifts or duplicates the remaining pages.
+
+Tokens are JSON arrays of scalars.  ``json`` round-trips Python floats
+exactly (shortest-repr), so a resumed walk bisects to precisely the same
+position the previous page ended at.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Generic, List, Optional, Sequence, TypeVar
+
+from repro.errors import ValidationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Page(Generic[T]):
+    """One page of a paginated read: the items plus the resume token.
+
+    ``next_token`` is ``None`` when the walk is exhausted.
+    """
+
+    items: List[T]
+    next_token: Optional[str] = None
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def encode_token(parts: Sequence[Any]) -> str:
+    """Encode a cursor position (key components + row sequence) as a token."""
+    return json.dumps(list(parts), separators=(",", ":"))
+
+
+def decode_token(token: str, *, expected_len: Optional[int] = None) -> List[Any]:
+    """Decode a cursor token; raises :class:`ValidationError` when malformed.
+
+    Malformed tokens are client input (the gateway passes them through
+    verbatim), so they must surface as a validation failure — a 400 on the
+    wire — never as a crash inside the storage layer.
+    """
+    try:
+        parts = json.loads(token)
+    except (TypeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"malformed cursor token {token!r}") from exc
+    if not isinstance(parts, list) or not parts:
+        raise ValidationError(f"malformed cursor token {token!r}")
+    for part in parts:
+        if part is not None and not isinstance(part, (str, int, float, bool)):
+            raise ValidationError(f"malformed cursor token {token!r}")
+    if expected_len is not None and len(parts) != expected_len:
+        raise ValidationError(
+            f"cursor token {token!r} has {len(parts)} parts, expected {expected_len}"
+        )
+    return parts

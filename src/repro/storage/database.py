@@ -5,15 +5,31 @@ the profiles DB, the feedbacks DB and the PostGIS tracking DB.  In this
 reproduction each of those is a :class:`Database` instance holding typed
 :class:`~repro.storage.table.Table` objects (the tracking DB additionally
 wraps a spatial index, see :mod:`repro.spatialdb`).
+
+Beyond the table registry, the database is the unit-of-work and the
+persistence boundary:
+
+* :meth:`Database.batch` opens a write batch — change-listener
+  notifications from every member table buffer and are delivered
+  *coalesced, per table* when the batch closes (the generalization of the
+  user manager's bulk fix-listener channel);
+* :meth:`Database.snapshot` / :meth:`Database.restore` capture and reload
+  every table as one versioned, JSON-serializable payload;
+* :meth:`Database.stats` aggregates per-table row counts, mutation
+  counters and the planner's index-hit/scan counters for the dashboard.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
 
-from repro.errors import DuplicateError, NotFoundError
+from repro.errors import DuplicateError, NotFoundError, ValidationError
 from repro.storage.query import Query
-from repro.storage.table import Schema, Table
+from repro.storage.table import ChangeListener, Schema, Table
+
+#: Version stamp written into (and checked against) snapshot payloads.
+SNAPSHOT_VERSION = 1
 
 
 class Database:
@@ -22,6 +38,7 @@ class Database:
     def __init__(self, name: str) -> None:
         self._name = name
         self._tables: Dict[str, Table] = {}
+        self._batch_depth = 0
 
     @property
     def name(self) -> str:
@@ -36,6 +53,8 @@ class Database:
             )
         table = Table(schema)
         self._tables[schema.name] = table
+        if self._batch_depth > 0:
+            table._begin_batch()
         return table
 
     def table(self, name: str) -> Table:
@@ -65,3 +84,91 @@ class Database:
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
+
+    # Unit of work ---------------------------------------------------------
+
+    def add_listener(self, table_name: str, listener: ChangeListener) -> None:
+        """Register a change listener on one member table."""
+        self.table(table_name).add_listener(listener)
+
+    @contextmanager
+    def batch(self) -> Iterator["Database"]:
+        """Open a write batch over every table in the database.
+
+        Inside the batch, mutations apply immediately (reads see them) but
+        change-listener notifications buffer; when the batch closes each
+        table delivers its changes as *one* coalesced batch — the same
+        per-item vs. bulk shape the user manager's fix listeners have.
+        Batches nest: only the outermost close delivers.  Changes made
+        before an exception are still delivered, mirroring how partial
+        batch ingests notify listeners of the fixes that were accepted.
+        """
+        self._batch_depth += 1
+        if self._batch_depth == 1:
+            for table in self._tables.values():
+                table._begin_batch()
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                for table in self._tables.values():
+                    table._end_batch()
+
+    # Snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A versioned, JSON-serializable payload of every table's rows.
+
+        Schemas are code, not data: the payload carries rows only and a
+        restore replays them through the live schema's validation, so a
+        snapshot cannot smuggle rows past type checking.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "name": self._name,
+            "tables": {
+                name: {"rows": table.snapshot(), "table_version": table.version}
+                for name, table in self._tables.items()
+            },
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> Dict[str, int]:
+        """Load a :meth:`snapshot` payload into this database's tables.
+
+        Tables must already exist (created by the owning store's
+        constructor); unknown tables in the payload raise, missing ones
+        are cleared.  Returns rows loaded per table.
+        """
+        if not isinstance(payload, dict) or payload.get("version") != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"unsupported database snapshot payload (want version {SNAPSHOT_VERSION})"
+            )
+        tables = payload.get("tables")
+        if not isinstance(tables, dict):
+            raise ValidationError("database snapshot payload has no table map")
+        unknown = set(tables) - set(self._tables)
+        if unknown:
+            raise ValidationError(
+                f"snapshot has tables unknown to database {self._name!r}: {sorted(unknown)}"
+            )
+        loaded: Dict[str, int] = {}
+        for name, table in self._tables.items():
+            entry = tables.get(name, {"rows": [], "table_version": 0})
+            loaded[name] = table.restore(entry["rows"])
+            # Re-arm the change counter: replaying N inserts on a fresh
+            # table lands at version N, which could collide with ETags
+            # minted before the snapshot was taken.
+            table.bump_version_to(entry.get("table_version", 0))
+        return loaded
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate per-table statistics (rows, writes, planner counters)."""
+        tables = {name: table.stats() for name, table in self._tables.items()}
+        return {
+            "database": self._name,
+            "tables": tables,
+            "total_rows": sum(stats["rows"] for stats in tables.values()),
+            "index_hits": sum(stats["index_hits"] for stats in tables.values()),
+            "scans": sum(stats["scans"] for stats in tables.values()),
+        }

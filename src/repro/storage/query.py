@@ -1,14 +1,31 @@
-"""A small fluent query layer over :class:`repro.storage.table.Table`.
+"""A fluent query layer with an index-aware planner.
 
-Supports the operations the PPHCR server actually needs: equality and
-predicate filters, ordering, limits, projections and simple aggregates.
-Queries are lazy: nothing is evaluated until a terminal method
-(:meth:`Query.all`, :meth:`Query.first`, :meth:`Query.count`, ...) is called.
+The seed evaluated every query as a full scan.  Queries now record their
+predicates *structurally* — ``where_eq``/``where_in`` keep the column and
+value, ``where_range`` (and the ``where_lt``/``where_ge``/... sugar) keep
+the bounds — so a terminal call can route through a matching declarative
+index instead of scanning:
+
+1. an equality term on a hash-indexed column → bucket lookup;
+2. a membership term on a hash-indexed column → bucket union;
+3. a range term on a sorted-indexed column → bisect range;
+4. no structured terms, but ``order_by`` on a sorted-indexed column →
+   ordered index walk with an early-stop ``limit``;
+5. otherwise → full scan (exactly the seed's behaviour).
+
+Remaining predicates are applied to the candidate rows, so an indexed
+query always returns exactly the rows the predicate-only scan would (the
+parity property the test suite asserts on randomized workloads).
+:meth:`Query.explain` reports the chosen strategy without executing, and
+the table's ``index_hits``/``scans`` counters record which path ran.
+
+Queries stay lazy: nothing is evaluated until a terminal method
+(:meth:`Query.all`, :meth:`Query.first`, :meth:`Query.count`, ...) runs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.storage.table import Row, Table
@@ -19,11 +36,18 @@ class Query:
 
     def __init__(self, table: Table) -> None:
         self._table = table
+        #: Structured predicates the planner can match against indexes.
+        self._eq_terms: List[Tuple[str, Any]] = []
+        self._in_terms: List[Tuple[str, List[Any]]] = []
+        self._range_terms: List[Tuple[str, Any, Any, bool, bool]] = []
+        #: Opaque predicates (callables) — scan-only.
         self._filters: List[Callable[[Row], bool]] = []
         self._order_key: Optional[Callable[[Row], Any]] = None
+        self._order_column: Optional[str] = None
         self._order_desc: bool = False
         self._limit: Optional[int] = None
         self._projection: Optional[List[str]] = None
+        self._allow_index: bool = True
 
     def where(self, predicate: Callable[[Row], bool]) -> "Query":
         """Keep rows for which ``predicate`` returns a truthy value."""
@@ -33,23 +57,61 @@ class Query:
     def where_eq(self, column: str, value: Any) -> "Query":
         """Keep rows whose ``column`` equals ``value``."""
         self._table.schema.column(column)
-        self._filters.append(lambda row, c=column, v=value: row[c] == v)
+        self._eq_terms.append((column, value))
         return self
 
     def where_in(self, column: str, values: Iterable[Any]) -> "Query":
         """Keep rows whose ``column`` is one of ``values``."""
         self._table.schema.column(column)
-        allowed = set(values)
-        self._filters.append(lambda row, c=column, a=allowed: row[c] in a)
+        self._in_terms.append((column, list(values)))
         return self
+
+    def where_range(
+        self,
+        column: str,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = False,
+    ) -> "Query":
+        """Keep rows whose ``column`` lies in ``[low, high)`` (bounds optional).
+
+        Inclusivity of each bound is configurable; ``None`` leaves a side
+        unbounded.  With a sorted index on the column the planner serves
+        this with a bisect instead of a scan.
+        """
+        self._table.schema.column(column)
+        if low is None and high is None:
+            raise QueryError("where_range needs at least one bound")
+        self._range_terms.append((column, low, high, low_inclusive, high_inclusive))
+        return self
+
+    def where_lt(self, column: str, value: Any) -> "Query":
+        """Keep rows with ``column < value``."""
+        return self.where_range(column, high=value, high_inclusive=False)
+
+    def where_le(self, column: str, value: Any) -> "Query":
+        """Keep rows with ``column <= value``."""
+        return self.where_range(column, high=value, high_inclusive=True)
+
+    def where_gt(self, column: str, value: Any) -> "Query":
+        """Keep rows with ``column > value``."""
+        return self.where_range(column, low=value, low_inclusive=False)
+
+    def where_ge(self, column: str, value: Any) -> "Query":
+        """Keep rows with ``column >= value``."""
+        return self.where_range(column, low=value, low_inclusive=True)
 
     def order_by(self, column_or_key, *, descending: bool = False) -> "Query":
         """Order results by a column name or key function."""
         if callable(column_or_key):
             self._order_key = column_or_key
+            self._order_column = None
         else:
             self._table.schema.column(column_or_key)
             self._order_key = lambda row, c=column_or_key: row[c]
+            self._order_column = column_or_key
         self._order_desc = descending
         return self
 
@@ -67,13 +129,192 @@ class Query:
         self._projection = list(columns)
         return self
 
+    def scan_only(self) -> "Query":
+        """Disable the planner: evaluate as a full scan.
+
+        The reference path for parity tests and benchmarks — an indexed
+        query must return exactly what its ``scan_only()`` twin does.
+        """
+        self._allow_index = False
+        return self
+
+    # Planning -------------------------------------------------------------
+
+    def _plan(self, *, allow_index_order: bool = True) -> Dict[str, Any]:
+        """Choose the access path (without executing)."""
+        table = self._table
+        if self._allow_index:
+            for position, (column, _value) in enumerate(self._eq_terms):
+                index = table.planner_index_for(kind="hash", columns=(column,))
+                if index is not None:
+                    return {
+                        "strategy": "index_eq",
+                        "index": index.name,
+                        "column": column,
+                        "term": position,
+                    }
+            for position, (column, _values) in enumerate(self._in_terms):
+                index = table.planner_index_for(kind="hash", columns=(column,))
+                if index is not None:
+                    return {
+                        "strategy": "index_in",
+                        "index": index.name,
+                        "column": column,
+                        "term": position,
+                    }
+            for position, (column, _low, _high, _li, _hi) in enumerate(self._range_terms):
+                index = table.planner_index_for(kind="sorted", columns=(column,))
+                if index is not None:
+                    return {
+                        "strategy": "index_range",
+                        "index": index.name,
+                        "column": column,
+                        "term": position,
+                    }
+            if allow_index_order and self._order_column is not None and not self._order_desc:
+                # Ascending only: a descending index walk would reverse
+                # equal-key runs, while the scan's stable sort keeps them in
+                # insertion order — and planner output must equal the scan.
+                index = table.planner_index_for(kind="sorted", columns=(self._order_column,))
+                # Coverage check: null keys are not indexed, so an index
+                # walk over a partially covered column would silently drop
+                # rows a scan returns.  (A scan would fail sorting None
+                # against real values anyway, but the planner must never
+                # *lose* rows.)
+                if index is not None and len(index) == len(table):
+                    return {
+                        "strategy": "index_order",
+                        "index": index.name,
+                        "column": self._order_column,
+                    }
+        return {"strategy": "scan", "index": None}
+
+    def explain(self) -> Dict[str, Any]:
+        """The access path a terminal call would take (no execution).
+
+        Returns table, strategy (``index_eq``/``index_in``/``index_range``/
+        ``index_order``/``scan``), the index used (if any) and how many
+        predicates remain as post-filters.
+        """
+        plan = self._plan()
+        residual = (
+            len(self._eq_terms)
+            + len(self._in_terms)
+            + len(self._range_terms)
+            + len(self._filters)
+        )
+        if plan["strategy"] in ("index_eq", "index_in", "index_range"):
+            residual -= 1
+        plan["table"] = self._table.name
+        plan["post_filters"] = residual
+        plan["ordered"] = self._order_key is not None
+        return plan
+
+    def _residual_predicates(self, plan: Dict[str, Any]) -> List[Callable[[Row], bool]]:
+        """Every predicate except the one the chosen index already serves."""
+        predicates: List[Callable[[Row], bool]] = []
+        used = plan.get("term") if plan["strategy"] in ("index_eq", "index_in", "index_range") else None
+        for position, (column, value) in enumerate(self._eq_terms):
+            if plan["strategy"] == "index_eq" and position == used:
+                continue
+            predicates.append(lambda row, c=column, v=value: row[c] == v)
+        for position, (column, values) in enumerate(self._in_terms):
+            if plan["strategy"] == "index_in" and position == used:
+                continue
+            allowed = set(values)
+            predicates.append(lambda row, c=column, a=allowed: row[c] in a)
+        for position, (column, low, high, low_inc, high_inc) in enumerate(self._range_terms):
+            if plan["strategy"] == "index_range" and position == used:
+                continue
+            predicates.append(
+                lambda row, c=column, lo=low, hi=high, li=low_inc, hie=high_inc: (
+                    _in_bounds(row[c], lo, hi, li, hie)
+                )
+            )
+        predicates.extend(self._filters)
+        return predicates
+
+    def _candidate_rows(self, plan: Dict[str, Any]) -> Iterable[Row]:
+        """Rows the chosen access path yields (before residual filtering)."""
+        table = self._table
+        strategy = plan["strategy"]
+        if strategy == "index_eq":
+            column, value = self._eq_terms[plan["term"]]
+            return table.find_by_index(plan["index"], value)
+        if strategy == "index_in":
+            column, values = self._in_terms[plan["term"]]
+            seen = set()
+            pks: List[Any] = []
+            for value in values:
+                for row in table.find_by_index(plan["index"], value):
+                    pk = row[table.schema.primary_key]
+                    if pk not in seen:
+                        seen.add(pk)
+                        pks.append(pk)
+            # Row (insertion) order, matching what a scan would yield.
+            pks.sort(key=table.seq_of)
+            return [table.get(pk) for pk in pks]
+        if strategy == "index_range":
+            column, low, high, low_inc, high_inc = self._range_terms[plan["term"]]
+            rows = table.find_range(
+                plan["index"],
+                low,
+                high,
+                low_inclusive=low_inc,
+                high_inclusive=high_inc,
+            )
+            # Re-establish row (insertion) order so the result is
+            # indistinguishable from the scan it replaces — the later
+            # stable sort then resolves ties exactly as the scan path does.
+            primary_key = table.schema.primary_key
+            rows.sort(key=lambda row: table.seq_of(row[primary_key]))
+            return rows
+        if strategy == "index_order":
+            return table.rows_in_index_order(plan["index"], descending=self._order_desc)
+        return table.scan_iter()
+
+    def _execute(
+        self, *, apply_early_limit: bool = True, max_rows: Optional[int] = None
+    ) -> List[Row]:
+        """Evaluate predicates through the planned access path.
+
+        Terminals that ignore ``limit`` (count/exists/aggregates,
+        ``apply_early_limit=False``) also skip ordering entirely — both
+        the ``index_order`` strategy and the final sort.  Ordering is
+        meaningless to them, and summing in row order on every path
+        keeps float aggregation bit-identical between the planner and
+        the scan reference.
+        """
+        plan = self._plan(allow_index_order=apply_early_limit)
+        predicates = self._residual_predicates(plan)
+        ordered_by_index = plan["strategy"] == "index_order"
+        early_limit = (
+            self._limit
+            if apply_early_limit and ordered_by_index and self._limit is not None
+            else None
+        )
+        rows: List[Row] = []
+        for row in self._candidate_rows(plan):
+            if all(predicate(row) for predicate in predicates):
+                rows.append(row)
+                if early_limit is not None and len(rows) >= early_limit:
+                    break
+                if max_rows is not None and len(rows) >= max_rows:
+                    break
+        if apply_early_limit and self._order_key is not None and not ordered_by_index:
+            rows.sort(key=self._order_key, reverse=self._order_desc)
+        return rows
+
     # Terminal operations -------------------------------------------------
 
     def all(self) -> List[Row]:
-        """Evaluate the query and return all matching rows."""
-        rows = [row for row in self._table.rows() if self._matches(row)]
-        if self._order_key is not None:
-            rows.sort(key=self._order_key, reverse=self._order_desc)
+        """Evaluate the query and return all matching rows.
+
+        With an ``order_by``, results are fully ordered (ties resolve in
+        row order); without one, result order follows the access path
+        (insertion order for scans, index order otherwise).
+        """
+        rows = self._execute()
         if self._limit is not None:
             rows = rows[: self._limit]
         if self._projection is not None:
@@ -86,17 +327,20 @@ class Query:
         return results[0] if results else None
 
     def count(self) -> int:
-        """Number of matching rows."""
-        return sum(1 for row in self._table.rows() if self._matches(row))
+        """Number of matching rows (``limit`` is not applied)."""
+        return len(self._execute(apply_early_limit=False))
 
     def exists(self) -> bool:
-        """Whether any row matches."""
-        return any(self._matches(row) for row in self._table.rows())
+        """Whether any row matches (stops at the first hit)."""
+        return bool(self._execute(apply_early_limit=False, max_rows=1))
 
     def aggregate(self, column: str, func: Callable[[List[Any]], Any]) -> Any:
-        """Apply ``func`` to the list of values of ``column`` over matches."""
+        """Apply ``func`` to the list of values of ``column`` over matches.
+
+        ``limit`` never applies to aggregates (matching the scan path).
+        """
         self._table.schema.column(column)
-        values = [row[column] for row in self._table.rows() if self._matches(row)]
+        values = [row[column] for row in self._execute(apply_early_limit=False)]
         return func(values)
 
     def sum(self, column: str) -> float:
@@ -114,12 +358,27 @@ class Query:
         """Group matching rows by the value of ``column``."""
         self._table.schema.column(column)
         groups: Dict[Any, List[Row]] = {}
-        for row in self._table.rows():
-            if self._matches(row):
-                groups.setdefault(row[column], []).append(row)
+        for row in self._execute(apply_early_limit=False):
+            groups.setdefault(row[column], []).append(row)
         return groups
 
-    # Internal -------------------------------------------------------------
 
-    def _matches(self, row: Row) -> bool:
-        return all(predicate(row) for predicate in self._filters)
+def _in_bounds(value: Any, low: Any, high: Any, low_inclusive: bool, high_inclusive: bool) -> bool:
+    # SQL semantics: NULL never satisfies a range predicate.  This also
+    # keeps the scan path in lockstep with sorted indexes, which do not
+    # index null keys.
+    if value is None:
+        return False
+    if low is not None:
+        if low_inclusive:
+            if value < low:
+                return False
+        elif value <= low:
+            return False
+    if high is not None:
+        if high_inclusive:
+            if value > high:
+                return False
+        elif value >= high:
+            return False
+    return True

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro.errors import ValidationError
 from repro.spatialdb.tracking_store import GpsFix
 from repro.streaming.incremental import (
     IncrementalConfig,
@@ -202,6 +203,35 @@ class StreamingMobilityEngine:
             tail = self._sessionizer.peek_tail_trips(user_id)
             return self._model.full_snapshot(user_id, tail)
         return self._model.snapshot(user_id)
+
+    # Persistence ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The whole engine as a JSON-serializable payload.
+
+        Composes the sessionizer's open-tail state, the incremental
+        miner's per-user models and the observability counters.  Restoring
+        it into an engine built with the *same configuration* yields a
+        process that serves identical model snapshots and keeps consuming
+        the fix stream exactly where this one stopped — the
+        restart-persistence path for streaming deployments.
+        """
+        return {
+            "version": 1,
+            "fixes_observed": self._fixes_observed,
+            "observed_per_user": dict(self._observed_per_user),
+            "sessionizer": self._sessionizer.snapshot_state(),
+            "model": self._model.snapshot_state(),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Reload a :meth:`snapshot_state` payload, replacing engine state."""
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValidationError("unsupported streaming engine snapshot payload")
+        self._sessionizer.restore_state(payload["sessionizer"])
+        self._model.restore_state(payload["model"])
+        self._fixes_observed = payload["fixes_observed"]
+        self._observed_per_user = dict(payload["observed_per_user"])
 
     def repair_user(self, user_id: str) -> Optional[MobilitySnapshot]:
         """Force a drift repair for one user (used by the compactor)."""

@@ -36,7 +36,7 @@ from repro.errors import TrajectoryError
 from repro.geo import GeoPoint, GridIndex
 from repro.geo.geodesy import haversine_m
 from repro.trajectory.clustering import RouteCluster, RouteClusterIndex, cluster_trips
-from repro.trajectory.model import Trajectory
+from repro.trajectory.model import Trajectory, TrajectoryPoint
 from repro.trajectory.staypoints import StayPoint, stay_points_from_trips
 
 #: Below this many items a direct scan beats the grid index's cell walk.
@@ -543,3 +543,135 @@ class IncrementalMobilityModel:
     def forget_user(self, user_id: str) -> None:
         """Drop a user's model entirely."""
         self._states.pop(user_id, None)
+
+    # Snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """The live mining state as a JSON-serializable payload.
+
+        Exact-state capture: centroid sums (not just centroids), pending
+        observations with their owning trips, cluster membership as trip
+        indices, grid cell sizes, and the dirty/epoch counters — so a
+        restored model answers every query identically *and* keeps evolving
+        identically as further trips fold in.
+        """
+        users: Dict[str, object] = {}
+        for user_id, state in self._states.items():
+            trip_positions = {id(trip): index for index, trip in enumerate(state.trips)}
+            users[user_id] = {
+                "trips": [
+                    [
+                        [p.timestamp_s, p.position.lat, p.position.lon, p.speed_mps]
+                        for p in trip.points
+                    ]
+                    for trip in state.trips
+                ],
+                "stay_points": [
+                    [
+                        live.stay_point_id,
+                        live.lat_sum,
+                        live.lon_sum,
+                        live.support,
+                        live.total_dwell_s,
+                        live.label,
+                        live.center.lat,
+                        live.center.lon,
+                    ]
+                    for live in state.stay_points.values()
+                ],
+                "sp_cell_m": state.sp_index.cell_size_m,
+                "clusters": [
+                    [
+                        cluster.cluster_id,
+                        cluster.origin_stay_point,
+                        cluster.destination_stay_point,
+                        [trip_positions[id(trip)] for trip in cluster.trips],
+                    ]
+                    for cluster in state.clusters
+                ],
+                "pending": [
+                    [
+                        observation_id,
+                        point.lat,
+                        point.lon,
+                        state.pending_owners[observation_id][0],
+                        state.pending_owners[observation_id][1],
+                    ]
+                    for observation_id, point in state.pending_points.items()
+                ],
+                "pending_cell_m": state.pending_index.cell_size_m,
+                "trip_endpoints": [list(pair) for pair in state.trip_endpoints],
+                "trip_clustered": list(state.trip_clustered),
+                "next_stay_point_id": state.next_stay_point_id,
+                "next_observation_id": state.next_observation_id,
+                "next_cluster_id": state.next_cluster_id,
+                "dirty_trips": state.dirty_trips,
+                "epoch": state.epoch,
+            }
+        return {"users": users}
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        """Reload a :meth:`snapshot_state` payload, replacing live state."""
+        if not isinstance(payload, dict) or not isinstance(payload.get("users"), dict):
+            raise TrajectoryError("unsupported incremental-model snapshot payload")
+        states: Dict[str, _UserModelState] = {}
+        for user_id, raw in payload["users"].items():
+            state = _UserModelState()
+            state.trips = [
+                Trajectory(
+                    user_id,
+                    [
+                        # Rebuilt in stored order, so grid iteration and
+                        # cluster membership match the captured model.
+                        _trajectory_point(point)
+                        for point in points
+                    ],
+                )
+                for points in raw["trips"]
+            ]
+            state.sp_index = GridIndex(raw["sp_cell_m"])
+            for sp_id, lat_sum, lon_sum, support, dwell_s, label, center_lat, center_lon in raw[
+                "stay_points"
+            ]:
+                live = _LiveStayPoint(
+                    stay_point_id=sp_id,
+                    lat_sum=lat_sum,
+                    lon_sum=lon_sum,
+                    support=support,
+                    total_dwell_s=dwell_s,
+                    label=label,
+                    center=GeoPoint(center_lat, center_lon),
+                )
+                state.stay_points[sp_id] = live
+                state.sp_index.insert(sp_id, live.center)
+            state.clusters = []
+            state.cluster_index = RouteClusterIndex()
+            for cluster_id, origin_id, destination_id, trip_indices in raw["clusters"]:
+                cluster = RouteCluster(
+                    cluster_id=cluster_id,
+                    origin_stay_point=origin_id,
+                    destination_stay_point=destination_id,
+                    trips=[state.trips[index] for index in trip_indices],
+                )
+                state.clusters.append(cluster)
+                state.cluster_index.add(cluster)
+            state.pending_index = GridIndex(raw["pending_cell_m"])
+            for observation_id, lat, lon, owner_trip, owner_slot in raw["pending"]:
+                point = GeoPoint(lat, lon)
+                state.pending_points[observation_id] = point
+                state.pending_owners[observation_id] = (owner_trip, owner_slot)
+                state.pending_index.insert(observation_id, point)
+            state.trip_endpoints = [list(pair) for pair in raw["trip_endpoints"]]
+            state.trip_clustered = list(raw["trip_clustered"])
+            state.next_stay_point_id = raw["next_stay_point_id"]
+            state.next_observation_id = raw["next_observation_id"]
+            state.next_cluster_id = raw["next_cluster_id"]
+            state.dirty_trips = raw["dirty_trips"]
+            state.epoch = raw["epoch"]
+            states[user_id] = state
+        self._states = states
+
+
+def _trajectory_point(raw) -> "TrajectoryPoint":
+    timestamp_s, lat, lon, speed_mps = raw
+    return TrajectoryPoint(timestamp_s, GeoPoint(lat, lon), speed_mps)

@@ -24,12 +24,22 @@ which the test-suite asserts point-for-point on randomized streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.errors import TrajectoryError
+from repro.errors import TrajectoryError, ValidationError
 from repro.geo.geodesy import haversine_m
+from repro.geo.point import GeoPoint
 from repro.spatialdb.tracking_store import GpsFix
 from repro.trajectory.model import Trajectory, TrajectoryPoint
+
+
+def _point_payload(point: TrajectoryPoint) -> List[float]:
+    return [point.timestamp_s, point.position.lat, point.position.lon, point.speed_mps]
+
+
+def _point_from_payload(raw: List[float]) -> TrajectoryPoint:
+    timestamp_s, lat, lon, speed_mps = raw
+    return TrajectoryPoint(timestamp_s, GeoPoint(lat, lon), speed_mps)
 
 
 @dataclass(frozen=True)
@@ -180,6 +190,48 @@ class TripSessionizer:
         if state is None:
             return []
         return self._finalize(user_id, state)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The live segmentation state as a JSON-serializable payload.
+
+        Captures, per user, the open trip, the undecided tail, the dwell
+        bookkeeping and the counters — everything :meth:`restore_state`
+        needs to continue the stream *exactly* where it stopped, emitting
+        the same trips at the same fixes a never-restarted sessionizer
+        would.
+        """
+        users: Dict[str, Any] = {}
+        for user_id, state in self._states.items():
+            users[user_id] = {
+                "trip": [_point_payload(point) for point in state.trip],
+                "buffer": [_point_payload(point) for point in state.buffer],
+                "verified": state.verified,
+                "stop_anchor": (
+                    _point_payload(state.stop_anchor) if state.stop_anchor is not None else None
+                ),
+                "trip_length_m": state.trip_length_m,
+                "total_points": state.total_points,
+                "emitted_trips": state.emitted_trips,
+            }
+        return {"users": users}
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Reload a :meth:`snapshot_state` payload, replacing live state."""
+        if not isinstance(payload, dict) or not isinstance(payload.get("users"), dict):
+            raise ValidationError("unsupported sessionizer snapshot payload")
+        states: Dict[str, _SessionState] = {}
+        for user_id, raw in payload["users"].items():
+            anchor = raw.get("stop_anchor")
+            states[user_id] = _SessionState(
+                trip=[_point_from_payload(point) for point in raw["trip"]],
+                buffer=[_point_from_payload(point) for point in raw["buffer"]],
+                verified=raw["verified"],
+                stop_anchor=_point_from_payload(anchor) if anchor is not None else None,
+                trip_length_m=raw["trip_length_m"],
+                total_points=raw["total_points"],
+                emitted_trips=raw["emitted_trips"],
+            )
+        self._states = states
 
     def peek_tail_trips(self, user_id: str) -> List[Trajectory]:
         """Trips the open tail would yield if the stream ended now.

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ValidationError
-from repro.storage import Column, Database, Schema
+from repro.storage import Column, Database, IndexSpec, Page, Schema
 from repro.util.ids import new_id
+
+#: Version stamp of :meth:`FeedbackStore.snapshot` payloads.
+SNAPSHOT_VERSION = 1
 
 
 class FeedbackKind(enum.Enum):
@@ -65,7 +68,13 @@ class FeedbackEvent:
 
 
 class FeedbackStore:
-    """Table-backed store of feedback events with per-user/content access."""
+    """Table-backed store of feedback events with per-user/content access.
+
+    Every access path is a declarative index on the schema: hash buckets
+    for the per-user and per-content lookups, and a sorted
+    ``(user_id, timestamp_s)`` index that serves time-ordered reads and
+    the keyset-paginated history endpoint without re-sorting.
+    """
 
     def __init__(self) -> None:
         self._db = Database("feedbacks")
@@ -82,10 +91,25 @@ class FeedbackStore:
                     Column("listened_s", float, has_default=True, default=0.0),
                     Column("is_clip", bool, has_default=True, default=True),
                 ],
+                indexes=[
+                    IndexSpec("user_id"),
+                    IndexSpec("content_id"),
+                    IndexSpec(
+                        "user_time", kind="sorted", columns=("user_id", "timestamp_s")
+                    ),
+                ],
             )
         )
-        self._table.create_index("user_id")
-        self._table.create_index("content_id")
+
+    @property
+    def database(self) -> Database:
+        """The feedbacks DB (exposed for dashboards and stats)."""
+        return self._db
+
+    @property
+    def version(self) -> int:
+        """Change counter of the feedback table (ETag validator)."""
+        return self._table.version
 
     def record(
         self,
@@ -124,11 +148,37 @@ class FeedbackStore:
         return len(self._table)
 
     def events_for_user(self, user_id: str) -> List[FeedbackEvent]:
-        """All events of one user, time-ordered."""
-        rows = self._table.find_by_index("user_id", user_id)
-        events = [self._to_event(row) for row in rows]
-        events.sort(key=lambda event: event.timestamp_s)
-        return events
+        """All events of one user, time-ordered.
+
+        Served straight from the sorted ``(user_id, timestamp_s)`` index —
+        a prefix range walk, no re-sort.
+        """
+        rows = self._table.find_range(
+            "user_time", low=(user_id,), high=(user_id,), high_inclusive=True
+        )
+        return [self._to_event(row) for row in rows]
+
+    def events_page_for_user(
+        self, user_id: str, *, cursor: Optional[str] = None, limit: int = 50
+    ) -> Page[FeedbackEvent]:
+        """One time-ordered page of a user's feedback history.
+
+        A keyset cursor over the sorted ``(user_id, timestamp_s)`` index:
+        the token resumes strictly after the last event served, so the
+        walk is stable while new feedback keeps arriving.
+        """
+        page = self._table.page_by_index(
+            "user_time",
+            limit=limit,
+            after_token=cursor,
+            low=(user_id,),
+            high=(user_id,),
+            high_inclusive=True,
+        )
+        return Page(
+            items=[self._to_event(row) for row in page.items],
+            next_token=page.next_token,
+        )
 
     def events_for_content(self, content_id: str) -> List[FeedbackEvent]:
         """All events about one content item."""
@@ -183,3 +233,13 @@ class FeedbackStore:
             listened_s=row["listened_s"],
             is_clip=row["is_clip"],
         )
+
+    # Snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable payload of the whole feedbacks DB."""
+        return self._db.snapshot()
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Reload a :meth:`snapshot` payload, replacing all events."""
+        self._db.restore(payload)

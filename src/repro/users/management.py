@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.content.repository import ContentRepository
-from repro.errors import DuplicateError, NotFoundError
+from repro.errors import DuplicateError, NotFoundError, ValidationError
 from repro.spatialdb import GpsFix, TrackingStore
+from repro.storage import Column, Database, Schema
 from repro.users.feedback import FeedbackEvent, FeedbackKind, FeedbackStore
 from repro.users.profile import UserPreferenceProfile, UserProfile
+
+#: Version stamp of :meth:`UserManager.snapshot` payloads.
+SNAPSHOT_VERSION = 1
 
 
 class UserManager:
@@ -25,7 +29,24 @@ class UserManager:
         content: Optional[ContentRepository] = None,
         tracking: Optional[TrackingStore] = None,
     ) -> None:
+        #: Object cache over the profiles table (the table is the record of
+        #: truth the snapshot captures; the cache serves hot lookups).
         self._profiles: Dict[str, UserProfile] = {}
+        self._profiles_db = Database("profiles")
+        self._profiles_table = self._profiles_db.create_table(
+            Schema(
+                name="profiles",
+                primary_key="user_id",
+                columns=[
+                    Column("user_id", str),
+                    Column("display_name", str),
+                    Column("age", int, nullable=True),
+                    Column("gender", str, nullable=True),
+                    Column("home_service_id", str, nullable=True),
+                    Column("language", str, has_default=True, default="it"),
+                ],
+            )
+        )
         self._preferences: Dict[str, UserPreferenceProfile] = {}
         self._feedback = FeedbackStore()
         self._tracking = tracking if tracking is not None else TrackingStore()
@@ -41,10 +62,32 @@ class UserManager:
         """Register a user; returns the (empty) preference profile."""
         if profile.user_id in self._profiles:
             raise DuplicateError(f"user {profile.user_id!r} is already registered")
+        self._profiles_table.insert(self._profile_row(profile))
         self._profiles[profile.user_id] = profile
         preference = UserPreferenceProfile(profile.user_id)
         self._preferences[profile.user_id] = preference
         return preference
+
+    @staticmethod
+    def _profile_row(profile: UserProfile) -> Dict[str, Any]:
+        return {
+            "user_id": profile.user_id,
+            "display_name": profile.display_name,
+            "age": profile.age,
+            "gender": profile.gender,
+            "home_service_id": profile.home_service_id,
+            "language": profile.language,
+        }
+
+    @property
+    def profiles_database(self) -> Database:
+        """The profiles DB (exposed for dashboards and stats)."""
+        return self._profiles_db
+
+    @property
+    def profiles_version(self) -> int:
+        """Change counter of the profiles table (ETag validator)."""
+        return self._profiles_table.version
 
     def profile(self, user_id: str) -> UserProfile:
         """Demographic profile of a user."""
@@ -194,3 +237,49 @@ class UserManager:
                         for fix in accepted:
                             listener(fix)
         return len(accepted)
+
+    # Snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable payload of all per-user state.
+
+        Covers the profiles DB, the learned preference vectors, the
+        feedbacks DB and the tracking store — everything the user
+        management façade owns.  Fix listeners are wiring, not state, and
+        are not captured.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "profiles": self._profiles_db.snapshot(),
+            "preferences": {
+                user_id: preference.to_payload()
+                for user_id, preference in self._preferences.items()
+            },
+            "feedback": self._feedback.snapshot(),
+            "tracking": self._tracking.snapshot(),
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Reload a :meth:`snapshot` payload, replacing all per-user state."""
+        if not isinstance(payload, dict) or payload.get("version") != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"unsupported user snapshot payload (want version {SNAPSHOT_VERSION})"
+            )
+        self._profiles_db.restore(payload["profiles"])
+        self._profiles = {
+            row["user_id"]: UserProfile(
+                user_id=row["user_id"],
+                display_name=row["display_name"],
+                age=row["age"],
+                gender=row["gender"],
+                home_service_id=row["home_service_id"],
+                language=row["language"],
+            )
+            for row in self._profiles_table.rows()
+        }
+        self._preferences = {
+            user_id: UserPreferenceProfile.from_payload(raw)
+            for user_id, raw in payload.get("preferences", {}).items()
+        }
+        self._feedback.restore(payload["feedback"])
+        self._tracking.restore(payload["tracking"])

@@ -128,3 +128,34 @@ class UserPreferenceProfile:
         for name in disliked or []:
             self.update({name: 1.0}, positive=False)
         return self
+
+    # Snapshot / restore ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """The exact learned state as a JSON-serializable payload.
+
+        Captures the score vector, the observation count and the learning
+        parameters, so a restored profile produces bit-identical
+        affinities and continues learning identically.
+        """
+        return {
+            "user_id": self._user_id,
+            "learning_rate": self._learning_rate,
+            "negative_penalty": self._negative_penalty,
+            "decay": self._decay,
+            "scores": dict(self._scores),
+            "observations": self._observations,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "UserPreferenceProfile":
+        """Rebuild a profile from :meth:`to_payload` output."""
+        profile = cls(
+            payload["user_id"],
+            learning_rate=payload.get("learning_rate", 0.25),
+            negative_penalty=payload.get("negative_penalty", 1.25),
+            decay=payload.get("decay", 0.995),
+        )
+        profile._scores = dict(payload.get("scores", {}))
+        profile._observations = int(payload.get("observations", 0))
+        return profile

@@ -124,6 +124,142 @@ class TestUserRoutes:
         assert mistyped.status == 400
 
 
+class TestHistoryRoutes:
+    """Paginated per-user feedback and tracking history reads."""
+
+    def make_world(self, events=7, fixes=9):
+        server = make_server()
+        gateway = Gateway(server)
+        for index in range(events):
+            gateway.request(
+                "POST",
+                "/v1/feedback",
+                body={
+                    "user_id": "alice",
+                    "content_id": f"c{index}",
+                    "kind": "like",
+                    "timestamp_s": float(index),
+                },
+            )
+        for index in range(fixes):
+            gateway.request(
+                "POST",
+                "/v1/tracking",
+                body={
+                    "user_id": "alice",
+                    "lat": 45.0 + index * 1e-4,
+                    "lon": 7.6,
+                    "timestamp_s": float(index * 10),
+                },
+            )
+        return server, gateway
+
+    def walk(self, gateway, path, item_key, *, limit="3"):
+        items, cursor, pages = [], None, 0
+        while True:
+            query = {"limit": limit}
+            if cursor is not None:
+                query["cursor"] = cursor
+            response = gateway.request("GET", path, query=query)
+            assert response.ok
+            items.extend(response.body[item_key])
+            pages += 1
+            cursor = response.body["next_cursor"]
+            if cursor is None:
+                return items, pages
+
+    def test_feedback_history_walk_time_ordered(self):
+        _, gateway = self.make_world()
+        events, pages = self.walk(gateway, "/v1/users/alice/feedback", "events")
+        assert pages == 3
+        assert [event["timestamp_s"] for event in events] == [float(i) for i in range(7)]
+        assert {event["kind"] for event in events} == {"like"}
+
+    def test_tracking_history_walk_and_stability_under_ingest(self):
+        _, gateway = self.make_world()
+        first = gateway.request("GET", "/v1/users/alice/tracking", query={"limit": "4"})
+        assert first.ok and len(first.body["fixes"]) == 4
+        # New fixes arriving mid-walk only ever append past the cursor.
+        gateway.request(
+            "POST",
+            "/v1/tracking",
+            body={"user_id": "alice", "lat": 45.1, "lon": 7.6, "timestamp_s": 999.0},
+        )
+        rest, cursor = [], first.body["next_cursor"]
+        while cursor is not None:
+            response = gateway.request(
+                "GET", "/v1/users/alice/tracking", query={"limit": "4", "cursor": cursor}
+            )
+            rest.extend(response.body["fixes"])
+            cursor = response.body["next_cursor"]
+        times = [fix["timestamp_s"] for fix in first.body["fixes"]] + [
+            fix["timestamp_s"] for fix in rest
+        ]
+        assert times == [float(i * 10) for i in range(9)] + [999.0]
+
+    def test_empty_history_is_200_not_404(self):
+        _, gateway = self.make_world(events=0, fixes=0)
+        feedback = gateway.request("GET", "/v1/users/alice/feedback")
+        assert feedback.ok and feedback.body["events"] == []
+        assert feedback.body["next_cursor"] is None
+        tracking = gateway.request("GET", "/v1/users/alice/tracking")
+        assert tracking.ok and tracking.body["fixes"] == []
+
+    def test_unknown_user_is_404(self):
+        _, gateway = self.make_world(events=0, fixes=0)
+        assert gateway.request("GET", "/v1/users/ghost/feedback").status == 404
+        assert gateway.request("GET", "/v1/users/ghost/tracking").status == 404
+
+    def test_malformed_cursors_are_400(self):
+        _, gateway = self.make_world()
+        for path in ("/v1/users/alice/feedback", "/v1/users/alice/tracking"):
+            assert gateway.request("GET", path, query={"cursor": "bogus"}).status == 400
+            assert gateway.request("GET", path, query={"limit": "0"}).status == 400
+
+
+class TestProfileAndClipEtags:
+    def test_profile_etag_revalidates_and_invalidates(self):
+        server, gateway = make_gateway()
+        server.content.add_clip(
+            AudioClip(
+                clip_id="clip-a",
+                title="A",
+                kind=ContentKind.PODCAST,
+                duration_s=60.0,
+                category_scores={"comedy": 1.0},
+            )
+        )
+        first = gateway.request("GET", "/v1/users/alice")
+        etag = first.headers["etag"]
+        revalidated = gateway.request("GET", "/v1/users/alice", headers={"if-none-match": etag})
+        assert revalidated.status == 304 and revalidated.headers["etag"] == etag
+        # Feedback that moves the learned profile invalidates the ETag.
+        gateway.request(
+            "POST",
+            "/v1/feedback",
+            body={"user_id": "alice", "content_id": "clip-a", "kind": "like", "timestamp_s": 5.0},
+        )
+        changed = gateway.request("GET", "/v1/users/alice", headers={"if-none-match": etag})
+        assert changed.status == 200 and changed.headers["etag"] != etag
+
+    def test_clip_etag_keyed_on_catalogue_version(self):
+        server, gateway = make_gateway()
+        server.content.add_clip(
+            AudioClip(clip_id="clip-a", title="A", kind=ContentKind.PODCAST, duration_s=60.0)
+        )
+        first = gateway.request("GET", "/v1/clips/clip-a")
+        etag = first.headers["etag"]
+        assert gateway.request(
+            "GET", "/v1/clips/clip-a", headers={"if-none-match": etag}
+        ).status == 304
+        # Any catalogue write invalidates (weak, storage-version keyed).
+        server.content.add_clip(
+            AudioClip(clip_id="clip-b", title="B", kind=ContentKind.PODCAST, duration_s=60.0)
+        )
+        changed = gateway.request("GET", "/v1/clips/clip-a", headers={"if-none-match": etag})
+        assert changed.status == 200 and changed.headers["etag"] != etag
+
+
 class TestFeedbackRoutes:
     def make_world(self):
         server = make_server()

@@ -1,0 +1,210 @@
+"""Snapshot → restore round trips: stores, streaming engine, whole server.
+
+The restart-persistence contract: a warmed server snapshots to one
+JSON-serializable payload, a freshly constructed server (same config)
+restores it, and from then on the two are indistinguishable — identical
+recommendations mid-commute, identical streaming mobility models, and
+identical *future* behaviour as more fixes stream in.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets import BroadcasterConfig, CommuterConfig, WorldConfig, build_world
+from repro.errors import PipelineError, ValidationError
+from repro.geo import GeoPoint
+from repro.pipeline.server import PphcrServer
+from repro.roadnet import CityGeneratorConfig
+from repro.spatialdb import GpsFix, TrackingStore
+from repro.streaming.engine import StreamingMobilityEngine
+from repro.users.profile import UserPreferenceProfile
+
+
+@pytest.fixture(scope="module")
+def warmed_world():
+    """A compact world with history, feedback and live streaming state."""
+    return build_world(
+        WorldConfig(
+            seed=2024,
+            city=CityGeneratorConfig(
+                grid_rows=8, grid_cols=8, block_size_m=600.0, poi_count=12, seed=5
+            ),
+            broadcaster=BroadcasterConfig(seed=6, clips_per_day=50),
+            commuters=CommuterConfig(seed=7, commuters=6, history_days=6),
+            classifier_documents_per_category=6,
+            feedback_events_per_user=16,
+        )
+    )
+
+
+def restored_copy(world):
+    """A fresh server (same config) loaded from the world's snapshot."""
+    payload = json.loads(json.dumps(world.server.snapshot()))
+    fresh = PphcrServer(city=world.city, config=world.server.config)
+    fresh.restore_snapshot(payload)
+    return fresh
+
+
+def model_fingerprint(engine: StreamingMobilityEngine, user_id: str):
+    snapshot = engine.model_snapshot(user_id, include_open_tail=True)
+    if snapshot is None:
+        return None
+    return {
+        "trips": snapshot.trip_count,
+        "epoch": snapshot.epoch,
+        "dirty": snapshot.dirty_trips,
+        "stay_points": [
+            (sp.stay_point_id, sp.center.lat, sp.center.lon, sp.support, sp.total_dwell_s)
+            for sp in snapshot.stay_points
+        ],
+        "clusters": [
+            (
+                cluster.cluster_id,
+                cluster.origin_stay_point,
+                cluster.destination_stay_point,
+                len(cluster.trips),
+                cluster.geometric_coherence(),
+            )
+            for cluster in snapshot.clusters
+        ],
+    }
+
+
+class TestServerRoundTrip:
+    def test_payload_is_json_serializable(self, warmed_world):
+        json.dumps(warmed_world.server.snapshot())
+
+    def test_identical_recommendations_mid_commute(self, warmed_world):
+        world = warmed_world
+        fresh = restored_copy(world)
+        commuter = world.commuters[0]
+        drive = world.commuter_generator.live_drive(commuter, day=world.today)
+        observe_until = drive.departure_s + 300.0
+        fixes = drive.fixes(until_s=observe_until)
+        for server in (world.server, fresh):
+            server.users.ingest_fixes(list(fixes), skip_stale=True)
+        decisions = [
+            server.recommend(commuter.user_id, now_s=observe_until, drive_elapsed_s=300.0)
+            for server in (world.server, fresh)
+        ]
+        original, restored = decisions
+        assert original.should_recommend == restored.should_recommend
+        assert original.reason == restored.reason
+        assert original.recommended_clip_ids == restored.recommended_clip_ids
+        if original.plan is not None:
+            assert restored.plan is not None
+            assert [item.start_s for item in original.plan.items] == [
+                item.start_s for item in restored.plan.items
+            ]
+
+    def test_streaming_models_identical(self, warmed_world):
+        world = warmed_world
+        fresh = restored_copy(world)
+        compared = 0
+        for commuter in world.commuters:
+            original = model_fingerprint(world.server.streaming, commuter.user_id)
+            restored = model_fingerprint(fresh.streaming, commuter.user_id)
+            assert original == restored
+            compared += original is not None
+        assert compared > 0  # the world must actually have live models
+
+    def test_future_ingest_evolves_identically(self, warmed_world):
+        world = warmed_world
+        fresh = restored_copy(world)
+        commuter = world.commuters[1]
+        drive = world.commuter_generator.live_drive(commuter, day=world.today)
+        fixes = list(drive.fixes())
+        emitted_a = world.server.streaming.observe_fixes(list(fixes))
+        emitted_b = fresh.streaming.observe_fixes(list(fixes))
+        assert [trip.points for trip in emitted_a] == [trip.points for trip in emitted_b]
+        assert model_fingerprint(world.server.streaming, commuter.user_id) == model_fingerprint(
+            fresh.streaming, commuter.user_id
+        )
+
+    def test_user_state_round_trips(self, warmed_world):
+        world = warmed_world
+        fresh = restored_copy(world)
+        users = world.server.users
+        for user_id in users.user_ids():
+            assert fresh.users.profile(user_id) == users.profile(user_id)
+            assert (
+                fresh.users.preference_profile(user_id).as_vector()
+                == users.preference_profile(user_id).as_vector()
+            )
+            assert [event.event_id for event in fresh.users.feedback.events_for_user(user_id)] == [
+                event.event_id for event in users.feedback.events_for_user(user_id)
+            ]
+        assert fresh.content.clip_count() == world.server.content.clip_count()
+        assert [c.clip_id for c in fresh.content.clips_newest_first()] == [
+            c.clip_id for c in world.server.content.clips_newest_first()
+        ]
+
+    def test_tracking_counters_survive(self, warmed_world):
+        world = warmed_world
+        fresh = restored_copy(world)
+        tracking = world.server.users.tracking
+        for user_id in tracking.user_ids():
+            assert fresh.users.tracking.fixes_added(user_id) == tracking.fixes_added(user_id)
+            assert fresh.users.tracking.fix_count(user_id) == tracking.fix_count(user_id)
+
+    def test_bad_payload_rejected(self, warmed_world):
+        fresh = PphcrServer(config=warmed_world.server.config)
+        with pytest.raises(PipelineError):
+            fresh.restore_snapshot({"version": 99})
+
+
+class TestStoreRoundTrips:
+    def test_tracking_store_round_trip(self):
+        store = TrackingStore()
+        for i in range(30):
+            store.add_fix(
+                GpsFix("u1", float(i * 10), GeoPoint(45.0 + i * 1e-3, 7.6), speed_mps=5.0)
+            )
+        store.prune_before("u1", 100.0)
+        payload = json.loads(json.dumps(store.snapshot()))
+
+        restored = TrackingStore()
+        restored.restore(payload)
+        assert restored.fixes_added("u1") == 30
+        assert restored.fix_count("u1") == store.fix_count("u1")
+        assert [f.timestamp_s for f in restored.fixes_for("u1")] == [
+            f.timestamp_s for f in store.fixes_for("u1")
+        ]
+        assert restored.users_within(GeoPoint(45.029, 7.6), 500.0) == ["u1"]
+        # History cursors keep working across the restore.
+        page = restored.fixes_page("u1", limit=5)
+        assert [f.timestamp_s for f in page.items] == [100.0, 110.0, 120.0, 130.0, 140.0]
+        assert page.next_token is not None
+
+    def test_preference_profile_payload_is_exact(self):
+        profile = UserPreferenceProfile("u1")
+        profile.update({"art": 0.7, "culture": 0.3}, positive=True)
+        profile.update({"music-jazz": 1.0}, positive=False)
+        clone = UserPreferenceProfile.from_payload(
+            json.loads(json.dumps(profile.to_payload()))
+        )
+        assert clone.as_vector() == profile.as_vector()
+        assert clone.observation_count == profile.observation_count
+        assert clone.affinity({"art": 1.0}) == profile.affinity({"art": 1.0})
+        # And it keeps learning identically.
+        profile.update({"art": 1.0}, positive=True)
+        clone.update({"art": 1.0}, positive=True)
+        assert clone.as_vector() == profile.as_vector()
+
+    def test_store_payloads_reject_bad_versions(self):
+        store = TrackingStore()
+        with pytest.raises(ValidationError):
+            store.restore({"version": 7})
+
+    def test_content_restore_keeps_geo_grid_identity(self, warmed_world):
+        """The context scorer captures the grid object at server
+        construction; a restore must refill it in place, never swap it."""
+        server = warmed_world.server
+        grid = server.content.geo_index
+        tagged = len(grid)
+        server.restore_snapshot(json.loads(json.dumps(server.snapshot())))
+        assert server.content.geo_index is grid
+        assert len(grid) == tagged

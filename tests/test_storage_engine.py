@@ -1,0 +1,497 @@
+"""Tests for the storage engine: declarative indexes, planner, cursors.
+
+The load-bearing properties:
+
+* **planner/scan parity** — on randomized workloads, every query served
+  through an index returns exactly what its ``scan_only()`` twin returns
+  (same rows, same order);
+* **cursor stability** — keyset pages never duplicate or skip rows while
+  rows are inserted between pages;
+* **unit of work** — change listeners see per-write batches normally and
+  one coalesced batch per table inside ``Database.batch()``;
+* **snapshot/restore** — a database round-trips through its versioned
+  JSON payload with indexes rebuilt and queries intact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import (
+    DuplicateError,
+    NotFoundError,
+    QueryError,
+    SchemaError,
+    ValidationError,
+)
+from repro.geo import BoundingBox, GeoPoint
+from repro.storage import Column, Database, IndexSpec, Page, Schema, Table
+
+
+def events_schema(indexes=None):
+    return Schema(
+        name="events",
+        primary_key="event_id",
+        columns=[
+            Column("event_id", str),
+            Column("user_id", str),
+            Column("kind", str),
+            Column("timestamp_s", float),
+            Column("value", float, has_default=True, default=0.0),
+            Column("lat", float, nullable=True),
+            Column("lon", float, nullable=True),
+        ],
+        indexes=list(indexes) if indexes is not None else [],
+    )
+
+
+INDEXED = [
+    IndexSpec("kind"),
+    IndexSpec("user_id"),
+    IndexSpec("timestamp_s", kind="sorted", columns=("timestamp_s",)),
+    IndexSpec("user_time", kind="sorted", columns=("user_id", "timestamp_s")),
+    IndexSpec("geo", kind="spatial", columns=("lat", "lon"), cell_size_m=500.0),
+]
+
+
+def fill(table, n=400, *, seed=7):
+    rng = random.Random(seed)
+    for i in range(n):
+        table.insert(
+            {
+                "event_id": f"e{i:04d}",
+                "user_id": f"u{rng.randrange(12):02d}",
+                "kind": rng.choice(["ping", "skip", "like"]),
+                "timestamp_s": float(rng.randrange(0, 50)),
+                "value": rng.random(),
+                "lat": None if rng.random() < 0.4 else 45.0 + rng.random() * 0.05,
+                "lon": 7.6 + rng.random() * 0.05,
+            }
+        )
+    return table
+
+
+class TestIndexSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            IndexSpec("x", kind="btree")
+
+    def test_spatial_needs_two_columns(self):
+        with pytest.raises(SchemaError):
+            IndexSpec("geo", kind="spatial", columns=("lat",))
+
+    def test_schema_validates_index_columns(self):
+        with pytest.raises(SchemaError):
+            events_schema([IndexSpec("missing_column")])
+            Table(events_schema([IndexSpec("missing_column")]))
+
+    def test_duplicate_index_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(events_schema([IndexSpec("kind"), IndexSpec("kind")]))
+
+    def test_dynamic_create_index_all_kinds(self):
+        table = fill(Table(events_schema()), 60)
+        table.create_index("kind")
+        table.create_index("by_time", kind="sorted", columns=("timestamp_s",))
+        table.create_index("geo", kind="spatial", columns=("lat", "lon"))
+        assert table.find_by_index("kind", "ping")
+        assert len(list(table.rows_in_index_order("by_time"))) == 60
+        with pytest.raises(DuplicateError):
+            table.create_index("kind")
+
+
+class TestPlannerScanParity:
+    """Every indexed strategy must match the predicate-only scan exactly."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fill(Table(events_schema(INDEXED)), 500)
+
+    def pair(self, table):
+        db = Database("d")
+        db._tables["events"] = table  # reuse the filled table in both paths
+        return db.query("events"), db.query("events").scan_only()
+
+    def test_eq_uses_index_and_matches(self, table):
+        fast, slow = self.pair(table)
+        fast, slow = fast.where_eq("kind", "skip"), slow.where_eq("kind", "skip")
+        assert fast.explain()["strategy"] == "index_eq"
+        assert slow.explain()["strategy"] == "scan"
+        assert fast.all() == slow.all()
+
+    def test_in_uses_index_and_matches(self, table):
+        fast, slow = self.pair(table)
+        fast = fast.where_in("user_id", ["u01", "u05", "u09"])
+        slow = slow.where_in("user_id", ["u01", "u05", "u09"])
+        assert fast.explain()["strategy"] == "index_in"
+        assert fast.all() == slow.all()
+
+    def test_range_uses_index_and_matches(self, table):
+        fast, slow = self.pair(table)
+        fast = fast.where_range("timestamp_s", 10.0, 30.0).order_by("timestamp_s")
+        slow = slow.where_range("timestamp_s", 10.0, 30.0).order_by("timestamp_s")
+        assert fast.explain()["strategy"] == "index_range"
+        assert fast.all() == slow.all()
+
+    def test_order_by_walks_index_with_early_limit(self, table):
+        fast, slow = self.pair(table)
+        fast = fast.order_by("timestamp_s").limit(17)
+        slow = slow.order_by("timestamp_s").limit(17)
+        assert fast.explain()["strategy"] == "index_order"
+        assert fast.all() == slow.all()
+
+    def test_descending_order_falls_back_to_scan_strategy(self, table):
+        fast, _ = self.pair(table)
+        fast = fast.order_by("timestamp_s", descending=True)
+        assert fast.explain()["strategy"] == "scan"
+
+    def test_randomized_workload_parity(self, table):
+        rng = random.Random(99)
+        kinds = ["ping", "skip", "like"]
+        for _ in range(120):
+            db = Database("d")
+            db._tables["events"] = table
+            fast, slow = db.query("events"), db.query("events").scan_only()
+            if rng.random() < 0.5:
+                kind = rng.choice(kinds)
+                fast, slow = fast.where_eq("kind", kind), slow.where_eq("kind", kind)
+            if rng.random() < 0.5:
+                lo = float(rng.randrange(0, 40))
+                hi = lo + rng.randrange(1, 15)
+                fast = fast.where_range("timestamp_s", lo, hi)
+                slow = slow.where_range("timestamp_s", lo, hi)
+            if rng.random() < 0.4:
+                user = f"u{rng.randrange(12):02d}"
+                fast, slow = fast.where_eq("user_id", user), slow.where_eq("user_id", user)
+            if rng.random() < 0.5:
+                fast = fast.order_by("timestamp_s")
+                slow = slow.order_by("timestamp_s")
+                if rng.random() < 0.5:
+                    n = rng.randrange(1, 30)
+                    fast, slow = fast.limit(n), slow.limit(n)
+            assert fast.all() == slow.all()
+
+    def test_residual_predicates_applied_on_index_path(self, table):
+        db = Database("d")
+        db._tables["events"] = table
+        fast = db.query("events").where_eq("kind", "like").where(lambda r: r["value"] > 0.5)
+        slow = (
+            db.query("events").scan_only().where_eq("kind", "like").where(lambda r: r["value"] > 0.5)
+        )
+        plan = fast.explain()
+        assert plan["strategy"] == "index_eq" and plan["post_filters"] == 1
+        assert fast.all() == slow.all()
+
+    def test_stats_record_hits_and_scans(self):
+        table = fill(Table(events_schema(INDEXED)), 50)
+        db = Database("d")
+        db._tables["events"] = table
+        before = table.stats()
+        db.query("events").where_eq("kind", "ping").all()
+        db.query("events").scan_only().where_eq("kind", "ping").all()
+        after = table.stats()
+        assert after["index_hits"] == before["index_hits"] + 1
+        assert after["scans"] == before["scans"] + 1
+
+    def test_where_range_requires_a_bound(self, table):
+        db = Database("d")
+        db._tables["events"] = table
+        with pytest.raises(QueryError):
+            db.query("events").where_range("timestamp_s")
+
+    def test_aggregates_ignore_limit_on_both_paths(self, table):
+        db = Database("d")
+        db._tables["events"] = table
+        fast = db.query("events").order_by("timestamp_s").limit(3).sum("value")
+        slow = db.query("events").scan_only().order_by("timestamp_s").limit(3).sum("value")
+        full = db.query("events").scan_only().sum("value")
+        assert fast == slow == full
+
+    def test_index_order_refused_when_nulls_leave_index_partial(self):
+        schema = events_schema(
+            [IndexSpec("maybe", kind="sorted", columns=("lat",))]  # lat is nullable
+        )
+        table = Table(schema)
+        table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 1.0, "lat": 45.0, "lon": 7.0})
+        table.insert({"event_id": "b", "user_id": "u", "kind": "p", "timestamp_s": 2.0})
+        db = Database("d")
+        db._tables["events"] = table
+        query = db.query("events").order_by("lat")
+        # A partial index must never serve an ordered walk — the null row
+        # would silently vanish from the results.
+        assert query.explain()["strategy"] == "scan"
+
+    def test_range_predicates_exclude_nulls_on_both_paths(self):
+        table = Table(events_schema(INDEXED))
+        table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 5.0, "lat": 1.0, "lon": 1.0})
+        table.insert({"event_id": "b", "user_id": "u", "kind": "p", "timestamp_s": 6.0})
+        db = Database("d")
+        db._tables["events"] = table
+        fast = db.query("events").where_range("lat", 0.0, 10.0).all()
+        slow = db.query("events").scan_only().where_range("lat", 0.0, 10.0).all()
+        assert fast == slow
+        assert [row["event_id"] for row in fast] == ["a"]
+
+
+class TestSortedIndexMaintenance:
+    def test_update_moves_row_in_index(self):
+        table = fill(Table(events_schema(INDEXED)), 30)
+        table.update("e0000", {"timestamp_s": 999.0})
+        ordered = list(table.rows_in_index_order("timestamp_s"))
+        assert ordered[-1]["event_id"] == "e0000"
+
+    def test_delete_removes_from_index(self):
+        table = fill(Table(events_schema(INDEXED)), 30)
+        table.delete("e0001")
+        assert all(row["event_id"] != "e0001" for row in table.rows_in_index_order("timestamp_s"))
+
+    def test_null_keys_not_indexed_but_scannable(self):
+        table = Table(events_schema(INDEXED))
+        table.insert(
+            {"event_id": "a", "user_id": "u", "kind": "ping", "timestamp_s": 1.0, "lat": None, "lon": None}
+        )
+        assert table.find_within("geo", GeoPoint(45.0, 7.6), 1e6) == []
+        assert len(table.scan(lambda row: row["lat"] is None)) == 1
+
+    def test_spatial_index_tracks_moves(self):
+        table = Table(events_schema(INDEXED))
+        table.insert(
+            {"event_id": "a", "user_id": "u", "kind": "ping", "timestamp_s": 1.0, "lat": 45.0, "lon": 7.6}
+        )
+        table.update("a", {"lat": 46.0})
+        hits = table.find_within("geo", GeoPoint(46.0, 7.6), 1000.0)
+        assert [row["event_id"] for row, _d in hits] == ["a"]
+        assert table.find_within("geo", GeoPoint(45.0, 7.6), 1000.0) == []
+        box = BoundingBox(min_lat=45.9, min_lon=7.0, max_lat=46.1, max_lon=8.0)
+        assert [row["event_id"] for row in table.find_in_bbox("geo", box)] == ["a"]
+
+
+class TestKeysetCursors:
+    def make_table(self, n=40):
+        table = Table(events_schema(INDEXED))
+        for i in range(n):
+            table.insert(
+                {
+                    "event_id": f"e{i:04d}",
+                    "user_id": "u",
+                    "kind": "ping",
+                    "timestamp_s": float(i // 3),  # ties exercise the seq tiebreak
+                }
+            )
+        return table
+
+    def walk(self, table, *, limit, descending=False):
+        seen, token = [], None
+        while True:
+            page = table.page_by_index(
+                "timestamp_s", limit=limit, after_token=token, descending=descending
+            )
+            seen.extend(row["event_id"] for row in page.items)
+            token = page.next_token
+            if token is None:
+                return seen
+
+    def test_full_walk_matches_index_order(self):
+        table = self.make_table()
+        assert self.walk(table, limit=7) == [
+            row["event_id"] for row in table.rows_in_index_order("timestamp_s")
+        ]
+
+    def test_descending_walk(self):
+        table = self.make_table()
+        assert self.walk(table, limit=7, descending=True) == [
+            row["event_id"] for row in table.rows_in_index_order("timestamp_s", descending=True)
+        ]
+
+    def test_stable_under_interleaved_inserts(self):
+        table = self.make_table(30)
+        first = table.page_by_index("timestamp_s", limit=10)
+        served = [row["event_id"] for row in first.items]
+        last_served_time = table.get(served[-1])["timestamp_s"]
+        # Insert rows both before and after the cursor position mid-walk.
+        table.insert({"event_id": "early", "user_id": "u", "kind": "ping", "timestamp_s": -1.0})
+        table.insert({"event_id": "late", "user_id": "u", "kind": "ping", "timestamp_s": 999.0})
+        token = first.next_token
+        rest = []
+        while token is not None:
+            page = table.page_by_index("timestamp_s", limit=10, after_token=token)
+            rest.extend(row["event_id"] for row in page.items)
+            token = page.next_token
+        # No duplicates, nothing skipped, and the late insert appears.
+        assert not (set(served) & set(rest))
+        assert "late" in rest and "early" not in rest
+        assert all(table.get(eid)["timestamp_s"] >= last_served_time for eid in rest)
+
+    def test_prefix_bounded_pages(self):
+        table = Table(events_schema(INDEXED))
+        for i in range(12):
+            table.insert(
+                {
+                    "event_id": f"e{i}",
+                    "user_id": "alice" if i % 2 else "bob",
+                    "kind": "ping",
+                    "timestamp_s": float(i),
+                }
+            )
+        page = table.page_by_index(
+            "user_time", limit=3, low=("alice",), high=("alice",), high_inclusive=True
+        )
+        users = {row["user_id"] for row in page.items}
+        assert users == {"alice"} and page.next_token is not None
+        page2 = table.page_by_index(
+            "user_time",
+            limit=10,
+            after_token=page.next_token,
+            low=("alice",),
+            high=("alice",),
+            high_inclusive=True,
+        )
+        assert {row["user_id"] for row in page2.items} == {"alice"}
+        assert page2.next_token is None
+        assert len(page.items) + len(page2.items) == 6
+
+    def test_malformed_tokens_rejected(self):
+        table = self.make_table(5)
+        for bogus in ("bogus", "[]", '["x"]', '[1,2,"x"]', '{"a":1}'):
+            with pytest.raises(ValidationError):
+                table.page_by_index("timestamp_s", limit=2, after_token=bogus)
+
+    def test_mistyped_token_key_rejected(self):
+        table = self.make_table(5)
+        with pytest.raises(ValidationError):
+            table.page_by_index("timestamp_s", limit=2, after_token='["zz", 3]')
+
+    def test_limit_validation(self):
+        table = self.make_table(5)
+        with pytest.raises(ValidationError):
+            table.page_by_index("timestamp_s", limit=0)
+
+
+class TestChangeListenersAndBatch:
+    def test_single_writes_deliver_single_changes(self):
+        db = Database("d")
+        table = db.create_table(events_schema())
+        batches = []
+        table.add_listener(batches.append)
+        table.insert({"event_id": "a", "user_id": "u", "kind": "ping", "timestamp_s": 1.0})
+        table.update("a", {"timestamp_s": 2.0})
+        table.delete("a")
+        assert [[change.op for change in batch] for batch in batches] == [
+            ["insert"],
+            ["update"],
+            ["delete"],
+        ]
+
+    def test_batch_coalesces_per_table(self):
+        db = Database("d")
+        table = db.create_table(events_schema())
+        other = db.create_table(
+            Schema(name="other", primary_key="k", columns=[Column("k", str)])
+        )
+        batches, other_batches = [], []
+        table.add_listener(batches.append)
+        other.add_listener(other_batches.append)
+        with db.batch():
+            table.insert({"event_id": "a", "user_id": "u", "kind": "ping", "timestamp_s": 1.0})
+            table.insert({"event_id": "b", "user_id": "u", "kind": "ping", "timestamp_s": 2.0})
+            other.insert({"k": "x"})
+            assert batches == []  # nothing delivered mid-batch
+        assert [len(batch) for batch in batches] == [2]
+        assert [change.key for change in batches[0]] == ["a", "b"]
+        assert [len(batch) for batch in other_batches] == [1]
+
+    def test_batch_delivers_accepted_changes_on_error(self):
+        db = Database("d")
+        table = db.create_table(events_schema())
+        batches = []
+        table.add_listener(batches.append)
+        with pytest.raises(DuplicateError):
+            with db.batch():
+                table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 1.0})
+                table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 2.0})
+        assert [len(batch) for batch in batches] == [1]
+
+    def test_nested_batches_deliver_once(self):
+        db = Database("d")
+        table = db.create_table(events_schema())
+        batches = []
+        table.add_listener(batches.append)
+        with db.batch():
+            table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 1.0})
+            with db.batch():
+                table.insert({"event_id": "b", "user_id": "u", "kind": "p", "timestamp_s": 2.0})
+        assert [len(batch) for batch in batches] == [2]
+
+    def test_version_bumps_on_every_mutation(self):
+        table = Table(events_schema())
+        v0 = table.version
+        table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 1.0})
+        table.update("a", {"timestamp_s": 2.0})
+        table.delete("a")
+        assert table.version == v0 + 3
+
+
+class TestSnapshotRestore:
+    def test_database_round_trip_preserves_queries(self):
+        db = Database("d")
+        table = db.create_table(events_schema(INDEXED))
+        fill(table, 120)
+        reference_eq = db.query("events").where_eq("kind", "like").all()
+        reference_order = list(table.rows_in_index_order("timestamp_s"))
+        payload = json.loads(json.dumps(db.snapshot()))
+
+        db2 = Database("d")
+        table2 = db2.create_table(events_schema(INDEXED))
+        db2.restore(payload)
+        assert db2.query("events").where_eq("kind", "like").all() == reference_eq
+        assert list(table2.rows_in_index_order("timestamp_s")) == reference_order
+        assert len(table2) == 120
+
+    def test_restore_validates_payload(self):
+        db = Database("d")
+        db.create_table(events_schema())
+        with pytest.raises(ValidationError):
+            db.restore({"version": 99, "tables": {}})
+        with pytest.raises(ValidationError):
+            db.restore({"version": 1, "tables": {"ghost": []}})
+
+    def test_restore_does_not_notify_listeners(self):
+        db = Database("d")
+        table = db.create_table(events_schema())
+        table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 1.0})
+        payload = db.snapshot()
+        batches = []
+        table.add_listener(batches.append)
+        db.restore(payload)
+        assert batches == []
+
+    def test_page_cursor_round_trips_json(self):
+        page = Page(items=[1, 2, 3], next_token='["x",3]')
+        assert list(page) == [1, 2, 3] and len(page) == 3
+
+    def test_restore_preserves_version_counter(self):
+        """Replaying N rows must not rewind the change counter: ETags
+        minted before the snapshot would collide and serve stale 304s."""
+        db = Database("d")
+        table = db.create_table(events_schema())
+        for i in range(5):
+            table.insert({"event_id": f"e{i}", "user_id": "u", "kind": "p", "timestamp_s": 1.0})
+        table.update("e3", {"timestamp_s": 2.0})  # version ahead of row count
+        version = table.version
+        payload = json.loads(json.dumps(db.snapshot()))
+        db2 = Database("d")
+        table2 = db2.create_table(events_schema())
+        db2.restore(payload)
+        assert table2.version >= version
+
+    def test_clear_notifies_listeners(self):
+        db = Database("d")
+        table = db.create_table(events_schema())
+        table.insert({"event_id": "a", "user_id": "u", "kind": "p", "timestamp_s": 1.0})
+        batches = []
+        table.add_listener(batches.append)
+        table.clear()
+        assert [[change.op for change in batch] for batch in batches] == [["clear"]]
