@@ -1,0 +1,500 @@
+"""PERF — concurrent serving: sharded parallel workers vs. one serial database.
+
+The shard router partitions every piece of per-user state (tracking
+histories, profiles, feedback, streaming models) into crc32 shards, each
+its own database with a single-writer worker thread.  This bench measures
+what that buys a *serving* deployment: mixed ingest + read traffic at the
+wire level (JSON in / JSON out via ``Gateway.handle_wire``), where every
+request also pays a fixed client-link transfer cost (``WIRE_IO_S``,
+modelled as a sleep — exactly the non-CPU wait an HTTP front end overlaps
+per request; identical for both configurations).
+
+Two configurations serve the *same* request stream:
+
+* **single-serial** — one shard (the old single-``Database`` layout), one
+  thread, every request handled in global order;
+* **sharded-parallel** — ``SHARDS`` shards, requests routed to the owning
+  shard's worker (``ShardWorkerPool``: one single-thread executor per
+  shard, so each worker is the sole writer of its shard), per-user request
+  order preserved.
+
+Correctness gates the timing claim twice over:
+
+* a **parity replay** first drives the identical request sequence through
+  both shard layouts serially (ids reset, no sleeps) and asserts every
+  response is byte-identical (pagination cursors are opaque shard-layout
+  handles, so ``next_cursor`` is normalized to presence; the *items* of
+  full listing walks are compared instead) and the final mobility models,
+  merged listings and recommendations match exactly;
+* after the timed runs, the two servers' end states are asserted
+  identical again (per-user fixes, model fingerprints, recommendations).
+
+Asserts aggregate throughput of sharded-parallel >= 2x single-serial, and
+reports p50/p95/p99 request latency for both.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_concurrent_serving.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import wait
+from typing import Any, Dict, List, Optional, Tuple
+
+from conftest import format_table, write_result
+
+from repro.content.model import AudioClip, ContentKind
+from repro.geo import GeoPoint
+from repro.geo.geodesy import destination_point
+from repro.pipeline import Gateway, PphcrServer
+from repro.pipeline.server import ServerConfig
+from repro.storage.sharding import ShardingConfig
+from repro.users.profile import UserProfile
+from repro.util.ids import reset_ids
+from repro.util.rng import DeterministicRng
+
+USERS = 24
+ROUNDS = 3
+FIXES_PER_ROUND = 30
+FIX_INTERVAL_S = 20.0
+REVALIDATIONS = 5
+#: Page size for the merged listing reads (small enough to need cursors).
+LIST_LIMIT = 10
+SHARDS = 4
+#: Per-request client-link transfer time: the wire wait an HTTP front end
+#: pays per request (socket read/write), which releases the GIL and which
+#: per-shard workers overlap.  Identical for both configurations.
+WIRE_IO_S = 0.002
+SPEEDUP_FLOOR = 2.0
+CLIPS = 40
+
+#: Op kinds: ("batch", user, round) / ("feedback", user, round)
+#: ("rec", user, now_s) / ("reval", user, now_s)
+#: ("users_list", None, None) / ("clips_list", None, None)
+Op = Tuple[str, Optional[str], Any]
+
+
+# Workload -----------------------------------------------------------------
+
+
+def _drive(rng: DeterministicRng, *, t0: float) -> List[dict]:
+    base = GeoPoint(45.07 + rng.uniform(-0.05, 0.05), 7.68 + rng.uniform(-0.05, 0.05))
+    bearing = rng.uniform(0.0, 360.0)
+    speed = rng.uniform(9.0, 14.0)
+    fixes = []
+    for index in range(FIXES_PER_ROUND):
+        position = destination_point(base, bearing, speed * FIX_INTERVAL_S * index)
+        position = destination_point(
+            position, rng.uniform(0.0, 360.0), abs(rng.gauss(0.0, 6.0))
+        )
+        fixes.append(
+            {
+                "lat": position.lat,
+                "lon": position.lon,
+                "timestamp_s": t0 + FIX_INTERVAL_S * index,
+                "speed_mps": speed,
+            }
+        )
+    return fixes
+
+
+def _round_t0(round_index: int) -> float:
+    return round_index * 86400.0 + 7.5 * 3600.0
+
+
+def user_ids() -> List[str]:
+    return [f"user-{index:03d}" for index in range(USERS)]
+
+
+def build_workload(seed: int = 17) -> Tuple[Dict[Tuple[str, int], str], List[Op]]:
+    """Pre-encoded drive payloads plus the global request order.
+
+    The op stream interleaves all users round by round — one buffered
+    drive upload, one feedback post, one cold recommendation read and
+    ``REVALIDATIONS`` conditional reads per user per round, with merged
+    listing reads between rounds — the mixed ingest + read mix a serving
+    node sees.
+    """
+    rng = DeterministicRng(seed)
+    payloads: Dict[Tuple[str, int], str] = {}
+    ops: List[Op] = []
+    users = user_ids()
+    for round_index in range(ROUNDS):
+        t0 = _round_t0(round_index)
+        now_s = t0 + FIX_INTERVAL_S * (FIXES_PER_ROUND - 1)
+        for user_index, user_id in enumerate(users):
+            drive = _drive(rng.fork("drive", user_id, round_index), t0=t0)
+            payloads[(user_id, round_index)] = json.dumps(
+                {"user_id": user_id, "fixes": drive}
+            )
+            ops.append(("batch", user_id, round_index))
+            ops.append(("feedback", user_id, round_index))
+            ops.append(("rec", user_id, now_s))
+            for _ in range(REVALIDATIONS):
+                ops.append(("reval", user_id, now_s))
+        ops.append(("users_list", None, None))
+        ops.append(("clips_list", None, None))
+    return payloads, ops
+
+
+def build_server(shards: int, *, parallel: bool) -> Tuple[PphcrServer, Gateway]:
+    """A warmed server/gateway pair with the requested shard layout."""
+    reset_ids()
+    server = PphcrServer(
+        config=ServerConfig(sharding=ShardingConfig(shards=shards, parallel=parallel))
+    )
+    categories = ["news-national", "economics", "culture", "cinema", "history"]
+    for index in range(CLIPS):
+        server.content.add_clip(
+            AudioClip(
+                clip_id=f"clip-{index:03d}",
+                title=f"Clip {index}",
+                kind=ContentKind.PODCAST,
+                duration_s=90.0 + 10.0 * (index % 12),
+                category_scores={categories[index % len(categories)]: 1.0},
+                published_s=float(index),
+            )
+        )
+    gateway = Gateway(server)
+    for user_id in user_ids():
+        server.register_user(UserProfile(user_id=user_id, display_name=user_id))
+    return server, gateway
+
+
+# Request execution --------------------------------------------------------
+
+
+def execute_op(
+    gateway: Gateway,
+    payloads: Dict[Tuple[str, int], str],
+    op: Op,
+    etags: Dict[str, str],
+    *,
+    wire_io_s: float = 0.0,
+) -> Tuple[int, str]:
+    """Serve one op at the wire level; returns ``(status, body_json)``.
+
+    ``etags`` accumulates the freshest recommendation validator per user
+    (keys are per-user, so concurrent shard workers never share an entry).
+    """
+    kind, user_id, arg = op
+    if wire_io_s > 0.0:
+        time.sleep(wire_io_s)
+    if kind == "batch":
+        status, body, _headers = gateway.handle_wire(
+            "POST", "/v1/tracking/batch", payloads[(user_id, arg)]
+        )
+        assert status == 202, body
+    elif kind == "feedback":
+        status, body, _headers = gateway.handle_wire(
+            "POST",
+            "/v1/feedback",
+            json.dumps(
+                {
+                    "user_id": user_id,
+                    "content_id": f"clip-{arg:03d}",
+                    "kind": "like",
+                    "timestamp_s": _round_t0(arg) + 600.0,
+                }
+            ),
+        )
+        assert status == 201, body
+    elif kind == "rec":
+        status, body, headers = gateway.handle_wire(
+            "GET",
+            f"/v1/recommendations/{user_id}",
+            query={"now_s": repr(arg)},
+        )
+        assert status == 200, body
+        etags[user_id] = headers["etag"]
+    elif kind == "reval":
+        status, body, _headers = gateway.handle_wire(
+            "GET",
+            f"/v1/recommendations/{user_id}",
+            query={"now_s": repr(arg)},
+            headers={"if-none-match": etags[user_id]},
+        )
+        assert status == 304, body
+    elif kind == "users_list":
+        status, body, _headers = gateway.handle_wire(
+            "GET", "/v1/users", query={"limit": str(LIST_LIMIT)}
+        )
+        assert status == 200, body
+    elif kind == "clips_list":
+        status, body, _headers = gateway.handle_wire(
+            "GET", "/v1/clips", query={"limit": str(LIST_LIMIT)}
+        )
+        assert status == 200, body
+    else:  # pragma: no cover - workload construction error
+        raise AssertionError(f"unknown op kind {kind!r}")
+    return status, body
+
+
+def run_serial(
+    gateway: Gateway, payloads: Dict[Tuple[str, int], str], ops: List[Op]
+) -> Tuple[float, List[float]]:
+    """One thread serves every request in global order."""
+    etags: Dict[str, str] = {}
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for op in ops:
+        begin = time.perf_counter()
+        execute_op(gateway, payloads, op, etags, wire_io_s=WIRE_IO_S)
+        latencies.append(time.perf_counter() - begin)
+    return time.perf_counter() - start, latencies
+
+
+def run_sharded_parallel(
+    server: PphcrServer,
+    gateway: Gateway,
+    payloads: Dict[Tuple[str, int], str],
+    ops: List[Op],
+) -> Tuple[float, List[float]]:
+    """Per-shard workers drain per-shard queues of the same global order.
+
+    Each op routes to the shard owning its user (user-less listing reads
+    round-robin); within a queue the global order is preserved, so every
+    user's requests execute in order on one worker — the single writer of
+    that shard.
+    """
+    queues: List[List[Op]] = [[] for _ in range(server.shard_count)]
+    round_robin = 0
+    for op in ops:
+        if op[1] is not None:
+            queues[server.users.shard_of(op[1])].append(op)
+        else:
+            queues[round_robin % server.shard_count].append(op)
+            round_robin += 1
+    pool = server.workers
+    assert pool is not None, "sharded server must run with parallel workers"
+    etags: Dict[str, str] = {}
+
+    def drain(queue: List[Op]) -> List[float]:
+        latencies: List[float] = []
+        for op in queue:
+            begin = time.perf_counter()
+            execute_op(gateway, payloads, op, etags, wire_io_s=WIRE_IO_S)
+            latencies.append(time.perf_counter() - begin)
+        return latencies
+
+    start = time.perf_counter()
+    futures = [
+        pool.submit(shard, drain, queue)
+        for shard, queue in enumerate(queues)
+        if queue
+    ]
+    wait(futures)
+    elapsed = time.perf_counter() - start
+    latencies = []
+    for future in futures:
+        latencies.extend(future.result())  # re-raises worker errors
+    return elapsed, latencies
+
+
+# Parity -------------------------------------------------------------------
+
+
+def _normalized(body: str) -> Any:
+    """Response body with pagination cursors reduced to their presence.
+
+    Cursor tokens encode per-shard resume positions, so their *strings*
+    are shard-layout specific by design; whether a next page exists — and
+    every other byte of the body — must match exactly.
+    """
+    data = json.loads(body)
+    if isinstance(data, dict) and "next_cursor" in data:
+        data = dict(data)
+        data["next_cursor"] = data["next_cursor"] is not None
+    return data
+
+
+def replay_for_parity(
+    shards: int, payloads: Dict[Tuple[str, int], str], ops: List[Op]
+) -> Tuple[List[Tuple[int, Any]], PphcrServer, Gateway]:
+    """Serve the op stream serially on a fresh server; collect responses."""
+    server, gateway = build_server(shards, parallel=False)
+    etags: Dict[str, str] = {}
+    responses = []
+    for op in ops:
+        status, body = execute_op(gateway, payloads, op, etags)
+        responses.append((status, _normalized(body)))
+    return responses, server, gateway
+
+
+def walk_listing(gateway: Gateway, path: str, items_key: str) -> List[Any]:
+    """Every item of a paginated listing, following each config's cursors."""
+    items: List[Any] = []
+    cursor: Optional[str] = None
+    while True:
+        query = {"limit": str(LIST_LIMIT)}
+        if cursor is not None:
+            query["cursor"] = cursor
+        status, body, _headers = gateway.handle_wire("GET", path, query=query)
+        assert status == 200, body
+        data = json.loads(body)
+        items.extend(data[items_key])
+        cursor = data["next_cursor"]
+        if cursor is None:
+            return items
+
+
+def model_fingerprint(server: PphcrServer, user_id: str) -> Any:
+    snapshot = server.streaming.model_snapshot(user_id, include_open_tail=True)
+    if snapshot is None:
+        return None
+    return (
+        snapshot.trip_count,
+        [
+            (sp.stay_point_id, sp.center, sp.support, sp.total_dwell_s)
+            for sp in snapshot.stay_points
+        ],
+        [
+            (c.cluster_id, c.origin_stay_point, c.destination_stay_point, c.support)
+            for c in snapshot.clusters
+        ],
+    )
+
+
+def assert_end_state_equal(
+    server_a: PphcrServer,
+    gateway_a: Gateway,
+    server_b: PphcrServer,
+    gateway_b: Gateway,
+    *,
+    ignore_event_ids: bool = False,
+) -> None:
+    """Both servers must hold identical per-user state and listings.
+
+    ``ignore_event_ids`` drops feedback ``event_id`` values from the
+    comparison: ids come from one process-global counter, so a concurrent
+    run hands them out in a different *global* order than a serial one
+    even though every user's event sequence is identical.  The serial
+    parity replay compares them strictly.
+    """
+    now_s = _round_t0(ROUNDS)  # a fresh bucket: both sides re-evaluate
+    for user_id in user_ids():
+        assert server_a.users.tracking.fixes_for(user_id) == server_b.users.tracking.fixes_for(
+            user_id
+        ), user_id
+        assert model_fingerprint(server_a, user_id) == model_fingerprint(
+            server_b, user_id
+        ), user_id
+        response_a = gateway_a.request(
+            "GET", f"/v1/recommendations/{user_id}", query={"now_s": repr(now_s)}
+        )
+        response_b = gateway_b.request(
+            "GET", f"/v1/recommendations/{user_id}", query={"now_s": repr(now_s)}
+        )
+        assert response_a.status == response_b.status == 200
+        assert response_a.body == response_b.body, user_id
+    assert walk_listing(gateway_a, "/v1/users", "users") == walk_listing(
+        gateway_b, "/v1/users", "users"
+    )
+    for user_id in user_ids():
+        status_a, body_a, _h = gateway_a.handle_wire(
+            "GET", f"/v1/users/{user_id}/feedback"
+        )
+        status_b, body_b, _h = gateway_b.handle_wire(
+            "GET", f"/v1/users/{user_id}/feedback"
+        )
+        assert status_a == status_b == 200
+        events_a, events_b = _normalized(body_a), _normalized(body_b)
+        if ignore_event_ids:
+            for event in events_a["events"] + events_b["events"]:
+                event.pop("event_id")
+        assert events_a == events_b, user_id
+
+
+def percentile(latencies: List[float], fraction: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def latency_row(label: str, elapsed: float, latencies: List[float]) -> Dict[str, object]:
+    return {
+        "configuration": label,
+        "requests": len(latencies),
+        "elapsed_ms": f"{elapsed * 1000.0:.0f}",
+        "throughput": f"{len(latencies) / elapsed:.0f} req/s",
+        "p50_ms": f"{percentile(latencies, 0.50) * 1000.0:.2f}",
+        "p95_ms": f"{percentile(latencies, 0.95) * 1000.0:.2f}",
+        "p99_ms": f"{percentile(latencies, 0.99) * 1000.0:.2f}",
+    }
+
+
+# The benchmark ------------------------------------------------------------
+
+
+def run_parity_phase(payloads, ops) -> None:
+    """Identical responses from both shard layouts for the same stream."""
+    responses_single, server_single, gateway_single = replay_for_parity(1, payloads, ops)
+    responses_sharded, server_sharded, gateway_sharded = replay_for_parity(
+        SHARDS, payloads, ops
+    )
+    assert responses_single == responses_sharded
+    assert_end_state_equal(
+        server_single, gateway_single, server_sharded, gateway_sharded
+    )
+
+
+def run_throughput_phase(payloads, ops):
+    """Timed serial vs. sharded-parallel runs over the same stream."""
+    server_serial, gateway_serial = build_server(1, parallel=False)
+    serial_elapsed, serial_latencies = run_serial(gateway_serial, payloads, ops)
+
+    server_parallel, gateway_parallel = build_server(SHARDS, parallel=True)
+    parallel_elapsed, parallel_latencies = run_sharded_parallel(
+        server_parallel, gateway_parallel, payloads, ops
+    )
+    assert len(serial_latencies) == len(parallel_latencies) == len(ops)
+    assert_end_state_equal(
+        server_serial,
+        gateway_serial,
+        server_parallel,
+        gateway_parallel,
+        ignore_event_ids=True,
+    )
+    return (
+        (serial_elapsed, serial_latencies),
+        (parallel_elapsed, parallel_latencies),
+    )
+
+
+def test_perf_concurrent_serving(benchmark):
+    payloads, ops = build_workload()
+    run_parity_phase(payloads, ops)
+
+    (serial_elapsed, serial_latencies), (
+        parallel_elapsed,
+        parallel_latencies,
+    ) = benchmark.pedantic(run_throughput_phase, args=(payloads, ops), rounds=1, iterations=1)
+
+    serial_throughput = len(ops) / serial_elapsed
+    parallel_throughput = len(ops) / parallel_elapsed
+    speedup = parallel_throughput / serial_throughput
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"sharded-parallel serving only {speedup:.2f}x single-serial "
+        f"({parallel_throughput:.0f} vs {serial_throughput:.0f} req/s "
+        f"for {len(ops)} mixed requests, {SHARDS} shards)"
+    )
+
+    rows = [
+        latency_row("single-database serial", serial_elapsed, serial_latencies),
+        latency_row(
+            f"sharded ({SHARDS} shards) parallel", parallel_elapsed, parallel_latencies
+        ),
+    ]
+    lines = format_table(rows)
+    lines.append("")
+    lines.append(
+        f"aggregate throughput speedup: {speedup:.2f}x "
+        f"(wire transfer {WIRE_IO_S * 1000.0:.1f}ms/request, "
+        f"{USERS} users x {ROUNDS} rounds, results bit-identical)"
+    )
+    write_result("concurrent_serving", lines)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["serial_req_per_s"] = round(serial_throughput, 1)
+    benchmark.extra_info["parallel_req_per_s"] = round(parallel_throughput, 1)
+    print("\n".join(lines))

@@ -14,7 +14,10 @@ the performance trajectory is tracked from PR to PR:
   tracking ingest vs. per-call posts, ETag revalidation vs. cold
   recommendation reads);
 * ``BENCH_storage_engine.json`` — index-aware query planning (PR 5's
-  declarative indexes + planner vs. the full-scan reference path).
+  declarative indexes + planner vs. the full-scan reference path);
+* ``BENCH_concurrent_serving.json`` — shard-partitioned concurrent
+  serving (PR 6's per-shard parallel workers vs. a single serial
+  database, mixed wire-level ingest + read traffic).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -28,6 +31,14 @@ import time
 
 sys.path.insert(0, os.path.dirname(__file__))  # for the bench_* modules
 
+from bench_concurrent_serving import (  # noqa: E402
+    SHARDS as SERVING_SHARDS,
+    SPEEDUP_FLOOR as SERVING_SPEEDUP_FLOOR,
+    WIRE_IO_S,
+    build_workload as build_serving_workload,
+    run_parity_phase as run_serving_parity,
+    run_throughput_phase as run_serving_throughput,
+)
 from bench_api_gateway import (  # noqa: E402
     DRIVE_FIXES,
     REVALIDATION_ROUNDS,
@@ -335,6 +346,40 @@ def smoke_storage_engine() -> str:
     return path
 
 
+def smoke_concurrent_serving() -> str:
+    payloads, ops = build_serving_workload()
+    # The parity replay is part of the claim: identical responses from both
+    # shard layouts before any timing is believed.
+    run_serving_parity(payloads, ops)
+    (serial_elapsed, serial_latencies), (parallel_elapsed, parallel_latencies) = (
+        run_serving_throughput(payloads, ops)
+    )
+    serial_ops = len(serial_latencies) / serial_elapsed
+    parallel_ops = len(parallel_latencies) / parallel_elapsed
+    payload = {
+        "bench": "concurrent_serving",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "requests": len(ops),
+            "shards": SERVING_SHARDS,
+            "wire_io_ms": round(WIRE_IO_S * 1000.0, 2),
+        },
+        "results": {
+            "serial_requests_per_s": round(serial_ops, 1),
+            "parallel_requests_per_s": round(parallel_ops, 1),
+            "speedup": round(parallel_ops / serial_ops, 2),
+            "speedup_floor": SERVING_SPEEDUP_FLOOR,
+            "parallel_elapsed_ms": round(parallel_elapsed * 1000.0, 2),
+        },
+    }
+    path = _write("BENCH_concurrent_serving.json", payload)
+    print(
+        f"concurrent-serving smoke: sharded-parallel {parallel_ops:,.0f} req/s "
+        f"(single-serial {serial_ops:,.0f} req/s, {parallel_ops / serial_ops:.1f}x)"
+    )
+    return path
+
+
 def main() -> int:
     for path in (
         smoke_geo_scoring(),
@@ -342,6 +387,7 @@ def main() -> int:
         smoke_route_clustering(),
         smoke_api_gateway(),
         smoke_storage_engine(),
+        smoke_concurrent_serving(),
     ):
         print(f"wrote {path}")
     return 0

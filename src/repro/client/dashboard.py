@@ -179,8 +179,12 @@ class ControlDashboard:
 
         One entry per backing database — metadata, profiles, feedbacks,
         tracking — with row counts, write counters and the planner's
-        index-hit/scan split, straight from
-        :meth:`Database.stats() <repro.storage.database.Database.stats>`.
+        index-hit/scan split.  Shard-partitioned databases report their
+        counters *merged* across shards in the same
+        :meth:`Database.stats() <repro.storage.database.Database.stats>`
+        shape, plus a ``"shards"`` list with each shard's own stats so the
+        panel can show per-shard skew (see :meth:`ShardedDatabase.stats
+        <repro.storage.sharding.ShardedDatabase.stats>`).
         """
         databases = [
             self._content.database,
@@ -213,9 +217,11 @@ class OpsReport:
         """Plain-text rendering of the ops panel."""
         lines = ["storage engines:"]
         for stats in self.storage:
+            shards = stats.get("shards")
+            suffix = f" across {len(shards)} shards" if shards else ""
             lines.append(
                 f"  {stats['database']}: {stats['total_rows']} rows, "
-                f"{stats['index_hits']} index hits, {stats['scans']} scans"
+                f"{stats['index_hits']} index hits, {stats['scans']} scans{suffix}"
             )
             for table_name, table_stats in sorted(stats["tables"].items()):
                 lines.append(
@@ -224,6 +230,14 @@ class OpsReport:
                     f"+{table_stats['inserts']}/~{table_stats['updates']}"
                     f"/-{table_stats['deletes']})"
                 )
+            if shards:
+                for shard_stats in shards:
+                    lines.append(
+                        f"    shard {shard_stats['database']}: "
+                        f"{shard_stats['total_rows']} rows, "
+                        f"{shard_stats['index_hits']} index hits, "
+                        f"{shard_stats['scans']} scans"
+                    )
         if self.gateway is not None:
             requests = self.gateway.get("requests", 0)
             lines.append(f"api gateway: {requests} requests")

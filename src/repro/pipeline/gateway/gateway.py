@@ -13,9 +13,12 @@ with a declarative subsystem:
   :mod:`repro.pipeline.gateway.middleware`);
 * **batch ingest** — ``POST /v1/tracking/batch`` carries a buffered drive's
   worth of fixes into :meth:`UserManager.ingest_fixes(skip_stale=True)
-  <repro.users.management.UserManager.ingest_fixes>` in one request, and
-  ``POST /v1/feedback/batch`` records many feedback events with per-item
-  error reporting;
+  <repro.users.management.UserManager.ingest_fixes>` in one request (an
+  envelope ``user_id`` keeps the legacy single-user form; without one,
+  per-item ``user_id`` fields let one request carry many users' drives,
+  grouped by shard and ingested in parallel on the server's worker pool),
+  and ``POST /v1/feedback/batch`` records many feedback events with
+  per-item error reporting;
 * **paginated + cacheable reads** — keyset-cursor pagination on the
   service and clip listings *and* the per-user feedback/tracking history
   reads (``GET /v1/users/{user}/feedback`` / ``.../tracking``, thin
@@ -315,12 +318,13 @@ class Gateway:
                 self._post_tracking_batch,
                 request_schema=RequestSchema(
                     fields=(
-                        Field("user_id", str),
+                        Field("user_id", str, required=False, default=None),
                         Field("fixes", list, validator=_non_empty_list("fixes")),
                     )
                 ),
             )
         )
+        add(Route("GET", "/v1/users", self._list_users))
         add(Route("GET", "/v1/services", self._list_services))
         add(Route("GET", "/v1/clips", self._list_clips))
         add(Route("GET", "/v1/clips/{clip_id}", self._get_clip))
@@ -372,6 +376,30 @@ class Gateway:
             raise ValidationError(f"invalid profile fields: {exc}") from None
         self._server.register_user(profile)
         return ApiResponse(status=201, body={"user_id": user_id})
+
+    def _list_users(self, ctx: RequestContext) -> ApiResponse:
+        """One id-ordered page of registered users.
+
+        Backed by the shard router's merged keyset walk
+        (:meth:`UserManager.users_page
+        <repro.users.management.UserManager.users_page>`): the listing is
+        globally ordered however many shards the deployment runs, and the
+        cursor is an opaque resume handle (its encoding is shard-layout
+        specific — treat it as a token, not a position).
+        """
+        page = self._server.users.users_page(
+            cursor=ctx.request.query.get("cursor"), limit=self._page_limit(ctx)
+        )
+        return ApiResponse(
+            status=200,
+            body={
+                "users": [
+                    {"user_id": profile.user_id, "display_name": profile.display_name}
+                    for profile in page.items
+                ],
+                "next_cursor": page.next_token,
+            },
+        )
 
     def _get_profile(self, ctx: RequestContext) -> ApiResponse:
         user_id = ctx.path_params["user_id"]
@@ -497,18 +525,33 @@ class Gateway:
 
     def _post_tracking_batch(self, ctx: RequestContext) -> ApiResponse:
         user_id = ctx.data["user_id"]
-        self._server.users.profile(user_id)  # 404 before any fix is parsed
+        if user_id is not None:
+            self._server.users.profile(user_id)  # 404 before any fix is parsed
         # Lean per-item validation: the GpsFix/GeoPoint constructors enforce
         # the same preconditions the wire schema would (finite timestamp,
         # coordinate ranges, non-negative speed), so batch items skip the
         # schema machinery and go straight to the model types; any
         # construction failure still maps to a 400 with the item index.
+        #
+        # Without an envelope user each item names its own owner — one
+        # request can carry many users' drives.  All owners are resolved
+        # (404) before a single fix is stored, so a failed request never
+        # half-ingests.
         fixes: List[GpsFix] = []
+        owners: set = set()
         for index, raw in enumerate(ctx.data["fixes"]):
+            owner = user_id
+            if owner is None:
+                owner = raw.get("user_id") if isinstance(raw, dict) else None
+                if not isinstance(owner, str):
+                    raise ValidationError(
+                        f"fixes[{index}]: user_id is required when the "
+                        "request has no envelope user_id"
+                    )
             try:
                 fixes.append(
                     GpsFix(
-                        user_id,
+                        owner,
                         raw["timestamp_s"],
                         GeoPoint(raw["lat"], raw["lon"]),
                         speed_mps=raw.get("speed_mps", 0.0),
@@ -517,15 +560,21 @@ class Gateway:
                 )
             except (ReproError, KeyError, TypeError, ValueError, AttributeError) as exc:
                 raise ValidationError(f"fixes[{index}]: invalid fix ({exc})") from None
-        accepted = self._server.users.ingest_fixes(fixes, skip_stale=True)
-        return ApiResponse(
-            status=202,
-            body={
-                "submitted": len(fixes),
-                "accepted": accepted,
-                "skipped_stale": len(fixes) - accepted,
-            },
+            owners.add(owner)
+        if user_id is None:
+            for owner in sorted(owners):
+                self._server.users.profile(owner)  # 404 before any ingest
+        accepted = self._server.users.ingest_fixes(
+            fixes, skip_stale=True, pool=self._server.workers
         )
+        body = {
+            "submitted": len(fixes),
+            "accepted": accepted,
+            "skipped_stale": len(fixes) - accepted,
+        }
+        if user_id is None:
+            body["users"] = len(owners)
+        return ApiResponse(status=202, body=body)
 
     # Content --------------------------------------------------------------
 

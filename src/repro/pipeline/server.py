@@ -36,9 +36,11 @@ from repro.roadnet.generator import City
 from repro.roadnet.intersections import distraction_zones_along, route_complexity
 from repro.roadnet.routing import RoutePlanner
 from repro.spatialdb import SpatialQueryEngine
+from repro.storage.sharding import ShardingConfig, ShardWorkerPool
 from repro.streaming.compactor import CompactionConfig, ShardedCompactor
-from repro.streaming.engine import StreamingConfig, StreamingMobilityEngine
+from repro.streaming.engine import StreamingConfig
 from repro.streaming.incremental import IncrementalConfig
+from repro.streaming.sharded import ShardedStreamingEngine
 from repro.textclass import NaiveBayesClassifier
 from repro.trajectory import (
     DestinationPredictor,
@@ -66,6 +68,12 @@ class ServerConfig:
     min_trips_for_model: int = 2
     streaming: StreamingConfig = StreamingConfig()
     compaction: CompactionConfig = CompactionConfig()
+    #: Shard layout of all per-user state (tracking, profiles, feedback,
+    #: streaming models).  ``shards`` must stay constant across snapshots
+    #: taken per shard (whole-server snapshots restore into any layout);
+    #: ``parallel`` enables the per-shard worker pool used by batch ingest
+    #: and full-pass compaction.
+    sharding: ShardingConfig = ShardingConfig()
 
 
 @dataclass
@@ -100,7 +108,7 @@ class PphcrServer:
         self._config = config
         self._bus = MessageBus()
         self._content = ContentRepository()
-        self._users = UserManager(content=self._content)
+        self._users = UserManager(content=self._content, shards=config.sharding.shards)
         self._editorial = EditorialDesk()
         self._city = city
         self._planner = RoutePlanner(city.network) if city is not None else None
@@ -127,13 +135,15 @@ class PphcrServer:
         # online sessionizer/incremental miner so compaction never has to
         # re-read raw histories.  The stay-point radius follows the server's
         # batch setting so both paths mine with identical parameters.
-        self._streaming: Optional[StreamingMobilityEngine] = None
+        self._streaming: Optional[ShardedStreamingEngine] = None
         if config.streaming.enabled:
             incremental = replace(
                 config.streaming.incremental, eps_m=config.stay_point_eps_m
             )
-            self._streaming = StreamingMobilityEngine(
-                replace(config.streaming, incremental=incremental), bus=self._bus
+            self._streaming = ShardedStreamingEngine(
+                replace(config.streaming, incremental=incremental),
+                shards=config.sharding.shards,
+                bus=self._bus,
             )
             self._users.add_fix_listener(
                 self._streaming.observe_fix, batch=self._streaming.observe_fixes
@@ -147,6 +157,10 @@ class PphcrServer:
         # walk the compactor's shards so a deployment covers the whole
         # population without ever running a full pass.
         self._maintenance_shard = 0
+        # Per-shard worker pool (one single-thread executor per shard, built
+        # lazily): batch ingest and full-pass compaction dispatch their
+        # per-shard groups here when ``sharding.parallel`` is on.
+        self._workers: Optional[ShardWorkerPool] = None
 
     # Component access -----------------------------------------------------
 
@@ -191,14 +205,33 @@ class PphcrServer:
         return self._planner
 
     @property
-    def streaming(self) -> Optional[StreamingMobilityEngine]:
-        """The streaming mobility engine (None when disabled)."""
+    def streaming(self) -> Optional[ShardedStreamingEngine]:
+        """The streaming mobility engine façade (None when disabled)."""
         return self._streaming
 
     @property
     def compactor(self) -> ShardedCompactor:
         """The sharded compaction scheduler."""
         return self._compactor
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards all per-user state is partitioned into."""
+        return self._config.sharding.shards
+
+    @property
+    def workers(self) -> Optional[ShardWorkerPool]:
+        """The per-shard worker pool (None when parallelism is off).
+
+        One single-thread executor per shard, so everything dispatched
+        through it inherits the single-writer-per-shard invariant.  Built
+        lazily on first use; a serial deployment never starts a thread.
+        """
+        if not self._config.sharding.parallel or self._config.sharding.shards == 1:
+            return None
+        if self._workers is None:
+            self._workers = ShardWorkerPool(self._config.sharding.shards)
+        return self._workers
 
     # Classifier management --------------------------------------------------
 
@@ -403,6 +436,7 @@ class PphcrServer:
         keep_window_s: Optional[float] = None,
         shard: Optional[int] = None,
         budget: Optional[int] = None,
+        parallel: bool = False,
     ) -> Dict[str, int]:
         """Run the periodic tracking-data compaction described in the paper.
 
@@ -415,9 +449,18 @@ class PphcrServer:
         (default: the configured ``CompactionConfig.keep_window_s``, relative
         to their latest fix) pruned.  Returns the number of fixes removed
         per user.
+
+        With ``parallel=True`` (and no ``shard``) the pass covers every
+        shard at once, one worker per dirty shard on the server's pool —
+        the full-pass form a deployment runs when it wants the whole
+        population compacted in one tick instead of round-robin.
         """
         report = self._compactor.run_pass(
-            keep_window_s=keep_window_s, shard=shard, budget=budget
+            keep_window_s=keep_window_s,
+            shard=shard,
+            budget=budget,
+            parallel=parallel,
+            pool=self.workers,
         )
         self._bus.publish(
             "tracking.compacted",
@@ -442,6 +485,7 @@ class PphcrServer:
         *,
         keep_window_s: Optional[float] = None,
         budget: Optional[int] = None,
+        parallel: bool = False,
     ) -> Dict[str, int]:
         """Run one periodic maintenance step: compact the next shard.
 
@@ -451,7 +495,22 @@ class PphcrServer:
         only pays for one shard's dirty users — the ROADMAP's "one shard
         per worker tick" lever.  Returns the tick summary (shard compacted,
         users pruned, fixes removed).
+
+        With ``parallel=True`` one tick compacts *all* shards at once on
+        the server's worker pool (shard ``-1`` in the summary); the
+        round-robin cursor does not advance — the tick already covered
+        every shard.
         """
+        if parallel:
+            removed = self.compact_tracking_data(
+                keep_window_s=keep_window_s, budget=budget, parallel=True
+            )
+            return {
+                "shard": -1,
+                "next_shard": self._maintenance_shard,
+                "users_pruned": len(removed),
+                "fixes_removed": sum(removed.values()),
+            }
         shard = self._maintenance_shard
         self._maintenance_shard = (shard + 1) % self._config.compaction.shards
         removed = self.compact_tracking_data(
@@ -534,6 +593,62 @@ class PphcrServer:
                 "clips": self._content.clip_count(),
                 "fixes": self._users.tracking.fix_count(),
             },
+        )
+
+    def snapshot_shard(self, shard: int) -> Dict:
+        """One shard's slice of all per-user state — the migration unit.
+
+        Composes the user manager's shard slice (profiles, preferences,
+        feedback, tracking) with the owning streaming engine's live state.
+        Shared state (content catalogue, editorial queue) is *not*
+        included: it replicates to every node, only per-user state moves.
+        """
+        if not 0 <= shard < self.shard_count:
+            raise PipelineError(
+                f"shard must be in [0, {self.shard_count}), got {shard}"
+            )
+        return {
+            "version": 1,
+            "shard": shard,
+            "users": self._users.snapshot_shard(shard),
+            "streaming": (
+                self._streaming.snapshot_shard(shard)
+                if self._streaming is not None
+                else None
+            ),
+        }
+
+    def restore_shard(self, shard: int, payload: Dict) -> None:
+        """Replace one shard's per-user state from a :meth:`snapshot_shard`.
+
+        The receiving server must use the same shard count as the sender
+        (every user in the payload must route to ``shard`` here).  Derived
+        caches are cleared so the first reads after the move rebuild from
+        the restored state.
+        """
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise PipelineError("unsupported shard snapshot payload")
+        if not 0 <= shard < self.shard_count:
+            raise PipelineError(
+                f"shard must be in [0, {self.shard_count}), got {shard}"
+            )
+        self._users.restore_shard(shard, payload["users"])
+        streaming_state = payload.get("streaming")
+        if self._streaming is not None:
+            if streaming_state is None:
+                streaming_state = {
+                    "version": 1,
+                    "fixes_observed": 0,
+                    "observed_per_user": {},
+                    "sessionizer": {"users": {}},
+                    "model": {"users": {}},
+                }
+            self._streaming.restore_shard(shard, streaming_state)
+        self._mobility_models = {}
+        self._streaming_served = {}
+        self._bus.publish(
+            "server.shard_restored",
+            {"shard": shard, "fixes": self._users.tracking.fix_count()},
         )
 
     # Context building -------------------------------------------------------------

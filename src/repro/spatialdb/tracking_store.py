@@ -7,7 +7,15 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import NotFoundError, ValidationError
 from repro.geo import BoundingBox, GeoPoint
-from repro.storage import Column, Database, IndexSpec, Page, Schema, decode_token, encode_token
+from repro.storage import (
+    Column,
+    IndexSpec,
+    Page,
+    Schema,
+    ShardedDatabase,
+    decode_token,
+    encode_token,
+)
 from repro.util.validation import require_finite, require_non_empty
 
 #: Version stamp of :meth:`TrackingStore.snapshot` payloads.
@@ -33,6 +41,27 @@ class GpsFix:
             raise ValidationError(f"accuracy_m must be > 0, got {self.accuracy_m}")
 
 
+class _TrackingShard:
+    """One shard's partition of the per-user tracking state.
+
+    Everything a user's ingest touches lives in exactly one of these, so a
+    per-shard worker is the state's single writer (see
+    ``docs/ARCHITECTURE.md``, "Sharding & parallel workers").
+    """
+
+    __slots__ = ("fixes", "first_seq", "added", "pending", "table")
+
+    def __init__(self, table) -> None:
+        self.fixes: Dict[str, List[GpsFix]] = {}
+        self.first_seq: Dict[str, int] = {}
+        self.added: Dict[str, int] = {}
+        #: Latest positions not yet reflected in the ``latest`` table (see
+        #: class docstring of :class:`TrackingStore`: ingest defers the
+        #: upsert, reads flush).
+        self.pending: Dict[str, GpsFix] = {}
+        self.table = table
+
+
 class TrackingStore:
     """Per-user time-ordered GPS fix storage over the tracking DB.
 
@@ -40,9 +69,16 @@ class TrackingStore:
     ordered); everything derived is declarative storage-engine state: the
     ``latest`` table carries one row per user with their most recent
     position and a **spatial** :class:`~repro.storage.spec.IndexSpec` over
-    it, which is what "who is near location X right now" queries hit.  No
-    hand-rolled sidecar index remains — the store writes rows, the engine
-    maintains the grid.
+    it, which is what "who is near location X right now" queries hit.
+
+    With ``shards > 1`` the store partitions by crc32 of the user id
+    behind a :class:`~repro.storage.sharding.ShardedDatabase`: each shard
+    owns its users' histories, counters and ``latest`` table, so one
+    worker per shard can ingest in parallel without any two threads ever
+    writing the same shard (the single-writer-per-shard invariant).
+    Spatial and listing reads fan out and merge; per-user reads route to
+    the owning shard.  ``shards == 1`` (the default) is exactly the old
+    single-database behaviour.
 
     Ingest is write-heavy (every fix moves its user) while spatial reads
     are rare, so the latest-row upsert is deferred: ``add_fix`` records
@@ -50,74 +86,85 @@ class TrackingStore:
     moves into the table before answering.
     """
 
-    def __init__(self, *, index_cell_size_m: float = 1000.0) -> None:
-        self._fixes: Dict[str, List[GpsFix]] = {}
-        #: Sequence number of each user's *oldest retained* fix.  Fixes
-        #: are numbered consecutively as they are added (1, 2, ...) and
-        #: pruning only drops a prefix, so ``history[i]`` always has
-        #: sequence ``first_seq + i`` — one int per user is the whole
-        #: monotonic keyset the history cursors resume on.
-        self._first_seq: Dict[str, int] = {}
-        self._db = Database("tracking")
-        self._latest_table = self._db.create_table(
-            Schema(
-                name="latest",
-                primary_key="user_id",
-                columns=[
-                    Column("user_id", str),
-                    Column("lat", float),
-                    Column("lon", float),
-                    Column("timestamp_s", float),
-                ],
-                indexes=[
-                    IndexSpec(
-                        "position",
-                        kind="spatial",
-                        columns=("lat", "lon"),
-                        cell_size_m=index_cell_size_m,
-                    )
-                ],
+    def __init__(self, *, index_cell_size_m: float = 1000.0, shards: int = 1) -> None:
+        def create_tables(db) -> None:
+            db.create_table(
+                Schema(
+                    name="latest",
+                    primary_key="user_id",
+                    columns=[
+                        Column("user_id", str),
+                        Column("lat", float),
+                        Column("lon", float),
+                        Column("timestamp_s", float),
+                    ],
+                    indexes=[
+                        IndexSpec(
+                            "position",
+                            kind="spatial",
+                            columns=("lat", "lon"),
+                            cell_size_m=index_cell_size_m,
+                        )
+                    ],
+                )
             )
+
+        self._db = ShardedDatabase(
+            "tracking", shards=shards, shard_key="user_id", create_tables=create_tables
         )
-        self._added_counts: Dict[str, int] = {}
-        #: Latest positions not yet reflected in the ``latest`` table (see
-        #: class docstring: ingest defers the upsert, reads flush).
-        self._pending_latest: Dict[str, GpsFix] = {}
+        self._shards = [
+            _TrackingShard(self._db.shard(index).table("latest"))
+            for index in range(shards)
+        ]
 
     @property
-    def database(self) -> Database:
-        """The tracking DB (exposed for dashboards and stats)."""
+    def database(self) -> ShardedDatabase:
+        """The tracking DB router (exposed for dashboards and stats)."""
         return self._db
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards the store is partitioned into."""
+        return len(self._shards)
+
+    def shard_of(self, user_id: str) -> int:
+        """The shard owning a user (stable crc32 assignment)."""
+        return self._db.shard_of(user_id)
+
+    def _shard(self, user_id: str) -> _TrackingShard:
+        return self._shards[self._db.shard_of(user_id)]
 
     def add_fix(self, fix: GpsFix) -> None:
         """Append a fix for a user (must be time-ordered per user)."""
-        history = self._fixes.setdefault(fix.user_id, [])
+        shard = self._shard(fix.user_id)
+        history = shard.fixes.setdefault(fix.user_id, [])
         if history and fix.timestamp_s < history[-1].timestamp_s:
             raise ValidationError(
                 "fixes must be appended in non-decreasing timestamp order: "
                 f"{fix.timestamp_s} < {history[-1].timestamp_s} for user {fix.user_id!r}"
             )
         history.append(fix)
-        count = self._added_counts.get(fix.user_id, 0) + 1
-        self._added_counts[fix.user_id] = count
+        count = shard.added.get(fix.user_id, 0) + 1
+        shard.added[fix.user_id] = count
         if len(history) == 1:
-            self._first_seq[fix.user_id] = count
-        self._pending_latest[fix.user_id] = fix
+            shard.first_seq[fix.user_id] = count
+        shard.pending[fix.user_id] = fix
 
     def _flush_latest_index(self) -> None:
-        """Fold pending latest-position moves into the ``latest`` table."""
-        if self._pending_latest:
-            upsert = self._latest_table.upsert
-            for user_id, fix in self._pending_latest.items():
-                upsert(
-                    {
-                        "user_id": user_id,
-                        "lat": fix.position.lat,
-                        "lon": fix.position.lon,
-                        "timestamp_s": fix.timestamp_s,
-                    }
-                )
-            self._pending_latest.clear()
+        """Fold pending latest-position moves into every ``latest`` table."""
+        for shard in self._shards:
+            if shard.pending:
+                upsert = shard.table.upsert
+                for user_id, fix in shard.pending.items():
+                    upsert(
+                        {
+                            "user_id": user_id,
+                            "lat": fix.position.lat,
+                            "lon": fix.position.lon,
+                            "timestamp_s": fix.timestamp_s,
+                        }
+                    )
+                shard.pending.clear()
 
     def add_fixes(self, fixes: Iterable[GpsFix]) -> int:
         """Append many fixes; returns the number added."""
@@ -129,7 +176,16 @@ class TrackingStore:
 
     def user_ids(self) -> List[str]:
         """Users that have at least one fix."""
-        return sorted(self._fixes.keys())
+        if len(self._shards) == 1:
+            return sorted(self._shards[0].fixes.keys())
+        merged: List[str] = []
+        for shard in self._shards:
+            merged.extend(shard.fixes.keys())
+        return sorted(merged)
+
+    def user_ids_for_shard(self, shard: int) -> List[str]:
+        """One shard's tracked users (lets per-shard passes skip the rest)."""
+        return sorted(self._shards[shard].fixes.keys())
 
     def fixes_added(self, user_id: str) -> int:
         """Fixes *ever* added for a user (monotonic; unaffected by pruning).
@@ -138,13 +194,15 @@ class TrackingStore:
         compares across passes: a user whose counter has not moved has no
         new data and can be skipped without re-mining anything.
         """
-        return self._added_counts.get(user_id, 0)
+        return self._shard(user_id).added.get(user_id, 0)
 
     def fix_count(self, user_id: Optional[str] = None) -> int:
         """Number of stored fixes for one user or for all users."""
         if user_id is not None:
-            return len(self._fixes.get(user_id, []))
-        return sum(len(history) for history in self._fixes.values())
+            return len(self._shard(user_id).fixes.get(user_id, []))
+        return sum(
+            len(history) for shard in self._shards for history in shard.fixes.values()
+        )
 
     def fixes_for(
         self,
@@ -154,7 +212,7 @@ class TrackingStore:
         end_s: Optional[float] = None,
     ) -> List[GpsFix]:
         """Fixes for a user, optionally restricted to ``[start_s, end_s)``."""
-        history = self._fixes.get(user_id)
+        history = self._shard(user_id).fixes.get(user_id)
         if history is None:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         result = history
@@ -173,14 +231,17 @@ class TrackingStore:
         fix served, so walks are stable under interleaved ingest (new
         fixes only append past the cursor) and under pruning (sequences
         are never reused; a pruned-away cursor simply resumes at the
-        oldest retained fix after it).
+        oldest retained fix after it).  Per-user pages live entirely on
+        the owning shard, so the token format is identical across shard
+        layouts.
         """
         if limit < 1:
             raise ValidationError(f"limit must be >= 1, got {limit}")
-        history = self._fixes.get(user_id)
+        shard = self._shard(user_id)
+        history = shard.fixes.get(user_id)
         if history is None:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
-        first_seq = self._first_seq[user_id]
+        first_seq = shard.first_seq[user_id]
         start = 0
         if cursor is not None:
             parts = decode_token(cursor, expected_len=1)
@@ -197,14 +258,14 @@ class TrackingStore:
 
     def latest_fix(self, user_id: str) -> GpsFix:
         """The most recent fix for a user."""
-        history = self._fixes.get(user_id)
+        history = self._shard(user_id).fixes.get(user_id)
         if not history:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         return history[-1]
 
     def earliest_fix(self, user_id: str) -> GpsFix:
         """The oldest retained fix for a user."""
-        history = self._fixes.get(user_id)
+        history = self._shard(user_id).fixes.get(user_id)
         if not history:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         return history[0]
@@ -214,18 +275,27 @@ class TrackingStore:
         return self.latest_fix(user_id).position
 
     def users_within(self, center: GeoPoint, radius_m: float) -> List[str]:
-        """Users whose latest position is within ``radius_m`` of ``center``."""
+        """Users whose latest position is within ``radius_m`` of ``center``.
+
+        Nearest first.  Each shard's spatial index answers independently
+        and the per-shard results (already nearest-first) merge with a
+        stable sort on distance, so a single-shard store returns exactly
+        the unsharded order.
+        """
         self._flush_latest_index()
-        return [
-            row["user_id"]
-            for row, _distance in self._latest_table.find_within("position", center, radius_m)
-        ]
+        hits: List[tuple] = []
+        for shard in self._shards:
+            hits.extend(shard.table.find_within("position", center, radius_m))
+        hits.sort(key=lambda pair: pair[1])
+        return [row["user_id"] for row, _distance in hits]
 
     def users_in_bbox(self, box: BoundingBox) -> List[str]:
         """Users whose latest position falls inside the box."""
         self._flush_latest_index()
         return sorted(
-            row["user_id"] for row in self._latest_table.find_in_bbox("position", box)
+            row["user_id"]
+            for shard in self._shards
+            for row in shard.table.find_in_bbox("position", box)
         )
 
     def prune_before(self, user_id: str, cutoff_s: float) -> int:
@@ -237,7 +307,8 @@ class TrackingStore:
         than the cutoff the most recent one is kept so the user stays
         queryable.
         """
-        history = self._fixes.get(user_id)
+        shard = self._shard(user_id)
+        history = shard.fixes.get(user_id)
         if history is None:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
         keep_from = len(history)
@@ -249,69 +320,127 @@ class TrackingStore:
             keep_from = len(history) - 1
         removed = keep_from
         if removed:
-            self._fixes[user_id] = history[keep_from:]
-            self._first_seq[user_id] += removed
+            shard.fixes[user_id] = history[keep_from:]
+            shard.first_seq[user_id] += removed
         return removed
 
     def clear_user(self, user_id: str) -> None:
         """Remove all fixes for a user."""
-        if user_id not in self._fixes:
+        shard = self._shard(user_id)
+        if user_id not in shard.fixes:
             raise NotFoundError(f"no tracking data for user {user_id!r}")
-        del self._fixes[user_id]
-        del self._first_seq[user_id]
-        self._pending_latest.pop(user_id, None)
-        if user_id in self._latest_table:
-            self._latest_table.delete(user_id)
+        del shard.fixes[user_id]
+        del shard.first_seq[user_id]
+        shard.pending.pop(user_id, None)
+        if user_id in shard.table:
+            shard.table.delete(user_id)
 
     # Snapshot / restore ---------------------------------------------------
 
+    @staticmethod
+    def _user_payload(shard: _TrackingShard, user_id: str, history: List[GpsFix]) -> Dict:
+        return {
+            "added": shard.added.get(user_id, 0),
+            "first_seq": shard.first_seq[user_id],
+            "fixes": [
+                [
+                    fix.timestamp_s,
+                    fix.position.lat,
+                    fix.position.lon,
+                    fix.speed_mps,
+                    fix.accuracy_m,
+                ]
+                for fix in history
+            ],
+        }
+
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-serializable payload of every user's history and counters."""
+        """A JSON-serializable payload of every user's history and counters.
+
+        The flat per-user map is shard-layout independent: :meth:`restore`
+        routes each user by the crc32 shard key, so a snapshot captured
+        under one shard count loads into any other — the rebalancing path.
+        """
+        users: Dict[str, Any] = {}
+        for shard in self._shards:
+            for user_id, history in shard.fixes.items():
+                users[user_id] = self._user_payload(shard, user_id, history)
+        return {"version": SNAPSHOT_VERSION, "users": users}
+
+    def snapshot_shard(self, shard: int) -> Dict[str, Any]:
+        """One shard's users in the same payload format as :meth:`snapshot`."""
+        state = self._shards[shard]
         return {
             "version": SNAPSHOT_VERSION,
             "users": {
-                user_id: {
-                    "added": self._added_counts.get(user_id, 0),
-                    "first_seq": self._first_seq[user_id],
-                    "fixes": [
-                        [
-                            fix.timestamp_s,
-                            fix.position.lat,
-                            fix.position.lon,
-                            fix.speed_mps,
-                            fix.accuracy_m,
-                        ]
-                        for fix in history
-                    ],
-                }
-                for user_id, history in self._fixes.items()
+                user_id: self._user_payload(state, user_id, history)
+                for user_id, history in state.fixes.items()
             },
         }
 
-    def restore(self, payload: Dict[str, Any]) -> None:
-        """Reload a :meth:`snapshot` payload, replacing all tracking state."""
+    @staticmethod
+    def _history_from(user_id: str, state: Dict[str, Any]) -> List[GpsFix]:
+        return [
+            GpsFix(
+                user_id,
+                timestamp_s,
+                GeoPoint(lat, lon),
+                speed_mps=speed_mps,
+                accuracy_m=accuracy_m,
+            )
+            for timestamp_s, lat, lon, speed_mps, accuracy_m in state["fixes"]
+        ]
+
+    def _load_user(self, shard: _TrackingShard, user_id: str, state: Dict[str, Any]) -> None:
+        history = self._history_from(user_id, state)
+        shard.fixes[user_id] = history
+        shard.first_seq[user_id] = state["first_seq"]
+        shard.added[user_id] = state["added"]
+        if history:
+            shard.pending[user_id] = history[-1]
+
+    @staticmethod
+    def _check_payload(payload: Dict[str, Any]) -> None:
         if not isinstance(payload, dict) or payload.get("version") != SNAPSHOT_VERSION:
             raise ValidationError(
                 f"unsupported tracking snapshot payload (want version {SNAPSHOT_VERSION})"
             )
-        self._fixes = {}
-        self._first_seq = {}
-        self._added_counts = {}
-        self._pending_latest = {}
-        self._latest_table.restore([])
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Reload a :meth:`snapshot` payload, replacing all tracking state.
+
+        Users are re-routed to their shard under *this* store's layout, so
+        restoring into a different shard count rebalances the data.
+        """
+        self._check_payload(payload)
+        for shard in self._shards:
+            shard.fixes = {}
+            shard.first_seq = {}
+            shard.added = {}
+            shard.pending = {}
+            shard.table.restore([])
         for user_id, state in payload.get("users", {}).items():
-            history = [
-                GpsFix(
-                    user_id,
-                    timestamp_s,
-                    GeoPoint(lat, lon),
-                    speed_mps=speed_mps,
-                    accuracy_m=accuracy_m,
+            self._load_user(self._shard(user_id), user_id, state)
+
+    def restore_shard(self, shard: int, payload: Dict[str, Any]) -> None:
+        """Replace one shard's state without touching the other shards.
+
+        Every user in the payload must route to ``shard`` under this
+        store's layout (moving users between layouts goes through the
+        re-routing :meth:`restore`).
+        """
+        self._check_payload(payload)
+        users = payload.get("users", {})
+        for user_id in users:
+            if self.shard_of(user_id) != shard:
+                raise ValidationError(
+                    f"user {user_id!r} does not belong to tracking shard {shard}"
                 )
-                for timestamp_s, lat, lon, speed_mps, accuracy_m in state["fixes"]
-            ]
-            self._fixes[user_id] = history
-            self._first_seq[user_id] = state["first_seq"]
-            self._added_counts[user_id] = state["added"]
-            if history:
-                self._pending_latest[user_id] = history[-1]
+        state = self._shards[shard]
+        state.fixes = {}
+        state.first_seq = {}
+        state.added = {}
+        state.pending = {}
+        state.table.restore([])
+        for user_id, user_state in users.items():
+            self._load_user(state, user_id, user_state)

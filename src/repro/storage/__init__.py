@@ -20,9 +20,15 @@ reproduction:
 """
 
 from repro.storage.cursor import Page, decode_token, encode_token
-from repro.storage.database import Database
+from repro.storage.database import Database, payload_from_bytes, payload_to_bytes
 from repro.storage.index import HashIndex, SecondaryIndex, SortedIndex, SpatialIndex
 from repro.storage.query import Query
+from repro.storage.sharding import (
+    ShardedDatabase,
+    ShardingConfig,
+    ShardWorkerPool,
+    shard_of,
+)
 from repro.storage.spec import IndexSpec
 from repro.storage.table import Change, Column, Schema, Table
 
@@ -36,9 +42,15 @@ __all__ = [
     "Query",
     "Schema",
     "SecondaryIndex",
+    "ShardedDatabase",
+    "ShardingConfig",
+    "ShardWorkerPool",
     "SortedIndex",
     "SpatialIndex",
     "Table",
     "decode_token",
     "encode_token",
+    "payload_from_bytes",
+    "payload_to_bytes",
+    "shard_of",
 ]

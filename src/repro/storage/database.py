@@ -21,6 +21,8 @@ persistence boundary:
 
 from __future__ import annotations
 
+import gzip
+import json
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List
 
@@ -30,6 +32,44 @@ from repro.storage.table import ChangeListener, Schema, Table
 
 #: Version stamp written into (and checked against) snapshot payloads.
 SNAPSHOT_VERSION = 1
+
+#: The gzip magic bytes — how :func:`payload_from_bytes` auto-detects a
+#: compressed payload without a flag day on the wire format.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def payload_to_bytes(payload: Dict[str, Any], *, compress: bool = False) -> bytes:
+    """Serialize a snapshot payload (optionally gzip-compressed).
+
+    Compression is deterministic (``mtime=0``), so the same payload always
+    yields the same bytes — rebalancing tooling can compare shard archives
+    byte-for-byte.  ``gzip.decompress`` of the compressed form equals the
+    uncompressed form exactly.
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError("snapshot payload must be a JSON object")
+    raw = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if compress:
+        return gzip.compress(raw, mtime=0)
+    return raw
+
+
+def payload_from_bytes(raw: bytes) -> Dict[str, Any]:
+    """Deserialize a :func:`payload_to_bytes` blob (compression auto-detected)."""
+    if not isinstance(raw, (bytes, bytearray)):
+        raise ValidationError("snapshot bytes must be a bytes object")
+    if raw[:2] == _GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError) as exc:
+            raise ValidationError(f"corrupt gzip snapshot payload: {exc}") from exc
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"malformed snapshot payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError("snapshot payload must be a JSON object")
+    return payload
 
 
 class Database:
@@ -161,6 +201,20 @@ class Database:
             # minted before the snapshot was taken.
             table.bump_version_to(entry.get("table_version", 0))
         return loaded
+
+    def snapshot_bytes(self, *, compress: bool = False) -> bytes:
+        """The snapshot serialized to bytes, optionally gzip-compressed.
+
+        The per-shard rebalancing path ships these blobs between
+        processes; compression keeps them small and the round trip is
+        exact: decompressing the compressed form yields byte-identical
+        output to ``snapshot_bytes(compress=False)``.
+        """
+        return payload_to_bytes(self.snapshot(), compress=compress)
+
+    def restore_bytes(self, raw: bytes) -> Dict[str, int]:
+        """Load a :meth:`snapshot_bytes` blob (compression auto-detected)."""
+        return self.restore(payload_from_bytes(raw))
 
     def stats(self) -> Dict[str, Any]:
         """Aggregate per-table statistics (rows, writes, planner counters)."""

@@ -17,6 +17,7 @@ invariants each class maintains.
 
 from repro.streaming.compactor import CompactionConfig, CompactionReport, ShardedCompactor
 from repro.streaming.engine import StreamingConfig, StreamingMobilityEngine
+from repro.streaming.sharded import ShardedStreamingEngine
 from repro.streaming.incremental import (
     IncrementalConfig,
     IncrementalMobilityModel,
@@ -32,6 +33,7 @@ __all__ = [
     "MobilitySnapshot",
     "SessionizerConfig",
     "ShardedCompactor",
+    "ShardedStreamingEngine",
     "StreamingConfig",
     "StreamingMobilityEngine",
     "TripSessionizer",

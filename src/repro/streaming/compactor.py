@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import PipelineError
 from repro.spatialdb.tracking_store import TrackingStore
+from repro.storage.sharding import ShardWorkerPool
 
 
 @dataclass(frozen=True)
@@ -122,12 +123,29 @@ class ShardedCompactor:
     def dirty_users(self, *, shard: Optional[int] = None) -> List[str]:
         """Dirty users, optionally restricted to one shard."""
         users = []
-        for user_id in self._tracking.user_ids():
-            if shard is not None and self.shard_of(user_id) != shard:
-                continue
+        for user_id in self._users_in(shard):
             if self.is_dirty(user_id):
                 users.append(user_id)
         return users
+
+    def _users_in(self, shard: Optional[int]) -> List[str]:
+        """The tracked users a pass over ``shard`` must consider, sorted.
+
+        When the tracking store is partitioned into the same number of
+        shards as the compactor (the server wires them identically), a
+        single-shard pass reads the owning partition directly instead of
+        filtering the whole population — the per-shard walk is O(shard),
+        not O(users).
+        """
+        if shard is None:
+            return self._tracking.user_ids()
+        if self._tracking.shard_count == self._config.shards:
+            return self._tracking.user_ids_for_shard(shard)
+        return [
+            user_id
+            for user_id in self._tracking.user_ids()
+            if self.shard_of(user_id) == shard
+        ]
 
     def run_pass(
         self,
@@ -135,12 +153,25 @@ class ShardedCompactor:
         keep_window_s: Optional[float] = None,
         shard: Optional[int] = None,
         budget: Optional[int] = None,
+        parallel: bool = False,
+        pool: Optional[ShardWorkerPool] = None,
     ) -> CompactionReport:
         """Visit dirty users (in one shard, up to a budget) and compact them.
 
         Each visited user gets a refreshed mobility model (via the injected
         callback) and their raw fixes older than ``keep_window_s`` relative
         to their latest fix pruned.  Clean users are counted, not touched.
+
+        With ``parallel=True`` (and no ``shard`` restriction) the pass
+        covers *all* shards at once: each dirty shard runs as its own
+        single-shard pass on a worker thread (``pool``'s, or a transient
+        pool), while shards with no dirty users run inline on the caller —
+        they only count unchanged users and apply window pruning, which is
+        too cheap to ship to a worker.  Shard passes touch disjoint users,
+        models and ``_seen_counts`` keys, so each worker is the single
+        writer of its shard; the merged report is the same accounting a
+        serial full pass produces (``budget`` then applies per shard, and
+        ``visited_users`` orders by shard rather than globally).
         """
         window = self._config.keep_window_s if keep_window_s is None else keep_window_s
         if window <= 0:
@@ -152,11 +183,11 @@ class ShardedCompactor:
         cap = self._config.max_users_per_pass if budget is None else budget
         if cap is not None and cap < 1:
             raise PipelineError("budget must be >= 1 when set")
+        if parallel and shard is None and self._config.shards > 1:
+            return self._run_parallel(window, cap, pool)
 
         report = CompactionReport(shard=shard)
-        for user_id in self._tracking.user_ids():
-            if shard is not None and self.shard_of(user_id) != shard:
-                continue
+        for user_id in self._users_in(shard):
             if not self.is_dirty(user_id):
                 report.unchanged_users += 1
                 # A clean user needs no re-mining, but a *tightened* window
@@ -181,3 +212,44 @@ class ShardedCompactor:
                 user_id, latest - window
             )
         return report
+
+    def _run_parallel(
+        self, window: float, cap: Optional[int], pool: Optional[ShardWorkerPool]
+    ) -> CompactionReport:
+        """All shards in one pass: dirty shards on workers, clean inline."""
+        shards = self._config.shards
+        dirty_shards = {
+            shard for shard in range(shards) if self.dirty_users(shard=shard)
+        }
+        reports: Dict[int, CompactionReport] = {}
+        if dirty_shards:
+            own_pool = pool is None or pool.shard_count < shards
+            workers = ShardWorkerPool(shards) if own_pool else pool
+            try:
+                reports = workers.map_shards(
+                    {
+                        shard: (
+                            lambda shard=shard: self.run_pass(
+                                keep_window_s=window, shard=shard, budget=cap
+                            )
+                        )
+                        for shard in sorted(dirty_shards)
+                    }
+                )
+            finally:
+                if own_pool:
+                    workers.shutdown()
+        for shard in range(shards):
+            if shard not in reports:
+                reports[shard] = self.run_pass(
+                    keep_window_s=window, shard=shard, budget=cap
+                )
+        merged = CompactionReport(shard=None)
+        for shard in range(shards):
+            report = reports[shard]
+            merged.removed.update(report.removed)
+            merged.visited_users.extend(report.visited_users)
+            merged.unchanged_users += report.unchanged_users
+            merged.deferred_users += report.deferred_users
+            merged.skipped_users += report.skipped_users
+        return merged

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ValidationError
-from repro.storage import Column, Database, IndexSpec, Page, Schema
+from repro.storage import Column, IndexSpec, Page, Schema, ShardedDatabase
 from repro.util.ids import new_id
 
 #: Version stamp of :meth:`FeedbackStore.snapshot` payloads.
@@ -71,45 +71,69 @@ class FeedbackStore:
     """Table-backed store of feedback events with per-user/content access.
 
     Every access path is a declarative index on the schema: hash buckets
-    for the per-user and per-content lookups, and a sorted
+    for the per-user and per-content lookups, a sorted
     ``(user_id, timestamp_s)`` index that serves time-ordered reads and
-    the keyset-paginated history endpoint without re-sorting.
+    the keyset-paginated history endpoint without re-sorting, and a
+    sorted ``(timestamp_s,)`` index behind the global merged listing.
+
+    With ``shards > 1`` events partition by crc32 of the user id (one
+    table per shard behind a
+    :class:`~repro.storage.sharding.ShardedDatabase`): writes and per-user
+    reads route to the owning shard, per-content and global reads fan out
+    and merge.  ``shards == 1`` is exactly the old single-table behaviour.
     """
 
-    def __init__(self) -> None:
-        self._db = Database("feedbacks")
-        self._table = self._db.create_table(
-            Schema(
-                name="feedback",
-                primary_key="event_id",
-                columns=[
-                    Column("event_id", str),
-                    Column("user_id", str),
-                    Column("content_id", str),
-                    Column("kind", str),
-                    Column("timestamp_s", float),
-                    Column("listened_s", float, has_default=True, default=0.0),
-                    Column("is_clip", bool, has_default=True, default=True),
-                ],
-                indexes=[
-                    IndexSpec("user_id"),
-                    IndexSpec("content_id"),
-                    IndexSpec(
-                        "user_time", kind="sorted", columns=("user_id", "timestamp_s")
-                    ),
-                ],
+    def __init__(self, *, shards: int = 1) -> None:
+        def create_tables(db) -> None:
+            db.create_table(
+                Schema(
+                    name="feedback",
+                    primary_key="event_id",
+                    columns=[
+                        Column("event_id", str),
+                        Column("user_id", str),
+                        Column("content_id", str),
+                        Column("kind", str),
+                        Column("timestamp_s", float),
+                        Column("listened_s", float, has_default=True, default=0.0),
+                        Column("is_clip", bool, has_default=True, default=True),
+                    ],
+                    indexes=[
+                        IndexSpec("user_id"),
+                        IndexSpec("content_id"),
+                        IndexSpec(
+                            "user_time", kind="sorted", columns=("user_id", "timestamp_s")
+                        ),
+                        IndexSpec("time", kind="sorted", columns=("timestamp_s",)),
+                    ],
+                )
             )
+
+        self._db = ShardedDatabase(
+            "feedbacks", shards=shards, shard_key="user_id", create_tables=create_tables
         )
 
     @property
-    def database(self) -> Database:
-        """The feedbacks DB (exposed for dashboards and stats)."""
+    def database(self) -> ShardedDatabase:
+        """The feedbacks DB router (exposed for dashboards and stats)."""
         return self._db
 
     @property
+    def shard_count(self) -> int:
+        """Number of shards the store is partitioned into."""
+        return self._db.shard_count
+
+    def _table_for(self, user_id: str):
+        return self._db.table_for(user_id, "feedback")
+
+    @property
     def version(self) -> int:
-        """Change counter of the feedback table (ETag validator)."""
-        return self._table.version
+        """Change counter of the feedback table (ETag validator).
+
+        Summed across shards — each write bumps exactly one shard by one,
+        so the value matches what a single unsharded table would read.
+        """
+        return self._db.version("feedback")
 
     def record(
         self,
@@ -131,7 +155,7 @@ class FeedbackStore:
             listened_s=listened_s,
             is_clip=is_clip,
         )
-        self._table.insert(
+        self._table_for(user_id).insert(
             {
                 "event_id": event.event_id,
                 "user_id": event.user_id,
@@ -145,7 +169,7 @@ class FeedbackStore:
         return event
 
     def __len__(self) -> int:
-        return len(self._table)
+        return sum(len(table) for table in self._db.tables("feedback"))
 
     def events_for_user(self, user_id: str) -> List[FeedbackEvent]:
         """All events of one user, time-ordered.
@@ -153,7 +177,7 @@ class FeedbackStore:
         Served straight from the sorted ``(user_id, timestamp_s)`` index —
         a prefix range walk, no re-sort.
         """
-        rows = self._table.find_range(
+        rows = self._table_for(user_id).find_range(
             "user_time", low=(user_id,), high=(user_id,), high_inclusive=True
         )
         return [self._to_event(row) for row in rows]
@@ -165,9 +189,11 @@ class FeedbackStore:
 
         A keyset cursor over the sorted ``(user_id, timestamp_s)`` index:
         the token resumes strictly after the last event served, so the
-        walk is stable while new feedback keeps arriving.
+        walk is stable while new feedback keeps arriving.  One user's
+        events all live on the owning shard, so the token format is
+        identical across shard layouts.
         """
-        page = self._table.page_by_index(
+        page = self._table_for(user_id).page_by_index(
             "user_time",
             limit=limit,
             after_token=cursor,
@@ -181,11 +207,36 @@ class FeedbackStore:
         )
 
     def events_for_content(self, content_id: str) -> List[FeedbackEvent]:
-        """All events about one content item."""
-        rows = self._table.find_by_index("content_id", content_id)
-        events = [self._to_event(row) for row in rows]
+        """All events about one content item.
+
+        A fan-out read: every shard answers from its ``content_id`` hash
+        bucket and the union stable-sorts by timestamp (identical to the
+        unsharded order for a single shard).
+        """
+        events = [
+            self._to_event(row)
+            for table in self._db.tables("feedback")
+            for row in table.find_by_index("content_id", content_id)
+        ]
         events.sort(key=lambda event: event.timestamp_s)
         return events
+
+    def events_page(
+        self, *, cursor: Optional[str] = None, limit: int = 50
+    ) -> Page[FeedbackEvent]:
+        """One globally time-ordered page across all users.
+
+        The merged keyset walk: each shard's sorted ``(timestamp_s,)``
+        index streams independently and the router k-way merges them; the
+        token carries one resume position per shard (see
+        :meth:`ShardedDatabase.page_by_index
+        <repro.storage.sharding.ShardedDatabase.page_by_index>`).
+        """
+        page = self._db.page_by_index("feedback", "time", limit=limit, after_token=cursor)
+        return Page(
+            items=[self._to_event(row) for row in page.items],
+            next_token=page.next_token,
+        )
 
     def skip_rate(self, user_id: Optional[str] = None) -> float:
         """Fraction of terminal events (skip/complete/channel change) that are skips.
@@ -196,7 +247,11 @@ class FeedbackStore:
         events = (
             self.events_for_user(user_id)
             if user_id is not None
-            else [self._to_event(row) for row in self._table.rows()]
+            else [
+                self._to_event(row)
+                for table in self._db.tables("feedback")
+                for row in table.rows()
+            ]
         )
         terminal = [
             event
@@ -237,9 +292,21 @@ class FeedbackStore:
     # Snapshot / restore ---------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-serializable payload of the whole feedbacks DB."""
+        """A JSON-serializable payload of the whole feedbacks DB.
+
+        Database-shaped with all shards' rows merged, so it restores into
+        any shard layout (rows re-route by user id on load).
+        """
         return self._db.snapshot()
 
     def restore(self, payload: Dict[str, Any]) -> None:
         """Reload a :meth:`snapshot` payload, replacing all events."""
         self._db.restore(payload)
+
+    def snapshot_shard(self, shard: int) -> Dict[str, Any]:
+        """One shard's events — the migration/rebalancing unit."""
+        return self._db.snapshot_shard(shard)
+
+    def restore_shard(self, shard: int, payload: Dict[str, Any]) -> None:
+        """Replace one shard's events without touching the other shards."""
+        self._db.restore_shard(shard, payload)

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.content.repository import ContentRepository
 from repro.errors import DuplicateError, NotFoundError, ValidationError
 from repro.spatialdb import GpsFix, TrackingStore
-from repro.storage import Column, Database, Schema
+from repro.storage import Column, IndexSpec, Page, Schema, ShardedDatabase
+from repro.storage.sharding import ShardWorkerPool
 from repro.users.feedback import FeedbackEvent, FeedbackKind, FeedbackStore
 from repro.users.profile import UserPreferenceProfile, UserProfile
 
@@ -21,6 +22,15 @@ class UserManager:
     This is the integration point the client app talks to: profile lookups,
     feedback ingestion (which immediately updates the learned preference
     profile when the content's category scores are known), and GPS intake.
+
+    With ``shards > 1`` every piece of per-user state — the profiles DB
+    and its object caches, the learned preference vectors, the feedbacks
+    DB and the tracking store — partitions by crc32 of the user id, the
+    same assignment everywhere.  Single-user operations route to the
+    owning shard; :meth:`user_ids` and :meth:`users_page` fan out and
+    merge.  Batch ingest can run shard groups in parallel on a
+    :class:`~repro.storage.sharding.ShardWorkerPool`: groups are disjoint
+    by construction, so each pool worker is the sole writer of its shard.
     """
 
     def __init__(
@@ -28,44 +38,73 @@ class UserManager:
         *,
         content: Optional[ContentRepository] = None,
         tracking: Optional[TrackingStore] = None,
+        shards: int = 1,
     ) -> None:
-        #: Object cache over the profiles table (the table is the record of
-        #: truth the snapshot captures; the cache serves hot lookups).
-        self._profiles: Dict[str, UserProfile] = {}
-        self._profiles_db = Database("profiles")
-        self._profiles_table = self._profiles_db.create_table(
-            Schema(
-                name="profiles",
-                primary_key="user_id",
-                columns=[
-                    Column("user_id", str),
-                    Column("display_name", str),
-                    Column("age", int, nullable=True),
-                    Column("gender", str, nullable=True),
-                    Column("home_service_id", str, nullable=True),
-                    Column("language", str, has_default=True, default="it"),
-                ],
+        if tracking is not None:
+            # An injected tracking store dictates the layout — every
+            # per-user structure must shard identically.
+            shards = tracking.shard_count
+        self._tracking = tracking if tracking is not None else TrackingStore(shards=shards)
+        self._shards = shards
+
+        def create_tables(db) -> None:
+            db.create_table(
+                Schema(
+                    name="profiles",
+                    primary_key="user_id",
+                    columns=[
+                        Column("user_id", str),
+                        Column("display_name", str),
+                        Column("age", int, nullable=True),
+                        Column("gender", str, nullable=True),
+                        Column("home_service_id", str, nullable=True),
+                        Column("language", str, has_default=True, default="it"),
+                    ],
+                    indexes=[
+                        IndexSpec("by_user", kind="sorted", columns=("user_id",)),
+                    ],
+                )
             )
+
+        self._profiles_db = ShardedDatabase(
+            "profiles", shards=shards, shard_key="user_id", create_tables=create_tables
         )
-        self._preferences: Dict[str, UserPreferenceProfile] = {}
-        self._feedback = FeedbackStore()
-        self._tracking = tracking if tracking is not None else TrackingStore()
+        #: Per-shard object caches over the profiles tables (the tables are
+        #: the record of truth the snapshot captures; the caches serve hot
+        #: lookups).  Keys are disjoint across shards by construction.
+        self._profiles: List[Dict[str, UserProfile]] = [{} for _ in range(shards)]
+        self._preferences: List[Dict[str, UserPreferenceProfile]] = [
+            {} for _ in range(shards)
+        ]
+        self._feedback = FeedbackStore(shards=shards)
         self._content = content
         #: (per-fix listener, optional bulk form) pairs; see add_fix_listener.
         self._fix_listeners: List[
             Tuple[Callable[[GpsFix], None], Optional[Callable[[List[GpsFix]], None]]]
         ] = []
 
+    @property
+    def shard_count(self) -> int:
+        """Number of shards all per-user state is partitioned into."""
+        return self._shards
+
+    def shard_of(self, user_id: str) -> int:
+        """The shard owning a user (stable crc32 assignment)."""
+        return self._profiles_db.shard_of(user_id)
+
     # Registration ----------------------------------------------------------
 
     def register(self, profile: UserProfile) -> UserPreferenceProfile:
         """Register a user; returns the (empty) preference profile."""
-        if profile.user_id in self._profiles:
+        shard = self.shard_of(profile.user_id)
+        if profile.user_id in self._profiles[shard]:
             raise DuplicateError(f"user {profile.user_id!r} is already registered")
-        self._profiles_table.insert(self._profile_row(profile))
-        self._profiles[profile.user_id] = profile
+        self._profiles_db.table_for(profile.user_id, "profiles").insert(
+            self._profile_row(profile)
+        )
+        self._profiles[shard][profile.user_id] = profile
         preference = UserPreferenceProfile(profile.user_id)
-        self._preferences[profile.user_id] = preference
+        self._preferences[shard][profile.user_id] = preference
         return preference
 
     @staticmethod
@@ -79,41 +118,77 @@ class UserManager:
             "language": profile.language,
         }
 
+    @staticmethod
+    def _profile_from_row(row: Dict[str, Any]) -> UserProfile:
+        return UserProfile(
+            user_id=row["user_id"],
+            display_name=row["display_name"],
+            age=row["age"],
+            gender=row["gender"],
+            home_service_id=row["home_service_id"],
+            language=row["language"],
+        )
+
     @property
-    def profiles_database(self) -> Database:
-        """The profiles DB (exposed for dashboards and stats)."""
+    def profiles_database(self) -> ShardedDatabase:
+        """The profiles DB router (exposed for dashboards and stats)."""
         return self._profiles_db
 
     @property
     def profiles_version(self) -> int:
-        """Change counter of the profiles table (ETag validator)."""
-        return self._profiles_table.version
+        """Change counter of the profiles table (ETag validator).
+
+        Summed across shards — each registration bumps exactly one shard
+        by one, so the value matches an unsharded table's counter.
+        """
+        return self._profiles_db.version("profiles")
 
     def profile(self, user_id: str) -> UserProfile:
         """Demographic profile of a user."""
-        profile = self._profiles.get(user_id)
+        profile = self._profiles[self.shard_of(user_id)].get(user_id)
         if profile is None:
             raise NotFoundError(f"unknown user {user_id!r}")
         return profile
 
     def has_user(self, user_id: str) -> bool:
         """Whether a user is registered (no-exception existence check)."""
-        return user_id in self._profiles
+        return user_id in self._profiles[self.shard_of(user_id)]
 
     def preference_profile(self, user_id: str) -> UserPreferenceProfile:
         """Learned preference profile of a user."""
-        preference = self._preferences.get(user_id)
+        preference = self._preferences[self.shard_of(user_id)].get(user_id)
         if preference is None:
             raise NotFoundError(f"unknown user {user_id!r}")
         return preference
 
     def user_ids(self) -> List[str]:
         """All registered user ids."""
-        return sorted(self._profiles.keys())
+        return sorted(
+            user_id for shard in self._profiles for user_id in shard
+        )
 
     def user_count(self) -> int:
         """Number of registered users."""
-        return len(self._profiles)
+        return sum(len(shard) for shard in self._profiles)
+
+    def users_page(
+        self, *, cursor: Optional[str] = None, limit: int = 50
+    ) -> Page[UserProfile]:
+        """One id-ordered page of registered users.
+
+        A merged keyset walk over each shard's sorted ``by_user`` index —
+        the listing is globally ordered by user id whatever the shard
+        layout, and the cursor stays stable under concurrent
+        registrations (see :meth:`ShardedDatabase.page_by_index
+        <repro.storage.sharding.ShardedDatabase.page_by_index>`).
+        """
+        page = self._profiles_db.page_by_index(
+            "profiles", "by_user", limit=limit, after_token=cursor
+        )
+        return Page(
+            items=[self._profile_from_row(row) for row in page.items],
+            next_token=page.next_token,
+        )
 
     # Feedback ---------------------------------------------------------------
 
@@ -155,7 +230,7 @@ class UserManager:
         scores = clip.normalized_scores()
         if not scores:
             return
-        preference = self._preferences[event.user_id]
+        preference = self._preferences[self.shard_of(event.user_id)][event.user_id]
         # Repeat the update proportionally to the magnitude of the signal so
         # a "like" moves the profile further than a passive listen ping.
         repetitions = max(1, int(round(abs(event.weight))))
@@ -192,7 +267,13 @@ class UserManager:
         for listener, _batch in self._fix_listeners:
             listener(fix)
 
-    def ingest_fixes(self, fixes: List[GpsFix], *, skip_stale: bool = False) -> int:
+    def ingest_fixes(
+        self,
+        fixes: List[GpsFix],
+        *,
+        skip_stale: bool = False,
+        pool: Optional[ShardWorkerPool] = None,
+    ) -> int:
         """Store many GPS fixes; returns how many were accepted.
 
         With ``skip_stale=True`` fixes older than the user's latest stored
@@ -206,7 +287,32 @@ class UserManager:
         streaming engine) receive the accepted fixes in one call — same
         fixes, same per-user order as per-fix :meth:`ingest_fix`, without
         re-paying the per-fix callback overhead.
+
+        With a ``pool`` the batch splits into per-shard groups (per-user
+        order preserved) that ingest concurrently, one worker per shard.
+        Groups touch disjoint state — shard-partitioned stores, per-shard
+        caches with disjoint keys, and shard-routed batch listeners — so
+        each worker is the single writer of everything it mutates.  The
+        per-user outcome is identical to the serial walk; only the
+        interleaving across users of *different* shards differs.
         """
+        if pool is None or self._shards == 1:
+            return self._ingest_group(fixes, skip_stale)
+        groups: Dict[int, List[GpsFix]] = {}
+        for fix in fixes:
+            groups.setdefault(self.shard_of(fix.user_id), []).append(fix)
+        if len(groups) <= 1:
+            return self._ingest_group(fixes, skip_stale)
+        results = pool.map_shards(
+            {
+                shard: (lambda group=group: self._ingest_group(group, skip_stale))
+                for shard, group in groups.items()
+            }
+        )
+        return sum(results.values())
+
+    def _ingest_group(self, fixes: List[GpsFix], skip_stale: bool) -> int:
+        """The serial ingest walk over one ordered run of fixes."""
         tracking = self._tracking
         latest_by_user: Dict[str, float] = {}
         accepted: List[GpsFix] = []
@@ -246,14 +352,16 @@ class UserManager:
         Covers the profiles DB, the learned preference vectors, the
         feedbacks DB and the tracking store — everything the user
         management façade owns.  Fix listeners are wiring, not state, and
-        are not captured.
+        are not captured.  The payload is shard-layout independent and
+        restores into any shard count.
         """
         return {
             "version": SNAPSHOT_VERSION,
             "profiles": self._profiles_db.snapshot(),
             "preferences": {
                 user_id: preference.to_payload()
-                for user_id, preference in self._preferences.items()
+                for shard in self._preferences
+                for user_id, preference in shard.items()
             },
             "feedback": self._feedback.snapshot(),
             "tracking": self._tracking.snapshot(),
@@ -266,20 +374,53 @@ class UserManager:
                 f"unsupported user snapshot payload (want version {SNAPSHOT_VERSION})"
             )
         self._profiles_db.restore(payload["profiles"])
-        self._profiles = {
-            row["user_id"]: UserProfile(
-                user_id=row["user_id"],
-                display_name=row["display_name"],
-                age=row["age"],
-                gender=row["gender"],
-                home_service_id=row["home_service_id"],
-                language=row["language"],
-            )
-            for row in self._profiles_table.rows()
+        self._profiles = [
+            {
+                row["user_id"]: self._profile_from_row(row)
+                for row in self._profiles_db.shard(shard).table("profiles").rows()
+            }
+            for shard in range(self._shards)
+        ]
+        self._preferences = [{} for _ in range(self._shards)]
+        for user_id, raw in payload.get("preferences", {}).items():
+            self._preferences[self.shard_of(user_id)][
+                user_id
+            ] = UserPreferenceProfile.from_payload(raw)
+        self._feedback.restore(payload["feedback"])
+        self._tracking.restore(payload["tracking"])
+
+    def snapshot_shard(self, shard: int) -> Dict[str, Any]:
+        """One shard's slice of all per-user state — the migration unit."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "profiles": self._profiles_db.snapshot_shard(shard),
+            "preferences": {
+                user_id: preference.to_payload()
+                for user_id, preference in self._preferences[shard].items()
+            },
+            "feedback": self._feedback.snapshot_shard(shard),
+            "tracking": self._tracking.snapshot_shard(shard),
         }
-        self._preferences = {
+
+    def restore_shard(self, shard: int, payload: Dict[str, Any]) -> None:
+        """Replace one shard's per-user state without touching the others."""
+        if not isinstance(payload, dict) or payload.get("version") != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"unsupported user snapshot payload (want version {SNAPSHOT_VERSION})"
+            )
+        for user_id in payload.get("preferences", {}):
+            if self.shard_of(user_id) != shard:
+                raise ValidationError(
+                    f"user {user_id!r} does not belong to shard {shard}"
+                )
+        self._profiles_db.restore_shard(shard, payload["profiles"])
+        self._profiles[shard] = {
+            row["user_id"]: self._profile_from_row(row)
+            for row in self._profiles_db.shard(shard).table("profiles").rows()
+        }
+        self._preferences[shard] = {
             user_id: UserPreferenceProfile.from_payload(raw)
             for user_id, raw in payload.get("preferences", {}).items()
         }
-        self._feedback.restore(payload["feedback"])
-        self._tracking.restore(payload["tracking"])
+        self._feedback.restore_shard(shard, payload["feedback"])
+        self._tracking.restore_shard(shard, payload["tracking"])
