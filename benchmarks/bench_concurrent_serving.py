@@ -138,12 +138,20 @@ def build_workload(seed: int = 17) -> Tuple[Dict[Tuple[str, int], str], List[Op]
     return payloads, ops
 
 
-def build_server(shards: int, *, parallel: bool) -> Tuple[PphcrServer, Gateway]:
-    """A warmed server/gateway pair with the requested shard layout."""
+def build_server(
+    shards: int, *, parallel: bool, telemetry=None
+) -> Tuple[PphcrServer, Gateway]:
+    """A warmed server/gateway pair with the requested shard layout.
+
+    ``telemetry`` overrides the server's :class:`TelemetryConfig` (the
+    overhead bench drives the same workload with it enabled and disabled);
+    None keeps the default (enabled).
+    """
     reset_ids()
-    server = PphcrServer(
-        config=ServerConfig(sharding=ShardingConfig(shards=shards, parallel=parallel))
-    )
+    kwargs = {"sharding": ShardingConfig(shards=shards, parallel=parallel)}
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    server = PphcrServer(config=ServerConfig(**kwargs))
     categories = ["news-national", "economics", "culture", "cinema", "history"]
     for index in range(CLIPS):
         server.content.add_clip(
@@ -440,7 +448,12 @@ def run_parity_phase(payloads, ops) -> None:
 
 
 def run_throughput_phase(payloads, ops):
-    """Timed serial vs. sharded-parallel runs over the same stream."""
+    """Timed serial vs. sharded-parallel runs over the same stream.
+
+    Returns the two ``(elapsed, latencies)`` pairs plus the parallel
+    server, whose telemetry (``/v1/ops/metrics`` payload) the smoke runner
+    snapshots as the ``BENCH_concurrent_serving_metrics.json`` artifact.
+    """
     server_serial, gateway_serial = build_server(1, parallel=False)
     serial_elapsed, serial_latencies = run_serial(gateway_serial, payloads, ops)
 
@@ -459,6 +472,7 @@ def run_throughput_phase(payloads, ops):
     return (
         (serial_elapsed, serial_latencies),
         (parallel_elapsed, parallel_latencies),
+        server_parallel,
     )
 
 
@@ -469,7 +483,9 @@ def test_perf_concurrent_serving(benchmark):
     (serial_elapsed, serial_latencies), (
         parallel_elapsed,
         parallel_latencies,
-    ) = benchmark.pedantic(run_throughput_phase, args=(payloads, ops), rounds=1, iterations=1)
+    ), _server_parallel = benchmark.pedantic(
+        run_throughput_phase, args=(payloads, ops), rounds=1, iterations=1
+    )
 
     serial_throughput = len(ops) / serial_elapsed
     parallel_throughput = len(ops) / parallel_elapsed

@@ -17,7 +17,12 @@ the performance trajectory is tracked from PR to PR:
   declarative indexes + planner vs. the full-scan reference path);
 * ``BENCH_concurrent_serving.json`` — shard-partitioned concurrent
   serving (PR 6's per-shard parallel workers vs. a single serial
-  database, mixed wire-level ingest + read traffic).
+  database, mixed wire-level ingest + read traffic), plus
+  ``BENCH_concurrent_serving_metrics.json`` — the parallel server's
+  ``/v1/ops/metrics`` telemetry snapshot after the timed run (PR 7);
+* ``BENCH_telemetry_overhead.json`` — unified telemetry cost (PR 7's
+  instrumented gateway drive vs. the disabled no-op path over the same
+  mixed wire workload, asserted under the 5% budget).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -38,6 +43,11 @@ from bench_concurrent_serving import (  # noqa: E402
     build_workload as build_serving_workload,
     run_parity_phase as run_serving_parity,
     run_throughput_phase as run_serving_throughput,
+)
+from bench_telemetry_overhead import (  # noqa: E402
+    OVERHEAD_CEILING_PCT,
+    ROUNDS as OVERHEAD_ROUNDS,
+    run_overhead_phase,
 )
 from bench_api_gateway import (  # noqa: E402
     DRIVE_FIXES,
@@ -351,9 +361,11 @@ def smoke_concurrent_serving() -> str:
     # The parity replay is part of the claim: identical responses from both
     # shard layouts before any timing is believed.
     run_serving_parity(payloads, ops)
-    (serial_elapsed, serial_latencies), (parallel_elapsed, parallel_latencies) = (
-        run_serving_throughput(payloads, ops)
-    )
+    (
+        (serial_elapsed, serial_latencies),
+        (parallel_elapsed, parallel_latencies),
+        server_parallel,
+    ) = run_serving_throughput(payloads, ops)
     serial_ops = len(serial_latencies) / serial_elapsed
     parallel_ops = len(parallel_latencies) / parallel_elapsed
     payload = {
@@ -373,9 +385,63 @@ def smoke_concurrent_serving() -> str:
         },
     }
     path = _write("BENCH_concurrent_serving.json", payload)
+    # The parallel server's full ops-metrics payload (what GET
+    # /v1/ops/metrics would serve after the run): per-route latency
+    # percentiles, per-shard storage gauges, worker busy/imbalance stats.
+    metrics_path = _write(
+        "BENCH_concurrent_serving_metrics.json",
+        {
+            "bench": "concurrent_serving_metrics",
+            "unix_time_s": round(time.time(), 3),
+            "workload": {
+                "requests": len(ops),
+                "shards": SERVING_SHARDS,
+            },
+            "metrics": server_parallel.telemetry.metrics_snapshot(),
+        },
+    )
     print(
         f"concurrent-serving smoke: sharded-parallel {parallel_ops:,.0f} req/s "
         f"(single-serial {serial_ops:,.0f} req/s, {parallel_ops / serial_ops:.1f}x)"
+    )
+    print(f"wrote {metrics_path}")
+    return path
+
+
+def smoke_telemetry_overhead() -> str:
+    payloads, ops = build_serving_workload()
+    noop_best, instrumented_best, overhead_pct, cpu_overhead_pct, _server = (
+        run_overhead_phase(payloads, ops)
+    )
+    assert overhead_pct < OVERHEAD_CEILING_PCT, (
+        f"telemetry overhead {overhead_pct:.2f}% exceeds the "
+        f"{OVERHEAD_CEILING_PCT:.0f}% budget"
+    )
+    instrumented_ops = len(ops) / instrumented_best
+    noop_ops = len(ops) / noop_best
+    payload = {
+        "bench": "telemetry_overhead",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "requests": len(ops),
+            "shards": SERVING_SHARDS,
+            "rounds": OVERHEAD_ROUNDS,
+            "wire_io_ms": round(WIRE_IO_S * 1000.0, 2),
+        },
+        "results": {
+            "noop_requests_per_s": round(noop_ops, 1),
+            "instrumented_requests_per_s": round(instrumented_ops, 1),
+            "overhead_pct": round(overhead_pct, 2),
+            "cpu_overhead_pct": round(cpu_overhead_pct, 2),
+            "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
+            "instrumented_elapsed_ms": round(instrumented_best * 1000.0, 2),
+        },
+    }
+    path = _write("BENCH_telemetry_overhead.json", payload)
+    print(
+        f"telemetry-overhead smoke: instrumented {instrumented_ops:,.0f} req/s "
+        f"(no-op {noop_ops:,.0f} req/s, {overhead_pct:+.2f}% "
+        f"within the {OVERHEAD_CEILING_PCT:.0f}% budget)"
     )
     return path
 
@@ -388,6 +454,7 @@ def main() -> int:
         smoke_api_gateway(),
         smoke_storage_engine(),
         smoke_concurrent_serving(),
+        smoke_telemetry_overhead(),
     ):
         print(f"wrote {path}")
     return 0

@@ -194,15 +194,26 @@ class ControlDashboard:
         ]
         return [database.stats() for database in databases]
 
-    def ops_report(self, gateway=None) -> OpsReport:
-        """The operations panel: storage-engine and API-gateway counters.
+    def ops_report(self, gateway=None, *, telemetry=None) -> OpsReport:
+        """The operations panel: storage, API-gateway and telemetry counters.
 
         ``gateway`` is any object with a ``metrics_snapshot()`` (the public
         API gateway); without one the report covers storage only.
+        ``telemetry`` is the server's :class:`~repro.obs.telemetry.Telemetry`
+        bundle — when given (and enabled), the report also carries the
+        metrics registry's snapshot and the slow-query log, the same
+        payloads ``GET /v1/ops/metrics`` / ``/v1/ops/traces`` expose.
         """
+        metrics = None
+        slow_queries = None
+        if telemetry is not None and telemetry.enabled:
+            metrics = telemetry.metrics_snapshot()
+            slow_queries = telemetry.slow_queries.entries()
         return OpsReport(
             storage=self.storage_report(),
             gateway=gateway.metrics_snapshot() if gateway is not None else None,
+            metrics=metrics,
+            slow_queries=slow_queries,
         )
 
 
@@ -212,6 +223,11 @@ class OpsReport:
 
     storage: List[Dict[str, object]]
     gateway: Optional[Dict[str, object]] = None
+    #: The metrics registry's :meth:`snapshot` payload (None when the
+    #: report was built without telemetry or with it disabled).
+    metrics: Optional[Dict[str, object]] = None
+    #: The slow-query log, newest first (None without telemetry).
+    slow_queries: Optional[List[Dict[str, object]]] = None
 
     def summary_lines(self) -> List[str]:
         """Plain-text rendering of the ops panel."""
@@ -244,4 +260,30 @@ class OpsReport:
             by_status = self.gateway.get("by_status", {})
             for status in sorted(by_status):
                 lines.append(f"  {status}: {by_status[status]}")
+        if self.metrics is not None:
+            histograms = self.metrics.get("histograms", {})
+            latency = histograms.get("api_request_seconds", {})
+            series = latency.get("series", [])
+            if series:
+                lines.append("route latency (p50/p95/p99 ms):")
+                for entry in sorted(series, key=lambda s: s["labels"].get("route", "")):
+                    lines.append(
+                        f"  {entry['labels'].get('route', '?')}: "
+                        f"{entry['p50'] * 1000:.2f}/{entry['p95'] * 1000:.2f}"
+                        f"/{entry['p99'] * 1000:.2f} ({entry['count']} requests)"
+                    )
+            counters = self.metrics.get("counters", {})
+            dead = counters.get("bus_dead_letters_total", {})
+            total_dead = sum(entry["value"] for entry in dead.get("series", []))
+            if total_dead:
+                lines.append(f"bus dead letters: {total_dead}")
+        if self.slow_queries:
+            lines.append(f"slow queries: {len(self.slow_queries)}")
+            for entry in self.slow_queries[:5]:
+                plan = entry.get("plan", {})
+                lines.append(
+                    f"  {entry['database']}.{entry.get('table', '?')} "
+                    f"[{plan.get('strategy', '?')}] {entry['elapsed_ms']:.1f} ms, "
+                    f"{entry['rows']} rows (shard {entry.get('shard')})"
+                )
         return lines

@@ -52,6 +52,7 @@ from repro.pipeline.gateway.middleware import (
     MetricsMiddleware,
     RateLimitConfig,
     RateLimitMiddleware,
+    TracingMiddleware,
     map_error,
 )
 from repro.pipeline.gateway.routing import RequestContext, Route, RouteTable
@@ -150,7 +151,12 @@ class Gateway:
         self._auth = auth if auth is not None else ApiKeyRegistry()
         self._routes = RouteTable()
         self._register_routes()
-        self._metrics = MetricsMiddleware(server.bus, topic=config.metrics_topic)
+        self._telemetry = server.telemetry
+        self._metrics = MetricsMiddleware(
+            server.bus,
+            topic=config.metrics_topic,
+            registry=self._telemetry.metrics if self._telemetry.enabled else None,
+        )
         self._rate_limiter = RateLimitMiddleware(config.rate_limit, clock=config.clock)
         middlewares = [
             self._metrics,
@@ -158,6 +164,11 @@ class Gateway:
             AuthMiddleware(self._auth, required=config.require_auth),
             self._rate_limiter,
         ]
+        if self._telemetry.enabled:
+            # Outermost, so the trace covers the whole chain (including the
+            # metrics middleware's own timing) and every storage/worker span
+            # opened during dispatch attaches to the request's trace.
+            middlewares.insert(0, TracingMiddleware(self._telemetry.tracer))
         handler: Callable[[RequestContext], ApiResponse] = self._dispatch
         for middleware in reversed(middlewares):
             handler = self._wrap(middleware, handler)
@@ -329,6 +340,8 @@ class Gateway:
         add(Route("GET", "/v1/clips", self._list_clips))
         add(Route("GET", "/v1/clips/{clip_id}", self._get_clip))
         add(Route("GET", "/v1/recommendations/{user_id}", self._get_recommendations))
+        add(Route("GET", "/v1/ops/metrics", self._get_ops_metrics))
+        add(Route("GET", "/v1/ops/traces", self._get_ops_traces))
 
     # Shared helpers -------------------------------------------------------
 
@@ -688,3 +701,55 @@ class Gateway:
                 "cache-control": f"max-age={int(self._config.recommendation_ttl_s)}",
             },
         )
+
+    # Ops surface ----------------------------------------------------------
+
+    def _get_ops_metrics(self, ctx: RequestContext) -> ApiResponse:
+        """The metrics registry, as JSON or Prometheus text exposition.
+
+        ``?format=prometheus`` wraps the text exposition in the JSON
+        envelope (the gateway's wire contract is JSON bodies) and marks
+        the payload's native type in ``content-type``; everything else
+        serves the structured snapshot with precomputed p50/p95/p99 per
+        histogram series.
+        """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return ApiResponse(status=200, body={"enabled": False})
+        fmt = ctx.request.query.get("format", "json")
+        if fmt == "prometheus":
+            return ApiResponse(
+                status=200,
+                body={
+                    "enabled": True,
+                    "format": "prometheus",
+                    "text": telemetry.prometheus_text(),
+                },
+                headers={"content-type": "text/plain; version=0.0.4"},
+            )
+        if fmt != "json":
+            raise ValidationError(
+                f"format must be 'json' or 'prometheus', got {fmt!r}"
+            )
+        return ApiResponse(
+            status=200,
+            body={"enabled": True, "metrics": telemetry.metrics_snapshot()},
+        )
+
+    def _get_ops_traces(self, ctx: RequestContext) -> ApiResponse:
+        """Recent traces, slow traces and the slow-query log, newest first."""
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return ApiResponse(status=200, body={"enabled": False})
+        raw = ctx.request.query.get("limit")
+        limit = 50
+        if raw is not None:
+            try:
+                limit = int(raw)
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f"limit must be an integer, got {raw!r}") from exc
+            if limit < 1:
+                raise ValidationError(f"limit must be >= 1, got {limit}")
+        body = telemetry.traces_snapshot(limit)
+        body["enabled"] = True
+        return ApiResponse(status=200, body=body)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import (
     DuplicateError,
@@ -228,13 +228,38 @@ class MetricsMiddleware:
     the bus history.
     """
 
-    def __init__(self, bus: Optional["MessageBus"] = None, *, topic: str = "api.request") -> None:
+    def __init__(
+        self,
+        bus: Optional["MessageBus"] = None,
+        *,
+        topic: str = "api.request",
+        registry=None,
+    ) -> None:
         self._bus = bus
         self._topic = topic
         self._by_route: Dict[str, int] = {}
         self._by_status: Dict[int, int] = {}
         self._request_count = 0
         self._elapsed_total_s = 0.0
+        # Registry-backed series (per-route latency histogram and
+        # status-class counter); None keeps the middleware registry-free.
+        # Resolved series are cached per route / (route, class) so the hot
+        # path pays one dict lookup, not a labels() validation, per request.
+        self._latency = None
+        self._statuses = None
+        self._latency_series: Dict[str, object] = {}
+        self._status_series: Dict[Tuple[str, str], object] = {}
+        if registry is not None and getattr(registry, "enabled", True):
+            self._latency = registry.histogram(
+                "api_request_seconds",
+                "Gateway request latency by route",
+                labels=("route",),
+            )
+            self._statuses = registry.counter(
+                "api_requests_total",
+                "Gateway requests by route and status class",
+                labels=("route", "status_class"),
+            )
 
     def __call__(self, ctx: RequestContext, nxt: Next) -> ApiResponse:
         start = time.perf_counter()
@@ -245,6 +270,21 @@ class MetricsMiddleware:
         self._elapsed_total_s += elapsed_s
         self._by_route[route_name] = self._by_route.get(route_name, 0) + 1
         self._by_status[response.status] = self._by_status.get(response.status, 0) + 1
+        if self._latency is not None:
+            latency = self._latency_series.get(route_name)
+            if latency is None:
+                latency = self._latency.labels(route=route_name)
+                self._latency_series[route_name] = latency
+            latency.record(elapsed_s)
+            status_class = f"{response.status // 100}xx"
+            status_key = (route_name, status_class)
+            statuses = self._status_series.get(status_key)
+            if statuses is None:
+                statuses = self._statuses.labels(
+                    route=route_name, status_class=status_class
+                )
+                self._status_series[status_key] = statuses
+            statuses.inc()
         if self._bus is not None:
             self._bus.publish(
                 self._topic,
@@ -265,3 +305,30 @@ class MetricsMiddleware:
             "by_status": dict(self._by_status),
             "elapsed_total_ms": round(self._elapsed_total_s * 1000.0, 3),
         }
+
+
+class TracingMiddleware:
+    """Opens one trace per request, named after the matched route.
+
+    Sits outermost in the chain so the trace covers the entire middleware
+    stack and handler; the context propagates by thread (and across the
+    shard worker pool via capture/adopt — see
+    :meth:`ShardWorkerPool.submit
+    <repro.storage.sharding.ShardWorkerPool.submit>`), so spans opened by
+    storage and workers attach to the request's trace.  The response
+    status lands as a trace tag after dispatch.
+    """
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+
+    def __call__(self, ctx: RequestContext, nxt: Next) -> ApiResponse:
+        route_path = ctx.route.path if ctx.route is not None else ctx.request.path
+        with self._tracer.trace(
+            f"{ctx.request.method} {route_path}",
+            method=ctx.request.method,
+            path=ctx.request.path,
+        ) as trace:
+            response = nxt(ctx)
+            trace.set_tag("status", response.status)
+            return response

@@ -4,13 +4,23 @@ The production system wires its components with RabbitMQ; the reproduction
 uses a synchronous, deterministic bus with the same topology concepts:
 named topics, multiple subscribers per topic, and a dead-letter list for
 messages that no subscriber handled or whose handler raised.
+
+Dead letters come in three flavours, recorded per event (see
+:class:`DeadLetterRecord`) and surfaced through the metrics registry as
+``bus_dead_letters_total{topic,reason}`` when :meth:`MessageBus.attach_metrics`
+is called:
+
+* ``no_subscriber`` — the topic had no handlers at all;
+* ``handler_error`` — one handler raised (others may still have delivered);
+* ``all_handlers_failed`` — every handler raised, so the message itself is
+  dead-lettered.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Dict, List
+from typing import Any, Callable, DefaultDict, Dict, List, Optional
 
 from repro.errors import PipelineError
 from repro.util.ids import new_id
@@ -27,6 +37,22 @@ class Message:
     body: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """One dead-letter event, with enough context to debug the failure.
+
+    ``reason`` is one of ``"no_subscriber"``, ``"handler_error"`` or
+    ``"all_handlers_failed"``; ``handler`` names the failing callable for
+    the handler-scoped reasons and is ``None`` for ``no_subscriber``.
+    """
+
+    message: Message
+    topic: str
+    reason: str
+    handler: Optional[str] = None
+    error: Optional[str] = None
+
+
 class MessageBus:
     """A synchronous topic-based publish/subscribe bus."""
 
@@ -34,7 +60,58 @@ class MessageBus:
         self._subscribers: DefaultDict[str, List[Handler]] = defaultdict(list)
         self._published: List[Message] = []
         self._dead_letters: List[Message] = []
+        self._dead_letter_records: List[DeadLetterRecord] = []
         self._delivery_count = 0
+        self._dead_letter_counter = None  # set by attach_metrics()
+        # Resolved (topic, reason) counter series, so the publish hot path
+        # (a no-subscriber topic dead-letters every message) pays one dict
+        # lookup instead of a labels() validation per event.
+        self._dead_letter_series: Dict[Any, Any] = {}
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Surface dead letters as ``bus_dead_letters_total{topic,reason}``.
+
+        ``registry`` is a :class:`~repro.obs.metrics.MetricsRegistry` (or
+        the null variant — attaching a disabled registry is a no-op
+        counter).  Records observed before attachment are replayed so the
+        counter agrees with :meth:`dead_letter_records` regardless of
+        wiring order.
+        """
+        self._dead_letter_counter = registry.counter(
+            "bus_dead_letters_total",
+            help="Dead-lettered bus deliveries by topic and reason.",
+            labels=("topic", "reason"),
+        )
+        self._dead_letter_series = {}
+        for record in self._dead_letter_records:
+            self._count_dead_letter(record.topic, record.reason)
+
+    def _count_dead_letter(self, topic: str, reason: str) -> None:
+        series = self._dead_letter_series.get((topic, reason))
+        if series is None:
+            series = self._dead_letter_counter.labels(topic=topic, reason=reason)
+            self._dead_letter_series[(topic, reason)] = series
+        series.inc()
+
+    def _record_dead_letter(
+        self,
+        message: Message,
+        reason: str,
+        *,
+        handler: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        self._dead_letter_records.append(
+            DeadLetterRecord(
+                message=message,
+                topic=message.topic,
+                reason=reason,
+                handler=handler,
+                error=error,
+            )
+        )
+        if self._dead_letter_counter is not None:
+            self._count_dead_letter(message.topic, reason)
 
     def subscribe(self, topic: str, handler: Handler) -> None:
         """Register a handler for a topic."""
@@ -51,6 +128,7 @@ class MessageBus:
         handlers = self._subscribers.get(topic, [])
         if not handlers:
             self._dead_letters.append(message)
+            self._record_dead_letter(message, "no_subscriber")
             return message
         delivered = False
         for handler in handlers:
@@ -58,10 +136,17 @@ class MessageBus:
                 handler(message)
                 delivered = True
                 self._delivery_count += 1
-            except Exception:  # noqa: BLE001 - a failing consumer must not break producers
+            except Exception as exc:  # noqa: BLE001 - a failing consumer must not break producers
+                self._record_dead_letter(
+                    message,
+                    "handler_error",
+                    handler=getattr(handler, "__qualname__", repr(handler)),
+                    error=repr(exc),
+                )
                 continue
         if not delivered:
             self._dead_letters.append(message)
+            self._record_dead_letter(message, "all_handlers_failed")
         return message
 
     def published_messages(self, topic: str = None) -> List[Message]:
@@ -73,6 +158,18 @@ class MessageBus:
     def dead_letters(self) -> List[Message]:
         """Messages that were not successfully handled by any subscriber."""
         return list(self._dead_letters)
+
+    def dead_letter_records(self, topic: str = None) -> List[DeadLetterRecord]:
+        """Per-event dead-letter records (optionally filtered by topic).
+
+        Unlike :meth:`dead_letters` — which lists *messages* no subscriber
+        handled — this also records per-handler failures on messages that
+        another handler did deliver, each with the failing handler's name
+        and the raised exception.
+        """
+        if topic is None:
+            return list(self._dead_letter_records)
+        return [record for record in self._dead_letter_records if record.topic == topic]
 
     def delivery_count(self) -> int:
         """Number of successful handler deliveries."""

@@ -24,6 +24,7 @@ from repro.client.editorial import EditorialDesk
 from repro.content.model import AudioClip, ContentKind
 from repro.content.repository import ContentRepository
 from repro.errors import NotFoundError, PipelineError
+from repro.obs import Telemetry, TelemetryConfig
 from repro.pipeline.messaging import MessageBus
 from repro.recommender.compound import CompoundScorer
 from repro.recommender.content_based import CandidateFilter, CandidateFilterConfig, ContentBasedScorer
@@ -74,6 +75,10 @@ class ServerConfig:
     #: ``parallel`` enables the per-shard worker pool used by batch ingest
     #: and full-pass compaction.
     sharding: ShardingConfig = ShardingConfig()
+    #: Unified observability (metrics registry, request tracing, slow-query
+    #: log).  ``TelemetryConfig(enabled=False)`` swaps in the null variants
+    #: so every instrumented call site degrades to a no-op.
+    telemetry: TelemetryConfig = TelemetryConfig()
 
 
 @dataclass
@@ -106,9 +111,33 @@ class PphcrServer:
         classifier: Optional[NaiveBayesClassifier] = None,
     ) -> None:
         self._config = config
+        self._telemetry = Telemetry(config.telemetry)
         self._bus = MessageBus()
+        self._bus.attach_metrics(self._telemetry.metrics)
         self._content = ContentRepository()
         self._users = UserManager(content=self._content, shards=config.sharding.shards)
+        # Storage telemetry: query observers on every table plus pull-time
+        # stats collectors (no-ops when telemetry is disabled).
+        self._telemetry.observe_database(self._content.database, name="metadata")
+        self._telemetry.observe_sharded(self._users.profiles_database, name="profiles")
+        self._telemetry.observe_sharded(self._users.feedback.database, name="feedbacks")
+        self._telemetry.observe_sharded(self._users.tracking.database, name="tracking")
+        if self._telemetry.enabled:
+            self._compaction_pass_seconds = self._telemetry.latency_histogram(
+                "compaction_pass_seconds", "Wall time of compaction passes"
+            )
+            self._compaction_shard_seconds = self._telemetry.metrics.gauge(
+                "compaction_shard_seconds",
+                "Per-shard wall time of the latest compaction pass",
+                labels=("shard",),
+            )
+            self._compaction_fixes_removed = self._telemetry.metrics.counter(
+                "compaction_fixes_removed_total", "Raw fixes pruned by compaction"
+            )
+        else:
+            self._compaction_pass_seconds = None
+            self._compaction_shard_seconds = None
+            self._compaction_fixes_removed = None
         self._editorial = EditorialDesk()
         self._city = city
         self._planner = RoutePlanner(city.network) if city is not None else None
@@ -144,6 +173,7 @@ class PphcrServer:
                 replace(config.streaming, incremental=incremental),
                 shards=config.sharding.shards,
                 bus=self._bus,
+                metrics=self._telemetry.metrics if self._telemetry.enabled else None,
             )
             self._users.add_fix_listener(
                 self._streaming.observe_fix, batch=self._streaming.observe_fixes
@@ -168,6 +198,11 @@ class PphcrServer:
     def bus(self) -> MessageBus:
         """The internal message bus."""
         return self._bus
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The unified telemetry bundle (registry, tracer, slow-query log)."""
+        return self._telemetry
 
     @property
     def content(self) -> ContentRepository:
@@ -230,7 +265,11 @@ class PphcrServer:
         if not self._config.sharding.parallel or self._config.sharding.shards == 1:
             return None
         if self._workers is None:
-            self._workers = ShardWorkerPool(self._config.sharding.shards)
+            self._workers = ShardWorkerPool(
+                self._config.sharding.shards,
+                tracer=self._telemetry.tracer if self._telemetry.enabled else None,
+            )
+            self._telemetry.observe_pool(self._workers)
         return self._workers
 
     # Classifier management --------------------------------------------------
@@ -455,13 +494,25 @@ class PphcrServer:
         the full-pass form a deployment runs when it wants the whole
         population compacted in one tick instead of round-robin.
         """
-        report = self._compactor.run_pass(
-            keep_window_s=keep_window_s,
-            shard=shard,
-            budget=budget,
-            parallel=parallel,
-            pool=self.workers,
-        )
+        with self._telemetry.tracer.trace(
+            "compaction.pass", shard=-1 if shard is None else shard, parallel=parallel
+        ):
+            report = self._compactor.run_pass(
+                keep_window_s=keep_window_s,
+                shard=shard,
+                budget=budget,
+                parallel=parallel,
+                pool=self.workers,
+            )
+        if self._compaction_pass_seconds is not None:
+            self._compaction_pass_seconds.labels().record(
+                sum(report.shard_elapsed_s.values())
+            )
+            for pass_shard, elapsed_s in report.shard_elapsed_s.items():
+                self._compaction_shard_seconds.labels(shard=str(pass_shard)).set(
+                    elapsed_s
+                )
+            self._compaction_fixes_removed.labels().inc(report.fixes_removed)
         self._bus.publish(
             "tracking.compacted",
             {
@@ -536,6 +587,12 @@ class PphcrServer:
         exactly where this one stopped.  Derived caches (batch mobility
         models, served streaming snapshots) are deliberately excluded:
         they rebuild on demand from the captured state.
+
+        Telemetry (metrics registry, traces, slow-query log) is also
+        excluded **by design**: it is process-lifetime observability, so a
+        restored process starts with fresh counters exactly as a restarted
+        one would — persisting monotonic counters across a restore would
+        make rates and ratios lie about the new process.
         """
         return {
             "version": 1,

@@ -79,6 +79,7 @@ class Database:
         self._name = name
         self._tables: Dict[str, Table] = {}
         self._batch_depth = 0
+        self._query_observer = None
 
     @property
     def name(self) -> str:
@@ -95,6 +96,8 @@ class Database:
         self._tables[schema.name] = table
         if self._batch_depth > 0:
             table._begin_batch()
+        if self._query_observer is not None:
+            table.set_query_observer(self._query_observer)
         return table
 
     def table(self, name: str) -> Table:
@@ -124,6 +127,16 @@ class Database:
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
+
+    def set_query_observer(self, observer) -> None:
+        """Install a telemetry query observer on every table (and future ones).
+
+        See :meth:`Table.set_query_observer
+        <repro.storage.table.Table.set_query_observer>`; ``None`` clears.
+        """
+        self._query_observer = observer
+        for table in self._tables.values():
+            table.set_query_observer(observer)
 
     # Unit of work ---------------------------------------------------------
 

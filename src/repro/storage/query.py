@@ -25,6 +25,7 @@ Queries stay lazy: nothing is evaluated until a terminal method
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import QueryError
@@ -285,6 +286,11 @@ class Query:
         keeps float aggregation bit-identical between the planner and
         the scan reference.
         """
+        # Telemetry: a single attribute check keeps the uninstrumented
+        # path at its original cost; the enriched explain()-shaped plan is
+        # only built when an observer is installed.
+        observer = self._table.query_observer
+        start = time.perf_counter() if observer is not None else 0.0
         plan = self._plan(allow_index_order=apply_early_limit)
         predicates = self._residual_predicates(plan)
         ordered_by_index = plan["strategy"] == "index_order"
@@ -303,6 +309,13 @@ class Query:
                     break
         if apply_early_limit and self._order_key is not None and not ordered_by_index:
             rows.sort(key=self._order_key, reverse=self._order_desc)
+        if observer is not None:
+            elapsed_s = time.perf_counter() - start
+            info = dict(plan)
+            info["table"] = self._table.name
+            info["post_filters"] = len(predicates)
+            info["ordered"] = self._order_key is not None
+            observer(info, elapsed_s, len(rows))
         return rows
 
     # Terminal operations -------------------------------------------------

@@ -33,6 +33,7 @@ CPython dict item writes are atomic.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
@@ -94,12 +95,22 @@ class ShardWorkerPool:
     down with :meth:`shutdown`.
     """
 
-    def __init__(self, shards: int) -> None:
+    def __init__(self, shards: int, *, tracer: Optional[Any] = None) -> None:
         if shards < 1:
             raise PipelineError("shards must be >= 1")
         self._shards = shards
         self._executors: List[Optional[ThreadPoolExecutor]] = [None] * shards
         self._lock = threading.Lock()
+        #: Optional :class:`~repro.obs.tracing.Tracer`: when set, tasks
+        #: adopt the submitter's trace context on the worker thread and run
+        #: inside a ``shard.task`` span tagged with the shard id.
+        self._tracer = tracer
+        # Telemetry counters.  ``submitted`` is lock-guarded (any thread
+        # submits); ``completed``/``busy_s`` are only written by shard i's
+        # single worker thread, so they need no lock.
+        self._submitted = [0] * shards
+        self._completed = [0] * shards
+        self._busy_s = [0.0] * shards
 
     @property
     def shard_count(self) -> int:
@@ -121,8 +132,60 @@ class ShardWorkerPool:
         return executor
 
     def submit(self, shard: int, fn: Callable, *args: Any, **kwargs: Any) -> Future:
-        """Queue work on one shard's worker (FIFO within the shard)."""
-        return self._executor(shard).submit(fn, *args, **kwargs)
+        """Queue work on one shard's worker (FIFO within the shard).
+
+        When the pool carries a tracer and the submitting thread has an
+        active trace, the task re-enters that context on the worker and
+        runs inside a ``shard.task`` span — cross-thread trace propagation
+        is explicit (thread pools do not inherit thread-locals).
+        """
+        executor = self._executor(shard)
+        with self._lock:
+            self._submitted[shard] += 1
+        tracer = self._tracer
+        context = tracer.capture() if tracer is not None else None
+
+        def run() -> Any:
+            start = time.perf_counter()
+            try:
+                if context is not None:
+                    with tracer.adopt(context):
+                        with tracer.span("shard.task", shard=shard):
+                            return fn(*args, **kwargs)
+                return fn(*args, **kwargs)
+            finally:
+                # Single writer per shard: only worker `shard` touches these.
+                self._busy_s[shard] += time.perf_counter() - start
+                self._completed[shard] += 1
+
+        return executor.submit(run)
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-shard queue depth and busy time, plus the imbalance ratio.
+
+        ``queue_depth`` is submitted-minus-completed (tasks waiting or
+        running); ``busy_imbalance`` is max over mean of per-shard busy
+        seconds (1.0 = perfectly balanced, only meaningful once some work
+        has run).  Telemetry folds this in at pull time
+        (:meth:`Telemetry.observe_pool <repro.obs.telemetry.Telemetry.observe_pool>`).
+        """
+        with self._lock:
+            submitted = list(self._submitted)
+        completed = list(self._completed)
+        busy = list(self._busy_s)
+        per_shard = [
+            {
+                "shard": shard,
+                "submitted": submitted[shard],
+                "completed": completed[shard],
+                "queue_depth": submitted[shard] - completed[shard],
+                "busy_s": round(busy[shard], 6),
+            }
+            for shard in range(self._shards)
+        ]
+        mean_busy = sum(busy) / self._shards
+        imbalance = (max(busy) / mean_busy) if mean_busy > 0 else 0.0
+        return {"shards": per_shard, "busy_imbalance": round(imbalance, 4)}
 
     def map_shards(self, work: Dict[int, Callable[[], Any]]) -> Dict[int, Any]:
         """Run one thunk per shard concurrently; wait for all of them.
@@ -194,6 +257,9 @@ class ShardedDatabase:
             db = Database(name if shards == 1 else f"{name}.s{index}")
             create_tables(db)
             self._dbs.append(db)
+        #: Telemetry hook: ``(table_name, elapsed_s) -> None`` timing each
+        #: cross-shard fan-out merge (see :meth:`page_by_index`).
+        self._fanout_observer: Optional[Callable[[str, float], None]] = None
 
     @property
     def name(self) -> str:
@@ -224,6 +290,10 @@ class ShardedDatabase:
     def databases(self) -> List[Database]:
         """All per-shard databases, in shard order."""
         return list(self._dbs)
+
+    def set_fanout_observer(self, observer: Optional[Callable[[str, float], None]]) -> None:
+        """Install a telemetry observer timing cross-shard fan-out reads."""
+        self._fanout_observer = observer
 
     def for_key(self, key: str) -> Database:
         """The database owning ``key``."""
@@ -310,6 +380,8 @@ class ShardedDatabase:
         """
         if limit < 1:
             raise ValidationError(f"limit must be >= 1, got {limit}")
+        observer = self._fanout_observer
+        start = time.perf_counter() if observer is not None else 0.0
         shard_tokens: List[Optional[str]] = [None] * self._shards
         if after_token is not None:
             parts = decode_token(after_token, expected_len=self._shards)
@@ -370,6 +442,8 @@ class ShardedDatabase:
             for index in range(self._shards)
         )
         next_token = encode_token(shard_tokens) if has_more and merged_rows else None
+        if observer is not None:
+            observer(table_name, time.perf_counter() - start)
         return Page(items=merged_rows, next_token=next_token)
 
     # Unit of work ---------------------------------------------------------

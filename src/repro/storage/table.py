@@ -23,6 +23,7 @@ The storage-engine surface of one table:
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -212,6 +213,11 @@ class Table:
         #: Non-None while a ``Database.batch()`` is open: changes buffer
         #: here and are delivered coalesced when the batch closes.
         self._pending_changes: Optional[List[Change]] = None
+        #: Telemetry hook: ``(plan, elapsed_s, rows) -> None`` called by
+        #: timed read paths (planner queries, keyset page walks).  ``None``
+        #: keeps those paths on a single attribute check — the disabled
+        #: telemetry budget.
+        self._query_observer: Optional[Callable[[Dict[str, Any], float, int], None]] = None
         for spec in schema.indexes:
             self._specs[spec.name] = spec
             self._indexes[spec.name] = build_index(spec)
@@ -240,6 +246,23 @@ class Table:
 
     def __contains__(self, key: Any) -> bool:
         return key in self._rows
+
+    @property
+    def query_observer(self) -> Optional[Callable[[Dict[str, Any], float, int], None]]:
+        """The installed query observer (``None`` when telemetry is off)."""
+        return self._query_observer
+
+    def set_query_observer(
+        self, observer: Optional[Callable[[Dict[str, Any], float, int], None]]
+    ) -> None:
+        """Install (or clear) the telemetry query observer.
+
+        The observer receives ``(plan, elapsed_s, rows)`` for every timed
+        read: planner-routed :class:`~repro.storage.query.Query` terminals
+        (with their :meth:`~repro.storage.query.Query.explain` plan) and
+        :meth:`page_by_index` walks (strategy ``index_page``).
+        """
+        self._query_observer = observer
 
     # Index management -----------------------------------------------------
 
@@ -574,6 +597,8 @@ class Table:
         """
         if limit < 1:
             raise ValidationError(f"limit must be >= 1, got {limit}")
+        observer = self._query_observer
+        start = time.perf_counter() if observer is not None else 0.0
         index = self.sorted_index(index_name)
         self._stats["index_hits"] += 1
         after = None
@@ -595,6 +620,18 @@ class Table:
         next_token = (
             encode_token(index.entry_token_parts(page_entries[-1])) if more and rows else None
         )
+        if observer is not None:
+            observer(
+                {
+                    "strategy": "index_page",
+                    "index": index_name,
+                    "table": self.name,
+                    "post_filters": 0,
+                    "ordered": True,
+                },
+                time.perf_counter() - start,
+                len(rows),
+            )
         return Page(items=rows, next_token=next_token)
 
     # Snapshot / restore ---------------------------------------------------

@@ -19,6 +19,7 @@ to the streaming engine (O(trips) repair) with the batch miner as fallback.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -62,6 +63,13 @@ class CompactionReport:
     re-mined and pruned, unchanged users had no new fixes (only a cheap
     window check), deferred users stayed dirty because the pass budget ran
     out and will be picked up by a later pass.
+
+    ``shard_elapsed_s`` is the wall-time breakdown per shard — the time
+    spent considering that shard's users, whether the pass ran serially
+    (attributed via :meth:`ShardedCompactor.shard_of`) or in parallel
+    (each worker times its own shard).  It is the report's only
+    *timing* field: serial and parallel passes over the same state agree
+    on every other field exactly, while the timings naturally differ.
     """
 
     removed: Dict[str, int] = field(default_factory=dict)
@@ -70,6 +78,7 @@ class CompactionReport:
     deferred_users: int = 0
     skipped_users: int = 0  # visited but lacking enough data for a model
     shard: Optional[int] = None
+    shard_elapsed_s: Dict[int, float] = field(default_factory=dict)
 
     @property
     def fixes_removed(self) -> int:
@@ -188,29 +197,38 @@ class ShardedCompactor:
 
         report = CompactionReport(shard=shard)
         for user_id in self._users_in(shard):
-            if not self.is_dirty(user_id):
-                report.unchanged_users += 1
-                # A clean user needs no re-mining, but a *tightened* window
-                # must still prune: check the cheap O(1) bound first.
+            user_shard = shard if shard is not None else self.shard_of(user_id)
+            started = time.perf_counter()
+            try:
+                if not self.is_dirty(user_id):
+                    report.unchanged_users += 1
+                    # A clean user needs no re-mining, but a *tightened* window
+                    # must still prune: check the cheap O(1) bound first.
+                    latest = self._tracking.latest_fix(user_id).timestamp_s
+                    cutoff = latest - window
+                    if self._tracking.earliest_fix(user_id).timestamp_s < cutoff:
+                        report.removed[user_id] = self._tracking.prune_before(
+                            user_id, cutoff
+                        )
+                    continue
+                if cap is not None and len(report.visited_users) >= cap:
+                    report.deferred_users += 1
+                    continue
+                report.visited_users.append(user_id)
+                # Record the counter before refreshing so fixes racing in during
+                # the visit leave the user dirty for the next pass.
+                self._seen_counts[user_id] = self._tracking.fixes_added(user_id)
+                if not self._refresh_model(user_id):
+                    report.skipped_users += 1
+                    continue
                 latest = self._tracking.latest_fix(user_id).timestamp_s
-                cutoff = latest - window
-                if self._tracking.earliest_fix(user_id).timestamp_s < cutoff:
-                    report.removed[user_id] = self._tracking.prune_before(user_id, cutoff)
-                continue
-            if cap is not None and len(report.visited_users) >= cap:
-                report.deferred_users += 1
-                continue
-            report.visited_users.append(user_id)
-            # Record the counter before refreshing so fixes racing in during
-            # the visit leave the user dirty for the next pass.
-            self._seen_counts[user_id] = self._tracking.fixes_added(user_id)
-            if not self._refresh_model(user_id):
-                report.skipped_users += 1
-                continue
-            latest = self._tracking.latest_fix(user_id).timestamp_s
-            report.removed[user_id] = self._tracking.prune_before(
-                user_id, latest - window
-            )
+                report.removed[user_id] = self._tracking.prune_before(
+                    user_id, latest - window
+                )
+            finally:
+                report.shard_elapsed_s[user_shard] = report.shard_elapsed_s.get(
+                    user_shard, 0.0
+                ) + (time.perf_counter() - started)
         return report
 
     def _run_parallel(
@@ -252,4 +270,7 @@ class ShardedCompactor:
             merged.unchanged_users += report.unchanged_users
             merged.deferred_users += report.deferred_users
             merged.skipped_users += report.skipped_users
+            # Per-shard passes key their timing by their own shard, so the
+            # union is disjoint and mirrors a serial pass's attribution.
+            merged.shard_elapsed_s.update(report.shard_elapsed_s)
         return merged

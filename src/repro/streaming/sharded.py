@@ -17,7 +17,8 @@ portability contract the sharded stores have.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import PipelineError, ValidationError
 from repro.spatialdb.tracking_store import GpsFix
@@ -45,6 +46,7 @@ class ShardedStreamingEngine:
         *,
         shards: int = 1,
         bus: Optional["MessageBus"] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         if shards < 1:
             raise PipelineError("shards must be >= 1")
@@ -52,6 +54,21 @@ class ShardedStreamingEngine:
         self._engines = [
             StreamingMobilityEngine(config, bus=bus) for _ in range(shards)
         ]
+        # Batch-level telemetry only: ingest and repair are timed per call,
+        # never per fix, so the O(1)-per-fix streaming budget is untouched.
+        self._ingest_seconds = None
+        self._repair_seconds = None
+        if metrics is not None and getattr(metrics, "enabled", True):
+            self._ingest_seconds = metrics.histogram(
+                "streaming_ingest_seconds",
+                help="Wall time of streaming fix-batch ingests per shard.",
+                labels=("shard",),
+            )
+            self._repair_seconds = metrics.histogram(
+                "streaming_repair_seconds",
+                help="Wall time of per-user model repairs per shard.",
+                labels=("shard",),
+            )
 
     @property
     def config(self) -> StreamingConfig:
@@ -95,14 +112,22 @@ class ShardedStreamingEngine:
         path.  Completed trips return grouped in shard order; per-user
         trip order is identical to the single-engine walk.
         """
+        histogram = self._ingest_seconds
         if self._shards == 1:
-            return self._engines[0].observe_fixes(fixes)
+            start = time.perf_counter() if histogram is not None else 0.0
+            completed = self._engines[0].observe_fixes(fixes)
+            if histogram is not None:
+                histogram.labels(shard="0").record(time.perf_counter() - start)
+            return completed
         groups: Dict[int, List[GpsFix]] = {}
         for fix in fixes:
             groups.setdefault(self.shard_of(fix.user_id), []).append(fix)
-        completed: List[Trajectory] = []
+        completed = []
         for shard in sorted(groups):
+            start = time.perf_counter() if histogram is not None else 0.0
             completed.extend(self._engines[shard].observe_fixes(groups[shard]))
+            if histogram is not None:
+                histogram.labels(shard=str(shard)).record(time.perf_counter() - start)
         return completed
 
     # Model access ----------------------------------------------------------
@@ -129,7 +154,14 @@ class ShardedStreamingEngine:
 
     def repair_user(self, user_id: str) -> Optional[MobilitySnapshot]:
         """Force a drift repair for one user (used by the compactor)."""
-        return self.engine_for(user_id).repair_user(user_id)
+        histogram = self._repair_seconds
+        if histogram is None:
+            return self.engine_for(user_id).repair_user(user_id)
+        shard = self.shard_of(user_id)
+        start = time.perf_counter()
+        snapshot = self._engines[shard].repair_user(user_id)
+        histogram.labels(shard=str(shard)).record(time.perf_counter() - start)
+        return snapshot
 
     # Persistence ------------------------------------------------------------
 
