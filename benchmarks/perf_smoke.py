@@ -22,7 +22,11 @@ the performance trajectory is tracked from PR to PR:
   ``/v1/ops/metrics`` telemetry snapshot after the timed run (PR 7);
 * ``BENCH_telemetry_overhead.json`` — unified telemetry cost (PR 7's
   instrumented gateway drive vs. the disabled no-op path over the same
-  mixed wire workload, asserted under the 5% budget).
+  mixed wire workload, asserted under the 5% budget);
+* ``BENCH_world_replay.json`` — wire-level scenario replays (PR 8's
+  load generator: rush hour, flash crowd, broadcast→unicast handover)
+  with per-scenario p50/p95/p99 request latency, script and response
+  digests, asserted under the recorded p95 ceiling.
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -84,6 +88,13 @@ from bench_storage_engine import (  # noqa: E402
     assert_parity as assert_storage_parity,
     build_workload as build_storage_workload,
     run_workload as run_storage_workload,
+)
+from bench_world_replay import (  # noqa: E402
+    COMMUTERS as REPLAY_COMMUTERS,
+    P95_CEILING_MS,
+    SCRIPT_SEED as REPLAY_SCRIPT_SEED,
+    SHARDS as REPLAY_SHARDS,
+    run_all_scenarios,
 )
 from bench_streaming_ingest import (  # noqa: E402
     BASELINE_SUBSET,
@@ -446,6 +457,42 @@ def smoke_telemetry_overhead() -> str:
     return path
 
 
+def smoke_world_replay() -> str:
+    runs = run_all_scenarios()
+    scenarios = {}
+    for name, (script, report) in runs.items():
+        summary = report.summary()
+        summary["script_fingerprint"] = script.fingerprint()
+        assert summary["p95_ms"] <= P95_CEILING_MS, (
+            f"{name} replay p95 {summary['p95_ms']:.2f} ms exceeds the "
+            f"{P95_CEILING_MS:.0f} ms ceiling"
+        )
+        scenarios[name] = summary
+    payload = {
+        "bench": "world_replay",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "seed": REPLAY_SCRIPT_SEED,
+            "commuters": REPLAY_COMMUTERS,
+            "shards": REPLAY_SHARDS,
+            "requests": sum(s["requests"] for s in scenarios.values()),
+        },
+        "results": {
+            "p95_ceiling_ms": P95_CEILING_MS,
+            "scenarios": scenarios,
+        },
+    }
+    path = _write("BENCH_world_replay.json", payload)
+    worst = max(scenarios.values(), key=lambda s: s["p95_ms"])
+    print(
+        f"world-replay smoke: {len(scenarios)} scenarios, "
+        f"{payload['workload']['requests']} requests, worst p95 "
+        f"{worst['p95_ms']:.2f} ms ({worst['scenario']}) within the "
+        f"{P95_CEILING_MS:.0f} ms ceiling"
+    )
+    return path
+
+
 def main() -> int:
     for path in (
         smoke_geo_scoring(),
@@ -455,6 +502,7 @@ def main() -> int:
         smoke_storage_engine(),
         smoke_concurrent_serving(),
         smoke_telemetry_overhead(),
+        smoke_world_replay(),
     ):
         print(f"wrote {path}")
     return 0

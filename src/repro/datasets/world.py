@@ -79,6 +79,21 @@ class SyntheticWorld:
                 return commuter
         raise ValidationError(f"unknown commuter {user_id!r}")
 
+    def live_drives(self, day: Optional[int] = None) -> List[tuple]:
+        """``(commuter, drive)`` pairs for every commuter's live-day commute.
+
+        Each drive comes from the stateless
+        :meth:`~repro.datasets.mobility.CommuterGenerator.live_drive` fork,
+        so the list is deterministic — but a ``SimulatedDrive`` consumes
+        its own noise rng when sampled, so callers must invoke
+        ``drive.fixes()`` at most once per returned drive.
+        """
+        live_day = self.today if day is None else day
+        return [
+            (commuter, self.commuter_generator.live_drive(commuter, day=live_day))
+            for commuter in self.commuters
+        ]
+
 
 def build_world(config: WorldConfig = WorldConfig()) -> SyntheticWorld:
     """Assemble a fully populated synthetic world."""

@@ -1,0 +1,43 @@
+"""Deterministic wire-level load generation and chaos injection.
+
+The package turns a :class:`~repro.datasets.world.SyntheticWorld` into
+recorded scripts of ``(t, request)`` events — rush-hour surges, flash
+crowds on one broadcaster item, broadcast→unicast handover — replays them
+through :meth:`Gateway.handle_wire
+<repro.pipeline.gateway.gateway.Gateway.handle_wire>`, and injects faults
+at scripted points while an invariant checker compares the surviving
+state against an uninjected reference run.  See
+``docs/ARCHITECTURE.md`` ("World replay & chaos harness").
+"""
+
+from repro.loadgen.chaos import ChaosController
+from repro.loadgen.invariants import (
+    check_invariants,
+    metrics_sanity_violations,
+    state_fingerprint,
+)
+from repro.loadgen.replay import ReplayReport, WorldReplay
+from repro.loadgen.scenarios import (
+    SCENARIO_NAMES,
+    build_scenario,
+    flash_crowd_script,
+    handover_script,
+    rush_hour_script,
+)
+from repro.loadgen.script import ScenarioScript, WireEvent
+
+__all__ = [
+    "ChaosController",
+    "ReplayReport",
+    "ScenarioScript",
+    "SCENARIO_NAMES",
+    "WireEvent",
+    "WorldReplay",
+    "build_scenario",
+    "check_invariants",
+    "flash_crowd_script",
+    "handover_script",
+    "metrics_sanity_violations",
+    "rush_hour_script",
+    "state_fingerprint",
+]

@@ -1,0 +1,196 @@
+"""Invariant checking: chaos-surviving state must match the reference run.
+
+After every injection a chaos run's server is fingerprinted and compared
+field-by-field against the fingerprint of an identical replay that saw no
+faults.  The fingerprint covers the surfaces ISSUE-level recovery claims
+are made about:
+
+* **recommendations** — the wire body of ``GET /v1/recommendations`` for
+  every probe user at a fixed scenario time;
+* **model freshness** — ``PphcrServer.model_freshness`` epochs/trip
+  counts and the streaming model's stay-point/cluster geometry;
+* **tracking** — per-user fix counts, monotonic ingest counters and the
+  latest fix timestamp;
+* **preferences + feedback** — learned category affinities and the full
+  feedback history *normalized without event ids* (a device retry after
+  a crash legitimately draws fresh ids for the same events);
+* **merged cursors** — the ``GET /v1/users`` directory walked page by
+  page through keyset cursors (exercises the k-way shard merge);
+* **ops metrics sanity** — telemetry still answers, histogram
+  percentiles are ordered, counters are non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import NotFoundError
+
+#: Fingerprint dict keys, in comparison order (stable error messages).
+FINGERPRINT_SECTIONS = (
+    "recommendations",
+    "model_freshness",
+    "streaming_models",
+    "tracking",
+    "preferences",
+    "feedback",
+    "user_directory",
+    "clip_count",
+)
+
+
+def _wire(gateway, method: str, path: str, *, query: Optional[Dict[str, str]] = None):
+    status, body, _headers = gateway.handle_wire(method, path, None, query=query)
+    return status, body
+
+
+def _normalized_feedback(server, user_id: str) -> List[tuple]:
+    events = server.users.feedback.events_for_user(user_id)
+    return sorted(
+        (e.content_id, e.kind.value, e.timestamp_s, e.listened_s, e.is_clip)
+        for e in events
+    )
+
+
+def _streaming_model(server, user_id: str) -> Optional[Dict[str, Any]]:
+    snapshot = server.streaming.model_snapshot(user_id)
+    if snapshot is None:
+        return None
+    return {
+        "trip_count": snapshot.trip_count,
+        "epoch": snapshot.epoch,
+        "dirty_trips": snapshot.dirty_trips,
+        "stay_points": len(snapshot.stay_points),
+        "clusters": len(snapshot.clusters),
+    }
+
+
+def _tracking_state(server, user_id: str) -> Dict[str, Any]:
+    tracking = server.users.tracking
+    try:
+        latest = tracking.latest_fix(user_id).timestamp_s
+    except NotFoundError:
+        latest = None
+    return {
+        "fix_count": tracking.fix_count(user_id),
+        "fixes_added": tracking.fixes_added(user_id),
+        "latest_timestamp_s": latest,
+    }
+
+
+def _user_directory(gateway, *, page_limit: int) -> List[str]:
+    """Walk GET /v1/users through its keyset cursor; returns all user ids."""
+    import json
+
+    collected: List[str] = []
+    cursor: Optional[str] = None
+    while True:
+        query = {"limit": str(page_limit)}
+        if cursor:
+            query["cursor"] = cursor
+        status, body = _wire(gateway, "GET", "/v1/users", query=query)
+        if status != 200:
+            raise AssertionError(f"GET /v1/users returned {status}: {body}")
+        payload = json.loads(body) if isinstance(body, str) else body
+        collected.extend(item["user_id"] for item in payload["users"])
+        cursor = payload.get("next_cursor")
+        if not cursor:
+            return collected
+
+
+def state_fingerprint(
+    server,
+    *,
+    user_ids: List[str],
+    now_s: float,
+    page_limit: int = 3,
+    gateway=None,
+) -> Dict[str, Any]:
+    """A comparable snapshot of every surface the chaos claims cover.
+
+    A fresh default gateway is built unless one is passed, so fingerprints
+    never depend on rate-limiter or cache state accumulated during the
+    replay itself.
+    """
+    if gateway is None:
+        from repro.pipeline.gateway.gateway import Gateway
+
+        gateway = Gateway(server)
+    recommendations: Dict[str, Any] = {}
+    for user_id in user_ids:
+        status, body = _wire(
+            gateway,
+            "GET",
+            f"/v1/recommendations/{user_id}",
+            query={"now_s": repr(now_s)},
+        )
+        recommendations[user_id] = {"status": status, "body": body}
+    return {
+        "recommendations": recommendations,
+        "model_freshness": {u: tuple(server.model_freshness(u)) for u in user_ids},
+        "streaming_models": {u: _streaming_model(server, u) for u in user_ids},
+        "tracking": {u: _tracking_state(server, u) for u in user_ids},
+        "preferences": {
+            u: server.users.preference_profile(u).to_payload() for u in user_ids
+        },
+        "feedback": {u: _normalized_feedback(server, u) for u in user_ids},
+        "user_directory": _user_directory(gateway, page_limit=page_limit),
+        "clip_count": len(server.content.clips()),
+    }
+
+
+def metrics_sanity_violations(telemetry) -> List[str]:
+    """Ops-metrics sanity: the registry still answers and is well-formed."""
+    violations: List[str] = []
+    snapshot = telemetry.metrics_snapshot()
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            violations.append(f"metrics snapshot missing section {section!r}")
+    for name, family in snapshot.get("counters", {}).items():
+        for series in family.get("series", []):
+            if series.get("value", 0) < 0:
+                violations.append(
+                    f"counter {name}{series.get('labels')} is negative"
+                )
+    for name, family in snapshot.get("histograms", {}).items():
+        for series in family.get("series", []):
+            if series.get("count", 0) < 0:
+                violations.append(f"histogram {name} has negative count")
+            p50 = series.get("p50")
+            p95 = series.get("p95")
+            p99 = series.get("p99")
+            if None not in (p50, p95, p99) and not p50 <= p95 <= p99:
+                violations.append(
+                    f"histogram {name}{series.get('labels')} "
+                    f"percentiles unordered: p50={p50} p95={p95} p99={p99}"
+                )
+    return violations
+
+
+def check_invariants(
+    server,
+    reference: Dict[str, Any],
+    *,
+    user_ids: List[str],
+    now_s: float,
+    page_limit: int = 3,
+) -> List[str]:
+    """Compare a chaos-survivor against the reference fingerprint.
+
+    Returns a list of human-readable violations — empty means the
+    surviving state is indistinguishable from the uninjected run and the
+    ops metrics still make sense.
+    """
+    violations: List[str] = []
+    actual = state_fingerprint(
+        server, user_ids=user_ids, now_s=now_s, page_limit=page_limit
+    )
+    for section in FINGERPRINT_SECTIONS:
+        if actual[section] != reference[section]:
+            violations.append(
+                f"{section} diverged from reference:\n"
+                f"  reference: {reference[section]!r}\n"
+                f"  actual:    {actual[section]!r}"
+            )
+    violations.extend(metrics_sanity_violations(server.telemetry))
+    return violations

@@ -1,0 +1,143 @@
+"""Replay a recorded scenario script through the wire gateway.
+
+:class:`WorldReplay` walks a :class:`~repro.loadgen.script.ScenarioScript`
+event by event, dispatches each through ``Gateway.handle_wire``, measures
+per-request wall-clock latency, and (optionally) hands control to a
+:class:`~repro.loadgen.chaos.ChaosController` before and after every
+event so faults land at scripted points.  The resulting
+:class:`ReplayReport` carries exact nearest-rank latency percentiles and
+a sha256 digest over the ``(status, body)`` response sequence — the
+artifact byte-determinism claims are made against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.loadgen.script import ScenarioScript, WireEvent, canonical_json
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Exact nearest-rank percentile (no interpolation)."""
+    if not samples:
+        raise ValidationError("cannot take a percentile of no samples")
+    if not 0.0 < fraction <= 1.0:
+        raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * fraction // 1))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class ReplayedEvent:
+    """One executed script event and what the wire returned for it."""
+
+    index: int
+    event: WireEvent
+    status: int
+    body: Any
+    latency_s: float
+
+
+@dataclass
+class ReplayReport:
+    """Everything a replay run produced, summarized."""
+
+    script_name: str
+    script_seed: int
+    events: List[ReplayedEvent] = field(default_factory=list)
+
+    @property
+    def latencies_s(self) -> List[float]:
+        return [entry.latency_s for entry in self.events]
+
+    @property
+    def status_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for entry in self.events:
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return counts
+
+    def percentiles_ms(self) -> Dict[str, float]:
+        """p50/p95/p99 request latency in milliseconds (nearest-rank)."""
+        samples = self.latencies_s
+        return {
+            "p50_ms": percentile(samples, 0.50) * 1000.0,
+            "p95_ms": percentile(samples, 0.95) * 1000.0,
+            "p99_ms": percentile(samples, 0.99) * 1000.0,
+        }
+
+    def responses_digest(self) -> str:
+        """sha256 over the canonical ``(status, body)`` response sequence.
+
+        Latency and headers are excluded: two runs over identical state
+        must produce the same digest regardless of machine speed.
+        """
+        hasher = hashlib.sha256()
+        for entry in self.events:
+            hasher.update(canonical_json([entry.status, entry.body]).encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-friendly rollup the bench writes to its BENCH file."""
+        return {
+            "scenario": self.script_name,
+            "seed": self.script_seed,
+            "requests": len(self.events),
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "responses_digest": self.responses_digest(),
+            **self.percentiles_ms(),
+        }
+
+
+class WorldReplay:
+    """Drives a scenario script through one gateway, fault hooks included."""
+
+    def __init__(self, gateway, *, chaos=None) -> None:
+        self._gateway = gateway
+        self._chaos = chaos
+        if chaos is not None:
+            chaos.attach(self)
+
+    @property
+    def gateway(self):
+        """The gateway currently receiving traffic (chaos may swap it)."""
+        return self._gateway
+
+    def use_gateway(self, gateway) -> None:
+        """Point the replay at a different gateway (post kill+restore)."""
+        self._gateway = gateway
+
+    def dispatch(self, event: WireEvent) -> Tuple[int, Any]:
+        """Send one event through the current gateway, untimed."""
+        status, body, _headers = self._gateway.handle_wire(
+            event.method, event.path, event.body_json(), query=event.query
+        )
+        return status, body
+
+    def run(self, script: ScenarioScript) -> ReplayReport:
+        """Replay every event in order; returns the full report."""
+        report = ReplayReport(script_name=script.name, script_seed=script.seed)
+        for index, event in enumerate(script):
+            if self._chaos is not None:
+                self._chaos.before_event(index, event)
+            started = time.perf_counter()
+            status, body = self.dispatch(event)
+            latency_s = time.perf_counter() - started
+            report.events.append(
+                ReplayedEvent(
+                    index=index,
+                    event=event,
+                    status=status,
+                    body=body,
+                    latency_s=latency_s,
+                )
+            )
+            if self._chaos is not None:
+                self._chaos.after_event(index, event, status)
+        return report

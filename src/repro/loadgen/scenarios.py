@@ -1,0 +1,338 @@
+"""Scenario builders: synthetic-world traffic recorded as wire scripts.
+
+Each builder derives every random draw from ``DeterministicRng(seed)``
+forks and generates each commuter's live drive exactly once (a
+:class:`~repro.datasets.mobility.SimulatedDrive` consumes its noise rng
+when sampled), so the same world and seed always produce the same
+byte-identical :class:`~repro.loadgen.script.ScenarioScript`:
+
+* **rush hour** — the whole commuter population drives at once; GPS
+  batches arrive in fixed windows interleaved with recommendation reads
+  and en-route listening feedback;
+* **flash crowd** — the driving backbone plus a burst where every
+  listener hammers one broadcaster clip (item reads, recommendations,
+  feedback, catalogue walks);
+* **handover** — drives through patchy broadcast coverage: each
+  out-of-coverage window triggers a broadcast→unicast handover (a
+  unicast clip fetch), annotated with the
+  :class:`~repro.delivery.DeliveryCostModel` bandwidth estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.datasets.world import SyntheticWorld
+from repro.delivery import DeliveryCostModel
+from repro.errors import ValidationError
+from repro.loadgen.script import ScenarioScript, WireEvent
+from repro.spatialdb import GpsFix
+from repro.util.rng import DeterministicRng
+
+#: Builders registered for the scenario matrix, by name.
+SCENARIO_NAMES = ("rush_hour", "flash_crowd", "handover")
+
+#: Width of one ingest window: all fixes a device buffered since the last
+#: upload go out as one batch at the window's end.
+DEFAULT_WINDOW_S = 120.0
+
+
+def _fix_item(fix: GpsFix) -> Dict[str, Any]:
+    return {
+        "user_id": fix.user_id,
+        "lat": fix.position.lat,
+        "lon": fix.position.lon,
+        "timestamp_s": fix.timestamp_s,
+        "speed_mps": fix.speed_mps,
+        "accuracy_m": fix.accuracy_m,
+    }
+
+
+class _EventSink:
+    """Collects events with a construction sequence for a stable time sort."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, int, WireEvent]] = []
+
+    def add(
+        self,
+        t_s: float,
+        method: str,
+        path: str,
+        *,
+        body: Optional[Dict[str, Any]] = None,
+        query: Optional[Dict[str, str]] = None,
+        tags: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        event = WireEvent(
+            t_s=t_s, method=method, path=path, body=body, query=query, tags=tags
+        )
+        self._entries.append((t_s, len(self._entries), event))
+
+    def sorted_events(self) -> Tuple[WireEvent, ...]:
+        return tuple(event for _t, _seq, event in sorted(self._entries, key=lambda e: (e[0], e[1])))
+
+
+def _live_fixes(world: SyntheticWorld) -> Dict[str, List[GpsFix]]:
+    """Each commuter's full live-day drive, sampled exactly once."""
+    fixes: Dict[str, List[GpsFix]] = {}
+    for commuter, drive in world.live_drives():
+        fixes[commuter.user_id] = drive.fixes()
+    return fixes
+
+
+def _drive_windows(
+    fixes_by_user: Dict[str, List[GpsFix]], window_s: float
+) -> List[Tuple[float, Dict[str, List[GpsFix]]]]:
+    """(window_end, per-user fixes) for every window with traffic."""
+    if window_s <= 0:
+        raise ValidationError("window_s must be > 0")
+    start = min(fixes[0].timestamp_s for fixes in fixes_by_user.values() if fixes)
+    end = max(fixes[-1].timestamp_s for fixes in fixes_by_user.values() if fixes)
+    windows: List[Tuple[float, Dict[str, List[GpsFix]]]] = []
+    w_start = start
+    while w_start <= end:
+        w_end = w_start + window_s
+        in_window: Dict[str, List[GpsFix]] = {}
+        for user_id, fixes in fixes_by_user.items():
+            chunk = [fix for fix in fixes if w_start <= fix.timestamp_s < w_end]
+            if chunk:
+                in_window[user_id] = chunk
+        if in_window:
+            windows.append((w_end, in_window))
+        w_start = w_end
+    return windows
+
+
+def _driving_backbone(
+    sink: _EventSink,
+    windows: List[Tuple[float, Dict[str, List[GpsFix]]]],
+    *,
+    recommend_every: int,
+    beat: str,
+) -> None:
+    """The shared traffic shape: windowed batch ingest + recommendation reads."""
+    for index, (w_end, in_window) in enumerate(windows):
+        items = [
+            _fix_item(fix)
+            for user_id in sorted(in_window)
+            for fix in in_window[user_id]
+        ]
+        sink.add(
+            w_end,
+            "POST",
+            "/v1/tracking/batch",
+            body={"fixes": items},
+            tags=(("beat", beat),),
+        )
+        if recommend_every and index % recommend_every == recommend_every - 1:
+            for user_id in sorted(in_window):
+                sink.add(
+                    w_end,
+                    "GET",
+                    f"/v1/recommendations/{user_id}",
+                    query={"now_s": repr(w_end)},
+                    tags=(("beat", beat), ("user", user_id)),
+                )
+
+
+def _catalogue_clip_ids(world: SyntheticWorld) -> List[str]:
+    return sorted(world.clips_by_id)
+
+
+def _hot_clip_id(world: SyntheticWorld) -> str:
+    """The broadcaster item a flash crowd converges on: the newest clip."""
+    return max(
+        world.clips_by_id.values(), key=lambda clip: (clip.published_s, clip.clip_id)
+    ).clip_id
+
+
+def rush_hour_script(
+    world: SyntheticWorld,
+    *,
+    seed: int,
+    window_s: float = DEFAULT_WINDOW_S,
+    recommend_every: int = 2,
+) -> ScenarioScript:
+    """The whole population commutes at once; devices upload in windows."""
+    rng = DeterministicRng(seed).fork("rush_hour")
+    fixes_by_user = _live_fixes(world)
+    windows = _drive_windows(fixes_by_user, window_s)
+    sink = _EventSink()
+    _driving_backbone(sink, windows, recommend_every=recommend_every, beat="rush_hour")
+    # En-route listening: around mid-drive and on arrival each commuter
+    # reports a completed clip, so preference learning runs under load.
+    clip_ids = _catalogue_clip_ids(world)
+    for user_id in sorted(fixes_by_user):
+        fixes = fixes_by_user[user_id]
+        user_rng = rng.fork("feedback", user_id)
+        for label, fix in (("mid", fixes[len(fixes) // 2]), ("arrival", fixes[-1])):
+            sink.add(
+                fix.timestamp_s,
+                "POST",
+                "/v1/feedback",
+                body={
+                    "user_id": user_id,
+                    "content_id": user_rng.choice(clip_ids),
+                    "kind": "completed" if user_rng.bernoulli(0.7) else "like",
+                    "timestamp_s": fix.timestamp_s,
+                    "listened_s": round(user_rng.uniform(60.0, 240.0), 3),
+                },
+                tags=(("beat", "rush_hour"), ("phase", label)),
+            )
+    return ScenarioScript(
+        name="rush_hour",
+        seed=seed,
+        events=sink.sorted_events(),
+        metadata={
+            "commuters": len(fixes_by_user),
+            "window_s": window_s,
+            "windows": len(windows),
+        },
+    )
+
+
+def flash_crowd_script(
+    world: SyntheticWorld,
+    *,
+    seed: int,
+    window_s: float = DEFAULT_WINDOW_S,
+    burst_requests_per_user: int = 3,
+) -> ScenarioScript:
+    """Everyone converges on one broadcaster clip mid-commute."""
+    rng = DeterministicRng(seed).fork("flash_crowd")
+    fixes_by_user = _live_fixes(world)
+    windows = _drive_windows(fixes_by_user, window_s)
+    sink = _EventSink()
+    _driving_backbone(sink, windows, recommend_every=3, beat="drive")
+    hot_clip = _hot_clip_id(world)
+    # The crowd hits in the middle third of the drive span.
+    mid_index = len(windows) // 2
+    burst_start = windows[max(0, mid_index - 1)][0]
+    burst_span = max(window_s, windows[-1][0] - burst_start) / 3.0
+    tags = (("beat", "flash_crowd"), ("clip", hot_clip))
+    for user_id in sorted(fixes_by_user):
+        user_rng = rng.fork("burst", user_id)
+        for _ in range(burst_requests_per_user):
+            t = burst_start + user_rng.uniform(0.0, burst_span)
+            sink.add(t, "GET", f"/v1/clips/{hot_clip}", tags=tags + (("user", user_id),))
+            sink.add(
+                t,
+                "GET",
+                f"/v1/recommendations/{user_id}",
+                query={"now_s": repr(t)},
+                tags=tags + (("user", user_id),),
+            )
+        feedback_t = burst_start + user_rng.uniform(0.0, burst_span)
+        sink.add(
+            feedback_t,
+            "POST",
+            "/v1/feedback",
+            body={
+                "user_id": user_id,
+                "content_id": hot_clip,
+                "kind": "like" if user_rng.bernoulli(0.6) else "completed",
+                "timestamp_s": feedback_t,
+                "listened_s": round(user_rng.uniform(30.0, 180.0), 3),
+            },
+            tags=tags + (("user", user_id),),
+        )
+        # Crowd spillover: catalogue listing walks while the item is hot.
+        sink.add(
+            burst_start + user_rng.uniform(0.0, burst_span),
+            "GET",
+            "/v1/clips",
+            query={"limit": "10"},
+            tags=tags,
+        )
+    return ScenarioScript(
+        name="flash_crowd",
+        seed=seed,
+        events=sink.sorted_events(),
+        metadata={
+            "commuters": len(fixes_by_user),
+            "window_s": window_s,
+            "hot_clip": hot_clip,
+            "burst_requests_per_user": burst_requests_per_user,
+        },
+    )
+
+
+def handover_script(
+    world: SyntheticWorld,
+    *,
+    seed: int,
+    window_s: float = DEFAULT_WINDOW_S,
+    broadcast_coverage: float = 0.7,
+) -> ScenarioScript:
+    """Drives through patchy coverage: each gap is a broadcast→unicast handover.
+
+    While a commuter is inside broadcast coverage the linear programme
+    arrives over the air and generates no wire traffic; each
+    out-of-coverage window makes the hybrid player fetch its personalized
+    clip over IP.  The script's metadata carries the
+    :class:`~repro.delivery.DeliveryCostModel` estimate for the same
+    coverage, so the recorded traffic and the analytic model are
+    comparable.
+    """
+    if not 0.0 <= broadcast_coverage <= 1.0:
+        raise ValidationError("broadcast_coverage must be in [0, 1]")
+    rng = DeterministicRng(seed).fork("handover")
+    fixes_by_user = _live_fixes(world)
+    windows = _drive_windows(fixes_by_user, window_s)
+    sink = _EventSink()
+    _driving_backbone(sink, windows, recommend_every=3, beat="drive")
+    clip_ids = _catalogue_clip_ids(world)
+    handovers = 0
+    for index, (w_end, in_window) in enumerate(windows):
+        for user_id in sorted(in_window):
+            user_rng = rng.fork("coverage", user_id, index)
+            if user_rng.bernoulli(broadcast_coverage):
+                continue  # still inside coverage; the mux carries the audio
+            handovers += 1
+            clip_id = user_rng.choice(clip_ids)
+            sink.add(
+                w_end,
+                "GET",
+                f"/v1/clips/{clip_id}",
+                tags=(
+                    ("beat", "handover"),
+                    ("user", user_id),
+                    ("mode", "unicast"),
+                    ("handover", "broadcast->unicast"),
+                ),
+            )
+    cost_model = DeliveryCostModel(broadcast_coverage=broadcast_coverage)
+    report = cost_model.report(len(fixes_by_user))
+    return ScenarioScript(
+        name="handover",
+        seed=seed,
+        events=sink.sorted_events(),
+        metadata={
+            "commuters": len(fixes_by_user),
+            "window_s": window_s,
+            "broadcast_coverage": broadcast_coverage,
+            "handovers": handovers,
+            "unicast_window_s_total": handovers * window_s,
+            "cost_model": {
+                "hybrid_unicast_bytes": report.hybrid_unicast_bytes,
+                "pure_streaming_bytes": report.pure_streaming_bytes,
+                "broadcast_equivalent_bytes": report.broadcast_equivalent_bytes,
+            },
+        },
+    )
+
+
+def build_scenario(name: str, world: SyntheticWorld, *, seed: int) -> ScenarioScript:
+    """Build one registered scenario by name (the matrix entry point)."""
+    builders = {
+        "rush_hour": rush_hour_script,
+        "flash_crowd": flash_crowd_script,
+        "handover": handover_script,
+    }
+    builder = builders.get(name)
+    if builder is None:
+        raise ValidationError(
+            f"unknown scenario {name!r} (have {', '.join(SCENARIO_NAMES)})"
+        )
+    return builder(world, seed=seed)

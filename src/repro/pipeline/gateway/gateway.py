@@ -577,9 +577,24 @@ class Gateway:
         if user_id is None:
             for owner in sorted(owners):
                 self._server.users.profile(owner)  # 404 before any ingest
-        accepted = self._server.users.ingest_fixes(
-            fixes, skip_stale=True, pool=self._server.workers
-        )
+        try:
+            accepted = self._server.users.ingest_fixes(
+                fixes, skip_stale=True, pool=self._server.workers
+            )
+        except ReproError as exc:
+            # Surface the aborted batch on the bus before the error maps to
+            # a wire status: with no subscriber the message dead-letters
+            # (reason ``no_subscriber``), giving operators a durable record
+            # of every rejected multi-user batch alongside the 5xx trace.
+            self._server.bus.publish(
+                "tracking.batch_failed",
+                {
+                    "users": sorted(owners),
+                    "submitted": len(fixes),
+                    "error": str(exc),
+                },
+            )
+            raise
         body = {
             "submitted": len(fixes),
             "accepted": accepted,

@@ -111,11 +111,25 @@ class ShardWorkerPool:
         self._submitted = [0] * shards
         self._completed = [0] * shards
         self._busy_s = [0.0] * shards
+        # Chaos/testing hook: when set, called with the shard id at the
+        # start of every task, before the task body runs.  Raising from the
+        # hook fails the task exactly like the task body raising.
+        self._fault_hook: Optional[Callable[[int], None]] = None
 
     @property
     def shard_count(self) -> int:
         """Number of shards this pool serves."""
         return self._shards
+
+    def set_fault_hook(self, hook: Optional[Callable[[int], None]]) -> None:
+        """Install (or clear, with ``None``) the per-task fault hook.
+
+        The chaos harness uses this to make worker tasks fail on demand:
+        an armed hook raising turns the whole :meth:`map_shards` barrier
+        into the error path, which is exactly how a real worker crash
+        mid-group presents to callers.
+        """
+        self._fault_hook = hook
 
     def _executor(self, shard: int) -> ThreadPoolExecutor:
         if not 0 <= shard < self._shards:
@@ -148,6 +162,9 @@ class ShardWorkerPool:
         def run() -> Any:
             start = time.perf_counter()
             try:
+                hook = self._fault_hook
+                if hook is not None:
+                    hook(shard)
                 if context is not None:
                     with tracer.adopt(context):
                         with tracer.span("shard.task", shard=shard):

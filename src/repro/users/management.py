@@ -295,6 +295,12 @@ class UserManager:
         each worker is the single writer of everything it mutates.  The
         per-user outcome is identical to the serial walk; only the
         interleaving across users of *different* shards differs.
+
+        The pooled path is atomic across shards: a read-only validation
+        pass runs on every shard first, and writes only start once all
+        groups validated.  A worker failing during validation (bad data,
+        injected fault, crash) therefore leaves zero fixes ingested —
+        no partial multi-user batch is ever observable.
         """
         if pool is None or self._shards == 1:
             return self._ingest_group(fixes, skip_stale)
@@ -303,13 +309,65 @@ class UserManager:
             groups.setdefault(self.shard_of(fix.user_id), []).append(fix)
         if len(groups) <= 1:
             return self._ingest_group(fixes, skip_stale)
-        results = pool.map_shards(
+        prepared = pool.map_shards(
             {
-                shard: (lambda group=group: self._ingest_group(group, skip_stale))
+                shard: (lambda group=group: self._prepare_group(group, skip_stale))
                 for shard, group in groups.items()
             }
         )
+        results = pool.map_shards(
+            {
+                shard: (lambda accepted=accepted: self._apply_group(accepted))
+                for shard, accepted in prepared.items()
+                if accepted
+            }
+        )
         return sum(results.values())
+
+    def _prepare_group(self, fixes: List[GpsFix], skip_stale: bool) -> List[GpsFix]:
+        """Phase 1 of pooled ingest: validate one shard's group, write nothing.
+
+        Performs exactly the checks :meth:`_ingest_group` would make —
+        unknown users raise, out-of-order fixes raise unless
+        ``skip_stale`` drops them — and returns the fixes that phase 2
+        (:meth:`_apply_group`) will write.  Read-only by construction, so
+        a failure anywhere in the batch aborts with zero writes on every
+        shard.
+        """
+        tracking = self._tracking
+        latest_by_user: Dict[str, float] = {}
+        accepted: List[GpsFix] = []
+        for fix in fixes:
+            latest = latest_by_user.get(fix.user_id)
+            if latest is None:
+                self.profile(fix.user_id)  # raises for unknown users
+                try:
+                    latest = tracking.latest_fix(fix.user_id).timestamp_s
+                except NotFoundError:
+                    latest = float("-inf")
+            if fix.timestamp_s < latest:
+                if skip_stale:
+                    continue
+                raise ValidationError(
+                    f"fix for {fix.user_id!r} at {fix.timestamp_s} is older than "
+                    f"the latest stored fix at {latest}"
+                )
+            latest_by_user[fix.user_id] = fix.timestamp_s
+            accepted.append(fix)
+        return accepted
+
+    def _apply_group(self, accepted: List[GpsFix]) -> int:
+        """Phase 2 of pooled ingest: write one shard's validated fixes."""
+        tracking = self._tracking
+        for fix in accepted:
+            tracking.add_fix(fix)
+        for listener, batch_listener in self._fix_listeners:
+            if batch_listener is not None:
+                batch_listener(accepted)
+            else:
+                for fix in accepted:
+                    listener(fix)
+        return len(accepted)
 
     def _ingest_group(self, fixes: List[GpsFix], skip_stale: bool) -> int:
         """The serial ingest walk over one ordered run of fixes."""

@@ -2,10 +2,49 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datasets import BroadcasterConfig, CommuterConfig, WorldConfig, build_world
 from repro.roadnet import CityGeneratorConfig, generate_city
+from repro.util.rng import DeterministicRng
+
+#: Seed the randomized tests run with unless ``REPRO_TEST_SEED`` overrides it.
+DEFAULT_TEST_SEED = 20260808
+
+
+@pytest.fixture
+def seeded_rng(request):
+    """The one rng every randomized test draws from.
+
+    Honours ``REPRO_TEST_SEED`` so a failure seen anywhere can be replayed
+    exactly; the seed in use is attached to the test report, and a failing
+    test prints the ``REPRO_TEST_SEED=<seed>`` re-run line.  Tests should
+    :meth:`~repro.util.rng.DeterministicRng.fork` labeled sub-streams off
+    this fixture rather than hand-seeding ``random.Random``.
+    """
+    raw = os.environ.get("REPRO_TEST_SEED", "")
+    seed = int(raw) if raw.strip() else DEFAULT_TEST_SEED
+    request.node.user_properties.append(("repro_test_seed", seed))
+    return DeterministicRng(seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    for name, value in item.user_properties:
+        if name == "repro_test_seed":
+            report.sections.append(
+                (
+                    "seeded_rng",
+                    f"test ran with seed {value}; "
+                    f"re-run it with REPRO_TEST_SEED={value}",
+                )
+            )
 
 
 @pytest.fixture(scope="session")

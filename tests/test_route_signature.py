@@ -11,8 +11,6 @@ Covers the three equivalence claims of the fast path:
   linear reference scan.
 """
 
-import random
-
 import pytest
 
 from repro.errors import TrajectoryError
@@ -39,9 +37,8 @@ from repro.trajectory.staypoints import StayPoint
 BASE = GeoPoint(45.07, 7.68)
 
 
-def random_trip(seed, *, origin=None, bearing=None, user_id="u1", start_s=0.0):
+def random_trip(rng, *, origin=None, bearing=None, user_id="u1", start_s=0.0):
     """A jittery drive with a random point count, length and heading."""
-    rng = random.Random(seed)
     position = origin or destination_point(BASE, rng.uniform(0.0, 360.0), rng.uniform(0.0, 5000.0))
     heading = bearing if bearing is not None else rng.uniform(0.0, 360.0)
     points = []
@@ -69,8 +66,8 @@ def reference_coherence(trips):
 
 
 class TestRouteSignature:
-    def test_randomized_pairs_match_reference(self):
-        trips = [random_trip(seed) for seed in range(25)]
+    def test_randomized_pairs_match_reference(self, seeded_rng):
+        trips = [random_trip(seeded_rng.fork("trip", index)) for index in range(25)]
         signatures = [route_signature(trip) for trip in trips]
         for i in range(len(trips)):
             for j in range(i + 1, len(trips)):
@@ -78,19 +75,19 @@ class TestRouteSignature:
                 fast = route_similarity_signatures(signatures[i], signatures[j])
                 assert abs(fast - reference) <= 1e-9, (i, j)
 
-    def test_nondefault_sample_count_matches_reference(self):
-        a, b = random_trip(101), random_trip(102)
+    def test_nondefault_sample_count_matches_reference(self, seeded_rng):
+        a, b = random_trip(seeded_rng.fork("a")), random_trip(seeded_rng.fork("b"))
         reference = route_similarity(a, b, samples=7)
         fast = route_similarity_signatures(
             route_signature(a, samples=7), route_signature(b, samples=7)
         )
         assert abs(fast - reference) <= 1e-9
 
-    def test_zero_length_trip_scores_zero(self):
+    def test_zero_length_trip_scores_zero(self, seeded_rng):
         stationary = Trajectory(
             "u1", [TrajectoryPoint(0.0, BASE, 0.0), TrajectoryPoint(10.0, BASE, 0.0)]
         )
-        moving = random_trip(3)
+        moving = random_trip(seeded_rng.fork("moving"))
         assert route_similarity(stationary, moving) == 0.0
         assert (
             route_similarity_signatures(
@@ -99,31 +96,31 @@ class TestRouteSignature:
             == 0.0
         )
 
-    def test_sample_count_mismatch_raises(self):
-        a, b = random_trip(4), random_trip(5)
+    def test_sample_count_mismatch_raises(self, seeded_rng):
+        a, b = random_trip(seeded_rng.fork("a")), random_trip(seeded_rng.fork("b"))
         with pytest.raises(TrajectoryError):
             route_similarity_signatures(
                 route_signature(a, samples=10), route_signature(b, samples=20)
             )
 
-    def test_signature_validates_samples(self):
+    def test_signature_validates_samples(self, seeded_rng):
         with pytest.raises(TrajectoryError):
-            RouteSignature(random_trip(6), samples=1)
+            RouteSignature(random_trip(seeded_rng.fork("trip")), samples=1)
 
-    def test_cache_returns_same_object_per_trip_and_sample_count(self):
-        trip = random_trip(7)
+    def test_cache_returns_same_object_per_trip_and_sample_count(self, seeded_rng):
+        trip = random_trip(seeded_rng.fork("trip"))
         assert route_signature(trip) is route_signature(trip)
         assert route_signature(trip, samples=11) is route_signature(trip, samples=11)
         assert route_signature(trip) is not route_signature(trip, samples=11)
 
 
 class TestIncrementalCoherence:
-    def test_add_trip_sequences_match_from_scratch_mean(self):
-        rng = random.Random(42)
+    def test_add_trip_sequences_match_from_scratch_mean(self, seeded_rng):
+        rng = seeded_rng.fork("sequences")
         for case in range(5):
             cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
             trips = [
-                random_trip(f"{case}-{index}", origin=BASE, bearing=40.0)
+                random_trip(rng.fork("trip", case, index), origin=BASE, bearing=40.0)
                 for index in range(rng.randint(2, 12))
             ]
             for trip in trips:
@@ -135,29 +132,29 @@ class TestIncrementalCoherence:
                 expected = reference_coherence(cluster.trips)
                 assert cluster.geometric_coherence() == pytest.approx(expected, abs=1e-9)
 
-    def test_wholesale_trip_replacement_resyncs(self):
+    def test_wholesale_trip_replacement_resyncs(self, seeded_rng):
         cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
         for index in range(4):
-            cluster.add_trip(random_trip(f"a{index}"))
+            cluster.add_trip(random_trip(seeded_rng.fork("a", index)))
         cluster.geometric_coherence()
-        replacement = [random_trip(f"b{index}") for index in range(3)]
+        replacement = [random_trip(seeded_rng.fork("b", index)) for index in range(3)]
         cluster.trips = list(replacement)
         assert cluster.geometric_coherence() == pytest.approx(
             reference_coherence(replacement), abs=1e-9
         )
 
-    def test_single_trip_is_fully_coherent(self):
+    def test_single_trip_is_fully_coherent(self, seeded_rng):
         cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
-        cluster.add_trip(random_trip(9))
+        cluster.add_trip(random_trip(seeded_rng.fork("trip")))
         assert cluster.geometric_coherence() == 1.0
 
-    def test_copy_carries_running_state_and_is_independent(self):
+    def test_copy_carries_running_state_and_is_independent(self, seeded_rng):
         cluster = RouteCluster(cluster_id=0, origin_stay_point=0, destination_stay_point=1)
         for index in range(3):
-            cluster.add_trip(random_trip(f"c{index}"))
+            cluster.add_trip(random_trip(seeded_rng.fork("c", index)))
         clone = cluster.copy()
         assert clone.geometric_coherence() == cluster.geometric_coherence()
-        clone.add_trip(random_trip("c99"))
+        clone.add_trip(random_trip(seeded_rng.fork("c", 99)))
         assert len(cluster.trips) == 3
         assert clone.geometric_coherence() == pytest.approx(
             reference_coherence(clone.trips), abs=1e-9
@@ -166,7 +163,7 @@ class TestIncrementalCoherence:
 
 class TestRouteClusterIndex:
     @staticmethod
-    def build_clusters():
+    def build_clusters(rng):
         anchors = {
             0: BASE,
             1: destination_point(BASE, 45.0, 4000.0),
@@ -181,12 +178,16 @@ class TestRouteClusterIndex:
             [(0, 1), (1, 0), (0, 2), (0, 1), (1, 0), (0, 1)]
         ):
             trips.append(
-                trip_between(anchors[origin_id], anchors[destination_id], seed=index)
+                trip_between(
+                    anchors[origin_id],
+                    anchors[destination_id],
+                    rng=rng.fork("between", index),
+                )
             )
         return cluster_trips(trips, stay_points), stay_points
 
-    def test_indexed_lookup_equals_linear_scan(self):
-        clusters, stay_points = self.build_clusters()
+    def test_indexed_lookup_equals_linear_scan(self, seeded_rng):
+        clusters, stay_points = self.build_clusters(seeded_rng.fork("clusters"))
         assert len(clusters) >= 2
         index = RouteClusterIndex(clusters)
         ids = [sp.stay_point_id for sp in stay_points] + [97]
@@ -213,9 +214,8 @@ class TestRouteClusterIndex:
         assert len(index) == 1
 
 
-def trip_between(origin, destination, *, seed):
+def trip_between(origin, destination, *, rng):
     """A direct drive between two anchors with light jitter."""
-    rng = random.Random(seed)
     from repro.geo.geodesy import initial_bearing_deg
 
     bearing = initial_bearing_deg(origin, destination) + rng.uniform(-2.0, 2.0)
@@ -274,8 +274,8 @@ class TestDestinationFrequenciesRegression:
             )
         return result
 
-    def test_one_pass_output_identical_to_reference(self):
-        rng = random.Random(8)
+    def test_one_pass_output_identical_to_reference(self, seeded_rng):
+        rng = seeded_rng.fork("features")
         buckets = ["morning", "midday", "evening", "night"]
         features = [
             self.feature(

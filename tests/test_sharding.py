@@ -127,8 +127,7 @@ def _events_db(shards: int) -> ShardedDatabase:
     )
 
 
-def _fill_events(db: ShardedDatabase, count: int = 120) -> None:
-    rng = DeterministicRng(5)
+def _fill_events(db: ShardedDatabase, rng: DeterministicRng, count: int = 120) -> None:
     for index in range(count):
         user_id = f"user-{rng.randint(0, 17):03d}"
         db.table_for(user_id, "events").insert(
@@ -143,10 +142,11 @@ def _fill_events(db: ShardedDatabase, count: int = 120) -> None:
 
 
 @pytest.mark.parametrize("descending", [False, True])
-def test_merged_page_walk_matches_single_shard_walk(descending):
+def test_merged_page_walk_matches_single_shard_walk(descending, seeded_rng):
     single, sharded = _events_db(1), _events_db(4)
-    _fill_events(single)
-    _fill_events(sharded)
+    # Identically-labeled forks give both layouts the exact same rows.
+    _fill_events(single, seeded_rng.fork("events"))
+    _fill_events(sharded, seeded_rng.fork("events"))
 
     def walk(db, limit):
         rows, token = [], None
@@ -163,9 +163,9 @@ def test_merged_page_walk_matches_single_shard_walk(descending):
         assert walk(sharded, limit) == walk(single, limit)
 
 
-def test_merged_page_walk_is_stable_under_inserts():
+def test_merged_page_walk_is_stable_under_inserts(seeded_rng):
     db = _events_db(4)
-    _fill_events(db, count=60)
+    _fill_events(db, seeded_rng.fork("events"), count=60)
     first = db.page_by_index("events", "time", limit=10)
     # New rows land behind the cursor position on every shard.
     for index in range(20):
@@ -182,11 +182,11 @@ def test_merged_page_walk_is_stable_under_inserts():
     assert len(seen) == len(set(seen)) == 80
 
 
-def test_merged_cursor_rejects_foreign_and_malformed_tokens():
+def test_merged_cursor_rejects_foreign_and_malformed_tokens(seeded_rng):
     sharded = _events_db(4)
     single = _events_db(1)
-    _fill_events(sharded)
-    _fill_events(single)
+    _fill_events(sharded, seeded_rng.fork("events"))
+    _fill_events(single, seeded_rng.fork("events"))
     single_token = single.page_by_index("events", "time", limit=5).next_token
     with pytest.raises(ValidationError):
         # A 1-shard token has the wrong arity for a 4-shard router.
@@ -198,9 +198,9 @@ def test_merged_cursor_rejects_foreign_and_malformed_tokens():
 # Compressed snapshots -----------------------------------------------------
 
 
-def test_gzip_snapshot_bytes_round_trip():
+def test_gzip_snapshot_bytes_round_trip(seeded_rng):
     db = _events_db(4)
-    _fill_events(db)
+    _fill_events(db, seeded_rng.fork("events"))
     raw = db.snapshot_bytes()
     packed = db.snapshot_bytes(compress=True)
     assert packed[:2] == b"\x1f\x8b"
@@ -220,8 +220,11 @@ def test_gzip_snapshot_bytes_round_trip():
 # Store parity -------------------------------------------------------------
 
 
-def _fixes_for(user_id: str, *, t0: float = 0.0, count: int = 8):
-    rng = DeterministicRng(zlib.crc32(user_id.encode("utf-8")))
+def _fixes_for(user_id: str, base_rng: DeterministicRng, *, t0: float = 0.0, count: int = 8):
+    # Fork by user id: every call with the same base rng and user draws the
+    # same drive geometry, so twin servers ingest byte-identical data and
+    # repeated rounds re-walk the same route at later timestamps.
+    rng = base_rng.fork("fixes", user_id)
     base = GeoPoint(45.07 + rng.uniform(-0.02, 0.02), 7.68 + rng.uniform(-0.02, 0.02))
     bearing = rng.uniform(0.0, 360.0)
     return [
@@ -235,12 +238,12 @@ def _fixes_for(user_id: str, *, t0: float = 0.0, count: int = 8):
     ]
 
 
-def test_tracking_store_sharded_matches_single():
+def test_tracking_store_sharded_matches_single(seeded_rng):
     single, sharded = TrackingStore(), TrackingStore(shards=4)
     users = [f"user-{index:03d}" for index in range(12)]
     for store in (single, sharded):
         for user_id in users:
-            for fix in _fixes_for(user_id):
+            for fix in _fixes_for(user_id, seeded_rng):
                 store.add_fix(fix)
     assert sharded.shard_count == 4
     for user_id in users:
@@ -259,12 +262,12 @@ def test_tracking_store_sharded_matches_single():
     assert reloaded.snapshot() == single.snapshot()
 
 
-def test_feedback_store_sharded_matches_single():
+def test_feedback_store_sharded_matches_single(seeded_rng):
     reset_ids()
     single = FeedbackStore()
     reset_ids()
     sharded = FeedbackStore(shards=4)
-    rng = DeterministicRng(9)
+    rng = seeded_rng.fork("events")
     events = [
         (f"user-{rng.randint(0, 7):03d}", f"clip-{rng.randint(0, 4):03d}", float(index))
         for index in range(40)
@@ -317,23 +320,23 @@ def _server(shards: int, *, parallel: bool = False):
     return server, gateway
 
 
-def _ingest_rounds(server, *, rounds: int = 2, via=None):
+def _ingest_rounds(server, rng, *, rounds: int = 2, via=None):
     for round_index in range(rounds):
         for index in range(8):
             user_id = f"user-{index:03d}"
-            fixes = _fixes_for(user_id, t0=round_index * 86400.0, count=10)
+            fixes = _fixes_for(user_id, rng, t0=round_index * 86400.0, count=10)
             if via is None:
                 server.users.ingest_fixes(fixes, skip_stale=True)
             else:
                 via(user_id, fixes)
 
 
-def test_sharded_server_serves_identical_wire_responses():
+def test_sharded_server_serves_identical_wire_responses(seeded_rng):
     server_single, gateway_single = _server(1)
     server_sharded, gateway_sharded = _server(4)
     for server, gateway in ((server_single, gateway_single), (server_sharded, gateway_sharded)):
         reset_ids()
-        _ingest_rounds(server)
+        _ingest_rounds(server, seeded_rng)
         for index in range(8):
             response = gateway.request(
                 "POST",
@@ -391,14 +394,14 @@ def test_users_listing_merges_across_shards():
 # Multi-user wire batches --------------------------------------------------
 
 
-def test_tracking_batch_accepts_multi_user_payloads():
+def test_tracking_batch_accepts_multi_user_payloads(seeded_rng):
     server_grouped, gateway_grouped = _server(4, parallel=True)
     server_single_user, gateway_single_user = _server(4, parallel=True)
 
     all_fixes = []
     for index in range(8):
         user_id = f"user-{index:03d}"
-        fixes = _fixes_for(user_id, count=6)
+        fixes = _fixes_for(user_id, seeded_rng, count=6)
         all_fixes.append((user_id, fixes))
     # Interleave users in one envelope-less request.
     mixed = [
@@ -447,6 +450,74 @@ def test_tracking_batch_accepts_multi_user_payloads():
         ) == server_single_user.users.tracking.fixes_for(user_id)
 
 
+def test_tracking_batch_atomic_when_worker_faults_mid_group(seeded_rng):
+    """A pooled worker raising mid-batch must leave zero fixes ingested.
+
+    The pooled ingest path validates every shard group before any shard
+    writes, so an injected worker fault surfaces as a 500 with no partial
+    multi-user ingest observable anywhere — plus a ``tracking.batch_failed``
+    dead-letter record and a request trace tagged with the 500.
+    """
+    server, gateway = _server(4, parallel=True)
+    twin, twin_gateway = _server(4, parallel=True)
+    users = [f"user-{index:03d}" for index in range(8)]
+    mixed = [
+        {
+            "user_id": user_id,
+            "lat": fix.position.lat,
+            "lon": fix.position.lon,
+            "timestamp_s": fix.timestamp_s,
+            "speed_mps": fix.speed_mps,
+        }
+        for position in range(6)
+        for user_id in users
+        for fix in [_fixes_for(user_id, seeded_rng, count=6)[position]]
+    ]
+
+    fired = []
+
+    def fault(shard):
+        fired.append(shard)
+        raise PipelineError(f"injected worker fault on shard {shard}")
+
+    server.workers.set_fault_hook(fault)
+    response = gateway.request("POST", "/v1/tracking/batch", body={"fixes": mixed})
+    assert response.status == 500
+    assert fired  # the fault actually ran on a worker thread
+
+    # No partial ingest is observable for any user on any shard.
+    for user_id in users:
+        assert server.users.tracking.fix_count(user_id) == 0
+        assert server.users.tracking.fixes_added(user_id) == 0
+        assert server.streaming.model_freshness(user_id) == (0, 0)
+
+    # The aborted batch is dead-lettered (no subscriber on the failure
+    # topic) with the owning users recorded.
+    records = server.bus.dead_letter_records("tracking.batch_failed")
+    assert len(records) == 1
+    assert records[0].reason == "no_subscriber"
+    assert records[0].message.body["users"] == users
+    assert records[0].message.body["submitted"] == len(mixed)
+
+    # The request trace carries the 500.
+    recent = server.telemetry.traces_snapshot()["recent"]
+    batch_traces = [
+        trace for trace in recent if trace["tags"].get("path") == "/v1/tracking/batch"
+    ]
+    assert batch_traces and batch_traces[-1]["tags"]["status"] == 500
+
+    # Disarm and retry: the identical request now matches a clean twin.
+    server.workers.set_fault_hook(None)
+    retry = gateway.request("POST", "/v1/tracking/batch", body={"fixes": mixed})
+    clean = twin_gateway.request("POST", "/v1/tracking/batch", body={"fixes": mixed})
+    assert retry.status == clean.status == 202
+    assert retry.body == clean.body
+    for user_id in users:
+        assert server.users.tracking.fixes_for(user_id) == twin.users.tracking.fixes_for(
+            user_id
+        )
+
+
 def test_tracking_batch_multi_user_resolves_all_owners_before_ingest():
     server, gateway = _server(4, parallel=True)
     fixes = [
@@ -467,13 +538,13 @@ def test_tracking_batch_multi_user_resolves_all_owners_before_ingest():
     assert "fixes[0]" in response.body["error"]
 
 
-def test_parallel_ingest_pool_matches_serial_outcome():
+def test_parallel_ingest_pool_matches_serial_outcome(seeded_rng):
     server_serial, _gateway = _server(4, parallel=False)
     server_parallel, _gateway = _server(4, parallel=True)
     fixes = [
         fix
         for index in range(8)
-        for fix in _fixes_for(f"user-{index:03d}", count=12)
+        for fix in _fixes_for(f"user-{index:03d}", seeded_rng, count=12)
     ]
     server_serial.users.ingest_fixes(fixes, skip_stale=True)
     assert server_parallel.workers is not None
@@ -494,12 +565,12 @@ def test_parallel_ingest_pool_matches_serial_outcome():
 # Parallel compaction ------------------------------------------------------
 
 
-def test_parallel_compaction_matches_serial_full_pass():
+def test_parallel_compaction_matches_serial_full_pass(seeded_rng):
     server_serial, _gateway = _server(4)
     server_parallel, _gateway = _server(4, parallel=True)
     for server in (server_serial, server_parallel):
         reset_ids()
-        _ingest_rounds(server, rounds=3)
+        _ingest_rounds(server, seeded_rng, rounds=3)
     keep = 86400.0  # tighten the window so pruning happens
     report_serial = server_serial.compactor.run_pass(keep_window_s=keep)
     report_parallel = server_parallel.compactor.run_pass(
@@ -528,9 +599,9 @@ def test_parallel_compaction_matches_serial_full_pass():
 # Rebalancing --------------------------------------------------------------
 
 
-def _warmed_server(shards: int):
+def _warmed_server(shards: int, rng: DeterministicRng):
     server, gateway = _server(shards)
-    _ingest_rounds(server, rounds=2)
+    _ingest_rounds(server, rng, rounds=2)
     for index in range(8):
         server.users.record_feedback(
             f"user-{index:03d}",
@@ -542,8 +613,8 @@ def _warmed_server(shards: int):
     return server, gateway
 
 
-def test_whole_server_snapshot_restores_into_other_shard_layout():
-    server_two, _gateway_two = _warmed_server(2)
+def test_whole_server_snapshot_restores_into_other_shard_layout(seeded_rng):
+    server_two, _gateway_two = _warmed_server(2, seeded_rng)
     # Restore into a *fresh* 4-shard server: versions are preserved exactly
     # on a cold target (on a warm one they only stay monotonically above).
     server_four = PphcrServer(
@@ -566,8 +637,8 @@ def test_whole_server_snapshot_restores_into_other_shard_layout():
     assert server_four.users.feedback.version == server_two.users.feedback.version
 
 
-def test_shard_snapshot_moves_one_shard_between_servers():
-    source, _gateway = _warmed_server(4)
+def test_shard_snapshot_moves_one_shard_between_servers(seeded_rng):
+    source, _gateway = _warmed_server(4, seeded_rng)
     target, _gateway = _server(4)
     moved_shard = source.users.shard_of("user-000")
     target.restore_shard(moved_shard, source.snapshot_shard(moved_shard))
@@ -594,8 +665,8 @@ def test_shard_snapshot_moves_one_shard_between_servers():
             assert target.users.tracking.fix_count(user_id) == 0
 
 
-def test_restore_shard_rejects_foreign_users():
-    source, _gateway = _warmed_server(4)
+def test_restore_shard_rejects_foreign_users(seeded_rng):
+    source, _gateway = _warmed_server(4, seeded_rng)
     target, _gateway = _server(4)
     shard = source.users.shard_of("user-000")
     wrong_shard = (shard + 1) % 4

@@ -155,6 +155,73 @@ class TestServerRoundTrip:
         with pytest.raises(PipelineError):
             fresh.restore_snapshot({"version": 99})
 
+    def test_crash_mid_drive_restore_and_tail_replay_matches_uninterrupted(
+        self, warmed_world
+    ):
+        """Kill the server mid-drive, restore the last snapshot, re-ingest
+        the tail — the survivor must equal an uninterrupted run.
+
+        The recovery story the snapshots exist for: a commuter is driving,
+        the server dies partway through the drive, a fresh process restores
+        the last durable snapshot, and the device re-uploads everything
+        after the snapshot point (its upload buffer).  Recommendations,
+        streaming models and tracking counters must be indistinguishable
+        from a server that never crashed.
+        """
+        world = warmed_world
+        # Two fresh servers off the same snapshot: the module-scoped world
+        # stays unmutated for the other tests.
+        reference = restored_copy(world)
+        crashed = restored_copy(world)
+        commuter = world.commuters[2]
+        drive = world.commuter_generator.live_drive(commuter, day=world.today)
+        fixes = list(drive.fixes())
+        assert len(fixes) >= 10
+        snapshot_point = int(len(fixes) * 0.4)  # last durable snapshot
+        crash_point = int(len(fixes) * 0.6)  # the server dies here
+
+        # The uninterrupted run sees the whole drive.
+        reference.users.ingest_fixes(list(fixes), skip_stale=True)
+
+        # The doomed server ingests up to the crash, having snapshotted at
+        # the snapshot point on its way.
+        crashed.users.ingest_fixes(list(fixes[:snapshot_point]), skip_stale=True)
+        durable = json.loads(json.dumps(crashed.snapshot()))
+        crashed.users.ingest_fixes(
+            list(fixes[snapshot_point:crash_point]), skip_stale=True
+        )
+        del crashed  # the crash: everything after the snapshot is gone
+
+        survivor = PphcrServer(city=world.city, config=world.server.config)
+        survivor.restore_snapshot(durable)
+        # The device re-uploads its buffer: everything after the snapshot.
+        survivor.users.ingest_fixes(list(fixes[snapshot_point:]), skip_stale=True)
+
+        user_id = commuter.user_id
+        now_s = fixes[-1].timestamp_s
+        ref_decision = survivor_decision = None
+        for server in (reference, survivor):
+            decision = server.recommend(user_id, now_s=now_s, drive_elapsed_s=600.0)
+            if ref_decision is None:
+                ref_decision = decision
+            else:
+                survivor_decision = decision
+        assert survivor_decision.should_recommend == ref_decision.should_recommend
+        assert survivor_decision.reason == ref_decision.reason
+        assert (
+            survivor_decision.recommended_clip_ids == ref_decision.recommended_clip_ids
+        )
+        assert model_fingerprint(survivor.streaming, user_id) == model_fingerprint(
+            reference.streaming, user_id
+        )
+        assert survivor.model_freshness(user_id) == reference.model_freshness(user_id)
+        assert survivor.users.tracking.fix_count(user_id) == reference.users.tracking.fix_count(
+            user_id
+        )
+        assert [f.timestamp_s for f in survivor.users.tracking.fixes_for(user_id)] == [
+            f.timestamp_s for f in reference.users.tracking.fixes_for(user_id)
+        ]
+
 
 class TestStoreRoundTrips:
     def test_tracking_store_round_trip(self):

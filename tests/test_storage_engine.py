@@ -16,7 +16,6 @@ The load-bearing properties:
 from __future__ import annotations
 
 import json
-import random
 
 import pytest
 
@@ -57,15 +56,15 @@ INDEXED = [
 ]
 
 
-def fill(table, n=400, *, seed=7):
-    rng = random.Random(seed)
+def fill(table, rng, n=400):
+    """Populate a table from a seeded_rng (or a labeled fork of it)."""
     for i in range(n):
         table.insert(
             {
                 "event_id": f"e{i:04d}",
-                "user_id": f"u{rng.randrange(12):02d}",
+                "user_id": f"u{rng.randint(0, 11):02d}",
                 "kind": rng.choice(["ping", "skip", "like"]),
-                "timestamp_s": float(rng.randrange(0, 50)),
+                "timestamp_s": float(rng.randint(0, 49)),
                 "value": rng.random(),
                 "lat": None if rng.random() < 0.4 else 45.0 + rng.random() * 0.05,
                 "lon": 7.6 + rng.random() * 0.05,
@@ -92,8 +91,8 @@ class TestIndexSpecs:
         with pytest.raises(SchemaError):
             Table(events_schema([IndexSpec("kind"), IndexSpec("kind")]))
 
-    def test_dynamic_create_index_all_kinds(self):
-        table = fill(Table(events_schema()), 60)
+    def test_dynamic_create_index_all_kinds(self, seeded_rng):
+        table = fill(Table(events_schema()), seeded_rng.fork("fill"), 60)
         table.create_index("kind")
         table.create_index("by_time", kind="sorted", columns=("timestamp_s",))
         table.create_index("geo", kind="spatial", columns=("lat", "lon"))
@@ -106,9 +105,9 @@ class TestIndexSpecs:
 class TestPlannerScanParity:
     """Every indexed strategy must match the predicate-only scan exactly."""
 
-    @pytest.fixture(scope="class")
-    def table(self):
-        return fill(Table(events_schema(INDEXED)), 500)
+    @pytest.fixture
+    def table(self, seeded_rng):
+        return fill(Table(events_schema(INDEXED)), seeded_rng.fork("fill"), 500)
 
     def pair(self, table):
         db = Database("d")
@@ -148,8 +147,8 @@ class TestPlannerScanParity:
         fast = fast.order_by("timestamp_s", descending=True)
         assert fast.explain()["strategy"] == "scan"
 
-    def test_randomized_workload_parity(self, table):
-        rng = random.Random(99)
+    def test_randomized_workload_parity(self, table, seeded_rng):
+        rng = seeded_rng.fork("workload")
         kinds = ["ping", "skip", "like"]
         for _ in range(120):
             db = Database("d")
@@ -159,18 +158,18 @@ class TestPlannerScanParity:
                 kind = rng.choice(kinds)
                 fast, slow = fast.where_eq("kind", kind), slow.where_eq("kind", kind)
             if rng.random() < 0.5:
-                lo = float(rng.randrange(0, 40))
-                hi = lo + rng.randrange(1, 15)
+                lo = float(rng.randint(0, 39))
+                hi = lo + rng.randint(1, 14)
                 fast = fast.where_range("timestamp_s", lo, hi)
                 slow = slow.where_range("timestamp_s", lo, hi)
             if rng.random() < 0.4:
-                user = f"u{rng.randrange(12):02d}"
+                user = f"u{rng.randint(0, 11):02d}"
                 fast, slow = fast.where_eq("user_id", user), slow.where_eq("user_id", user)
             if rng.random() < 0.5:
                 fast = fast.order_by("timestamp_s")
                 slow = slow.order_by("timestamp_s")
                 if rng.random() < 0.5:
-                    n = rng.randrange(1, 30)
+                    n = rng.randint(1, 29)
                     fast, slow = fast.limit(n), slow.limit(n)
             assert fast.all() == slow.all()
 
@@ -185,8 +184,8 @@ class TestPlannerScanParity:
         assert plan["strategy"] == "index_eq" and plan["post_filters"] == 1
         assert fast.all() == slow.all()
 
-    def test_stats_record_hits_and_scans(self):
-        table = fill(Table(events_schema(INDEXED)), 50)
+    def test_stats_record_hits_and_scans(self, seeded_rng):
+        table = fill(Table(events_schema(INDEXED)), seeded_rng.fork("fill"), 50)
         db = Database("d")
         db._tables["events"] = table
         before = table.stats()
@@ -237,14 +236,14 @@ class TestPlannerScanParity:
 
 
 class TestSortedIndexMaintenance:
-    def test_update_moves_row_in_index(self):
-        table = fill(Table(events_schema(INDEXED)), 30)
+    def test_update_moves_row_in_index(self, seeded_rng):
+        table = fill(Table(events_schema(INDEXED)), seeded_rng.fork("fill"), 30)
         table.update("e0000", {"timestamp_s": 999.0})
         ordered = list(table.rows_in_index_order("timestamp_s"))
         assert ordered[-1]["event_id"] == "e0000"
 
-    def test_delete_removes_from_index(self):
-        table = fill(Table(events_schema(INDEXED)), 30)
+    def test_delete_removes_from_index(self, seeded_rng):
+        table = fill(Table(events_schema(INDEXED)), seeded_rng.fork("fill"), 30)
         table.delete("e0001")
         assert all(row["event_id"] != "e0001" for row in table.rows_in_index_order("timestamp_s"))
 
@@ -435,10 +434,10 @@ class TestChangeListenersAndBatch:
 
 
 class TestSnapshotRestore:
-    def test_database_round_trip_preserves_queries(self):
+    def test_database_round_trip_preserves_queries(self, seeded_rng):
         db = Database("d")
         table = db.create_table(events_schema(INDEXED))
-        fill(table, 120)
+        fill(table, seeded_rng.fork("fill"), 120)
         reference_eq = db.query("events").where_eq("kind", "like").all()
         reference_order = list(table.rows_in_index_order("timestamp_s"))
         payload = json.loads(json.dumps(db.snapshot()))
