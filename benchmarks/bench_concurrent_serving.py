@@ -139,18 +139,22 @@ def build_workload(seed: int = 17) -> Tuple[Dict[Tuple[str, int], str], List[Op]
 
 
 def build_server(
-    shards: int, *, parallel: bool, telemetry=None
+    shards: int, *, parallel: bool, telemetry=None, durability=None
 ) -> Tuple[PphcrServer, Gateway]:
     """A warmed server/gateway pair with the requested shard layout.
 
     ``telemetry`` overrides the server's :class:`TelemetryConfig` (the
     overhead bench drives the same workload with it enabled and disabled);
-    None keeps the default (enabled).
+    None keeps the default (enabled).  ``durability`` overrides the
+    :class:`DurabilityConfig` (the WAL bench drives the same workload with
+    the log on and off); None keeps the default (off).
     """
     reset_ids()
     kwargs = {"sharding": ShardingConfig(shards=shards, parallel=parallel)}
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
+    if durability is not None:
+        kwargs["durability"] = durability
     server = PphcrServer(config=ServerConfig(**kwargs))
     categories = ["news-national", "economics", "culture", "cinema", "history"]
     for index in range(CLIPS):

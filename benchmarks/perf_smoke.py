@@ -26,7 +26,11 @@ the performance trajectory is tracked from PR to PR:
 * ``BENCH_world_replay.json`` — wire-level scenario replays (PR 8's
   load generator: rush hour, flash crowd, broadcast→unicast handover)
   with per-scenario p50/p95/p99 request latency, script and response
-  digests, asserted under the recorded p95 ceiling.
+  digests, asserted under the recorded p95 ceiling;
+* ``BENCH_wal_durability.json`` — write-ahead-log cost (PR 9's durable
+  serving drive vs. the identical no-WAL drive, asserted under the 10%
+  budget) and recovery time (snapshot + WAL tail vs. full client
+  re-ingest of the whole stream).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py
 """
@@ -88,6 +92,11 @@ from bench_storage_engine import (  # noqa: E402
     assert_parity as assert_storage_parity,
     build_workload as build_storage_workload,
     run_workload as run_storage_workload,
+)
+from bench_wal_durability import (  # noqa: E402
+    OVERHEAD_CEILING_PCT as WAL_OVERHEAD_CEILING_PCT,
+    run_overhead_phase as run_wal_overhead,
+    run_recovery_phase as run_wal_recovery,
 )
 from bench_world_replay import (  # noqa: E402
     COMMUTERS as REPLAY_COMMUTERS,
@@ -457,6 +466,56 @@ def smoke_telemetry_overhead() -> str:
     return path
 
 
+def smoke_wal_durability() -> str:
+    import pathlib
+    import tempfile
+
+    payloads, ops = build_serving_workload()
+    with tempfile.TemporaryDirectory(prefix="pphcr-wal-") as scratch:
+        wal_root = pathlib.Path(scratch)
+        best_off, best_on, overhead_pct, server_on = run_wal_overhead(
+            payloads, ops, wal_root
+        )
+        assert overhead_pct < WAL_OVERHEAD_CEILING_PCT, (
+            f"WAL append overhead {overhead_pct:.2f}% exceeds the "
+            f"{WAL_OVERHEAD_CEILING_PCT:.0f}% budget"
+        )
+        recovery = run_wal_recovery(payloads, ops, wal_root)
+        wal_stats = server_on.durability.stats()
+    frames = sum(log["frames"] for log in wal_stats["logs"].values())
+    wal_bytes = sum(log["bytes"] for log in wal_stats["logs"].values())
+    payload = {
+        "bench": "wal_durability",
+        "unix_time_s": round(time.time(), 3),
+        "workload": {
+            "requests": len(ops),
+            "wire_io_ms": round(WIRE_IO_S * 1000.0, 2),
+            "wal_frames": frames,
+            "wal_bytes": wal_bytes,
+        },
+        "results": {
+            "off_requests_per_s": round(len(ops) / best_off, 1),
+            "on_requests_per_s": round(len(ops) / best_on, 1),
+            "overhead_pct": round(overhead_pct, 2),
+            "overhead_ceiling_pct": WAL_OVERHEAD_CEILING_PCT,
+            "recovery_ms": round(recovery["recovery_elapsed_s"] * 1000.0, 2),
+            "reingest_ms": round(recovery["reingest_elapsed_s"] * 1000.0, 2),
+            "recovery_speedup": round(recovery["recovery_speedup"], 2),
+            "tail_frames": recovery["tail_frames"],
+        },
+    }
+    path = _write("BENCH_wal_durability.json", payload)
+    print(
+        f"wal-durability smoke: durable serving {len(ops) / best_on:,.0f} req/s "
+        f"(no-WAL {len(ops) / best_off:,.0f} req/s, {overhead_pct:+.2f}% within "
+        f"the {WAL_OVERHEAD_CEILING_PCT:.0f}% budget); snapshot+tail recovery "
+        f"{payload['results']['recovery_ms']:.0f} ms vs re-ingest "
+        f"{payload['results']['reingest_ms']:.0f} ms "
+        f"({recovery['recovery_speedup']:.1f}x)"
+    )
+    return path
+
+
 def smoke_world_replay() -> str:
     runs = run_all_scenarios()
     scenarios = {}
@@ -502,6 +561,7 @@ def main() -> int:
         smoke_storage_engine(),
         smoke_concurrent_serving(),
         smoke_telemetry_overhead(),
+        smoke_wal_durability(),
         smoke_world_replay(),
     ):
         print(f"wrote {path}")

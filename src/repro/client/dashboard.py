@@ -277,6 +277,39 @@ class OpsReport:
             total_dead = sum(entry["value"] for entry in dead.get("series", []))
             if total_dead:
                 lines.append(f"bus dead letters: {total_dead}")
+            appends = counters.get("wal_appends_total", {}).get("series", [])
+            if appends:
+                total_appends = sum(entry["value"] for entry in appends)
+                wal_bytes = sum(
+                    entry["value"]
+                    for entry in counters.get("wal_bytes_total", {}).get("series", [])
+                )
+                lines.append(
+                    f"write-ahead log: {total_appends} frames, {wal_bytes} bytes"
+                )
+                for entry in sorted(appends, key=lambda s: s["labels"].get("shard", "")):
+                    lines.append(
+                        f"  {entry['labels'].get('shard', '?')}: {entry['value']} frames"
+                    )
+                compactions = sum(
+                    entry["value"]
+                    for entry in counters.get("wal_compactions_total", {}).get("series", [])
+                )
+                if compactions:
+                    reclaimed = sum(
+                        entry["value"]
+                        for entry in counters.get(
+                            "wal_compaction_reclaimed_bytes_total", {}
+                        ).get("series", [])
+                    )
+                    lines.append(
+                        f"  compactions: {compactions} ({reclaimed} bytes reclaimed)"
+                    )
+            gauges = self.metrics.get("gauges", {})
+            lag = gauges.get("replica_lag_frames", {}).get("series", [])
+            if lag:
+                for entry in lag:
+                    lines.append(f"replica lag: {entry['value']} frames")
         if self.slow_queries:
             lines.append(f"slow queries: {len(self.slow_queries)}")
             for entry in self.slow_queries[:5]:

@@ -48,6 +48,47 @@ class EditorialDesk:
 
     def __init__(self) -> None:
         self._injections: List[EditorialInjection] = []
+        #: Durability hook: injections carry their already generated id in
+        #: the logged payload, so replay never draws ``new_id`` again.
+        self._op_listener = None
+
+    def set_op_listener(self, listener) -> None:
+        """Install the WAL's domain-operation listener (``None`` clears)."""
+        self._op_listener = listener
+
+    def _log_op(self, op: str, data) -> None:
+        if self._op_listener is not None:
+            self._op_listener(op, data)
+
+    @staticmethod
+    def _injection_payload(injection: EditorialInjection) -> Dict[str, object]:
+        return {
+            "injection_id": injection.injection_id,
+            "clip_id": injection.clip_id,
+            "target_user_ids": list(injection.target_user_ids),
+            "boost": injection.boost,
+            "created_s": injection.created_s,
+            "expires_s": injection.expires_s,
+            "note": injection.note,
+        }
+
+    @staticmethod
+    def _injection_from_payload(raw: Dict[str, object]) -> EditorialInjection:
+        return EditorialInjection(
+            injection_id=raw["injection_id"],
+            clip_id=raw["clip_id"],
+            target_user_ids=tuple(raw.get("target_user_ids", ())),
+            boost=raw["boost"],
+            created_s=raw["created_s"],
+            expires_s=raw["expires_s"],
+            note=raw.get("note", ""),
+        )
+
+    def load_injection(self, payload: Dict[str, object]) -> EditorialInjection:
+        """Append one injection from its logged payload (the replay entry)."""
+        injection = self._injection_from_payload(payload)
+        self._injections.append(injection)
+        return injection
 
     def inject(
         self,
@@ -70,13 +111,17 @@ class EditorialDesk:
             note=note,
         )
         self._injections.append(injection)
+        self._log_op("inject", self._injection_payload(injection))
         return injection
 
     def withdraw(self, injection_id: str) -> bool:
         """Remove an injection; returns whether it existed."""
         before = len(self._injections)
         self._injections = [i for i in self._injections if i.injection_id != injection_id]
-        return len(self._injections) < before
+        removed = len(self._injections) < before
+        if removed:
+            self._log_op("withdraw", {"injection_id": injection_id})
+        return removed
 
     def active_injections(self, *, now_s: float, user_id: Optional[str] = None) -> List[EditorialInjection]:
         """Injections applicable now (optionally for one user)."""
@@ -101,30 +146,8 @@ class EditorialDesk:
 
     def snapshot(self) -> List[Dict[str, object]]:
         """The injection queue as a JSON-serializable payload."""
-        return [
-            {
-                "injection_id": injection.injection_id,
-                "clip_id": injection.clip_id,
-                "target_user_ids": list(injection.target_user_ids),
-                "boost": injection.boost,
-                "created_s": injection.created_s,
-                "expires_s": injection.expires_s,
-                "note": injection.note,
-            }
-            for injection in self._injections
-        ]
+        return [self._injection_payload(injection) for injection in self._injections]
 
     def restore(self, payload: List[Dict[str, object]]) -> None:
         """Reload a :meth:`snapshot` payload, replacing the queue."""
-        self._injections = [
-            EditorialInjection(
-                injection_id=raw["injection_id"],
-                clip_id=raw["clip_id"],
-                target_user_ids=tuple(raw.get("target_user_ids", ())),
-                boost=raw["boost"],
-                created_s=raw["created_s"],
-                expires_s=raw["expires_s"],
-                note=raw.get("note", ""),
-            )
-            for raw in payload
-        ]
+        self._injections = [self._injection_from_payload(raw) for raw in payload]

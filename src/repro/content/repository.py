@@ -85,6 +85,11 @@ class ContentRepository:
         self._services: Dict[str, RadioService] = {}
         self._programmes: Dict[str, LiveProgramme] = {}
         self._schedules: Dict[str, LinearSchedule] = {}
+        #: Durability hook: the WAL records catalogue mutations as domain
+        #: operations with *full* payloads (the metadata tables are lossy
+        #: projections — no title/scores/transcript), so replay rebuilds
+        #: the dict caches and tables identically via the public methods.
+        self._op_listener = None
 
     @property
     def database(self) -> Database:
@@ -101,6 +106,72 @@ class ContentRepository:
         """Change counter of the services table (ETag validator)."""
         return self._services_table.version
 
+    # Durability hooks ------------------------------------------------------
+
+    def set_op_listener(self, listener) -> None:
+        """Install the WAL's domain-operation listener (``None`` clears).
+
+        ``listener(op, data)`` fires after each successful catalogue
+        mutation with a payload sufficient to replay it exactly through
+        :meth:`apply_logged_op`.
+        """
+        self._op_listener = listener
+
+    def _log_op(self, op: str, data: Dict[str, Any]) -> None:
+        if self._op_listener is not None:
+            self._op_listener(op, data)
+
+    @staticmethod
+    def _service_payload(service: RadioService) -> Dict[str, Any]:
+        return {
+            "service_id": service.service_id,
+            "name": service.name,
+            "bitrate_kbps": service.bitrate_kbps,
+            "genre": service.genre,
+        }
+
+    @staticmethod
+    def _programme_payload(programme: LiveProgramme) -> Dict[str, Any]:
+        return {
+            "programme_id": programme.programme_id,
+            "service_id": programme.service_id,
+            "title": programme.title,
+            "categories": list(programme.categories),
+            "description": programme.description,
+        }
+
+    def apply_logged_op(self, op: str, data: Dict[str, Any]) -> None:
+        """Replay one logged catalogue operation (the WAL's replay entry)."""
+        if op == "add_clip":
+            self.add_clip(self._clip_from_payload(data))
+        elif op == "replace_clip":
+            self.replace_clip(self._clip_from_payload(data))
+        elif op == "add_service":
+            self.add_service(
+                RadioService(
+                    service_id=data["service_id"],
+                    name=data["name"],
+                    bitrate_kbps=data.get("bitrate_kbps", 96),
+                    genre=data.get("genre", "general"),
+                )
+            )
+        elif op == "add_programme":
+            self.add_programme(
+                LiveProgramme(
+                    programme_id=data["programme_id"],
+                    service_id=data["service_id"],
+                    title=data["title"],
+                    categories=list(data.get("categories", [])),
+                    description=data.get("description", ""),
+                )
+            )
+        elif op == "schedule_programme":
+            self.schedule_programme(
+                data["programme_id"], TimeWindow(data["start_s"], data["end_s"])
+            )
+        else:
+            raise ValidationError(f"unknown logged content op {op!r}")
+
     # Services and programmes ---------------------------------------------
 
     def add_service(self, service: RadioService) -> None:
@@ -110,6 +181,7 @@ class ContentRepository:
         self._services[service.service_id] = service
         self._services_table.insert({"service_id": service.service_id})
         self._schedules[service.service_id] = LinearSchedule(service.service_id)
+        self._log_op("add_service", self._service_payload(service))
 
     def service(self, service_id: str) -> RadioService:
         """Look up a service."""
@@ -148,6 +220,7 @@ class ContentRepository:
             raise DuplicateError(f"programme {programme.programme_id!r} already registered")
         self.service(programme.service_id)
         self._programmes[programme.programme_id] = programme
+        self._log_op("add_programme", self._programme_payload(programme))
 
     def programme(self, programme_id: str) -> LiveProgramme:
         """Look up a programme."""
@@ -160,6 +233,10 @@ class ContentRepository:
         """Place a registered programme on its service's schedule."""
         programme = self.programme(programme_id)
         self._schedules[programme.service_id].add(programme, window)
+        self._log_op(
+            "schedule_programme",
+            {"programme_id": programme_id, "start_s": window.start_s, "end_s": window.end_s},
+        )
 
     def schedule(self, service_id: str) -> LinearSchedule:
         """The schedule of a service."""
@@ -189,6 +266,7 @@ class ContentRepository:
         seq = self._next_seq
         self._next_seq += 1
         self._clips_table.insert(self._clip_row(clip, seq))
+        self._log_op("add_clip", self._clip_payload(clip))
 
     def add_clips(self, clips: Iterable[AudioClip]) -> int:
         """Register many clips; returns how many were added."""
@@ -211,6 +289,7 @@ class ContentRepository:
         self._clips[clip.clip_id] = clip
         seq = self._clips_table.get(clip.clip_id)["seq"]
         self._clips_table.update(clip.clip_id, self._clip_row(clip, seq))
+        self._log_op("replace_clip", self._clip_payload(clip))
 
     def clip(self, clip_id: str) -> AudioClip:
         """Look up a clip."""

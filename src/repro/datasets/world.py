@@ -153,8 +153,13 @@ def build_world(config: WorldConfig = WorldConfig()) -> SyntheticWorld:
                 home_service_id="radio-uno",
             )
         )
-        profile = server.users.preference_profile(commuter.user_id)
-        profile.seeded(list(commuter.preferred_categories), list(commuter.disliked_categories))
+        # Seed through the manager (not the profile object directly) so the
+        # onboarding delta is visible to the WAL when durability is on.
+        server.users.seed_preferences(
+            commuter.user_id,
+            list(commuter.preferred_categories),
+            list(commuter.disliked_categories),
+        )
         _seed_feedback_history(
             server,
             commuter,

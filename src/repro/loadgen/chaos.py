@@ -2,7 +2,7 @@
 
 A :class:`ChaosController` rides along a
 :class:`~repro.loadgen.replay.WorldReplay` and fires injections at
-scripted event indices.  Four fault families are supported, matching the
+scripted event indices.  Six fault families are supported, matching the
 recovery surfaces the storage and pipeline layers expose:
 
 * ``kill_restore`` — snapshot the server at index *s*, then at index *k*
@@ -15,7 +15,17 @@ recovery surfaces the storage and pipeline layers expose:
   fault hook so the next pooled task raises mid-group, observe the 500,
   disarm and retry the failed request once;
 * ``bus_dead_letter`` — subscribe a once-raising handler to a bus topic
-  so one delivery dead-letters, proving producers survive consumer bugs.
+  so one delivery dead-letters, proving producers survive consumer bugs;
+* ``torn_log`` — on a durability-enabled server: snapshot at *s*, mark a
+  tear point at *t* (everything after it is "still in the page cache"),
+  crash at *k* by truncating the WAL files to the tear point and leaving
+  a half-written frame on one tail; a rebuilt process salvages the torn
+  tail, restores snapshot + log tail (no client re-ingest for the logged
+  window ``[s, t)``) and only the post-tear window ``[t, k)`` is retried;
+* ``replica_failover`` — build a log-shipped
+  :class:`~repro.storage.replica.ReadReplica` from the primary's WAL,
+  catch it up to lag 0, byte-compare cacheable reads against the primary,
+  then promote it and point the rest of the replay at it.
 
 Every injection appends to :attr:`ChaosController.log`, so tests can
 assert each scheduled fault actually fired.
@@ -29,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import PipelineError, ValidationError
 from repro.loadgen.script import WireEvent
 from repro.storage.sharding import shard_of
+from repro.storage.wal import log_paths
 
 
 def _snapshot_roundtrip(payload: Dict) -> Dict:
@@ -108,6 +119,49 @@ class ChaosController:
             }
         )
 
+    def schedule_torn_log(self, *, snapshot_at: int, tear_at: int, kill_at: int) -> None:
+        """Crash at ``kill_at`` losing everything after ``tear_at``, plus a torn tail.
+
+        The window ``[snapshot_at, tear_at)`` reached the log and is
+        recovered from snapshot + WAL tail without any client re-ingest;
+        only ``[tear_at, kill_at)`` (writes the crash caught in flight) is
+        re-dispatched as the device retry.
+        """
+        if not snapshot_at < tear_at < kill_at:
+            raise ValidationError("need snapshot_at < tear_at < kill_at")
+        if self._rebuild is None:
+            raise ValidationError("torn_log needs a rebuild factory")
+        if getattr(self._server, "durability", None) is None:
+            raise ValidationError("torn_log needs a durability-enabled server")
+        self._injections.append(
+            {
+                "fault": "torn_log",
+                "snapshot_at": snapshot_at,
+                "tear_at": tear_at,
+                "kill_at": kill_at,
+                "snapshot": None,
+                "cut_sizes": None,
+            }
+        )
+
+    def schedule_replica_failover(
+        self, *, promote_at: int, build_server: Callable[[], Any]
+    ) -> None:
+        """Fail over to a log-shipped read replica at ``promote_at``.
+
+        ``build_server`` must build a fresh, config-compatible server with
+        durability *disabled* (see :class:`~repro.storage.replica.ReadReplica`).
+        """
+        if getattr(self._server, "durability", None) is None:
+            raise ValidationError("replica_failover needs a durability-enabled primary")
+        self._injections.append(
+            {
+                "fault": "replica_failover",
+                "promote_at": promote_at,
+                "build_server": build_server,
+            }
+        )
+
     def schedule_worker_fault(self, *, arm_at: int) -> None:
         """Make the next pooled shard task after ``arm_at`` raise mid-group."""
         self._injections.append({"fault": "worker_fault", "arm_at": arm_at})
@@ -137,6 +191,22 @@ class ChaosController:
                     )
                 elif index == injection["restore_at"] and injection["snapshot"] is not None:
                     self._move_shard(injection, index)
+            elif fault == "torn_log":
+                if index == injection["snapshot_at"] and injection["snapshot"] is None:
+                    injection["snapshot"] = _snapshot_roundtrip(self._server.snapshot())
+                elif index == injection["tear_at"] and injection["cut_sizes"] is None:
+                    durability = self._server.durability
+                    durability.flush()
+                    injection["cut_sizes"] = {
+                        path: path.stat().st_size
+                        for path in log_paths(durability.directory)
+                    }
+                elif index == injection["kill_at"] and injection["cut_sizes"] is not None:
+                    self._tear_log_and_recover(injection, index)
+            elif fault == "replica_failover":
+                if index == injection["promote_at"] and not injection.get("fired_once"):
+                    injection["fired_once"] = True
+                    self._promote_replica(injection, index)
             elif fault == "worker_fault":
                 if index == injection["arm_at"] and not injection.get("armed_once"):
                     injection["armed_once"] = True
@@ -208,6 +278,96 @@ class ChaosController:
                 "snapshot_at": injection["snapshot_at"],
                 "lost_events": len(lost),
                 "replayed": replayed,
+            }
+        )
+
+    def _tear_log_and_recover(self, injection: Dict[str, Any], index: int) -> None:
+        """The crash: WAL tails past the tear point never reached disk."""
+        durability = self._server.durability
+        durability.flush()
+        directory = durability.directory
+        cut_sizes = injection["cut_sizes"]
+        for path in log_paths(directory):
+            with open(path, "r+b") as handle:
+                handle.truncate(cut_sizes.get(path, 0))
+        # One log additionally keeps a half-written frame: the append the
+        # crash interrupted.  Startup salvage must cut it cleanly.
+        torn_path = max(log_paths(directory), key=lambda p: p.stat().st_size)
+        with open(torn_path, "ab") as handle:
+            handle.write(b"\x00\x00\x30\x39\xde\xad\xbe\xeftorn")
+        lost = self._lost_window(injection["tear_at"], index)
+        server = self._rebuild()  # construction salvages the torn tail
+        salvaged = [
+            report
+            for report in server.durability.recovery_report
+            if report["bytes_dropped"]
+        ]
+        snapshot_lsn = injection["snapshot"]["wal_lsn"]
+        server.restore_snapshot(injection["snapshot"], replay_log=True)
+        self._server = server
+        self._gateway = self._gateway_factory(server)
+        self._replay.use_gateway(self._gateway)
+        replayed = self._redispatch(lost)
+        injection["cut_sizes"] = None  # fire once
+        self.log.append(
+            {
+                "fault": "torn_log",
+                "at": index,
+                "snapshot_at": injection["snapshot_at"],
+                "tear_at": injection["tear_at"],
+                "wal_frames_replayed": server.durability.last_lsn - snapshot_lsn,
+                "salvaged": salvaged,
+                "lost_events": len(lost),
+                "replayed": replayed,
+            }
+        )
+
+    def _promote_replica(self, injection: Dict[str, Any], index: int) -> None:
+        """Catch a log-shipped replica up to lag 0, verify reads, promote."""
+        from repro.storage.replica import ReadReplica
+
+        durability = self._server.durability
+        durability.flush()
+        replica = ReadReplica(
+            durability.directory, build_server=injection["build_server"]
+        )
+        applied = replica.catch_up()
+        lag = replica.lag_frames()
+        # Byte-compare the most recent cacheable reads against the primary
+        # before cutting over: at lag 0 bodies and validators must match.
+        probes = matches = 0
+        for event in reversed(self._dispatched):
+            if probes >= 5:
+                break
+            if event.method != "GET":
+                continue
+            p_status, p_body, p_headers = self._gateway.handle_wire(
+                "GET", event.path, None, query=event.query
+            )
+            if "etag" not in p_headers:
+                continue
+            probes += 1
+            r_status, r_body, r_headers = replica.handle_wire(
+                "GET", event.path, None, query=event.query
+            )
+            if (
+                p_status == r_status
+                and p_body == r_body
+                and p_headers.get("etag") == r_headers.get("etag")
+            ):
+                matches += 1
+        replica.promote()
+        self._server = replica.server
+        self._gateway = replica
+        self._replay.use_gateway(replica)
+        self.log.append(
+            {
+                "fault": "replica_failover",
+                "at": index,
+                "applied": applied,
+                "lag": lag,
+                "etag_probes": probes,
+                "etag_matches": matches,
             }
         )
 

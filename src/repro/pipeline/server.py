@@ -16,6 +16,7 @@ Responsibilities, mirroring the paper's architecture diagram:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -38,6 +39,7 @@ from repro.roadnet.intersections import distraction_zones_along, route_complexit
 from repro.roadnet.routing import RoutePlanner
 from repro.spatialdb import SpatialQueryEngine
 from repro.storage.sharding import ShardingConfig, ShardWorkerPool
+from repro.storage.wal import DurabilityConfig, DurabilityManager
 from repro.streaming.compactor import CompactionConfig, ShardedCompactor
 from repro.streaming.engine import StreamingConfig
 from repro.streaming.incremental import IncrementalConfig
@@ -79,6 +81,12 @@ class ServerConfig:
     #: log).  ``TelemetryConfig(enabled=False)`` swaps in the null variants
     #: so every instrumented call site degrades to a no-op.
     telemetry: TelemetryConfig = TelemetryConfig()
+    #: Write-ahead logging.  ``DurabilityConfig(enabled=True, directory=...)``
+    #: attaches a :class:`~repro.storage.wal.DurabilityManager` that records
+    #: every committed mutation as checksummed log frames, enabling
+    #: point-in-time recovery (snapshot + log tail) and log-shipped read
+    #: replicas.  Disabled by default: the in-memory server is unchanged.
+    durability: DurabilityConfig = DurabilityConfig()
 
 
 @dataclass
@@ -191,6 +199,18 @@ class PphcrServer:
         # lazily): batch ingest and full-pass compaction dispatch their
         # per-shard groups here when ``sharding.parallel`` is on.
         self._workers: Optional[ShardWorkerPool] = None
+        # Durability: attached last so its change/op listeners observe the
+        # fully wired server (the streaming engine's fix listener must run
+        # before the WAL's — replayed fixes re-drive streaming, and the
+        # WAL's own listener stays suspended during replay).
+        self._durability: Optional[DurabilityManager] = None
+        if config.durability.enabled:
+            self._durability = DurabilityManager(
+                config.durability,
+                shards=config.sharding.shards,
+                telemetry=self._telemetry,
+            )
+            self._durability.attach(self)
 
     # Component access -----------------------------------------------------
 
@@ -218,6 +238,11 @@ class PphcrServer:
     def editorial(self) -> EditorialDesk:
         """The editorial injection desk."""
         return self._editorial
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The write-ahead-log manager (None when durability is disabled)."""
+        return self._durability
 
     @property
     def compound_scorer(self) -> CompoundScorer:
@@ -329,6 +354,8 @@ class PphcrServer:
     def refresh_text_model(self) -> None:
         """(Re)fit the TF-IDF model over the ingested transcripts."""
         self._content_scorer.fit_text_model()
+        if self._durability is not None:
+            self._durability.record_server_op("refresh_text_model")
         self._bus.publish("recommender.text_model_refreshed", {})
 
     # Users ------------------------------------------------------------------
@@ -556,23 +583,32 @@ class PphcrServer:
             removed = self.compact_tracking_data(
                 keep_window_s=keep_window_s, budget=budget, parallel=True
             )
-            return {
+            summary = {
                 "shard": -1,
                 "next_shard": self._maintenance_shard,
                 "users_pruned": len(removed),
                 "fixes_removed": sum(removed.values()),
             }
-        shard = self._maintenance_shard
-        self._maintenance_shard = (shard + 1) % self._config.compaction.shards
-        removed = self.compact_tracking_data(
-            keep_window_s=keep_window_s, shard=shard, budget=budget
-        )
-        return {
-            "shard": shard,
-            "next_shard": self._maintenance_shard,
-            "users_pruned": len(removed),
-            "fixes_removed": sum(removed.values()),
-        }
+        else:
+            shard = self._maintenance_shard
+            self._maintenance_shard = (shard + 1) % self._config.compaction.shards
+            removed = self.compact_tracking_data(
+                keep_window_s=keep_window_s, shard=shard, budget=budget
+            )
+            summary = {
+                "shard": shard,
+                "next_shard": self._maintenance_shard,
+                "users_pruned": len(removed),
+                "fixes_removed": sum(removed.values()),
+            }
+        # WAL compaction piggybacks on the maintenance timer: once the log
+        # exceeds its size budget the tick rewrites it as checkpoint + empty
+        # tail.  The summary key only appears with durability attached, so
+        # the durability-off dict shape is unchanged.
+        if self._durability is not None:
+            compacted = self._durability.maybe_compact(self)
+            summary["wal_compacted"] = 1 if compacted else 0
+        return summary
 
     # Snapshot / restore -----------------------------------------------------------
 
@@ -594,7 +630,7 @@ class PphcrServer:
         one would — persisting monotonic counters across a restore would
         make rates and ratios lie about the new process.
         """
-        return {
+        payload = {
             "version": 1,
             "content": self._content.snapshot(),
             "users": self._users.snapshot(),
@@ -605,52 +641,85 @@ class PphcrServer:
             "maintenance_shard": self._maintenance_shard,
             "text_model_fitted": self._content_scorer.has_text_model,
         }
+        if self._durability is not None:
+            # The WAL watermark this snapshot is consistent with: recovery
+            # replays only committed frames *past* this LSN on top of the
+            # restored state.  Durability-off snapshots keep the old shape.
+            payload["wal_lsn"] = self._durability.last_lsn
+        return payload
 
-    def restore_snapshot(self, payload: Dict) -> None:
+    def restore_snapshot(self, payload: Dict, *, replay_log: bool = False) -> None:
         """Reload a :meth:`snapshot` payload into this server.
 
         The server must be built with the same configuration (streaming
         parameters live in code, not in the payload).  Caches are cleared,
         so the first reads after a restore rebuild from restored state.
+
+        With ``replay_log=True`` (requires durability attached and a
+        snapshot taken with durability on, i.e. carrying ``wal_lsn``), the
+        restore continues past the snapshot: every committed WAL frame
+        with a higher LSN is replayed on top, recovering the server to the
+        last durable commit — point-in-time recovery from snapshot + tail.
         """
         if not isinstance(payload, dict) or payload.get("version") != 1:
             raise PipelineError("unsupported server snapshot payload")
+        if replay_log:
+            if self._durability is None:
+                raise PipelineError("replay_log requires durability to be enabled")
+            if "wal_lsn" not in payload:
+                raise PipelineError(
+                    "replay_log requires a snapshot taken with durability on "
+                    "(missing wal_lsn watermark)"
+                )
         streaming_state = payload.get("streaming")
         if streaming_state is not None and self._streaming is None:
             raise PipelineError(
                 "snapshot carries streaming state but streaming is disabled in this config"
             )
-        self._content.restore(payload["content"])
-        self._users.restore(payload["users"])
-        if self._streaming is not None:
-            if streaming_state is None:
-                # Snapshot from a streaming-disabled server: start clean.
-                # The engine object itself is kept — it is wired into the
-                # user manager's fix-listener list by reference.
-                streaming_state = {
-                    "version": 1,
-                    "fixes_observed": 0,
-                    "observed_per_user": {},
-                    "sessionizer": {"users": {}},
-                    "model": {"users": {}},
-                }
-            self._streaming.restore_state(streaming_state)
-        self._editorial.restore(payload.get("editorial", []))
-        self._maintenance_shard = payload.get("maintenance_shard", 0)
-        self._mobility_models = {}
-        self._streaming_served = {}
-        if payload.get("text_model_fitted"):
-            self._content_scorer.fit_text_model()
-        else:
-            self._content_scorer.clear_text_model()
-        self._bus.publish(
-            "server.restored",
-            {
-                "users": self._users.user_count(),
-                "clips": self._content.clip_count(),
-                "fixes": self._users.tracking.fix_count(),
-            },
+        # Restored writes must not be re-logged: the WAL already holds (or
+        # the checkpoint supersedes) everything the snapshot carries.
+        suspended = (
+            self._durability.suspended_capture()
+            if self._durability is not None
+            else nullcontext()
         )
+        with suspended:
+            self._content.restore(payload["content"])
+            self._users.restore(payload["users"])
+            if self._streaming is not None:
+                if streaming_state is None:
+                    # Snapshot from a streaming-disabled server: start clean.
+                    # The engine object itself is kept — it is wired into the
+                    # user manager's fix-listener list by reference.
+                    streaming_state = {
+                        "version": 1,
+                        "fixes_observed": 0,
+                        "observed_per_user": {},
+                        "sessionizer": {"users": {}},
+                        "model": {"users": {}},
+                    }
+                self._streaming.restore_state(streaming_state)
+            self._editorial.restore(payload.get("editorial", []))
+            self._maintenance_shard = payload.get("maintenance_shard", 0)
+            self._mobility_models = {}
+            self._streaming_served = {}
+            if payload.get("text_model_fitted"):
+                self._content_scorer.fit_text_model()
+            else:
+                self._content_scorer.clear_text_model()
+        replay_report = None
+        if replay_log:
+            replay_report = self._durability.replay_into(
+                self, after_lsn=payload["wal_lsn"]
+            )
+        event = {
+            "users": self._users.user_count(),
+            "clips": self._content.clip_count(),
+            "fixes": self._users.tracking.fix_count(),
+        }
+        if replay_report is not None:
+            event["wal_frames_replayed"] = replay_report["frames_replayed"]
+        self._bus.publish("server.restored", event)
 
     def snapshot_shard(self, shard: int) -> Dict:
         """One shard's slice of all per-user state — the migration unit.
@@ -689,20 +758,26 @@ class PphcrServer:
             raise PipelineError(
                 f"shard must be in [0, {self.shard_count}), got {shard}"
             )
-        self._users.restore_shard(shard, payload["users"])
-        streaming_state = payload.get("streaming")
-        if self._streaming is not None:
-            if streaming_state is None:
-                streaming_state = {
-                    "version": 1,
-                    "fixes_observed": 0,
-                    "observed_per_user": {},
-                    "sessionizer": {"users": {}},
-                    "model": {"users": {}},
-                }
-            self._streaming.restore_shard(shard, streaming_state)
-        self._mobility_models = {}
-        self._streaming_served = {}
+        suspended = (
+            self._durability.suspended_capture()
+            if self._durability is not None
+            else nullcontext()
+        )
+        with suspended:
+            self._users.restore_shard(shard, payload["users"])
+            streaming_state = payload.get("streaming")
+            if self._streaming is not None:
+                if streaming_state is None:
+                    streaming_state = {
+                        "version": 1,
+                        "fixes_observed": 0,
+                        "observed_per_user": {},
+                        "sessionizer": {"users": {}},
+                        "model": {"users": {}},
+                    }
+                self._streaming.restore_shard(shard, streaming_state)
+            self._mobility_models = {}
+            self._streaming_served = {}
         self._bus.publish(
             "server.shard_restored",
             {"shard": shard, "fixes": self._users.tracking.fix_count()},

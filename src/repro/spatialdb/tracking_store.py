@@ -116,6 +116,18 @@ class TrackingStore:
             _TrackingShard(self._db.shard(index).table("latest"))
             for index in range(shards)
         ]
+        #: Durability hook: prunes and user clears mutate the dict-backed
+        #: histories directly (not the ``latest`` table), so the WAL
+        #: records them as domain operations and replays them here.
+        self._op_listener = None
+
+    def set_op_listener(self, listener) -> None:
+        """Install the WAL's domain-operation listener (``None`` clears)."""
+        self._op_listener = listener
+
+    def _log_op(self, op: str, data) -> None:
+        if self._op_listener is not None:
+            self._op_listener(op, data)
 
     @property
     def database(self) -> ShardedDatabase:
@@ -322,6 +334,7 @@ class TrackingStore:
         if removed:
             shard.fixes[user_id] = history[keep_from:]
             shard.first_seq[user_id] += removed
+            self._log_op("prune_before", {"user_id": user_id, "cutoff_s": cutoff_s})
         return removed
 
     def clear_user(self, user_id: str) -> None:
@@ -334,6 +347,7 @@ class TrackingStore:
         shard.pending.pop(user_id, None)
         if user_id in shard.table:
             shard.table.delete(user_id)
+        self._log_op("clear_user", {"user_id": user_id})
 
     # Snapshot / restore ---------------------------------------------------
 

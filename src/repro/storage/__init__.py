@@ -31,11 +31,14 @@ from repro.storage.sharding import (
 )
 from repro.storage.spec import IndexSpec
 from repro.storage.table import Change, Column, Schema, Table
+from repro.storage.wal import DurabilityConfig, DurabilityManager
 
 __all__ = [
     "Change",
     "Column",
     "Database",
+    "DurabilityConfig",
+    "DurabilityManager",
     "HashIndex",
     "IndexSpec",
     "Page",

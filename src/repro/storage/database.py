@@ -24,11 +24,19 @@ from __future__ import annotations
 import gzip
 import json
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 from repro.errors import DuplicateError, NotFoundError, ValidationError
 from repro.storage.query import Query
-from repro.storage.table import ChangeListener, Schema, Table
+from repro.storage.table import Change, ChangeListener, Schema, Table
+
+#: One atomic commit as observed by a database commit listener: the
+#: per-table change groups a single write (or one closed ``batch()``)
+#: produced, in delivery order.
+Commit = List[Tuple[str, List[Change]]]
+
+#: A commit listener receives one :data:`Commit` per unit of work.
+CommitListener = Callable[[Commit], None]
 
 #: Version stamp written into (and checked against) snapshot payloads.
 SNAPSHOT_VERSION = 1
@@ -80,6 +88,9 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._batch_depth = 0
         self._query_observer = None
+        self._commit_listeners: List[CommitListener] = []
+        self._bridged: set = set()
+        self._commit_buffer: Any = None
 
     @property
     def name(self) -> str:
@@ -98,6 +109,8 @@ class Database:
             table._begin_batch()
         if self._query_observer is not None:
             table.set_query_observer(self._query_observer)
+        if self._commit_listeners:
+            self._bridge_table(schema.name, table)
         return table
 
     def table(self, name: str) -> Table:
@@ -144,6 +157,41 @@ class Database:
         """Register a change listener on one member table."""
         self.table(table_name).add_listener(listener)
 
+    def add_commit_listener(self, listener: CommitListener) -> None:
+        """Observe whole units of work instead of single tables.
+
+        The listener receives one :data:`Commit` — a list of
+        ``(table_name, [Change, ...])`` groups — per atomic write: a bare
+        mutation outside a batch delivers a one-group commit immediately,
+        while everything inside one outermost :meth:`batch` arrives as a
+        single commit with every touched table's coalesced changes.  This
+        is the write-ahead log's feed: commit boundaries here become
+        atomic commit records there.
+        """
+        if not self._commit_listeners:
+            for name, table in self._tables.items():
+                self._bridge_table(name, table)
+        self._commit_listeners.append(listener)
+
+    def _bridge_table(self, name: str, table: Table) -> None:
+        if name in self._bridged:
+            return
+        self._bridged.add(name)
+        table.add_listener(
+            lambda changes, _name=name: self._observe_table_changes(_name, changes)
+        )
+
+    def _observe_table_changes(self, table_name: str, changes: List[Change]) -> None:
+        if not self._commit_listeners or not changes:
+            return
+        group = (table_name, list(changes))
+        if self._commit_buffer is not None:
+            self._commit_buffer.append(group)
+            return
+        commit = [group]
+        for listener in self._commit_listeners:
+            listener(commit)
+
     @contextmanager
     def batch(self) -> Iterator["Database"]:
         """Open a write batch over every table in the database.
@@ -165,8 +213,16 @@ class Database:
         finally:
             self._batch_depth -= 1
             if self._batch_depth == 0:
-                for table in self._tables.values():
-                    table._end_batch()
+                if self._commit_listeners:
+                    self._commit_buffer = []
+                try:
+                    for table in self._tables.values():
+                        table._end_batch()
+                finally:
+                    buffered, self._commit_buffer = self._commit_buffer, None
+                    if buffered:
+                        for listener in self._commit_listeners:
+                            listener(buffered)
 
     # Snapshot / restore ---------------------------------------------------
 

@@ -1,0 +1,167 @@
+"""Log-shipped read replicas: a second server fed by the primary's WAL.
+
+The heavy read endpoints (``GET /v1/recommendations/{user}``, the
+listings) are already ETag-cacheable, so a replica that has applied the
+same committed frames serves byte-identical responses — same bodies,
+same validators — and can absorb read traffic the primary never sees.
+
+"Log shipping" here is literal: the replica reads the primary's WAL
+directory (the files are the wire format) and applies every complete
+commit past its watermark to its *own* :class:`PphcrServer`.  Reads are
+served from that server through a read-only gateway wrapper; writes get
+``405`` until :meth:`ReadReplica.promote` flips the replica into a
+primary (the failover path the chaos harness exercises).
+
+Lag contract: :meth:`lag_frames` counts complete commits the primary has
+logged that the replica has not applied.  At lag 0 the replica's state is
+indistinguishable from the primary's — asserted byte-for-byte in
+``tests/test_wal.py``.  A half-written frame at the primary's tail is not
+"lag": it is not yet a commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.storage.wal import apply_commit, load_checkpoint, read_log_commits
+
+
+class ReadReplica:
+    """A read-only server continuously rebuilt from shipped WAL frames.
+
+    ``build_server`` must construct a *fresh, empty* server that is
+    config-compatible with the primary (same shard layout) and has
+    durability **disabled** — the replica applies the primary's frames
+    and must not write logs of its own.  ``gateway_factory`` builds the
+    wire front over that server (defaults to the standard
+    :class:`~repro.pipeline.gateway.Gateway`).
+    """
+
+    def __init__(
+        self,
+        wal_directory,
+        *,
+        build_server: Callable[[], Any],
+        gateway_factory: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self._directory = Path(wal_directory)
+        self._server = build_server()
+        if getattr(self._server, "durability", None) is not None:
+            raise ValidationError(
+                "a read replica's server must be built with durability disabled"
+            )
+        if gateway_factory is None:
+            from repro.pipeline.gateway import Gateway
+
+            gateway_factory = Gateway
+        self._gateway = gateway_factory(self._server)
+        self._applied_lsn = 0
+        self._frames_applied = 0
+        self._bootstrapped = False
+        self._promoted = False
+        self._lag_gauge = None
+        telemetry = getattr(self._server, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            self._lag_gauge = telemetry.metrics.gauge(
+                "replica_lag_frames",
+                "Committed primary WAL frames not yet applied by this replica",
+            )
+
+    @property
+    def server(self):
+        """The replica's own server (read path probes go here)."""
+        return self._server
+
+    @property
+    def gateway(self):
+        """The wire front over the replica's server."""
+        return self._gateway
+
+    @property
+    def applied_lsn(self) -> int:
+        """The highest LSN applied so far (the replication watermark)."""
+        return self._applied_lsn
+
+    @property
+    def promoted(self) -> bool:
+        """Whether the replica has been promoted to serve writes."""
+        return self._promoted
+
+    def _bootstrap(self) -> None:
+        """Start from the primary's checkpoint when one exists.
+
+        Without a checkpoint the replica replays the log from LSN 0 —
+        the WAL records the server's whole life, so a from-scratch replay
+        reconstructs everything (the recovery-time benchmark measures why
+        checkpoints are still worth it).
+        """
+        checkpoint = load_checkpoint(self._directory)
+        if checkpoint is not None:
+            self._server.restore_snapshot(checkpoint["snapshot"])
+            self._applied_lsn = checkpoint["lsn"]
+        self._bootstrapped = True
+
+    def catch_up(self) -> int:
+        """Apply every shipped commit past the watermark; returns frames applied."""
+        if not self._bootstrapped:
+            self._bootstrap()
+        commits = read_log_commits(self._directory, after_lsn=self._applied_lsn)
+        for commit in commits:
+            apply_commit(self._server, commit)
+            self._applied_lsn = commit["lsn"]
+        self._frames_applied += len(commits)
+        if self._lag_gauge is not None:
+            self._lag_gauge.set(self.lag_frames())
+        return len(commits)
+
+    def lag_frames(self) -> int:
+        """Complete commits the primary has logged but the replica has not applied."""
+        if not self._bootstrapped:
+            self._bootstrap()
+        return len(read_log_commits(self._directory, after_lsn=self._applied_lsn))
+
+    def stats(self) -> Dict[str, Any]:
+        """Replication counters for dashboards."""
+        return {
+            "directory": str(self._directory),
+            "applied_lsn": self._applied_lsn,
+            "frames_applied": self._frames_applied,
+            "lag_frames": self.lag_frames(),
+            "promoted": self._promoted,
+        }
+
+    def promote(self):
+        """Flip the replica into a primary (failover); returns its server.
+
+        The caller should :meth:`catch_up` first and check
+        :meth:`lag_frames` is 0 — promotion does not replay anything, it
+        only opens the write path.
+        """
+        self._promoted = True
+        return self._server
+
+    def handle_wire(
+        self,
+        method: str,
+        path: str,
+        body_json: Optional[str] = None,
+        *,
+        query: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, str, Dict[str, str]]:
+        """Serve one wire request; non-GET is rejected until promotion.
+
+        Signature-compatible with :meth:`Gateway.handle_wire
+        <repro.pipeline.gateway.gateway.Gateway.handle_wire>` so a replay
+        harness (or an HTTP front) can point read traffic at a replica
+        unchanged.
+        """
+        if method.upper() != "GET" and not self._promoted:
+            detail = {"error": "method_not_allowed", "detail": "read replica is read-only"}
+            return 405, json.dumps(detail, sort_keys=True), {"Allow": "GET"}
+        return self._gateway.handle_wire(
+            method, path, body_json, query=query, headers=headers
+        )

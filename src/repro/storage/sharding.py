@@ -312,6 +312,20 @@ class ShardedDatabase:
         """Install a telemetry observer timing cross-shard fan-out reads."""
         self._fanout_observer = observer
 
+    def add_commit_listener(self, listener: Callable[[int, Any], None]) -> None:
+        """Observe every shard's atomic commits, tagged with the shard index.
+
+        ``listener(shard, commit)`` with the same commit shape as
+        :meth:`Database.add_commit_listener
+        <repro.storage.database.Database.add_commit_listener>` — the
+        write-ahead log uses the shard index to route frames to the
+        owning shard's log file.
+        """
+        for index, db in enumerate(self._dbs):
+            db.add_commit_listener(
+                lambda commit, _shard=index: listener(_shard, commit)
+            )
+
     def for_key(self, key: str) -> Database:
         """The database owning ``key``."""
         return self._dbs[self.shard_of(key)]

@@ -137,11 +137,15 @@ class Change:
 
     ``op`` is ``"insert"``/``"update"``/``"delete"`` with the affected
     row, or ``"clear"`` (whole table dropped; ``key`` is ``None``).
+    ``prev_key`` is set only on an ``update`` that moved the row to a new
+    primary key — replaying the change then needs the old key to find the
+    row, exactly like :meth:`Table.update` did.
     """
 
     op: str
     key: Any
     row: Row
+    prev_key: Any = None
 
 
 #: A change listener receives the batch of changes one write (or one
@@ -444,7 +448,14 @@ class Table:
         for index in self._indexes.values():
             index.add(new_key, validated, seq)
         self._stats["updates"] += 1
-        self._commit(Change("update", new_key, dict(validated)))
+        self._commit(
+            Change(
+                "update",
+                new_key,
+                dict(validated),
+                prev_key=key if new_key != key else None,
+            )
+        )
         return dict(validated)
 
     def delete(self, key: Any) -> None:

@@ -277,6 +277,11 @@ class FeedbackStore:
             event.content_id for event in self.events_for_user(user_id) if not event.is_positive
         ]
 
+    @classmethod
+    def event_from_row(cls, row: Dict) -> FeedbackEvent:
+        """Rebuild the event a stored row encodes (the WAL replay entry)."""
+        return cls._to_event(row)
+
     @staticmethod
     def _to_event(row: Dict) -> FeedbackEvent:
         return FeedbackEvent(

@@ -82,6 +82,17 @@ class UserManager:
         self._fix_listeners: List[
             Tuple[Callable[[GpsFix], None], Optional[Callable[[List[GpsFix]], None]]]
         ] = []
+        #: Durability hook: domain operations that mutate state no table
+        #: row captures (preference seeding); see set_op_listener.
+        self._op_listener = None
+
+    def set_op_listener(self, listener) -> None:
+        """Install the WAL's domain-operation listener (``None`` clears)."""
+        self._op_listener = listener
+
+    def _log_op(self, op: str, data: Dict[str, Any]) -> None:
+        if self._op_listener is not None:
+            self._op_listener(op, data)
 
     @property
     def shard_count(self) -> int:
@@ -166,6 +177,32 @@ class UserManager:
         return sorted(
             user_id for shard in self._profiles for user_id in shard
         )
+
+    def seed_preferences(
+        self,
+        user_id: str,
+        preferred: List[str],
+        disliked: Optional[List[str]] = None,
+    ) -> UserPreferenceProfile:
+        """Seed a user's preference profile (the onboarding survey).
+
+        The WAL-visible entry point: mutating the profile object returned
+        by :meth:`preference_profile` directly would leave the learned
+        delta invisible to the change log, so durable deployments must
+        seed through here.
+        """
+        preference = self.preference_profile(user_id).seeded(
+            list(preferred), list(disliked or [])
+        )
+        self._log_op(
+            "seed_preferences",
+            {
+                "user_id": user_id,
+                "preferred": list(preferred),
+                "disliked": list(disliked or []),
+            },
+        )
+        return preference
 
     def user_count(self) -> int:
         """Number of registered users."""
@@ -401,6 +438,54 @@ class UserManager:
                         for fix in accepted:
                             listener(fix)
         return len(accepted)
+
+    # WAL replay -----------------------------------------------------------
+
+    def replay_fixes(self, fixes: List[GpsFix]) -> int:
+        """Re-apply already-accepted fixes from a logged WAL frame.
+
+        Exactly phase 2 of the pooled ingest: store each fix and deliver
+        the batch to every fix listener (the streaming engine evolves its
+        models the same way it did live; a suspended WAL listener is a
+        no-op).  Validation is skipped on purpose — the frame records
+        fixes that *were* accepted.
+        """
+        return self._apply_group(fixes)
+
+    def replay_profile_changes(self, shard: int, changes: List[Dict[str, Any]]) -> None:
+        """Re-derive the per-shard object caches from replayed table changes.
+
+        The generic table replay has already applied the changes to the
+        profiles table; this mirrors what the live write did to the dict
+        caches: a registration insert also creates the empty preference
+        profile, an update refreshes the cached profile only.
+        """
+        for change in changes:
+            op = change["op"]
+            if op in ("insert", "update"):
+                profile = self._profile_from_row(change["row"])
+                self._profiles[shard][profile.user_id] = profile
+                if op == "insert":
+                    self._preferences[shard].setdefault(
+                        profile.user_id, UserPreferenceProfile(profile.user_id)
+                    )
+            elif op == "delete":
+                user_id = change["row"]["user_id"]
+                self._profiles[shard].pop(user_id, None)
+                self._preferences[shard].pop(user_id, None)
+            elif op == "clear":
+                self._profiles[shard].clear()
+                self._preferences[shard].clear()
+
+    def replay_feedback_row(self, row: Dict[str, Any]) -> None:
+        """Re-run preference learning for a replayed feedback insert.
+
+        The table replay restored the row (with its original event id);
+        what it cannot restore is the learned preference delta, so the
+        event is rebuilt from the row and folded in exactly as
+        :meth:`record_feedback` did.
+        """
+        self._learn_from(self._feedback.event_from_row(row))
 
     # Snapshot / restore ---------------------------------------------------
 

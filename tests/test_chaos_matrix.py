@@ -15,6 +15,8 @@ CI runs it as its own job with ``pytest -m chaos``.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.datasets import BroadcasterConfig, CommuterConfig, WorldConfig, build_world
@@ -29,20 +31,34 @@ from repro.loadgen import (
 from repro.pipeline import Gateway
 from repro.pipeline.server import PphcrServer, ServerConfig
 from repro.roadnet import CityGeneratorConfig
-from repro.storage import ShardingConfig
+from repro.storage import DurabilityConfig, ShardingConfig
 from repro.storage.sharding import shard_of
 from repro.util.ids import reset_ids
 
 pytestmark = pytest.mark.chaos
 
 SCRIPT_SEED = 99
-FAULTS = ("kill_restore", "shard_move", "worker_fault", "bus_dead_letter")
+FAULTS = (
+    "kill_restore",
+    "shard_move",
+    "worker_fault",
+    "bus_dead_letter",
+    "torn_log",
+    "replica_failover",
+)
+#: Faults that need a WAL under the server (the twin world gets a
+#: durability-enabled config; the reference stays durability-off — the WAL
+#: observes writes, it never changes them, so fingerprints are unaffected).
+DURABLE_FAULTS = frozenset({"torn_log", "replica_failover"})
 DEAD_LETTER_TOPIC = "recommendation.decision"
 
 
-def chaos_world():
+def chaos_world(durability: DurabilityConfig = None):
     """Twin-buildable sharded world (ids reset so builds are identical)."""
     reset_ids()
+    server = ServerConfig(sharding=ShardingConfig(shards=4, parallel=True))
+    if durability is not None:
+        server = replace(server, durability=durability)
     return build_world(
         WorldConfig(
             seed=4242,
@@ -51,7 +67,7 @@ def chaos_world():
             ),
             broadcaster=BroadcasterConfig(seed=5, clips_per_day=40),
             commuters=CommuterConfig(seed=11, commuters=6, history_days=4),
-            server=ServerConfig(sharding=ShardingConfig(shards=4, parallel=True)),
+            server=server,
             classifier_documents_per_category=4,
             feedback_events_per_user=10,
         )
@@ -107,15 +123,34 @@ def schedule_fault(fault, chaos, world, script):
         chaos.schedule_worker_fault(arm_at=arm_at)
     elif fault == "bus_dead_letter":
         chaos.schedule_bus_dead_letter(topic=DEAD_LETTER_TOPIC, arm_at=snapshot_at)
+    elif fault == "torn_log":
+        chaos.schedule_torn_log(
+            snapshot_at=snapshot_at,
+            tear_at=(snapshot_at + strike_at) // 2,
+            kill_at=strike_at,
+        )
+    elif fault == "replica_failover":
+        replica_config = replace(
+            world.server.config, durability=DurabilityConfig()
+        )
+        chaos.schedule_replica_failover(
+            promote_at=strike_at,
+            build_server=lambda: PphcrServer(city=world.city, config=replica_config),
+        )
     else:  # pragma: no cover - parametrization guards this
         raise AssertionError(f"unknown fault {fault}")
 
 
 @pytest.mark.parametrize("fault", FAULTS)
 @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
-def test_scenario_survives_fault(references, scenario, fault):
+def test_scenario_survives_fault(references, scenario, fault, tmp_path):
     ref = references[scenario]
-    world = chaos_world()
+    durability = (
+        DurabilityConfig(enabled=True, directory=str(tmp_path / "wal"))
+        if fault in DURABLE_FAULTS
+        else None
+    )
+    world = chaos_world(durability)
     script = build_scenario(scenario, world, seed=SCRIPT_SEED)
     # The twin world records byte-identical traffic before any fault lands.
     assert script.fingerprint() == ref["script_fingerprint"]
@@ -143,6 +178,21 @@ def test_scenario_survives_fault(references, scenario, fault):
     elif fault == "bus_dead_letter":
         records = chaos.server.bus.dead_letter_records(DEAD_LETTER_TOPIC)
         assert any(record.reason == "handler_error" for record in records)
+    elif fault == "torn_log":
+        entry = fired[0]
+        # The crash's half-written frame was salvaged, not fatal …
+        assert entry["salvaged"], "the torn tail must have been detected"
+        assert all(r["bytes_dropped"] > 0 for r in entry["salvaged"])
+        # … the logged window was recovered from the WAL, not from clients …
+        assert entry["wal_frames_replayed"] > 0
+        # … and only the post-tear window was re-dispatched.
+        assert entry["replayed"] == entry["lost_events"]
+    elif fault == "replica_failover":
+        entry = fired[0]
+        assert entry["lag"] == 0, "promotion requires a fully caught-up replica"
+        assert entry["applied"] > 0, "the replica must have applied shipped frames"
+        assert entry["etag_probes"] > 0, "the cutover must have compared reads"
+        assert entry["etag_matches"] == entry["etag_probes"]
 
     violations = check_invariants(
         chaos.server,

@@ -10,6 +10,7 @@ identical *future* behaviour as more fixes stream in.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -19,6 +20,7 @@ from repro.geo import GeoPoint
 from repro.pipeline.server import PphcrServer
 from repro.roadnet import CityGeneratorConfig
 from repro.spatialdb import GpsFix, TrackingStore
+from repro.storage import DurabilityConfig
 from repro.streaming.engine import StreamingMobilityEngine
 from repro.users.profile import UserPreferenceProfile
 
@@ -206,6 +208,78 @@ class TestServerRoundTrip:
                 ref_decision = decision
             else:
                 survivor_decision = decision
+        assert survivor_decision.should_recommend == ref_decision.should_recommend
+        assert survivor_decision.reason == ref_decision.reason
+        assert (
+            survivor_decision.recommended_clip_ids == ref_decision.recommended_clip_ids
+        )
+        assert model_fingerprint(survivor.streaming, user_id) == model_fingerprint(
+            reference.streaming, user_id
+        )
+        assert survivor.model_freshness(user_id) == reference.model_freshness(user_id)
+        assert survivor.users.tracking.fix_count(user_id) == reference.users.tracking.fix_count(
+            user_id
+        )
+        assert [f.timestamp_s for f in survivor.users.tracking.fixes_for(user_id)] == [
+            f.timestamp_s for f in reference.users.tracking.fixes_for(user_id)
+        ]
+
+    def test_crash_mid_drive_wal_tail_replay_needs_no_client_reupload(
+        self, warmed_world, tmp_path
+    ):
+        """With the WAL on, recovery is snapshot + log tail: the window
+        between the last snapshot and the crash comes back from the log,
+        so the device only re-uploads what it sent *after* the crash.
+
+        Same crash story as the test above, stronger contract: no client
+        re-ingest of the logged window, yet the survivor still equals an
+        uninterrupted twin — recommendations, streaming models, model
+        freshness and future ingest included.
+        """
+        world = warmed_world
+        durable_config = replace(
+            world.server.config,
+            durability=DurabilityConfig(enabled=True, directory=str(tmp_path / "wal")),
+        )
+        reference = restored_copy(world)
+        doomed = PphcrServer(city=world.city, config=durable_config)
+        doomed.restore_snapshot(json.loads(json.dumps(world.server.snapshot())))
+        commuter = world.commuters[3]
+        drive = world.commuter_generator.live_drive(commuter, day=world.today)
+        fixes = list(drive.fixes())
+        assert len(fixes) >= 10
+        snapshot_point = int(len(fixes) * 0.4)  # last durable snapshot
+        crash_point = int(len(fixes) * 0.6)  # the server dies here
+
+        # The uninterrupted run sees the whole drive.
+        reference.users.ingest_fixes(list(fixes), skip_stale=True)
+
+        # The doomed server snapshots mid-drive, keeps ingesting (every
+        # accepted fix lands in the WAL), then dies.
+        doomed.users.ingest_fixes(list(fixes[:snapshot_point]), skip_stale=True)
+        durable = json.loads(json.dumps(doomed.snapshot()))
+        assert "wal_lsn" in durable
+        doomed.users.ingest_fixes(
+            list(fixes[snapshot_point:crash_point]), skip_stale=True
+        )
+        del doomed  # the crash: in-memory state gone, the log survives
+
+        survivor = PphcrServer(city=world.city, config=durable_config)
+        survivor.restore_snapshot(durable, replay_log=True)
+        # The logged window is already back — NO re-upload of
+        # fixes[snapshot_point:crash_point].  The device only resends
+        # what it produced after the crash.
+        assert survivor.users.tracking.fix_count(commuter.user_id) == (
+            world.server.users.tracking.fix_count(commuter.user_id) + crash_point
+        )
+        survivor.users.ingest_fixes(list(fixes[crash_point:]), skip_stale=True)
+
+        user_id = commuter.user_id
+        now_s = fixes[-1].timestamp_s
+        ref_decision = reference.recommend(user_id, now_s=now_s, drive_elapsed_s=600.0)
+        survivor_decision = survivor.recommend(
+            user_id, now_s=now_s, drive_elapsed_s=600.0
+        )
         assert survivor_decision.should_recommend == ref_decision.should_recommend
         assert survivor_decision.reason == ref_decision.reason
         assert (
