@@ -1,0 +1,75 @@
+"""``repro.analysis`` — AST-based architectural-invariant linter.
+
+Nine PRs of conventions — snapshot round-trips, WAL channel coverage,
+byte-determinism, shard routing, one error-mapping table — checked
+declaratively instead of by reviewer memory: a shared fact-extraction
+core (:mod:`repro.analysis.facts`) and independent rule plugins
+(:mod:`repro.analysis.rules`), each turning one "non-negotiable
+invariant" from ROADMAP/ARCHITECTURE into a CI failure.
+
+Run it with ``python -m repro.analysis src/repro``; see
+``docs/ARCHITECTURE.md`` ("Static analysis") for the rule catalogue and
+the suppression/baseline policy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import AnalysisResult, Project, run_analysis
+from repro.analysis.facts import ModuleFacts, extract_module
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "ModuleFacts",
+    "Project",
+    "Rule",
+    "extract_module",
+    "run_analysis",
+    "tooling_summary",
+]
+
+
+def _locate_source_root() -> Tuple[Optional[Path], Optional[Path]]:
+    """(repo root, src/repro dir) for a dev checkout, else (None, None)."""
+    package_dir = Path(__file__).resolve().parent.parent  # src/repro
+    src_dir = package_dir.parent
+    repo_root = src_dir.parent
+    if src_dir.name == "src" and package_dir.name == "repro":
+        return repo_root, package_dir
+    return None, None
+
+
+def tooling_summary(*, scan: bool = False) -> Dict[str, Any]:
+    """The dev-tooling summary the ops dashboard renders.
+
+    Cheap by default: rule count plus the checked-in baseline's size.
+    With ``scan=True`` (and a dev checkout to scan) the full analyzer
+    runs over ``src/repro`` and the summary also carries finding counts.
+    """
+    summary: Dict[str, Any] = {
+        "rules": len(ALL_RULES),
+        "baseline": None,
+        "findings": None,
+        "new": None,
+    }
+    repo_root, package_dir = _locate_source_root()
+    if repo_root is None:
+        return summary
+    baseline_path = repo_root / DEFAULT_BASELINE_NAME
+    baseline = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+    summary["baseline"] = len(baseline)
+    if scan and package_dir is not None:
+        result = run_analysis(
+            [package_dir], root=repo_root, rules=ALL_RULES, baseline=baseline
+        )
+        summary["findings"] = len(result.findings)
+        summary["new"] = len(result.new)
+    return summary

@@ -1,0 +1,86 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry matches a finding on ``(rule, path, key)`` — never on
+line numbers, so entries survive unrelated edits.  Policy (see
+``docs/ARCHITECTURE.md``, "Static analysis"): the baseline exists to land
+the linter without blocking on historical findings; every entry must
+carry a ``reason`` and the list should only ever shrink — new code gets
+fixed or explicitly suppressed inline, not baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ValidationError
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the analysis root.
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+
+class Baseline:
+    """The set of grandfathered findings, keyed on (rule, path, key)."""
+
+    def __init__(self, entries: Optional[Iterable[Dict]] = None) -> None:
+        self._entries: Dict[Tuple[str, str, str], Dict] = {}
+        for entry in entries or []:
+            self._entries[(entry["rule"], entry["path"], entry["key"])] = dict(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether a finding is grandfathered by this baseline."""
+        return (finding.rule, finding.path, finding.key) in self._entries
+
+    def entries(self) -> List[Dict]:
+        """All entries, sorted for stable serialization."""
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding], *, reason: str = "") -> "Baseline":
+        """A baseline grandfathering exactly the given findings."""
+        entries = []
+        for finding in findings:
+            entry = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "key": finding.key,
+                "message": finding.message,
+            }
+            if reason:
+                entry["reason"] = reason
+            entries.append(entry)
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"unreadable baseline file {path}: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("entries"), list)
+        ):
+            raise ValidationError(
+                f"baseline file {path} is not a version-{BASELINE_VERSION} baseline"
+            )
+        return cls(payload["entries"])
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, reviewable JSON."""
+        payload = {"version": BASELINE_VERSION, "entries": self.entries()}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,451 @@
+"""The shared fact-extraction core of the static-analysis suite.
+
+Rules never touch the raw AST: one walker per module distils the program
+facts the architectural invariants are phrased over — classes with the
+attributes their ``__init__`` creates, per-method ``self`` usage, every
+call with its dotted callee (import-resolved) and literal string
+arguments (``publish("topic")``, ``counter("name_total")``), subscripts
+of shard containers, literal module/class constants (the WAL channel
+sets, per-class exemption lists) and ``# repro: allow[rule]`` inline
+suppressions.  Each rule is then a declarative check over these facts,
+in the rule-over-extracted-facts style of the instance-spanning
+constraint checkers in PAPERS.md.
+
+Extraction is deliberately syntactic: no imports are executed, no module
+state is touched — the analyzer can run over a broken tree and over test
+fixtures alike.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Sentinel for a call argument that is present but not a literal.
+NON_LITERAL = object()
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9?*-]+)\]\s*(?P<reason>.*)$"
+)
+_SUPPRESSION_MARKER_RE = re.compile(r"#\s*repro:")
+
+#: Call-expression names treated as building a mutable container.
+_MUTABLE_CONSTRUCTORS = {
+    "dict",
+    "list",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: allow[rule] reason`` marker.
+
+    The marker silences findings of ``rule`` on its own line and on the
+    line directly below (so a comment-only line can annotate the
+    statement under it).  ``rule`` may be ``*`` to match any rule.
+    """
+
+    rule: str
+    line: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class Call:
+    """One call expression with its resolved callee and literal args."""
+
+    callee: str  #: dotted source spelling, e.g. ``self._bus.publish``
+    qualified: str  #: import-resolved spelling, e.g. ``datetime.datetime.now``
+    line: int
+    args: Tuple[Any, ...]  #: positional args: literal value or NON_LITERAL
+    num_args: int  #: total positional + keyword argument count
+    scope: str  #: ``Class.method``, ``Class``, ``function`` or ``<module>``
+
+
+@dataclass(frozen=True)
+class SubscriptFact:
+    """One subscript expression ``base[index]`` over a dotted base."""
+
+    base: str  #: dotted spelling of the subscripted value
+    index_names: Tuple[str, ...]  #: identifiers appearing in the index
+    index_calls: Tuple[str, ...]  #: dotted callees invoked in the index
+    line: int
+    scope: str
+
+
+@dataclass(frozen=True)
+class AttrInit:
+    """One ``self.<name> = ...`` assignment inside ``__init__``."""
+
+    name: str
+    line: int
+    mutable: bool  #: the assigned expression builds a mutable container
+
+
+@dataclass
+class MethodFacts:
+    """Per-method ``self`` usage and referenced names."""
+
+    name: str
+    line: int
+    self_attrs: set = field(default_factory=set)  #: ``self.X`` (read or write)
+    self_calls: set = field(default_factory=set)  #: ``self.m(...)`` callees
+    names: set = field(default_factory=set)  #: bare identifiers in the body
+
+
+@dataclass
+class ClassFacts:
+    """One class: bases, ``__init__`` attributes, methods, literal consts."""
+
+    name: str
+    line: int
+    bases: Tuple[str, ...]
+    init_attrs: Dict[str, AttrInit] = field(default_factory=dict)
+    methods: Dict[str, MethodFacts] = field(default_factory=dict)
+    consts: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the rules need to know about one source file."""
+
+    path: Path
+    relpath: str  #: posix path relative to the analysis root
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+    functions: Dict[str, MethodFacts] = field(default_factory=dict)
+    consts: Dict[str, Any] = field(default_factory=dict)
+    calls: List[Call] = field(default_factory=list)
+    subscripts: List[SubscriptFact] = field(default_factory=list)
+    string_literals: set = field(default_factory=set)  #: every str constant
+    suppressions: List[Suppression] = field(default_factory=list)
+    malformed_suppressions: List[int] = field(default_factory=list)
+    parse_error: Optional[str] = None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` spelling of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _literal(node: ast.AST) -> Any:
+    if isinstance(node, ast.Constant):
+        return node.value
+    return NON_LITERAL
+
+
+def _literal_str_collection(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The string elements of a literal set/tuple/list (or frozenset(...))."""
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("frozenset", "set", "tuple") and len(node.args) == 1:
+            return _literal_str_collection(node.args[0])
+        if callee in ("frozenset", "set", "tuple") and not node.args:
+            return ()
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values: List[str] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                values.append(element.value)
+            else:
+                return None
+        return tuple(values)
+    return None
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee is not None and callee.split(".")[-1] in _MUTABLE_CONSTRUCTORS:
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        # ``[None] * shards`` — a per-shard slot list.
+        return _is_mutable_value(node.left) or _is_mutable_value(node.right)
+    if isinstance(node, ast.IfExp):
+        return _is_mutable_value(node.body) or _is_mutable_value(node.orelse)
+    return False
+
+
+class _ImportTable:
+    """Maps local names to their imported dotted origins."""
+
+    def __init__(self) -> None:
+        self._origins: Dict[str, str] = {}
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                self._origins[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self._origins[local] = f"{node.module}.{alias.name}"
+
+    def qualify(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = self._origins.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+def _scan_suppressions(source: str, module: ModuleFacts) -> None:
+    # Only real COMMENT tokens count — a docstring *describing* the marker
+    # syntax must not register as a suppression.
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _SUPPRESSION_MARKER_RE.search(comment):
+            continue
+        number = token.start[0]
+        match = _SUPPRESSION_RE.search(comment)
+        if match is None:
+            module.malformed_suppressions.append(number)
+            continue
+        module.suppressions.append(
+            Suppression(
+                rule=match.group("rule"),
+                line=number,
+                reason=match.group("reason").strip(),
+            )
+        )
+
+
+class _ModuleWalker(ast.NodeVisitor):
+    def __init__(self, module: ModuleFacts) -> None:
+        self.module = module
+        self.imports = _ImportTable()
+        self._class: Optional[ClassFacts] = None
+        self._method: Optional[MethodFacts] = None
+
+    # Scope bookkeeping ----------------------------------------------------
+
+    def _scope(self) -> str:
+        if self._class is not None and self._method is not None:
+            return f"{self._class.name}.{self._method.name}"
+        if self._class is not None:
+            return self._class.name
+        if self._method is not None:
+            return self._method.name
+        return "<module>"
+
+    # Visitors -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        facts = ClassFacts(
+            name=node.name,
+            line=node.lineno,
+            bases=tuple(
+                base for base in (dotted_name(b) for b in node.bases) if base
+            ),
+        )
+        if self._class is None:
+            self.module.classes[node.name] = facts
+        previous, self._class = self._class, facts
+        self.generic_visit(node)
+        self._class = previous
+
+    def _visit_function(self, node) -> None:
+        facts = MethodFacts(name=node.name, line=node.lineno)
+        previous, self._method = self._method, facts
+        owner = self._class
+        if owner is not None and node.name not in owner.methods:
+            owner.methods[node.name] = facts
+        elif owner is None and previous is None:
+            self.module.functions[node.name] = facts
+        self.generic_visit(node)
+        self._method = previous
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_assignment(node.targets, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_assignment([node.target], node.value, node.lineno)
+        self.generic_visit(node)
+
+    def _record_assignment(self, targets, value, line: int) -> None:
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self._class is not None
+                and self._method is not None
+                and self._method.name == "__init__"
+                and target.attr not in self._class.init_attrs
+            ):
+                self._class.init_attrs[target.attr] = AttrInit(
+                    name=target.attr, line=line, mutable=_is_mutable_value(value)
+                )
+            elif isinstance(target, ast.Name):
+                collection = _literal_str_collection(value)
+                literal = _literal(value)
+                recorded: Any = None
+                if collection is not None:
+                    recorded = collection
+                elif literal is not NON_LITERAL:
+                    recorded = literal
+                else:
+                    continue
+                if self._class is not None and self._method is None:
+                    self._class.consts[target.id] = recorded
+                elif self._class is None and self._method is None:
+                    self.module.consts[target.id] = recorded
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self._method is not None
+        ):
+            self._method.self_attrs.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if self._method is not None:
+            self._method.names.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+            return  # docstring / bare string statement — not a code reference
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, str):
+            self.module.string_literals.add(node.value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = dotted_name(node.func)
+        if callee is not None:
+            args = tuple(_literal(arg) for arg in node.args[:3])
+            self.module.calls.append(
+                Call(
+                    callee=callee,
+                    qualified=self.imports.qualify(callee),
+                    line=node.lineno,
+                    args=args,
+                    num_args=len(node.args) + len(node.keywords),
+                    scope=self._scope(),
+                )
+            )
+            if (
+                self._method is not None
+                and callee.startswith("self.")
+                and "." not in callee[5:]
+            ):
+                self._method.self_calls.add(callee[5:])
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        base = dotted_name(node.value)
+        if base is not None:
+            names = tuple(
+                sorted(
+                    {
+                        child.id
+                        for child in ast.walk(node.slice)
+                        if isinstance(child, ast.Name)
+                    }
+                    | {
+                        child.attr
+                        for child in ast.walk(node.slice)
+                        if isinstance(child, ast.Attribute)
+                    }
+                )
+            )
+            calls = tuple(
+                sorted(
+                    {
+                        spelled
+                        for child in ast.walk(node.slice)
+                        if isinstance(child, ast.Call)
+                        for spelled in [dotted_name(child.func)]
+                        if spelled
+                    }
+                )
+            )
+            self.module.subscripts.append(
+                SubscriptFact(
+                    base=base,
+                    index_names=names,
+                    index_calls=calls,
+                    line=node.lineno,
+                    scope=self._scope(),
+                )
+            )
+        self.generic_visit(node)
+
+
+def extract_module(path: Path, root: Path) -> ModuleFacts:
+    """Parse one source file into its fact bundle (never raises on bad syntax)."""
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    module = ModuleFacts(path=path, relpath=relpath)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        module.parse_error = str(exc)
+        return module
+    _scan_suppressions(source, module)
+    _ModuleWalker(module).visit(tree)
+    return module
+
+
+def reachable_methods(cls: ClassFacts, roots: List[str]) -> set:
+    """Transitive closure of ``self.m()`` calls starting from ``roots``."""
+    seen: set = set()
+    frontier = [name for name in roots if name in cls.methods]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for callee in cls.methods[name].self_calls:
+            if callee in cls.methods and callee not in seen:
+                frontier.append(callee)
+    return seen

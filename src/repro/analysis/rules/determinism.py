@@ -1,0 +1,103 @@
+"""determinism: no wall clock, no ambient randomness on byte-stable paths.
+
+The load generator's scripts, the WAL's frames, snapshot codecs and
+everything feeding a sha256 fingerprint are *byte-deterministic by
+contract*: the same seed must produce the same bytes on every run, or
+replay fingerprints and WAL parity checks stop meaning anything.  On the
+scoped paths this rule bans:
+
+* wall-clock reads — ``time.time()``, ``time.time_ns()``,
+  ``datetime.now()/utcnow()/today()``, ``date.today()``;
+* ambient randomness — module-level ``random.*`` functions (they share
+  one unseeded global generator), argless ``random.Random()``,
+  ``random.SystemRandom``, ``uuid.uuid4()``, ``os.urandom()``.
+
+Seeded randomness flows through :class:`repro.util.rng.DeterministicRng`
+(the one sanctioned wrapper, itself outside the scope) and time is
+injected as explicit timestamps or clock callables.  ``perf_counter`` is
+deliberately allowed: latency *measurement* is fine, it never feeds an
+artifact's bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding, Rule
+
+#: Module paths (relpath suffixes) under the byte-determinism contract.
+SCOPED_SUFFIXES = (
+    "storage/wal.py",
+    "storage/database.py",
+    "storage/table.py",
+    "storage/sharding.py",
+    "util/ids.py",
+)
+SCOPED_DIRS = ("loadgen/",)
+
+#: The sanctioned randomness wrapper — exempt (it seeds random.Random).
+EXEMPT_SUFFIXES = ("util/rng.py",)
+
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "uuid.uuid4": "non-deterministic id",
+    "os.urandom": "OS entropy",
+    "random.SystemRandom": "OS entropy",
+}
+
+
+def _in_scope(relpath: str) -> bool:
+    if any(relpath.endswith(suffix) for suffix in EXEMPT_SUFFIXES):
+        return False
+    if any(relpath.endswith(suffix) for suffix in SCOPED_SUFFIXES):
+        return True
+    parts = relpath.split("/")
+    return any(
+        "/".join(parts[i:]).startswith(prefix)
+        for prefix in SCOPED_DIRS
+        for i in range(len(parts))
+    )
+
+
+def check(project) -> Iterator[Finding]:
+    for module in project.modules:
+        if not _in_scope(module.relpath):
+            continue
+        for call in module.calls:
+            qualified = call.qualified
+            reason = _BANNED_CALLS.get(qualified)
+            if reason is None and qualified.startswith("random."):
+                tail = qualified[len("random.") :]
+                if tail == "Random":
+                    if call.num_args == 0:
+                        reason = "unseeded generator"
+                elif "." not in tail:
+                    reason = "shared unseeded global generator"
+            if reason is None:
+                continue
+            yield RULE.finding(
+                path=module.relpath,
+                line=call.line,
+                message=(
+                    f"{qualified}() in {call.scope} is non-deterministic "
+                    f"({reason}) on a byte-stable path — use a seeded "
+                    f"repro.util.rng.DeterministicRng or an injected clock"
+                ),
+                key=f"{qualified}@{call.scope}",
+            )
+
+
+RULE = Rule(
+    name="determinism",
+    severity=SEVERITY_ERROR,
+    summary=(
+        "no wall-clock or unseeded randomness in loadgen/, the WAL, snapshot "
+        "codecs or fingerprint-feeding code"
+    ),
+    check=check,
+)

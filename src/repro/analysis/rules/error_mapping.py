@@ -1,0 +1,84 @@
+"""error-mapping-coverage: every ReproError subclass has a map_error branch.
+
+The gateway maps the library's exception taxonomy onto HTTP statuses in
+exactly one place — ``map_error`` in ``pipeline/gateway/middleware.py``.
+An error class that function never names silently falls into the
+catch-all branch, which is how a new ``ReproError`` subclass ends up
+surfacing as an undifferentiated 500 nobody decided on.  This rule walks
+the hierarchy declared in ``errors.py`` (direct and transitive
+subclasses of ``ReproError``) and requires each one to appear by name in
+``map_error``'s body.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding, Rule
+
+ERRORS_MODULE = "errors.py"
+GATEWAY_MODULE = "pipeline/gateway/middleware.py"
+BASE_CLASS = "ReproError"
+MAPPER = "map_error"
+
+
+def _error_classes(errors):
+    """ReproError subclasses (transitively) declared in errors.py."""
+    known = {BASE_CLASS}
+    classes = {}
+    # Iterate until fixpoint so subclasses-of-subclasses resolve regardless
+    # of declaration order.
+    changed = True
+    while changed:
+        changed = False
+        for cls in errors.classes.values():
+            if cls.name in known or not any(base in known for base in cls.bases):
+                continue
+            known.add(cls.name)
+            classes[cls.name] = cls
+            changed = True
+    return classes
+
+
+def check(project) -> Iterator[Finding]:
+    errors = project.module_at(ERRORS_MODULE)
+    gateway = project.module_at(GATEWAY_MODULE)
+    if errors is None or gateway is None:
+        # Fixture trees without the error taxonomy or the gateway are fine.
+        return
+    mapper = gateway.functions.get(MAPPER)
+    if mapper is None:
+        yield RULE.finding(
+            path=gateway.relpath,
+            line=1,
+            message=(
+                f"{GATEWAY_MODULE} defines no module-level {MAPPER}() — the "
+                f"error taxonomy has no wire mapping to audit"
+            ),
+            key=f"missing:{MAPPER}",
+        )
+        return
+    for name, cls in sorted(_error_classes(errors).items()):
+        if name in mapper.names:
+            continue
+        yield RULE.finding(
+            path=errors.relpath,
+            line=cls.line,
+            message=(
+                f"{name} has no branch in {MAPPER}() "
+                f"({GATEWAY_MODULE}) — it falls through to the catch-all "
+                f"status; add an explicit mapping and a wire-level test"
+            ),
+            key=name,
+        )
+
+
+RULE = Rule(
+    name="error-mapping-coverage",
+    severity=SEVERITY_ERROR,
+    summary=(
+        "every ReproError subclass in errors.py is named in the gateway's "
+        "map_error()"
+    ),
+    check=check,
+)

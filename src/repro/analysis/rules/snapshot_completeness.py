@@ -1,0 +1,105 @@
+"""snapshot-completeness: every store attribute round-trips or is exempted.
+
+Any class defining both ``snapshot`` and ``restore`` is a store that
+promises round-trip durability.  Every *mutable* attribute its
+``__init__`` creates (dict/list/set displays, comprehensions, container
+constructors, ``[...] * n`` slot lists) must be touched somewhere in the
+snapshot/restore method family — including helpers those methods call on
+``self`` — or be named in the class's ``SNAPSHOT_EXEMPT`` tuple.
+
+Exemption is a *declaration*, not an escape hatch: telemetry and wiring
+(listeners, caches rebuilt on demand) are excluded from snapshots by
+design, and that design decision must be written down next to the class
+so a reviewer — and this rule — can see it.  A ``SNAPSHOT_EXEMPT`` entry
+naming an attribute ``__init__`` does not create is flagged as stale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.analysis.facts import ClassFacts, ModuleFacts, reachable_methods
+from repro.analysis.findings import SEVERITY_ERROR, Finding, Rule
+
+#: Class-level constant naming attributes deliberately excluded from the
+#: snapshot round-trip.
+EXEMPT_CONST = "SNAPSHOT_EXEMPT"
+
+#: Methods that root the snapshot/restore closure.
+ROOT_METHODS = (
+    "snapshot",
+    "restore",
+    "snapshot_shard",
+    "restore_shard",
+    "snapshot_state",
+    "restore_state",
+    "snapshot_bytes",
+    "restore_bytes",
+    "restore_snapshot",
+)
+
+
+def _is_store(cls: ClassFacts) -> bool:
+    has_snapshot = any(name.startswith("snapshot") for name in cls.methods)
+    has_restore = any(name.startswith("restore") for name in cls.methods)
+    return has_snapshot and has_restore
+
+
+def _covered_attrs(cls: ClassFacts) -> set:
+    roots: List[str] = [name for name in cls.methods if name.startswith(ROOT_METHODS)]
+    covered: set = set()
+    for name in reachable_methods(cls, roots):
+        covered |= cls.methods[name].self_attrs
+    return covered
+
+
+def _exemptions(cls: ClassFacts) -> Iterable[str]:
+    declared = cls.consts.get(EXEMPT_CONST)
+    if isinstance(declared, tuple):
+        return declared
+    return ()
+
+
+def check(project) -> Iterator[Finding]:
+    for module in project.modules:
+        for cls in module.classes.values():
+            if not _is_store(cls):
+                continue
+            covered = _covered_attrs(cls)
+            exempt = set(_exemptions(cls))
+            for attr in cls.init_attrs.values():
+                if not attr.mutable or attr.name in covered or attr.name in exempt:
+                    continue
+                yield RULE.finding(
+                    path=module.relpath,
+                    line=attr.line,
+                    message=(
+                        f"{cls.name}.__init__ creates mutable attribute "
+                        f"'{attr.name}' but neither snapshot() nor restore() "
+                        f"(nor their helpers) touch it — add it to the "
+                        f"round-trip or declare it in {cls.name}.{EXEMPT_CONST} "
+                        f"with a comment saying why it is excluded"
+                    ),
+                    key=f"{cls.name}.{attr.name}",
+                )
+            for name in sorted(exempt - set(cls.init_attrs)):
+                yield RULE.finding(
+                    path=module.relpath,
+                    line=cls.line,
+                    message=(
+                        f"{cls.name}.{EXEMPT_CONST} names '{name}' but "
+                        f"__init__ creates no such attribute — stale exemption"
+                    ),
+                    key=f"{cls.name}.stale.{name}",
+                )
+
+
+RULE = Rule(
+    name="snapshot-completeness",
+    severity=SEVERITY_ERROR,
+    summary=(
+        "mutable store attributes must round-trip through snapshot()/restore() "
+        "or be declared in SNAPSHOT_EXEMPT"
+    ),
+    check=check,
+)

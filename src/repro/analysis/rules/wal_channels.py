@@ -1,0 +1,139 @@
+"""wal-channel-audit: every published bus topic has a declared durability fate.
+
+``storage/wal.py`` declares two module-level sets:
+
+* ``WAL_LOGGED_TOPICS`` — topics announcing a mutation some WAL record
+  kind captures (a table change channel, a domain op, a server op);
+* ``WAL_SUPPRESSED_TOPICS`` — topics that are notifications over derived
+  or process-local state, deliberately absent from the log because
+  replaying the logged channels rewrites (or never needs) that state.
+
+Every string-literal topic passed to ``publish(...)`` anywhere in the
+tree must appear in exactly one of the two sets.  A topic in neither set
+is the dangerous case the rule exists for: someone added a domain event
+whose state change recovery cannot rebuild, and nobody decided whether
+the WAL should carry it.  A topic in both sets is a contradiction, and a
+declared topic nobody publishes is stale documentation — both flagged.
+
+Publishing a non-literal topic defeats the audit, so it is flagged too;
+constructor-injected topics should carry an inline suppression naming
+the literal default that *is* declared.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.facts import NON_LITERAL
+from repro.analysis.findings import SEVERITY_ERROR, Finding, Rule
+
+WAL_MODULE = "storage/wal.py"
+LOGGED_CONST = "WAL_LOGGED_TOPICS"
+SUPPRESSED_CONST = "WAL_SUPPRESSED_TOPICS"
+
+
+def _topic_sets(wal):
+    logged = wal.consts.get(LOGGED_CONST)
+    suppressed = wal.consts.get(SUPPRESSED_CONST)
+    logged = set(logged) if isinstance(logged, tuple) else None
+    suppressed = set(suppressed) if isinstance(suppressed, tuple) else None
+    return logged, suppressed
+
+
+def check(project) -> Iterator[Finding]:
+    wal = project.module_at(WAL_MODULE)
+    if wal is None:
+        # Nothing to audit against — fixture trees without a WAL are fine.
+        return
+    logged, suppressed = _topic_sets(wal)
+    for const, value in ((LOGGED_CONST, logged), (SUPPRESSED_CONST, suppressed)):
+        if value is None:
+            yield RULE.finding(
+                path=wal.relpath,
+                line=1,
+                message=(
+                    f"{WAL_MODULE} must declare {const} as a literal set of "
+                    f"topic strings — the channel audit has nothing to check "
+                    f"against"
+                ),
+                key=f"missing:{const}",
+            )
+    if logged is None or suppressed is None:
+        return
+
+    for topic in sorted(logged & suppressed):
+        yield RULE.finding(
+            path=wal.relpath,
+            line=1,
+            message=(
+                f"topic '{topic}' is declared both WAL-logged and "
+                f"WAL-suppressed — pick one"
+            ),
+            key=f"both:{topic}",
+        )
+
+    declared = logged | suppressed
+    published: set = set()
+    for module in project.modules:
+        for call in module.calls:
+            if not call.callee.split(".")[-1] == "publish" or call.num_args < 2:
+                continue
+            topic = call.args[0] if call.args else NON_LITERAL
+            if topic is NON_LITERAL:
+                yield RULE.finding(
+                    path=module.relpath,
+                    line=call.line,
+                    message=(
+                        f"publish() in {call.scope} passes a non-literal topic "
+                        f"— the channel audit cannot see it; publish a literal "
+                        f"or suppress with the declared default named in the "
+                        f"reason"
+                    ),
+                    key=f"dynamic:{call.scope}",
+                )
+                continue
+            if not isinstance(topic, str):
+                continue
+            published.add(topic)
+            if topic not in declared:
+                yield RULE.finding(
+                    path=module.relpath,
+                    line=call.line,
+                    message=(
+                        f"topic '{topic}' is published but declared in neither "
+                        f"{LOGGED_CONST} nor {SUPPRESSED_CONST} "
+                        f"({WAL_MODULE}) — decide whether replay must rebuild "
+                        f"the state this event announces, then declare it"
+                    ),
+                    key=f"undeclared:{topic}",
+                )
+
+    # A declared-but-unpublished topic is only stale if nothing else in the
+    # tree references it either — a constructor default or subscribe site
+    # (outside wal.py itself, whose declarations don't count) keeps it alive.
+    mentioned: set = set()
+    for module in project.modules:
+        if module is not wal:
+            mentioned |= module.string_literals
+    for topic in sorted(declared - published - mentioned):
+        yield RULE.finding(
+            path=wal.relpath,
+            line=1,
+            message=(
+                f"topic '{topic}' is declared in the WAL channel sets but "
+                f"nothing publishes or references it — remove the stale "
+                f"declaration"
+            ),
+            key=f"stale:{topic}",
+        )
+
+
+RULE = Rule(
+    name="wal-channel-audit",
+    severity=SEVERITY_ERROR,
+    summary=(
+        "every publish() topic must be declared WAL-logged or WAL-suppressed "
+        "in storage/wal.py"
+    ),
+    check=check,
+)

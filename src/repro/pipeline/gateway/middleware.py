@@ -9,12 +9,26 @@ so *every* route — current and future — is metered, throttled and
 error-mapped identically.  The exception mapper is the single place the
 :mod:`repro.errors` taxonomy turns into statuses:
 
-========================  ======
-:class:`ValidationError`  400
-:class:`NotFoundError`    404
-:class:`DuplicateError`   409
-other :class:`ReproError` 500
-========================  ======
+=============================  ======
+:class:`ValidationError`       400
+:class:`QueryError`            400
+:class:`GeometryError`         400
+:class:`NotFoundError`         404
+:class:`DuplicateError`        409
+:class:`DeliveryError`         409
+:class:`TrajectoryError`       422
+:class:`PredictionError`       422
+:class:`SchedulingError`       422
+:class:`ClassificationError`   503
+:class:`SchemaError`           500
+:class:`ConfigurationError`    500
+:class:`PipelineError`         500
+=============================  ======
+
+The ``error-mapping-coverage`` rule in :mod:`repro.analysis` holds this
+table complete: a new :class:`ReproError` subclass that is not named in
+:func:`map_error` fails CI rather than silently surfacing as an
+undifferentiated 500.
 """
 
 from __future__ import annotations
@@ -25,10 +39,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import (
+    ClassificationError,
+    ConfigurationError,
+    DeliveryError,
     DuplicateError,
+    GeometryError,
     NotFoundError,
     PipelineError,
+    PredictionError,
+    QueryError,
     ReproError,
+    SchedulingError,
+    SchemaError,
+    TrajectoryError,
     ValidationError,
 )
 from repro.pipeline.gateway.http import ApiResponse
@@ -43,14 +66,31 @@ Next = Callable[[RequestContext], ApiResponse]
 
 def map_error(exc: ReproError) -> ApiResponse:
     """The response one library error maps to (the taxonomy table above)."""
-    if isinstance(exc, ValidationError):
-        status = 400
-    elif isinstance(exc, NotFoundError):
-        status = 404
-    elif isinstance(exc, DuplicateError):
-        status = 409
-    else:
-        status = 500
+    taxonomy = (
+        # The caller sent something malformed.
+        (ValidationError, 400),
+        (QueryError, 400),
+        (GeometryError, 400),
+        # The referenced entity is absent, or already present.
+        (NotFoundError, 404),
+        (DuplicateError, 409),
+        (DeliveryError, 409),
+        # Well-formed request the domain logic cannot satisfy.
+        (TrajectoryError, 422),
+        (PredictionError, 422),
+        (SchedulingError, 422),
+        # The classifier is not ready yet — retryable, unlike the genuine
+        # server-side faults below.
+        (ClassificationError, 503),
+        (SchemaError, 500),
+        (ConfigurationError, 500),
+        (PipelineError, 500),
+    )
+    status = 500
+    for error_type, error_status in taxonomy:
+        if isinstance(exc, error_type):
+            status = error_status
+            break
     return ApiResponse(status=status, body={"error": str(exc)})
 
 
@@ -286,6 +326,7 @@ class MetricsMiddleware:
                 self._status_series[status_key] = statuses
             statuses.inc()
         if self._bus is not None:
+            # repro: allow[wal-channel-audit] constructor-injected topic; the default "api.request" is declared WAL-suppressed
             self._bus.publish(
                 self._topic,
                 {

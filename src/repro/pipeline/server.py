@@ -151,6 +151,10 @@ class PphcrServer:
         self._planner = RoutePlanner(city.network) if city is not None else None
         self._transcriber = SimulatedTranscriber(target_wer=config.asr_target_wer)
         self._classifier = classifier
+        # The corpus train_classifier() last fitted on, so snapshot/WAL
+        # replay can rebuild the classifier; None means "as constructed"
+        # (untrained, or an injected classifier treated as configuration).
+        self._classifier_corpus: Optional[Dict[str, List[str]]] = None
         self._content_scorer = ContentBasedScorer(self._content, self._users)
         # The repository's grid index over geo-tag centres lets context
         # scoring prune clips whose footprint cannot reach the route.
@@ -300,10 +304,20 @@ class PphcrServer:
     # Classifier management --------------------------------------------------
 
     def train_classifier(self, texts: Sequence[str], labels: Sequence[str]) -> None:
-        """Train the Bayesian classifier used by clip data management."""
+        """Train the Bayesian classifier used by clip data management.
+
+        The training corpus is server state, not configuration: it rides
+        the WAL (so recovery replays the training) and the snapshot (so a
+        restored process classifies identically).
+        """
         classifier = NaiveBayesClassifier()
         classifier.fit(list(texts), list(labels))
         self._classifier = classifier
+        self._classifier_corpus = {"texts": list(texts), "labels": list(labels)}
+        if self._durability is not None:
+            self._durability.record_server_op(
+                "train_classifier", data=self._classifier_corpus
+            )
         self._bus.publish("classifier.trained", {"documents": len(texts)})
 
     # Content ingestion --------------------------------------------------------
@@ -640,6 +654,7 @@ class PphcrServer:
             "editorial": self._editorial.snapshot(),
             "maintenance_shard": self._maintenance_shard,
             "text_model_fitted": self._content_scorer.has_text_model,
+            "classifier_corpus": self._classifier_corpus,
         }
         if self._durability is not None:
             # The WAL watermark this snapshot is consistent with: recovery
@@ -707,6 +722,16 @@ class PphcrServer:
                 self._content_scorer.fit_text_model()
             else:
                 self._content_scorer.clear_text_model()
+            corpus = payload.get("classifier_corpus")
+            self._classifier_corpus = corpus
+            if corpus is not None:
+                # Refit rather than serialize the model: the corpus is the
+                # durable state, the classifier a deterministic function of
+                # it.  A snapshot without a corpus leaves the classifier as
+                # constructed (an injected one is configuration, not state).
+                classifier = NaiveBayesClassifier()
+                classifier.fit(list(corpus["texts"]), list(corpus["labels"]))
+                self._classifier = classifier
         replay_report = None
         if replay_log:
             replay_report = self._durability.replay_into(

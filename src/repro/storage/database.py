@@ -83,6 +83,11 @@ def payload_from_bytes(raw: bytes) -> Dict[str, Any]:
 class Database:
     """A named registry of tables."""
 
+    #: Wiring, not state: commit listeners are re-attached by whoever owns
+    #: the database (the WAL, shard bridges) after a restore, and the
+    #: bridged-table set refills as those bridges re-register.
+    SNAPSHOT_EXEMPT = ("_commit_listeners", "_bridged")
+
     def __init__(self, name: str) -> None:
         self._name = name
         self._tables: Dict[str, Table] = {}

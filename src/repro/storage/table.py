@@ -195,6 +195,11 @@ class Table:
     cannot corrupt table state by mutating them.
     """
 
+    #: Structural, not state: index specs carry key *callables* declared by
+    #: the schema (or create_index) that built this table; snapshot()
+    #: captures rows and restore() re-derives index contents from them.
+    SNAPSHOT_EXEMPT = ("_specs",)
+
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
         self._rows: Dict[Any, Row] = {}

@@ -95,6 +95,58 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 #: Log key of the unsharded ("global") log file.
 GLOBAL_LOG = "global"
 
+# Channel audit -------------------------------------------------------------
+#
+# Every bus topic published anywhere in ``src/repro`` must appear in exactly
+# one of the two sets below — the static analyzer's ``wal-channel-audit``
+# rule (``repro.analysis``) enforces it.  The sets are the durability
+# decision record: adding a topic means answering "can point-in-time
+# recovery rebuild the state this event announces?" and writing the answer
+# down where replay code lives.
+
+#: Topics announcing mutations some WAL channel captures: a table change
+#: listener, the fix stream, or a domain/server op record that
+#: :func:`apply_commit` replays through the owning store's public methods.
+WAL_LOGGED_TOPICS = frozenset(
+    {
+        # content op "ingest" carries the full clip payload (including any
+        # classified category scores), so replay rewrites the catalogue.
+        "clip.ingested",
+        "clip.classified",
+        # server op "train_classifier" replays the training corpus.
+        "classifier.trained",
+        # server op "refresh_text_model" refits the TF-IDF model.
+        "recommender.text_model_refreshed",
+        # profiles table change channel (recorded raw commits).
+        "user.registered",
+    }
+)
+
+#: Topics that are notifications over *derived* or process-local state —
+#: deliberately absent from the log because replaying the logged channels
+#: rewrites (streaming/mobility models from the fix stream) or never needs
+#: (metrics, failure notices, restore banners) what they announce.
+WAL_SUPPRESSED_TOPICS = frozenset(
+    {
+        # per-request metrics event from the gateway middleware.
+        "api.request",
+        # streaming/mobility model updates: rebuilt by replaying fixes.
+        "tracking.trip_completed",
+        "tracking.staypoint_spawned",
+        "tracking.model_repaired",
+        "tracking.model_rebuilt",
+        "tracking.compacted",
+        # failure notification — the aborted batch wrote nothing.
+        "tracking.batch_failed",
+        # lifecycle banners emitted *by* restore paths.
+        "server.restored",
+        "server.shard_restored",
+        # read-path telemetry: context assembly and recommendation decisions.
+        "context.built",
+        "recommendation.decision",
+    }
+)
+
 
 # Frame codec ---------------------------------------------------------------
 
@@ -320,6 +372,11 @@ def apply_commit(server, commit: Dict[str, Any]) -> int:
             op = record["op"]
             if op == "refresh_text_model":
                 server.refresh_text_model()
+            elif op == "train_classifier":
+                data = record.get("data") or {}
+                server.train_classifier(
+                    data.get("texts") or [], data.get("labels") or []
+                )
             else:
                 raise ValidationError(f"unknown server op {op!r} in WAL frame")
         else:
@@ -616,11 +673,18 @@ class DurabilityManager:
             record = {"kind": "editorial", "op": op, **data}
         self.append(None, [record])
 
-    def record_server_op(self, op: str) -> None:
-        """Log a server-level operation (e.g. a text-model refresh)."""
+    def record_server_op(self, op: str, data: Optional[Dict[str, Any]] = None) -> None:
+        """Log a server-level operation (e.g. a text-model refresh).
+
+        ``data`` carries the operation's replay payload (e.g. the
+        classifier training corpus) and must be JSON-serializable.
+        """
         if self.suspended:
             return
-        self.append(None, [{"kind": "server", "op": op}])
+        record: Dict[str, Any] = {"kind": "server", "op": op}
+        if data is not None:
+            record["data"] = data
+        self.append(None, [record])
 
     # Append ---------------------------------------------------------------
 

@@ -33,6 +33,10 @@ class UserManager:
     by construction, so each pool worker is the sole writer of its shard.
     """
 
+    #: Wiring, not state: fix listeners are re-registered by the streaming
+    #: components (sessionizer bridge, tracking ingest) after a restore.
+    SNAPSHOT_EXEMPT = ("_fix_listeners",)
+
     def __init__(
         self,
         *,

@@ -13,9 +13,11 @@ import json
 
 import pytest
 
+import repro.errors as errors
 from repro.content import AudioClip, ContentKind
 from repro.content.model import RadioService
 from repro.errors import ValidationError
+from repro.pipeline.gateway.routing import Route
 from repro.pipeline import (
     Gateway,
     GatewayConfig,
@@ -711,6 +713,76 @@ class TestMiddleware:
         assert snapshot["requests"] == 3
         assert snapshot["by_status"] == {200: 1, 404: 2}
         assert snapshot["by_route"]["GET /v1/users/{user_id}"] == 2
+
+
+class TestErrorTaxonomyWire:
+    """Every ReproError subclass maps to its documented wire status.
+
+    A throwaway route raises each class through the full middleware chain,
+    so the assertion covers the real dispatch path — not map_error in
+    isolation.  The expectation table doubles as a completeness check:
+    a new subclass in repro.errors fails here (and in the
+    error-mapping-coverage lint) until a status is decided.
+    """
+
+    EXPECTED = {
+        errors.ValidationError: 400,
+        errors.QueryError: 400,
+        errors.GeometryError: 400,
+        errors.NotFoundError: 404,
+        errors.DuplicateError: 409,
+        errors.DeliveryError: 409,
+        errors.TrajectoryError: 422,
+        errors.PredictionError: 422,
+        errors.SchedulingError: 422,
+        errors.ClassificationError: 503,
+        errors.SchemaError: 500,
+        errors.ConfigurationError: 500,
+        errors.PipelineError: 500,
+    }
+
+    @staticmethod
+    def _taxonomy():
+        return {
+            obj
+            for obj in vars(errors).values()
+            if isinstance(obj, type)
+            and issubclass(obj, errors.ReproError)
+            and obj is not errors.ReproError
+        }
+
+    def test_expectation_table_covers_the_whole_taxonomy(self):
+        assert self._taxonomy() == set(self.EXPECTED)
+
+    def test_statuses_over_the_wire(self):
+        _, gateway = make_gateway()
+        for exc_type in self.EXPECTED:
+
+            def boom(ctx, _exc=exc_type):
+                raise _exc("boom")
+
+            gateway._routes.add(
+                Route("GET", f"/v1/_boom/{exc_type.__name__}", boom)
+            )
+        for exc_type, expected in self.EXPECTED.items():
+            status, body, _headers = gateway.handle_wire(
+                "GET", f"/v1/_boom/{exc_type.__name__}"
+            )
+            assert status == expected, exc_type.__name__
+            assert json.loads(body)["error"] == "boom"
+
+    def test_unknown_subclass_falls_back_to_500(self):
+        class MysteryError(errors.ReproError):
+            pass
+
+        _, gateway = make_gateway()
+
+        def boom(ctx):
+            raise MysteryError("boom")
+
+        gateway._routes.add(Route("GET", "/v1/_boom/mystery", boom))
+        status, _body, _headers = gateway.handle_wire("GET", "/v1/_boom/mystery")
+        assert status == 500
 
 
 class TestWireLevel:

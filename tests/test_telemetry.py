@@ -550,6 +550,9 @@ def test_dashboard_ops_report_includes_telemetry():
     lines = report.summary_lines()
     assert any("route latency" in line for line in lines)
     assert any("slow queries" in line for line in lines)
+    # The static-analysis tooling posture rides along on every report.
+    assert report.analysis is not None and report.analysis["rules"] >= 6
+    assert any(line.startswith("static analysis:") for line in lines)
     # Legacy shape still works without telemetry.
     legacy = dashboard.ops_report(gateway)
     assert legacy.metrics is None and legacy.slow_queries is None

@@ -365,6 +365,52 @@ class TestServerRecovery:
         assert world.server.durability.last_lsn == lsn_before
 
 
+class TestClassifierDurability:
+    """train_classifier() is state, not configuration: the corpus rides the
+    WAL (a ``server``/``train_classifier`` record) and the snapshot, so a
+    recovered process classifies exactly as the one that crashed."""
+
+    def test_training_replays_from_the_log(self, tmp_path):
+        world = durable_world(tmp_path / "wal")
+        probe = "notizie traffico citta"
+        expected = world.server._classifier.predict_proba(probe)
+        survivor = PphcrServer(city=world.city, config=world.server.config)
+        assert survivor._classifier is None
+        survivor.durability.replay_into(survivor, after_lsn=0)
+        assert survivor._classifier is not None
+        assert survivor._classifier.is_trained
+        assert survivor._classifier.predict_proba(probe) == expected
+
+    def test_corpus_rides_the_snapshot(self, tmp_path):
+        world = durable_world(tmp_path / "wal")
+        durable = json.loads(json.dumps(world.server.snapshot()))
+        assert durable["classifier_corpus"] is not None
+        probe = "notizie traffico citta"
+        expected = world.server._classifier.predict_proba(probe)
+        plain = PphcrServer(
+            city=world.city,
+            config=replace(world.server.config, durability=DurabilityConfig()),
+        )
+        undurable = dict(durable)
+        undurable.pop("wal_lsn")
+        plain.restore_snapshot(undurable)
+        assert plain._classifier is not None
+        assert plain._classifier.predict_proba(probe) == expected
+
+    def test_retraining_past_the_snapshot_recovers_via_tail(self, tmp_path):
+        world = durable_world(tmp_path / "wal")
+        durable = json.loads(json.dumps(world.server.snapshot()))
+        world.server.train_classifier(
+            ["partita pallone campionato", "meteo pioggia vento"],
+            ["sport", "weather"],
+        )
+        probe = "partita pallone"
+        expected = world.server._classifier.predict_proba(probe)
+        survivor = PphcrServer(city=world.city, config=world.server.config)
+        survivor.restore_snapshot(durable, replay_log=True)
+        assert survivor._classifier.predict_proba(probe) == expected
+
+
 class TestCompaction:
     def test_maintenance_tick_compacts_over_budget(self, tmp_path):
         world = durable_world(tmp_path / "wal")
